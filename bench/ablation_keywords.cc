@@ -1,0 +1,49 @@
+// Regenerates the §4.4 keyword-filter ablation: without the "retry"/"retries"
+// naming filter, the CodeQL-style loop query reports ~3.5x more candidate
+// loops, most of which are not retry.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/analysis/retry_finder.h"
+
+int main() {
+  using namespace wasabi;
+  PrintHeading("Ablation: CodeQL loop query with vs. without keyword filtering",
+               "Section 4.4");
+
+  TablePrinter table({"App", "Candidate loops (no filter)", "Retry loops (filtered)",
+                      "Inflation"});
+  size_t total_candidates = 0;
+  size_t total_filtered = 0;
+  for (const std::string& name : CorpusAppNames()) {
+    CorpusApp app = BuildCorpusApp(name);
+    RetryFinder finder(app.program, *app.index);
+    size_t candidates = finder.FindCandidateLoops().size();
+    size_t filtered = finder.FindLoopStructures().size();
+    total_candidates += candidates;
+    total_filtered += filtered;
+    std::ostringstream ratio;
+    if (filtered > 0) {
+      ratio << std::fixed << std::setprecision(1)
+            << static_cast<double>(candidates) / static_cast<double>(filtered) << "x";
+    } else {
+      ratio << "n/a";
+    }
+    table.AddRow({app.short_code, std::to_string(candidates), std::to_string(filtered),
+                  ratio.str()});
+  }
+  table.Print();
+
+  std::cout << "\nAggregate: " << total_candidates << " candidate loops vs "
+            << total_filtered << " keyword-filtered retry loops ("
+            << std::fixed << std::setprecision(1)
+            << (total_filtered > 0
+                    ? static_cast<double>(total_candidates) / static_cast<double>(total_filtered)
+                    : 0.0)
+            << "x).\n"
+            << "Paper reference: 725 vs 205 (3.5x); the excess loops iterate items, poll\n"
+            << "status, or log-and-skip — not retry. The corpus seeds the same look-alike\n"
+            << "population (iteration with per-item catches, poll loops).\n";
+  return 0;
+}

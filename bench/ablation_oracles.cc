@@ -1,0 +1,59 @@
+// Regenerates the §4.4 oracle ablation: without the three retry-specific test
+// oracles, WHEN bugs vanish (false negatives) and re-thrown injected
+// exceptions flood the reports (false positives).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace wasabi;
+  PrintHeading("Ablation: WASABI unit testing with vs. without the retry oracles",
+               "Section 4.4");
+
+  TablePrinter table({"App", "Reports w/ oracles", "FP w/ oracles", "Cap+delay found",
+                      "Reports w/o oracles", "Cap+delay w/o oracles"});
+  int with_total = 0;
+  int without_total = 0;
+  for (const std::string& name : CorpusAppNames()) {
+    CorpusApp app = BuildCorpusApp(name);
+
+    WasabiOptions with_opts = DefaultOptionsFor(app);
+    Wasabi with_tool(app.program, *app.index, with_opts);
+    DynamicResult with_result = with_tool.RunDynamicWorkflow();
+    Scorecard with_score = ScoreReports(
+        with_result.bugs, DetectableBugs(app.bugs, DetectionTechnique::kUnitTesting));
+
+    WasabiOptions without_opts = DefaultOptionsFor(app);
+    without_opts.use_oracles = false;
+    Wasabi without_tool(app.program, *app.index, without_opts);
+    DynamicResult without_result = without_tool.RunDynamicWorkflow();
+
+    int with_when = 0;
+    for (const BugReport& bug : with_result.bugs) {
+      if (bug.type != BugType::kHow) {
+        ++with_when;
+      }
+    }
+    int without_when = 0;
+    for (const BugReport& bug : without_result.bugs) {
+      if (bug.type != BugType::kHow) {
+        ++without_when;
+      }
+    }
+    with_total += static_cast<int>(with_result.bugs.size());
+    without_total += static_cast<int>(without_result.bugs.size());
+    table.AddRow({app.short_code, std::to_string(with_result.bugs.size()),
+                  std::to_string(with_score.TotalAll().false_positives),
+                  std::to_string(with_when), std::to_string(without_result.bugs.size()),
+                  std::to_string(without_when)});
+  }
+  table.Print();
+
+  std::cout << "\nAggregate: " << with_total << " oracle-classified reports vs "
+            << without_total << " naive any-crash reports.\n"
+            << "Paper reference: without the oracles, all missing-delay and most\n"
+            << "missing-cap bugs are missed, and ~90% of crashes are just the injected\n"
+            << "exception re-thrown (filtered by the different-exception oracle).\n";
+  return 0;
+}

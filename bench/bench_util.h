@@ -1,0 +1,121 @@
+// Shared helpers for the reproduction benches: corpus-wide workflow execution
+// and plain-text table rendering matching the paper's layout.
+
+#ifndef WASABI_BENCH_BENCH_UTIL_H_
+#define WASABI_BENCH_BENCH_UTIL_H_
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/scoring.h"
+#include "src/core/wasabi.h"
+#include "src/corpus/corpus.h"
+
+namespace wasabi {
+
+// One application with every workflow executed on it.
+struct AppRun {
+  CorpusApp app;
+  IdentificationResult identification;
+  DynamicResult dynamic;
+  StaticResult statics;
+};
+
+inline WasabiOptions DefaultOptionsFor(const CorpusApp& app) {
+  WasabiOptions options;
+  options.app_name = app.name;
+  options.default_configs = app.default_configs;
+  return options;
+}
+
+inline AppRun RunAppWorkflows(const std::string& name) {
+  AppRun run;
+  run.app = BuildCorpusApp(name);
+  Wasabi wasabi(run.app.program, *run.app.index, DefaultOptionsFor(run.app));
+  run.identification = wasabi.IdentifyRetryStructures();
+  run.dynamic = wasabi.RunDynamicWorkflow();
+  run.statics = wasabi.RunStaticWorkflow();
+  return run;
+}
+
+inline std::vector<AppRun> RunFullCorpusWorkflows() {
+  std::vector<AppRun> runs;
+  for (const std::string& name : CorpusAppNames()) {
+    runs.push_back(RunAppWorkflows(name));
+  }
+  return runs;
+}
+
+// --- Table rendering ---------------------------------------------------------
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print(std::ostream& out = std::cout) const {
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < headers_.size(); ++i) {
+        out << (i == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(widths[i]))
+            << (i < row.size() ? row[i] : "");
+      }
+      out << " |\n";
+    };
+    print_row(headers_);
+    out << "|";
+    for (size_t width : widths) {
+      out << std::string(width + 2, '-') << "|";
+    }
+    out << "\n";
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "N_f" style cell: reported count with false-positive subscript, matching the
+// paper's Table 3/4 notation (here rendered as "N (f FP)").
+inline std::string CellWithFp(int reported, int false_positives) {
+  if (reported == 0) {
+    return "-";
+  }
+  std::ostringstream out;
+  out << reported << " (" << false_positives << " FP)";
+  return out.str();
+}
+
+inline std::string Percent(double numerator, double denominator) {
+  if (denominator == 0) {
+    return "n/a";
+  }
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(0) << 100.0 * numerator / denominator << "%";
+  return out.str();
+}
+
+inline void PrintHeading(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "(reproduces " << paper_ref << " of the WASABI paper, SOSP'24)\n\n";
+}
+
+}  // namespace wasabi
+
+#endif  // WASABI_BENCH_BENCH_UTIL_H_

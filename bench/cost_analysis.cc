@@ -1,0 +1,78 @@
+// Regenerates the §4.3 cost analysis: LLM call/token accounting and the cost
+// structure of WASABI unit testing (coverage pass vs. injected runs, planner
+// savings).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace wasabi;
+  PrintHeading("Cost of WASABI: testing runs and LLM usage", "Section 4.3");
+
+  std::vector<AppRun> runs = RunFullCorpusWorkflows();
+
+  std::cout << "LLM usage per application (identification + WHEN prompts):\n";
+  TablePrinter llm({"App", "API calls", "Bytes sent", "Est. tokens", "Est. cost (USD)"});
+  int64_t total_tokens = 0;
+  for (const AppRun& run : runs) {
+    // Identification usage + static WHEN-judgment usage.
+    LlmUsage usage = run.identification.llm_usage;
+    usage.calls += run.statics.llm_usage.calls;
+    usage.bytes_sent += run.statics.llm_usage.bytes_sent;
+    usage.prompt_tokens += run.statics.llm_usage.prompt_tokens;
+    total_tokens += usage.prompt_tokens;
+    // The paper quotes ~8 USD per application for ~3.3M tokens: ~2.4 USD/M.
+    std::ostringstream cost;
+    cost << std::fixed << std::setprecision(4)
+         << static_cast<double>(usage.prompt_tokens) * 2.4e-6;
+    llm.AddRow({run.app.short_code, std::to_string(usage.calls),
+                std::to_string(usage.bytes_sent), std::to_string(usage.prompt_tokens),
+                cost.str()});
+  }
+  llm.Print();
+  std::cout << "Paper reference: median ~2600 calls, ~16 MB, ~3.3M tokens, ~8 USD per\n"
+            << "application. The corpus here is ~100x smaller than the Java systems, so\n"
+            << "absolute volumes scale down accordingly; the per-file call pattern (Q1 +\n"
+            << "follow-up + Q2/Q3/Q4 per coordinator) is identical.\n";
+
+  std::cout << "\nUnit-testing run counts:\n";
+  TablePrinter tests({"App", "Coverage-pass runs", "Injected runs", "Runs w/o planning",
+                      "Planner saving"});
+  for (const AppRun& run : runs) {
+    const DynamicResult& d = run.dynamic;
+    std::ostringstream saving;
+    if (d.planned_runs > 0) {
+      saving << std::fixed << std::setprecision(1)
+             << static_cast<double>(d.naive_runs) / static_cast<double>(d.planned_runs) << "x";
+    } else {
+      saving << "n/a";
+    }
+    tests.AddRow({run.app.short_code, std::to_string(d.total_tests),
+                  std::to_string(d.planned_runs), std::to_string(d.naive_runs),
+                  saving.str()});
+  }
+  tests.Print();
+
+  std::cout << "\nWall-clock phase breakdown of the dynamic workflow:\n";
+  TablePrinter phases({"App", "Identification", "Coverage pass", "Injected runs",
+                       "Coverage share"});
+  for (const AppRun& run : runs) {
+    const DynamicResult& d = run.dynamic;
+    double total = d.identification_seconds + d.coverage_seconds + d.injection_seconds;
+    auto ms = [](double s) {
+      std::ostringstream out;
+      out << std::fixed << std::setprecision(1) << s * 1000.0 << " ms";
+      return out.str();
+    };
+    phases.AddRow({run.app.short_code, ms(d.identification_seconds), ms(d.coverage_seconds),
+                   ms(d.injection_seconds),
+                   Percent(d.coverage_seconds, total > 0 ? total : 1.0)});
+  }
+  phases.Print();
+  std::cout << "Paper reference: the coverage pass takes 18-32% of total run time; planning\n"
+            << "cuts injected runs by 27x-170x; repurposed testing costs 2x-5x the original\n"
+            << "suite because only 4-27% of tests cover retry locations.\n";
+  (void)total_tokens;
+  return 0;
+}

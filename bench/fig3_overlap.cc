@@ -1,0 +1,50 @@
+// Regenerates Figure 3: the Venn composition of bugs found by WASABI unit
+// testing vs. static checking.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace wasabi;
+  PrintHeading("Figure 3: Bugs found by unit testing and static checking", "Figure 3");
+
+  std::vector<AppRun> runs = RunFullCorpusWorkflows();
+
+  OverlapSummary total;
+  int if_bugs = 0;
+  int how_unit_only = 0;
+  int when_unit = 0;
+  int when_static = 0;
+  for (const AppRun& run : runs) {
+    OverlapSummary overlap = ComputeOverlap(run.dynamic.bugs, run.statics.when_bugs);
+    total.unit_only += overlap.unit_only;
+    total.static_only += overlap.static_only;
+    total.both += overlap.both;
+    if_bugs += static_cast<int>(run.statics.if_bugs.size());
+    for (const BugReport& bug : run.dynamic.bugs) {
+      if (bug.type == BugType::kHow) {
+        ++how_unit_only;
+      } else {
+        ++when_unit;
+      }
+    }
+    when_static += static_cast<int>(run.statics.when_bugs.size());
+  }
+
+  std::cout << "Unit testing only : " << total.unit_only << " reports\n";
+  std::cout << "Found by both     : " << total.both << " reports\n";
+  std::cout << "Static (LLM) only : " << total.static_only << " reports\n";
+  std::cout << "IF bugs (retry-ratio checker, disjoint by construction): " << if_bugs << "\n";
+
+  std::cout << "\nComposition detail:\n"
+            << "  WHEN reports from unit testing : " << when_unit - 0 << " (of which HOW: 0)\n"
+            << "  HOW reports (unit testing only): " << how_unit_only << "\n"
+            << "  WHEN reports from the LLM      : " << when_static << "\n";
+
+  std::cout << "\nPaper shape: 42 unit-testing bugs and 87 static bugs with 20 found by\n"
+            << "both. Unit testing's unique share is HOW bugs plus WHEN bugs the LLM\n"
+            << "cannot see (large files, config-dependent caps); the static side's unique\n"
+            << "share is code not covered by any unit test plus error-code retry.\n";
+  return 0;
+}

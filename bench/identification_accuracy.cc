@@ -1,0 +1,79 @@
+// Evaluates retry-structure identification accuracy against the corpus's
+// structure-level ground truth — the §4.2 paragraph where the paper samples
+// identified locations by hand (CodeQL: 3 FPs in 40 sampled loops; GPT-4: 16
+// FPs in 100 sampled locations). Here every structure is labeled, so precision
+// and recall are exact rather than sampled.
+
+#include <iostream>
+#include <unordered_set>
+
+#include "bench/bench_util.h"
+#include "src/analysis/retry_finder.h"
+
+int main() {
+  using namespace wasabi;
+  PrintHeading("Identification accuracy: CodeQL-style vs LLM vs ground truth",
+               "Section 4.2");
+
+  TablePrinter table({"App", "True structures", "CodeQL TP/FP", "LLM TP/FP",
+                      "Combined recall"});
+  int codeql_tp = 0;
+  int codeql_fp = 0;
+  int llm_tp = 0;
+  int llm_fp = 0;
+  int truth_total = 0;
+  int combined_found = 0;
+
+  for (const std::string& name : CorpusAppNames()) {
+    AppRun run = RunAppWorkflows(name);
+    std::unordered_set<std::string> truth(run.app.true_retry_coordinators.begin(),
+                                          run.app.true_retry_coordinators.end());
+    truth_total += static_cast<int>(truth.size());
+
+    int app_codeql_tp = 0;
+    int app_codeql_fp = 0;
+    int app_llm_tp = 0;
+    int app_llm_fp = 0;
+    std::unordered_set<std::string> found;
+    for (const RetryStructure& structure : run.identification.structures) {
+      bool real = truth.count(structure.coordinator) > 0;
+      if (real) {
+        found.insert(structure.coordinator);
+      }
+      if (structure.found_by.codeql) {
+        (real ? app_codeql_tp : app_codeql_fp) += 1;
+      }
+      if (structure.found_by.llm) {
+        (real ? app_llm_tp : app_llm_fp) += 1;
+      }
+    }
+    combined_found += static_cast<int>(found.size());
+    codeql_tp += app_codeql_tp;
+    codeql_fp += app_codeql_fp;
+    llm_tp += app_llm_tp;
+    llm_fp += app_llm_fp;
+
+    table.AddRow({run.app.short_code, std::to_string(truth.size()),
+                  std::to_string(app_codeql_tp) + "/" + std::to_string(app_codeql_fp),
+                  std::to_string(app_llm_tp) + "/" + std::to_string(app_llm_fp),
+                  Percent(static_cast<double>(found.size()),
+                          static_cast<double>(truth.size()))});
+  }
+  table.Print();
+
+  std::cout << "\nAggregate precision:\n"
+            << "  CodeQL-style: " << codeql_tp << " TP / " << codeql_fp << " FP ("
+            << Percent(codeql_tp, codeql_tp + codeql_fp) << ")\n"
+            << "  LLM:          " << llm_tp << " TP / " << llm_fp << " FP ("
+            << Percent(llm_tp, llm_tp + llm_fp) << ")\n"
+            << "Combined recall over " << truth_total << " true structures: "
+            << Percent(combined_found, truth_total) << "\n";
+
+  std::cout << "\nPaper reference: CodeQL sampling showed 3 FP / 40 loops (92.5% precise) —\n"
+            << "a lock-retry loop, a unique-id minting loop, and a retryOnConflict\n"
+            << "parameter parser, all of which this corpus seeds verbatim; GPT-4 sampling\n"
+            << "showed 16 FP / 100 locations (84% precise), its FPs being queue iteration,\n"
+            << "status polling, and retry-named parameter handling. The LLM should measure\n"
+            << "less precise than the control-flow query here too.\n";
+  return 0;
+}

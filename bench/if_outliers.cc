@@ -1,0 +1,48 @@
+// Regenerates the §4.1 IF-bug results: retry-ratio outliers found by the
+// CodeQL-style checker, with per-exception ratios.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace wasabi;
+  PrintHeading("IF-bug detection via application-wide retry ratios", "Section 4.1 / 3.2.2");
+
+  std::vector<AppRun> runs = RunFullCorpusWorkflows();
+
+  TablePrinter table({"App", "Exception", "Retried/Caught", "Outlier sites", "True bug?"});
+  int reports = 0;
+  int true_bugs = 0;
+  for (const AppRun& run : runs) {
+    Scorecard score = ScoreReports(
+        run.statics.if_bugs, DetectableBugs(run.app.bugs, DetectionTechnique::kCodeQlStatic));
+    for (const IfOutlierReport& outlier : run.statics.if_outliers) {
+      ++reports;
+      // An outlier report is a true bug if any of its sites matches a seeded bug.
+      bool is_true = false;
+      for (const CatchSite& site : outlier.outlier_sites) {
+        for (const SeededBug& bug : run.app.bugs) {
+          if (bug.type == BugType::kIfOutlier && bug.coordinator == site.coordinator) {
+            is_true = true;
+          }
+        }
+      }
+      if (is_true) {
+        ++true_bugs;
+      }
+      table.AddRow({run.app.short_code, outlier.exception,
+                    std::to_string(outlier.retried) + "/" +
+                        std::to_string(outlier.caught_in_retry_loops),
+                    std::to_string(outlier.outlier_sites.size()), is_true ? "yes" : "no"});
+    }
+    (void)score;
+  }
+  table.Print();
+
+  std::cout << "\nTotal outlier exceptions reported: " << reports << " (" << true_bugs
+            << " true)\n"
+            << "Paper shape: 9 outlier cases, 8 truly problematic, e.g. KeeperException\n"
+            << "retried in 17/20 loops where it is caught.\n";
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Google-benchmark microbenchmarks for the substrate: parsing, CFG
+// construction, retry-finder queries, SimLLM analysis, interpretation, and
+// fault-injected test execution. These quantify the cost structure behind the
+// table benches (the paper's §4.3 observation that test execution dominates
+// and static analysis is <1% holds here too).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/retry_finder.h"
+#include "src/corpus/corpus.h"
+#include "src/corpus/generator.h"
+#include "src/inject/injector.h"
+#include "src/lang/parser.h"
+#include "src/llm/sim_llm.h"
+#include "src/testing/runner.h"
+
+namespace wasabi {
+namespace {
+
+const GeneratedApp& SampleApp() {
+  static const GeneratedApp* kApp = [] {
+    GeneratorSpec spec;
+    spec.app = "benchapp";
+    spec.display_name = "BenchApp";
+    spec.seed = 99;
+    spec.counts.ok_loops = 5;
+    spec.counts.nodelay_loops = 2;
+    spec.counts.ok_queues = 2;
+    spec.counts.ok_state_machines = 2;
+    spec.counts.unrelated_util_files = 5;
+    return new GeneratedApp(GenerateApp(spec));
+  }();
+  return *kApp;
+}
+
+const CorpusApp& SampleCorpusApp() {
+  static const CorpusApp* kApp = new CorpusApp(BuildCorpusApp("hacommon"));
+  return *kApp;
+}
+
+void BM_ParseApp(benchmark::State& state) {
+  const GeneratedApp& app = SampleApp();
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    mj::DiagnosticEngine diag;
+    mj::Program program;
+    for (const auto& [file, source] : app.files) {
+      program.AddUnit(mj::ParseSource(file, source, diag));
+      bytes += static_cast<int64_t>(source.size());
+    }
+    benchmark::DoNotOptimize(program.units().size());
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_ParseApp);
+
+void BM_BuildAllCfgs(benchmark::State& state) {
+  const CorpusApp& app = SampleCorpusApp();
+  for (auto _ : state) {
+    CfgBuilder builder;
+    size_t nodes = 0;
+    for (const mj::MethodDecl* method : app.index->all_methods()) {
+      Cfg cfg = builder.Build(*method);
+      nodes += cfg.size();
+    }
+    benchmark::DoNotOptimize(nodes);
+  }
+}
+BENCHMARK(BM_BuildAllCfgs);
+
+void BM_RetryFinderLoopQuery(benchmark::State& state) {
+  const CorpusApp& app = SampleCorpusApp();
+  for (auto _ : state) {
+    RetryFinder finder(app.program, *app.index);
+    benchmark::DoNotOptimize(finder.FindLoopStructures().size());
+  }
+}
+BENCHMARK(BM_RetryFinderLoopQuery);
+
+void BM_SimLlmAnalyzeApp(benchmark::State& state) {
+  const CorpusApp& app = SampleCorpusApp();
+  for (auto _ : state) {
+    SimLlm llm;
+    size_t coordinators = 0;
+    for (const auto& unit : app.program.units()) {
+      coordinators += llm.AnalyzeFile(*unit).coordinators.size();
+    }
+    benchmark::DoNotOptimize(coordinators);
+  }
+}
+BENCHMARK(BM_SimLlmAnalyzeApp);
+
+void BM_RunCleanTestSuite(benchmark::State& state) {
+  const CorpusApp& app = SampleCorpusApp();
+  RunnerOptions options;
+  options.config_overrides = app.default_configs;
+  TestRunner runner(app.program, *app.index, options);
+  std::vector<TestCase> tests = runner.DiscoverTests();
+  for (auto _ : state) {
+    int passed = 0;
+    for (const TestCase& test : tests) {
+      TestRunRecord record = runner.RunTest(test);
+      passed += record.outcome.status == TestStatus::kPassed ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(passed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tests.size()));
+}
+BENCHMARK(BM_RunCleanTestSuite);
+
+void BM_InjectedTestSuite(benchmark::State& state) {
+  // The whole suite with a K=100 injector armed on the shared RPC client —
+  // the cost shape of one planned WASABI injection campaign.
+  const CorpusApp& app = SampleCorpusApp();
+  RunnerOptions options;
+  options.config_overrides = app.default_configs;
+  TestRunner runner(app.program, *app.index, options);
+  std::vector<TestCase> tests = runner.DiscoverTests();
+  for (auto _ : state) {
+    int outcomes = 0;
+    for (const TestCase& test : tests) {
+      FaultInjector injector({InjectionPoint{"HacommonRpcClient.call",
+                                             "HacommonRpcClient.ping", "ConnectException",
+                                             kInjectRepeatedly}});
+      TestRunRecord record = runner.RunTest(test, {&injector});
+      outcomes += static_cast<int>(record.outcome.status);
+    }
+    benchmark::DoNotOptimize(outcomes);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tests.size()));
+}
+BENCHMARK(BM_InjectedTestSuite);
+
+void BM_InterpreterArithmeticThroughput(benchmark::State& state) {
+  mj::DiagnosticEngine diag;
+  mj::Program program;
+  program.AddUnit(mj::ParseSource("hot.mj", R"(
+    class Hot {
+      int spin(n) {
+        var acc = 0;
+        for (var i = 0; i < n; i++) {
+          acc = (acc + i * 3) % 1000003;
+        }
+        return acc;
+      }
+    }
+  )", diag));
+  mj::ProgramIndex index(program);
+  for (auto _ : state) {
+    Interpreter interp(program, index);
+    benchmark::DoNotOptimize(interp.Invoke("Hot.spin", {Value{int64_t{10000}}}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_InterpreterArithmeticThroughput);
+
+}  // namespace
+}  // namespace wasabi
+
+BENCHMARK_MAIN();

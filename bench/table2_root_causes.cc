@@ -1,0 +1,41 @@
+// Regenerates Table 2: root causes of the 70 studied retry bugs.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/study/study.h"
+
+int main() {
+  using namespace wasabi;
+  PrintHeading("Table 2: Root causes of retry bugs", "Table 2");
+
+  auto by_cause = StudyCountByRootCause();
+  auto by_category = StudyCountByCategory();
+
+  TablePrinter table({"Root Cause Category", "# of Issues"});
+  table.AddRow({"IF retry should be performed",
+                "(" + std::to_string(by_category[StudyCategory::kIf]) + ")"});
+  table.AddRow({"  - Wrong retry policy",
+                std::to_string(by_cause[StudyRootCause::kWrongPolicy])});
+  table.AddRow({"  - Missing or disabled retry mechanism",
+                std::to_string(by_cause[StudyRootCause::kMissingMechanism])});
+  table.AddRow({"WHEN retry should be performed",
+                "(" + std::to_string(by_category[StudyCategory::kWhen]) + ")"});
+  table.AddRow({"  - Delay problem", std::to_string(by_cause[StudyRootCause::kDelay])});
+  table.AddRow({"  - Cap problem", std::to_string(by_cause[StudyRootCause::kCap])});
+  table.AddRow({"HOW to execute retry",
+                "(" + std::to_string(by_category[StudyCategory::kHow]) + ")"});
+  table.AddRow({"  - Improper state reset",
+                std::to_string(by_cause[StudyRootCause::kStateReset])});
+  table.AddRow({"  - Broken/raced job tracking",
+                std::to_string(by_cause[StudyRootCause::kJobTracking])});
+  table.AddRow({"  - Other", std::to_string(by_cause[StudyRootCause::kOther])});
+  table.AddRow({"Total", std::to_string(StudyDataset().size())});
+  table.Print();
+
+  std::cout << "\nPaper reference: 17 / 8 / 10 / 13 / 12 / 8 / 2; IF 36%, WHEN 33%, HOW 31%.\n";
+  std::cout << "Measured shares: IF " << Percent(by_category[StudyCategory::kIf], 70)
+            << ", WHEN " << Percent(by_category[StudyCategory::kWhen], 70) << ", HOW "
+            << Percent(by_category[StudyCategory::kHow], 70) << "\n";
+  return 0;
+}

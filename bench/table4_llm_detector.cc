@@ -1,0 +1,74 @@
+// Regenerates Table 4: WHEN bugs reported by the (simulated) GPT-4 detector,
+// per application, with false-positive subscripts.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace wasabi;
+  PrintHeading("Table 4: Retry bugs reported by the WASABI LLM detector", "Table 4");
+
+  std::vector<AppRun> runs = RunFullCorpusWorkflows();
+
+  std::vector<Scorecard> scores;
+  for (const AppRun& run : runs) {
+    scores.push_back(ScoreReports(
+        run.statics.when_bugs, DetectableBugs(run.app.bugs, DetectionTechnique::kLlmStatic)));
+  }
+
+  TablePrinter table({"Retry Bug Type", "HA", "HD", "MA", "YA", "HB", "HI", "CA", "EL",
+                      "Total"});
+  const BugType kTypes[] = {BugType::kWhenMissingCap, BugType::kWhenMissingDelay};
+  const char* kLabels[] = {"WHEN bugs: missing cap", "WHEN bugs: missing delay"};
+
+  int grand_reported = 0;
+  int grand_fp = 0;
+  for (int t = 0; t < 2; ++t) {
+    std::vector<std::string> row = {kLabels[t]};
+    int total_reported = 0;
+    int total_fp = 0;
+    for (size_t a = 0; a < runs.size(); ++a) {
+      ScoreCell cell = scores[a].cells[runs[a].app.name][kTypes[t]];
+      row.push_back(CellWithFp(cell.reported(), cell.false_positives));
+      total_reported += cell.reported();
+      total_fp += cell.false_positives;
+    }
+    row.push_back(CellWithFp(total_reported, total_fp));
+    grand_reported += total_reported;
+    grand_fp += total_fp;
+    table.AddRow(std::move(row));
+  }
+  std::vector<std::string> totals = {"Total"};
+  for (size_t a = 0; a < runs.size(); ++a) {
+    int reported = 0;
+    int fp = 0;
+    for (BugType type : kTypes) {
+      ScoreCell cell = scores[a].cells[runs[a].app.name][type];
+      reported += cell.reported();
+      fp += cell.false_positives;
+    }
+    totals.push_back(CellWithFp(reported, fp));
+  }
+  totals.push_back(CellWithFp(grand_reported, grand_fp));
+  table.AddRow(std::move(totals));
+  table.Print();
+
+  std::cout << "\nPaper shape: 139 reports, 60 FP (1.4 true bugs : 1 FP); the LLM reports\n"
+            << "more WHEN bugs than unit testing but with more false positives, and\n"
+            << "Hive/ElasticSearch carry the heaviest FP load (error-code retry, large\n"
+            << "files, poll/policy mislabeling).\n"
+            << "Measured: " << grand_reported << " reports, " << grand_fp << " FP (precision "
+            << Percent(grand_reported - grand_fp, grand_reported) << ").\n";
+
+  std::cout << "\nFalse-positive breakdown (the paper's three FP modes: non-retry files\n"
+            << "labeled as retry; single-file context hides cross-file delays;\n"
+            << "comprehension errors):\n";
+  for (size_t a = 0; a < runs.size(); ++a) {
+    for (const BugReport& fp : scores[a].false_positive_reports) {
+      std::cout << "  [" << runs[a].app.short_code << "] " << BugTypeName(fp.type) << " at "
+                << fp.coordinator << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates Table 5: static retry code structures identified per
+// application, and how many of them WASABI's repurposed unit tests cover.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace wasabi;
+  PrintHeading("Table 5: Retry code structures identified and covered in unit tests",
+               "Table 5");
+
+  std::vector<AppRun> runs = RunFullCorpusWorkflows();
+
+  TablePrinter table({"App.", "HA", "HD", "MA", "YA", "HB", "HI", "CA", "EL"});
+  std::vector<std::string> identified = {"Identified"};
+  std::vector<std::string> tested = {"Tested"};
+  std::vector<std::string> share = {"Coverage"};
+  for (const AppRun& run : runs) {
+    identified.push_back(std::to_string(run.dynamic.structures_identified));
+    tested.push_back(std::to_string(run.dynamic.structures_covered));
+    share.push_back(Percent(static_cast<double>(run.dynamic.structures_covered),
+                            static_cast<double>(run.dynamic.structures_identified)));
+  }
+  table.AddRow(std::move(identified));
+  table.AddRow(std::move(tested));
+  table.AddRow(std::move(share));
+  table.Print();
+
+  std::cout << "\nPaper shape: HBase has by far the most structures; Hive and ElasticSearch\n"
+            << "have the lowest covered share because much of their retry is error-code\n"
+            << "driven (not exception-injectable) or untested.\n";
+
+  std::cout << "\nPer-app detail:\n";
+  for (const AppRun& run : runs) {
+    std::cout << "  " << run.app.short_code << ": " << run.dynamic.locations.size()
+              << " injectable retry locations, " << run.dynamic.tests_covering_retry
+              << " of " << run.dynamic.total_tests << " unit tests cover retry\n";
+  }
+  return 0;
+}

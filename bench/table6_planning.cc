@@ -1,0 +1,53 @@
+// Regenerates Table 6: unit-test counts and the number of WASABI fault-
+// injection runs without vs. with test planning.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace wasabi;
+  PrintHeading("Table 6: Details of WASABI unit testing", "Table 6");
+
+  std::vector<AppRun> runs = RunFullCorpusWorkflows();
+
+  TablePrinter table({"App.", "# Unit Tests Total", "CoverRetry", "Runs w/o planning",
+                      "Runs w/ planning", "Reduction"});
+  size_t total_naive = 0;
+  size_t total_planned = 0;
+  for (const AppRun& run : runs) {
+    const DynamicResult& d = run.dynamic;
+    std::ostringstream reduction;
+    if (d.planned_runs > 0) {
+      reduction << std::fixed << std::setprecision(1)
+                << static_cast<double>(d.naive_runs) / static_cast<double>(d.planned_runs)
+                << "x";
+    } else {
+      reduction << "n/a";
+    }
+    table.AddRow({run.app.short_code, std::to_string(d.total_tests),
+                  std::to_string(d.tests_covering_retry), std::to_string(d.naive_runs),
+                  std::to_string(d.planned_runs), reduction.str()});
+    total_naive += d.naive_runs;
+    total_planned += d.planned_runs;
+  }
+  table.Print();
+
+  std::cout << "\nPaper shape: planning cuts fault-injection runs by 27x-170x on suites of\n"
+            << "thousands of tests; at this corpus scale the same mechanism (every covered\n"
+            << "retry location injected exactly once, spread across distinct tests) yields\n"
+            << "a " << std::fixed << std::setprecision(1)
+            << (total_planned > 0
+                    ? static_cast<double>(total_naive) / static_cast<double>(total_planned)
+                    : 0.0)
+            << "x aggregate reduction (" << total_naive << " -> " << total_planned
+            << " runs).\n";
+
+  std::cout << "\nConfig restorations applied per app (restricted retry configs neutralized, "
+               "§3.1.4):\n";
+  for (const AppRun& run : runs) {
+    std::cout << "  " << run.app.short_code << ": "
+              << run.dynamic.config_restrictions_restored << "\n";
+  }
+  return 0;
+}

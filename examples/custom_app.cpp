@@ -1,0 +1,118 @@
+// Bringing your own application: write mj source for the system under test
+// and its unit tests, then drive WASABI with customized options. This example
+// models a message broker client with a queue-based retry (the paper's
+// Listing-3 shape) whose re-enqueue path never gives up — a bug the
+// control-flow loop query cannot see, but the LLM + injection pipeline can.
+//
+//   $ ./build/examples/custom_app
+
+#include <iostream>
+
+#include "src/core/wasabi.h"
+#include "src/lang/parser.h"
+
+namespace {
+
+constexpr const char* kBrokerSource = R"(
+// Client-side producer for the broker: failed sends are re-enqueued.
+class ProducerBuffer {
+  Queue outbox = new Queue();
+  int sent = 0;
+
+  void stage(record) {
+    var envelope = new Envelope();
+    envelope.init(record);
+    this.outbox.put(envelope);
+  }
+
+  int flush() {
+    var delivered = 0;
+    while (this.outbox.isEmpty() == false) {
+      var envelope = this.outbox.take();
+      try {
+        this.transmit(envelope);
+        delivered++;
+        this.sent += 1;
+      } catch (TimeoutException e) {
+        // Resubmit so the record is retried on the next flush cycle.
+        Log.warn("transmit timed out; resubmitting record");
+        Thread.sleep(10);
+        this.outbox.put(envelope);
+      }
+    }
+    return delivered;
+  }
+
+  void transmit(envelope) throws TimeoutException {
+    Log.debug("transmitted " + envelope.record);
+  }
+}
+
+class Envelope {
+  var record = null;
+  void init(r) {
+    this.record = r;
+  }
+}
+)";
+
+constexpr const char* kBrokerTests = R"(
+class ProducerBufferTest {
+  void testFlushDeliversEverything() {
+    var buffer = new ProducerBuffer();
+    buffer.stage("a");
+    buffer.stage("b");
+    Assert.assertEquals(2, buffer.flush());
+  }
+
+  void testStageKeepsOrder() {
+    var buffer = new ProducerBuffer();
+    buffer.stage("x");
+    Assert.assertEquals(1, buffer.flush());
+  }
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace wasabi;
+
+  mj::DiagnosticEngine diag;
+  mj::Program program;
+  program.AddUnit(mj::ParseSource("broker/ProducerBuffer.mj", kBrokerSource, diag));
+  program.AddUnit(mj::ParseSource("broker/test/ProducerBufferTest.mj", kBrokerTests, diag));
+  if (diag.has_errors()) {
+    std::cerr << diag.FormatAll(nullptr);
+    return 1;
+  }
+  mj::ProgramIndex index(program);
+
+  WasabiOptions options;
+  options.app_name = "broker";
+  // Option knobs downstream users typically touch:
+  options.llm.attention_window_tokens = 0;      // No large files here: disable the limit.
+  options.llm.comprehension_noise_percent = 0;  // Make the demo fully heuristic.
+  options.oracles.cap_injection_threshold = 50; // Stricter cap policy than the default 100.
+
+  Wasabi wasabi(program, index, options);
+
+  IdentificationResult identification = wasabi.IdentifyRetryStructures();
+  std::cout << "Identified structures:\n";
+  for (const RetryStructure& structure : identification.structures) {
+    std::cout << "  " << structure.coordinator << " ["
+              << RetryMechanismName(structure.mechanism) << "] — found by "
+              << (structure.found_by.codeql ? "control-flow analysis" : "the LLM") << "\n";
+  }
+
+  DynamicResult dynamic = wasabi.RunDynamicWorkflow();
+  std::cout << "\nInjection campaign: " << dynamic.planned_runs << " runs, "
+            << dynamic.bugs.size() << " bug report(s):\n";
+  for (const BugReport& bug : dynamic.bugs) {
+    std::cout << "  [" << BugTypeName(bug.type) << "] " << bug.coordinator << "\n    "
+              << bug.detail << "\n";
+  }
+  std::cout << "\nExpected: the flush() re-enqueue loop has no per-record attempt cap, so\n"
+            << "the missing-cap oracle fires once the injected TimeoutException persists.\n";
+  return 0;
+}

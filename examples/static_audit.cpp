@@ -1,0 +1,70 @@
+// Static retry audit of one corpus application: which retry structures exist,
+// which technique sees them, what the WHEN prompts flag, and which exceptions
+// have inconsistent retry-or-not policy.
+//
+//   $ ./build/examples/static_audit [app]      (default: hbase)
+
+#include <iostream>
+#include <string>
+
+#include "src/core/wasabi.h"
+#include "src/corpus/corpus.h"
+
+int main(int argc, char** argv) {
+  using namespace wasabi;
+  std::string app_name = argc > 1 ? argv[1] : "hbase";
+
+  CorpusApp app = BuildCorpusApp(app_name);
+  std::cout << "Auditing " << app.display_name << " (" << app.source_files << " files, "
+            << app.source_bytes / 1024 << " KiB of mj source)\n\n";
+
+  WasabiOptions options;
+  options.app_name = app.name;
+  options.default_configs = app.default_configs;
+  Wasabi wasabi(app.program, *app.index, options);
+
+  // --- Retry structure inventory ---------------------------------------------
+  IdentificationResult identification = wasabi.IdentifyRetryStructures();
+  std::cout << "Identified " << identification.structures.size() << " retry structures ("
+            << identification.candidate_loops_without_keyword_filter
+            << " candidate loops before keyword filtering):\n";
+  for (const RetryStructure& structure : identification.structures) {
+    std::cout << "  " << structure.file << ":" << structure.location.line << " "
+              << structure.coordinator << " [" << RetryMechanismName(structure.mechanism)
+              << "] found by "
+              << (structure.found_by.both() ? "both"
+                  : structure.found_by.codeql ? "control-flow analysis"
+                                              : "LLM")
+              << ", " << structure.locations.size() << " injectable location(s)\n";
+  }
+  if (identification.files_truncated_by_llm > 0) {
+    std::cout << "  note: " << identification.files_truncated_by_llm
+              << " file(s) exceeded the LLM attention window; late methods were "
+                 "invisible to it\n";
+  }
+
+  // --- WHEN bugs + IF outliers --------------------------------------------------
+  StaticResult statics = wasabi.RunStaticWorkflow();
+  std::cout << "\nWHEN-bug reports from the LLM prompts (Q2 delay / Q3 cap):\n";
+  for (const BugReport& bug : statics.when_bugs) {
+    std::cout << "  [" << BugTypeName(bug.type) << "] " << bug.file << ":"
+              << bug.location.line << " " << bug.coordinator << "\n";
+  }
+
+  std::cout << "\nIF-bug outliers (exceptions with near-unanimous retry policy):\n";
+  for (const IfOutlierReport& outlier : statics.if_outliers) {
+    std::cout << "  " << outlier.exception << ": retried in " << outlier.retried << "/"
+              << outlier.caught_in_retry_loops << " retry loops; review:\n";
+    for (const CatchSite& site : outlier.outlier_sites) {
+      std::cout << "    " << site.file << ":" << site.location.line << " " << site.coordinator
+                << " (" << (site.retried ? "retried here" : "NOT retried here") << ")\n";
+    }
+  }
+  if (statics.if_outliers.empty()) {
+    std::cout << "  (none)\n";
+  }
+
+  std::cout << "\nLLM usage: " << statics.llm_usage.calls << " calls, ~"
+            << statics.llm_usage.prompt_tokens << " tokens\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# One-shot reproduction: configure, build, run the full test suite, and
+# regenerate every table/figure of the paper, capturing the outputs the
+# repository documents in EXPERIMENTS.md.
+#
+#   scripts/reproduce.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -G Ninja -S "$repo_root"
+cmake --build "$build_dir"
+
+ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
+
+{
+  for bench in "$build_dir"/bench/*; do
+    if [ -f "$bench" ] && [ -x "$bench" ]; then
+      echo "##### $(basename "$bench")"
+      "$bench"
+      echo
+    fi
+  done
+} 2>&1 | tee "$repo_root/bench_output.txt"
+
+echo
+echo "Done. Test results: test_output.txt; table/figure outputs: bench_output.txt"

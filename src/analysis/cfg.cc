@@ -1,0 +1,301 @@
+#include "src/analysis/cfg.h"
+
+#include <deque>
+#include <sstream>
+
+namespace wasabi {
+
+using mj::AstKind;
+
+CfgNodeId Cfg::AddNode(CfgNodeKind kind, const mj::Stmt* stmt) {
+  CfgNode node;
+  node.id = static_cast<CfgNodeId>(nodes_.size());
+  node.kind = kind;
+  node.stmt = stmt;
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+CfgNodeId Cfg::HeaderOf(const mj::Stmt& loop) const {
+  auto it = loop_headers_.find(&loop);
+  return it == loop_headers_.end() ? kInvalidCfgNode : it->second;
+}
+
+CfgNodeId Cfg::CatchEntryOf(const mj::CatchClause& clause) const {
+  auto it = catch_entries_.find(&clause);
+  return it == catch_entries_.end() ? kInvalidCfgNode : it->second;
+}
+
+bool Cfg::Reaches(CfgNodeId from, CfgNodeId to) const {
+  if (from == kInvalidCfgNode || to == kInvalidCfgNode) {
+    return false;
+  }
+  if (from == to) {
+    return true;
+  }
+  std::vector<bool> visited(nodes_.size(), false);
+  std::deque<CfgNodeId> queue{from};
+  visited[from] = true;
+  while (!queue.empty()) {
+    CfgNodeId current = queue.front();
+    queue.pop_front();
+    for (CfgNodeId succ : nodes_[current].successors) {
+      if (succ == to) {
+        return true;
+      }
+      if (!visited[succ]) {
+        visited[succ] = true;
+        queue.push_back(succ);
+      }
+    }
+  }
+  return false;
+}
+
+std::string Cfg::Dump() const {
+  static const char* kKindNames[] = {"entry",  "exit",   "stmt",  "loop-head",
+                                     "branch", "switch", "catch"};
+  std::ostringstream out;
+  for (const CfgNode& node : nodes_) {
+    out << node.id << "[" << kKindNames[static_cast<int>(node.kind)] << "]";
+    if (node.stmt != nullptr) {
+      out << " @" << node.stmt->location.line;
+    }
+    out << " ->";
+    for (CfgNodeId succ : node.successors) {
+      out << " " << succ;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// CfgBuilder
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void AddEdge(std::vector<CfgNode>& nodes, CfgNodeId from, CfgNodeId to) {
+  for (CfgNodeId existing : nodes[from].successors) {
+    if (existing == to) {
+      return;
+    }
+  }
+  nodes[from].successors.push_back(to);
+}
+
+}  // namespace
+
+Cfg CfgBuilder::Build(const mj::MethodDecl& method) {
+  cfg_ = Cfg();
+  loop_stack_.clear();
+  switch_break_stack_.clear();
+  handler_stack_.clear();
+
+  CfgNodeId entry = cfg_.AddNode(CfgNodeKind::kEntry, nullptr);
+  CfgNodeId exit = cfg_.AddNode(CfgNodeKind::kExit, nullptr);
+  cfg_.entry_ = entry;
+  cfg_.exit_ = exit;
+
+  if (method.body == nullptr) {
+    AddEdge(cfg_.nodes_, entry, exit);
+    return std::move(cfg_);
+  }
+  CfgNodeId body_entry = LowerBlock(method.body->statements, exit);
+  AddEdge(cfg_.nodes_, entry, body_entry);
+  return std::move(cfg_);
+}
+
+CfgNodeId CfgBuilder::LowerBlock(const std::vector<mj::Stmt*>& stmts, CfgNodeId next) {
+  CfgNodeId current = next;
+  for (auto it = stmts.rbegin(); it != stmts.rend(); ++it) {
+    current = Lower(*it, current);
+  }
+  return current;
+}
+
+CfgNodeId CfgBuilder::Lower(const mj::Stmt* stmt, CfgNodeId next) {
+  if (stmt == nullptr) {
+    return next;
+  }
+  auto& nodes = cfg_.nodes_;
+
+  // Connects a may-throw node to every catch handler currently in scope.
+  auto add_throw_edges = [&](CfgNodeId node) {
+    for (const auto& handlers : handler_stack_) {
+      for (CfgNodeId handler : handlers) {
+        AddEdge(nodes, node, handler);
+      }
+    }
+  };
+
+  switch (stmt->kind) {
+    case AstKind::kBlock:
+      return LowerBlock(static_cast<const mj::BlockStmt*>(stmt)->statements, next);
+
+    case AstKind::kVarDecl:
+    case AstKind::kAssign:
+    case AstKind::kExprStmt: {
+      CfgNodeId node = cfg_.AddNode(CfgNodeKind::kStatement, stmt);
+      AddEdge(nodes, node, next);
+      add_throw_edges(node);
+      return node;
+    }
+
+    case AstKind::kThrow: {
+      CfgNodeId node = cfg_.AddNode(CfgNodeKind::kStatement, stmt);
+      bool has_handler = false;
+      for (const auto& handlers : handler_stack_) {
+        for (CfgNodeId handler : handlers) {
+          AddEdge(nodes, node, handler);
+          has_handler = true;
+        }
+      }
+      if (!has_handler) {
+        AddEdge(nodes, node, cfg_.exit());
+      }
+      return node;
+    }
+
+    case AstKind::kReturn: {
+      CfgNodeId node = cfg_.AddNode(CfgNodeKind::kStatement, stmt);
+      AddEdge(nodes, node, cfg_.exit());
+      add_throw_edges(node);  // Evaluating the return value may throw.
+      return node;
+    }
+
+    case AstKind::kBreak: {
+      CfgNodeId node = cfg_.AddNode(CfgNodeKind::kStatement, stmt);
+      CfgNodeId target = cfg_.exit();
+      // `break` binds to the innermost loop or switch.
+      if (!switch_break_stack_.empty() &&
+          (loop_stack_.empty() || switch_break_stack_.back() != kInvalidCfgNode)) {
+        target = switch_break_stack_.back();
+      } else if (!loop_stack_.empty()) {
+        target = loop_stack_.back().break_target;
+      }
+      AddEdge(nodes, node, target);
+      return node;
+    }
+
+    case AstKind::kContinue: {
+      CfgNodeId node = cfg_.AddNode(CfgNodeKind::kStatement, stmt);
+      CfgNodeId target = loop_stack_.empty() ? cfg_.exit() : loop_stack_.back().continue_target;
+      AddEdge(nodes, node, target);
+      return node;
+    }
+
+    case AstKind::kIf: {
+      const auto* node_stmt = static_cast<const mj::IfStmt*>(stmt);
+      CfgNodeId branch = cfg_.AddNode(CfgNodeKind::kBranch, stmt);
+      add_throw_edges(branch);
+      CfgNodeId then_entry = Lower(node_stmt->then_branch, next);
+      AddEdge(nodes, branch, then_entry);
+      if (node_stmt->else_branch != nullptr) {
+        CfgNodeId else_entry = Lower(node_stmt->else_branch, next);
+        AddEdge(nodes, branch, else_entry);
+      } else {
+        AddEdge(nodes, branch, next);
+      }
+      return branch;
+    }
+
+    case AstKind::kWhile: {
+      const auto* loop = static_cast<const mj::WhileStmt*>(stmt);
+      CfgNodeId header = cfg_.AddNode(CfgNodeKind::kLoopHeader, stmt);
+      cfg_.loop_headers_[stmt] = header;
+      add_throw_edges(header);
+      loop_stack_.push_back(LoopContext{header, next});
+      switch_break_stack_.push_back(kInvalidCfgNode);  // Loop shadows switch break.
+      CfgNodeId body_entry = Lower(loop->body, header);
+      switch_break_stack_.pop_back();
+      loop_stack_.pop_back();
+      AddEdge(nodes, header, body_entry);
+      AddEdge(nodes, header, next);
+      return header;
+    }
+
+    case AstKind::kFor: {
+      const auto* loop = static_cast<const mj::ForStmt*>(stmt);
+      CfgNodeId header = cfg_.AddNode(CfgNodeKind::kLoopHeader, stmt);
+      cfg_.loop_headers_[stmt] = header;
+      add_throw_edges(header);
+
+      CfgNodeId update = header;
+      if (loop->update != nullptr) {
+        update = Lower(loop->update, header);
+      }
+      loop_stack_.push_back(LoopContext{update, next});
+      switch_break_stack_.push_back(kInvalidCfgNode);
+      CfgNodeId body_entry = Lower(loop->body, update);
+      switch_break_stack_.pop_back();
+      loop_stack_.pop_back();
+      AddEdge(nodes, header, body_entry);
+      AddEdge(nodes, header, next);
+      if (loop->init != nullptr) {
+        CfgNodeId init = Lower(loop->init, header);
+        return init;
+      }
+      return header;
+    }
+
+    case AstKind::kSwitch: {
+      const auto* node_stmt = static_cast<const mj::SwitchStmt*>(stmt);
+      CfgNodeId head = cfg_.AddNode(CfgNodeKind::kSwitchHead, stmt);
+      add_throw_edges(head);
+      switch_break_stack_.push_back(next);
+      // Lower cases from last to first so fallthrough targets exist.
+      std::vector<CfgNodeId> case_entries(node_stmt->cases.size(), next);
+      CfgNodeId fallthrough = next;
+      bool has_default = false;
+      for (size_t i = node_stmt->cases.size(); i-- > 0;) {
+        const mj::SwitchCase& switch_case = node_stmt->cases[i];
+        CfgNodeId entry = LowerBlock(switch_case.body, fallthrough);
+        case_entries[i] = entry;
+        fallthrough = entry;
+        if (switch_case.labels.empty()) {
+          has_default = true;
+        }
+      }
+      switch_break_stack_.pop_back();
+      for (CfgNodeId entry : case_entries) {
+        AddEdge(nodes, head, entry);
+      }
+      if (!has_default) {
+        AddEdge(nodes, head, next);
+      }
+      return head;
+    }
+
+    case AstKind::kTry: {
+      const auto* node_stmt = static_cast<const mj::TryStmt*>(stmt);
+      CfgNodeId after = next;
+      if (node_stmt->finally != nullptr) {
+        after = LowerBlock(node_stmt->finally->statements, next);
+      }
+      std::vector<CfgNodeId> handler_entries;
+      handler_entries.reserve(node_stmt->catches.size());
+      for (const mj::CatchClause& clause : node_stmt->catches) {
+        CfgNodeId handler = cfg_.AddNode(CfgNodeKind::kCatchEntry, stmt);
+        cfg_.nodes_[handler].catch_clause = &clause;
+        cfg_.catch_entries_[&clause] = handler;
+        CfgNodeId body_entry = LowerBlock(clause.body->statements, after);
+        AddEdge(nodes, handler, body_entry);
+        handler_entries.push_back(handler);
+      }
+      handler_stack_.push_back(handler_entries);
+      CfgNodeId body_entry = LowerBlock(node_stmt->body->statements, after);
+      handler_stack_.pop_back();
+      return body_entry;
+    }
+
+    default: {
+      CfgNodeId node = cfg_.AddNode(CfgNodeKind::kStatement, stmt);
+      AddEdge(nodes, node, next);
+      return node;
+    }
+  }
+}
+
+}  // namespace wasabi

@@ -1,0 +1,105 @@
+// Intra-procedural control-flow graphs over mj method bodies.
+//
+// This is the control-flow substrate for the paper's CodeQL-style queries
+// (§3.1.1): "identify every loop whose header is reachable from at least one
+// catch block inside the loop body". Nodes are statement-granular; loops get a
+// dedicated header node; every catch clause gets an entry node; statements
+// inside a try body have exception edges to each catch entry of the enclosing
+// try statements (conservative may-throw, matching the precision CodeQL works
+// at without whole-program dataflow).
+
+#ifndef WASABI_SRC_ANALYSIS_CFG_H_
+#define WASABI_SRC_ANALYSIS_CFG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace wasabi {
+
+using CfgNodeId = uint32_t;
+inline constexpr CfgNodeId kInvalidCfgNode = 0xFFFFFFFF;
+
+enum class CfgNodeKind : uint8_t {
+  kEntry,
+  kExit,
+  kStatement,   // Simple statements: var decl, assign, expr, throw, return, ...
+  kLoopHeader,  // The decision point of a while/for loop (its "header").
+  kBranch,      // The condition of an if statement.
+  kSwitchHead,  // The subject of a switch statement.
+  kCatchEntry,  // The entry of one catch clause.
+};
+
+struct CfgNode {
+  CfgNodeId id = kInvalidCfgNode;
+  CfgNodeKind kind = CfgNodeKind::kStatement;
+  const mj::Stmt* stmt = nullptr;            // The owning statement, if any.
+  const mj::CatchClause* catch_clause = nullptr;  // For kCatchEntry.
+  std::vector<CfgNodeId> successors;
+};
+
+// The CFG of one method body.
+class Cfg {
+ public:
+  CfgNodeId entry() const { return entry_; }
+  CfgNodeId exit() const { return exit_; }
+  const CfgNode& node(CfgNodeId id) const { return nodes_[id]; }
+  size_t size() const { return nodes_.size(); }
+  const std::vector<CfgNode>& nodes() const { return nodes_; }
+
+  // The loop-header node for a while/for statement, or kInvalidCfgNode.
+  CfgNodeId HeaderOf(const mj::Stmt& loop) const;
+
+  // The catch-entry node for a catch clause, or kInvalidCfgNode.
+  CfgNodeId CatchEntryOf(const mj::CatchClause& clause) const;
+
+  // True if `to` is reachable from `from` following successor edges
+  // (reflexive: a node reaches itself).
+  bool Reaches(CfgNodeId from, CfgNodeId to) const;
+
+  // Renders "id[kind] -> succ,succ" lines; for tests and debugging.
+  std::string Dump() const;
+
+ private:
+  friend class CfgBuilder;
+  CfgNodeId AddNode(CfgNodeKind kind, const mj::Stmt* stmt);
+
+  std::vector<CfgNode> nodes_;
+  CfgNodeId entry_ = kInvalidCfgNode;
+  CfgNodeId exit_ = kInvalidCfgNode;
+  std::unordered_map<const mj::Stmt*, CfgNodeId> loop_headers_;
+  std::unordered_map<const mj::CatchClause*, CfgNodeId> catch_entries_;
+};
+
+// Builds the CFG for a method. Methods without a body produce a trivial
+// entry→exit graph.
+class CfgBuilder {
+ public:
+  Cfg Build(const mj::MethodDecl& method);
+
+ private:
+  // Per-construct context, linked through enclosing scopes.
+  struct LoopContext {
+    CfgNodeId continue_target = kInvalidCfgNode;
+    CfgNodeId break_target = kInvalidCfgNode;
+  };
+
+  // Lowers `stmt` so control enters at the returned node and flows to `next`
+  // on normal completion. `handlers` are catch-entry nodes of enclosing try
+  // statements (innermost first) that may-throw statements connect to.
+  CfgNodeId Lower(const mj::Stmt* stmt, CfgNodeId next);
+  CfgNodeId LowerBlock(const std::vector<mj::Stmt*>& stmts, CfgNodeId next);
+
+  Cfg cfg_;
+  std::vector<LoopContext> loop_stack_;
+  std::vector<CfgNodeId> switch_break_stack_;
+  std::vector<std::vector<CfgNodeId>> handler_stack_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_ANALYSIS_CFG_H_

@@ -1,0 +1,96 @@
+#include "src/analysis/if_outliers.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/analysis/cfg.h"
+
+namespace wasabi {
+
+IfOutlierAnalysis::IfOutlierAnalysis(const mj::Program& program, const mj::ProgramIndex& index,
+                                     IfOutlierOptions options)
+    : program_(program), index_(index), options_(options) {}
+
+std::vector<ExceptionRetryStats> IfOutlierAnalysis::ComputeStats() const {
+  RetryFinder finder(program_, index_);
+  CfgBuilder builder;
+  // std::map keeps the output deterministic and alphabetical.
+  std::map<std::string, ExceptionRetryStats> by_exception;
+
+  for (const LoopCandidate& candidate : finder.FindCandidateLoops()) {
+    if (!candidate.keyword_evidence) {
+      continue;  // Match §3.1.1: the ratio is computed over identified retry loops.
+    }
+    Cfg cfg = builder.Build(*candidate.method);
+    CfgNodeId header = cfg.HeaderOf(*candidate.loop);
+    const mj::Stmt* body = candidate.loop->kind == mj::AstKind::kWhile
+                               ? static_cast<const mj::WhileStmt*>(candidate.loop)->body
+                               : static_cast<const mj::ForStmt*>(candidate.loop)->body;
+    const mj::CompilationUnit* unit = index_.UnitOfMethod(*candidate.method);
+    std::string file = unit != nullptr ? unit->file().name() : "";
+
+    mj::WalkStmts(
+        body,
+        [&](const mj::Stmt& stmt) {
+          if (stmt.kind != mj::AstKind::kTry) {
+            return;
+          }
+          for (const mj::CatchClause& clause : static_cast<const mj::TryStmt&>(stmt).catches) {
+            CfgNodeId entry = cfg.CatchEntryOf(clause);
+            if (entry == kInvalidCfgNode) {
+              continue;
+            }
+            CatchSite site;
+            site.file = file;
+            site.location = clause.location;
+            site.coordinator = candidate.method->QualifiedName();
+            site.retried = cfg.Reaches(entry, header);
+            ExceptionRetryStats& stats = by_exception[clause.exception_type];
+            stats.exception = clause.exception_type;
+            ++stats.caught_in_retry_loops;
+            if (site.retried) {
+              ++stats.retried;
+            }
+            stats.sites.push_back(std::move(site));
+          }
+        },
+        [](const mj::Expr&) {});
+  }
+
+  std::vector<ExceptionRetryStats> result;
+  result.reserve(by_exception.size());
+  for (auto& [name, stats] : by_exception) {
+    result.push_back(std::move(stats));
+  }
+  return result;
+}
+
+std::vector<IfOutlierReport> IfOutlierAnalysis::FindOutliers() const {
+  std::vector<IfOutlierReport> reports;
+  for (const ExceptionRetryStats& stats : ComputeStats()) {
+    if (stats.caught_in_retry_loops < options_.min_sites) {
+      continue;
+    }
+    double ratio = stats.ratio();
+    bool mostly_retried = ratio >= options_.high_threshold && ratio < 1.0;
+    bool mostly_not_retried = ratio <= options_.low_threshold && ratio > 0.0;
+    if (!mostly_retried && !mostly_not_retried) {
+      continue;
+    }
+    IfOutlierReport report;
+    report.exception = stats.exception;
+    report.caught_in_retry_loops = stats.caught_in_retry_loops;
+    report.retried = stats.retried;
+    report.mostly_retried = mostly_retried;
+    for (const CatchSite& site : stats.sites) {
+      // The minority behavior is the suspicious one.
+      if (site.retried != mostly_retried) {
+        report.outlier_sites.push_back(site);
+      }
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace wasabi

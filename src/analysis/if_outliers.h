@@ -1,0 +1,87 @@
+// IF-bug detection via application-wide retry ratios (§3.2.2 of the paper).
+//
+// For each exception type E, count the places E is caught inside a retry loop
+// (N_E) and the subset where the catch block can return control to the loop
+// header, i.e. the exception is retried (R_E). When the ratio R_E/N_E is close
+// to — but not exactly — 1 (or 0), the minority sites are flagged as likely
+// wrong-retry-policy (IF) bugs: the application "almost always" treats E as
+// recoverable (or not), so the outliers deserve developer attention.
+
+#ifndef WASABI_SRC_ANALYSIS_IF_OUTLIERS_H_
+#define WASABI_SRC_ANALYSIS_IF_OUTLIERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/retry_finder.h"
+#include "src/lang/sema.h"
+
+namespace wasabi {
+
+struct IfOutlierOptions {
+  // Ratio thresholds from §4.1: outliers are exceptions with ratio >= 2/3
+  // (flag non-retried sites) or <= 1/3 (flag retried sites).
+  double high_threshold = 2.0 / 3.0;
+  double low_threshold = 1.0 / 3.0;
+  // Minimum number of catch sites before a ratio is considered meaningful.
+  int min_sites = 3;
+};
+
+// One catch-site of an exception inside a retry loop.
+struct CatchSite {
+  std::string file;
+  mj::SourceLocation location;
+  std::string coordinator;  // Qualified method containing the loop.
+  bool retried = false;     // Catch block reaches the loop header.
+};
+
+// Aggregate stats for one exception type across the application.
+struct ExceptionRetryStats {
+  std::string exception;
+  int caught_in_retry_loops = 0;  // N_E
+  int retried = 0;                // R_E
+  std::vector<CatchSite> sites;
+
+  double ratio() const {
+    return caught_in_retry_loops == 0
+               ? 0.0
+               : static_cast<double>(retried) / caught_in_retry_loops;
+  }
+};
+
+// One reported outlier: an exception whose ratio is near-but-not-at a pole,
+// with the minority sites to review.
+struct IfOutlierReport {
+  std::string exception;
+  int caught_in_retry_loops = 0;
+  int retried = 0;
+  bool mostly_retried = false;          // True: ratio >= high threshold.
+  std::vector<CatchSite> outlier_sites;  // The minority sites.
+
+  double ratio() const {
+    return caught_in_retry_loops == 0
+               ? 0.0
+               : static_cast<double>(retried) / caught_in_retry_loops;
+  }
+};
+
+class IfOutlierAnalysis {
+ public:
+  IfOutlierAnalysis(const mj::Program& program, const mj::ProgramIndex& index,
+                    IfOutlierOptions options = {});
+
+  // Per-exception stats over every catch site inside identified retry loops.
+  std::vector<ExceptionRetryStats> ComputeStats() const;
+
+  // The outlier reports (§4.1 found 9 such cases, 8 true bugs).
+  std::vector<IfOutlierReport> FindOutliers() const;
+
+ private:
+  const mj::Program& program_;
+  const mj::ProgramIndex& index_;
+  IfOutlierOptions options_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_ANALYSIS_IF_OUTLIERS_H_

@@ -1,0 +1,32 @@
+#include "src/analysis/retry_model.h"
+
+#include <sstream>
+
+namespace wasabi {
+
+const char* RetryMechanismName(RetryMechanism mechanism) {
+  switch (mechanism) {
+    case RetryMechanism::kLoop:
+      return "loop";
+    case RetryMechanism::kQueue:
+      return "queue";
+    case RetryMechanism::kStateMachine:
+      return "state-machine";
+  }
+  return "unknown";
+}
+
+std::string RetryLocation::Key() const {
+  std::ostringstream out;
+  out << file << ":" << location.line << " " << coordinator << "->" << retried_method << " "
+      << exception_name;
+  return out.str();
+}
+
+std::string RetryStructure::Key() const {
+  std::ostringstream out;
+  out << file << ":" << location.line << " " << coordinator;
+  return out.str();
+}
+
+}  // namespace wasabi

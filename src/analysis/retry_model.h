@@ -1,0 +1,70 @@
+// Shared vocabulary for retry detection: the paper's retry-location triplet
+// (coordinator method C, retried method M, retry-trigger exception E) and the
+// retry code structures reported in its Figure 4.
+
+#ifndef WASABI_SRC_ANALYSIS_RETRY_MODEL_H_
+#define WASABI_SRC_ANALYSIS_RETRY_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace wasabi {
+
+// How the retry is implemented (§2.5: 55% loops, 25% queue re-enqueueing,
+// 20% state-machine re-transition in the studied bugs).
+enum class RetryMechanism : uint8_t {
+  kLoop,
+  kQueue,
+  kStateMachine,
+};
+
+const char* RetryMechanismName(RetryMechanism mechanism);
+
+// Which technique identified a structure (Figure 4 compares them).
+struct TechniqueSet {
+  bool codeql = false;
+  bool llm = false;
+
+  bool any() const { return codeql || llm; }
+  bool both() const { return codeql && llm; }
+};
+
+// One retry location: the call site of retried method M inside coordinator C,
+// with trigger exception E (§3.1 definitions).
+struct RetryLocation {
+  std::string coordinator;          // Qualified "Class.method".
+  const mj::MethodDecl* coordinator_decl = nullptr;
+  std::string retried_method;       // Qualified if resolved, else the call name.
+  const mj::MethodDecl* retried_decl = nullptr;  // Null when unresolved.
+  std::string exception_name;       // Trigger exception E.
+  const mj::CallExpr* call_site = nullptr;
+  mj::SourceLocation location;      // Of the call site.
+  std::string file;
+  RetryMechanism mechanism = RetryMechanism::kLoop;
+
+  // Stable identity used by plans and logs: "file:line C->M E".
+  std::string Key() const;
+};
+
+// One identified retry code structure (one loop / queue / state-machine
+// retry implementation). Structures own the retry locations found in them.
+struct RetryStructure {
+  std::string file;
+  std::string coordinator;  // Qualified coordinator method name.
+  const mj::MethodDecl* coordinator_decl = nullptr;
+  RetryMechanism mechanism = RetryMechanism::kLoop;
+  const mj::Stmt* anchor = nullptr;  // The loop statement; null for non-loop retry.
+  mj::SourceLocation location;
+  TechniqueSet found_by;
+  bool keyword_evidence = false;  // CodeQL keyword filter hit (loops only).
+  std::vector<RetryLocation> locations;
+
+  // Stable identity: "file:line coordinator".
+  std::string Key() const;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_ANALYSIS_RETRY_MODEL_H_

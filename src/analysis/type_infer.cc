@@ -1,0 +1,158 @@
+#include "src/analysis/type_infer.h"
+
+#include <unordered_set>
+
+namespace wasabi {
+
+using mj::AstKind;
+
+bool IsBuiltinReceiver(std::string_view name) {
+  static const std::unordered_set<std::string_view> kBuiltins = {
+      "Thread", "Log", "Config", "Math", "Assert", "Clock", "System", "TimeUnit", "Timer",
+  };
+  return kBuiltins.count(name) > 0;
+}
+
+bool LocalTypes::IsUsableTypeName(std::string_view name) {
+  if (name.empty() || name == "var" || name == "void") {
+    return false;
+  }
+  static const std::unordered_set<std::string_view> kPrimitives = {
+      "int", "long", "bool", "boolean", "String", "double", "float",
+  };
+  return kPrimitives.count(name) == 0;
+}
+
+LocalTypes::LocalTypes(const mj::MethodDecl& method, const mj::ProgramIndex& index)
+    : method_(method), index_(index) {
+  for (const mj::ParamDecl* param : method.params) {
+    if (IsUsableTypeName(param->type_name)) {
+      var_types_[param->name] = param->type_name;
+    }
+  }
+  if (method.body == nullptr) {
+    return;
+  }
+  // One pre-order pass: record `var x = <expr-with-inferable-type>;`.
+  // Declaration-before-use holds in well-formed code; shadowing across blocks
+  // is resolved last-writer-wins, which is acceptable for best-effort analysis.
+  mj::WalkStmts(
+      method.body,
+      [&](const mj::Stmt& stmt) {
+        if (stmt.kind != AstKind::kVarDecl) {
+          return;
+        }
+        const auto& decl = static_cast<const mj::VarDeclStmt&>(stmt);
+        std::string type = TypeOf(*decl.init);
+        if (!type.empty()) {
+          var_types_[decl.name] = std::move(type);
+        }
+      },
+      [](const mj::Expr&) {});
+}
+
+std::string LocalTypes::FieldTypeIn(std::string_view class_name, std::string_view field) const {
+  const mj::ClassDecl* cls = index_.FindClass(class_name);
+  int depth = 0;
+  while (cls != nullptr && depth++ < 64) {
+    for (const mj::FieldDecl* decl : cls->fields) {
+      if (decl->name == field) {
+        if (IsUsableTypeName(decl->type_name)) {
+          return decl->type_name;
+        }
+        // Untyped field: try the initializer.
+        if (decl->init != nullptr && decl->init->kind == AstKind::kNew) {
+          return static_cast<const mj::NewExpr*>(decl->init)->class_name;
+        }
+        return "";
+      }
+    }
+    cls = cls->base_name.empty() ? nullptr : index_.FindClass(cls->base_name);
+  }
+  return "";
+}
+
+std::string LocalTypes::TypeOf(const mj::Expr& expr) const {
+  switch (expr.kind) {
+    case AstKind::kThis:
+      return method_.owner != nullptr ? method_.owner->name : "";
+    case AstKind::kNew:
+      return static_cast<const mj::NewExpr&>(expr).class_name;
+    case AstKind::kName: {
+      const std::string& name = static_cast<const mj::NameExpr&>(expr).name;
+      auto it = var_types_.find(name);
+      return it == var_types_.end() ? "" : it->second;
+    }
+    case AstKind::kFieldAccess: {
+      const auto& access = static_cast<const mj::FieldAccessExpr&>(expr);
+      std::string base_type = TypeOf(*access.base);
+      if (base_type.empty()) {
+        return "";
+      }
+      return FieldTypeIn(base_type, access.field);
+    }
+    case AstKind::kCall: {
+      const mj::MethodDecl* callee = ResolveCall(static_cast<const mj::CallExpr&>(expr));
+      if (callee != nullptr && IsUsableTypeName(callee->return_type)) {
+        return callee->return_type;
+      }
+      return "";
+    }
+    default:
+      return "";
+  }
+}
+
+const mj::MethodDecl* LocalTypes::ResolveCall(const mj::CallExpr& call) const {
+  const mj::ClassDecl* owner = method_.owner;
+
+  // Implicit this-call: `helper(...)`.
+  if (call.base == nullptr || call.base->kind == AstKind::kThis) {
+    if (owner == nullptr) {
+      return nullptr;
+    }
+    return index_.ResolveMethod(*owner, call.callee);
+  }
+
+  // Name receivers: a local variable first, then a class name (static-style
+  // call), then a runtime builtin (unresolvable by design).
+  if (call.base->kind == AstKind::kName) {
+    const std::string& name = static_cast<const mj::NameExpr*>(call.base)->name;
+    auto it = var_types_.find(name);
+    if (it != var_types_.end()) {
+      const mj::ClassDecl* cls = index_.FindClass(it->second);
+      if (cls != nullptr) {
+        return index_.ResolveMethod(*cls, call.callee);
+      }
+      return nullptr;
+    }
+    if (IsBuiltinReceiver(name)) {
+      return nullptr;
+    }
+    const mj::ClassDecl* cls = index_.FindClass(name);
+    if (cls != nullptr) {
+      return index_.ResolveMethod(*cls, call.callee);
+    }
+  }
+
+  // General receiver expression: infer its type.
+  std::string base_type = TypeOf(*call.base);
+  if (!base_type.empty()) {
+    const mj::ClassDecl* cls = index_.FindClass(base_type);
+    if (cls != nullptr) {
+      const mj::MethodDecl* resolved = index_.ResolveMethod(*cls, call.callee);
+      if (resolved != nullptr) {
+        return resolved;
+      }
+    }
+  }
+
+  // Fall back to a unique simple name across the whole program.
+  std::vector<const mj::MethodDecl*> candidates = index_.MethodsNamed(call.callee);
+  if (candidates.size() == 1) {
+    return candidates[0];
+  }
+  return nullptr;
+}
+
+}  // namespace wasabi

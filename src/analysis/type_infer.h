@@ -1,0 +1,50 @@
+// Best-effort local type inference and call resolution for mj.
+//
+// mj is dynamically checked, but the static analyses need to know which method
+// declaration a call site refers to in order to read its `throws` signature.
+// This mirrors the precision of the paper's CodeQL queries: resolution from
+// declared types, local `new` expressions, and unambiguous method names — no
+// whole-program dataflow.
+
+#ifndef WASABI_SRC_ANALYSIS_TYPE_INFER_H_
+#define WASABI_SRC_ANALYSIS_TYPE_INFER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/lang/ast.h"
+#include "src/lang/sema.h"
+
+namespace wasabi {
+
+// Receiver names that denote runtime builtins rather than program classes
+// (Thread.sleep, Log.info, ...). Calls on these never resolve to user methods.
+bool IsBuiltinReceiver(std::string_view name);
+
+// Infers static types of locals/params/fields within one method.
+class LocalTypes {
+ public:
+  LocalTypes(const mj::MethodDecl& method, const mj::ProgramIndex& index);
+
+  // Returns the inferred class name of `expr`'s value, or "" if unknown.
+  // Pseudo-types like "var", "void", "int" yield "".
+  std::string TypeOf(const mj::Expr& expr) const;
+
+  // Resolves the callee declaration of `call`, or null when unresolvable.
+  // Resolution order: receiver type (this / typed local / field / new), then
+  // class-name receiver (static-style call), then unique simple name.
+  const mj::MethodDecl* ResolveCall(const mj::CallExpr& call) const;
+
+ private:
+  std::string FieldTypeIn(std::string_view class_name, std::string_view field) const;
+  static bool IsUsableTypeName(std::string_view name);
+
+  const mj::MethodDecl& method_;
+  const mj::ProgramIndex& index_;
+  std::unordered_map<std::string, std::string> var_types_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_ANALYSIS_TYPE_INFER_H_

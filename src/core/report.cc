@@ -1,0 +1,76 @@
+#include "src/core/report.h"
+
+#include <unordered_set>
+
+namespace wasabi {
+
+const char* BugTypeName(BugType type) {
+  switch (type) {
+    case BugType::kWhenMissingCap:
+      return "WHEN/missing-cap";
+    case BugType::kWhenMissingDelay:
+      return "WHEN/missing-delay";
+    case BugType::kHow:
+      return "HOW";
+    case BugType::kIfOutlier:
+      return "IF/outlier";
+  }
+  return "unknown";
+}
+
+const char* DetectionTechniqueName(DetectionTechnique technique) {
+  switch (technique) {
+    case DetectionTechnique::kUnitTesting:
+      return "unit-testing";
+    case DetectionTechnique::kLlmStatic:
+      return "llm-static";
+    case DetectionTechnique::kCodeQlStatic:
+      return "codeql-static";
+  }
+  return "unknown";
+}
+
+std::string BugReport::MatchKey() const {
+  return std::string(BugTypeName(type)) + "|" + file + "|" + coordinator;
+}
+
+std::vector<BugReport> DeduplicateBugs(std::vector<BugReport> reports) {
+  std::vector<BugReport> unique;
+  std::unordered_set<std::string> seen;
+  for (BugReport& report : reports) {
+    std::string key = std::string(DetectionTechniqueName(report.technique)) + "|" +
+                      BugTypeName(report.type) + "|" + report.group_key;
+    if (seen.insert(key).second) {
+      unique.push_back(std::move(report));
+    }
+  }
+  return unique;
+}
+
+OverlapSummary ComputeOverlap(const std::vector<BugReport>& unit_bugs,
+                              const std::vector<BugReport>& static_bugs) {
+  std::unordered_set<std::string> unit_keys;
+  for (const BugReport& report : unit_bugs) {
+    unit_keys.insert(report.MatchKey());
+  }
+  std::unordered_set<std::string> static_keys;
+  for (const BugReport& report : static_bugs) {
+    static_keys.insert(report.MatchKey());
+  }
+  OverlapSummary summary;
+  for (const std::string& key : unit_keys) {
+    if (static_keys.count(key) > 0) {
+      ++summary.both;
+    } else {
+      ++summary.unit_only;
+    }
+  }
+  for (const std::string& key : static_keys) {
+    if (unit_keys.count(key) == 0) {
+      ++summary.static_only;
+    }
+  }
+  return summary;
+}
+
+}  // namespace wasabi

@@ -1,0 +1,63 @@
+// Bug-report model shared by both WASABI workflows.
+
+#ifndef WASABI_SRC_CORE_REPORT_H_
+#define WASABI_SRC_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/source.h"
+
+namespace wasabi {
+
+// The bug classes WASABI detects, per the paper's taxonomy (Table 2 / §4.1).
+enum class BugType : uint8_t {
+  kWhenMissingCap,    // WHEN: unbounded retry attempts.
+  kWhenMissingDelay,  // WHEN: no delay between attempts.
+  kHow,               // HOW: broken state/cleanup around retry.
+  kIfOutlier,         // IF: inconsistent retry-or-not policy for an exception.
+};
+
+const char* BugTypeName(BugType type);
+
+enum class DetectionTechnique : uint8_t {
+  kUnitTesting,    // Repurposed unit tests + fault injection (§3.1).
+  kLlmStatic,      // LLM WHEN-bug detection (§3.2.1).
+  kCodeQlStatic,   // Retry-ratio IF-bug detection (§3.2.2).
+};
+
+const char* DetectionTechniqueName(DetectionTechnique technique);
+
+struct BugReport {
+  BugType type = BugType::kWhenMissingCap;
+  DetectionTechnique technique = DetectionTechnique::kUnitTesting;
+  std::string app;          // Application name (corpus id), set by the caller.
+  std::string file;
+  std::string coordinator;  // Qualified method owning the suspect retry.
+  std::string exception;    // IF bugs: the inconsistently-handled exception.
+  std::string detail;
+  std::string group_key;    // Identity for dedup within a technique.
+  mj::SourceLocation location;
+
+  // Cross-technique identity for Figure-3 overlap: two reports are the same
+  // bug when type, file, and coordinator agree.
+  std::string MatchKey() const;
+};
+
+// Deduplicates by (technique, type, group_key), preserving order.
+std::vector<BugReport> DeduplicateBugs(std::vector<BugReport> reports);
+
+// Figure-3 composition: how many bugs only unit testing found, only static
+// checking found, or both found.
+struct OverlapSummary {
+  int unit_only = 0;
+  int static_only = 0;
+  int both = 0;
+};
+
+OverlapSummary ComputeOverlap(const std::vector<BugReport>& unit_bugs,
+                              const std::vector<BugReport>& static_bugs);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_CORE_REPORT_H_

@@ -1,0 +1,25 @@
+// JSON serialization of bug reports, for machine consumption of CLI output
+// (CI integration, dashboards). Hand-rolled emitter — no third-party JSON
+// dependency — with full string escaping.
+
+#ifndef WASABI_SRC_CORE_REPORT_JSON_H_
+#define WASABI_SRC_CORE_REPORT_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+
+namespace wasabi {
+
+// Escapes a string for inclusion inside a JSON string literal (quotes,
+// backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+// Renders bug reports as a JSON array of objects with keys:
+// type, technique, app, file, line, coordinator, exception, detail.
+std::string BugReportsToJson(const std::vector<BugReport>& bugs);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_CORE_REPORT_JSON_H_

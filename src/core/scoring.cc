@@ -1,0 +1,101 @@
+#include "src/core/scoring.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wasabi {
+
+ScoreCell Scorecard::Total(BugType type) const {
+  ScoreCell total;
+  for (const auto& [app, by_type] : cells) {
+    auto it = by_type.find(type);
+    if (it != by_type.end()) {
+      total.true_positives += it->second.true_positives;
+      total.false_positives += it->second.false_positives;
+      total.false_negatives += it->second.false_negatives;
+    }
+  }
+  return total;
+}
+
+ScoreCell Scorecard::TotalAll() const {
+  ScoreCell total;
+  for (const auto& [app, by_type] : cells) {
+    for (const auto& [type, cell] : by_type) {
+      total.true_positives += cell.true_positives;
+      total.false_positives += cell.false_positives;
+      total.false_negatives += cell.false_negatives;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+std::string TruthKey(BugType type, const std::string& file, const std::string& coordinator) {
+  return std::string(BugTypeName(type)) + "|" + file + "|" + coordinator;
+}
+
+}  // namespace
+
+Scorecard ScoreReports(const std::vector<BugReport>& reports,
+                       const std::vector<SeededBug>& truth) {
+  Scorecard scorecard;
+
+  std::unordered_map<std::string, const SeededBug*> truth_by_key;
+  for (const SeededBug& bug : truth) {
+    truth_by_key.emplace(TruthKey(bug.type, bug.file, bug.coordinator), &bug);
+  }
+
+  std::unordered_set<const SeededBug*> matched;
+  std::unordered_set<std::string> counted_fp_keys;
+  for (const BugReport& report : reports) {
+    auto it = truth_by_key.find(TruthKey(report.type, report.file, report.coordinator));
+    if (it != truth_by_key.end()) {
+      if (matched.insert(it->second).second) {
+        scorecard.cells[it->second->app][report.type].true_positives += 1;
+        scorecard.matched_bug_ids.push_back(it->second->id);
+      }
+      continue;  // Further reports of the same bug are duplicates, not FPs.
+    }
+    // Distinct false positives only (a report repeated across techniques or
+    // runs should already be deduped by the caller, but be safe).
+    if (counted_fp_keys.insert(report.MatchKey()).second) {
+      scorecard.cells[report.app][report.type].false_positives += 1;
+      scorecard.false_positive_reports.push_back(report);
+    }
+  }
+
+  for (const SeededBug& bug : truth) {
+    if (matched.count(&bug) == 0) {
+      scorecard.cells[bug.app][bug.type].false_negatives += 1;
+      scorecard.missed_bugs.push_back(bug);
+    }
+  }
+  return scorecard;
+}
+
+std::vector<SeededBug> DetectableBugs(const std::vector<SeededBug>& truth,
+                                      DetectionTechnique technique) {
+  std::vector<SeededBug> filtered;
+  for (const SeededBug& bug : truth) {
+    bool keep = false;
+    switch (technique) {
+      case DetectionTechnique::kUnitTesting:
+        keep = bug.type != BugType::kIfOutlier;
+        break;
+      case DetectionTechnique::kLlmStatic:
+        keep = bug.type == BugType::kWhenMissingCap || bug.type == BugType::kWhenMissingDelay;
+        break;
+      case DetectionTechnique::kCodeQlStatic:
+        keep = bug.type == BugType::kIfOutlier;
+        break;
+    }
+    if (keep) {
+      filtered.push_back(bug);
+    }
+  }
+  return filtered;
+}
+
+}  // namespace wasabi

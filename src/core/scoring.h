@@ -1,0 +1,66 @@
+// Ground-truth scoring of WASABI reports against the corpus manifest.
+//
+// The paper validates reports by manual inspection; the synthetic corpus ships
+// an exact manifest of seeded bugs instead, so true/false positives per
+// application and per bug class (the subscripted cells of Tables 3 and 4) are
+// computed mechanically.
+
+#ifndef WASABI_SRC_CORE_SCORING_H_
+#define WASABI_SRC_CORE_SCORING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+
+namespace wasabi {
+
+// One intentionally seeded bug in a corpus application.
+struct SeededBug {
+  std::string id;           // Stable id, e.g. "HB-CAP-1".
+  std::string app;
+  BugType type = BugType::kWhenMissingCap;
+  std::string file;
+  std::string coordinator;  // Qualified method containing the buggy retry.
+  std::string note;         // Human description / paper-issue analog.
+  bool reachable_from_tests = true;  // Covered by at least one unit test.
+  bool error_code_based = false;     // Out of WASABI's exception-only scope.
+};
+
+// TP/FP/FN counts for one (app, type) cell.
+struct ScoreCell {
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+
+  int reported() const { return true_positives + false_positives; }
+};
+
+struct Scorecard {
+  // Keyed by app name, then bug type.
+  std::map<std::string, std::map<BugType, ScoreCell>> cells;
+  std::vector<std::string> matched_bug_ids;      // Seeded bugs found.
+  std::vector<BugReport> false_positive_reports;
+  std::vector<SeededBug> missed_bugs;            // False negatives.
+
+  ScoreCell Total(BugType type) const;
+  ScoreCell TotalAll() const;
+};
+
+// Matches reports to seeded bugs by (type, file, coordinator). Multiple
+// reports hitting the same seeded bug count as one TP. Seeded bugs whose type
+// is not detectable by the given technique universe should be filtered by the
+// caller before scoring (e.g. don't charge unit testing with IF bugs).
+Scorecard ScoreReports(const std::vector<BugReport>& reports,
+                       const std::vector<SeededBug>& truth);
+
+// Filters a manifest down to the bug classes a technique can possibly detect:
+// unit testing covers WHEN + HOW (not IF); the LLM static checker covers WHEN
+// only; the retry-ratio checker covers IF only.
+std::vector<SeededBug> DetectableBugs(const std::vector<SeededBug>& truth,
+                                      DetectionTechnique technique);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_CORE_SCORING_H_

@@ -1,0 +1,324 @@
+#include "src/core/wasabi.h"
+
+#include <chrono>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/inject/injector.h"
+#include "src/testing/config_restore.h"
+
+namespace wasabi {
+
+namespace {
+
+// Application-vs-test split by path convention: anything under a test/
+// directory is harness code the analyses must not treat as application source.
+bool IsTestPath(const std::string& file) {
+  return file.find("/test/") != std::string::npos || file.rfind("test/", 0) == 0;
+}
+
+}  // namespace
+
+Wasabi::Wasabi(const mj::Program& program, const mj::ProgramIndex& index, WasabiOptions options)
+    : program_(program), index_(index), options_(std::move(options)) {}
+
+std::vector<BugReport> CollateStaticWithDynamic(const std::vector<BugReport>& static_bugs,
+                                                const DynamicResult& dynamic) {
+  // Coordinators whose locations were actually exercised by some unit test.
+  std::unordered_set<size_t> covered_indices;
+  for (const auto& [test, hits] : dynamic.coverage) {
+    covered_indices.insert(hits.begin(), hits.end());
+  }
+  std::unordered_set<std::string> exercised_coordinators;
+  for (size_t index : covered_indices) {
+    if (index < dynamic.locations.size()) {
+      exercised_coordinators.insert(dynamic.locations[index].coordinator);
+    }
+  }
+  std::unordered_set<std::string> dynamic_keys;
+  for (const BugReport& bug : dynamic.bugs) {
+    dynamic_keys.insert(bug.MatchKey());
+  }
+
+  std::vector<BugReport> kept;
+  for (const BugReport& bug : static_bugs) {
+    bool exercised = exercised_coordinators.count(bug.coordinator) > 0;
+    bool confirmed = dynamic_keys.count(bug.MatchKey()) > 0;
+    if (exercised && !confirmed) {
+      continue;  // Injection ran against this retry and disagreed.
+    }
+    kept.push_back(bug);
+  }
+  return kept;
+}
+
+IdentificationResult Wasabi::IdentifyRetryStructures() {
+  IdentificationResult result;
+  RetryFinder finder(program_, index_, options_.finder);
+
+  // Technique 1: CodeQL-style loop analysis.
+  std::vector<RetryStructure> structures = finder.FindLoopStructures();
+  result.candidate_loops_without_keyword_filter = finder.FindCandidateLoops().size();
+
+  // Index CodeQL structures by (file, coordinator) for merging.
+  std::unordered_map<std::string, std::vector<size_t>> by_coordinator;
+  for (size_t i = 0; i < structures.size(); ++i) {
+    by_coordinator[structures[i].file + "|" + structures[i].coordinator].push_back(i);
+  }
+
+  // Technique 2: SimLLM, one file at a time. Only application source is fed
+  // to the model (the paper analyzes the code base, not the test harness).
+  SimLlm llm(options_.llm);
+  for (const auto& unit : program_.units()) {
+    if (IsTestPath(unit->file().name())) {
+      continue;
+    }
+    LlmFileFindings findings = llm.AnalyzeFile(*unit);
+    if (findings.truncated_by_attention) {
+      ++result.files_truncated_by_llm;
+    }
+    for (const LlmCoordinator& coordinator : findings.coordinators) {
+      std::string key = findings.file + "|" + coordinator.qualified_name;
+      auto it = by_coordinator.find(key);
+      if (it != by_coordinator.end()) {
+        for (size_t index : it->second) {
+          structures[index].found_by.llm = true;
+        }
+        // Both techniques emit triplets (§3.1.1); union the LLM's broader
+        // "every invoked method" triplets into the structure so exceptions the
+        // loop analysis cannot prove retriable still get injected (the oracles
+        // absorb the over-approximation).
+        if (coordinator.method != nullptr && !it->second.empty()) {
+          RetryStructure& target = structures[it->second.front()];
+          std::unordered_set<std::string> known;
+          for (const RetryLocation& location : target.locations) {
+            known.insert(location.Key());
+          }
+          for (RetryLocation& location :
+               finder.TripletsForCoordinator(*coordinator.method, target.mechanism)) {
+            if (known.insert(location.Key()).second) {
+              target.locations.push_back(std::move(location));
+            }
+          }
+        }
+        continue;
+      }
+      // New structure only the LLM sees (non-loop retry, or loops the keyword
+      // filter missed). The follow-up CodeQL query provides the triplets.
+      RetryStructure structure;
+      structure.file = findings.file;
+      structure.coordinator = coordinator.qualified_name;
+      structure.coordinator_decl = coordinator.method;
+      structure.mechanism = coordinator.mechanism;
+      structure.anchor = nullptr;
+      structure.location = coordinator.method != nullptr ? coordinator.method->location
+                                                         : mj::SourceLocation{};
+      structure.found_by.llm = true;
+      if (coordinator.method != nullptr) {
+        structure.locations =
+            finder.TripletsForCoordinator(*coordinator.method, coordinator.mechanism);
+      }
+      by_coordinator[key].push_back(structures.size());
+      structures.push_back(std::move(structure));
+    }
+  }
+
+  result.structures = std::move(structures);
+  result.llm_usage = llm.usage();
+  return result;
+}
+
+std::vector<BugReport> Wasabi::ToBugReports(const std::vector<OracleReport>& reports) const {
+  std::vector<BugReport> bugs;
+  bugs.reserve(reports.size());
+  for (const OracleReport& report : reports) {
+    BugReport bug;
+    switch (report.kind) {
+      case OracleKind::kMissingCap:
+        bug.type = BugType::kWhenMissingCap;
+        break;
+      case OracleKind::kMissingDelay:
+        bug.type = BugType::kWhenMissingDelay;
+        break;
+      case OracleKind::kDifferentException:
+        bug.type = BugType::kHow;
+        break;
+    }
+    bug.technique = DetectionTechnique::kUnitTesting;
+    bug.app = options_.app_name;
+    bug.file = report.location.file;
+    bug.coordinator = report.location.coordinator;
+    bug.detail = report.detail + " [test " + report.test + "]";
+    bug.group_key = report.group_key;
+    bug.location = report.location.location;
+    bugs.push_back(std::move(bug));
+  }
+  return bugs;
+}
+
+DynamicResult Wasabi::RunDynamicWorkflow() {
+  using Clock = std::chrono::steady_clock;
+  auto seconds_since = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  DynamicResult result;
+  Clock::time_point phase_start = Clock::now();
+  IdentificationResult identification = IdentifyRetryStructures();
+  result.identification_seconds = seconds_since(phase_start);
+  result.structures_identified = identification.structures.size();
+
+  // Collect the injectable retry locations (deduplicated across structures)
+  // and remember which structure each belongs to.
+  std::unordered_set<std::string> seen_locations;
+  std::vector<size_t> location_to_structure;
+  for (size_t s = 0; s < identification.structures.size(); ++s) {
+    for (const RetryLocation& location : identification.structures[s].locations) {
+      if (seen_locations.insert(location.Key()).second) {
+        result.locations.push_back(location);
+        location_to_structure.push_back(s);
+      }
+    }
+  }
+
+  // Test preparation (§3.1.4): defaults + restoration of restricted configs.
+  RunnerOptions runner_options;
+  runner_options.interp = options_.interp;
+  runner_options.config_overrides = options_.default_configs;
+  if (options_.restore_configs) {
+    ConfigRestorationResult restoration = ScanTestsForRetryRestrictions(program_);
+    runner_options.frozen_keys = restoration.keys_to_freeze;
+    result.config_restrictions_restored = restoration.restrictions.size();
+  }
+  TestRunner runner(program_, index_, runner_options);
+
+  std::vector<TestCase> tests = runner.DiscoverTests();
+  result.total_tests = tests.size();
+
+  // Coverage discovery run (one run of every test).
+  phase_start = Clock::now();
+  result.coverage = MapCoverage(runner, tests, result.locations);
+  result.coverage_seconds = seconds_since(phase_start);
+  result.tests_covering_retry = result.coverage.size();
+
+  // Structures covered: at least one of their locations fired in some test.
+  std::unordered_set<size_t> covered_locations;
+  for (const auto& [test, hit_indices] : result.coverage) {
+    covered_locations.insert(hit_indices.begin(), hit_indices.end());
+  }
+  std::unordered_set<size_t> covered_structures;
+  for (size_t index : covered_locations) {
+    covered_structures.insert(location_to_structure[index]);
+  }
+  result.structures_covered = covered_structures.size();
+
+  // Plan and execute injections; two K settings per planned pair (§3.1.2).
+  std::vector<PlanEntry> plan = options_.use_planner
+                                    ? PlanInjections(result.coverage, result.locations.size())
+                                    : NaivePlan(result.coverage);
+  result.naive_runs = NaivePlan(result.coverage).size() * 2;
+  result.planned_runs = plan.size() * 2;
+
+  phase_start = Clock::now();
+  std::vector<OracleReport> all_reports;
+  for (const PlanEntry& entry : plan) {
+    const RetryLocation& location = result.locations[entry.location_index];
+    for (int k : {kInjectOnce, kInjectRepeatedly}) {
+      FaultInjector injector({InjectionPoint{location.retried_method, location.coordinator,
+                                             location.exception_name, k}});
+      TestRunRecord record = runner.RunTest(TestCase{entry.test}, {&injector});
+      if (options_.use_oracles) {
+        std::vector<OracleReport> reports = EvaluateOracles(record, location, options_.oracles);
+        all_reports.insert(all_reports.end(), reports.begin(), reports.end());
+      } else {
+        // Oracle ablation (§4.4): every test failure is naively reported.
+        if (record.outcome.status != TestStatus::kPassed) {
+          OracleReport report;
+          report.kind = OracleKind::kDifferentException;
+          report.test = entry.test;
+          report.location = location;
+          report.detail = "test failed: " + std::string(TestStatusName(record.outcome.status)) +
+                          " " + record.outcome.exception_class;
+          report.group_key = "naive|" + location.Key() + "|" + record.outcome.exception_class;
+          all_reports.push_back(std::move(report));
+        }
+      }
+    }
+  }
+
+  result.injection_seconds = seconds_since(phase_start);
+
+  result.raw_reports = all_reports;
+  result.bugs = DeduplicateBugs(ToBugReports(DeduplicateReports(std::move(all_reports))));
+  return result;
+}
+
+StaticResult Wasabi::RunStaticWorkflow() {
+  StaticResult result;
+
+  // --- WHEN bugs via the LLM prompts (§3.2.1) ---------------------------------
+  SimLlm llm(options_.llm);
+  for (const auto& unit : program_.units()) {
+    if (IsTestPath(unit->file().name())) {
+      continue;
+    }
+    LlmFileFindings findings = llm.AnalyzeFile(*unit);
+    for (const LlmCoordinator& coordinator : findings.coordinators) {
+      LlmWhenJudgment judgment = llm.JudgeWhen(*unit, coordinator);
+      if (judgment.poll_or_spin) {
+        continue;  // Q4 exclusion.
+      }
+      auto make_bug = [&](BugType type, const std::string& detail) {
+        BugReport bug;
+        bug.type = type;
+        bug.technique = DetectionTechnique::kLlmStatic;
+        bug.app = options_.app_name;
+        bug.file = findings.file;
+        bug.coordinator = coordinator.qualified_name;
+        bug.detail = detail;
+        bug.group_key = std::string(BugTypeName(type)) + "|" + findings.file + "|" +
+                        coordinator.qualified_name;
+        bug.location = coordinator.method != nullptr ? coordinator.method->location
+                                                     : mj::SourceLocation{};
+        result.when_bugs.push_back(std::move(bug));
+      };
+      if (!judgment.has_cap) {
+        make_bug(BugType::kWhenMissingCap,
+                 "LLM: no cap or time limit on retry (Q3 answered No)");
+      }
+      if (!judgment.sleeps_before_retry) {
+        make_bug(BugType::kWhenMissingDelay,
+                 "LLM: no sleep before retrying (Q2 answered No)");
+      }
+    }
+  }
+  result.when_bugs = DeduplicateBugs(std::move(result.when_bugs));
+  result.llm_usage = llm.usage();
+
+  // --- IF bugs via retry ratios (§3.2.2) ----------------------------------------
+  IfOutlierAnalysis analysis(program_, index_, options_.if_outliers);
+  result.if_outliers = analysis.FindOutliers();
+  for (const IfOutlierReport& outlier : result.if_outliers) {
+    for (const CatchSite& site : outlier.outlier_sites) {
+      BugReport bug;
+      bug.type = BugType::kIfOutlier;
+      bug.technique = DetectionTechnique::kCodeQlStatic;
+      bug.app = options_.app_name;
+      bug.file = site.file;
+      bug.coordinator = site.coordinator;
+      bug.exception = outlier.exception;
+      bug.detail = outlier.exception + " retried in " + std::to_string(outlier.retried) + "/" +
+                   std::to_string(outlier.caught_in_retry_loops) +
+                   " retry loops; this site is the outlier (" +
+                   (site.retried ? "retried" : "not retried") + ")";
+      bug.group_key = "if|" + outlier.exception + "|" + site.file + "|" + site.coordinator;
+      bug.location = site.location;
+      result.if_bugs.push_back(std::move(bug));
+    }
+  }
+  result.if_bugs = DeduplicateBugs(std::move(result.if_bugs));
+  return result;
+}
+
+}  // namespace wasabi

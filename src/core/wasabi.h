@@ -1,0 +1,108 @@
+// The WASABI facade: ties together retry identification (CodeQL-style finder +
+// SimLLM), the dynamic repurposed-unit-testing workflow (coverage → plan →
+// inject → oracles), and the static workflows (LLM WHEN detection, retry-ratio
+// IF detection).
+//
+// One Wasabi instance analyzes one application (one mj::Program). All results
+// are deterministic for a fixed program + options.
+
+#ifndef WASABI_SRC_CORE_WASABI_H_
+#define WASABI_SRC_CORE_WASABI_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/if_outliers.h"
+#include "src/analysis/retry_finder.h"
+#include "src/analysis/retry_model.h"
+#include "src/core/report.h"
+#include "src/llm/sim_llm.h"
+#include "src/testing/coverage.h"
+#include "src/testing/oracles.h"
+#include "src/testing/runner.h"
+
+namespace wasabi {
+
+struct WasabiOptions {
+  std::string app_name;  // Stamped on every report.
+  RetryFinderOptions finder;
+  SimLlmConfig llm;
+  OracleOptions oracles;
+  IfOutlierOptions if_outliers;
+  InterpOptions interp;
+  // The application's documented default configuration, applied to every test
+  // run (used together with config restoration, §3.1.4).
+  std::vector<std::pair<std::string, Value>> default_configs;
+  bool use_planner = true;       // Off reproduces Table 6 "w/o planning".
+  bool use_oracles = true;       // Off reproduces the §4.4 oracle ablation.
+  bool restore_configs = true;
+};
+
+// Merged output of both identification techniques (Figure 4).
+struct IdentificationResult {
+  std::vector<RetryStructure> structures;  // With found_by flags set.
+  LlmUsage llm_usage;
+  size_t candidate_loops_without_keyword_filter = 0;  // §4.4 ablation input.
+  size_t files_truncated_by_llm = 0;                  // Large-file misses.
+};
+
+// Output of the dynamic workflow (Tables 3, 5, 6).
+struct DynamicResult {
+  std::vector<BugReport> bugs;            // Deduplicated.
+  std::vector<OracleReport> raw_reports;  // Every oracle firing, pre-dedup.
+  std::vector<RetryLocation> locations;   // All injectable retry locations.
+  CoverageMap coverage;
+  size_t total_tests = 0;
+  size_t tests_covering_retry = 0;
+  size_t structures_identified = 0;
+  size_t structures_covered = 0;   // Structures with >= 1 covered location.
+  size_t planned_runs = 0;         // Injected runs executed (with planning).
+  size_t naive_runs = 0;           // Runs a plan-less WASABI would execute.
+  size_t config_restrictions_restored = 0;
+  // Wall-clock phase breakdown (§4.3: test execution dominates; the coverage
+  // discovery pass alone is a significant share; static analysis is <1%).
+  double identification_seconds = 0.0;
+  double coverage_seconds = 0.0;
+  double injection_seconds = 0.0;
+};
+
+// Output of the static workflow (Table 4, §4.1 IF bugs).
+struct StaticResult {
+  std::vector<BugReport> when_bugs;           // From SimLLM Q2/Q3.
+  std::vector<BugReport> if_bugs;             // From retry-ratio outliers.
+  std::vector<IfOutlierReport> if_outliers;   // Raw outlier data.
+  LlmUsage llm_usage;
+};
+
+// §4.5 mitigation: collates static WHEN reports with dynamic-testing results.
+// A static report against a coordinator whose retry locations WERE exercised
+// by fault injection — without the dynamic workflow confirming the same bug —
+// is dropped: the injected runs are direct evidence against it. Reports on
+// coordinators unit testing never reached are kept (static checking's whole
+// point is covering untested code).
+std::vector<BugReport> CollateStaticWithDynamic(const std::vector<BugReport>& static_bugs,
+                                                const DynamicResult& dynamic);
+
+class Wasabi {
+ public:
+  Wasabi(const mj::Program& program, const mj::ProgramIndex& index, WasabiOptions options = {});
+
+  IdentificationResult IdentifyRetryStructures();
+  DynamicResult RunDynamicWorkflow();
+  StaticResult RunStaticWorkflow();
+
+  const WasabiOptions& options() const { return options_; }
+
+ private:
+  std::vector<BugReport> ToBugReports(const std::vector<OracleReport>& reports) const;
+
+  const mj::Program& program_;
+  const mj::ProgramIndex& index_;
+  WasabiOptions options_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_CORE_WASABI_H_

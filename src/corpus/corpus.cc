@@ -1,0 +1,283 @@
+#include "src/corpus/corpus.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/corpus/generator.h"
+#include "src/lang/parser.h"
+
+namespace wasabi {
+
+namespace {
+
+struct AppDescriptor {
+  const char* name;
+  const char* display_name;
+  const char* short_code;
+};
+
+const AppDescriptor kApps[] = {
+    {"hacommon", "Hadoop-Common", "HA"},
+    {"hdfs", "HDFS", "HD"},
+    {"mapred", "MapReduce", "MA"},
+    {"yarn", "Yarn", "YA"},
+    {"hbase", "HBase", "HB"},
+    {"hive", "Hive", "HI"},
+    {"cassandra", "Cassandra", "CA"},
+    {"elastic", "ElasticSearch", "EL"},
+};
+
+// Per-application module mixes. Sizes follow the paper's relative scale
+// (Table 5): HBase largest, MapReduce/Cassandra smallest; Hive/ElasticSearch
+// rich in error-code retry; Yarn's seeded WHEN bugs mostly lack test coverage
+// (its unit-testing column in Table 3 is a lone false positive).
+GeneratorSpec SpecFor(const std::string& name) {
+  GeneratorSpec spec;
+  spec.app = name;
+  ModuleCounts& c = spec.counts;
+
+  if (name == "hacommon") {
+    spec.seed = 11;
+    c.ok_loops = 4;
+    c.large_file_ok_loops = 1;
+    c.ok_state_machines = 1;
+    c.nocap_loops = 1;
+    c.nocap_loops_untested = 1;
+    c.nodelay_loops = 1;
+    c.benign_nodelay_loops = 1;
+    c.crossfile_delay_loops = 1;
+    c.harness_cap_fp_loops = 1;
+    c.ok_queues = 2;
+    c.how_null_deref = 1;
+    c.iteration_loops_fp_bait = 1;
+    c.iteration_loops_clean = 2;
+    c.poll_loops = 1;
+    c.policy_files = 2;
+    c.error_code_ok_loops = 1;
+    c.error_code_nodelay_loops = 1;
+    c.codeql_fp_lock_loops = 1;
+    c.if_exception = "KeeperException";
+    c.if_retried_sites = 5;
+    c.if_not_retried_sites = 1;
+    c.background_daemons = 5;
+    c.unrelated_util_files = 6;
+  } else if (name == "hdfs") {
+    spec.seed = 22;
+    c.ok_loops = 4;
+    c.nocap_loops = 1;
+    c.negative_config_cap_loops = 1;  // HDFS-15439 analog.
+    c.nodelay_loops = 2;
+    c.nodelay_loops_untested = 1;
+    c.large_file_nodelay = 1;
+    c.benign_nodelay_loops = 1;
+    c.crossfile_delay_loops = 1;
+    c.harness_cap_fp_loops = 1;
+    c.ok_queues = 2;
+    c.ok_state_machines = 1;
+    c.how_null_deref = 1;  // createBlockReader analog.
+    c.how_partial_state = 1;
+    c.wrapped_exception_loops = 1;
+    c.iteration_loops_clean = 2;
+    c.poll_loops = 1;
+    c.policy_files = 1;
+    c.if_exception = "LeaseExpiredException";
+    c.if_retried_sites = 4;
+    c.if_not_retried_sites = 1;
+    c.background_daemons = 5;
+    c.unrelated_util_files = 8;
+  } else if (name == "mapred") {
+    spec.seed = 33;
+    c.ok_loops = 2;
+    c.nocap_loops_untested = 1;
+    c.nodelay_loops = 2;
+    c.benign_nodelay_loops = 1;
+    c.ok_queues = 2;
+    c.ok_state_machines = 1;
+    c.how_shared_map = 1;
+    c.error_code_nodelay_loops = 1;
+    c.iteration_loops_clean = 1;
+    c.policy_files = 1;
+    c.background_daemons = 3;
+    c.unrelated_util_files = 5;
+  } else if (name == "yarn") {
+    spec.seed = 44;
+    c.ok_loops = 2;
+    c.nocap_loops_untested = 1;
+    c.nodelay_loops_untested = 1;
+    c.halved_cap_loops = 1;  // YARN-8362 analog, expected false negative.
+    c.harness_cap_fp_loops = 1;
+    c.ok_queues = 1;
+    c.ok_state_machines = 2;
+    c.large_file_ok_loops = 1;
+    c.iteration_loops_clean = 2;
+    c.poll_loops = 1;
+    c.policy_files = 1;
+    c.background_daemons = 4;
+    c.unrelated_util_files = 6;
+  } else if (name == "hbase") {
+    spec.seed = 55;
+    c.ok_loops = 8;
+    c.nocap_loops = 2;
+    c.nocap_loops_untested = 2;
+    c.nodelay_loops = 2;
+    c.nodelay_loops_untested = 1;
+    c.nodelay_state_machines = 1;  // HBASE-20492 analog.
+    c.ok_state_machines = 2;
+    c.large_file_nodelay = 1;
+    c.ok_queues = 3;
+    c.bug_queues = 1;
+    c.how_null_deref = 1;
+    c.how_partial_state = 1;  // HBASE-20616 analog.
+    c.wrapped_exception_loops = 1;
+    c.how_shared_map = 1;
+    c.benign_nodelay_loops = 1;
+    c.crossfile_delay_loops = 1;
+    c.harness_cap_fp_loops = 1;
+    c.error_code_nodelay_loops = 1;
+    c.iteration_loops_fp_bait = 2;
+    c.iteration_loops_clean = 3;
+    c.poll_loops = 1;
+    c.policy_files = 2;
+    c.codeql_fp_lock_loops = 1;
+    c.codeql_fp_unique_string_loops = 1;
+    c.if_exception = "KeeperConnectionLossException";
+    c.if_retried_sites = 10;
+    c.if_not_retried_sites = 2;
+    c.background_daemons = 8;
+    c.unrelated_util_files = 12;
+  } else if (name == "hive") {
+    spec.seed = 66;
+    c.ok_loops = 2;
+    c.nocap_loops = 1;
+    c.nodelay_loops = 1;
+    c.nodelay_loops_untested = 1;
+    c.benign_nodelay_loops = 1;
+    c.bug_queues = 1;  // HIVE-23894 analog.
+    c.ok_queues = 1;
+    c.ok_state_machines = 1;
+    c.large_file_ok_loops = 1;
+    c.wrapped_exception_loops = 1;
+    c.error_code_ok_loops = 2;
+    c.error_code_nodelay_loops = 2;
+    c.crossfile_delay_loops = 1;
+    c.iteration_loops_fp_bait = 1;
+    c.iteration_loops_clean = 2;
+    c.poll_loops = 1;
+    c.policy_files = 2;
+    c.codeql_fp_unique_string_loops = 1;
+    c.if_exception = "TTransportException";
+    c.if_retried_sites = 4;
+    c.if_not_retried_sites = 1;
+    c.background_daemons = 5;
+    c.unrelated_util_files = 7;
+  } else if (name == "cassandra") {
+    spec.seed = 77;
+    c.ok_loops = 2;
+    c.nocap_loops = 1;
+    c.nocap_loops_untested = 1;
+    c.nodelay_loops = 1;
+    c.ok_queues = 2;
+    c.ok_state_machines = 1;
+    c.error_code_nodelay_loops = 1;
+    c.iteration_loops_clean = 2;
+    c.poll_loops = 1;
+    c.policy_files = 1;
+    c.background_daemons = 3;
+    c.unrelated_util_files = 5;
+  } else if (name == "elastic") {
+    spec.seed = 88;
+    c.ok_loops = 2;
+    c.nocap_loops_untested = 1;
+    c.nodelay_loops_untested = 1;
+    c.bug_queues = 1;  // ElasticSearch-53687 analog (endless cancel retry).
+    c.codeql_fp_param_parsers = 1;  // The paper's retryOnConflict example IS ES.
+    c.ok_queues = 1;
+    c.ok_state_machines = 1;
+    c.wrapped_exception_loops = 1;
+    c.large_file_nodelay = 1;
+    c.benign_nodelay_loops = 1;
+    c.crossfile_delay_loops = 2;
+    c.error_code_ok_loops = 2;
+    c.error_code_nodelay_loops = 2;
+    c.iteration_loops_fp_bait = 2;
+    c.iteration_loops_clean = 2;
+    c.poll_loops = 2;
+    c.policy_files = 2;
+    c.background_daemons = 5;
+    c.unrelated_util_files = 6;
+  } else {
+    std::fprintf(stderr, "unknown corpus app '%s'\n", name.c_str());
+    std::abort();
+  }
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<std::string>& CorpusAppNames() {
+  static const std::vector<std::string>* kNames = [] {
+    auto* names = new std::vector<std::string>();
+    for (const AppDescriptor& app : kApps) {
+      names->push_back(app.name);
+    }
+    return names;
+  }();
+  return *kNames;
+}
+
+CorpusApp BuildCorpusApp(const std::string& name) {
+  GeneratorSpec spec = SpecFor(name);
+  for (const AppDescriptor& descriptor : kApps) {
+    if (name == descriptor.name) {
+      spec.display_name = descriptor.display_name;
+    }
+  }
+  GeneratedApp generated = GenerateApp(spec);
+
+  CorpusApp app;
+  app.name = generated.name;
+  app.display_name = generated.display_name;
+  for (const AppDescriptor& descriptor : kApps) {
+    if (name == descriptor.name) {
+      app.short_code = descriptor.short_code;
+    }
+  }
+  app.bugs = generated.bugs;
+  app.seeded_retry_structures = generated.seeded_retry_structures;
+  app.true_retry_coordinators = generated.true_retry_coordinators;
+
+  mj::DiagnosticEngine diag;
+  for (auto& [file, source] : generated.files) {
+    app.source_files += 1;
+    app.source_bytes += source.size();
+    app.program.AddUnit(mj::ParseSource(file, std::move(source), diag));
+  }
+  if (diag.has_errors()) {
+    std::fprintf(stderr, "corpus app '%s' failed to parse:\n%s", name.c_str(),
+                 diag.FormatAll(nullptr).c_str());
+    std::abort();
+  }
+  app.index = std::make_unique<mj::ProgramIndex>(app.program, &diag);
+  if (diag.has_errors()) {
+    std::fprintf(stderr, "corpus app '%s' failed to index:\n%s", name.c_str(),
+                 diag.FormatAll(nullptr).c_str());
+    std::abort();
+  }
+
+  for (const auto& [key, value] : generated.default_int_configs) {
+    app.default_configs.emplace_back(key, Value{value});
+  }
+  return app;
+}
+
+std::vector<CorpusApp> BuildFullCorpus() {
+  std::vector<CorpusApp> corpus;
+  corpus.reserve(CorpusAppNames().size());
+  for (const std::string& name : CorpusAppNames()) {
+    corpus.push_back(BuildCorpusApp(name));
+  }
+  return corpus;
+}
+
+}  // namespace wasabi

@@ -1,0 +1,49 @@
+// The evaluation corpus: eight synthetic applications standing in for the
+// systems the paper evaluates on (Hadoop-Common, HDFS, MapReduce, Yarn, HBase,
+// Hive, Cassandra, ElasticSearch). Each application is generated
+// deterministically from a per-app spec (see generator.h) and ships with an
+// exact ground-truth manifest of seeded retry bugs.
+
+#ifndef WASABI_SRC_CORPUS_CORPUS_H_
+#define WASABI_SRC_CORPUS_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/scoring.h"
+#include "src/interp/value.h"
+#include "src/lang/sema.h"
+
+namespace wasabi {
+
+struct CorpusApp {
+  std::string name;          // "hbase"
+  std::string display_name;  // "HBase"
+  std::string short_code;    // "HB" (the paper's column heading)
+  mj::Program program;
+  std::unique_ptr<mj::ProgramIndex> index;
+  std::vector<SeededBug> bugs;
+  std::vector<std::pair<std::string, Value>> default_configs;
+  int seeded_retry_structures = 0;
+  // Structure-level ground truth: qualified methods that genuinely retry.
+  std::vector<std::string> true_retry_coordinators;
+  size_t source_files = 0;
+  size_t source_bytes = 0;
+};
+
+// The eight application ids in the paper's column order:
+// hacommon, hdfs, mapred, yarn, hbase, hive, cassandra, elastic.
+const std::vector<std::string>& CorpusAppNames();
+
+// Builds one application by id. Aborts (assert) on unknown id or if the
+// generated source fails to parse — corpus generation is covered by tests.
+CorpusApp BuildCorpusApp(const std::string& name);
+
+// Builds all eight applications.
+std::vector<CorpusApp> BuildFullCorpus();
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_CORPUS_CORPUS_H_

@@ -1,0 +1,1583 @@
+#include "src/corpus/generator.h"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+namespace wasabi {
+
+namespace {
+
+// Deterministic LCG so corpus generation is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 2654435769ULL + 1) {}
+
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 11;
+  }
+
+  int Int(int lo, int hi) {  // Inclusive bounds.
+    return lo + static_cast<int>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+const char* kPrefixes[] = {
+    "Block",   "Region",  "Segment",  "Shard",     "Journal", "Lease",  "Replica",
+    "Snapshot", "Compaction", "Partition", "Topic", "Index",  "Bucket", "Ledger",
+    "Chunk",   "Token",   "Quota",    "Cache",     "Meta",    "Gossip", "Manifest",
+    "Catalog", "Cursor",  "Epoch",    "Heartbeat", "Bundle",  "Commit", "Offset",
+};
+
+const char* kTriggerExceptions[] = {
+    "ConnectException",       "SocketException",        "SocketTimeoutException",
+    "TimeoutException",       "RemoteException",        "ServiceUnavailableException",
+    "LeaseExpiredException",  "KeeperConnectionLossException",
+};
+
+std::string Capitalize(std::string text) {
+  if (!text.empty()) {
+    text[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(text[0])));
+  }
+  return text;
+}
+
+std::string ToLower(std::string text) {
+  for (char& c : text) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return text;
+}
+
+// Builds one application from its spec.
+class AppBuilder {
+ public:
+  explicit AppBuilder(const GeneratorSpec& spec) : spec_(spec), rng_(spec.seed) {}
+
+  GeneratedApp Build();
+
+ private:
+  // --- Infrastructure -------------------------------------------------------
+  std::string FreshName(const std::string& suffix) {
+    for (int tries = 0; tries < 1000; ++tries) {
+      std::string name = std::string(kPrefixes[rng_.Int(0, 27)]) + suffix;
+      if (used_names_.insert(name).second) {
+        return name;
+      }
+    }
+    // Pool exhausted: disambiguate numerically.
+    std::string name = "Extra" + suffix + std::to_string(serial_++);
+    used_names_.insert(name);
+    return name;
+  }
+
+  std::string PickException() { return kTriggerExceptions[rng_.Int(0, 7)]; }
+
+  void AddFile(const std::string& cls, std::string source, bool test_dir = false) {
+    std::string path = spec_.app + "/" + (test_dir ? "test/" : "") + cls + ".mj";
+    app_.files.emplace_back(std::move(path), std::move(source));
+  }
+
+  void AddBug(BugType type, const std::string& cls, const std::string& method,
+              const std::string& note, bool tested) {
+    SeededBug bug;
+    bug.id = spec_.app + "-" + std::to_string(app_.bugs.size() + 1);
+    bug.app = spec_.app;
+    bug.type = type;
+    bug.file = spec_.app + "/" + cls + ".mj";
+    bug.coordinator = cls + "." + method;
+    bug.note = note;
+    bug.reachable_from_tests = tested;
+    app_.bugs.push_back(std::move(bug));
+  }
+
+  // Records a genuine retry coordinator for the structure-level ground truth
+  // (the §4.2 identification-accuracy evaluation scores against this).
+  void RegisterRetry(const std::string& cls, const std::string& method) {
+    app_.true_retry_coordinators.push_back(cls + "." + method);
+    app_.seeded_retry_structures += 1;
+  }
+
+  std::string RpcClientClass() const { return Capitalize(spec_.app) + "RpcClient"; }
+
+  // The preamble inserted into roughly every other test: touches the shared
+  // RPC client's retry locations so they are covered redundantly (Table 6).
+  std::string MaybeTestPreamble() {
+    ++test_counter_;
+    std::string preamble;
+    if (spec_.shared_rpc_client && test_counter_ % 2 == 0) {
+      preamble += "    var rpc = new " + RpcClientClass() + "();\n";
+      preamble += "    rpc.ping();\n";
+      preamble += "    rpc.lookup(\"meta\");\n";
+    }
+    if (test_counter_ % 6 == 0) {
+      // A developer-restricted retry config (§3.1.4 restoration target).
+      preamble += "    Config.set(\"" + spec_.app + ".rpc.retry.max\", 1);\n";
+    }
+    return preamble;
+  }
+
+  void EmitTest(const std::string& cls, const std::string& body_lines) {
+    std::ostringstream out;
+    out << "// Unit tests for " << cls << ".\n";
+    out << "class " << cls << "Test {\n";
+    out << body_lines;
+    out << "}\n";
+    AddFile(cls + "Test", out.str(), /*test_dir=*/true);
+  }
+
+  // --- Module templates -------------------------------------------------------
+  void EmitSharedRpcClient();
+  void EmitOkLoop(bool large_file);
+  void EmitNoCapLoop(bool tested);
+  void EmitNegativeConfigCapLoop();
+  void EmitNoDelayLoop(bool tested, bool large_file);
+  void EmitBenignNoDelayLoop();
+  void EmitWrappedExceptionLoop();
+  void EmitCrossFileDelayLoop();
+  void EmitHarnessCapFpLoop();
+  void EmitOkQueue();
+  void EmitBugQueue();
+  void EmitStateMachine(bool with_delay);
+  void EmitHowNullDeref();
+  void EmitHowPartialState();
+  void EmitHowSharedMap();
+  void EmitErrorCodeLoop(bool with_delay);
+  void EmitIterationFpBait();
+  void EmitIterationClean(int variant);
+  void EmitPollLoop();
+  void EmitPolicyFile(bool dense);
+  void EmitCodeqlFpLock();
+  void EmitCodeqlFpUniqueString();
+  void EmitCodeqlFpParamParser();
+  void EmitIfRatioModule();
+  void EmitHalvedCapLoop();
+  void EmitDaemonModule();
+  void EmitUnrelatedUtil();
+
+  const GeneratorSpec& spec_;
+  GeneratedApp app_;
+  Rng rng_;
+  std::unordered_set<std::string> used_names_;
+  int serial_ = 0;
+  int test_counter_ = 0;
+};
+
+void AppBuilder::EmitSharedRpcClient() {
+  std::string cls = RpcClientClass();
+  used_names_.insert(cls);
+  std::ostringstream out;
+  out << "// Lightweight RPC facade shared by every " << spec_.display_name
+      << " component.\n"
+      << "// Transient transport errors are retried with bounded backoff.\n"
+      << "class " << cls << " {\n"
+      << "  int maxAttempts = Config.getInt(\"" << spec_.app << ".rpc.retry.max\", 5);\n"
+      << "\n"
+      << "  String ping() throws IOException {\n"
+      << "    var lastError = null;\n"
+      << "    for (var retry = 0; retry < this.maxAttempts; retry++) {\n"
+      << "      try {\n"
+      << "        return this.call(\"ping\");\n"
+      << "      } catch (IOException e) {\n"
+      << "        lastError = e;\n"
+      << "        Log.warn(\"rpc ping failed; retrying: \" + e.getMessage());\n"
+      << "        Thread.sleep(Config.getInt(\"" << spec_.app << ".rpc.backoff.ms\", 50));\n"
+      << "      }\n"
+      << "    }\n"
+      << "    if (lastError != null) {\n"
+      << "      throw lastError;\n"
+      << "    }\n"
+      << "    throw new ConnectException(\"rpc: ping retries exhausted\");\n"
+      << "  }\n"
+      << "\n"
+      << "  String lookup(String key) throws IOException {\n"
+      << "    var lastError = null;\n"
+      << "    for (var retry = 0; retry < this.maxAttempts; retry++) {\n"
+      << "      try {\n"
+      << "        return this.call(\"lookup:\" + key);\n"
+      << "      } catch (IOException e) {\n"
+      << "        lastError = e;\n"
+      << "        Thread.sleep(Config.getInt(\"" << spec_.app << ".rpc.backoff.ms\", 50));\n"
+      << "      }\n"
+      << "    }\n"
+      << "    if (lastError != null) {\n"
+      << "      throw lastError;\n"
+      << "    }\n"
+      << "    throw new ConnectException(\"rpc: lookup retries exhausted\");\n"
+      << "  }\n"
+      << "\n"
+      << "  String call(String payload) throws ConnectException, SocketTimeoutException {\n"
+      << "    return \"ok:\" + payload;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "ping");
+  RegisterRetry(cls, "lookup");
+  app_.default_int_configs.emplace_back(spec_.app + ".rpc.retry.max", 5);
+  app_.default_int_configs.emplace_back(spec_.app + ".rpc.backoff.ms", 50);
+}
+
+void AppBuilder::EmitOkLoop(bool large_file) {
+  std::string cls = FreshName(large_file ? "Registry" : "Uploader");
+  std::string exc = PickException();
+  std::string key = spec_.app + "." + ToLower(cls);
+  std::ostringstream out;
+  out << "// Uploads one artifact; transient " << exc << " is retried with backoff.\n"
+      << "class " << cls << " {\n"
+      << "  int maxAttempts = Config.getInt(\"" << key << ".retry.max\", 5);\n";
+  if (large_file) {
+    for (int i = 0; i < 90; ++i) {
+      out << "\n"
+          << "  int digestChunk" << i << "(span) {\n"
+          << "    var mixed = span * " << (i + 5) << " + " << (i * 11 % 17) << ";\n"
+          << "    var folded = (mixed * 31 + this.maxAttempts) % 65521;\n"
+          << "    return Math.abs(folded);\n"
+          << "  }\n";
+    }
+  }
+  out << "\n"
+      << "  String uploadWithRetry(item) throws " << exc << " {\n"
+      << "    var lastError = null;\n"
+      << "    for (var retry = 0; retry < this.maxAttempts; retry++) {\n"
+      << "      try {\n"
+      << "        return this.upload(item);\n"
+      << "      } catch (" << exc << " e) {\n"
+      << "        lastError = e;\n"
+      << "        Log.warn(\"upload failed, retrying: \" + e.getMessage());\n"
+      << "        Thread.sleep(Config.getInt(\"" << key << ".backoff.ms\", 100));\n"
+      << "      }\n"
+      << "    }\n"
+      << "    throw lastError;\n"
+      << "  }\n"
+      << "\n"
+      << "  String upload(item) throws " << exc << " {\n"
+      << "    return \"stored:\" + item;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "uploadWithRetry");
+
+  std::ostringstream test;
+  test << "  void testUpload() {\n"
+       << MaybeTestPreamble()  //
+       << "    var s = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"stored:7\", s.uploadWithRetry(7));\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitNoCapLoop(bool tested) {
+  std::string cls = FreshName("Syncer");
+  std::string exc = PickException();
+  std::string key = spec_.app + "." + ToLower(cls);
+  std::ostringstream out;
+  out << "// Pushes state to the coordinator.\n"
+      << "class " << cls << " {\n"
+      << "  String syncWithRetry(snapshot) {\n"
+      << "    while (true) {\n"
+      << "      try {\n"
+      << "        return this.push(snapshot);\n"
+      << "      } catch (" << exc << " e) {\n"
+      << "        // Keep retrying until the peer becomes reachable.\n"
+      << "        Log.warn(\"push failed; will retry\");\n"
+      << "        Thread.sleep(Config.getInt(\"" << key << ".backoff.ms\", 100));\n"
+      << "      }\n"
+      << "    }\n"
+      << "  }\n"
+      << "\n"
+      << "  String push(snapshot) throws " << exc << " {\n"
+      << "    return \"synced:\" + snapshot;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "syncWithRetry");
+  AddBug(BugType::kWhenMissingCap, cls, "syncWithRetry",
+         "while(true) retry with no attempt or time cap", tested);
+
+  if (tested) {
+    std::ostringstream test;
+    test << "  void testSync() {\n"
+         << MaybeTestPreamble()  //
+         << "    var s = new " << cls << "();\n"
+         << "    Assert.assertEquals(\"synced:1\", s.syncWithRetry(1));\n"
+         << "  }\n";
+    EmitTest(cls, test.str());
+  }
+}
+
+void AppBuilder::EmitNegativeConfigCapLoop() {
+  std::string cls = FreshName("Mover");
+  std::string exc = PickException();
+  std::string key = spec_.app + "." + ToLower(cls) + ".retry.max.attempts";
+  std::ostringstream out;
+  out << "// Moves a block between nodes (HDFS-15439 analog): the cap check uses\n"
+      << "// inequality, so a negative configured maximum retries forever.\n"
+      << "class " << cls << " {\n"
+      << "  int maxAttempts = Config.getInt(\"" << key << "\", -1);\n"
+      << "\n"
+      << "  String moveWithRetry(block) throws " << exc << " {\n"
+      << "    for (var retry = 0; retry != this.maxAttempts; retry++) {\n"
+      << "      try {\n"
+      << "        return this.move(block);\n"
+      << "      } catch (" << exc << " e) {\n"
+      << "        Log.warn(\"move failed; retry \" + retry);\n"
+      << "        Thread.sleep(40);\n"
+      << "      }\n"
+      << "    }\n"
+      << "    throw new " << exc << "(\"mover retries exhausted\");\n"
+      << "  }\n"
+      << "\n"
+      << "  String move(block) throws " << exc << " {\n"
+      << "    return \"moved:\" + block;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "moveWithRetry");
+  AddBug(BugType::kWhenMissingCap, cls, "moveWithRetry",
+         "retry != maxAttempts never terminates when the configured cap is negative "
+         "(HDFS-15439 analog); static checking sees a comparison and misses it",
+         /*tested=*/true);
+
+  std::ostringstream test;
+  test << "  void testMove() {\n"
+       << MaybeTestPreamble()  //
+       << "    var m = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"moved:9\", m.moveWithRetry(9));\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitNoDelayLoop(bool tested, bool large_file) {
+  std::string cls = FreshName(large_file ? "Manager" : "Fetcher");
+  std::string exc = PickException();
+  std::ostringstream out;
+  out << "// Fetches remote state for " << spec_.display_name << ".\n"
+      << "class " << cls << " {\n"
+      << "  int maxAttempts = Config.getInt(\"" << spec_.app << "." << ToLower(cls)
+      << ".retry.max\", 5);\n";
+  if (large_file) {
+    // ~12 KB of plausible metric helpers before the retry method, pushing it
+    // past the LLM attention window.
+    for (int i = 0; i < 90; ++i) {
+      out << "\n"
+          << "  int metricSample" << i << "(window) {\n"
+          << "    var raw = window * " << (i + 3) << " + " << (i * 7 % 13) << ";\n"
+          << "    var smoothed = (raw * 15 + this.maxAttempts) / 16;\n"
+          << "    return Math.max(smoothed, 0);\n"
+          << "  }\n";
+    }
+  }
+  out << "\n"
+      << "  String fetchWithRetry(id) throws " << exc << " {\n"
+      << "    var lastError = null;\n"
+      << "    for (var retry = 0; retry < this.maxAttempts; retry++) {\n"
+      << "      try {\n"
+      << "        return this.fetch(id);\n"
+      << "      } catch (" << exc << " e) {\n"
+      << "        lastError = e;\n"
+      << "        Log.warn(\"fetch failed; retrying immediately\");\n"
+      << "      }\n"
+      << "    }\n"
+      << "    throw lastError;\n"
+      << "  }\n"
+      << "\n"
+      << "  String fetch(id) throws " << exc << " {\n"
+      << "    return \"blob:\" + id;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "fetchWithRetry");
+  AddBug(BugType::kWhenMissingDelay, cls, "fetchWithRetry",
+         large_file ? "tight retry loop with no backoff, buried late in a large file"
+                    : "tight retry loop with no backoff between attempts",
+         tested);
+
+  if (tested) {
+    std::ostringstream test;
+    test << "  void testFetch() {\n"
+         << MaybeTestPreamble()  //
+         << "    var f = new " << cls << "();\n"
+         << "    Assert.assertEquals(\"blob:3\", f.fetchWithRetry(3));\n"
+         << "  }\n";
+    EmitTest(cls, test.str());
+  }
+}
+
+void AppBuilder::EmitBenignNoDelayLoop() {
+  std::string cls = FreshName("Reader");
+  std::string exc = PickException();
+  std::ostringstream out;
+  out << "// Reads a block, moving to the NEXT replica on failure. No pause is\n"
+      << "// needed: every retry attempt contacts a different node.\n"
+      << "class " << cls << " {\n"
+      << "  int cursor = 0;\n"
+      << "\n"
+      << "  String readWithRetry() throws " << exc << " {\n"
+      << "    for (var retry = 0; retry < 3; retry++) {\n"
+      << "      try {\n"
+      << "        return this.readFrom(this.cursor);\n"
+      << "      } catch (" << exc << " e) {\n"
+      << "        this.cursor = (this.cursor + 1) % 3;\n"
+      << "        Log.info(\"replica failed; retrying against replica \" + this.cursor);\n"
+      << "      }\n"
+      << "    }\n"
+      << "    throw new " << exc << "(\"all replicas failed\");\n"
+      << "  }\n"
+      << "\n"
+      << "  String readFrom(replica) throws " << exc << " {\n"
+      << "    return \"data@\" + replica;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "readWithRetry");
+  // No seeded bug: reports against this module are false positives.
+
+  std::ostringstream test;
+  test << "  void testRead() {\n"
+       << MaybeTestPreamble()  //
+       << "    var r = new " << cls << "();\n"
+       << "    // Any replica's data is acceptable.\n"
+       << "    Assert.assertTrue(r.readWithRetry().startsWith(\"data@\"));\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitWrappedExceptionLoop() {
+  std::string cls = FreshName("Downloader");
+  std::ostringstream out;
+  out << "// Downloads with retry on connect failures; socket errors are wrapped\n"
+      << "// in the application's generic exception before propagating.\n"
+      << "class " << cls << " {\n"
+      << "  int maxAttempts = 5;\n"
+      << "\n"
+      << "  String downloadWithRetry(id) throws ConnectException, HadoopException {\n"
+      << "    var lastError = null;\n"
+      << "    for (var retry = 0; retry < this.maxAttempts; retry++) {\n"
+      << "      try {\n"
+      << "        return this.download(id);\n"
+      << "      } catch (ConnectException e) {\n"
+      << "        lastError = e;\n"
+      << "        Thread.sleep(40);\n"
+      << "      } catch (SocketException se) {\n"
+      << "        throw new HadoopException(\"download failed\", se);\n"
+      << "      }\n"
+      << "    }\n"
+      << "    throw lastError;\n"
+      << "  }\n"
+      << "\n"
+      << "  String download(id) throws ConnectException, SocketException {\n"
+      << "    return \"payload:\" + id;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "downloadWithRetry");
+  // No seeded bug: the wrapped crash under SocketException injection is the
+  // different-exception oracle's documented false-positive mode (§4.3).
+
+  std::ostringstream test;
+  test << "  void testDownload() {\n"
+       << MaybeTestPreamble()  //
+       << "    var d = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"payload:2\", d.downloadWithRetry(2));\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitCrossFileDelayLoop() {
+  std::string cls = FreshName("Committer");
+  std::string gate = cls + "Gate";
+  std::string exc = PickException();
+  std::ostringstream out;
+  out << "// Commits a batch; the quiet-period gate (separate file) provides the\n"
+      << "// inter-attempt delay.\n"
+      << "class " << cls << " {\n"
+      << "  " << gate << " gate = new " << gate << "();\n"
+      << "  int maxAttempts = 5;\n"
+      << "\n"
+      << "  String commitWithRetry(batch) throws " << exc << " {\n"
+      << "    var lastError = null;\n"
+      << "    for (var retry = 0; retry < this.maxAttempts; retry++) {\n"
+      << "      try {\n"
+      << "        return this.commit(batch);\n"
+      << "      } catch (" << exc << " e) {\n"
+      << "        lastError = e;\n"
+      << "        this.gate.awaitQuietPeriod();\n"
+      << "      }\n"
+      << "    }\n"
+      << "    throw lastError;\n"
+      << "  }\n"
+      << "\n"
+      << "  String commit(batch) throws " << exc << " {\n"
+      << "    return \"committed:\" + batch;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+
+  std::ostringstream gate_out;
+  gate_out << "// Backpressure gate shared by " << spec_.display_name << " writers.\n"
+           << "class " << gate << " {\n"
+           << "  void awaitQuietPeriod() {\n"
+           << "    Thread.sleep(Config.getInt(\"" << spec_.app << ".quiet.period.ms\", 150));\n"
+           << "  }\n"
+           << "}\n";
+  AddFile(gate, gate_out.str());
+  RegisterRetry(cls, "commitWithRetry");
+  // No seeded bug: the delay exists. An LLM missing-delay report here is a
+  // false positive caused by its single-file context.
+
+  std::ostringstream test;
+  test << "  void testCommit() {\n"
+       << MaybeTestPreamble()  //
+       << "    var c = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"committed:5\", c.commitWithRetry(5));\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitHarnessCapFpLoop() {
+  std::string cls = FreshName("Publisher");
+  std::string exc = PickException();
+  std::ostringstream out;
+  out << "// Publishes one event with a bounded retry budget; callers decide what\n"
+      << "// to do when the budget is exhausted.\n"
+      << "class " << cls << " {\n"
+      << "  int maxAttempts = 4;\n"
+      << "\n"
+      << "  String publishWithRetry(event) throws " << exc << " {\n"
+      << "    var lastError = null;\n"
+      << "    for (var retry = 0; retry < this.maxAttempts; retry++) {\n"
+      << "      try {\n"
+      << "        return this.publish(event);\n"
+      << "      } catch (" << exc << " e) {\n"
+      << "        lastError = e;\n"
+      << "        Thread.sleep(20);\n"
+      << "      }\n"
+      << "    }\n"
+      << "    throw lastError;\n"
+      << "  }\n"
+      << "\n"
+      << "  String publish(event) throws " << exc << " {\n"
+      << "    return \"published:\" + event;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "publishWithRetry");
+  // No seeded bug: the cap exists. The harness-style test below re-invokes the
+  // method for 30 different events, so injections accumulate past 100 and the
+  // missing-cap oracle produces its documented false positive (§4.3).
+
+  std::ostringstream test;
+  test << "  void testPublishMany() {\n"
+       << MaybeTestPreamble()  //
+       << "    var p = new " << cls << "();\n"
+       << "    for (var i = 0; i < 30; i++) {\n"
+       << "      try {\n"
+       << "        p.publishWithRetry(i);\n"
+       << "      } catch (" << exc << " e) {\n"
+       << "        Log.warn(\"event \" + i + \" failed permanently\");\n"
+       << "      }\n"
+       << "    }\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitOkQueue() {
+  std::string cls = FreshName("Processor");
+  std::string exc = PickException();
+  std::ostringstream out;
+  out << "// Queue worker that re-enqueues failed tasks with a bounded attempt\n"
+      << "// budget per task.\n"
+      << "class " << cls << " {\n"
+      << "  Queue pending = new Queue();\n"
+      << "  int maxAttempts = Config.getInt(\"" << spec_.app << "." << ToLower(cls)
+      << ".task.attempts.max\", 5);\n"
+      << "\n"
+      << "  void enqueue(payload) {\n"
+      << "    var task = new " << cls << "Task();\n"
+      << "    task.init(payload);\n"
+      << "    this.pending.put(task);\n"
+      << "  }\n"
+      << "\n"
+      << "  int drain() {\n"
+      << "    var completed = 0;\n"
+      << "    while (this.pending.isEmpty() == false) {\n"
+      << "      var task = this.pending.take();\n"
+      << "      try {\n"
+      << "        this.executeTask(task);\n"
+      << "        completed++;\n"
+      << "      } catch (" << exc << " e) {\n"
+      << "        task.attempts += 1;\n"
+      << "        if (task.attempts < this.maxAttempts) {\n"
+      << "          Thread.sleep(30);\n"
+      << "          this.pending.put(task);  // Re-enqueue so the task runs again.\n"
+      << "        } else {\n"
+      << "          Log.error(\"dropping task after repeated failures\");\n"
+      << "        }\n"
+      << "      }\n"
+      << "    }\n"
+      << "    return completed;\n"
+      << "  }\n"
+      << "\n"
+      << "  void executeTask(task) throws " << exc << " {\n"
+      << "    Log.debug(\"executed \" + task.payload);\n"
+      << "  }\n"
+      << "}\n"
+      << "\n"
+      << "class " << cls << "Task {\n"
+      << "  int attempts = 0;\n"
+      << "  var payload = null;\n"
+      << "  void init(p) {\n"
+      << "    this.payload = p;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "drain");
+
+  std::ostringstream test;
+  test << "  void testDrain() {\n"
+       << MaybeTestPreamble()  //
+       << "    var p = new " << cls << "();\n"
+       << "    p.enqueue(\"a\");\n"
+       << "    p.enqueue(\"b\");\n"
+       << "    Assert.assertEquals(2, p.drain());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitBugQueue() {
+  std::string cls = FreshName("Dispatcher");
+  std::ostringstream out;
+  out << "// Queue worker (HIVE-23894 analog): every failed task is resubmitted,\n"
+      << "// including canceled/poisoned ones.\n"
+      << "class " << cls << " {\n"
+      << "  Queue pending = new Queue();\n"
+      << "\n"
+      << "  void enqueue(payload) {\n"
+      << "    var task = new " << cls << "Task();\n"
+      << "    task.init(payload);\n"
+      << "    this.pending.put(task);\n"
+      << "  }\n"
+      << "\n"
+      << "  int drain() {\n"
+      << "    var completed = 0;\n"
+      << "    while (this.pending.isEmpty() == false) {\n"
+      << "      var task = this.pending.take();\n"
+      << "      try {\n"
+      << "        this.executeTask(task);\n"
+      << "        completed++;\n"
+      << "      } catch (Exception e) {\n"
+      << "        Log.warn(\"task failed; resubmitting\");\n"
+      << "        Thread.sleep(25);\n"
+      << "        this.pending.put(task);\n"
+      << "      }\n"
+      << "    }\n"
+      << "    return completed;\n"
+      << "  }\n"
+      << "\n"
+      << "  void executeTask(task) throws TaskCanceledException, TimeoutException {\n"
+      << "    Log.debug(\"executed \" + task.payload);\n"
+      << "  }\n"
+      << "}\n"
+      << "\n"
+      << "class " << cls << "Task {\n"
+      << "  var payload = null;\n"
+      << "  void init(p) {\n"
+      << "    this.payload = p;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "drain");
+  AddBug(BugType::kWhenMissingCap, cls, "drain",
+         "unconditional re-enqueue: canceled tasks are resubmitted forever "
+         "(HIVE-23894 / ElasticSearch-53687 analog)",
+         /*tested=*/true);
+
+  std::ostringstream test;
+  test << "  void testDrain() {\n"
+       << MaybeTestPreamble()  //
+       << "    var d = new " << cls << "();\n"
+       << "    d.enqueue(\"q1\");\n"
+       << "    Assert.assertEquals(1, d.drain());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitStateMachine(bool with_delay) {
+  std::string cls = FreshName("Procedure");
+  std::string exc = PickException();
+  std::ostringstream out;
+  out << "// Procedure-framework step (HBASE-20492 shape): failures keep the state\n"
+      << "// unchanged so the executor re-runs the same step.\n"
+      << "class " << cls << " {\n"
+      << "  int state = 1;\n"
+      << "  int attempts = 0;\n"
+      << "  int maxAttempts = Config.getInt(\"" << spec_.app << "." << ToLower(cls)
+      << ".step.attempts.max\", 5);\n"
+      << "\n"
+      << "  String run() throws " << exc << " {\n"
+      << "    while (this.state != 3) {\n"
+      << "      switch (this.state) {\n"
+      << "        case 1:\n"
+      << "          try {\n"
+      << "            this.dispatch();\n"
+      << "            this.state = 2;\n"
+      << "          } catch (" << exc << " e) {\n"
+      << "            this.attempts += 1;\n"
+      << "            if (this.attempts > this.maxAttempts) {\n"
+      << "              throw e;\n"
+      << "            }\n";
+  if (with_delay) {
+    out << "            var backoff = 50 * Math.pow(2, this.attempts);\n"
+        << "            Thread.sleep(backoff);\n";
+  } else {
+    out << "            // State deliberately unchanged; the executor retries\n"
+        << "            // this step immediately.\n";
+  }
+  out << "          }\n"
+      << "          break;\n"
+      << "        case 2:\n"
+      << "          this.finish();\n"
+      << "          this.state = 3;\n"
+      << "          break;\n"
+      << "        default:\n"
+      << "          return \"done\";\n"
+      << "      }\n"
+      << "    }\n"
+      << "    return \"done\";\n"
+      << "  }\n"
+      << "\n"
+      << "  void dispatch() throws " << exc << " {\n"
+      << "    Log.debug(\"dispatched\");\n"
+      << "  }\n"
+      << "\n"
+      << "  void finish() {\n"
+      << "    Log.debug(\"finished\");\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "run");
+  if (!with_delay) {
+    AddBug(BugType::kWhenMissingDelay, cls, "run",
+           "state-machine step retried with no delay (HBASE-20492 analog)",
+           /*tested=*/true);
+  }
+
+  std::ostringstream test;
+  test << "  void testRun() {\n"
+       << MaybeTestPreamble()  //
+       << "    var p = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"done\", p.run());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitHowNullDeref() {
+  std::string cls = FreshName("Streamer");
+  std::ostringstream out;
+  out << "// Reads a block, retrying transient socket errors (HDFS\n"
+      << "// createBlockReader analog).\n"
+      << "class " << cls << " {\n"
+      << "  Map status = null;\n"
+      << "\n"
+      << "  String readWithRetry() throws SocketException {\n"
+      << "    for (var retry = 0; retry < 3; retry++) {\n"
+      << "      try {\n"
+      << "        this.openReader();\n"
+      << "        return this.fetchBlock();\n"
+      << "      } catch (SocketException e) {\n"
+      << "        var phase = this.status.get(\"phase\");\n"
+      << "        Log.warn(\"read failed in phase \" + phase + \"; retrying\");\n"
+      << "        Thread.sleep(30);\n"
+      << "      }\n"
+      << "    }\n"
+      << "    return null;\n"
+      << "  }\n"
+      << "\n"
+      << "  void openReader() throws SocketException {\n"
+      << "    this.status = new Map();\n"
+      << "    this.status.put(\"phase\", \"open\");\n"
+      << "  }\n"
+      << "\n"
+      << "  String fetchBlock() throws SocketException {\n"
+      << "    return \"block\";\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "readWithRetry");
+  AddBug(BugType::kHow, cls, "readWithRetry",
+         "catch handler assumes this.status was constructed; an early failure in "
+         "openReader leaves it null and the handler NPEs (HDFS analog)",
+         /*tested=*/true);
+
+  std::ostringstream test;
+  test << "  void testRead() {\n"
+       << MaybeTestPreamble()  //
+       << "    var r = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"block\", r.readWithRetry());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitHowPartialState() {
+  std::string cls = FreshName("Builder");
+  std::ostringstream out;
+  out << "// Creates the on-disk layout then finalizes it (HBASE-20616 analog).\n"
+      << "class " << cls << " {\n"
+      << "  Map files = new Map();\n"
+      << "\n"
+      << "  String runWithRetry() throws IOException {\n"
+      << "    for (var retry = 0; retry < 3; retry++) {\n"
+      << "      try {\n"
+      << "        this.createLayout();\n"
+      << "        this.finalizeLayout();\n"
+      << "        return \"done\";\n"
+      << "      } catch (IOException e) {\n"
+      << "        Log.warn(\"layout creation failed; retrying\");\n"
+      << "        Thread.sleep(50);\n"
+      << "      }\n"
+      << "    }\n"
+      << "    return \"failed\";\n"
+      << "  }\n"
+      << "\n"
+      << "  void createLayout() throws IOException {\n"
+      << "    for (var part = 0; part < 3; part++) {\n"
+      << "      this.writeFile(part);\n"
+      << "    }\n"
+      << "  }\n"
+      << "\n"
+      << "  void writeFile(part) {\n"
+      << "    if (this.files.containsKey(part)) {\n"
+      << "      throw new IllegalStateException(\"file already exists: part \" + part);\n"
+      << "    }\n"
+      << "    this.files.put(part, \"data\");\n"
+      << "  }\n"
+      << "\n"
+      << "  void finalizeLayout() throws IOException {\n"
+      << "    Log.debug(\"finalized\");\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "runWithRetry");
+  AddBug(BugType::kHow, cls, "runWithRetry",
+         "files written by a failed attempt are not cleaned up, so the retry "
+         "crashes on 'already exists' (HBASE-20616 analog)",
+         /*tested=*/true);
+
+  std::ostringstream test;
+  test << "  void testRun() {\n"
+       << MaybeTestPreamble()  //
+       << "    var b = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"done\", b.runWithRetry());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitHowSharedMap() {
+  std::string cls = FreshName("Scheduler");
+  std::ostringstream out;
+  out << "// Stage scheduler (SPARK-27630 analog): original and retried stages share\n"
+      << "// the same id in the bookkeeping map.\n"
+      << "class " << cls << " {\n"
+      << "  Map stageTasks = new Map();\n"
+      << "\n"
+      << "  int runJob(stageId, tasks) throws TimeoutException {\n"
+      << "    for (var retry = 0; retry < 3; retry++) {\n"
+      << "      try {\n"
+      << "        this.register(stageId, tasks);\n"
+      << "        this.await(stageId);\n"
+      << "        return this.stageTasks.get(stageId);\n"
+      << "      } catch (TimeoutException e) {\n"
+      << "        Log.warn(\"stage \" + stageId + \" became a zombie; resubmitting\");\n"
+      << "        Thread.sleep(20);\n"
+      << "      }\n"
+      << "    }\n"
+      << "    return -1;\n"
+      << "  }\n"
+      << "\n"
+      << "  void register(stageId, tasks) {\n"
+      << "    var current = this.stageTasks.get(stageId);\n"
+      << "    if (current == null) {\n"
+      << "      current = 0;\n"
+      << "    }\n"
+      << "    this.stageTasks.put(stageId, current + tasks);\n"
+      << "  }\n"
+      << "\n"
+      << "  void await(stageId) throws TimeoutException {\n"
+      << "    Log.debug(\"stage \" + stageId + \" completed\");\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "runJob");
+  AddBug(BugType::kHow, cls, "runJob",
+         "retried stage double-registers its task count under the shared stage id "
+         "(SPARK-27630 analog); test assertion catches the corruption",
+         /*tested=*/true);
+
+  std::ostringstream test;
+  test << "  void testRunJob() {\n"
+       << MaybeTestPreamble()  //
+       << "    var s = new " << cls << "();\n"
+       << "    Assert.assertEquals(4, s.runJob(7, 4));\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitErrorCodeLoop(bool with_delay) {
+  std::string cls = FreshName("Replicator");
+  std::ostringstream out;
+  out << "// Error-code driven retry: the wire protocol reports failures through\n"
+      << "// status codes, not exceptions.\n"
+      << "class " << cls << " {\n"
+      << "  int maxRetries = Config.getInt(\"" << spec_.app << "." << ToLower(cls)
+      << ".retry.max\", 5);\n"
+      << "\n"
+      << "  int replicateWithRetries(payload) {\n"
+      << "    var code = this.replicate(payload);\n"
+      << "    var retries = 0;\n"
+      << "    while (code != 0 && retries < this.maxRetries) {\n"
+      << "      retries += 1;\n"
+      << "      Log.warn(\"replicate returned error code \" + code + \"; retry \" + retries);\n";
+  if (with_delay) {
+    out << "      Thread.sleep(80);\n";
+  }
+  out << "      code = this.replicate(payload);\n"
+      << "    }\n"
+      << "    return code;\n"
+      << "  }\n"
+      << "\n"
+      << "  int replicate(payload) {\n"
+      << "    Log.debug(\"replicated \" + payload);\n"
+      << "    return 0;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "replicateWithRetries");
+  if (!with_delay) {
+    AddBug(BugType::kWhenMissingDelay, cls, "replicateWithRetries",
+           "error-code retry loop with no backoff; exception injection cannot reach "
+           "it, only static checking can",
+           /*tested=*/true);
+  }
+
+  std::ostringstream test;
+  test << "  void testReplicate() {\n"
+       << MaybeTestPreamble()  //
+       << "    var r = new " << cls << "();\n"
+       << "    Assert.assertEquals(0, r.replicateWithRetries(\"p\"));\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitIterationFpBait() {
+  std::string cls = FreshName("Applier");
+  std::ostringstream out;
+  out << "// Applies each mutation of a batch; failures are logged and skipped.\n"
+      << "// This is per-item error handling, NOT retry.\n"
+      << "class " << cls << " {\n"
+      << "  int applyAll(batch) {\n"
+      << "    var applied = 0;\n"
+      << "    for (var i = 0; i < batch.size(); i++) {\n"
+      << "      try {\n"
+      << "        this.applyOne(batch.get(i));\n"
+      << "        applied++;\n"
+      << "      } catch (IOException e) {\n"
+      << "        Log.warn(\"mutation \" + i + \" failed; skipping\");\n"
+      << "      }\n"
+      << "    }\n"
+      << "    return applied;\n"
+      << "  }\n"
+      << "\n"
+      << "  void applyOne(mutation) throws IOException {\n"
+      << "    Log.debug(\"applied \" + mutation);\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  // Not a retry structure; LLM reports against it are identification FPs.
+
+  std::ostringstream test;
+  test << "  void testApply() {\n"
+       << MaybeTestPreamble()  //
+       << "    var a = new " << cls << "();\n"
+       << "    var batch = new List();\n"
+       << "    batch.add(\"m0\");\n"
+       << "    a.applyAll(batch);\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitIterationClean(int variant) {
+  std::string cls = FreshName("Walker");
+  std::ostringstream out;
+  if (variant % 2 == 0) {
+    out << "// Pushes every item; errors propagate to the caller.\n"
+        << "class " << cls << " {\n"
+        << "  void pushAll(items) throws IOException {\n"
+        << "    for (var i = 0; i < items.size(); i++) {\n"
+        << "      try {\n"
+        << "        this.pushOne(items.get(i));\n"
+        << "      } catch (IOException e) {\n"
+        << "        throw e;\n"
+        << "      }\n"
+        << "    }\n"
+        << "  }\n"
+        << "\n"
+        << "  void pushOne(item) throws IOException {\n"
+        << "    Log.debug(\"pushed \" + item);\n"
+        << "  }\n"
+        << "}\n";
+  } else {
+    out << "// Sums item weights; no error handling involved.\n"
+        << "class " << cls << " {\n"
+        << "  int totalWeight(items) {\n"
+        << "    var total = 0;\n"
+        << "    for (var i = 0; i < items.size(); i++) {\n"
+        << "      total += items.get(i);\n"
+        << "    }\n"
+        << "    return total;\n"
+        << "  }\n"
+        << "}\n";
+  }
+  AddFile(cls, out.str());
+
+  std::ostringstream test;
+  if (variant % 2 == 0) {
+    test << "  void testPush() {\n"
+         << MaybeTestPreamble()  //
+         << "    var w = new " << cls << "();\n"
+         << "    var items = new List();\n"
+         << "    items.add(\"x\");\n"
+         << "    w.pushAll(items);\n"
+         << "  }\n";
+  } else {
+    test << "  void testTotal() {\n"
+         << MaybeTestPreamble()  //
+         << "    var w = new " << cls << "();\n"
+         << "    var items = new List();\n"
+         << "    items.add(2);\n"
+         << "    items.add(3);\n"
+         << "    Assert.assertEquals(5, w.totalWeight(items));\n"
+         << "  }\n";
+  }
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitPollLoop() {
+  std::string cls = FreshName("Watcher");
+  std::ostringstream out;
+  out << "// Polls a status flag until it flips; contention is expected and is not\n"
+      << "// an error (spin/poll, NOT retry).\n"
+      << "class " << cls << " {\n"
+      << "  int readyAfter = 2;\n"
+      << "  int polls = 0;\n"
+      << "\n"
+      << "  int waitReady() {\n"
+      << "    while (true) {\n"
+      << "      try {\n"
+      << "        if (this.poll() == 1) {\n"
+      << "          return this.polls;\n"
+      << "        }\n"
+      << "      } catch (IllegalStateException e) {\n"
+      << "        Log.debug(\"contended poll\");\n"
+      << "      }\n"
+      << "      this.polls += 1;\n"
+      << "      Thread.sleep(5);\n"
+      << "    }\n"
+      << "  }\n"
+      << "\n"
+      << "  int poll() {\n"
+      << "    if (this.polls < this.readyAfter) {\n"
+      << "      return 0;\n"
+      << "    }\n"
+      << "    return 1;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+
+  std::ostringstream test;
+  test << "  void testWait() {\n"
+       << MaybeTestPreamble()  //
+       << "    var w = new " << cls << "();\n"
+       << "    Assert.assertEquals(2, w.waitReady());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitPolicyFile(bool dense) {
+  std::string cls = FreshName(dense ? "RetryPolicies" : "RetryConfig");
+  std::ostringstream out;
+  if (dense) {
+    out << "// Builds the retry schedule for retrying retriable requests. Retry\n"
+        << "// count and retry backoff come from the retry configuration.\n"
+        << "class " << cls << " {\n"
+        << "  int maxRetries = 3;\n"
+        << "  int retryBackoffMs = 200;\n"
+        << "\n"
+        << "  // Assembles a retry schedule honoring retry caps and retry backoff.\n"
+        << "  String buildRetrySchedule(retryConfig) {\n"
+        << "    var retrySchedule = \"retries=\" + this.maxRetries;\n"
+        << "    retrySchedule = retrySchedule + \" retryBackoffMs=\" + this.retryBackoffMs;\n"
+        << "    Log.debug(\"retry schedule: \" + retrySchedule);\n"
+        << "    return retrySchedule;\n"
+        << "  }\n"
+        << "}\n";
+  } else {
+    out << "// Holder for client retry settings. Performs no retry itself.\n"
+        << "class " << cls << " {\n"
+        << "  int maxAttempts = 3;\n"
+        << "  int backoffMs = 200;\n"
+        << "\n"
+        << "  int getMaxAttempts() {\n"
+        << "    return this.maxAttempts;\n"
+        << "  }\n"
+        << "\n"
+        << "  int getBackoffMs() {\n"
+        << "    return this.backoffMs;\n"
+        << "  }\n"
+        << "}\n";
+  }
+  AddFile(cls, out.str());
+  // Not retry structures. A dense policy file that SimLLM labels as retry is
+  // its documented Q1 false-positive mode.
+}
+
+
+void AppBuilder::EmitCodeqlFpLock() {
+  // §4.2 CodeQL FP #1: attempts to obtain a lock with failure logging after n
+  // "retries" — the loop re-executes on contention, not on task error.
+  std::string cls = FreshName("Guard");
+  std::ostringstream out;
+  out << "// Mutual exclusion wrapper around the shared ledger.\n"
+      << "class " << cls << " {\n"
+      << "  int locked = 0;\n"
+      << "\n"
+      << "  bool acquire() {\n"
+      << "    for (var retries = 0; retries < 5; retries++) {\n"
+      << "      try {\n"
+      << "        if (this.tryLock() == 1) {\n"
+      << "          return true;\n"
+      << "        }\n"
+      << "      } catch (IllegalStateException e) {\n"
+      << "        Log.debug(\"lock contended\");\n"
+      << "      }\n"
+      << "    }\n"
+      << "    Log.error(\"failed to obtain lock after retries\");\n"
+      << "    return false;\n"
+      << "  }\n"
+      << "\n"
+      << "  int tryLock() {\n"
+      << "    this.locked = 1;\n"
+      << "    return 1;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  // NOT registered as retry: an identification hit here is a CodeQL FP.
+
+  std::ostringstream test;
+  test << "  void testAcquire() {\n"
+       << MaybeTestPreamble()
+       << "    var g = new " << cls << "();\n"
+       << "    Assert.assertTrue(g.acquire());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitCodeqlFpUniqueString() {
+  // §4.2 CodeQL FP #2: generate a unique identifier, giving up after n
+  // "retries" — re-execution on collision, not on task error.
+  std::string cls = FreshName("Minter");
+  std::ostringstream out;
+  out << "// Mints identifiers unique within the cluster epoch.\n"
+      << "class " << cls << " {\n"
+      << "  Map issued = new Map();\n"
+      << "  int counter = 0;\n"
+      << "\n"
+      << "  String mint() {\n"
+      << "    for (var retries = 0; retries < 8; retries++) {\n"
+      << "      try {\n"
+      << "        var candidate = this.nextCandidate();\n"
+      << "        if (this.issued.containsKey(candidate) == false) {\n"
+      << "          this.issued.put(candidate, true);\n"
+      << "          return candidate;\n"
+      << "        }\n"
+      << "      } catch (IllegalArgumentException e) {\n"
+      << "        Log.debug(\"candidate rejected\");\n"
+      << "      }\n"
+      << "    }\n"
+      << "    Log.error(\"could not mint a unique id\");\n"
+      << "    return null;\n"
+      << "  }\n"
+      << "\n"
+      << "  String nextCandidate() {\n"
+      << "    this.counter += 1;\n"
+      << "    return \"id-\" + this.counter;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+
+  std::ostringstream test;
+  test << "  void testMint() {\n"
+       << MaybeTestPreamble()
+       << "    var m = new " << cls << "();\n"
+       << "    Assert.assertTrue(m.mint() != m.mint());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitCodeqlFpParamParser() {
+  // §4.2 CodeQL FP #3: token-by-token parsing of a request that may contain a
+  // "retryOnConflict" parameter — the word appears in data, not behavior.
+  std::string cls = FreshName("RequestParser");
+  std::ostringstream out;
+  out << "// Parses bulk-request parameters.\n"
+      << "class " << cls << " {\n"
+      << "  int parseParams(tokens) {\n"
+      << "    var recognized = 0;\n"
+      << "    for (var i = 0; i < tokens.size(); i++) {\n"
+      << "      try {\n"
+      << "        var token = tokens.get(i);\n"
+      << "        if (token.startsWith(\"retryOnConflict=\")) {\n"
+      << "          recognized += 1;\n"
+      << "        }\n"
+      << "        if (token.startsWith(\"timeout=\")) {\n"
+      << "          recognized += 1;\n"
+      << "        }\n"
+      << "      } catch (IllegalArgumentException e) {\n"
+      << "        Log.warn(\"malformed token \" + i);\n"
+      << "      }\n"
+      << "    }\n"
+      << "    return recognized;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+
+  std::ostringstream test;
+  test << "  void testParse() {\n"
+       << MaybeTestPreamble()
+       << "    var p = new " << cls << "();\n"
+       << "    var tokens = new List();\n"
+       << "    tokens.add(\"retryOnConflict=3\");\n"
+       << "    tokens.add(\"timeout=50\");\n"
+       << "    Assert.assertEquals(2, p.parseParams(tokens));\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitIfRatioModule() {
+  if (spec_.counts.if_exception.empty()) {
+    return;
+  }
+  const std::string& exc = spec_.counts.if_exception;
+  std::string cls = FreshName("Coordination");
+  std::ostringstream out;
+  out << "// Coordination helpers; " << exc << " is transient here and is retried\n"
+      << "// (almost) everywhere.\n"
+      << "class " << cls << " {\n";
+  int op = 0;
+  for (int i = 0; i < spec_.counts.if_retried_sites; ++i, ++op) {
+    RegisterRetry(cls, "op" + std::to_string(op) + "WithRetry");
+    out << "\n"
+        << "  String op" << op << "WithRetry() throws " << exc << " {\n"
+        << "    for (var retry = 0; retry < 4; retry++) {\n"
+        << "      try {\n"
+        << "        return this.backendCall" << op << "();\n"
+        << "      } catch (" << exc << " e) {\n"
+        << "        Thread.sleep(60);\n"
+        << "      }\n"
+        << "    }\n"
+        << "    throw new " << exc << "(\"op" << op << ": retries exhausted\");\n"
+        << "  }\n"
+        << "\n"
+        << "  String backendCall" << op << "() throws " << exc << " {\n"
+        << "    return \"value" << op << "\";\n"
+        << "  }\n";
+  }
+  for (int i = 0; i < spec_.counts.if_not_retried_sites; ++i, ++op) {
+    RegisterRetry(cls, "op" + std::to_string(op) + "WithRetry");
+    out << "\n"
+        << "  String op" << op << "WithRetry() throws IOException {\n"
+        << "    for (var retry = 0; retry < 4; retry++) {\n"
+        << "      try {\n"
+        << "        return this.backendCall" << op << "();\n"
+        << "      } catch (" << exc << " e) {\n"
+        << "        break;\n"
+        << "      } catch (IOException io) {\n"
+        << "        Thread.sleep(60);\n"
+        << "      }\n"
+        << "    }\n"
+        << "    return null;\n"
+        << "  }\n"
+        << "\n"
+        << "  String backendCall" << op << "() throws " << exc << ", IOException {\n"
+        << "    return \"value" << op << "\";\n"
+        << "  }\n";
+    if (spec_.counts.if_outliers_are_bugs) {
+      AddBug(BugType::kIfOutlier, cls, "op" + std::to_string(op) + "WithRetry",
+             exc + " is retried everywhere else in the application but not here",
+             /*tested=*/true);
+    }
+  }
+  out << "}\n";
+  AddFile(cls, out.str());
+
+  std::ostringstream test;
+  test << "  void testOps() {\n"
+       << MaybeTestPreamble()  //
+       << "    var c = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"value0\", c.op0WithRetry());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitHalvedCapLoop() {
+  std::string cls = FreshName("Transitioner");
+  std::string exc = PickException();
+  std::ostringstream out;
+  out << "// Re-attempts a state transition up to a configured maximum\n"
+      << "// (YARN-8362 analog).\n"
+      << "class " << cls << " {\n"
+      << "  int attempts = 0;\n"
+      << "  int maxAttempts = Config.getInt(\"" << spec_.app << "." << ToLower(cls)
+      << ".retry.max\", 8);\n"
+      << "\n"
+      << "  String transitionWithRetry() throws " << exc << " {\n"
+      << "    while (this.attempts < this.maxAttempts) {\n"
+      << "      try {\n"
+      << "        return this.transition();\n"
+      << "      } catch (" << exc << " e) {\n"
+      << "        this.attempts += 1;\n"
+      << "        this.checkStatus();\n"
+      << "        Thread.sleep(30);\n"
+      << "      }\n"
+      << "    }\n"
+      << "    throw new " << exc << "(\"exceeded transition attempts\");\n"
+      << "  }\n"
+      << "\n"
+      << "  void checkStatus() {\n"
+      << "    this.attempts += 1;  // Counted again: the effective cap is halved.\n"
+      << "  }\n"
+      << "\n"
+      << "  String transition() throws " << exc << " {\n"
+      << "    return \"transitioned\";\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "transitionWithRetry");
+  AddBug(BugType::kWhenMissingCap, cls, "transitionWithRetry",
+         "attempt counter incremented twice per failure halves the configured cap "
+         "(YARN-8362 analog); expected false negative for all detectors",
+         /*tested=*/true);
+
+  std::ostringstream test;
+  test << "  void testTransition() {\n"
+       << MaybeTestPreamble()  //
+       << "    var t = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"transitioned\", t.transitionWithRetry());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitDaemonModule() {
+  // Five periodic-work loops per module: each catches and logs per-cycle
+  // errors, so every loop is a catch-reaches-header CANDIDATE for the loop
+  // query, but none carries retry wording — the population the paper's
+  // keyword filter exists to prune (4.4: 3.5x more loops without it).
+  std::string cls = FreshName("Daemon");
+  struct DaemonOp {
+    const char* method;
+    const char* helper;
+    const char* exception;
+    const char* note;
+  };
+  const DaemonOp kOps[] = {
+      {"pumpHeartbeats", "beat", "IOException", "gossip heartbeats"},
+      {"flushMetrics", "flushOnce", "SocketException", "metric flushing"},
+      {"rotateJournals", "rotateOnce", "IOException", "journal rotation"},
+      {"compactSegments", "compactOnce", "TimeoutException", "segment compaction"},
+      {"refreshLeases", "renewOnce", "LeaseExpiredException", "lease renewal"},
+  };
+  std::ostringstream out;
+  out << "// Background maintenance for " << spec_.display_name
+      << ": periodic work; per-cycle errors are logged and the daemon moves on.\n"
+      << "class " << cls << " {\n";
+  for (const DaemonOp& op : kOps) {
+    out << "\n"
+        << "  int " << op.method << "(rounds) {\n"
+        << "    var done = 0;\n"
+        << "    while (done < rounds) {\n"
+        << "      try {\n"
+        << "        this." << op.helper << "(done);\n"
+        << "      } catch (" << op.exception << " e) {\n"
+        << "        Log.warn(\"" << op.note << ": cycle skipped\");\n"
+        << "      }\n"
+        << "      done += 1;\n"
+        << "      Thread.sleep(5);\n"
+        << "    }\n"
+        << "    return done;\n"
+        << "  }\n"
+        << "\n"
+        << "  void " << op.helper << "(cycle) throws " << op.exception << " {\n"
+        << "    Log.debug(\"" << op.note << " cycle \" + cycle);\n"
+        << "  }\n";
+  }
+  out << "}\n";
+  AddFile(cls, out.str());
+  // Not retry structures; no tests (background daemons are integration-tested
+  // elsewhere in real systems).
+}
+
+void AppBuilder::EmitUnrelatedUtil() {
+  std::string cls = FreshName("Codec");
+  int factor = rng_.Int(2, 9);
+  std::ostringstream out;
+  out << "// Pure helpers with no I/O and no retry.\n"
+      << "class " << cls << " {\n"
+      << "  int encode(value) {\n"
+      << "    return value * " << factor << " + 1;\n"
+      << "  }\n"
+      << "\n"
+      << "  int decode(value) {\n"
+      << "    return (value - 1) / " << factor << ";\n"
+      << "  }\n"
+      << "\n"
+      << "  bool isMarker(text) {\n"
+      << "    return text.startsWith(\"#\") || text.isEmpty();\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+
+  std::ostringstream test;
+  test << "  void testRoundTrip() {\n"
+       << "    var c = new " << cls << "();\n"
+       << "    Assert.assertEquals(11, c.decode(c.encode(11)));\n"
+       << "  }\n"
+       << "\n"
+       << "  void testEncodeDistinct() {\n"
+       << "    var c = new " << cls << "();\n"
+       << "    Assert.assertTrue(c.encode(3) != c.encode(4));\n"
+       << "  }\n"
+       << "\n"
+       << "  void testMarker() {\n"
+       << "    var c = new " << cls << "();\n"
+       << "    Assert.assertTrue(c.isMarker(\"#x\"));\n"
+       << "    Assert.assertFalse(c.isMarker(\"data\"));\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+GeneratedApp AppBuilder::Build() {
+  app_.name = spec_.app;
+  app_.display_name = spec_.display_name;
+  const ModuleCounts& counts = spec_.counts;
+
+  if (spec_.shared_rpc_client) {
+    EmitSharedRpcClient();
+  }
+  for (int i = 0; i < counts.ok_loops; ++i) {
+    EmitOkLoop(/*large_file=*/false);
+  }
+  for (int i = 0; i < counts.large_file_ok_loops; ++i) {
+    EmitOkLoop(/*large_file=*/true);
+  }
+  for (int i = 0; i < counts.nocap_loops; ++i) {
+    EmitNoCapLoop(/*tested=*/true);
+  }
+  for (int i = 0; i < counts.nocap_loops_untested; ++i) {
+    EmitNoCapLoop(/*tested=*/false);
+  }
+  for (int i = 0; i < counts.negative_config_cap_loops; ++i) {
+    EmitNegativeConfigCapLoop();
+  }
+  for (int i = 0; i < counts.nodelay_loops; ++i) {
+    EmitNoDelayLoop(/*tested=*/true, /*large_file=*/false);
+  }
+  for (int i = 0; i < counts.nodelay_loops_untested; ++i) {
+    EmitNoDelayLoop(/*tested=*/false, /*large_file=*/false);
+  }
+  for (int i = 0; i < counts.large_file_nodelay; ++i) {
+    EmitNoDelayLoop(/*tested=*/true, /*large_file=*/true);
+  }
+  for (int i = 0; i < counts.benign_nodelay_loops; ++i) {
+    EmitBenignNoDelayLoop();
+  }
+  for (int i = 0; i < counts.wrapped_exception_loops; ++i) {
+    EmitWrappedExceptionLoop();
+  }
+  for (int i = 0; i < counts.crossfile_delay_loops; ++i) {
+    EmitCrossFileDelayLoop();
+  }
+  for (int i = 0; i < counts.harness_cap_fp_loops; ++i) {
+    EmitHarnessCapFpLoop();
+  }
+  for (int i = 0; i < counts.ok_queues; ++i) {
+    EmitOkQueue();
+  }
+  for (int i = 0; i < counts.bug_queues; ++i) {
+    EmitBugQueue();
+  }
+  for (int i = 0; i < counts.ok_state_machines; ++i) {
+    EmitStateMachine(/*with_delay=*/true);
+  }
+  for (int i = 0; i < counts.nodelay_state_machines; ++i) {
+    EmitStateMachine(/*with_delay=*/false);
+  }
+  for (int i = 0; i < counts.how_null_deref; ++i) {
+    EmitHowNullDeref();
+  }
+  for (int i = 0; i < counts.how_partial_state; ++i) {
+    EmitHowPartialState();
+  }
+  for (int i = 0; i < counts.how_shared_map; ++i) {
+    EmitHowSharedMap();
+  }
+  for (int i = 0; i < counts.error_code_ok_loops; ++i) {
+    EmitErrorCodeLoop(/*with_delay=*/true);
+  }
+  for (int i = 0; i < counts.error_code_nodelay_loops; ++i) {
+    EmitErrorCodeLoop(/*with_delay=*/false);
+  }
+  for (int i = 0; i < counts.iteration_loops_fp_bait; ++i) {
+    EmitIterationFpBait();
+  }
+  for (int i = 0; i < counts.iteration_loops_clean; ++i) {
+    EmitIterationClean(i);
+  }
+  for (int i = 0; i < counts.poll_loops; ++i) {
+    EmitPollLoop();
+  }
+  for (int i = 0; i < counts.policy_files; ++i) {
+    EmitPolicyFile(/*dense=*/i % 2 == 0);
+  }
+  for (int i = 0; i < counts.codeql_fp_lock_loops; ++i) {
+    EmitCodeqlFpLock();
+  }
+  for (int i = 0; i < counts.codeql_fp_unique_string_loops; ++i) {
+    EmitCodeqlFpUniqueString();
+  }
+  for (int i = 0; i < counts.codeql_fp_param_parsers; ++i) {
+    EmitCodeqlFpParamParser();
+  }
+  EmitIfRatioModule();
+  for (int i = 0; i < counts.halved_cap_loops; ++i) {
+    EmitHalvedCapLoop();
+  }
+  for (int i = 0; i < counts.background_daemons; ++i) {
+    EmitDaemonModule();
+  }
+  for (int i = 0; i < counts.unrelated_util_files; ++i) {
+    EmitUnrelatedUtil();
+  }
+  return std::move(app_);
+}
+
+}  // namespace
+
+GeneratedApp GenerateApp(const GeneratorSpec& spec) {
+  AppBuilder builder(spec);
+  return builder.Build();
+}
+
+}  // namespace wasabi

@@ -1,0 +1,129 @@
+// Synthetic corpus generator.
+//
+// Each corpus application is assembled from parameterized module templates
+// that reproduce the retry shapes and bug patterns of the paper's study
+// (§2): loop retry, queue re-enqueueing, state-machine re-transition, the
+// three HOW-bug patterns, error-code retry, plus the non-retry look-alikes
+// (item iteration, polling/spin, policy-definition files) that exercise the
+// detectors' false-positive modes. Every emitted module comes with its mj
+// source, an optional unit-test class, and exact ground-truth labels.
+//
+// Generation is fully deterministic: names are drawn from fixed pools indexed
+// by a per-app seed.
+
+#ifndef WASABI_SRC_CORPUS_GENERATOR_H_
+#define WASABI_SRC_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/scoring.h"
+
+namespace wasabi {
+
+// How many modules of each template an application gets. See generator.cc for
+// what each template looks like and which detectors it exercises.
+struct ModuleCounts {
+  // Loop retry (the 55% class).
+  int ok_loops = 0;                  // Cap + delay: no bug.
+  int nocap_loops = 0;               // Seeded WHEN/missing-cap, tested.
+  int nocap_loops_untested = 0;      // Seeded WHEN/missing-cap, no unit test.
+  int nodelay_loops = 0;             // Seeded WHEN/missing-delay, tested.
+  int nodelay_loops_untested = 0;    // Seeded WHEN/missing-delay, no unit test.
+  int benign_nodelay_loops = 0;      // Rotates replicas, no sleep: oracle FP bait.
+  int wrapped_exception_loops = 0;   // Wraps the trigger: HOW-oracle FP bait.
+  int crossfile_delay_loops = 0;     // Delay via helper in another file: LLM FP bait.
+  int harness_cap_fp_loops = 0;      // Capped retry + task-looping test: cap-oracle FP bait.
+
+  // Queue retry (the 25% class).
+  int ok_queues = 0;                 // Attempt guard + delay.
+  int bug_queues = 0;                // Unconditional re-enqueue: seeded missing-cap.
+
+  // State-machine retry (the 20% class).
+  int ok_state_machines = 0;
+  int nodelay_state_machines = 0;    // Seeded WHEN/missing-delay.
+
+  // HOW bugs (exposed by K=1 injection).
+  int how_null_deref = 0;            // Catch handler dereferences unbuilt state.
+  int how_partial_state = 0;         // Leftovers from attempt 1 crash attempt 2.
+  int how_shared_map = 0;            // Retry corrupts shared bookkeeping; assert fails.
+
+  // Error-code retry: identified (LLM) but not exception-injectable.
+  int error_code_ok_loops = 0;       // With sleep: no bug.
+  int error_code_nodelay_loops = 0;  // Seeded missing-delay, only static can find it.
+
+  // Non-retry look-alikes.
+  int iteration_loops_fp_bait = 0;   // Catch-and-skip iteration: LLM Q1 FP mode.
+  int iteration_loops_clean = 0;     // Rethrow/no-catch iteration: no detector fires.
+  int poll_loops = 0;                // compareAndSet/poll: Q4 exclusion material.
+  int policy_files = 0;              // Retry-wordy config builders: Q1 "say NO" material.
+  // The three CodeQL identification FPs the paper found by sampling (§4.2):
+  // lock acquisition with "retries" naming, unique-string generation with
+  // "retries", and request parsing around a "retryOnConflict" parameter.
+  int codeql_fp_lock_loops = 0;
+  int codeql_fp_unique_string_loops = 0;
+  int codeql_fp_param_parsers = 0;
+
+  // IF-bug material: many retry loops catching `if_exception`, a minority
+  // behaving differently (the outliers; seeded as IF bugs when labeled so).
+  std::string if_exception;
+  int if_retried_sites = 0;
+  int if_not_retried_sites = 0;
+  bool if_outliers_are_bugs = true;
+
+  // Buries one nodelay bug late in a >10 KB file: LLM attention-miss mode.
+  int large_file_nodelay = 0;
+  // A healthy capped+delayed retry loop buried late in a >10 KB file: the LLM
+  // misses the structure entirely (Figure 4's CodeQL-only region), no bug.
+  int large_file_ok_loops = 0;
+
+  // Undetectable-by-design WHEN bug (YARN-8362 analog: double-incremented
+  // attempt counter halves the cap). Becomes a false negative for everyone.
+  int halved_cap_loops = 0;
+
+  // HDFS-15439 analog: `retry != maxAttempts` with a negative configured cap
+  // retries forever. Unit testing catches it; the LLM sees a comparison and
+  // believes a cap exists (false negative for static checking).
+  int negative_config_cap_loops = 0;
+
+  // Background-maintenance modules: five periodic catch-in-loop methods each,
+  // with no retry wording. They populate the §4.4 keyword ablation (candidate
+  // loops the filter prunes) and the LLM's iteration-FP lottery.
+  int background_daemons = 0;
+
+  // Retry-free utility modules with plain assertion tests; they provide the
+  // large population of unit tests that do NOT cover retry (Table 6).
+  int unrelated_util_files = 0;
+};
+
+struct GeneratorSpec {
+  std::string app;           // Corpus id, e.g. "hbase".
+  std::string display_name;  // "HBase".
+  uint64_t seed = 1;
+  ModuleCounts counts;
+  // Every generated test also touches the shared RPC client so that planning
+  // has redundant coverage to eliminate (Table 6).
+  bool shared_rpc_client = true;
+};
+
+struct GeneratedApp {
+  std::string name;
+  std::string display_name;
+  // file name -> mj source text.
+  std::vector<std::pair<std::string, std::string>> files;
+  std::vector<SeededBug> bugs;
+  std::vector<std::pair<std::string, int64_t>> default_int_configs;
+  int seeded_retry_structures = 0;  // True retry structures (excludes look-alikes).
+  // Qualified coordinator methods ("Class.method") that genuinely implement
+  // retry — the structure-level ground truth behind the §4.2 identification-
+  // accuracy evaluation. seeded_retry_structures == this vector's size.
+  std::vector<std::string> true_retry_coordinators;
+};
+
+GeneratedApp GenerateApp(const GeneratorSpec& spec);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_CORPUS_GENERATOR_H_

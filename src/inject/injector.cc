@@ -1,0 +1,56 @@
+#include "src/inject/injector.h"
+
+namespace wasabi {
+
+FaultInjector::FaultInjector(std::vector<InjectionPoint> points)
+    : points_(std::move(points)), counts_(points_.size(), 0) {}
+
+void FaultInjector::OnCall(const CallEvent& event, Interpreter& interp) {
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const InjectionPoint& point = points_[i];
+    if (event.callee != point.callee) {
+      continue;
+    }
+    if (!point.caller.empty() && event.caller != point.caller) {
+      continue;
+    }
+    if (counts_[i] >= point.max_injections) {
+      continue;
+    }
+    ++counts_[i];
+
+    LogEntry entry;
+    entry.kind = LogEntryKind::kInjection;
+    entry.virtual_time_ms = interp.now_ms();
+    entry.amount = counts_[i];
+    entry.injection_callee = point.callee;
+    entry.injection_caller = point.caller.empty() ? event.caller : point.caller;
+    entry.injection_exception = point.exception;
+    entry.caller_activation = event.caller_activation;
+    entry.call_stack = interp.CaptureStack();
+    entry.text = "injected " + point.exception + " #" + std::to_string(counts_[i]) + " at " +
+                 point.callee + " from " + entry.injection_caller;
+    interp.log().Append(std::move(entry));
+
+    throw ThrownException{
+        interp.MakeException(point.exception, "injected by WASABI at " + point.callee)};
+  }
+}
+
+int FaultInjector::InjectionCount(size_t point_index) const {
+  return point_index < counts_.size() ? counts_[point_index] : 0;
+}
+
+int FaultInjector::TotalInjections() const {
+  int total = 0;
+  for (int count : counts_) {
+    total += count;
+  }
+  return total;
+}
+
+void FaultInjector::Reset() {
+  counts_.assign(points_.size(), 0);
+}
+
+}  // namespace wasabi

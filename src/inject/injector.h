@@ -1,0 +1,57 @@
+// Fault injection for the repurposed-unit-testing workflow (§3.1.2).
+//
+// The FaultInjector is the Listing-5 handler: registered as a pointcut on the
+// interpreter, it throws the configured trigger exception the first K times
+// the retried method (callee) is invoked from the coordinator method (caller),
+// and writes one log entry per injection so the oracles can count attempts and
+// check inter-attempt delays. K = 1 exercises post-retry code (HOW bugs);
+// K = 100 exercises cap/delay logic (WHEN bugs).
+
+#ifndef WASABI_SRC_INJECT_INJECTOR_H_
+#define WASABI_SRC_INJECT_INJECTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/interp/interpreter.h"
+
+namespace wasabi {
+
+// The two K settings the paper runs every planned test with (§3.1.2).
+inline constexpr int kInjectOnce = 1;
+inline constexpr int kInjectRepeatedly = 100;
+
+struct InjectionPoint {
+  std::string callee;     // Qualified retried-method name.
+  std::string caller;     // Qualified coordinator name; "" matches any caller.
+  std::string exception;  // Trigger exception class to throw.
+  int max_injections = kInjectOnce;  // K.
+
+  std::string Key() const { return callee + "<-" + caller + ":" + exception; }
+};
+
+class FaultInjector : public CallInterceptor {
+ public:
+  explicit FaultInjector(std::vector<InjectionPoint> points);
+
+  // Listing 5: if this (callee, caller, exception) point has fired fewer than
+  // K times, log and throw the exception.
+  void OnCall(const CallEvent& event, Interpreter& interp) override;
+
+  const std::vector<InjectionPoint>& points() const { return points_; }
+
+  // How many times the i-th point has fired.
+  int InjectionCount(size_t point_index) const;
+  int TotalInjections() const;
+
+  void Reset();
+
+ private:
+  std::vector<InjectionPoint> points_;
+  std::vector<int> counts_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_INJECT_INJECTOR_H_

@@ -1,0 +1,31 @@
+#include "src/interp/exec_log.h"
+
+#include <sstream>
+
+namespace wasabi {
+
+std::string ExecutionLog::Dump() const {
+  std::ostringstream out;
+  for (const LogEntry& entry : entries_) {
+    out << "[" << entry.virtual_time_ms << "ms] ";
+    switch (entry.kind) {
+      case LogEntryKind::kAppLog:
+        out << "LOG " << entry.text;
+        break;
+      case LogEntryKind::kSleep:
+        out << "SLEEP " << entry.amount << "ms";
+        if (!entry.call_stack.empty()) {
+          out << " in " << entry.call_stack.back();
+        }
+        break;
+      case LogEntryKind::kInjection:
+        out << "INJECT " << entry.injection_exception << " #" << entry.amount << " at "
+            << entry.injection_callee << " from " << entry.injection_caller;
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace wasabi

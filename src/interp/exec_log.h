@@ -1,0 +1,58 @@
+// Execution log for interpreted runs.
+//
+// The WASABI oracles are log-based (§3.1.3): the fault-injection handler and
+// the sleep-API hook write entries during a test run; after the run, the
+// oracles classify the log. Entries carry the virtual timestamp and, for sleep
+// entries, the call stack at the time of the call ("WASABI compares the call
+// stack to only consider a sleep issued from the corresponding coordinator
+// method").
+
+#ifndef WASABI_SRC_INTERP_EXEC_LOG_H_
+#define WASABI_SRC_INTERP_EXEC_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wasabi {
+
+enum class LogEntryKind : uint8_t {
+  kAppLog,     // Log.info/warn/error/debug from application code.
+  kSleep,      // A sleep API was invoked.
+  kInjection,  // The fault injector threw an exception.
+};
+
+struct LogEntry {
+  LogEntryKind kind = LogEntryKind::kAppLog;
+  int64_t virtual_time_ms = 0;
+  std::string text;
+  // kSleep: milliseconds slept. kInjection: how many times this point fired.
+  int64_t amount = 0;
+  // kInjection: identifies the injection point.
+  std::string injection_callee;
+  std::string injection_caller;
+  std::string injection_exception;
+  // kInjection: the caller activation the injection happened in (two
+  // injections share it iff they hit the same invocation of the coordinator).
+  int64_t caller_activation = 0;
+  // Call stack (outermost first) at the time of the event, for kSleep and
+  // kInjection entries.
+  std::vector<std::string> call_stack;
+};
+
+class ExecutionLog {
+ public:
+  void Append(LogEntry entry) { entries_.push_back(std::move(entry)); }
+  const std::vector<LogEntry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+  // Rendering for debugging and EXPERIMENTS.md excerpts.
+  std::string Dump() const;
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_INTERP_EXEC_LOG_H_

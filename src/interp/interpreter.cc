@@ -1,0 +1,1154 @@
+#include "src/interp/interpreter.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wasabi {
+
+using mj::AstKind;
+
+const char* AbortReasonName(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kStepBudget:
+      return "step budget exceeded";
+    case AbortReason::kVirtualTimeBudget:
+      return "virtual time budget exceeded";
+    case AbortReason::kStackOverflow:
+      return "stack overflow";
+  }
+  return "unknown";
+}
+
+Interpreter::Interpreter(const mj::Program& program, const mj::ProgramIndex& index,
+                         InterpOptions options)
+    : program_(program), index_(index), options_(options) {}
+
+void Interpreter::SetConfig(const std::string& key, Value value) {
+  config_[key] = std::move(value);
+}
+
+void Interpreter::FreezeConfig(const std::string& key) {
+  frozen_config_keys_.insert(key);
+}
+
+void Interpreter::AddInterceptor(CallInterceptor* interceptor) {
+  interceptors_.push_back(interceptor);
+}
+
+std::vector<std::string> Interpreter::CaptureStack() const {
+  std::vector<std::string> stack;
+  stack.reserve(frames_.size());
+  for (const Frame& frame : frames_) {
+    stack.push_back(frame.qualified_name);
+  }
+  return stack;
+}
+
+Interpreter::Frame& Interpreter::CurrentFrame() {
+  assert(!frames_.empty());
+  return frames_.back();
+}
+
+void Interpreter::Step() {
+  if (++steps_ > options_.step_budget) {
+    throw ExecutionAborted{AbortReason::kStepBudget};
+  }
+}
+
+void Interpreter::Sleep(int64_t millis) {
+  if (millis < 0) {
+    millis = 0;
+  }
+  virtual_time_ms_ += millis;
+  LogEntry entry;
+  entry.kind = LogEntryKind::kSleep;
+  entry.virtual_time_ms = virtual_time_ms_;
+  entry.amount = millis;
+  entry.call_stack = CaptureStack();
+  log_.Append(std::move(entry));
+  if (virtual_time_ms_ > options_.virtual_time_budget_ms) {
+    throw ExecutionAborted{AbortReason::kVirtualTimeBudget};
+  }
+}
+
+ObjectRef Interpreter::MakeException(const std::string& class_name, const std::string& message) {
+  const mj::ClassDecl* cls = index_.FindClass(class_name);
+  ObjectRef exception;
+  if (cls != nullptr) {
+    exception = NewInstance(*cls);
+  } else {
+    exception = std::make_shared<Object>(ObjectKind::kException, class_name);
+  }
+  exception->set_message(message);
+  exception->set_origin_stack(CaptureStack());
+  return exception;
+}
+
+void Interpreter::ThrowMj(const std::string& class_name, const std::string& message) {
+  throw ThrownException{MakeException(class_name, message)};
+}
+
+bool Interpreter::AsBool(const Value& value, mj::SourceLocation location) {
+  if (IsBool(value)) {
+    return std::get<bool>(value);
+  }
+  ThrowMj("IllegalStateException",
+          "type error at line " + std::to_string(location.line) + ": expected bool, got " +
+              ValueToString(value));
+}
+
+int64_t Interpreter::AsInt(const Value& value, mj::SourceLocation location) {
+  if (IsInt(value)) {
+    return std::get<int64_t>(value);
+  }
+  ThrowMj("IllegalStateException",
+          "type error at line " + std::to_string(location.line) + ": expected int, got " +
+              ValueToString(value));
+}
+
+// ---------------------------------------------------------------------------
+// Objects, fields, variables
+// ---------------------------------------------------------------------------
+
+ObjectRef Interpreter::NewInstance(const mj::ClassDecl& cls) {
+  auto object = std::make_shared<Object>(ObjectKind::kInstance, cls.name);
+  object->set_decl(&cls);
+
+  // Run field initializers, base classes first, with `this` bound.
+  std::vector<const mj::ClassDecl*> chain;
+  const mj::ClassDecl* current = &cls;
+  int depth = 0;
+  while (current != nullptr && depth++ < 64) {
+    chain.push_back(current);
+    current = current->base_name.empty() ? nullptr : index_.FindClass(current->base_name);
+  }
+  frames_.push_back(Frame{nullptr, cls.name + ".<init>", object, {{}}, next_activation_++});
+  struct PopFrame {
+    std::deque<Frame>* frames;
+    ~PopFrame() { frames->pop_back(); }
+  } pop{&frames_};
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const mj::FieldDecl* field : (*it)->fields) {
+      Value value;  // null by default.
+      if (field->init != nullptr) {
+        value = Eval(*field->init);
+      }
+      object->fields()[field->name] = std::move(value);
+    }
+  }
+  return object;
+}
+
+ObjectRef Interpreter::SingletonOf(const mj::ClassDecl& cls) {
+  auto it = singletons_.find(&cls);
+  if (it != singletons_.end()) {
+    return it->second;
+  }
+  ObjectRef instance = NewInstance(cls);
+  singletons_.emplace(&cls, instance);
+  return instance;
+}
+
+Value* Interpreter::FindVariable(const std::string& name) {
+  if (frames_.empty()) {
+    return nullptr;
+  }
+  Frame& frame = frames_.back();
+  for (auto it = frame.scopes.rbegin(); it != frame.scopes.rend(); ++it) {
+    auto found = it->find(name);
+    if (found != it->end()) {
+      return &found->second;
+    }
+  }
+  return nullptr;
+}
+
+void Interpreter::DefineVariable(const std::string& name, Value value) {
+  CurrentFrame().scopes.back()[name] = std::move(value);
+}
+
+Value Interpreter::ReadField(const ObjectRef& object, const std::string& field,
+                             mj::SourceLocation location) {
+  auto it = object->fields().find(field);
+  if (it != object->fields().end()) {
+    return it->second;
+  }
+  // Declared but never assigned (no initializer ran because the declaration
+  // lives on an unknown base class, etc.): null. Unknown fields are an error.
+  const mj::ClassDecl* cls = object->decl();
+  int depth = 0;
+  while (cls != nullptr && depth++ < 64) {
+    for (const mj::FieldDecl* decl : cls->fields) {
+      if (decl->name == field) {
+        return Value{};
+      }
+    }
+    cls = cls->base_name.empty() ? nullptr : index_.FindClass(cls->base_name);
+  }
+  ThrowMj("IllegalStateException", "no such field '" + field + "' on " + object->class_name() +
+                                       " at line " + std::to_string(location.line));
+}
+
+void Interpreter::WriteField(const ObjectRef& object, const std::string& field, Value value) {
+  object->fields()[field] = std::move(value);
+}
+
+// ---------------------------------------------------------------------------
+// Builtins
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int64_t IntPow(int64_t base, int64_t exponent) {
+  if (exponent < 0) {
+    return 0;
+  }
+  int64_t result = 1;
+  for (int64_t i = 0; i < exponent && i < 62; ++i) {
+    result *= base;
+    if (result > (int64_t{1} << 52)) {
+      return result;  // Clamp-ish: avoid overflow in pathological backoffs.
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+bool Interpreter::TryBuiltinStatic(const std::string& receiver, const mj::CallExpr& call,
+                                   Value* result) {
+  auto eval_args = [&]() {
+    std::vector<Value> args;
+    args.reserve(call.args.size());
+    for (const mj::Expr* arg : call.args) {
+      args.push_back(Eval(*arg));
+    }
+    return args;
+  };
+  auto arg_count_error = [&]() {
+    ThrowMj("IllegalArgumentException",
+            "wrong argument count for " + receiver + "." + call.callee);
+  };
+
+  if (receiver == "Thread" || receiver == "TimeUnit" || receiver == "Timer" ||
+      receiver == "Object") {
+    // The sleep APIs the paper's delay oracle instruments (§3.1.3).
+    bool is_sleep =
+        (receiver == "Thread" && call.callee == "sleep") ||
+        (receiver == "TimeUnit" &&
+         (call.callee == "sleep" || call.callee == "timedWait" ||
+          call.callee == "scheduledExecutionTime")) ||
+        (receiver == "Timer" && (call.callee == "wait" || call.callee == "schedule")) ||
+        (receiver == "Object" && call.callee == "wait");
+    if (is_sleep) {
+      std::vector<Value> args = eval_args();
+      if (args.empty()) {
+        arg_count_error();
+      }
+      // Timer.schedule(delay) and friends: the delay is the last int argument.
+      Sleep(AsInt(args.back(), call.location));
+      *result = Value{};
+      return true;
+    }
+    return false;
+  }
+
+  if (receiver == "Clock") {
+    if (call.callee == "nowMillis" || call.callee == "now") {
+      *result = Value{virtual_time_ms_};
+      return true;
+    }
+    return false;
+  }
+
+  if (receiver == "Log") {
+    if (call.callee == "info" || call.callee == "warn" || call.callee == "error" ||
+        call.callee == "debug") {
+      std::vector<Value> args = eval_args();
+      std::string text;
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) {
+          text += " ";
+        }
+        text += ValueToString(args[i]);
+      }
+      LogEntry entry;
+      entry.kind = LogEntryKind::kAppLog;
+      entry.virtual_time_ms = virtual_time_ms_;
+      entry.text = std::move(text);
+      log_.Append(std::move(entry));
+      *result = Value{};
+      return true;
+    }
+    return false;
+  }
+
+  if (receiver == "Config") {
+    std::vector<Value> args = eval_args();
+    if (call.callee == "set") {
+      if (args.size() != 2 || !IsString(args[0])) {
+        arg_count_error();
+      }
+      const std::string& key = std::get<std::string>(args[0]);
+      if (frozen_config_keys_.count(key) == 0) {
+        config_[key] = args[1];
+      }
+      *result = Value{};
+      return true;
+    }
+    if (call.callee == "getInt" || call.callee == "getBool" || call.callee == "getString" ||
+        call.callee == "get") {
+      if (args.empty() || !IsString(args[0])) {
+        arg_count_error();
+      }
+      auto it = config_.find(std::get<std::string>(args[0]));
+      if (it != config_.end()) {
+        *result = it->second;
+      } else if (args.size() >= 2) {
+        *result = args[1];  // Caller-provided default.
+      } else {
+        *result = Value{};
+      }
+      return true;
+    }
+    return false;
+  }
+
+  if (receiver == "Math") {
+    std::vector<Value> args = eval_args();
+    if (call.callee == "pow" && args.size() == 2) {
+      *result = Value{IntPow(AsInt(args[0], call.location), AsInt(args[1], call.location))};
+      return true;
+    }
+    if (call.callee == "min" && args.size() == 2) {
+      *result = Value{std::min(AsInt(args[0], call.location), AsInt(args[1], call.location))};
+      return true;
+    }
+    if (call.callee == "max" && args.size() == 2) {
+      *result = Value{std::max(AsInt(args[0], call.location), AsInt(args[1], call.location))};
+      return true;
+    }
+    if (call.callee == "abs" && args.size() == 1) {
+      int64_t v = AsInt(args[0], call.location);
+      *result = Value{v < 0 ? -v : v};
+      return true;
+    }
+    return false;
+  }
+
+  if (receiver == "Assert") {
+    std::vector<Value> args = eval_args();
+    auto message_from = [&](size_t index) {
+      return args.size() > index && IsString(args[index]) ? std::get<std::string>(args[index])
+                                                          : std::string();
+    };
+    if (call.callee == "assertTrue" || call.callee == "assertFalse") {
+      if (args.empty()) {
+        arg_count_error();
+      }
+      bool condition = AsBool(args[0], call.location);
+      bool expected = call.callee == "assertTrue";
+      if (condition != expected) {
+        std::string msg = message_from(1);
+        ThrowMj("AssertionError", msg.empty() ? call.callee + " failed" : msg);
+      }
+      *result = Value{};
+      return true;
+    }
+    if (call.callee == "assertEquals") {
+      if (args.size() < 2) {
+        arg_count_error();
+      }
+      if (!ValueEquals(args[0], args[1])) {
+        std::string msg = message_from(2);
+        ThrowMj("AssertionError", msg.empty() ? "assertEquals failed: expected " +
+                                                    ValueToString(args[0]) + ", got " +
+                                                    ValueToString(args[1])
+                                              : msg);
+      }
+      *result = Value{};
+      return true;
+    }
+    if (call.callee == "assertNull" || call.callee == "assertNotNull") {
+      if (args.empty()) {
+        arg_count_error();
+      }
+      bool is_null = IsNull(args[0]);
+      bool expected = call.callee == "assertNull";
+      if (is_null != expected) {
+        std::string msg = message_from(1);
+        ThrowMj("AssertionError", msg.empty() ? call.callee + " failed" : msg);
+      }
+      *result = Value{};
+      return true;
+    }
+    if (call.callee == "fail") {
+      std::string msg = message_from(0);
+      ThrowMj("AssertionError", msg.empty() ? "fail() called" : msg);
+    }
+    return false;
+  }
+
+  return false;
+}
+
+bool Interpreter::TryStringMethod(const std::string& text, const mj::CallExpr& call,
+                                  std::vector<Value>& args, Value* result) {
+  if (call.callee == "length" && args.empty()) {
+    *result = Value{static_cast<int64_t>(text.size())};
+    return true;
+  }
+  if (call.callee == "isEmpty" && args.empty()) {
+    *result = Value{text.empty()};
+    return true;
+  }
+  if ((call.callee == "contains" || call.callee == "startsWith" || call.callee == "endsWith" ||
+       call.callee == "equals") &&
+      args.size() == 1 && IsString(args[0])) {
+    const std::string& needle = std::get<std::string>(args[0]);
+    if (call.callee == "contains") {
+      *result = Value{text.find(needle) != std::string::npos};
+    } else if (call.callee == "startsWith") {
+      *result = Value{text.rfind(needle, 0) == 0};
+    } else if (call.callee == "endsWith") {
+      *result = Value{needle.size() <= text.size() &&
+                      text.compare(text.size() - needle.size(), needle.size(), needle) == 0};
+    } else {
+      *result = Value{text == needle};
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Interpreter::TryBuiltinMethod(const ObjectRef& object, const mj::CallExpr& call,
+                                   std::vector<Value>& args, Value* result) {
+  const std::string& name = call.callee;
+  switch (object->kind()) {
+    case ObjectKind::kQueue: {
+      auto& queue = object->elements();
+      if ((name == "put" || name == "add" || name == "offer" || name == "enqueue" ||
+           name == "reenqueue" || name == "push") &&
+          args.size() == 1) {
+        queue.push_back(args[0]);
+        *result = Value{};
+        return true;
+      }
+      if ((name == "take" || name == "remove") && args.empty()) {
+        if (queue.empty()) {
+          ThrowMj("IllegalStateException", "take() on empty Queue");
+        }
+        *result = queue.front();
+        queue.pop_front();
+        return true;
+      }
+      if (name == "poll" && args.empty()) {
+        if (queue.empty()) {
+          *result = Value{};
+        } else {
+          *result = queue.front();
+          queue.pop_front();
+        }
+        return true;
+      }
+      if (name == "peek" && args.empty()) {
+        *result = queue.empty() ? Value{} : queue.front();
+        return true;
+      }
+      if (name == "size" && args.empty()) {
+        *result = Value{static_cast<int64_t>(queue.size())};
+        return true;
+      }
+      if (name == "isEmpty" && args.empty()) {
+        *result = Value{queue.empty()};
+        return true;
+      }
+      if (name == "clear" && args.empty()) {
+        queue.clear();
+        *result = Value{};
+        return true;
+      }
+      return false;
+    }
+    case ObjectKind::kList: {
+      auto& list = object->elements();
+      if (name == "add" && args.size() == 1) {
+        list.push_back(args[0]);
+        *result = Value{};
+        return true;
+      }
+      if ((name == "get" || name == "set") && !args.empty() && IsInt(args[0])) {
+        int64_t i = std::get<int64_t>(args[0]);
+        if (i < 0 || i >= static_cast<int64_t>(list.size())) {
+          ThrowMj("IllegalArgumentException",
+                  "index " + std::to_string(i) + " out of bounds for List of size " +
+                      std::to_string(list.size()));
+        }
+        if (name == "get" && args.size() == 1) {
+          *result = list[static_cast<size_t>(i)];
+          return true;
+        }
+        if (name == "set" && args.size() == 2) {
+          list[static_cast<size_t>(i)] = args[1];
+          *result = Value{};
+          return true;
+        }
+        return false;
+      }
+      if (name == "contains" && args.size() == 1) {
+        bool found = false;
+        for (const Value& element : list) {
+          if (ValueEquals(element, args[0])) {
+            found = true;
+          }
+        }
+        *result = Value{found};
+        return true;
+      }
+      if (name == "size" && args.empty()) {
+        *result = Value{static_cast<int64_t>(list.size())};
+        return true;
+      }
+      if (name == "isEmpty" && args.empty()) {
+        *result = Value{list.empty()};
+        return true;
+      }
+      if (name == "clear" && args.empty()) {
+        list.clear();
+        *result = Value{};
+        return true;
+      }
+      return false;
+    }
+    case ObjectKind::kMap: {
+      auto& map = object->entries();
+      bool key_ok = false;
+      if (name == "put" && args.size() == 2) {
+        std::string key = MapKeyFor(args[0], &key_ok);
+        if (!key_ok) {
+          ThrowMj("IllegalArgumentException", "unsupported Map key type");
+        }
+        map[key] = args[1];
+        *result = Value{};
+        return true;
+      }
+      if ((name == "get" || name == "containsKey" || name == "remove") && args.size() == 1) {
+        std::string key = MapKeyFor(args[0], &key_ok);
+        if (!key_ok) {
+          ThrowMj("IllegalArgumentException", "unsupported Map key type");
+        }
+        auto it = map.find(key);
+        if (name == "get") {
+          *result = it == map.end() ? Value{} : it->second;
+        } else if (name == "containsKey") {
+          *result = Value{it != map.end()};
+        } else {
+          if (it != map.end()) {
+            map.erase(it);
+          }
+          *result = Value{};
+        }
+        return true;
+      }
+      if (name == "size" && args.empty()) {
+        *result = Value{static_cast<int64_t>(map.size())};
+        return true;
+      }
+      if (name == "isEmpty" && args.empty()) {
+        *result = Value{map.empty()};
+        return true;
+      }
+      if (name == "clear" && args.empty()) {
+        map.clear();
+        *result = Value{};
+        return true;
+      }
+      return false;
+    }
+    case ObjectKind::kException:
+    case ObjectKind::kInstance: {
+      // Exception accessors available on any throwable-ish object whose user
+      // class does not override them.
+      if (name == "getMessage" && args.empty()) {
+        *result = object->message().empty() ? Value{} : Value{object->message()};
+        return true;
+      }
+      if (name == "getCause" && args.empty()) {
+        *result = object->cause() == nullptr ? Value{} : Value{object->cause()};
+        return true;
+      }
+      if (name == "toString" && args.empty()) {
+        *result = Value{object->class_name() +
+                        (object->message().empty() ? "" : ": " + object->message())};
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+// ---------------------------------------------------------------------------
+
+Value Interpreter::CallMethod(const mj::MethodDecl& method, ObjectRef self,
+                              std::vector<Value> args, const mj::CallExpr* site) {
+  if (static_cast<int>(frames_.size()) >= options_.max_call_depth) {
+    throw ExecutionAborted{AbortReason::kStackOverflow};
+  }
+
+  CallEvent event;
+  event.caller = frames_.empty() ? "" : frames_.back().qualified_name;
+  event.callee = method.QualifiedName();
+  event.site = site;
+  event.caller_activation = frames_.empty() ? 0 : frames_.back().activation;
+  for (CallInterceptor* interceptor : interceptors_) {
+    interceptor->OnCall(event, *this);  // May throw ThrownException.
+  }
+
+  if (method.body == nullptr) {
+    ThrowMj("UnsupportedOperationException",
+            "call to method without a body: " + method.QualifiedName());
+  }
+
+  frames_.push_back(Frame{&method, method.QualifiedName(), std::move(self), {{}},
+                          next_activation_++});
+  struct PopFrame {
+    std::deque<Frame>* frames;
+    ~PopFrame() { frames->pop_back(); }
+  } pop{&frames_};
+
+  for (size_t i = 0; i < method.params.size(); ++i) {
+    Value value = i < args.size() ? std::move(args[i]) : Value{};
+    DefineVariable(method.params[i]->name, std::move(value));
+  }
+
+  Flow flow = ExecBlock(*method.body);
+  if (flow.kind == FlowKind::kReturn) {
+    return flow.value;
+  }
+  return Value{};
+}
+
+Value Interpreter::EvalCall(const mj::CallExpr& call) {
+  Step();
+
+  // --- Determine the receiver ------------------------------------------------
+  Value receiver_value;
+  bool have_receiver_value = false;
+
+  if (call.base == nullptr || call.base->kind == AstKind::kThis) {
+    // this-call.
+    ObjectRef self = frames_.empty() ? nullptr : CurrentFrame().self;
+    if (self == nullptr) {
+      ThrowMj("IllegalStateException", "implicit this-call outside an instance: " + call.callee);
+    }
+    receiver_value = Value{self};
+    have_receiver_value = true;
+  } else if (call.base->kind == AstKind::kName) {
+    const std::string& name = static_cast<const mj::NameExpr*>(call.base)->name;
+    if (Value* local = FindVariable(name); local != nullptr) {
+      receiver_value = *local;
+      have_receiver_value = true;
+    } else {
+      Value result;
+      if (TryBuiltinStatic(name, call, &result)) {
+        return result;
+      }
+      if (const mj::ClassDecl* cls = index_.FindClass(name); cls != nullptr) {
+        receiver_value = Value{SingletonOf(*cls)};
+        have_receiver_value = true;
+      } else {
+        ThrowMj("IllegalStateException", "undefined receiver '" + name + "' at line " +
+                                             std::to_string(call.location.line));
+      }
+    }
+  }
+
+  if (!have_receiver_value) {
+    receiver_value = Eval(*call.base);
+  }
+
+  // --- Evaluate arguments ------------------------------------------------------
+  std::vector<Value> args;
+  args.reserve(call.args.size());
+  for (const mj::Expr* arg : call.args) {
+    args.push_back(Eval(*arg));
+  }
+
+  // --- Dispatch ---------------------------------------------------------------
+  if (IsNull(receiver_value)) {
+    ThrowMj("NullPointerException", "call of '" + call.callee + "' on null at line " +
+                                        std::to_string(call.location.line));
+  }
+  if (IsString(receiver_value)) {
+    Value result;
+    if (TryStringMethod(std::get<std::string>(receiver_value), call, args, &result)) {
+      return result;
+    }
+    ThrowMj("IllegalStateException", "no String method '" + call.callee + "'");
+  }
+  if (!IsObject(receiver_value)) {
+    ThrowMj("IllegalStateException", "call of '" + call.callee + "' on non-object " +
+                                         ValueToString(receiver_value));
+  }
+
+  ObjectRef object = std::get<ObjectRef>(receiver_value);
+  if (object->decl() != nullptr) {
+    const mj::MethodDecl* method = index_.ResolveMethod(*object->decl(), call.callee);
+    if (method != nullptr) {
+      return CallMethod(*method, object, std::move(args), &call);
+    }
+  }
+  Value result;
+  if (TryBuiltinMethod(object, call, args, &result)) {
+    return result;
+  }
+  ThrowMj("IllegalStateException", "no method '" + call.callee + "' on " +
+                                       object->class_name() + " at line " +
+                                       std::to_string(call.location.line));
+}
+
+Value Interpreter::EvalNew(const mj::NewExpr& expr) {
+  Step();
+  std::vector<Value> args;
+  args.reserve(expr.args.size());
+  for (const mj::Expr* arg : expr.args) {
+    args.push_back(Eval(*arg));
+  }
+  return Instantiate(expr.class_name, std::move(args));
+}
+
+Value Interpreter::Instantiate(const std::string& class_name, std::vector<Value> args) {
+  if (class_name == "Queue") {
+    return Value{std::make_shared<Object>(ObjectKind::kQueue, "Queue")};
+  }
+  if (class_name == "List") {
+    return Value{std::make_shared<Object>(ObjectKind::kList, "List")};
+  }
+  if (class_name == "Map") {
+    return Value{std::make_shared<Object>(ObjectKind::kMap, "Map")};
+  }
+
+  ObjectRef object;
+  const mj::ClassDecl* cls = index_.FindClass(class_name);
+  if (cls != nullptr) {
+    object = NewInstance(*cls);
+  } else if (mj::IsBuiltinException(class_name)) {
+    object = std::make_shared<Object>(ObjectKind::kException, class_name);
+  } else {
+    ThrowMj("IllegalStateException", "unknown class '" + class_name + "'");
+  }
+  object->set_origin_stack(CaptureStack());
+
+  // Constructor conventions: an explicit `init` method wins; otherwise
+  // (message), (cause), or (message, cause) in exception style.
+  if (cls != nullptr) {
+    const mj::MethodDecl* init = index_.ResolveMethod(*cls, "init");
+    if (init != nullptr) {
+      CallMethod(*init, object, std::move(args), nullptr);
+      return Value{object};
+    }
+  }
+  for (const Value& arg : args) {
+    if (IsString(arg)) {
+      object->set_message(std::get<std::string>(arg));
+    } else if (IsObject(arg)) {
+      object->set_cause(std::get<ObjectRef>(arg));
+    }
+  }
+  return Value{object};
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Value Interpreter::EvalBinary(const mj::BinaryExpr& expr) {
+  using mj::BinaryOp;
+  // Short-circuit operators first.
+  if (expr.op == BinaryOp::kAnd || expr.op == BinaryOp::kOr) {
+    bool lhs = AsBool(Eval(*expr.lhs), expr.location);
+    if (expr.op == BinaryOp::kAnd && !lhs) {
+      return Value{false};
+    }
+    if (expr.op == BinaryOp::kOr && lhs) {
+      return Value{true};
+    }
+    return Value{AsBool(Eval(*expr.rhs), expr.location)};
+  }
+
+  Value lhs = Eval(*expr.lhs);
+  Value rhs = Eval(*expr.rhs);
+  switch (expr.op) {
+    case BinaryOp::kAdd:
+      if (IsString(lhs) || IsString(rhs)) {
+        return Value{ValueToString(lhs) + ValueToString(rhs)};
+      }
+      return Value{AsInt(lhs, expr.location) + AsInt(rhs, expr.location)};
+    case BinaryOp::kSub:
+      return Value{AsInt(lhs, expr.location) - AsInt(rhs, expr.location)};
+    case BinaryOp::kMul:
+      return Value{AsInt(lhs, expr.location) * AsInt(rhs, expr.location)};
+    case BinaryOp::kDiv: {
+      int64_t divisor = AsInt(rhs, expr.location);
+      if (divisor == 0) {
+        ThrowMj("ArithmeticException", "division by zero");
+      }
+      return Value{AsInt(lhs, expr.location) / divisor};
+    }
+    case BinaryOp::kMod: {
+      int64_t divisor = AsInt(rhs, expr.location);
+      if (divisor == 0) {
+        ThrowMj("ArithmeticException", "modulo by zero");
+      }
+      return Value{AsInt(lhs, expr.location) % divisor};
+    }
+    case BinaryOp::kEq:
+      return Value{ValueEquals(lhs, rhs)};
+    case BinaryOp::kNe:
+      return Value{!ValueEquals(lhs, rhs)};
+    case BinaryOp::kLt:
+      return Value{AsInt(lhs, expr.location) < AsInt(rhs, expr.location)};
+    case BinaryOp::kLe:
+      return Value{AsInt(lhs, expr.location) <= AsInt(rhs, expr.location)};
+    case BinaryOp::kGt:
+      return Value{AsInt(lhs, expr.location) > AsInt(rhs, expr.location)};
+    case BinaryOp::kGe:
+      return Value{AsInt(lhs, expr.location) >= AsInt(rhs, expr.location)};
+    default:
+      ThrowMj("IllegalStateException", "unsupported binary operator");
+  }
+}
+
+Value Interpreter::Eval(const mj::Expr& expr) {
+  switch (expr.kind) {
+    case AstKind::kIntLiteral:
+      return Value{static_cast<const mj::IntLiteralExpr&>(expr).value};
+    case AstKind::kBoolLiteral:
+      return Value{static_cast<const mj::BoolLiteralExpr&>(expr).value};
+    case AstKind::kStringLiteral:
+      return Value{static_cast<const mj::StringLiteralExpr&>(expr).value};
+    case AstKind::kNullLiteral:
+      return Value{};
+    case AstKind::kThis: {
+      ObjectRef self = frames_.empty() ? nullptr : CurrentFrame().self;
+      if (self == nullptr) {
+        ThrowMj("IllegalStateException", "'this' outside an instance method");
+      }
+      return Value{self};
+    }
+    case AstKind::kName: {
+      const std::string& name = static_cast<const mj::NameExpr&>(expr).name;
+      if (Value* local = FindVariable(name); local != nullptr) {
+        return *local;
+      }
+      ThrowMj("IllegalStateException",
+              "undefined variable '" + name + "' at line " + std::to_string(expr.location.line));
+    }
+    case AstKind::kFieldAccess: {
+      const auto& access = static_cast<const mj::FieldAccessExpr&>(expr);
+      Value base = Eval(*access.base);
+      if (IsNull(base)) {
+        ThrowMj("NullPointerException", "field access '" + access.field + "' on null at line " +
+                                            std::to_string(expr.location.line));
+      }
+      if (!IsObject(base)) {
+        ThrowMj("IllegalStateException",
+                "field access on non-object " + ValueToString(base));
+      }
+      return ReadField(std::get<ObjectRef>(base), access.field, expr.location);
+    }
+    case AstKind::kCall:
+      return EvalCall(static_cast<const mj::CallExpr&>(expr));
+    case AstKind::kNew:
+      return EvalNew(static_cast<const mj::NewExpr&>(expr));
+    case AstKind::kUnary: {
+      const auto& unary = static_cast<const mj::UnaryExpr&>(expr);
+      Value operand = Eval(*unary.operand);
+      if (unary.op == mj::UnaryOp::kNot) {
+        return Value{!AsBool(operand, expr.location)};
+      }
+      return Value{-AsInt(operand, expr.location)};
+    }
+    case AstKind::kBinary:
+      return EvalBinary(static_cast<const mj::BinaryExpr&>(expr));
+    case AstKind::kInstanceOf: {
+      const auto& iof = static_cast<const mj::InstanceOfExpr&>(expr);
+      Value operand = Eval(*iof.operand);
+      if (!IsObject(operand)) {
+        return Value{false};
+      }
+      return Value{
+          index_.IsSubtype(std::get<ObjectRef>(operand)->class_name(), iof.type_name)};
+    }
+    default:
+      ThrowMj("IllegalStateException", "unsupported expression");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+Interpreter::Flow Interpreter::ExecBlock(const mj::BlockStmt& block) {
+  CurrentFrame().scopes.emplace_back();
+  struct PopScope {
+    Frame* frame;
+    ~PopScope() { frame->scopes.pop_back(); }
+  } pop{&CurrentFrame()};
+  for (const mj::Stmt* stmt : block.statements) {
+    Flow flow = ExecStmt(*stmt);
+    if (flow.kind != FlowKind::kNormal) {
+      return flow;
+    }
+  }
+  return Flow{};
+}
+
+Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
+  Step();
+  switch (stmt.kind) {
+    case AstKind::kBlock:
+      return ExecBlock(static_cast<const mj::BlockStmt&>(stmt));
+
+    case AstKind::kVarDecl: {
+      const auto& decl = static_cast<const mj::VarDeclStmt&>(stmt);
+      DefineVariable(decl.name, Eval(*decl.init));
+      return Flow{};
+    }
+
+    case AstKind::kAssign: {
+      const auto& assign = static_cast<const mj::AssignStmt&>(stmt);
+      auto combine = [&](const Value& old_value, const Value& new_value) -> Value {
+        switch (assign.op) {
+          case mj::AssignOp::kAssign:
+            return new_value;
+          case mj::AssignOp::kAddAssign:
+            if (IsString(old_value) || IsString(new_value)) {
+              return Value{ValueToString(old_value) + ValueToString(new_value)};
+            }
+            return Value{AsInt(old_value, stmt.location) + AsInt(new_value, stmt.location)};
+          case mj::AssignOp::kSubAssign:
+            return Value{AsInt(old_value, stmt.location) - AsInt(new_value, stmt.location)};
+        }
+        return new_value;
+      };
+      if (assign.target->kind == AstKind::kName) {
+        const std::string& name = static_cast<const mj::NameExpr*>(assign.target)->name;
+        Value* slot = FindVariable(name);
+        if (slot == nullptr) {
+          ThrowMj("IllegalStateException", "assignment to undefined variable '" + name +
+                                               "' at line " + std::to_string(stmt.location.line));
+        }
+        Value rhs = Eval(*assign.value);
+        *slot = combine(*slot, rhs);
+        return Flow{};
+      }
+      const auto* access = static_cast<const mj::FieldAccessExpr*>(assign.target);
+      Value base = Eval(*access->base);
+      if (IsNull(base)) {
+        ThrowMj("NullPointerException", "field assignment on null at line " +
+                                            std::to_string(stmt.location.line));
+      }
+      if (!IsObject(base)) {
+        ThrowMj("IllegalStateException", "field assignment on non-object");
+      }
+      ObjectRef object = std::get<ObjectRef>(base);
+      Value rhs = Eval(*assign.value);
+      if (assign.op == mj::AssignOp::kAssign) {
+        WriteField(object, access->field, std::move(rhs));
+      } else {
+        Value old_value = ReadField(object, access->field, stmt.location);
+        WriteField(object, access->field, combine(old_value, rhs));
+      }
+      return Flow{};
+    }
+
+    case AstKind::kExprStmt:
+      Eval(*static_cast<const mj::ExprStmt&>(stmt).expr);
+      return Flow{};
+
+    case AstKind::kIf: {
+      const auto& node = static_cast<const mj::IfStmt&>(stmt);
+      if (AsBool(Eval(*node.condition), stmt.location)) {
+        return ExecStmt(*node.then_branch);
+      }
+      if (node.else_branch != nullptr) {
+        return ExecStmt(*node.else_branch);
+      }
+      return Flow{};
+    }
+
+    case AstKind::kWhile: {
+      const auto& node = static_cast<const mj::WhileStmt&>(stmt);
+      while (AsBool(Eval(*node.condition), stmt.location)) {
+        Step();
+        Flow flow = ExecStmt(*node.body);
+        if (flow.kind == FlowKind::kBreak) {
+          break;
+        }
+        if (flow.kind == FlowKind::kReturn) {
+          return flow;
+        }
+        // kContinue and kNormal both loop.
+      }
+      return Flow{};
+    }
+
+    case AstKind::kFor: {
+      const auto& node = static_cast<const mj::ForStmt&>(stmt);
+      CurrentFrame().scopes.emplace_back();
+      struct PopScope {
+        Frame* frame;
+        ~PopScope() { frame->scopes.pop_back(); }
+      } pop{&CurrentFrame()};
+      if (node.init != nullptr) {
+        Flow flow = ExecStmt(*node.init);
+        if (flow.kind != FlowKind::kNormal) {
+          return flow;
+        }
+      }
+      while (node.condition == nullptr || AsBool(Eval(*node.condition), stmt.location)) {
+        Step();
+        Flow flow = ExecStmt(*node.body);
+        if (flow.kind == FlowKind::kBreak) {
+          break;
+        }
+        if (flow.kind == FlowKind::kReturn) {
+          return flow;
+        }
+        if (node.update != nullptr) {
+          Flow update_flow = ExecStmt(*node.update);
+          if (update_flow.kind != FlowKind::kNormal) {
+            return update_flow;
+          }
+        }
+      }
+      return Flow{};
+    }
+
+    case AstKind::kSwitch: {
+      const auto& node = static_cast<const mj::SwitchStmt&>(stmt);
+      Value subject = Eval(*node.subject);
+      // Find the matching case (or default), then execute with fallthrough.
+      size_t start = node.cases.size();
+      size_t default_index = node.cases.size();
+      for (size_t i = 0; i < node.cases.size() && start == node.cases.size(); ++i) {
+        if (node.cases[i].labels.empty()) {
+          default_index = i;
+          continue;
+        }
+        for (const mj::Expr* label : node.cases[i].labels) {
+          if (ValueEquals(subject, Eval(*label))) {
+            start = i;
+            break;
+          }
+        }
+      }
+      if (start == node.cases.size()) {
+        start = default_index;
+      }
+      for (size_t i = start; i < node.cases.size(); ++i) {
+        for (const mj::Stmt* child : node.cases[i].body) {
+          Flow flow = ExecStmt(*child);
+          if (flow.kind == FlowKind::kBreak) {
+            return Flow{};  // Break exits the switch.
+          }
+          if (flow.kind != FlowKind::kNormal) {
+            return flow;  // Return/continue propagate.
+          }
+        }
+      }
+      return Flow{};
+    }
+
+    case AstKind::kTry: {
+      const auto& node = static_cast<const mj::TryStmt&>(stmt);
+      Flow flow;
+      bool pending_throw = false;
+      ObjectRef exception;
+      try {
+        flow = ExecBlock(*node.body);
+      } catch (ThrownException& thrown) {
+        pending_throw = true;
+        exception = thrown.exception;
+      }
+      if (pending_throw) {
+        for (const mj::CatchClause& clause : node.catches) {
+          if (!index_.IsSubtype(exception->class_name(), clause.exception_type)) {
+            continue;
+          }
+          pending_throw = false;
+          CurrentFrame().scopes.emplace_back();
+          struct PopScope {
+            Frame* frame;
+            ~PopScope() { frame->scopes.pop_back(); }
+          } pop{&CurrentFrame()};
+          DefineVariable(clause.variable, Value{exception});
+          try {
+            flow = ExecBlock(*clause.body);
+          } catch (ThrownException& rethrown) {
+            pending_throw = true;
+            exception = rethrown.exception;
+          }
+          break;
+        }
+      }
+      if (node.finally != nullptr) {
+        Flow finally_flow = ExecBlock(*node.finally);  // May itself throw.
+        if (finally_flow.kind != FlowKind::kNormal) {
+          return finally_flow;  // Finally control flow wins (Java semantics).
+        }
+      }
+      if (pending_throw) {
+        throw ThrownException{exception};
+      }
+      return flow;
+    }
+
+    case AstKind::kThrow: {
+      const auto& node = static_cast<const mj::ThrowStmt&>(stmt);
+      Value value = Eval(*node.value);
+      if (!IsObject(value)) {
+        ThrowMj("IllegalStateException", "throw of non-object value at line " +
+                                             std::to_string(stmt.location.line));
+      }
+      throw ThrownException{std::get<ObjectRef>(value)};
+    }
+
+    case AstKind::kReturn: {
+      const auto& node = static_cast<const mj::ReturnStmt&>(stmt);
+      Flow flow;
+      flow.kind = FlowKind::kReturn;
+      if (node.value != nullptr) {
+        flow.value = Eval(*node.value);
+      }
+      return flow;
+    }
+
+    case AstKind::kBreak:
+      return Flow{FlowKind::kBreak, {}};
+    case AstKind::kContinue:
+      return Flow{FlowKind::kContinue, {}};
+
+    default:
+      ThrowMj("IllegalStateException", "unsupported statement");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+Value Interpreter::Invoke(const std::string& qualified_name, std::vector<Value> args) {
+  const mj::MethodDecl* method = index_.FindQualified(qualified_name);
+  if (method == nullptr) {
+    ThrowMj("IllegalStateException", "no such method: " + qualified_name);
+  }
+  ObjectRef self = method->owner != nullptr ? SingletonOf(*method->owner) : nullptr;
+  return CallMethod(*method, std::move(self), std::move(args), nullptr);
+}
+
+}  // namespace wasabi

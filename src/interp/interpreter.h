@@ -1,0 +1,186 @@
+// Tree-walking interpreter for mj programs.
+//
+// This is the substrate that replaces "run the Java application under Maven +
+// AspectJ" in the original WASABI: corpus applications and their unit tests
+// execute in-process, with
+//   * a virtual clock (Thread.sleep costs no wall time but advances virtual
+//     time, so the paper's 15-minute test timeout is a virtual-time budget);
+//   * AspectJ-style pointcuts: registered CallInterceptors run before every
+//     user-method call and may throw an mj exception — exactly the Listing-5
+//     fault-injection handler;
+//   * an execution log capturing sleeps (with call stacks), injections, and
+//     application log lines for the log-based test oracles;
+//   * a step budget so buggy infinite retry loops terminate deterministically.
+//
+// mj exceptions propagate as the C++ exception ThrownException and are caught
+// by mj `try` statements; an uncaught one escapes Invoke() to the caller.
+
+#ifndef WASABI_SRC_INTERP_INTERPRETER_H_
+#define WASABI_SRC_INTERP_INTERPRETER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/interp/exec_log.h"
+#include "src/interp/value.h"
+#include "src/lang/ast.h"
+#include "src/lang/sema.h"
+
+namespace wasabi {
+
+// An mj-level exception crossing C++ frames.
+struct ThrownException {
+  ObjectRef exception;
+};
+
+// Abnormal termination of the whole execution (not catchable by mj code).
+enum class AbortReason : uint8_t {
+  kStepBudget,         // Too many interpreter steps (runaway loop without sleeps).
+  kVirtualTimeBudget,  // Virtual clock passed the per-test budget ("timeout").
+  kStackOverflow,      // Call depth exceeded.
+};
+
+struct ExecutionAborted {
+  AbortReason reason;
+};
+
+const char* AbortReasonName(AbortReason reason);
+
+// Event passed to interceptors before a user-method call executes.
+struct CallEvent {
+  std::string caller;     // Qualified name of the invoking method ("" at top level).
+  std::string callee;     // Qualified name of the resolved target.
+  const mj::CallExpr* site = nullptr;
+  // Unique id of the caller's activation (frame). Two calls share it iff they
+  // happen within the SAME invocation of the caller — the context signal the
+  // §4.5 context-aware cap oracle needs to tell "100 retries of one task"
+  // apart from "2 retries each of 50 tasks".
+  int64_t caller_activation = 0;
+};
+
+class Interpreter;
+
+// AspectJ-pointcut analog (§3.1.2): runs right before a callee executes and
+// may throw ThrownException to simulate a fault.
+class CallInterceptor {
+ public:
+  virtual ~CallInterceptor() = default;
+  virtual void OnCall(const CallEvent& event, Interpreter& interp) = 0;
+};
+
+struct InterpOptions {
+  int64_t step_budget = 2'000'000;
+  int64_t virtual_time_budget_ms = 15LL * 60 * 1000;  // The paper's 15 minutes.
+  int max_call_depth = 200;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const mj::Program& program, const mj::ProgramIndex& index,
+              InterpOptions options = {});
+
+  // --- Configuration (the application's Config.* builtin) -----------------
+  void SetConfig(const std::string& key, Value value);
+  // Makes mj-level `Config.set(key, ...)` a no-op for this key; used by the
+  // test-preparation pass that restores default retry configurations (§3.1.4).
+  void FreezeConfig(const std::string& key);
+
+  // --- Instrumentation ------------------------------------------------------
+  void AddInterceptor(CallInterceptor* interceptor);  // Non-owning.
+
+  // --- Execution -----------------------------------------------------------
+  // Invokes "Class.method" on the class's singleton instance. Throws
+  // ThrownException (uncaught mj exception) or ExecutionAborted.
+  Value Invoke(const std::string& qualified_name, std::vector<Value> args = {});
+
+  // Creates an instance of `class_name` (user class, builtin exception, or
+  // container), running field initializers / the `init` convention method.
+  Value Instantiate(const std::string& class_name, std::vector<Value> args = {});
+
+  // Builds an exception object by type name; used by the fault injector.
+  ObjectRef MakeException(const std::string& class_name, const std::string& message);
+
+  // --- Observation -----------------------------------------------------------
+  ExecutionLog& log() { return log_; }
+  const ExecutionLog& log() const { return log_; }
+  int64_t now_ms() const { return virtual_time_ms_; }
+  int64_t steps() const { return steps_; }
+  std::vector<std::string> CaptureStack() const;
+  const mj::ProgramIndex& index() const { return index_; }
+
+ private:
+  struct Frame {
+    const mj::MethodDecl* method = nullptr;
+    std::string qualified_name;
+    ObjectRef self;
+    std::vector<std::unordered_map<std::string, Value>> scopes;
+    int64_t activation = 0;  // Unique per frame push.
+  };
+
+  // Statement execution outcome.
+  enum class FlowKind : uint8_t { kNormal, kReturn, kBreak, kContinue };
+  struct Flow {
+    FlowKind kind = FlowKind::kNormal;
+    Value value;  // Return value for kReturn.
+  };
+
+  // --- Statement/expression evaluation ---------------------------------------
+  Flow ExecBlock(const mj::BlockStmt& block);
+  Flow ExecStmt(const mj::Stmt& stmt);
+  Value Eval(const mj::Expr& expr);
+
+  Value EvalCall(const mj::CallExpr& call);
+  Value EvalBinary(const mj::BinaryExpr& expr);
+  Value EvalNew(const mj::NewExpr& expr);
+  Value CallMethod(const mj::MethodDecl& method, ObjectRef self, std::vector<Value> args,
+                   const mj::CallExpr* site);
+
+  // Builtin dispatch. Returns true when handled.
+  bool TryBuiltinStatic(const std::string& receiver, const mj::CallExpr& call, Value* result);
+  bool TryBuiltinMethod(const ObjectRef& object, const mj::CallExpr& call,
+                        std::vector<Value>& args, Value* result);
+  bool TryStringMethod(const std::string& text, const mj::CallExpr& call,
+                       std::vector<Value>& args, Value* result);
+
+  // --- Variables and fields ---------------------------------------------------
+  Frame& CurrentFrame();
+  Value* FindVariable(const std::string& name);
+  void DefineVariable(const std::string& name, Value value);
+  Value ReadField(const ObjectRef& object, const std::string& field,
+                  mj::SourceLocation location);
+  void WriteField(const ObjectRef& object, const std::string& field, Value value);
+
+  // --- Helpers -----------------------------------------------------------------
+  ObjectRef SingletonOf(const mj::ClassDecl& cls);
+  ObjectRef NewInstance(const mj::ClassDecl& cls);
+  void Sleep(int64_t millis);
+  void Step();
+  [[noreturn]] void ThrowMj(const std::string& class_name, const std::string& message);
+  bool AsBool(const Value& value, mj::SourceLocation location);
+  int64_t AsInt(const Value& value, mj::SourceLocation location);
+
+  const mj::Program& program_;
+  const mj::ProgramIndex& index_;
+  InterpOptions options_;
+
+  // A deque so references to a frame stay valid while nested calls push and
+  // pop frames (the RAII scope guards hold Frame pointers).
+  std::deque<Frame> frames_;
+  std::unordered_map<const mj::ClassDecl*, ObjectRef> singletons_;
+  std::unordered_map<std::string, Value> config_;
+  std::unordered_set<std::string> frozen_config_keys_;
+  std::vector<CallInterceptor*> interceptors_;
+  ExecutionLog log_;
+  int64_t virtual_time_ms_ = 0;
+  int64_t steps_ = 0;
+  int64_t next_activation_ = 1;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_INTERP_INTERPRETER_H_

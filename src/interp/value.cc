@@ -1,0 +1,75 @@
+#include "src/interp/value.h"
+
+#include <sstream>
+
+namespace wasabi {
+
+bool ValueEquals(const Value& a, const Value& b) {
+  if (IsNull(a) && IsNull(b)) {
+    return true;
+  }
+  if (IsInt(a) && IsInt(b)) {
+    return std::get<int64_t>(a) == std::get<int64_t>(b);
+  }
+  if (IsBool(a) && IsBool(b)) {
+    return std::get<bool>(a) == std::get<bool>(b);
+  }
+  if (IsString(a) && IsString(b)) {
+    return std::get<std::string>(a) == std::get<std::string>(b);
+  }
+  if (IsObject(a) && IsObject(b)) {
+    return std::get<ObjectRef>(a) == std::get<ObjectRef>(b);  // Reference equality.
+  }
+  return false;
+}
+
+std::string ValueToString(const Value& value) {
+  if (IsNull(value)) {
+    return "null";
+  }
+  if (IsInt(value)) {
+    return std::to_string(std::get<int64_t>(value));
+  }
+  if (IsBool(value)) {
+    return std::get<bool>(value) ? "true" : "false";
+  }
+  if (IsString(value)) {
+    return std::get<std::string>(value);
+  }
+  const ObjectRef& object = std::get<ObjectRef>(value);
+  std::ostringstream out;
+  out << object->class_name();
+  switch (object->kind()) {
+    case ObjectKind::kQueue:
+    case ObjectKind::kList:
+      out << "(size=" << object->elements().size() << ")";
+      break;
+    case ObjectKind::kMap:
+      out << "(size=" << object->entries().size() << ")";
+      break;
+    case ObjectKind::kException:
+    case ObjectKind::kInstance:
+      if (!object->message().empty()) {
+        out << "(\"" << object->message() << "\")";
+      }
+      break;
+  }
+  return out.str();
+}
+
+std::string MapKeyFor(const Value& value, bool* ok) {
+  *ok = true;
+  if (IsInt(value)) {
+    return "i:" + std::to_string(std::get<int64_t>(value));
+  }
+  if (IsString(value)) {
+    return "s:" + std::get<std::string>(value);
+  }
+  if (IsBool(value)) {
+    return std::get<bool>(value) ? "b:true" : "b:false";
+  }
+  *ok = false;
+  return "";
+}
+
+}  // namespace wasabi

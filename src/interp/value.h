@@ -1,0 +1,106 @@
+// Runtime values for the mj interpreter.
+//
+// mj is dynamically typed at run time: a Value is null, an integer, a bool, a
+// string, or a reference to a heap Object. Objects serve for user class
+// instances, builtin containers (Queue/List/Map), and exception instances
+// (builtin or user-declared). Heap objects are shared_ptr-managed — reference
+// semantics like Java, RAII like C++ (CppCoreGuidelines R.20).
+
+#ifndef WASABI_SRC_INTERP_VALUE_H_
+#define WASABI_SRC_INTERP_VALUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace wasabi {
+
+class Object;
+using ObjectRef = std::shared_ptr<Object>;
+
+using Value = std::variant<std::monostate, int64_t, bool, std::string, ObjectRef>;
+
+inline bool IsNull(const Value& value) {
+  return std::holds_alternative<std::monostate>(value);
+}
+inline bool IsInt(const Value& value) { return std::holds_alternative<int64_t>(value); }
+inline bool IsBool(const Value& value) { return std::holds_alternative<bool>(value); }
+inline bool IsString(const Value& value) { return std::holds_alternative<std::string>(value); }
+inline bool IsObject(const Value& value) { return std::holds_alternative<ObjectRef>(value); }
+
+// What kind of heap object this is. User instances and exceptions use the
+// field map; builtin containers use their native payloads.
+enum class ObjectKind : uint8_t {
+  kInstance,   // User class instance (may also be an exception instance).
+  kException,  // Builtin exception instance (no user ClassDecl).
+  kQueue,      // FIFO of Values.
+  kList,       // Indexable sequence of Values.
+  kMap,        // String-keyed map of Values.
+};
+
+class Object {
+ public:
+  Object(ObjectKind kind, std::string class_name)
+      : kind_(kind), class_name_(std::move(class_name)) {}
+
+  ObjectKind kind() const { return kind_; }
+  const std::string& class_name() const { return class_name_; }
+
+  // Fields (instances and exceptions).
+  std::unordered_map<std::string, Value>& fields() { return fields_; }
+  const std::unordered_map<std::string, Value>& fields() const { return fields_; }
+
+  // Container payloads.
+  std::deque<Value>& elements() { return elements_; }
+  const std::deque<Value>& elements() const { return elements_; }
+  std::map<std::string, Value>& entries() { return entries_; }
+  const std::map<std::string, Value>& entries() const { return entries_; }
+
+  // Exception payload (meaningful when the object is thrown).
+  const std::string& message() const { return message_; }
+  void set_message(std::string message) { message_ = std::move(message); }
+  const ObjectRef& cause() const { return cause_; }
+  void set_cause(ObjectRef cause) { cause_ = std::move(cause); }
+
+  // The user declaration backing this object, if any.
+  const mj::ClassDecl* decl() const { return decl_; }
+  void set_decl(const mj::ClassDecl* decl) { decl_ = decl; }
+
+  // Call stack at construction time (outermost first). Exceptions carry this
+  // as their "crash stack"; the different-exception oracle groups duplicate
+  // failures by it (§4.1).
+  const std::vector<std::string>& origin_stack() const { return origin_stack_; }
+  void set_origin_stack(std::vector<std::string> stack) { origin_stack_ = std::move(stack); }
+
+ private:
+  ObjectKind kind_;
+  std::string class_name_;
+  std::unordered_map<std::string, Value> fields_;
+  std::deque<Value> elements_;
+  std::map<std::string, Value> entries_;
+  std::string message_;
+  ObjectRef cause_;
+  const mj::ClassDecl* decl_ = nullptr;
+  std::vector<std::string> origin_stack_;
+};
+
+// Java-ish truthiness: only booleans are conditions; anything else is a type
+// error handled by the interpreter. Exposed for tests.
+bool ValueEquals(const Value& a, const Value& b);
+
+// Debug/log rendering: 42, true, "text", null, ClassName@kind.
+std::string ValueToString(const Value& value);
+
+// Renders a map key for Map payloads (ints and strings only).
+std::string MapKeyFor(const Value& value, bool* ok);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_INTERP_VALUE_H_

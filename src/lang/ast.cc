@@ -1,0 +1,12 @@
+#include "src/lang/ast.h"
+
+namespace mj {
+
+std::string MethodDecl::QualifiedName() const {
+  if (owner == nullptr) {
+    return name;
+  }
+  return owner->name + "." + name;
+}
+
+}  // namespace mj

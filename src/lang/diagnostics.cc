@@ -1,0 +1,47 @@
+#include "src/lang/diagnostics.h"
+
+#include <sstream>
+
+namespace mj {
+
+namespace {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void DiagnosticEngine::Report(Severity severity, SourceLocation location, std::string message) {
+  if (severity == Severity::kError) {
+    ++error_count_;
+  }
+  diagnostics_.push_back(Diagnostic{severity, location, std::move(message)});
+}
+
+std::string DiagnosticEngine::FormatAll(const SourceFile* file) const {
+  std::ostringstream out;
+  for (const Diagnostic& diag : diagnostics_) {
+    if (file != nullptr) {
+      out << file->name() << ":";
+    }
+    out << diag.location.line << ":" << diag.location.column << ": "
+        << SeverityName(diag.severity) << ": " << diag.message << "\n";
+  }
+  return out.str();
+}
+
+void DiagnosticEngine::Clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace mj

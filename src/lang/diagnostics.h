@@ -1,0 +1,55 @@
+// Diagnostic collection for the mj front end.
+
+#ifndef WASABI_SRC_LANG_DIAGNOSTICS_H_
+#define WASABI_SRC_LANG_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/source.h"
+
+namespace mj {
+
+enum class Severity {
+  kError,
+  kWarning,
+  kNote,
+};
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLocation location;
+  std::string message;
+};
+
+// Accumulates diagnostics produced while lexing/parsing/indexing one or more
+// compilation units. The front end never aborts the process: callers check
+// has_errors() after each phase.
+class DiagnosticEngine {
+ public:
+  void Report(Severity severity, SourceLocation location, std::string message);
+  void Error(SourceLocation location, std::string message) {
+    Report(Severity::kError, location, std::move(message));
+  }
+  void Warning(SourceLocation location, std::string message) {
+    Report(Severity::kWarning, location, std::move(message));
+  }
+
+  bool has_errors() const { return error_count_ > 0; }
+  size_t error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  // Renders all diagnostics, one per line, as "file:line:col: severity: message".
+  // `file` provides the name and line text for carets; pass nullptr to omit.
+  std::string FormatAll(const SourceFile* file) const;
+
+  void Clear();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t error_count_ = 0;
+};
+
+}  // namespace mj
+
+#endif  // WASABI_SRC_LANG_DIAGNOSTICS_H_

@@ -1,0 +1,53 @@
+// Lexer for mj source text.
+
+#ifndef WASABI_SRC_LANG_LEXER_H_
+#define WASABI_SRC_LANG_LEXER_H_
+
+#include <vector>
+
+#include "src/lang/diagnostics.h"
+#include "src/lang/source.h"
+#include "src/lang/token.h"
+
+namespace mj {
+
+// Tokenizes one SourceFile. Comments are preserved in a side list (they are
+// analysis input — the paper's keyword filter and LLM both read them). The
+// lexer never throws; malformed input produces diagnostics and the lexer
+// resynchronizes at the next character.
+//
+// Lifetime: Token::text views into the SourceFile's text, so the file must
+// outlive the returned tokens (the Parser guarantees this by holding the file
+// through a shared_ptr for the CompilationUnit's lifetime).
+class Lexer {
+ public:
+  Lexer(const SourceFile& file, DiagnosticEngine& diag);
+
+  // Lexes the whole file. The returned vector always ends with kEndOfFile.
+  std::vector<Token> LexAll();
+
+  const std::vector<Comment>& comments() const { return comments_; }
+
+ private:
+  Token Next();
+  Token MakeToken(TokenKind kind, uint32_t start);
+  void SkipWhitespaceAndComments();
+  Token LexIdentifierOrKeyword();
+  Token LexNumber();
+  Token LexString();
+
+  char Peek(uint32_t lookahead = 0) const;
+  char Advance();
+  bool Match(char expected);
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  const SourceFile& file_;
+  DiagnosticEngine& diag_;
+  std::string_view text_;
+  uint32_t pos_ = 0;
+  std::vector<Comment> comments_;
+};
+
+}  // namespace mj
+
+#endif  // WASABI_SRC_LANG_LEXER_H_

@@ -1,0 +1,83 @@
+// Recursive-descent parser for mj.
+
+#ifndef WASABI_SRC_LANG_PARSER_H_
+#define WASABI_SRC_LANG_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/token.h"
+
+namespace mj {
+
+// Parses one mj source file into a CompilationUnit. On syntax errors the
+// parser reports a diagnostic and synchronizes at the next statement/member
+// boundary, so a single pass reports multiple errors. Callers should treat the
+// returned unit as unusable when `diag.has_errors()`.
+class Parser {
+ public:
+  Parser(std::shared_ptr<const SourceFile> file, DiagnosticEngine& diag);
+
+  std::unique_ptr<CompilationUnit> ParseUnit();
+
+ private:
+  // Token cursor helpers.
+  const Token& Peek(size_t lookahead = 0) const;
+  const Token& Current() const { return Peek(0); }
+  Token Advance();
+  bool Check(TokenKind kind) const { return Current().kind == kind; }
+  bool Match(TokenKind kind);
+  Token Expect(TokenKind kind, const char* context);
+  bool AtEnd() const { return Current().kind == TokenKind::kEndOfFile; }
+  void SynchronizeStmt();
+  void SynchronizeMember();
+
+  // Declarations.
+  ClassDecl* ParseClass();
+  void ParseMember(ClassDecl* cls);
+
+  // Statements.
+  Stmt* ParseStmt();
+  BlockStmt* ParseBlock();
+  Stmt* ParseVarDecl();
+  Stmt* ParseIf();
+  Stmt* ParseWhile();
+  Stmt* ParseFor();
+  Stmt* ParseSwitch();
+  Stmt* ParseTry();
+  Stmt* ParseThrow();
+  Stmt* ParseReturn();
+  // An assignment, increment, or expression statement; used both as a normal
+  // statement (with trailing ';') and as a for-clause (without).
+  Stmt* ParseSimpleStmt(bool consume_semicolon);
+
+  // Expressions, by descending precedence.
+  Expr* ParseExpr();
+  Expr* ParseOr();
+  Expr* ParseAnd();
+  Expr* ParseEquality();
+  Expr* ParseRelational();
+  Expr* ParseAdditive();
+  Expr* ParseMultiplicative();
+  Expr* ParseUnary();
+  Expr* ParsePostfix();
+  Expr* ParsePrimary();
+  std::vector<Expr*> ParseArgs();
+
+  std::shared_ptr<const SourceFile> file_;
+  DiagnosticEngine& diag_;
+  std::unique_ptr<CompilationUnit> unit_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+// Convenience: lex + parse `text` as file `name`, reporting into `diag`.
+std::unique_ptr<CompilationUnit> ParseSource(std::string name, std::string text,
+                                             DiagnosticEngine& diag);
+
+}  // namespace mj
+
+#endif  // WASABI_SRC_LANG_PARSER_H_

@@ -1,0 +1,410 @@
+#include "src/lang/printer.h"
+
+#include <sstream>
+
+namespace mj {
+
+namespace {
+
+std::string Indent(int indent) {
+  return std::string(static_cast<size_t>(indent) * 2, ' ');
+}
+
+std::string EscapeString(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (char c : value) {
+    switch (c) {
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      default:
+        out.push_back(c);
+        break;
+    }
+  }
+  return out;
+}
+
+const char* BinaryOpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "&&";
+    case BinaryOp::kOr:
+      return "||";
+  }
+  return "?";
+}
+
+void PrintStmtTo(const Stmt& stmt, int indent, std::ostringstream& out);
+
+void PrintBlockTo(const BlockStmt& block, int indent, std::ostringstream& out) {
+  out << "{\n";
+  for (const Stmt* child : block.statements) {
+    PrintStmtTo(*child, indent + 1, out);
+  }
+  out << Indent(indent) << "}";
+}
+
+void PrintSimpleStmtTo(const Stmt& stmt, std::ostringstream& out) {
+  // A statement without trailing newline/semicolon handling, used in for-clauses.
+  switch (stmt.kind) {
+    case AstKind::kAssign: {
+      const auto& assign = static_cast<const AssignStmt&>(stmt);
+      out << PrintExpr(*assign.target);
+      switch (assign.op) {
+        case AssignOp::kAssign:
+          out << " = ";
+          break;
+        case AssignOp::kAddAssign:
+          out << " += ";
+          break;
+        case AssignOp::kSubAssign:
+          out << " -= ";
+          break;
+      }
+      out << PrintExpr(*assign.value);
+      break;
+    }
+    case AstKind::kExprStmt:
+      out << PrintExpr(*static_cast<const ExprStmt&>(stmt).expr);
+      break;
+    case AstKind::kVarDecl: {
+      const auto& decl = static_cast<const VarDeclStmt&>(stmt);
+      out << "var " << decl.name << " = " << PrintExpr(*decl.init);
+      break;
+    }
+    default:
+      out << "/* unsupported for-clause */";
+      break;
+  }
+}
+
+void PrintStmtTo(const Stmt& stmt, int indent, std::ostringstream& out) {
+  out << Indent(indent);
+  switch (stmt.kind) {
+    case AstKind::kBlock:
+      PrintBlockTo(static_cast<const BlockStmt&>(stmt), indent, out);
+      out << "\n";
+      break;
+    case AstKind::kVarDecl:
+    case AstKind::kAssign:
+    case AstKind::kExprStmt:
+      PrintSimpleStmtTo(stmt, out);
+      out << ";\n";
+      break;
+    case AstKind::kIf: {
+      const auto& node = static_cast<const IfStmt&>(stmt);
+      out << "if (" << PrintExpr(*node.condition) << ") ";
+      if (node.then_branch->kind == AstKind::kBlock) {
+        PrintBlockTo(static_cast<const BlockStmt&>(*node.then_branch), indent, out);
+      } else {
+        out << "{\n";
+        PrintStmtTo(*node.then_branch, indent + 1, out);
+        out << Indent(indent) << "}";
+      }
+      if (node.else_branch != nullptr) {
+        out << " else ";
+        if (node.else_branch->kind == AstKind::kBlock) {
+          PrintBlockTo(static_cast<const BlockStmt&>(*node.else_branch), indent, out);
+        } else if (node.else_branch->kind == AstKind::kIf) {
+          // Print `else if` chains without extra nesting blocks.
+          std::ostringstream nested;
+          PrintStmtTo(*node.else_branch, indent, nested);
+          std::string text = nested.str();
+          // Strip the leading indentation so it follows "else " inline.
+          out << text.substr(Indent(indent).size(),
+                             text.size() - Indent(indent).size() - 1);
+          out << "\n";
+          return;
+        } else {
+          out << "{\n";
+          PrintStmtTo(*node.else_branch, indent + 1, out);
+          out << Indent(indent) << "}";
+        }
+      }
+      out << "\n";
+      break;
+    }
+    case AstKind::kWhile: {
+      const auto& node = static_cast<const WhileStmt&>(stmt);
+      out << "while (" << PrintExpr(*node.condition) << ") ";
+      if (node.body->kind == AstKind::kBlock) {
+        PrintBlockTo(static_cast<const BlockStmt&>(*node.body), indent, out);
+      } else {
+        out << "{\n";
+        PrintStmtTo(*node.body, indent + 1, out);
+        out << Indent(indent) << "}";
+      }
+      out << "\n";
+      break;
+    }
+    case AstKind::kFor: {
+      const auto& node = static_cast<const ForStmt&>(stmt);
+      out << "for (";
+      if (node.init != nullptr) {
+        PrintSimpleStmtTo(*node.init, out);
+      }
+      out << "; ";
+      if (node.condition != nullptr) {
+        out << PrintExpr(*node.condition);
+      }
+      out << "; ";
+      if (node.update != nullptr) {
+        PrintSimpleStmtTo(*node.update, out);
+      }
+      out << ") ";
+      if (node.body->kind == AstKind::kBlock) {
+        PrintBlockTo(static_cast<const BlockStmt&>(*node.body), indent, out);
+      } else {
+        out << "{\n";
+        PrintStmtTo(*node.body, indent + 1, out);
+        out << Indent(indent) << "}";
+      }
+      out << "\n";
+      break;
+    }
+    case AstKind::kSwitch: {
+      const auto& node = static_cast<const SwitchStmt&>(stmt);
+      out << "switch (" << PrintExpr(*node.subject) << ") {\n";
+      for (const SwitchCase& switch_case : node.cases) {
+        if (switch_case.labels.empty()) {
+          out << Indent(indent + 1) << "default:\n";
+        } else {
+          for (const Expr* label : switch_case.labels) {
+            out << Indent(indent + 1) << "case " << PrintExpr(*label) << ":\n";
+          }
+        }
+        for (const Stmt* child : switch_case.body) {
+          PrintStmtTo(*child, indent + 2, out);
+        }
+      }
+      out << Indent(indent) << "}\n";
+      break;
+    }
+    case AstKind::kTry: {
+      const auto& node = static_cast<const TryStmt&>(stmt);
+      out << "try ";
+      PrintBlockTo(*node.body, indent, out);
+      for (const CatchClause& clause : node.catches) {
+        out << " catch (" << clause.exception_type << " " << clause.variable << ") ";
+        PrintBlockTo(*clause.body, indent, out);
+      }
+      if (node.finally != nullptr) {
+        out << " finally ";
+        PrintBlockTo(*node.finally, indent, out);
+      }
+      out << "\n";
+      break;
+    }
+    case AstKind::kThrow:
+      out << "throw " << PrintExpr(*static_cast<const ThrowStmt&>(stmt).value) << ";\n";
+      break;
+    case AstKind::kReturn: {
+      const auto& node = static_cast<const ReturnStmt&>(stmt);
+      out << "return";
+      if (node.value != nullptr) {
+        out << " " << PrintExpr(*node.value);
+      }
+      out << ";\n";
+      break;
+    }
+    case AstKind::kBreak:
+      out << "break;\n";
+      break;
+    case AstKind::kContinue:
+      out << "continue;\n";
+      break;
+    default:
+      out << "/* unsupported statement */\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr) {
+  std::ostringstream out;
+  switch (expr.kind) {
+    case AstKind::kIntLiteral:
+      out << static_cast<const IntLiteralExpr&>(expr).value;
+      break;
+    case AstKind::kBoolLiteral:
+      out << (static_cast<const BoolLiteralExpr&>(expr).value ? "true" : "false");
+      break;
+    case AstKind::kStringLiteral:
+      out << '"' << EscapeString(static_cast<const StringLiteralExpr&>(expr).value) << '"';
+      break;
+    case AstKind::kNullLiteral:
+      out << "null";
+      break;
+    case AstKind::kName:
+      out << static_cast<const NameExpr&>(expr).name;
+      break;
+    case AstKind::kThis:
+      out << "this";
+      break;
+    case AstKind::kFieldAccess: {
+      const auto& node = static_cast<const FieldAccessExpr&>(expr);
+      out << PrintExpr(*node.base) << "." << node.field;
+      break;
+    }
+    case AstKind::kCall: {
+      const auto& node = static_cast<const CallExpr&>(expr);
+      if (node.base != nullptr) {
+        out << PrintExpr(*node.base) << ".";
+      }
+      out << node.callee << "(";
+      for (size_t i = 0; i < node.args.size(); ++i) {
+        if (i > 0) {
+          out << ", ";
+        }
+        out << PrintExpr(*node.args[i]);
+      }
+      out << ")";
+      break;
+    }
+    case AstKind::kNew: {
+      const auto& node = static_cast<const NewExpr&>(expr);
+      out << "new " << node.class_name << "(";
+      for (size_t i = 0; i < node.args.size(); ++i) {
+        if (i > 0) {
+          out << ", ";
+        }
+        out << PrintExpr(*node.args[i]);
+      }
+      out << ")";
+      break;
+    }
+    case AstKind::kUnary: {
+      const auto& node = static_cast<const UnaryExpr&>(expr);
+      out << (node.op == UnaryOp::kNot ? "!" : "-") << "(" << PrintExpr(*node.operand) << ")";
+      break;
+    }
+    case AstKind::kBinary: {
+      const auto& node = static_cast<const BinaryExpr&>(expr);
+      out << "(" << PrintExpr(*node.lhs) << " " << BinaryOpText(node.op) << " "
+          << PrintExpr(*node.rhs) << ")";
+      break;
+    }
+    case AstKind::kInstanceOf: {
+      const auto& node = static_cast<const InstanceOfExpr&>(expr);
+      out << "(" << PrintExpr(*node.operand) << " instanceof " << node.type_name << ")";
+      break;
+    }
+    default:
+      out << "/* unsupported expression */";
+      break;
+  }
+  return out.str();
+}
+
+std::string PrintStmt(const Stmt& stmt, int indent) {
+  std::ostringstream out;
+  PrintStmtTo(stmt, indent, out);
+  return out.str();
+}
+
+std::string PrintMethod(const MethodDecl& method, int indent) {
+  std::ostringstream out;
+  out << Indent(indent);
+  if (method.is_static) {
+    out << "static ";
+  }
+  out << method.return_type << " " << method.name << "(";
+  for (size_t i = 0; i < method.params.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << method.params[i]->type_name << " " << method.params[i]->name;
+  }
+  out << ")";
+  if (!method.throws.empty()) {
+    out << " throws ";
+    for (size_t i = 0; i < method.throws.size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      out << method.throws[i];
+    }
+  }
+  if (method.body == nullptr) {
+    out << ";\n";
+    return out.str();
+  }
+  out << " ";
+  PrintBlockTo(*method.body, indent, out);
+  out << "\n";
+  return out.str();
+}
+
+std::string PrintClass(const ClassDecl& cls) {
+  std::ostringstream out;
+  out << "class " << cls.name;
+  if (!cls.base_name.empty()) {
+    out << " extends " << cls.base_name;
+  }
+  out << " {\n";
+  for (const FieldDecl* field : cls.fields) {
+    out << Indent(1) << field->type_name << " " << field->name;
+    if (field->init != nullptr) {
+      out << " = " << PrintExpr(*field->init);
+    }
+    out << ";\n";
+  }
+  if (!cls.fields.empty() && !cls.methods.empty()) {
+    out << "\n";
+  }
+  for (size_t i = 0; i < cls.methods.size(); ++i) {
+    if (i > 0) {
+      out << "\n";
+    }
+    out << PrintMethod(*cls.methods[i], 1);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string PrintUnit(const CompilationUnit& unit) {
+  std::ostringstream out;
+  for (size_t i = 0; i < unit.classes().size(); ++i) {
+    if (i > 0) {
+      out << "\n";
+    }
+    out << PrintClass(*unit.classes()[i]);
+  }
+  return out.str();
+}
+
+}  // namespace mj

@@ -1,0 +1,25 @@
+// Pretty printer for mj ASTs.
+//
+// Prints a canonical form that the Parser accepts again; `Parse(Print(Parse(s)))`
+// is structurally identical to `Parse(s)` (round-trip property tested in
+// tests/lang). Comments are not re-emitted (they live in the CompilationUnit
+// side table and analyses read them from there).
+
+#ifndef WASABI_SRC_LANG_PRINTER_H_
+#define WASABI_SRC_LANG_PRINTER_H_
+
+#include <string>
+
+#include "src/lang/ast.h"
+
+namespace mj {
+
+std::string PrintExpr(const Expr& expr);
+std::string PrintStmt(const Stmt& stmt, int indent = 0);
+std::string PrintMethod(const MethodDecl& method, int indent = 0);
+std::string PrintClass(const ClassDecl& cls);
+std::string PrintUnit(const CompilationUnit& unit);
+
+}  // namespace mj
+
+#endif  // WASABI_SRC_LANG_PRINTER_H_

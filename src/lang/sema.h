@@ -1,0 +1,116 @@
+// Program-level semantic index for mj.
+//
+// A Program is a set of compilation units (one per file) that together form an
+// application. The ProgramIndex provides the name-based lookups every later
+// stage needs: class and method resolution, the exception type hierarchy
+// (builtin Java-like exceptions plus user classes extending them), and
+// callee-signature exception inference ("which exceptions could method M
+// throw"), which is how the paper's CodeQL queries find retry triggers.
+
+#ifndef WASABI_SRC_LANG_SEMA_H_
+#define WASABI_SRC_LANG_SEMA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/diagnostics.h"
+
+namespace mj {
+
+// A whole application: owns its compilation units.
+class Program {
+ public:
+  Program() = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  CompilationUnit* AddUnit(std::unique_ptr<CompilationUnit> unit);
+
+  const std::vector<std::unique_ptr<CompilationUnit>>& units() const { return units_; }
+
+ private:
+  std::vector<std::unique_ptr<CompilationUnit>> units_;
+};
+
+// One entry of the builtin exception hierarchy.
+struct BuiltinException {
+  std::string_view name;
+  std::string_view parent;  // Empty for the root ("Exception").
+  // True when production systems typically consider this error transient, i.e.
+  // a sensible retry trigger. Used by corpus generation and ground truth, not
+  // by the detectors themselves (the paper's point is that systems must decide
+  // this, and often get it wrong).
+  bool typically_transient;
+};
+
+// The preloaded exception hierarchy: Java-like names used across the corpus,
+// mirroring the exception types that appear in the paper's studied bugs.
+const std::vector<BuiltinException>& BuiltinExceptions();
+
+// True if `name` is one of the builtin exception type names.
+bool IsBuiltinException(std::string_view name);
+
+// Name-based program index. Construction never fails; unresolved names simply
+// yield null lookups (mj is dynamically checked, like the paper's subject
+// systems are to the analyses that only see one file at a time).
+class ProgramIndex {
+ public:
+  // `diag` may be null; when provided, duplicate class definitions are reported.
+  explicit ProgramIndex(const Program& program, DiagnosticEngine* diag = nullptr);
+
+  const ClassDecl* FindClass(std::string_view name) const;
+  const CompilationUnit* UnitOf(const ClassDecl& cls) const;
+  const CompilationUnit* UnitOfMethod(const MethodDecl& method) const;
+
+  // Resolves `name` against `cls` and its base chain; null if absent.
+  const MethodDecl* ResolveMethod(const ClassDecl& cls, std::string_view name) const;
+
+  // Finds a method by qualified name "Class.method"; null if absent.
+  const MethodDecl* FindQualified(std::string_view qualified_name) const;
+
+  // All methods with simple name `name` across the program (best-effort call
+  // resolution when the receiver's class is unknown).
+  std::vector<const MethodDecl*> MethodsNamed(std::string_view name) const;
+
+  // True for builtin exceptions, and for user classes that (transitively)
+  // extend an exception type.
+  bool IsExceptionType(std::string_view name) const;
+
+  // Subtype test across user classes and builtin exceptions. A type is a
+  // subtype of itself.
+  bool IsSubtype(std::string_view sub, std::string_view super) const;
+
+  // Immediate supertype name, or empty for roots/unknown types.
+  std::string_view ParentOf(std::string_view type) const;
+
+  // Exceptions the method's signature declares (the paper's "prototype" view).
+  const std::vector<std::string>& DeclaredThrows(const MethodDecl& method) const;
+
+  // Declared throws plus exception types directly constructed by `throw new E(...)`
+  // statements in the body. This approximates interprocedural may-throw without
+  // whole-program dataflow, which is exactly the precision CodeQL-style checks
+  // in the paper work at.
+  std::vector<std::string> PotentialThrows(const MethodDecl& method) const;
+
+  const std::vector<const ClassDecl*>& all_classes() const { return all_classes_; }
+  const std::vector<const MethodDecl*>& all_methods() const { return all_methods_; }
+
+ private:
+  std::unordered_map<std::string, const ClassDecl*> classes_by_name_;
+  std::unordered_map<const ClassDecl*, const CompilationUnit*> unit_of_class_;
+  std::unordered_map<std::string, std::vector<const MethodDecl*>> methods_by_name_;
+  std::unordered_map<std::string, const MethodDecl*> methods_by_qualified_name_;
+  std::vector<const ClassDecl*> all_classes_;
+  std::vector<const MethodDecl*> all_methods_;
+  static const std::vector<std::string> kNoThrows;
+};
+
+}  // namespace mj
+
+#endif  // WASABI_SRC_LANG_SEMA_H_

@@ -1,0 +1,161 @@
+#include "src/lang/token.h"
+
+#include <unordered_map>
+
+namespace mj {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEndOfFile:
+      return "end of file";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "integer literal";
+    case TokenKind::kStringLiteral:
+      return "string literal";
+    case TokenKind::kKwClass:
+      return "'class'";
+    case TokenKind::kKwExtends:
+      return "'extends'";
+    case TokenKind::kKwVar:
+      return "'var'";
+    case TokenKind::kKwIf:
+      return "'if'";
+    case TokenKind::kKwElse:
+      return "'else'";
+    case TokenKind::kKwWhile:
+      return "'while'";
+    case TokenKind::kKwFor:
+      return "'for'";
+    case TokenKind::kKwSwitch:
+      return "'switch'";
+    case TokenKind::kKwCase:
+      return "'case'";
+    case TokenKind::kKwDefault:
+      return "'default'";
+    case TokenKind::kKwTry:
+      return "'try'";
+    case TokenKind::kKwCatch:
+      return "'catch'";
+    case TokenKind::kKwFinally:
+      return "'finally'";
+    case TokenKind::kKwThrow:
+      return "'throw'";
+    case TokenKind::kKwThrows:
+      return "'throws'";
+    case TokenKind::kKwReturn:
+      return "'return'";
+    case TokenKind::kKwBreak:
+      return "'break'";
+    case TokenKind::kKwContinue:
+      return "'continue'";
+    case TokenKind::kKwNew:
+      return "'new'";
+    case TokenKind::kKwThis:
+      return "'this'";
+    case TokenKind::kKwNull:
+      return "'null'";
+    case TokenKind::kKwTrue:
+      return "'true'";
+    case TokenKind::kKwFalse:
+      return "'false'";
+    case TokenKind::kKwInstanceof:
+      return "'instanceof'";
+    case TokenKind::kKwStatic:
+      return "'static'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kEq:
+      return "'=='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kAndAnd:
+      return "'&&'";
+    case TokenKind::kOrOr:
+      return "'||'";
+    case TokenKind::kNot:
+      return "'!'";
+    case TokenKind::kPlusPlus:
+      return "'++'";
+    case TokenKind::kMinusMinus:
+      return "'--'";
+    case TokenKind::kPlusAssign:
+      return "'+='";
+    case TokenKind::kMinusAssign:
+      return "'-='";
+  }
+  return "unknown";
+}
+
+TokenKind KeywordKind(std::string_view text) {
+  static const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+      {"class", TokenKind::kKwClass},
+      {"extends", TokenKind::kKwExtends},
+      {"var", TokenKind::kKwVar},
+      {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},
+      {"while", TokenKind::kKwWhile},
+      {"for", TokenKind::kKwFor},
+      {"switch", TokenKind::kKwSwitch},
+      {"case", TokenKind::kKwCase},
+      {"default", TokenKind::kKwDefault},
+      {"try", TokenKind::kKwTry},
+      {"catch", TokenKind::kKwCatch},
+      {"finally", TokenKind::kKwFinally},
+      {"throw", TokenKind::kKwThrow},
+      {"throws", TokenKind::kKwThrows},
+      {"return", TokenKind::kKwReturn},
+      {"break", TokenKind::kKwBreak},
+      {"continue", TokenKind::kKwContinue},
+      {"new", TokenKind::kKwNew},
+      {"this", TokenKind::kKwThis},
+      {"null", TokenKind::kKwNull},
+      {"true", TokenKind::kKwTrue},
+      {"false", TokenKind::kKwFalse},
+      {"instanceof", TokenKind::kKwInstanceof},
+      {"static", TokenKind::kKwStatic},
+  };
+  auto it = kKeywords.find(text);
+  return it == kKeywords.end() ? TokenKind::kIdentifier : it->second;
+}
+
+}  // namespace mj

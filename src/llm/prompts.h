@@ -1,0 +1,47 @@
+// The WASABI prompt set (Figure 2 of the paper), kept verbatim so that the
+// simulated LLM's token accounting and the documentation of the static
+// workflow match the original design.
+
+#ifndef WASABI_SRC_LLM_PROMPTS_H_
+#define WASABI_SRC_LLM_PROMPTS_H_
+
+#include <string_view>
+
+namespace wasabi {
+
+// Q1: retry identification (fed one file at a time).
+inline constexpr std::string_view kPromptQ1 =
+    "Q1. Does the following code perform retry anywhere? Answer (Yes) or (No).\n"
+    "- Say NO if the file only _defines_ or _creates_ retry policies, or only passes retry\n"
+    "  parameters to other builders/constructors.\n"
+    "- Say NO if the file does not check for exception or errors before retry.\n"
+    "**Remember that retry mechanisms can be implemented through for or while loops or data\n"
+    "structures like state machines and queues.**\n";
+
+// Q1 follow-up: which methods implement the retry.
+inline constexpr std::string_view kPromptQ1FollowUp =
+    "Q1b. List the names of the methods that implement the retry, and for each one say\n"
+    "whether the retry is loop-based, queue-based, or state-machine-based.\n";
+
+// Q2: delay between attempts.
+inline constexpr std::string_view kPromptQ2 =
+    "Q2. Does the code sleep before retrying or resubmitting the request? Answer (Yes) or "
+    "(No).\n"
+    "**Remember that delay might be implemented through scheduling after an interval or some\n"
+    "other mechanism.**\n";
+
+// Q3: cap on attempts or time.
+inline constexpr std::string_view kPromptQ3 =
+    "Q3. Does the code have a cap OR time limit on the number times a request is retried or\n"
+    "resubmitted? Answer (Yes) or (No).\n"
+    "**Remember that timeouts or caps should be specifically applied to retry and not other\n"
+    "behaviors**\n";
+
+// Q4: poll/spin-lock exclusion.
+inline constexpr std::string_view kPromptQ4 =
+    "Q4. Do any of the retry-containing methods either call \"compareAndSet\" or contain\n"
+    "poll-related behavior? Answer (Yes) or (No)\n";
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_LLM_PROMPTS_H_

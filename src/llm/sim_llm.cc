@@ -1,0 +1,621 @@
+#include "src/llm/sim_llm.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/llm/prompts.h"
+
+namespace wasabi {
+
+using mj::AstKind;
+
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool ContainsAny(std::string_view text, const std::vector<std::string_view>& words) {
+  std::string lower = ToLower(text);
+  for (std::string_view word : words) {
+    if (lower.find(word) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<std::string_view>& RetryWords() {
+  static const std::vector<std::string_view> kWords = {
+      "retry", "retries", "retrying", "reattempt", "resubmit", "reschedule", "try again",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& SoftRetryWords() {
+  static const std::vector<std::string_view> kWords = {"backoff", "attempt"};
+  return kWords;
+}
+
+const std::vector<std::string_view>& PollSpinWords() {
+  static const std::vector<std::string_view> kWords = {"poll", "spin", "busywait"};
+  return kWords;
+}
+
+// The sleep APIs the paper instruments (§3.1.3 "missing delay" oracle).
+bool IsSleepCall(const mj::CallExpr& call) {
+  if (call.base == nullptr || call.base->kind != AstKind::kName) {
+    return false;
+  }
+  const std::string& receiver = static_cast<const mj::NameExpr*>(call.base)->name;
+  const std::string& callee = call.callee;
+  if (receiver == "Thread" && callee == "sleep") {
+    return true;
+  }
+  if (receiver == "TimeUnit" &&
+      (callee == "sleep" || callee == "timedWait" || callee == "scheduledExecutionTime")) {
+    return true;
+  }
+  if (receiver == "Timer" && (callee == "wait" || callee == "schedule")) {
+    return true;
+  }
+  if (receiver == "Object" && callee == "wait") {
+    return true;
+  }
+  return false;
+}
+
+bool IsEnqueueCallee(std::string_view name) {
+  static const std::unordered_set<std::string_view> kNames = {
+      "put", "add", "offer", "enqueue", "requeue", "resubmit", "submit", "push", "reenqueue",
+  };
+  return kNames.count(name) > 0;
+}
+
+bool IsPollSpinCallee(std::string_view name) {
+  static const std::unordered_set<std::string_view> kNames = {
+      "compareAndSet", "poll", "tryLock", "spinWait", "park", "compareAndSwap",
+  };
+  return kNames.count(name) > 0;
+}
+
+// True when the catch body is nothing but `throw <caught variable>;` —
+// pure rethrow, which the Q1 prompt tells the model not to count as retry.
+bool CatchOnlyRethrows(const mj::CatchClause& clause) {
+  if (clause.body->statements.size() != 1) {
+    return false;
+  }
+  const mj::Stmt* only = clause.body->statements[0];
+  if (only->kind != AstKind::kThrow) {
+    return false;
+  }
+  const mj::Expr* value = static_cast<const mj::ThrowStmt*>(only)->value;
+  return value != nullptr && value->kind == AstKind::kName &&
+         static_cast<const mj::NameExpr*>(value)->name == clause.variable;
+}
+
+// Shape facts about one method, gathered in a single pass.
+struct MethodShape {
+  bool has_loop = false;
+  bool has_try = false;
+  bool loop_contains_meaningful_catch = false;  // try-in-loop, catch not pure rethrow.
+  bool catch_contains_enqueue = false;
+  bool has_switch = false;
+  bool mentions_state = false;
+  bool has_poll_spin_call = false;
+  bool has_poll_spin_word = false;
+  int retry_word_hits = 0;       // Identifiers / literals / callees, capped later.
+  bool retry_word_in_name = false;
+  int soft_word_hits = 0;
+};
+
+void ScanStmtShape(const mj::Stmt* stmt, int loop_depth, int catch_depth, MethodShape& shape);
+
+void ScanExprShape(const mj::Expr* expr, int catch_depth, MethodShape& shape) {
+  mj::WalkExprs(expr, [&](const mj::Expr& e) {
+    switch (e.kind) {
+      case AstKind::kName: {
+        const std::string& name = static_cast<const mj::NameExpr&>(e).name;
+        if (ContainsAny(name, RetryWords())) {
+          ++shape.retry_word_hits;
+        }
+        if (ContainsAny(name, SoftRetryWords())) {
+          ++shape.soft_word_hits;
+        }
+        if (ContainsAny(name, PollSpinWords())) {
+          shape.has_poll_spin_word = true;
+        }
+        if (ContainsAny(name, {"state"})) {
+          shape.mentions_state = true;
+        }
+        break;
+      }
+      case AstKind::kStringLiteral: {
+        const std::string& value = static_cast<const mj::StringLiteralExpr&>(e).value;
+        if (ContainsAny(value, RetryWords())) {
+          ++shape.retry_word_hits;
+        }
+        if (ContainsAny(value, SoftRetryWords())) {
+          ++shape.soft_word_hits;
+        }
+        break;
+      }
+      case AstKind::kFieldAccess: {
+        const std::string& field = static_cast<const mj::FieldAccessExpr&>(e).field;
+        if (ContainsAny(field, RetryWords())) {
+          ++shape.retry_word_hits;
+        }
+        if (ContainsAny(field, {"state"})) {
+          shape.mentions_state = true;
+        }
+        break;
+      }
+      case AstKind::kCall: {
+        const auto& call = static_cast<const mj::CallExpr&>(e);
+        if (ContainsAny(call.callee, RetryWords())) {
+          ++shape.retry_word_hits;
+        }
+        if (ContainsAny(call.callee, SoftRetryWords())) {
+          ++shape.soft_word_hits;
+        }
+        if (IsPollSpinCallee(call.callee)) {
+          shape.has_poll_spin_call = true;
+        }
+        if (ContainsAny(call.callee, {"state"})) {
+          shape.mentions_state = true;
+        }
+        if (catch_depth > 0 && IsEnqueueCallee(call.callee)) {
+          shape.catch_contains_enqueue = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  });
+}
+
+void ScanBlockShape(const std::vector<mj::Stmt*>& stmts, int loop_depth, int catch_depth,
+                    MethodShape& shape) {
+  for (const mj::Stmt* child : stmts) {
+    ScanStmtShape(child, loop_depth, catch_depth, shape);
+  }
+}
+
+void ScanStmtShape(const mj::Stmt* stmt, int loop_depth, int catch_depth, MethodShape& shape) {
+  if (stmt == nullptr) {
+    return;
+  }
+  switch (stmt->kind) {
+    case AstKind::kBlock:
+      ScanBlockShape(static_cast<const mj::BlockStmt*>(stmt)->statements, loop_depth,
+                     catch_depth, shape);
+      break;
+    case AstKind::kVarDecl: {
+      const auto* decl = static_cast<const mj::VarDeclStmt*>(stmt);
+      if (ContainsAny(decl->name, RetryWords())) {
+        ++shape.retry_word_hits;
+      }
+      if (ContainsAny(decl->name, SoftRetryWords())) {
+        ++shape.soft_word_hits;
+      }
+      ScanExprShape(decl->init, catch_depth, shape);
+      break;
+    }
+    case AstKind::kAssign:
+      ScanExprShape(static_cast<const mj::AssignStmt*>(stmt)->target, catch_depth, shape);
+      ScanExprShape(static_cast<const mj::AssignStmt*>(stmt)->value, catch_depth, shape);
+      break;
+    case AstKind::kExprStmt:
+      ScanExprShape(static_cast<const mj::ExprStmt*>(stmt)->expr, catch_depth, shape);
+      break;
+    case AstKind::kIf: {
+      const auto* node = static_cast<const mj::IfStmt*>(stmt);
+      ScanExprShape(node->condition, catch_depth, shape);
+      ScanStmtShape(node->then_branch, loop_depth, catch_depth, shape);
+      ScanStmtShape(node->else_branch, loop_depth, catch_depth, shape);
+      break;
+    }
+    case AstKind::kWhile: {
+      const auto* node = static_cast<const mj::WhileStmt*>(stmt);
+      shape.has_loop = true;
+      ScanExprShape(node->condition, catch_depth, shape);
+      ScanStmtShape(node->body, loop_depth + 1, catch_depth, shape);
+      break;
+    }
+    case AstKind::kFor: {
+      const auto* node = static_cast<const mj::ForStmt*>(stmt);
+      shape.has_loop = true;
+      ScanStmtShape(node->init, loop_depth + 1, catch_depth, shape);
+      ScanExprShape(node->condition, catch_depth, shape);
+      ScanStmtShape(node->update, loop_depth + 1, catch_depth, shape);
+      ScanStmtShape(node->body, loop_depth + 1, catch_depth, shape);
+      break;
+    }
+    case AstKind::kSwitch: {
+      const auto* node = static_cast<const mj::SwitchStmt*>(stmt);
+      shape.has_switch = true;
+      ScanExprShape(node->subject, catch_depth, shape);
+      for (const mj::SwitchCase& switch_case : node->cases) {
+        for (const mj::Expr* label : switch_case.labels) {
+          ScanExprShape(label, catch_depth, shape);
+        }
+        ScanBlockShape(switch_case.body, loop_depth, catch_depth, shape);
+      }
+      break;
+    }
+    case AstKind::kTry: {
+      const auto* node = static_cast<const mj::TryStmt*>(stmt);
+      shape.has_try = true;
+      ScanBlockShape(node->body->statements, loop_depth, catch_depth, shape);
+      for (const mj::CatchClause& clause : node->catches) {
+        if (loop_depth > 0 && !CatchOnlyRethrows(clause)) {
+          shape.loop_contains_meaningful_catch = true;
+        }
+        ScanBlockShape(clause.body->statements, loop_depth, catch_depth + 1, shape);
+      }
+      if (node->finally != nullptr) {
+        ScanBlockShape(node->finally->statements, loop_depth, catch_depth, shape);
+      }
+      break;
+    }
+    case AstKind::kThrow:
+      ScanExprShape(static_cast<const mj::ThrowStmt*>(stmt)->value, catch_depth, shape);
+      break;
+    case AstKind::kReturn:
+      ScanExprShape(static_cast<const mj::ReturnStmt*>(stmt)->value, catch_depth, shape);
+      break;
+    default:
+      break;
+  }
+}
+
+// Attributes each comment to the method it most plausibly describes: the
+// method whose declaration starts within 2 lines after the comment (doc
+// comment), otherwise the method whose body the comment sits inside.
+std::unordered_map<const mj::MethodDecl*, std::vector<const mj::Comment*>> AttributeComments(
+    const mj::CompilationUnit& unit) {
+  std::vector<const mj::MethodDecl*> methods;
+  for (const mj::ClassDecl* cls : unit.classes()) {
+    for (const mj::MethodDecl* method : cls->methods) {
+      methods.push_back(method);
+    }
+  }
+  std::sort(methods.begin(), methods.end(),
+            [](const mj::MethodDecl* a, const mj::MethodDecl* b) {
+              return a->location.line < b->location.line;
+            });
+  std::unordered_map<const mj::MethodDecl*, std::vector<const mj::Comment*>> result;
+  for (const mj::Comment& comment : unit.comments()) {
+    const mj::MethodDecl* doc_target = nullptr;
+    const mj::MethodDecl* inside_target = nullptr;
+    for (const mj::MethodDecl* method : methods) {
+      if (method->location.line > comment.location.line) {
+        if (method->location.line - comment.location.line <= 2) {
+          doc_target = method;
+        }
+        break;
+      }
+      inside_target = method;
+    }
+    const mj::MethodDecl* target = doc_target != nullptr ? doc_target : inside_target;
+    if (target != nullptr) {
+      result[target].push_back(&comment);
+    }
+  }
+  return result;
+}
+
+uint64_t Fnv1a(uint64_t seed, std::string_view a, std::string_view b, char c) {
+  uint64_t hash = 14695981039346656037ULL ^ seed;
+  auto mix = [&hash](char ch) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 1099511628211ULL;
+  };
+  for (char ch : a) {
+    mix(ch);
+  }
+  mix('|');
+  for (char ch : b) {
+    mix(ch);
+  }
+  mix(c);
+  return hash;
+}
+
+// Identifier names that suggest an attempt/limit quantity for Q3.
+bool IsAttemptIsh(std::string_view name) {
+  return ContainsAny(name, {"attempt", "retry", "retries", "count", "tries", "max", "limit",
+                            "cap", "deadline", "elapsed", "timeout", "remaining"});
+}
+
+bool ExprMentionsAttemptIsh(const mj::Expr* expr) {
+  bool found = false;
+  mj::WalkExprs(expr, [&](const mj::Expr& e) {
+    if (e.kind == AstKind::kName && IsAttemptIsh(static_cast<const mj::NameExpr&>(e).name)) {
+      found = true;
+    }
+    if (e.kind == AstKind::kFieldAccess &&
+        IsAttemptIsh(static_cast<const mj::FieldAccessExpr&>(e).field)) {
+      found = true;
+    }
+    if (e.kind == AstKind::kCall) {
+      const auto& call = static_cast<const mj::CallExpr&>(e);
+      if (IsAttemptIsh(call.callee)) {
+        found = true;
+      }
+      if (call.base != nullptr && call.base->kind == AstKind::kName &&
+          static_cast<const mj::NameExpr*>(call.base)->name == "Clock") {
+        found = true;  // Time-limit style cap.
+      }
+    }
+  });
+  return found;
+}
+
+bool ExprHasRelationalOp(const mj::Expr* expr) {
+  bool found = false;
+  mj::WalkExprs(expr, [&](const mj::Expr& e) {
+    if (e.kind == AstKind::kBinary) {
+      mj::BinaryOp op = static_cast<const mj::BinaryExpr&>(e).op;
+      if (op == mj::BinaryOp::kLt || op == mj::BinaryOp::kLe || op == mj::BinaryOp::kGt ||
+          op == mj::BinaryOp::kGe || op == mj::BinaryOp::kEq || op == mj::BinaryOp::kNe) {
+        found = true;
+      }
+    }
+  });
+  return found;
+}
+
+bool StmtSubtreeExits(const mj::Stmt* stmt) {
+  bool exits = false;
+  mj::WalkStmts(
+      stmt,
+      [&](const mj::Stmt& s) {
+        if (s.kind == AstKind::kBreak || s.kind == AstKind::kReturn ||
+            s.kind == AstKind::kThrow) {
+          exits = true;
+        }
+      },
+      [](const mj::Expr&) {});
+  return exits;
+}
+
+}  // namespace
+
+SimLlm::SimLlm(SimLlmConfig config) : config_(config) {}
+
+void SimLlm::ChargeCall(const mj::CompilationUnit& unit, std::string_view prompt) {
+  ++usage_.calls;
+  int64_t bytes = static_cast<int64_t>(prompt.size() + unit.file().text().size());
+  usage_.bytes_sent += bytes;
+  usage_.prompt_tokens += bytes / 4;
+}
+
+bool SimLlm::NoiseFlip(std::string_view file, std::string_view method, char question) const {
+  if (config_.comprehension_noise_percent <= 0) {
+    return false;
+  }
+  uint64_t hash = Fnv1a(config_.seed, file, method, question);
+  return static_cast<int>(hash % 100) < config_.comprehension_noise_percent;
+}
+
+LlmFileFindings SimLlm::AnalyzeFile(const mj::CompilationUnit& unit) {
+  ChargeCall(unit, kPromptQ1);
+
+  LlmFileFindings findings;
+  findings.file = unit.file().name();
+
+  const int64_t window_bytes = config_.attention_window_tokens > 0
+                                   ? static_cast<int64_t>(config_.attention_window_tokens) * 4
+                                   : -1;
+  auto comments_by_method = AttributeComments(unit);
+
+  for (const mj::ClassDecl* cls : unit.classes()) {
+    for (const mj::MethodDecl* method : cls->methods) {
+      if (method->body == nullptr) {
+        continue;
+      }
+      if (window_bytes >= 0 && static_cast<int64_t>(method->location.offset) > window_bytes) {
+        // Large-file miss mode: evidence beyond the attention window is unseen.
+        findings.truncated_by_attention = true;
+        continue;
+      }
+
+      MethodShape shape;
+      ScanStmtShape(method->body, /*loop_depth=*/0, /*catch_depth=*/0, shape);
+      shape.retry_word_in_name = ContainsAny(method->name, RetryWords());
+      bool any_retry_wording = shape.retry_word_in_name || shape.retry_word_hits > 0 ||
+                               shape.soft_word_hits > 0;
+
+      int score = 0;
+      bool has_shape = false;
+      RetryMechanism mechanism = RetryMechanism::kLoop;
+      if (shape.catch_contains_enqueue) {
+        score += 3;
+        has_shape = true;
+        mechanism = RetryMechanism::kQueue;
+      } else if (shape.has_switch && shape.has_try && shape.mentions_state) {
+        score += 3;
+        has_shape = true;
+        mechanism = RetryMechanism::kStateMachine;
+      } else if (shape.loop_contains_meaningful_catch) {
+        // A try-in-loop with a non-rethrow catch is the ambiguous shape:
+        // genuine loop retry and per-item error handling look identical. With
+        // retry wording around, the model says retry; with NO wording at all,
+        // only a small deterministic fraction gets mislabeled (the paper's
+        // iteration/polling FP mode).
+        if (any_retry_wording ||
+            static_cast<int>(Fnv1a(config_.seed, findings.file, method->name, '1') % 100) <
+                config_.q1_iteration_fp_percent) {
+          score += 3;
+          has_shape = true;
+          mechanism = RetryMechanism::kLoop;
+        }
+      } else if (shape.has_loop && shape.retry_word_in_name && shape.retry_word_hits > 0) {
+        // Error-code / condition-driven retry: no exception handling at all,
+        // but a loop whose naming plainly says it retries. Only fuzzy
+        // comprehension finds these (they are invisible to the catch-to-header
+        // control-flow query).
+        score += 2;
+        has_shape = true;
+        mechanism = RetryMechanism::kLoop;
+      }
+      if (shape.retry_word_in_name) {
+        score += 2;
+      }
+      score += std::min(shape.retry_word_hits, 3);
+      score += std::min(shape.soft_word_hits, 2);
+      int comment_score = 0;
+      auto it = comments_by_method.find(method);
+      if (it != comments_by_method.end()) {
+        for (const mj::Comment* comment : it->second) {
+          if (ContainsAny(comment->text, RetryWords())) {
+            comment_score += 2;
+          }
+        }
+      }
+      score += std::min(comment_score, 4);
+
+      // The Q1 prompt instructs "Say NO for files that only define retry
+      // policies / pass retry parameters": without structural retry shape the
+      // bar is much higher — but overwhelming retry wording still fools the
+      // model (the paper's FP mode 1).
+      int threshold = has_shape ? config_.retry_threshold : config_.retry_threshold + 4;
+      if (score < threshold) {
+        continue;
+      }
+
+      // Q4: poll/spin exclusion. Strong retry wording overrides it ("the
+      // exclusion prompt is not always successful", §4.3).
+      if (config_.enable_q4_exclusion &&
+          (shape.has_poll_spin_call || shape.has_poll_spin_word) &&
+          score < config_.q4_override_score) {
+        continue;
+      }
+
+      LlmCoordinator coordinator;
+      coordinator.qualified_name = method->QualifiedName();
+      coordinator.method = method;
+      coordinator.mechanism = mechanism;
+      coordinator.evidence_score = score;
+      findings.coordinators.push_back(std::move(coordinator));
+    }
+  }
+
+  findings.performs_retry = !findings.coordinators.empty();
+  if (findings.performs_retry) {
+    ChargeCall(unit, kPromptQ1FollowUp);
+  }
+  return findings;
+}
+
+LlmWhenJudgment SimLlm::JudgeWhen(const mj::CompilationUnit& unit,
+                                  const LlmCoordinator& coordinator) {
+  ChargeCall(unit, kPromptQ2);
+  ChargeCall(unit, kPromptQ3);
+  ChargeCall(unit, kPromptQ4);
+
+  LlmWhenJudgment judgment;
+  const mj::MethodDecl* method = coordinator.method;
+  if (method == nullptr || method->body == nullptr) {
+    return judgment;
+  }
+
+  // --- Same-file helper map: method name -> contains a direct sleep call.
+  std::unordered_map<std::string, bool> helper_sleeps;
+  for (const mj::ClassDecl* cls : unit.classes()) {
+    for (const mj::MethodDecl* other : cls->methods) {
+      if (other->body == nullptr) {
+        continue;
+      }
+      bool sleeps = false;
+      mj::WalkStmts(
+          other->body, [](const mj::Stmt&) {},
+          [&](const mj::Expr& expr) {
+            if (expr.kind == AstKind::kCall &&
+                IsSleepCall(static_cast<const mj::CallExpr&>(expr))) {
+              sleeps = true;
+            }
+          });
+      helper_sleeps[other->name] = sleeps;
+    }
+  }
+
+  // --- Q2: delay before retrying.
+  bool sleeps = false;
+  mj::WalkStmts(
+      method->body, [](const mj::Stmt&) {},
+      [&](const mj::Expr& expr) {
+        if (expr.kind != AstKind::kCall) {
+          return;
+        }
+        const auto& call = static_cast<const mj::CallExpr&>(expr);
+        if (IsSleepCall(call)) {
+          sleeps = true;
+          return;
+        }
+        // Single-file scope: a helper defined in THIS file is visible; a
+        // helper defined elsewhere is not (the paper's missing-delay FP mode)
+        // — unless its name plainly says it sleeps.
+        auto it = helper_sleeps.find(call.callee);
+        if (it != helper_sleeps.end() && it->second) {
+          sleeps = true;
+          return;
+        }
+        if (it == helper_sleeps.end() &&
+            ContainsAny(call.callee, {"sleep", "backoff", "pause", "delay"})) {
+          sleeps = true;
+        }
+      });
+  judgment.q2_noise_flipped = NoiseFlip(unit.file().name(), method->name, '2');
+  judgment.sleeps_before_retry = sleeps != judgment.q2_noise_flipped;
+
+  // --- Q3: cap or time limit on retry.
+  bool has_cap = false;
+  mj::WalkStmts(
+      method->body,
+      [&](const mj::Stmt& stmt) {
+        if (stmt.kind == AstKind::kWhile) {
+          const auto* loop = static_cast<const mj::WhileStmt*>(&stmt);
+          if (ExprHasRelationalOp(loop->condition) && ExprMentionsAttemptIsh(loop->condition)) {
+            has_cap = true;
+          }
+        } else if (stmt.kind == AstKind::kFor) {
+          const auto* loop = static_cast<const mj::ForStmt*>(&stmt);
+          if (loop->condition != nullptr && ExprHasRelationalOp(loop->condition) &&
+              ExprMentionsAttemptIsh(loop->condition)) {
+            has_cap = true;
+          }
+        } else if (stmt.kind == AstKind::kIf) {
+          const auto* branch = static_cast<const mj::IfStmt*>(&stmt);
+          // An attempt-count comparison that either exits or splits into a
+          // retry-vs-give-up pair of branches reads as a cap.
+          if (ExprHasRelationalOp(branch->condition) &&
+              ExprMentionsAttemptIsh(branch->condition) &&
+              (branch->else_branch != nullptr || StmtSubtreeExits(branch->then_branch) ||
+               StmtSubtreeExits(branch->else_branch))) {
+            has_cap = true;
+          }
+        }
+      },
+      [](const mj::Expr&) {});
+  judgment.q3_noise_flipped = NoiseFlip(unit.file().name(), method->name, '3');
+  judgment.has_cap = has_cap != judgment.q3_noise_flipped;
+
+  // --- Q4: poll/spin behavior (re-asked at judgment time).
+  MethodShape shape;
+  ScanStmtShape(method->body, 0, 0, shape);
+  judgment.poll_or_spin = config_.enable_q4_exclusion &&
+                          (shape.has_poll_spin_call || shape.has_poll_spin_word) &&
+                          coordinator.evidence_score < config_.q4_override_score;
+  return judgment;
+}
+
+}  // namespace wasabi

@@ -1,0 +1,126 @@
+// SimLLM: a deterministic stand-in for the GPT-4 component of WASABI.
+//
+// The paper uses GPT-4's "fuzzy code comprehension" to (a) identify retry
+// logic — including non-loop queue/state-machine retry that defeats
+// control-flow analysis — from non-structural evidence such as comments,
+// identifier names, and code shape, and (b) answer the WHEN-bug prompts
+// (Figure 2: delay? cap? poll-exclusion?). No LLM is available in this offline
+// reproduction, so SimLLM implements the same *kind* of judgment: lexical and
+// shape evidence scored per method, one file at a time.
+//
+// Crucially, SimLLM also reproduces the LLM's characteristic error modes that
+// the paper's evaluation quantifies:
+//   * large-file misses (§4.2): evidence past a configurable attention window
+//     is not seen, so retry implemented late in a big file goes undetected;
+//   * single-file context (§4.3): a delay implemented by a helper defined in a
+//     DIFFERENT file is invisible, producing missing-delay false positives;
+//   * imperfect poll/spin exclusion (§4.3): Q4 fails when retry-ish wording is
+//     strong, so polling code is sometimes labeled as retry;
+//   * comprehension noise (§4.3): a deterministic, seeded fraction of Q2/Q3
+//     answers is flipped, modeling "GPT-4 wrongly comprehends code behavior".
+//
+// Everything is deterministic: same input + config => same answers.
+
+#ifndef WASABI_SRC_LLM_SIM_LLM_H_
+#define WASABI_SRC_LLM_SIM_LLM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/retry_model.h"
+#include "src/lang/ast.h"
+
+namespace wasabi {
+
+struct SimLlmConfig {
+  // Evidence threshold for reporting a method as retry-implementing.
+  int retry_threshold = 3;
+
+  // Attention window in estimated tokens (~4 bytes/token). Methods whose body
+  // starts beyond the window are invisible (large-file miss mode). <=0
+  // disables the limitation.
+  int attention_window_tokens = 2500;
+
+  // Percentage [0,100] of Q2/Q3 judgments flipped by deterministic seeded
+  // noise (comprehension errors). 0 disables.
+  int comprehension_noise_percent = 3;
+
+  // Seed mixed into the noise hash.
+  uint64_t seed = 0x5EEDu;
+
+  // Percentage [0,100] of loop-with-catch methods carrying NO retry wording
+  // that the model nevertheless labels as retry (the paper's "GPT-4 sometimes
+  // labels re-execution behavior such as iterating through queues as retry").
+  // Deterministic per (file, method).
+  int q1_iteration_fp_percent = 6;
+
+  // Whether the Q4 poll/spin exclusion prompt is applied.
+  bool enable_q4_exclusion = true;
+
+  // Evidence score at which retry wording overrides the Q4 exclusion (models
+  // "the poll-exclusion prompt is not always successful").
+  int q4_override_score = 7;
+};
+
+// API usage accounting, mirroring the paper's §4.3 cost analysis.
+struct LlmUsage {
+  int64_t calls = 0;
+  int64_t bytes_sent = 0;
+  int64_t prompt_tokens = 0;  // Estimated at 4 bytes/token.
+};
+
+// One method the model believes implements retry.
+struct LlmCoordinator {
+  std::string qualified_name;
+  const mj::MethodDecl* method = nullptr;
+  RetryMechanism mechanism = RetryMechanism::kLoop;
+  int evidence_score = 0;
+};
+
+// Q1 (+ follow-up) result for one file.
+struct LlmFileFindings {
+  std::string file;
+  bool performs_retry = false;
+  std::vector<LlmCoordinator> coordinators;
+  // True if part of the file fell outside the attention window.
+  bool truncated_by_attention = false;
+};
+
+// Q2/Q3/Q4 result for one coordinator.
+struct LlmWhenJudgment {
+  bool sleeps_before_retry = false;  // Q2.
+  bool has_cap = false;              // Q3.
+  bool poll_or_spin = false;         // Q4 (true => excluded from retry).
+  // Bookkeeping for evaluation: true when noise flipped the heuristic answer.
+  bool q2_noise_flipped = false;
+  bool q3_noise_flipped = false;
+};
+
+class SimLlm {
+ public:
+  explicit SimLlm(SimLlmConfig config = {});
+
+  // Q1 + follow-up: identify retry-implementing methods in one file.
+  LlmFileFindings AnalyzeFile(const mj::CompilationUnit& unit);
+
+  // Q2–Q4 for one coordinator previously reported by AnalyzeFile on the same
+  // unit. Single-file scope: helper methods outside `unit` are invisible.
+  LlmWhenJudgment JudgeWhen(const mj::CompilationUnit& unit, const LlmCoordinator& coordinator);
+
+  const LlmUsage& usage() const { return usage_; }
+  void ResetUsage() { usage_ = LlmUsage(); }
+
+  const SimLlmConfig& config() const { return config_; }
+
+ private:
+  void ChargeCall(const mj::CompilationUnit& unit, std::string_view prompt);
+  bool NoiseFlip(std::string_view file, std::string_view method, char question) const;
+
+  SimLlmConfig config_;
+  LlmUsage usage_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_LLM_SIM_LLM_H_

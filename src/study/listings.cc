@@ -1,0 +1,409 @@
+#include "src/study/listings.h"
+
+namespace wasabi {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Listing 1 — KAFKA-6829: UNKNOWN_TOPIC_OR_PARTITION (code 3) is recoverable
+// during broker initialization but is missing from the response handler's
+// retryable set. Error-code driven and single-site: WASABI cannot detect it;
+// the observable consequence is a commit lost instead of retried.
+// ---------------------------------------------------------------------------
+
+std::string Listing1Source(bool fixed) {
+  std::string handler =
+      "// Decides what to do with a commit response code.\n"
+      "// Verdicts: 2 = success, 1 = retry, 0 = terminal failure.\n"
+      "class CommitResponseHandler {\n"
+      "  int handle(code) {\n"
+      "    if (code == 0) {\n"
+      "      return 2;\n"
+      "    }\n"
+      "    if (code == 14) {  // COORDINATOR_LOAD_IN_PROGRESS\n"
+      "      return 1;\n"
+      "    }\n";
+  if (fixed) {
+    handler +=
+        "    if (code == 3) {  // UNKNOWN_TOPIC_OR_PARTITION (the KAFKA-6829 patch)\n"
+        "      return 1;\n"
+        "    }\n";
+  }
+  handler +=
+      "    return 0;\n"
+      "  }\n"
+      "}\n";
+
+  std::string coordinator =
+      "\n"
+      "class ConsumerCoordinator {\n"
+      "  int brokerCallsUntilReady = 2;\n"
+      "\n"
+      "  // Commits with retry driven by the handler's verdict; returns the\n"
+      "  // attempt count on success, the negated count when it gave up.\n"
+      "  int commitWithRetries(msg) {\n"
+      "    var handler = new CommitResponseHandler();\n"
+      "    var attempts = 0;\n"
+      "    while (attempts < 10) {\n"
+      "      attempts += 1;\n"
+      "      var code = this.sendCommit(msg);\n"
+      "      var verdict = handler.handle(code);\n"
+      "      if (verdict == 2) {\n"
+      "        return attempts;\n"
+      "      }\n"
+      "      if (verdict == 0) {\n"
+      "        Log.error(\"commit failed permanently\");\n"
+      "        return 0 - attempts;\n"
+      "      }\n"
+      "      Thread.sleep(50);\n"
+      "    }\n"
+      "    return 0;\n"
+      "  }\n"
+      "\n"
+      "  // The broker reports UNKNOWN_TOPIC_OR_PARTITION while initializing.\n"
+      "  int sendCommit(msg) {\n"
+      "    if (this.brokerCallsUntilReady > 0) {\n"
+      "      this.brokerCallsUntilReady -= 1;\n"
+      "      return 3;\n"
+      "    }\n"
+      "    return 0;\n"
+      "  }\n"
+      "}\n";
+  return handler + coordinator;
+}
+
+constexpr const char* kListing1Tests = R"mj(
+class Listing1Scenario {
+  String run() {
+    var coordinator = new ConsumerCoordinator();
+    var outcome = coordinator.commitWithRetries("offsets");
+    if (outcome > 0) {
+      return "commit succeeded after " + outcome + " attempt(s)";
+    }
+    return "commit LOST: handler gave up after " + (0 - outcome) + " attempt(s)";
+  }
+}
+class ConsumerCoordinatorTest {
+  void testCommit() {
+    var coordinator = new ConsumerCoordinator();
+    coordinator.commitWithRetries("offsets");
+  }
+}
+)mj";
+
+// ---------------------------------------------------------------------------
+// Listing 2 — HADOOP-16683: AccessControlException is correctly not retried,
+// but other code paths wrap it inside HadoopException, which IS retried. The
+// patch unwraps the cause. Single-site wrong policy: behavioral evidence.
+// ---------------------------------------------------------------------------
+
+std::string Listing2Source(bool fixed) {
+  std::string hadoop_catch;
+  if (fixed) {
+    hadoop_catch =
+        "      } catch (HadoopException he) {\n"
+        "        // AccessControlException may be wrapped (the HADOOP-16683 patch).\n"
+        "        if (he.getCause() instanceof AccessControlException) {\n"
+        "          break;\n"
+        "        }\n"
+        "        Log.warn(\"transient wrapper failure; will retry\");\n";
+  } else {
+    hadoop_catch =
+        "      } catch (HadoopException he) {\n"
+        "        Log.warn(\"transient wrapper failure; will retry\");\n";
+  }
+  return std::string(
+             "class WebHdfsFileSystem {\n"
+             "  int maxAttempts = 4;\n"
+             "  bool aclDenied = false;\n"
+             "  int attemptsMade = 0;\n"
+             "\n"
+             "  String run() {\n"
+             "    for (var retry = 0; retry < this.maxAttempts; retry++) {\n"
+             "      try {\n"
+             "        this.attemptsMade += 1;\n"
+             "        var conn = this.connect(\"url\");\n"
+             "        return this.getResponse(conn);\n"
+             "      } catch (AccessControlException e) {\n"
+             "        break;\n") +
+         hadoop_catch +
+         "      } catch (ConnectException ce) {\n"
+         "        Log.warn(\"connect failed\");\n"
+         "      }\n"
+         "      Thread.sleep(1000);\n"
+         "    }\n"
+         "    return null;\n"
+         "  }\n"
+         "\n"
+         "  String connect(url) throws AccessControlException, HadoopException, "
+         "ConnectException {\n"
+         "    if (this.aclDenied) {\n"
+         "      throw new HadoopException(\"rpc failed\", new "
+         "AccessControlException(\"permission denied\"));\n"
+         "    }\n"
+         "    return \"conn\";\n"
+         "  }\n"
+         "\n"
+         "  String getResponse(conn) throws HadoopException {\n"
+         "    return \"response\";\n"
+         "  }\n"
+         "}\n";
+}
+
+constexpr const char* kListing2Tests = R"mj(
+class Listing2Scenario {
+  String run() {
+    var fs = new WebHdfsFileSystem();
+    fs.aclDenied = true;
+    fs.run();
+    return "attempts against a PERMANENT permission error: " + fs.attemptsMade
+        + ", wasted backoff: " + Clock.nowMillis() + "ms";
+  }
+}
+class WebHdfsFileSystemTest {
+  void testRun() {
+    var fs = new WebHdfsFileSystem();
+    Assert.assertEquals("response", fs.run());
+  }
+}
+)mj";
+
+// ---------------------------------------------------------------------------
+// Listing 3 — HIVE-23894: a canceled TezTask is treated as failed and
+// re-enqueued forever. The patch checks isShutdown before resubmitting.
+// ---------------------------------------------------------------------------
+
+std::string Listing3Source(bool fixed) {
+  std::string requeue;
+  if (fixed) {
+    requeue =
+        "        // FIX: only retry if not canceled (the HIVE-23894 patch).\n"
+        "        if (task.isShutdown == false) {\n"
+        "          this.taskQueue.put(task);\n"
+        "        }\n";
+  } else {
+    requeue = "        this.taskQueue.put(task);\n";
+  }
+  return std::string(
+             "class TezTask {\n"
+             "  bool isShutdown = false;\n"
+             "  var payload = null;\n"
+             "\n"
+             "  void init(p) {\n"
+             "    this.payload = p;\n"
+             "  }\n"
+             "\n"
+             "  void execute() throws TaskCanceledException {\n"
+             "    if (this.isShutdown) {\n"
+             "      throw new TaskCanceledException(\"task canceled\");\n"
+             "    }\n"
+             "    Log.debug(\"executed \" + this.payload);\n"
+             "  }\n"
+             "}\n"
+             "\n"
+             "class TaskProcessor {\n"
+             "  Queue taskQueue = new Queue();\n"
+             "\n"
+             "  void submit(task) {\n"
+             "    this.taskQueue.put(task);\n"
+             "  }\n"
+             "\n"
+             "  int run() {\n"
+             "    var completed = 0;\n"
+             "    while (this.taskQueue.isEmpty() == false) {\n"
+             "      var task = this.taskQueue.take();\n"
+             "      try {\n"
+             "        task.execute();\n"
+             "        completed += 1;\n"
+             "      } catch (Exception e) {\n"
+             "        Log.warn(\"task failed; resubmitting\");\n"
+             "        Thread.sleep(20);\n") +
+         requeue +
+         "      }\n"
+         "    }\n"
+         "    return completed;\n"
+         "  }\n"
+         "}\n";
+}
+
+constexpr const char* kListing3Tests = R"mj(
+class Listing3Scenario {
+  String run() {
+    var processor = new TaskProcessor();
+    var normal = new TezTask();
+    normal.init("etl-1");
+    var canceled = new TezTask();
+    canceled.init("etl-2");
+    canceled.isShutdown = true;
+    processor.submit(normal);
+    processor.submit(canceled);
+    var completed = processor.run();
+    return "drain finished; completed=" + completed + " (canceled task dropped)";
+  }
+}
+class TaskProcessorTest {
+  void testDrainNormalTask() {
+    var processor = new TaskProcessor();
+    var task = new TezTask();
+    task.init("etl-1");
+    processor.submit(task);
+    Assert.assertEquals(1, processor.run());
+  }
+}
+)mj";
+
+// ---------------------------------------------------------------------------
+// Listing 4 — HBASE-20492: the state-machine step is implicitly retried with
+// state unchanged, but no delay is taken, congesting the executor. The patch
+// adds exponential backoff. WASABI's missing-delay oracle catches the buggy
+// variant; the LLM's Q2 prompt agrees.
+// ---------------------------------------------------------------------------
+
+std::string Listing4Source(bool fixed) {
+  std::string backoff;
+  if (fixed) {
+    backoff =
+        "            // Fix adds delay before the implicit retry (HBASE-20492).\n"
+        "            var backoff = 1000 * Math.pow(2, Math.min(this.attempts, 5));\n"
+        "            Thread.sleep(backoff);\n";
+  } else {
+    backoff =
+        "            // State deliberately unchanged: the executor retries this\n"
+        "            // step immediately.\n";
+  }
+  return std::string(
+             "class UnassignProcedure {\n"
+             "  int state = 1;\n"
+             "  int attempts = 0;\n"
+             "\n"
+             "  String executeWithRetries() {\n"
+             "    while (true) {\n"
+             "      switch (this.state) {\n"
+             "        case 1:\n"
+             "          try {\n"
+             "            this.markRegionAsClosing();\n"
+             "            this.state = 2;\n"
+             "          } catch (RemoteException e) {\n"
+             "            this.attempts += 1;\n"
+             "            if (this.attempts > 20) {\n"
+             "              return \"failed\";\n"
+             "            }\n") +
+         backoff +
+         "          }\n"
+         "          break;\n"
+         "        case 2:\n"
+         "          this.sendFinish();\n"
+         "          this.state = 3;\n"
+         "          break;\n"
+         "        default:\n"
+         "          return \"done\";\n"
+         "      }\n"
+         "    }\n"
+         "  }\n"
+         "\n"
+         "  void markRegionAsClosing() throws RemoteException {\n"
+         "    Log.debug(\"marking region as closing\");\n"
+         "  }\n"
+         "\n"
+         "  void sendFinish() {\n"
+         "    Log.debug(\"region transition finished\");\n"
+         "  }\n"
+         "}\n";
+}
+
+constexpr const char* kListing4Tests = R"mj(
+class UnassignProcedureTest {
+  void testExecute() {
+    var procedure = new UnassignProcedure();
+    Assert.assertEquals("done", procedure.executeWithRetries());
+  }
+}
+)mj";
+
+std::vector<PaperListing> BuildListings() {
+  std::vector<PaperListing> listings;
+
+  {
+    PaperListing listing;
+    listing.id = "Listing 1";
+    listing.issue_id = "KAFKA-6829";
+    listing.title = "Recoverable error code missing from the retryable set";
+    listing.description =
+        "The commit response handler forgets UNKNOWN_TOPIC_OR_PARTITION, which is "
+        "transient while a broker initializes; the commit is lost instead of retried. "
+        "Error-code driven and single-site: outside WASABI's detectors, so the evidence "
+        "is behavioral.";
+    listing.evidence = ListingEvidence::kBehavioral;
+    listing.coordinator = "ConsumerCoordinator.commitWithRetries";
+    listing.buggy_source = Listing1Source(/*fixed=*/false);
+    listing.fixed_source = Listing1Source(/*fixed=*/true);
+    listing.test_source = kListing1Tests;
+    listing.file_name = "listing1/ConsumerCoordinator.mj";
+    listings.push_back(std::move(listing));
+  }
+  {
+    PaperListing listing;
+    listing.id = "Listing 2";
+    listing.issue_id = "HADOOP-16683";
+    listing.title = "Non-recoverable error retried when wrapped";
+    listing.description =
+        "AccessControlException is correctly terminal, but a HadoopException wrapper "
+        "around it is retried wholesale; the patch unwraps the cause. Single-site wrong "
+        "policy: behavioral evidence (wasted attempts + backoff against a permanent "
+        "permission error).";
+    listing.evidence = ListingEvidence::kBehavioral;
+    listing.coordinator = "WebHdfsFileSystem.run";
+    listing.buggy_source = Listing2Source(/*fixed=*/false);
+    listing.fixed_source = Listing2Source(/*fixed=*/true);
+    listing.test_source = kListing2Tests;
+    listing.file_name = "listing2/WebHdfsFileSystem.mj";
+    listings.push_back(std::move(listing));
+  }
+  {
+    PaperListing listing;
+    listing.id = "Listing 3";
+    listing.issue_id = "HIVE-23894";
+    listing.title = "Canceled task re-enqueued forever";
+    listing.description =
+        "The task processor treats a canceled TezTask as failed and resubmits it "
+        "unconditionally; the patch checks isShutdown. The buggy drain never terminates "
+        "(virtual 15-minute budget trips), the patched one completes.";
+    listing.evidence = ListingEvidence::kBehavioral;
+    listing.coordinator = "TaskProcessor.run";
+    listing.buggy_source = Listing3Source(/*fixed=*/false);
+    listing.fixed_source = Listing3Source(/*fixed=*/true);
+    listing.test_source = kListing3Tests;
+    listing.file_name = "listing3/TaskProcessor.mj";
+    listings.push_back(std::move(listing));
+  }
+  {
+    PaperListing listing;
+    listing.id = "Listing 4";
+    listing.issue_id = "HBASE-20492";
+    listing.title = "State-machine step retried without delay";
+    listing.description =
+        "REGION_TRANSITION_DISPATCH failures leave the state unchanged so the executor "
+        "re-runs the step, but no delay is taken; the patch adds exponential backoff. "
+        "WASABI's missing-delay oracle flags the buggy variant and stays quiet on the "
+        "patched one.";
+    listing.evidence = ListingEvidence::kWasabiReport;
+    listing.expected_type = BugType::kWhenMissingDelay;
+    listing.coordinator = "UnassignProcedure.executeWithRetries";
+    listing.buggy_source = Listing4Source(/*fixed=*/false);
+    listing.fixed_source = Listing4Source(/*fixed=*/true);
+    listing.test_source = kListing4Tests;
+    listing.file_name = "listing4/UnassignProcedure.mj";
+    listings.push_back(std::move(listing));
+  }
+  return listings;
+}
+
+}  // namespace
+
+const std::vector<PaperListing>& PaperListings() {
+  static const std::vector<PaperListing>* kListings =
+      new std::vector<PaperListing>(BuildListings());
+  return *kListings;
+}
+
+}  // namespace wasabi

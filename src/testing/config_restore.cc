@@ -1,0 +1,85 @@
+#include "src/testing/config_restore.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "src/lang/ast.h"
+
+namespace wasabi {
+
+namespace {
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsRetryIshKey(std::string_view key) {
+  std::string lower(key);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (std::string_view word : {"retry", "retries", "attempt", "backoff"}) {
+    if (lower.find(word) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ConfigRestorationResult ScanTestsForRetryRestrictions(const mj::Program& program,
+                                                      int64_t max_restricted_value) {
+  ConfigRestorationResult result;
+  std::unordered_set<std::string> seen_keys;
+
+  for (const auto& unit : program.units()) {
+    for (const mj::ClassDecl* cls : unit->classes()) {
+      if (!EndsWith(cls->name, "Test")) {
+        continue;
+      }
+      for (const mj::MethodDecl* method : cls->methods) {
+        if (method->body == nullptr) {
+          continue;
+        }
+        mj::WalkStmts(
+            method->body, [](const mj::Stmt&) {},
+            [&](const mj::Expr& expr) {
+              if (expr.kind != mj::AstKind::kCall) {
+                return;
+              }
+              const auto& call = static_cast<const mj::CallExpr&>(expr);
+              if (call.callee != "set" || call.base == nullptr ||
+                  call.base->kind != mj::AstKind::kName ||
+                  static_cast<const mj::NameExpr*>(call.base)->name != "Config") {
+                return;
+              }
+              if (call.args.size() != 2 ||
+                  call.args[0]->kind != mj::AstKind::kStringLiteral ||
+                  call.args[1]->kind != mj::AstKind::kIntLiteral) {
+                return;
+              }
+              const std::string& key =
+                  static_cast<const mj::StringLiteralExpr*>(call.args[0])->value;
+              int64_t value = static_cast<const mj::IntLiteralExpr*>(call.args[1])->value;
+              if (!IsRetryIshKey(key) || value > max_restricted_value || value < 0) {
+                return;
+              }
+              RetryConfigRestriction restriction;
+              restriction.test_class = cls->name;
+              restriction.test_method = method->name;
+              restriction.key = key;
+              restriction.restricted_value = value;
+              result.restrictions.push_back(std::move(restriction));
+              if (seen_keys.insert(key).second) {
+                result.keys_to_freeze.push_back(key);
+              }
+            });
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace wasabi

@@ -1,0 +1,43 @@
+// Restoring default retry configurations in unit tests (§3.1.4).
+//
+// Developers sometimes deliberately restrict retry in unit tests by overriding
+// the retry-attempt configuration to 0, 1, or 2. The paper neutralizes these
+// overrides with a scanning script so injected faults exercise the *intended*
+// retry behavior. Here the scan walks test-class ASTs looking for
+// `Config.set("<retry-ish key>", <small literal>)` calls; the returned keys
+// are frozen on the interpreter so the in-test overrides become no-ops, and
+// the application's documented defaults (provided by the corpus manifest) are
+// applied instead.
+
+#ifndef WASABI_SRC_TESTING_CONFIG_RESTORE_H_
+#define WASABI_SRC_TESTING_CONFIG_RESTORE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/sema.h"
+
+namespace wasabi {
+
+struct RetryConfigRestriction {
+  std::string test_class;
+  std::string test_method;
+  std::string key;
+  int64_t restricted_value = 0;
+};
+
+struct ConfigRestorationResult {
+  std::vector<RetryConfigRestriction> restrictions;
+  // Unique keys to freeze, in first-seen order.
+  std::vector<std::string> keys_to_freeze;
+};
+
+// Scans all `*Test` classes for retry-restricting Config.set calls.
+// A key is retry-ish when it contains one of: retry, retries, attempt, backoff.
+// A value is restricting when it is an int literal <= `max_restricted_value`.
+ConfigRestorationResult ScanTestsForRetryRestrictions(const mj::Program& program,
+                                                      int64_t max_restricted_value = 2);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_TESTING_CONFIG_RESTORE_H_

@@ -1,0 +1,205 @@
+#include "src/testing/oracles.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wasabi {
+
+const char* OracleKindName(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kMissingCap:
+      return "missing-cap";
+    case OracleKind::kMissingDelay:
+      return "missing-delay";
+    case OracleKind::kDifferentException:
+      return "different-exception";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string StructureGroupKey(const char* prefix, const RetryLocation& location) {
+  // One cap/delay bug per retry structure: group by where the coordinator is.
+  return std::string(prefix) + "|" + location.file + "|" + location.coordinator;
+}
+
+bool StackContains(const std::vector<std::string>& stack, const std::string& method) {
+  for (const std::string& frame : stack) {
+    if (frame == method) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<OracleReport> EvaluateOracles(const TestRunRecord& record,
+                                          const RetryLocation& location,
+                                          const OracleOptions& options) {
+  std::vector<OracleReport> reports;
+
+  // --- Missing cap -----------------------------------------------------------
+  bool cap_hit = false;
+  std::string cap_detail;
+  if (!options.context_aware_cap) {
+    for (size_t i = 0; i < record.injected_points.size(); ++i) {
+      int count = i < record.injection_counts.size() ? record.injection_counts[i] : 0;
+      if (count >= options.cap_injection_threshold) {
+        cap_hit = true;
+        cap_detail = "injection point fired " + std::to_string(count) + " times (threshold " +
+                     std::to_string(options.cap_injection_threshold) + ")";
+      }
+    }
+  } else {
+    // §4.5 mitigation: group injections by (point, coordinator activation) so
+    // harness loops over many tasks do not accumulate across activations.
+    std::unordered_map<std::string, int> per_activation;
+    for (const LogEntry& entry : record.log.entries()) {
+      if (entry.kind != LogEntryKind::kInjection) {
+        continue;
+      }
+      std::string key = entry.injection_callee + "<-" + entry.injection_caller + ":" +
+                        entry.injection_exception + "@" +
+                        std::to_string(entry.caller_activation);
+      int count = ++per_activation[key];
+      if (count >= options.cap_injection_threshold) {
+        cap_hit = true;
+        cap_detail = "injection point fired " + std::to_string(count) +
+                     " times within one coordinator activation (threshold " +
+                     std::to_string(options.cap_injection_threshold) + ")";
+      }
+    }
+  }
+  if (!cap_hit && record.outcome.status == TestStatus::kTimeout) {
+    cap_hit = true;
+    cap_detail = "test exceeded its budget (" + record.outcome.abort_reason + ")";
+  }
+  if (cap_hit) {
+    OracleReport report;
+    report.kind = OracleKind::kMissingCap;
+    report.test = record.test.qualified_name;
+    report.location = location;
+    report.detail = cap_detail;
+    report.group_key = StructureGroupKey("cap", location);
+    reports.push_back(std::move(report));
+  }
+
+  // --- Missing delay ---------------------------------------------------------
+  // Scan the log: consecutive injections at the same point must have a sleep
+  // from the coordinator somewhere in between.
+  int consecutive_pairs = 0;
+  int pairs_with_sleep = 0;
+  {
+    // Last log index of an injection per point key, and whether a coordinator
+    // sleep was seen since.
+    struct PointState {
+      bool armed = false;  // An injection seen; watching for the next one.
+      bool slept_since = false;
+    };
+    std::unordered_map<std::string, PointState> states;
+    for (const LogEntry& entry : record.log.entries()) {
+      if (entry.kind == LogEntryKind::kSleep) {
+        if (StackContains(entry.call_stack, location.coordinator)) {
+          for (auto& [key, state] : states) {
+            if (state.armed) {
+              state.slept_since = true;
+            }
+          }
+        }
+        continue;
+      }
+      if (entry.kind != LogEntryKind::kInjection) {
+        continue;
+      }
+      std::string key =
+          entry.injection_callee + "<-" + entry.injection_caller + ":" + entry.injection_exception;
+      PointState& state = states[key];
+      if (state.armed) {
+        ++consecutive_pairs;
+        if (state.slept_since) {
+          ++pairs_with_sleep;
+        }
+      }
+      state.armed = true;
+      state.slept_since = false;
+    }
+  }
+  if (consecutive_pairs + 1 >= options.delay_min_injections && consecutive_pairs > 0 &&
+      pairs_with_sleep == 0) {
+    OracleReport report;
+    report.kind = OracleKind::kMissingDelay;
+    report.test = record.test.qualified_name;
+    report.location = location;
+    report.detail = std::to_string(consecutive_pairs + 1) +
+                    " retry attempts with no coordinator sleep in between";
+    report.group_key = StructureGroupKey("delay", location);
+    reports.push_back(std::move(report));
+  }
+
+  // --- Different exception ------------------------------------------------------
+  bool crashed = record.outcome.status == TestStatus::kException;
+  bool asserted = record.outcome.status == TestStatus::kAssertionFailed;
+  if (asserted && options.assertions_require_single_injection) {
+    int total_injections = 0;
+    for (int count : record.injection_counts) {
+      total_injections += count;
+    }
+    if (total_injections != 1) {
+      asserted = false;
+    }
+  }
+  if (crashed || asserted) {
+    bool same_as_injected = false;
+    for (const InjectionPoint& point : record.injected_points) {
+      if (record.outcome.exception_class == point.exception) {
+        same_as_injected = true;  // Correct give-up behavior: not a bug.
+      }
+      if (options.prune_wrapped_exceptions) {
+        // §4.5 mitigation: a wrapper around the injected exception is the
+        // fault propagating, not a new failure.
+        for (const std::string& cause : record.outcome.cause_chain) {
+          if (cause == point.exception) {
+            same_as_injected = true;
+          }
+        }
+      }
+    }
+    if (!same_as_injected) {
+      OracleReport report;
+      report.kind = OracleKind::kDifferentException;
+      report.test = record.test.qualified_name;
+      report.location = location;
+      report.detail = (asserted ? "assertion failed: " : "crashed with ") +
+                      record.outcome.exception_class +
+                      (record.outcome.exception_message.empty()
+                           ? ""
+                           : " (" + record.outcome.exception_message + ")");
+      std::ostringstream key;
+      key << "diffexc|" << record.outcome.exception_class;
+      for (const std::string& frame : record.outcome.crash_stack) {
+        key << ";" << frame;
+      }
+      report.group_key = key.str();
+      reports.push_back(std::move(report));
+    }
+  }
+
+  return reports;
+}
+
+std::vector<OracleReport> DeduplicateReports(std::vector<OracleReport> reports) {
+  std::vector<OracleReport> unique;
+  std::unordered_set<std::string> seen;
+  for (OracleReport& report : reports) {
+    std::string key = std::string(OracleKindName(report.kind)) + "|" + report.group_key;
+    if (seen.insert(key).second) {
+      unique.push_back(std::move(report));
+    }
+  }
+  return unique;
+}
+
+}  // namespace wasabi

@@ -1,0 +1,85 @@
+// The three retry-specific, application-agnostic test oracles (§3.1.3).
+//
+// "Missing cap": an injection point fired >= 100 times, or the test exceeded
+// its (virtual) 15-minute budget — the retry has no effective cap.
+//
+// "Missing delay": between two consecutive injections at the same point there
+// was no sleep issued from the coordinator method — the retry has no delay.
+//
+// "Different exception": the test crashed with an exception DIFFERENT from
+// the injected one — evidence of a HOW bug (broken state after retry).
+// Crashes that simply re-throw the injected exception are correct give-up
+// behavior and are not reported; this also absorbs static-analysis
+// inaccuracies (an injected non-trigger exception just crashes the test with
+// itself). Assertion failures under injection count as different-exception
+// evidence too (the existing test oracle caught corrupted state).
+
+#ifndef WASABI_SRC_TESTING_ORACLES_H_
+#define WASABI_SRC_TESTING_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/retry_model.h"
+#include "src/testing/test_model.h"
+
+namespace wasabi {
+
+enum class OracleKind : uint8_t {
+  kMissingCap,
+  kMissingDelay,
+  kDifferentException,
+};
+
+const char* OracleKindName(OracleKind kind);
+
+struct OracleReport {
+  OracleKind kind = OracleKind::kMissingCap;
+  std::string test;
+  RetryLocation location;  // The injected retry location.
+  std::string detail;
+  // Reports with equal group keys are the same underlying bug: cap/delay
+  // reports group per retry structure (file + coordinator), different-
+  // exception reports group per crash stack (§4.1).
+  std::string group_key;
+};
+
+struct OracleOptions {
+  // The paper's thresholds: 100 injections, or a 15-minute test run.
+  int cap_injection_threshold = 100;
+  // Minimum number of injections at a point before the delay oracle applies
+  // (one attempt has no "in-between" to check).
+  int delay_min_injections = 2;
+  // Assertion failures count as HOW evidence only for single-injection (K=1)
+  // runs: one transparent retry must not corrupt state. Under heavy injection
+  // the application legitimately gives up, so downstream assertions failing is
+  // expected, not a bug signal.
+  bool assertions_require_single_injection = true;
+
+  // --- §4.5 false-positive mitigations (off by default: the defaults model
+  // --- the paper's evaluated prototype; these implement its future work).
+
+  // Different-exception oracle: do not report a crash whose CAUSE CHAIN
+  // contains the injected exception — the application merely wrapped the
+  // injected fault in a generic exception (the paper's 5 HOW FPs).
+  bool prune_wrapped_exceptions = false;
+
+  // Missing-cap oracle: count injections per coordinator ACTIVATION instead of
+  // globally, so a test harness that re-invokes a properly-capped retry for
+  // many tasks no longer accumulates past the threshold (the paper's 8
+  // missing-cap FPs).
+  bool context_aware_cap = false;
+};
+
+// Evaluates all three oracles over one injected test run. `location` is the
+// retry location the run targeted.
+std::vector<OracleReport> EvaluateOracles(const TestRunRecord& record,
+                                          const RetryLocation& location,
+                                          const OracleOptions& options = {});
+
+// Deduplicates reports by (kind, group_key), keeping first occurrences in order.
+std::vector<OracleReport> DeduplicateReports(std::vector<OracleReport> reports);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_TESTING_ORACLES_H_

@@ -1,0 +1,52 @@
+// Unit-test discovery and execution over the mj interpreter.
+//
+// Tests follow the JUnit-ish convention the corpus uses: classes whose names
+// end in "Test", methods whose names start with "test". Every run gets a
+// FRESH interpreter (clean singletons, clock, log) so runs are independent —
+// the property the paper's planner relies on.
+
+#ifndef WASABI_SRC_TESTING_RUNNER_H_
+#define WASABI_SRC_TESTING_RUNNER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/interp/interpreter.h"
+#include "src/testing/test_model.h"
+
+namespace wasabi {
+
+struct RunnerOptions {
+  InterpOptions interp;
+  // Config values applied before each run (e.g. restored retry defaults).
+  std::vector<std::pair<std::string, Value>> config_overrides;
+  // Keys whose mj-level Config.set calls are ignored (§3.1.4 restoration).
+  std::vector<std::string> frozen_keys;
+};
+
+class TestRunner {
+ public:
+  TestRunner(const mj::Program& program, const mj::ProgramIndex& index,
+             RunnerOptions options = {});
+
+  // All `*Test.test*` methods, in declaration order.
+  std::vector<TestCase> DiscoverTests() const;
+
+  // Runs one test with optional extra interceptors (injector, coverage
+  // recorder). Never throws: all outcomes are captured in the record.
+  TestRunRecord RunTest(const TestCase& test,
+                        std::vector<CallInterceptor*> interceptors = {}) const;
+
+  const RunnerOptions& options() const { return options_; }
+  void set_options(RunnerOptions options) { options_ = std::move(options); }
+
+ private:
+  const mj::Program& program_;
+  const mj::ProgramIndex& index_;
+  RunnerOptions options_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_TESTING_RUNNER_H_

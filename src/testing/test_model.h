@@ -1,0 +1,58 @@
+// Test-case and test-run data model for the dynamic workflow.
+
+#ifndef WASABI_SRC_TESTING_TEST_MODEL_H_
+#define WASABI_SRC_TESTING_TEST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/inject/injector.h"
+#include "src/interp/exec_log.h"
+
+namespace wasabi {
+
+// One unit test: a `test*` method on a `*Test` class.
+struct TestCase {
+  std::string qualified_name;  // "WebHdfsTest.testRead".
+
+  bool operator==(const TestCase& other) const {
+    return qualified_name == other.qualified_name;
+  }
+};
+
+enum class TestStatus : uint8_t {
+  kPassed,
+  kAssertionFailed,  // An Assert.* builtin failed (existing test oracle).
+  kException,        // An uncaught non-assertion mj exception escaped the test.
+  kTimeout,          // Step or virtual-time budget exhausted.
+};
+
+const char* TestStatusName(TestStatus status);
+
+struct TestOutcome {
+  TestStatus status = TestStatus::kPassed;
+  std::string exception_class;    // For kAssertionFailed / kException.
+  std::string exception_message;
+  std::vector<std::string> crash_stack;  // Where the escaping exception originated.
+  // Class names of the escaping exception's cause chain (outermost first,
+  // excluding the exception itself). Lets the §4.5 wrapping-chain mitigation
+  // recognize an injected exception inside a generic wrapper.
+  std::vector<std::string> cause_chain;
+  std::string abort_reason;       // For kTimeout.
+};
+
+// The record of one (possibly fault-injected) test execution.
+struct TestRunRecord {
+  TestCase test;
+  TestOutcome outcome;
+  ExecutionLog log;
+  std::vector<InjectionPoint> injected_points;
+  std::vector<int> injection_counts;  // Parallel to injected_points.
+  int64_t virtual_duration_ms = 0;
+  int64_t steps = 0;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_TESTING_TEST_MODEL_H_

@@ -1,0 +1,443 @@
+// Unit tests for the CodeQL-style retry finder and local type inference.
+
+#include "src/analysis/retry_finder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/analysis/type_infer.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+
+namespace wasabi {
+namespace {
+
+mj::Program MakeProgram(std::initializer_list<std::string> sources) {
+  mj::Program program;
+  mj::DiagnosticEngine diag;
+  int i = 0;
+  for (const std::string& text : sources) {
+    program.AddUnit(mj::ParseSource("unit" + std::to_string(i++) + ".mj", text, diag));
+  }
+  EXPECT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+  return program;
+}
+
+// The Listing-2 analog: a loop retry with a retry-named counter, one
+// non-retried catch (break) and one retried catch.
+constexpr const char* kWebHdfsSource = R"(
+class WebHdfsFileSystem {
+  int maxAttempts = 3;
+  HttpResponse run() throws IOException {
+    for (var retry = 0; retry < this.maxAttempts; retry++) {
+      try {
+        var conn = this.connect("url");
+        var response = this.getResponse(conn);
+        return response;
+      } catch (AccessControlException e) {
+        break;
+      } catch (ConnectException ce) {
+        Log.warn("connect failed");
+      }
+      Thread.sleep(1000);
+    }
+    return null;
+  }
+  HttpUrlConnection connect(String url) throws AccessControlException, ConnectException;
+  HttpResponse getResponse(HttpUrlConnection conn) throws SocketException;
+}
+)";
+
+TEST(RetryFinderTest, FindsListing2LoopRetry) {
+  mj::Program program = MakeProgram({kWebHdfsSource});
+  mj::ProgramIndex index(program);
+  RetryFinder finder(program, index);
+  std::vector<RetryStructure> structures = finder.FindLoopStructures();
+  ASSERT_EQ(structures.size(), 1u);
+  const RetryStructure& structure = structures[0];
+  EXPECT_EQ(structure.coordinator, "WebHdfsFileSystem.run");
+  EXPECT_EQ(structure.mechanism, RetryMechanism::kLoop);
+  EXPECT_TRUE(structure.found_by.codeql);
+  EXPECT_TRUE(structure.keyword_evidence);
+
+  // Triplets: connect can throw ConnectException (retried via catch #2) and
+  // AccessControlException (catch #1 breaks: NOT a trigger). getResponse can
+  // throw SocketException, which no catch handles... except none matches, so
+  // it is not a trigger either.
+  ASSERT_EQ(structure.locations.size(), 1u);
+  const RetryLocation& location = structure.locations[0];
+  EXPECT_EQ(location.retried_method, "WebHdfsFileSystem.connect");
+  EXPECT_EQ(location.exception_name, "ConnectException");
+  EXPECT_EQ(location.coordinator, "WebHdfsFileSystem.run");
+}
+
+TEST(RetryFinderTest, CatchOfSupertypeMatchesSubtypeException) {
+  mj::Program program = MakeProgram({R"(
+    class Client {
+      void fetchWithRetries() {
+        var attempts = 0;
+        while (attempts < 5) {
+          try {
+            this.fetch();
+            return;
+          } catch (IOException e) {
+            attempts++;
+          }
+        }
+      }
+      void fetch() throws ConnectException;
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  RetryFinder finder(program, index);
+  auto structures = finder.FindLoopStructures();
+  ASSERT_EQ(structures.size(), 1u);
+  ASSERT_EQ(structures[0].locations.size(), 1u);
+  // ConnectException <: IOException, so it is a trigger.
+  EXPECT_EQ(structures[0].locations[0].exception_name, "ConnectException");
+}
+
+TEST(RetryFinderTest, KeywordFilterSuppressesUnnamedLoops) {
+  // A retry-shaped loop with no retry-ish naming: candidate but filtered, the
+  // exact false-negative mode the paper reports for CodeQL (§4.2).
+  mj::Program program = MakeProgram({R"(
+    class Poller {
+      void pump() {
+        var n = 0;
+        while (n < 5) {
+          try {
+            this.fetch();
+            return;
+          } catch (IOException e) {
+            n++;
+          }
+        }
+      }
+      void fetch() throws IOException;
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  RetryFinder finder(program, index);
+  EXPECT_TRUE(finder.FindLoopStructures().empty());
+
+  auto candidates = finder.FindCandidateLoops();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_FALSE(candidates[0].keyword_evidence);
+
+  RetryFinderOptions no_filter;
+  no_filter.require_keyword = false;
+  RetryFinder unfiltered(program, index, no_filter);
+  EXPECT_EQ(unfiltered.FindLoopStructures().size(), 1u);
+}
+
+TEST(RetryFinderTest, KeywordInStringLiteralCounts) {
+  mj::Program program = MakeProgram({R"(
+    class C {
+      void go() {
+        var n = 0;
+        while (n < 5) {
+          try {
+            this.fetch();
+            return;
+          } catch (IOException e) {
+            Log.warn("will retry the fetch");
+            n++;
+          }
+        }
+      }
+      void fetch() throws IOException;
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  RetryFinder finder(program, index);
+  EXPECT_EQ(finder.FindLoopStructures().size(), 1u);
+}
+
+TEST(RetryFinderTest, KeywordInCalleeNameCounts) {
+  mj::Program program = MakeProgram({R"(
+    class C {
+      void go() {
+        while (this.shouldRetry()) {
+          try {
+            this.fetch();
+            return;
+          } catch (IOException e) {
+          }
+        }
+      }
+      bool shouldRetry() { return true; }
+      void fetch() throws IOException;
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  RetryFinder finder(program, index);
+  EXPECT_EQ(finder.FindLoopStructures().size(), 1u);
+}
+
+TEST(RetryFinderTest, LoopWithoutCatchIsNotCandidate) {
+  mj::Program program = MakeProgram({R"(
+    class C {
+      void retryLoop() {
+        for (var retry = 0; retry < 3; retry++) {
+          this.step();
+        }
+      }
+      void step() { }
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  RetryFinder finder(program, index);
+  EXPECT_TRUE(finder.FindCandidateLoops().empty());
+}
+
+TEST(RetryFinderTest, CatchThatAlwaysBreaksIsNotCandidate) {
+  mj::Program program = MakeProgram({R"(
+    class C {
+      void retryLoop() {
+        for (var retry = 0; retry < 3; retry++) {
+          try {
+            this.step();
+          } catch (IOException e) {
+            break;
+          }
+        }
+      }
+      void step() throws IOException;
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  RetryFinder finder(program, index);
+  EXPECT_TRUE(finder.FindCandidateLoops().empty());
+}
+
+TEST(RetryFinderTest, IterationLoopWithLoggingCatchIsCandidateButHasNoKeyword) {
+  // The classic CodeQL false-positive candidate the keyword filter removes:
+  // iterating items, catching and logging per-item errors.
+  mj::Program program = MakeProgram({R"(
+    class BatchProcessor {
+      void processAll(items) {
+        for (var i = 0; i < items.size(); i++) {
+          try {
+            this.processOne(items.get(i));
+          } catch (IOException e) {
+            Log.warn("item failed, skipping");
+          }
+        }
+      }
+      void processOne(item) throws IOException;
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  RetryFinder finder(program, index);
+  auto candidates = finder.FindCandidateLoops();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_FALSE(candidates[0].keyword_evidence);
+  EXPECT_TRUE(finder.FindLoopStructures().empty());
+}
+
+TEST(RetryFinderTest, TripletsForCoordinatorEnumeratesAllCalls) {
+  mj::Program program = MakeProgram({R"(
+    class TaskProcessor {
+      Queue taskQueue = new Queue();
+      void run() {
+        var task = this.take();
+        try {
+          this.execute(task);
+        } catch (Exception e) {
+          this.requeue(task);
+        }
+      }
+      Task take() { return null; }
+      void execute(t) throws TimeoutException, IOException;
+      void requeue(t) { }
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  RetryFinder finder(program, index);
+  const mj::MethodDecl* run = index.FindQualified("TaskProcessor.run");
+  ASSERT_NE(run, nullptr);
+  auto triplets = finder.TripletsForCoordinator(*run, RetryMechanism::kQueue);
+  // execute throws 2 exception types -> 2 triplets; take/requeue throw nothing.
+  ASSERT_EQ(triplets.size(), 2u);
+  EXPECT_EQ(triplets[0].retried_method, "TaskProcessor.execute");
+  EXPECT_EQ(triplets[0].mechanism, RetryMechanism::kQueue);
+  std::vector<std::string> exceptions = {triplets[0].exception_name,
+                                         triplets[1].exception_name};
+  std::sort(exceptions.begin(), exceptions.end());
+  EXPECT_EQ(exceptions[0], "IOException");
+  EXPECT_EQ(exceptions[1], "TimeoutException");
+}
+
+TEST(RetryFinderTest, CrossClassResolutionThroughFieldType) {
+  mj::Program program = MakeProgram({R"(
+    class Store {
+      Connection conn = new Connection();
+      void saveWithRetry(data) {
+        for (var retry = 0; retry < 3; retry++) {
+          try {
+            this.conn.write(data);
+            return;
+          } catch (SocketException e) {
+            Thread.sleep(100);
+          }
+        }
+      }
+    }
+  )",
+                                     R"(
+    class Connection {
+      void write(data) throws SocketException;
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  RetryFinder finder(program, index);
+  auto structures = finder.FindLoopStructures();
+  ASSERT_EQ(structures.size(), 1u);
+  ASSERT_EQ(structures[0].locations.size(), 1u);
+  EXPECT_EQ(structures[0].locations[0].retried_method, "Connection.write");
+}
+
+TEST(RetryFinderTest, NestedRetryLoopsReportedSeparately) {
+  mj::Program program = MakeProgram({R"(
+    class C {
+      void outerRetry() {
+        for (var retry = 0; retry < 3; retry++) {
+          try {
+            this.phase1();
+          } catch (IOException e) {
+            continue;
+          }
+          for (var retries = 0; retries < 5; retries++) {
+            try {
+              this.phase2();
+              break;
+            } catch (TimeoutException t) {
+              Thread.sleep(10);
+            }
+          }
+        }
+      }
+      void phase1() throws IOException;
+      void phase2() throws TimeoutException;
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  RetryFinder finder(program, index);
+  auto structures = finder.FindLoopStructures();
+  EXPECT_EQ(structures.size(), 2u);
+}
+
+// --- LocalTypes -----------------------------------------------------------
+
+TEST(LocalTypesTest, InfersFromNewAndParamsAndFields) {
+  mj::Program program = MakeProgram({R"(
+    class Helper { int work() { return 1; } }
+    class C {
+      Helper member = new Helper();
+      void f(Helper param) {
+        var local = new Helper();
+        var fromField = this.member;
+        var fromCall = this.make();
+        local.work();
+        param.work();
+        fromField.work();
+        fromCall.work();
+      }
+      Helper make() { return new Helper(); }
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  const mj::MethodDecl* f = index.FindQualified("C.f");
+  ASSERT_NE(f, nullptr);
+  LocalTypes types(*f, index);
+
+  // All four receiver forms resolve Helper.work.
+  int resolved_calls = 0;
+  mj::WalkStmts(
+      f->body, [](const mj::Stmt&) {},
+      [&](const mj::Expr& expr) {
+        if (expr.kind == mj::AstKind::kCall) {
+          const auto& call = static_cast<const mj::CallExpr&>(expr);
+          if (call.callee == "work") {
+            const mj::MethodDecl* resolved = types.ResolveCall(call);
+            ASSERT_NE(resolved, nullptr);
+            EXPECT_EQ(resolved->QualifiedName(), "Helper.work");
+            ++resolved_calls;
+          }
+        }
+      });
+  EXPECT_EQ(resolved_calls, 4);
+}
+
+TEST(LocalTypesTest, BuiltinReceiversDoNotResolve) {
+  mj::Program program = MakeProgram({R"(
+    class C {
+      void sleep() { }
+      void f() {
+        Thread.sleep(100);
+      }
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  const mj::MethodDecl* f = index.FindQualified("C.f");
+  LocalTypes types(*f, index);
+  mj::WalkStmts(
+      f->body, [](const mj::Stmt&) {},
+      [&](const mj::Expr& expr) {
+        if (expr.kind == mj::AstKind::kCall) {
+          // Thread.sleep must NOT resolve to C.sleep.
+          EXPECT_EQ(types.ResolveCall(static_cast<const mj::CallExpr&>(expr)), nullptr);
+        }
+      });
+}
+
+TEST(LocalTypesTest, UniqueSimpleNameFallback) {
+  mj::Program program = MakeProgram({R"(
+    class Worker { void uniqueOp() throws IOException; }
+    class Driver {
+      void f(w) {
+        w.uniqueOp();
+      }
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  const mj::MethodDecl* f = index.FindQualified("Driver.f");
+  LocalTypes types(*f, index);
+  mj::WalkStmts(
+      f->body, [](const mj::Stmt&) {},
+      [&](const mj::Expr& expr) {
+        if (expr.kind == mj::AstKind::kCall) {
+          const mj::MethodDecl* resolved =
+              types.ResolveCall(static_cast<const mj::CallExpr&>(expr));
+          ASSERT_NE(resolved, nullptr);
+          EXPECT_EQ(resolved->QualifiedName(), "Worker.uniqueOp");
+        }
+      });
+}
+
+TEST(LocalTypesTest, AmbiguousSimpleNameDoesNotResolve) {
+  mj::Program program = MakeProgram({R"(
+    class A { void op() { } }
+    class B { void op() { } }
+    class Driver {
+      void f(x) {
+        x.op();
+      }
+    }
+  )"});
+  mj::ProgramIndex index(program);
+  const mj::MethodDecl* f = index.FindQualified("Driver.f");
+  LocalTypes types(*f, index);
+  mj::WalkStmts(
+      f->body, [](const mj::Stmt&) {},
+      [&](const mj::Expr& expr) {
+        if (expr.kind == mj::AstKind::kCall) {
+          EXPECT_EQ(types.ResolveCall(static_cast<const mj::CallExpr&>(expr)), nullptr);
+        }
+      });
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,66 @@
+// Tests for the bench-side table rendering helpers (they format every
+// reproduced table, so their alignment/format contract matters).
+
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wasabi {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumnsToWidestCell) {
+  TablePrinter table({"A", "Header"});
+  table.AddRow({"wide-cell-value", "x"});
+  table.AddRow({"y", "z"});
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+
+  // Four lines: header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // Every line has the same length (fixed-width columns).
+  std::istringstream lines(text);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) {
+      width = line.size();
+    }
+    EXPECT_EQ(line.size(), width) << line;
+  }
+  EXPECT_NE(text.find("wide-cell-value"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadWithEmptyCells) {
+  TablePrinter table({"A", "B", "C"});
+  table.AddRow({"only-one"});
+  std::ostringstream out;
+  table.Print(out);
+  // Renders without crashing and keeps three column separators per row.
+  std::string text = out.str();
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("only-one") != std::string::npos) {
+      EXPECT_EQ(std::count(line.begin(), line.end(), '|'), 4);
+    }
+  }
+}
+
+TEST(CellWithFpTest, FormatsCountsAndDash) {
+  EXPECT_EQ(CellWithFp(0, 0), "-");
+  EXPECT_EQ(CellWithFp(5, 2), "5 (2 FP)");
+  EXPECT_EQ(CellWithFp(1, 0), "1 (0 FP)");
+}
+
+TEST(PercentTest, HandlesZeroDenominator) {
+  EXPECT_EQ(Percent(1, 0), "n/a");
+  EXPECT_EQ(Percent(1, 2), "50%");
+  EXPECT_EQ(Percent(2, 3), "67%");
+  EXPECT_EQ(Percent(0, 5), "0%");
+}
+
+}  // namespace
+}  // namespace wasabi

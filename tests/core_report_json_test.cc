@@ -1,0 +1,57 @@
+// Tests for JSON serialization of bug reports.
+
+#include "src/core/report_json.h"
+
+#include <gtest/gtest.h>
+
+namespace wasabi {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("hello world 123"), "hello world 123");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ReportJsonTest, EmptyListIsEmptyArray) {
+  EXPECT_EQ(BugReportsToJson({}), "[\n]\n");
+}
+
+TEST(ReportJsonTest, RendersAllFields) {
+  BugReport bug;
+  bug.type = BugType::kWhenMissingDelay;
+  bug.technique = DetectionTechnique::kLlmStatic;
+  bug.app = "demo";
+  bug.file = "demo/Client.mj";
+  bug.location.line = 17;
+  bug.coordinator = "Client.fetchWithRetry";
+  bug.exception = "IOException";
+  bug.detail = "no sleep \"anywhere\"";
+  std::string json = BugReportsToJson({bug});
+  EXPECT_NE(json.find("\"type\": \"WHEN/missing-delay\""), std::string::npos);
+  EXPECT_NE(json.find("\"technique\": \"llm-static\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"coordinator\": \"Client.fetchWithRetry\""), std::string::npos);
+  EXPECT_NE(json.find("no sleep \\\"anywhere\\\""), std::string::npos);
+}
+
+TEST(ReportJsonTest, MultipleReportsAreCommaSeparated) {
+  BugReport a;
+  a.app = "x";
+  BugReport b;
+  b.app = "y";
+  std::string json = BugReportsToJson({a, b});
+  // Two objects, one comma between them, valid bracketing.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 2);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 2);
+  EXPECT_NE(json.find("},\n"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+}  // namespace
+}  // namespace wasabi

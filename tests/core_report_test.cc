@@ -1,0 +1,149 @@
+// Unit tests for the report model, overlap computation, and ground-truth
+// scoring.
+
+#include "src/core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/scoring.h"
+
+namespace wasabi {
+namespace {
+
+BugReport MakeBug(BugType type, DetectionTechnique technique, const std::string& app,
+                  const std::string& file, const std::string& coordinator) {
+  BugReport bug;
+  bug.type = type;
+  bug.technique = technique;
+  bug.app = app;
+  bug.file = file;
+  bug.coordinator = coordinator;
+  bug.group_key = std::string(BugTypeName(type)) + "|" + file + "|" + coordinator;
+  return bug;
+}
+
+SeededBug MakeTruth(const std::string& id, BugType type, const std::string& app,
+                    const std::string& file, const std::string& coordinator) {
+  SeededBug bug;
+  bug.id = id;
+  bug.type = type;
+  bug.app = app;
+  bug.file = file;
+  bug.coordinator = coordinator;
+  return bug;
+}
+
+TEST(ReportTest, MatchKeyIgnoresTechniqueAndDetail) {
+  BugReport a = MakeBug(BugType::kWhenMissingCap, DetectionTechnique::kUnitTesting, "app",
+                        "f.mj", "C.m");
+  BugReport b = MakeBug(BugType::kWhenMissingCap, DetectionTechnique::kLlmStatic, "app",
+                        "f.mj", "C.m");
+  a.detail = "one";
+  b.detail = "two";
+  EXPECT_EQ(a.MatchKey(), b.MatchKey());
+  BugReport c = MakeBug(BugType::kWhenMissingDelay, DetectionTechnique::kUnitTesting, "app",
+                        "f.mj", "C.m");
+  EXPECT_NE(a.MatchKey(), c.MatchKey());
+}
+
+TEST(ReportTest, DeduplicateKeepsFirstPerGroupKey) {
+  std::vector<BugReport> reports;
+  reports.push_back(MakeBug(BugType::kHow, DetectionTechnique::kUnitTesting, "a", "f", "m"));
+  reports[0].detail = "first";
+  reports.push_back(MakeBug(BugType::kHow, DetectionTechnique::kUnitTesting, "a", "f", "m"));
+  reports[1].detail = "second";
+  reports.push_back(MakeBug(BugType::kHow, DetectionTechnique::kLlmStatic, "a", "f", "m"));
+  auto unique = DeduplicateBugs(std::move(reports));
+  // Same (technique, type, group_key) deduped; different technique kept.
+  ASSERT_EQ(unique.size(), 2u);
+  EXPECT_EQ(unique[0].detail, "first");
+}
+
+TEST(ReportTest, OverlapPartitionsCorrectly) {
+  std::vector<BugReport> unit = {
+      MakeBug(BugType::kWhenMissingCap, DetectionTechnique::kUnitTesting, "a", "f1", "m1"),
+      MakeBug(BugType::kHow, DetectionTechnique::kUnitTesting, "a", "f2", "m2"),
+  };
+  std::vector<BugReport> statics = {
+      MakeBug(BugType::kWhenMissingCap, DetectionTechnique::kLlmStatic, "a", "f1", "m1"),
+      MakeBug(BugType::kWhenMissingDelay, DetectionTechnique::kLlmStatic, "a", "f3", "m3"),
+  };
+  OverlapSummary overlap = ComputeOverlap(unit, statics);
+  EXPECT_EQ(overlap.both, 1);
+  EXPECT_EQ(overlap.unit_only, 1);
+  EXPECT_EQ(overlap.static_only, 1);
+}
+
+TEST(ReportTest, OverlapOfEmptySetsIsZero) {
+  OverlapSummary overlap = ComputeOverlap({}, {});
+  EXPECT_EQ(overlap.both + overlap.unit_only + overlap.static_only, 0);
+}
+
+TEST(ScoringTest, TruePositiveCountedOncePerSeededBug) {
+  std::vector<SeededBug> truth = {
+      MakeTruth("B1", BugType::kWhenMissingCap, "app", "f.mj", "C.m"),
+  };
+  std::vector<BugReport> reports = {
+      MakeBug(BugType::kWhenMissingCap, DetectionTechnique::kUnitTesting, "app", "f.mj", "C.m"),
+      MakeBug(BugType::kWhenMissingCap, DetectionTechnique::kUnitTesting, "app", "f.mj", "C.m"),
+  };
+  Scorecard score = ScoreReports(reports, truth);
+  EXPECT_EQ(score.TotalAll().true_positives, 1);
+  EXPECT_EQ(score.TotalAll().false_positives, 0);
+  EXPECT_EQ(score.TotalAll().false_negatives, 0);
+  ASSERT_EQ(score.matched_bug_ids.size(), 1u);
+  EXPECT_EQ(score.matched_bug_ids[0], "B1");
+}
+
+TEST(ScoringTest, TypeMismatchIsAFalsePositiveAndFalseNegative) {
+  std::vector<SeededBug> truth = {
+      MakeTruth("B1", BugType::kWhenMissingCap, "app", "f.mj", "C.m"),
+  };
+  std::vector<BugReport> reports = {
+      MakeBug(BugType::kWhenMissingDelay, DetectionTechnique::kUnitTesting, "app", "f.mj",
+              "C.m"),
+  };
+  Scorecard score = ScoreReports(reports, truth);
+  EXPECT_EQ(score.TotalAll().true_positives, 0);
+  EXPECT_EQ(score.TotalAll().false_positives, 1);
+  EXPECT_EQ(score.TotalAll().false_negatives, 1);
+  ASSERT_EQ(score.missed_bugs.size(), 1u);
+  EXPECT_EQ(score.missed_bugs[0].id, "B1");
+}
+
+TEST(ScoringTest, PerAppPerTypeCells) {
+  std::vector<SeededBug> truth = {
+      MakeTruth("A1", BugType::kHow, "appA", "fa.mj", "A.m"),
+      MakeTruth("B1", BugType::kWhenMissingCap, "appB", "fb.mj", "B.m"),
+  };
+  std::vector<BugReport> reports = {
+      MakeBug(BugType::kHow, DetectionTechnique::kUnitTesting, "appA", "fa.mj", "A.m"),
+      MakeBug(BugType::kHow, DetectionTechnique::kUnitTesting, "appA", "fa.mj", "A.other"),
+  };
+  Scorecard score = ScoreReports(reports, truth);
+  EXPECT_EQ(score.cells["appA"][BugType::kHow].true_positives, 1);
+  EXPECT_EQ(score.cells["appA"][BugType::kHow].false_positives, 1);
+  EXPECT_EQ(score.cells["appB"][BugType::kWhenMissingCap].false_negatives, 1);
+  EXPECT_EQ(score.Total(BugType::kHow).reported(), 2);
+}
+
+TEST(ScoringTest, DetectableBugsFiltersByTechnique) {
+  std::vector<SeededBug> truth = {
+      MakeTruth("C1", BugType::kWhenMissingCap, "a", "f", "m1"),
+      MakeTruth("D1", BugType::kWhenMissingDelay, "a", "f", "m2"),
+      MakeTruth("H1", BugType::kHow, "a", "f", "m3"),
+      MakeTruth("I1", BugType::kIfOutlier, "a", "f", "m4"),
+  };
+  EXPECT_EQ(DetectableBugs(truth, DetectionTechnique::kUnitTesting).size(), 3u);
+  EXPECT_EQ(DetectableBugs(truth, DetectionTechnique::kLlmStatic).size(), 2u);
+  EXPECT_EQ(DetectableBugs(truth, DetectionTechnique::kCodeQlStatic).size(), 1u);
+}
+
+TEST(ScoringTest, NamesAreStable) {
+  EXPECT_STREQ(BugTypeName(BugType::kWhenMissingCap), "WHEN/missing-cap");
+  EXPECT_STREQ(BugTypeName(BugType::kIfOutlier), "IF/outlier");
+  EXPECT_STREQ(DetectionTechniqueName(DetectionTechnique::kUnitTesting), "unit-testing");
+}
+
+}  // namespace
+}  // namespace wasabi

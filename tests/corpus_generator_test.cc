@@ -1,0 +1,190 @@
+// Unit and property tests for the corpus generator: every template must emit
+// parseable source, and knobs must map to the promised ground truth.
+
+#include "src/corpus/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+#include "src/lang/sema.h"
+
+namespace wasabi {
+namespace {
+
+mj::Program ParseAll(const GeneratedApp& app) {
+  mj::Program program;
+  mj::DiagnosticEngine diag;
+  for (const auto& [file, source] : app.files) {
+    program.AddUnit(mj::ParseSource(file, source, diag));
+  }
+  EXPECT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+  return program;
+}
+
+GeneratorSpec BaseSpec() {
+  GeneratorSpec spec;
+  spec.app = "genapp";
+  spec.display_name = "GenApp";
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(GeneratorTest, EmptySpecStillEmitsSharedRpcClient) {
+  GeneratedApp app = GenerateApp(BaseSpec());
+  EXPECT_EQ(app.files.size(), 1u);
+  EXPECT_EQ(app.seeded_retry_structures, 2);  // ping + lookup.
+  EXPECT_TRUE(app.bugs.empty());
+  mj::Program program = ParseAll(app);
+  mj::ProgramIndex index(program);
+  EXPECT_NE(index.FindQualified("GenappRpcClient.ping"), nullptr);
+}
+
+TEST(GeneratorTest, SharedRpcClientCanBeDisabled) {
+  GeneratorSpec spec = BaseSpec();
+  spec.shared_rpc_client = false;
+  GeneratedApp app = GenerateApp(spec);
+  EXPECT_TRUE(app.files.empty());
+  EXPECT_EQ(app.seeded_retry_structures, 0);
+}
+
+TEST(GeneratorTest, BugKnobsProduceMatchingManifestEntries) {
+  GeneratorSpec spec = BaseSpec();
+  spec.counts.nocap_loops = 2;
+  spec.counts.nodelay_loops = 1;
+  spec.counts.bug_queues = 1;
+  spec.counts.nodelay_state_machines = 1;
+  spec.counts.how_null_deref = 1;
+  spec.counts.how_partial_state = 1;
+  spec.counts.how_shared_map = 1;
+  GeneratedApp app = GenerateApp(spec);
+
+  int cap = 0;
+  int delay = 0;
+  int how = 0;
+  for (const SeededBug& bug : app.bugs) {
+    switch (bug.type) {
+      case BugType::kWhenMissingCap:
+        ++cap;
+        break;
+      case BugType::kWhenMissingDelay:
+        ++delay;
+        break;
+      case BugType::kHow:
+        ++how;
+        break;
+      default:
+        break;
+    }
+    EXPECT_TRUE(bug.reachable_from_tests);
+  }
+  EXPECT_EQ(cap, 3);   // 2 nocap loops + bug queue.
+  EXPECT_EQ(delay, 2); // nodelay loop + nodelay state machine.
+  EXPECT_EQ(how, 3);
+  ParseAll(app);
+}
+
+TEST(GeneratorTest, UntestedModulesOmitTestFiles) {
+  GeneratorSpec spec = BaseSpec();
+  spec.counts.nocap_loops_untested = 1;
+  GeneratedApp app = GenerateApp(spec);
+  ASSERT_EQ(app.bugs.size(), 1u);
+  EXPECT_FALSE(app.bugs[0].reachable_from_tests);
+  for (const auto& [file, source] : app.files) {
+    EXPECT_EQ(file.find("/test/"), std::string::npos) << file;
+  }
+}
+
+TEST(GeneratorTest, FpBaitModulesSeedNoBugs) {
+  GeneratorSpec spec = BaseSpec();
+  spec.counts.benign_nodelay_loops = 1;
+  spec.counts.wrapped_exception_loops = 1;
+  spec.counts.crossfile_delay_loops = 1;
+  spec.counts.harness_cap_fp_loops = 1;
+  spec.counts.iteration_loops_fp_bait = 1;
+  spec.counts.poll_loops = 1;
+  spec.counts.policy_files = 2;
+  spec.counts.background_daemons = 1;
+  GeneratedApp app = GenerateApp(spec);
+  EXPECT_TRUE(app.bugs.empty());
+  ParseAll(app);
+}
+
+TEST(GeneratorTest, IfRatioModuleSeedsOutlierBugsOnlyForMinority) {
+  GeneratorSpec spec = BaseSpec();
+  spec.counts.if_exception = "KeeperException";
+  spec.counts.if_retried_sites = 5;
+  spec.counts.if_not_retried_sites = 2;
+  GeneratedApp app = GenerateApp(spec);
+  int if_bugs = 0;
+  for (const SeededBug& bug : app.bugs) {
+    if (bug.type == BugType::kIfOutlier) {
+      ++if_bugs;
+    }
+  }
+  EXPECT_EQ(if_bugs, 2);
+  EXPECT_EQ(app.seeded_retry_structures, 2 + 7);  // rpc(2) + 7 ratio sites.
+}
+
+TEST(GeneratorTest, LargeFilesExceedTenKilobytes) {
+  GeneratorSpec spec = BaseSpec();
+  spec.counts.large_file_nodelay = 1;
+  spec.counts.large_file_ok_loops = 1;
+  GeneratedApp app = GenerateApp(spec);
+  int large = 0;
+  for (const auto& [file, source] : app.files) {
+    if (source.size() > 10'000) {
+      ++large;
+    }
+  }
+  EXPECT_EQ(large, 2);
+  ParseAll(app);
+}
+
+TEST(GeneratorTest, ClassNamesAreUniqueWithinApp) {
+  GeneratorSpec spec = BaseSpec();
+  spec.counts.ok_loops = 8;
+  spec.counts.nocap_loops = 4;
+  spec.counts.unrelated_util_files = 8;
+  spec.counts.background_daemons = 4;
+  GeneratedApp app = GenerateApp(spec);
+  mj::Program program = ParseAll(app);
+  mj::DiagnosticEngine diag;
+  mj::ProgramIndex index(program, &diag);
+  EXPECT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+}
+
+TEST(GeneratorTest, DifferentSeedsDifferentNamesSameShape) {
+  GeneratorSpec a = BaseSpec();
+  a.counts.ok_loops = 2;
+  GeneratorSpec b = a;
+  b.seed = 8;
+  GeneratedApp app_a = GenerateApp(a);
+  GeneratedApp app_b = GenerateApp(b);
+  ASSERT_EQ(app_a.files.size(), app_b.files.size());
+  bool any_name_differs = false;
+  for (size_t i = 0; i < app_a.files.size(); ++i) {
+    if (app_a.files[i].first != app_b.files[i].first) {
+      any_name_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_name_differs);
+}
+
+TEST(GeneratorTest, BugIdsAreSequentialAndAppScoped) {
+  GeneratorSpec spec = BaseSpec();
+  spec.counts.nocap_loops = 2;
+  spec.counts.nodelay_loops = 1;
+  GeneratedApp app = GenerateApp(spec);
+  std::set<std::string> ids;
+  for (const SeededBug& bug : app.bugs) {
+    EXPECT_EQ(bug.id.rfind("genapp-", 0), 0u) << bug.id;
+    EXPECT_TRUE(ids.insert(bug.id).second);
+  }
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,104 @@
+// Integration tests over the generated corpus: every application must parse,
+// index, and run its whole unit-test suite green without injection; the
+// ground-truth manifest must be internally consistent.
+
+#include "src/corpus/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/testing/runner.h"
+
+namespace wasabi {
+namespace {
+
+class CorpusAppTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusAppTest, BuildsAndIndexes) {
+  CorpusApp app = BuildCorpusApp(GetParam());
+  EXPECT_EQ(app.name, GetParam());
+  EXPECT_FALSE(app.display_name.empty());
+  EXPECT_FALSE(app.short_code.empty());
+  EXPECT_GT(app.source_files, 5u);
+  EXPECT_GT(app.seeded_retry_structures, 0);
+}
+
+TEST_P(CorpusAppTest, AllUnitTestsPassWithoutInjection) {
+  CorpusApp app = BuildCorpusApp(GetParam());
+  RunnerOptions options;
+  options.config_overrides = app.default_configs;
+  TestRunner runner(app.program, *app.index, options);
+  std::vector<TestCase> tests = runner.DiscoverTests();
+  ASSERT_GT(tests.size(), 10u) << app.name << " should have a substantial test suite";
+  for (const TestCase& test : tests) {
+    TestRunRecord record = runner.RunTest(test);
+    EXPECT_EQ(record.outcome.status, TestStatus::kPassed)
+        << app.name << " " << test.qualified_name << ": " << record.outcome.exception_class
+        << " " << record.outcome.exception_message << " " << record.outcome.abort_reason;
+  }
+}
+
+TEST_P(CorpusAppTest, ManifestIsConsistent) {
+  CorpusApp app = BuildCorpusApp(GetParam());
+  std::set<std::string> ids;
+  for (const SeededBug& bug : app.bugs) {
+    EXPECT_EQ(bug.app, app.name);
+    EXPECT_TRUE(ids.insert(bug.id).second) << "duplicate bug id " << bug.id;
+    // The file named by the bug must exist in the program.
+    bool file_found = false;
+    bool method_found = false;
+    for (const auto& unit : app.program.units()) {
+      if (unit->file().name() == bug.file) {
+        file_found = true;
+      }
+    }
+    method_found = app.index->FindQualified(bug.coordinator) != nullptr;
+    EXPECT_TRUE(file_found) << bug.id << " names missing file " << bug.file;
+    EXPECT_TRUE(method_found) << bug.id << " names missing method " << bug.coordinator;
+  }
+}
+
+TEST_P(CorpusAppTest, GenerationIsDeterministic) {
+  CorpusApp first = BuildCorpusApp(GetParam());
+  CorpusApp second = BuildCorpusApp(GetParam());
+  EXPECT_EQ(first.source_files, second.source_files);
+  EXPECT_EQ(first.source_bytes, second.source_bytes);
+  ASSERT_EQ(first.bugs.size(), second.bugs.size());
+  for (size_t i = 0; i < first.bugs.size(); ++i) {
+    EXPECT_EQ(first.bugs[i].coordinator, second.bugs[i].coordinator);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, CorpusAppTest,
+                         ::testing::ValuesIn(CorpusAppNames()),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
+                         });
+
+TEST(CorpusTest, EightApplications) {
+  EXPECT_EQ(CorpusAppNames().size(), 8u);
+}
+
+TEST(CorpusTest, HBaseIsTheLargestApplication) {
+  // Matches the paper's Table 5 proportions.
+  CorpusApp hbase = BuildCorpusApp("hbase");
+  for (const std::string& name : CorpusAppNames()) {
+    if (name == "hbase") {
+      continue;
+    }
+    CorpusApp other = BuildCorpusApp(name);
+    EXPECT_GE(hbase.seeded_retry_structures, other.seeded_retry_structures) << name;
+  }
+}
+
+TEST(CorpusTest, EveryAppSeedsSomeBugs) {
+  for (const std::string& name : CorpusAppNames()) {
+    CorpusApp app = BuildCorpusApp(name);
+    EXPECT_FALSE(app.bugs.empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,254 @@
+// Tests for the §4.5 false-positive mitigations: wrapping-chain pruning,
+// context-aware cap counting, and static/dynamic collation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/core/scoring.h"
+#include "src/core/wasabi.h"
+#include "src/corpus/corpus.h"
+#include "src/inject/injector.h"
+#include "src/lang/parser.h"
+#include "src/testing/oracles.h"
+#include "src/testing/runner.h"
+
+namespace wasabi {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& source) {
+    mj::DiagnosticEngine diag;
+    program_.AddUnit(mj::ParseSource("unit0.mj", source, diag));
+    ASSERT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+    index_ = std::make_unique<mj::ProgramIndex>(program_);
+    runner_ = std::make_unique<TestRunner>(program_, *index_);
+  }
+
+  RetryLocation MakeLocation(const std::string& coordinator, const std::string& retried,
+                             const std::string& exception) {
+    RetryLocation location;
+    location.coordinator = coordinator;
+    location.retried_method = retried;
+    location.exception_name = exception;
+    location.file = "unit0.mj";
+    return location;
+  }
+
+  mj::Program program_;
+  std::unique_ptr<mj::ProgramIndex> index_;
+  std::unique_ptr<TestRunner> runner_;
+};
+
+// --- Wrapping-chain pruning ---------------------------------------------------
+
+constexpr const char* kWrapperSource = R"(
+class Wrapper {
+  String call() {
+    try {
+      return this.op();
+    } catch (SocketException e) {
+      throw new HadoopException("wrapped", e);
+    }
+  }
+  String op() throws SocketException { return "v"; }
+}
+class WrapperTest {
+  void testCall() {
+    var w = new Wrapper();
+    w.call();
+  }
+}
+)";
+
+TEST_F(ExtensionsTest, WrappedExceptionPrunedWhenEnabled) {
+  Load(kWrapperSource);
+  FaultInjector injector(
+      {InjectionPoint{"Wrapper.op", "Wrapper.call", "SocketException", kInjectOnce}});
+  TestRunRecord record = runner_->RunTest(TestCase{"WrapperTest.testCall"}, {&injector});
+  ASSERT_EQ(record.outcome.exception_class, "HadoopException");
+  ASSERT_EQ(record.outcome.cause_chain.size(), 1u);
+  EXPECT_EQ(record.outcome.cause_chain[0], "SocketException");
+
+  RetryLocation location = MakeLocation("Wrapper.call", "Wrapper.op", "SocketException");
+
+  // Default (prototype behavior): the wrapped crash is a HOW report.
+  EXPECT_EQ(EvaluateOracles(record, location).size(), 1u);
+
+  // With the mitigation: the cause chain names the injected exception — prune.
+  OracleOptions mitigated;
+  mitigated.prune_wrapped_exceptions = true;
+  EXPECT_TRUE(EvaluateOracles(record, location, mitigated).empty());
+}
+
+TEST_F(ExtensionsTest, PruningKeepsGenuineDifferentExceptions) {
+  // A crash whose cause chain does NOT contain the injected exception stays.
+  Load(R"(
+    class Broken {
+      Map state = null;
+      String call() {
+        try {
+          return this.op();
+        } catch (SocketException e) {
+          return this.state.get("x");
+        }
+      }
+      String op() throws SocketException { return "v"; }
+    }
+    class BrokenTest {
+      void testCall() {
+        var b = new Broken();
+        b.call();
+      }
+    }
+  )");
+  FaultInjector injector(
+      {InjectionPoint{"Broken.op", "Broken.call", "SocketException", kInjectOnce}});
+  TestRunRecord record = runner_->RunTest(TestCase{"BrokenTest.testCall"}, {&injector});
+  EXPECT_EQ(record.outcome.exception_class, "NullPointerException");
+  OracleOptions mitigated;
+  mitigated.prune_wrapped_exceptions = true;
+  RetryLocation location = MakeLocation("Broken.call", "Broken.op", "SocketException");
+  ASSERT_EQ(EvaluateOracles(record, location, mitigated).size(), 1u);
+}
+
+// --- Context-aware cap ---------------------------------------------------------
+
+constexpr const char* kHarnessSource = R"(
+class Publisher {
+  int maxAttempts = 4;
+  String publishWithRetry(event) throws TimeoutException {
+    var lastError = null;
+    for (var retry = 0; retry < this.maxAttempts; retry++) {
+      try {
+        return this.publish(event);
+      } catch (TimeoutException e) {
+        lastError = e;
+        Thread.sleep(20);
+      }
+    }
+    throw lastError;
+  }
+  String publish(event) throws TimeoutException { return "ok:" + event; }
+}
+class PublisherTest {
+  void testMany() {
+    var p = new Publisher();
+    for (var i = 0; i < 30; i++) {
+      try {
+        p.publishWithRetry(i);
+      } catch (TimeoutException e) {
+        Log.warn("event " + i + " failed");
+      }
+    }
+  }
+}
+)";
+
+TEST_F(ExtensionsTest, ContextAwareCapRemovesHarnessFalsePositive) {
+  Load(kHarnessSource);
+  FaultInjector injector({InjectionPoint{"Publisher.publish", "Publisher.publishWithRetry",
+                                         "TimeoutException", kInjectRepeatedly}});
+  TestRunRecord record = runner_->RunTest(TestCase{"PublisherTest.testMany"}, {&injector});
+  ASSERT_GE(injector.TotalInjections(), 100);
+  RetryLocation location =
+      MakeLocation("Publisher.publishWithRetry", "Publisher.publish", "TimeoutException");
+
+  // Default: 100 global injections -> missing-cap FP.
+  bool default_cap = false;
+  for (const OracleReport& report : EvaluateOracles(record, location)) {
+    default_cap |= report.kind == OracleKind::kMissingCap;
+  }
+  EXPECT_TRUE(default_cap);
+
+  // Context-aware: each activation capped at 4 -> no report.
+  OracleOptions mitigated;
+  mitigated.context_aware_cap = true;
+  for (const OracleReport& report : EvaluateOracles(record, location, mitigated)) {
+    EXPECT_NE(report.kind, OracleKind::kMissingCap);
+  }
+}
+
+TEST_F(ExtensionsTest, ContextAwareCapStillCatchesTrueUncappedRetry) {
+  Load(R"(
+    class Endless {
+      String go() {
+        while (true) {
+          try {
+            return this.op();
+          } catch (TimeoutException e) {
+            Thread.sleep(10);
+          }
+        }
+      }
+      String op() throws TimeoutException { return "v"; }
+    }
+    class EndlessTest {
+      void testGo() {
+        var e = new Endless();
+        e.go();
+      }
+    }
+  )");
+  FaultInjector injector(
+      {InjectionPoint{"Endless.op", "Endless.go", "TimeoutException", kInjectRepeatedly}});
+  TestRunRecord record = runner_->RunTest(TestCase{"EndlessTest.testGo"}, {&injector});
+  OracleOptions mitigated;
+  mitigated.context_aware_cap = true;
+  RetryLocation location = MakeLocation("Endless.go", "Endless.op", "TimeoutException");
+  bool cap = false;
+  for (const OracleReport& report : EvaluateOracles(record, location, mitigated)) {
+    cap |= report.kind == OracleKind::kMissingCap;
+  }
+  EXPECT_TRUE(cap);  // All 100 injections hit ONE activation of go().
+}
+
+// --- Static/dynamic collation -----------------------------------------------------
+
+TEST(CollationTest, DropsRefutedStaticReportsKeepsUncoveredOnes) {
+  CorpusApp app = BuildCorpusApp("hdfs");
+  WasabiOptions options;
+  options.app_name = app.name;
+  options.default_configs = app.default_configs;
+  Wasabi wasabi(app.program, *app.index, options);
+  DynamicResult dynamic = wasabi.RunDynamicWorkflow();
+  StaticResult statics = wasabi.RunStaticWorkflow();
+
+  std::vector<BugReport> collated = CollateStaticWithDynamic(statics.when_bugs, dynamic);
+  EXPECT_LT(collated.size(), statics.when_bugs.size());
+
+  // No true positive may be lost, EXCEPT those on coordinators the dynamic
+  // workflow exercised yet judged clean despite a seeded bug (none by
+  // construction when the dynamic workflow found them too).
+  Scorecard before =
+      ScoreReports(statics.when_bugs, DetectableBugs(app.bugs, DetectionTechnique::kLlmStatic));
+  Scorecard after =
+      ScoreReports(collated, DetectableBugs(app.bugs, DetectionTechnique::kLlmStatic));
+  EXPECT_LE(after.TotalAll().false_positives, before.TotalAll().false_positives);
+  // Untested seeded bugs (static-only TPs) must survive collation.
+  for (const std::string& id : before.matched_bug_ids) {
+    bool still_there = false;
+    for (const std::string& kept : after.matched_bug_ids) {
+      still_there |= kept == id;
+    }
+    if (!still_there) {
+      // Only acceptable loss: a bug the dynamic workflow ALSO found (so it is
+      // not lost to WASABI overall).
+      bool dynamic_has_it = false;
+      for (const BugReport& bug : dynamic.bugs) {
+        for (const SeededBug& seeded : app.bugs) {
+          if (seeded.id == id && bug.type == seeded.type &&
+              bug.coordinator == seeded.coordinator) {
+            dynamic_has_it = true;
+          }
+        }
+      }
+      EXPECT_TRUE(dynamic_has_it) << "collation lost " << id << " entirely";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wasabi

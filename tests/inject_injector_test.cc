@@ -1,0 +1,187 @@
+// Unit tests for the Listing-5 fault-injection handler.
+
+#include "src/inject/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+
+namespace wasabi {
+namespace {
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& source) {
+    mj::DiagnosticEngine diag;
+    program_.AddUnit(mj::ParseSource("unit0.mj", source, diag));
+    ASSERT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+    index_ = std::make_unique<mj::ProgramIndex>(program_);
+  }
+
+  mj::Program program_;
+  std::unique_ptr<mj::ProgramIndex> index_;
+};
+
+constexpr const char* kTarget = R"(
+class Target {
+  int survived = 0;
+  void driver(n) {
+    for (var i = 0; i < n; i++) {
+      try {
+        this.op();
+        this.survived += 1;
+      } catch (SocketException e) {
+        Log.warn("op failed");
+      }
+    }
+  }
+  void viaOther() {
+    try {
+      this.op();
+    } catch (SocketException e) {
+      Log.warn("other failed");
+    }
+  }
+  void op() { }
+}
+)";
+
+TEST_F(InjectorTest, ThrowsExactlyKTimes) {
+  Load(kTarget);
+  Interpreter interp(program_, *index_);
+  FaultInjector injector({InjectionPoint{"Target.op", "Target.driver", "SocketException", 3}});
+  interp.AddInterceptor(&injector);
+  interp.Invoke("Target.driver", {Value{int64_t{10}}});
+  EXPECT_EQ(injector.TotalInjections(), 3);
+  EXPECT_EQ(injector.InjectionCount(0), 3);
+}
+
+TEST_F(InjectorTest, CallerFilterIsRespected) {
+  Load(kTarget);
+  Interpreter interp(program_, *index_);
+  FaultInjector injector(
+      {InjectionPoint{"Target.op", "Target.driver", "SocketException", 100}});
+  interp.AddInterceptor(&injector);
+  // viaOther invokes the same callee from a different caller: no injection.
+  interp.Invoke("Target.viaOther");
+  EXPECT_EQ(injector.TotalInjections(), 0);
+  interp.Invoke("Target.driver", {Value{int64_t{2}}});
+  EXPECT_EQ(injector.TotalInjections(), 2);
+}
+
+TEST_F(InjectorTest, EmptyCallerMatchesAnyCaller) {
+  Load(kTarget);
+  Interpreter interp(program_, *index_);
+  FaultInjector injector({InjectionPoint{"Target.op", "", "SocketException", 100}});
+  interp.AddInterceptor(&injector);
+  interp.Invoke("Target.viaOther");
+  interp.Invoke("Target.driver", {Value{int64_t{1}}});
+  EXPECT_EQ(injector.TotalInjections(), 2);
+}
+
+TEST_F(InjectorTest, MultiplePointsCountIndependently) {
+  Load(kTarget);
+  Interpreter interp(program_, *index_);
+  FaultInjector injector({
+      InjectionPoint{"Target.op", "Target.driver", "SocketException", 2},
+      InjectionPoint{"Target.op", "Target.viaOther", "SocketException", 1},
+  });
+  interp.AddInterceptor(&injector);
+  interp.Invoke("Target.driver", {Value{int64_t{5}}});
+  interp.Invoke("Target.viaOther");
+  EXPECT_EQ(injector.InjectionCount(0), 2);
+  EXPECT_EQ(injector.InjectionCount(1), 1);
+  EXPECT_EQ(injector.TotalInjections(), 3);
+}
+
+TEST_F(InjectorTest, LogEntriesCarryPointAndActivation) {
+  Load(kTarget);
+  Interpreter interp(program_, *index_);
+  FaultInjector injector({InjectionPoint{"Target.op", "Target.driver", "SocketException", 2}});
+  interp.AddInterceptor(&injector);
+  interp.Invoke("Target.driver", {Value{int64_t{5}}});
+  int injection_entries = 0;
+  int64_t first_activation = -1;
+  for (const LogEntry& entry : interp.log().entries()) {
+    if (entry.kind != LogEntryKind::kInjection) {
+      continue;
+    }
+    ++injection_entries;
+    EXPECT_EQ(entry.injection_callee, "Target.op");
+    EXPECT_EQ(entry.injection_caller, "Target.driver");
+    EXPECT_EQ(entry.injection_exception, "SocketException");
+    EXPECT_GT(entry.caller_activation, 0);
+    if (first_activation < 0) {
+      first_activation = entry.caller_activation;
+    } else {
+      // Same driver() activation for both injections.
+      EXPECT_EQ(entry.caller_activation, first_activation);
+    }
+    EXPECT_FALSE(entry.call_stack.empty());
+  }
+  EXPECT_EQ(injection_entries, 2);
+}
+
+TEST_F(InjectorTest, ActivationsDifferAcrossInvocations) {
+  Load(kTarget);
+  Interpreter interp(program_, *index_);
+  FaultInjector injector({InjectionPoint{"Target.op", "Target.driver", "SocketException", 2}});
+  interp.AddInterceptor(&injector);
+  interp.Invoke("Target.driver", {Value{int64_t{1}}});  // Injection #1.
+  interp.Invoke("Target.driver", {Value{int64_t{1}}});  // Injection #2, new activation.
+  std::vector<int64_t> activations;
+  for (const LogEntry& entry : interp.log().entries()) {
+    if (entry.kind == LogEntryKind::kInjection) {
+      activations.push_back(entry.caller_activation);
+    }
+  }
+  ASSERT_EQ(activations.size(), 2u);
+  EXPECT_NE(activations[0], activations[1]);
+}
+
+TEST_F(InjectorTest, ResetRearmsThePoints) {
+  Load(kTarget);
+  Interpreter interp(program_, *index_);
+  FaultInjector injector({InjectionPoint{"Target.op", "Target.driver", "SocketException", 1}});
+  interp.AddInterceptor(&injector);
+  interp.Invoke("Target.driver", {Value{int64_t{3}}});
+  EXPECT_EQ(injector.TotalInjections(), 1);
+  injector.Reset();
+  EXPECT_EQ(injector.TotalInjections(), 0);
+  interp.Invoke("Target.driver", {Value{int64_t{3}}});
+  EXPECT_EQ(injector.TotalInjections(), 1);
+}
+
+TEST_F(InjectorTest, InjectedExceptionCarriesWasabiMessage) {
+  Load(R"(
+    class C {
+      String probe() {
+        try {
+          this.op();
+          return "no-throw";
+        } catch (SocketException e) {
+          return e.getMessage();
+        }
+      }
+      void op() { }
+    }
+  )");
+  Interpreter interp(program_, *index_);
+  FaultInjector injector({InjectionPoint{"C.op", "C.probe", "SocketException", 1}});
+  interp.AddInterceptor(&injector);
+  Value result = interp.Invoke("C.probe");
+  ASSERT_TRUE(IsString(result));
+  EXPECT_NE(std::get<std::string>(result).find("injected by WASABI"), std::string::npos);
+}
+
+TEST_F(InjectorTest, PointKeyIsStable) {
+  InjectionPoint point{"A.m", "A.c", "IOException", 5};
+  EXPECT_EQ(point.Key(), "A.m<-A.c:IOException");
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,321 @@
+// Interpreter edge cases: nested control flow, exception propagation through
+// finally, scoping, and the retry-relevant corner cases the corpus leans on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/interp/interpreter.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+
+namespace wasabi {
+namespace {
+
+class InterpEdgeTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& source) {
+    mj::DiagnosticEngine diag;
+    program_.AddUnit(mj::ParseSource("edge.mj", source, diag));
+    ASSERT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+    index_ = std::make_unique<mj::ProgramIndex>(program_);
+    interp_ = std::make_unique<Interpreter>(program_, *index_);
+  }
+
+  int64_t RunInt(const std::string& qualified) {
+    Value value = interp_->Invoke(qualified);
+    EXPECT_TRUE(IsInt(value));
+    return std::get<int64_t>(value);
+  }
+
+  std::string RunString(const std::string& qualified) {
+    Value value = interp_->Invoke(qualified);
+    EXPECT_TRUE(IsString(value));
+    return std::get<std::string>(value);
+  }
+
+  mj::Program program_;
+  std::unique_ptr<mj::ProgramIndex> index_;
+  std::unique_ptr<Interpreter> interp_;
+};
+
+TEST_F(InterpEdgeTest, NestedLoopsBreakBindsInnermost) {
+  Load(R"(
+    class C {
+      int f() {
+        var count = 0;
+        for (var i = 0; i < 3; i++) {
+          for (var j = 0; j < 10; j++) {
+            if (j == 2) {
+              break;
+            }
+            count += 1;
+          }
+        }
+        return count;
+      }
+    }
+  )");
+  EXPECT_EQ(RunInt("C.f"), 6);  // 2 inner iterations x 3 outer.
+}
+
+TEST_F(InterpEdgeTest, ContinueInForRunsUpdate) {
+  Load(R"(
+    class C {
+      int f() {
+        var sum = 0;
+        for (var i = 0; i < 5; i++) {
+          if (i == 2) {
+            continue;
+          }
+          sum += i;
+        }
+        return sum;
+      }
+    }
+  )");
+  EXPECT_EQ(RunInt("C.f"), 0 + 1 + 3 + 4);  // No infinite loop at i==2.
+}
+
+TEST_F(InterpEdgeTest, SwitchNestedInSwitch) {
+  Load(R"(
+    class C {
+      int f(a, b) {
+        switch (a) {
+          case 1:
+            switch (b) {
+              case 10:
+                return 110;
+              default:
+                return 100;
+            }
+          default:
+            return 0;
+        }
+      }
+      int outer() {
+        return this.f(1, 10) + this.f(1, 99) + this.f(7, 10);
+      }
+    }
+  )");
+  EXPECT_EQ(RunInt("C.outer"), 110 + 100 + 0);
+}
+
+TEST_F(InterpEdgeTest, BreakInSwitchInsideLoopContinuesLoop) {
+  Load(R"(
+    class C {
+      int f() {
+        var hits = 0;
+        for (var i = 0; i < 4; i++) {
+          switch (i % 2) {
+            case 0:
+              break;
+            default:
+              hits += 1;
+          }
+        }
+        return hits;
+      }
+    }
+  )");
+  EXPECT_EQ(RunInt("C.f"), 2);  // The switch-breaks do not exit the for loop.
+}
+
+TEST_F(InterpEdgeTest, FinallyRunsWhenExceptionPropagates) {
+  Load(R"(
+    class C {
+      int cleanups = 0;
+      int f() {
+        try {
+          this.g();
+        } catch (IOException e) {
+          return this.cleanups;
+        }
+        return -1;
+      }
+      void g() throws IOException {
+        try {
+          throw new IOException("boom");
+        } finally {
+          this.cleanups += 1;
+        }
+      }
+    }
+  )");
+  EXPECT_EQ(RunInt("C.f"), 1);  // Finally ran before propagation.
+}
+
+TEST_F(InterpEdgeTest, CatchRethrowOfDifferentTypeEscapesSiblingClauses) {
+  Load(R"(
+    class C {
+      String f() {
+        try {
+          try {
+            throw new SocketException("inner");
+          } catch (SocketException e) {
+            throw new TimeoutException("converted");
+          } catch (TimeoutException t) {
+            return "WRONG: sibling catch must not see it";
+          }
+        } catch (TimeoutException t) {
+          return "outer:" + t.getMessage();
+        }
+      }
+    }
+  )");
+  EXPECT_EQ(RunString("C.f"), "outer:converted");
+}
+
+TEST_F(InterpEdgeTest, VariableShadowingInNestedScopes) {
+  Load(R"(
+    class C {
+      int f() {
+        var x = 1;
+        {
+          var x = 2;
+          x += 10;
+        }
+        return x;
+      }
+    }
+  )");
+  // Inner declaration shadows; outer is untouched after the block.
+  EXPECT_EQ(RunInt("C.f"), 1);
+}
+
+TEST_F(InterpEdgeTest, ForInitVariableScopedToLoop) {
+  Load(R"(
+    class C {
+      int f() {
+        var total = 0;
+        for (var i = 0; i < 2; i++) {
+          total += i;
+        }
+        for (var i = 5; i < 7; i++) {
+          total += i;
+        }
+        return total;
+      }
+    }
+  )");
+  EXPECT_EQ(RunInt("C.f"), 0 + 1 + 5 + 6);
+}
+
+TEST_F(InterpEdgeTest, ObjectsShareReferenceSemantics) {
+  Load(R"(
+    class Holder {
+      int n = 0;
+    }
+    class C {
+      int f() {
+        var a = new Holder();
+        var b = a;
+        b.n = 42;
+        return a.n;
+      }
+    }
+  )");
+  EXPECT_EQ(RunInt("C.f"), 42);
+}
+
+TEST_F(InterpEdgeTest, RecursionWithinDepthLimitWorks) {
+  Load(R"(
+    class C {
+      int fib(n) {
+        if (n < 2) {
+          return n;
+        }
+        return this.fib(n - 1) + this.fib(n - 2);
+      }
+      int f() { return this.fib(12); }
+    }
+  )");
+  EXPECT_EQ(RunInt("C.f"), 144);
+}
+
+TEST_F(InterpEdgeTest, ThrowInsideFinallyReplacesOriginal) {
+  Load(R"(
+    class C {
+      String f() {
+        try {
+          try {
+            throw new IOException("original");
+          } finally {
+            throw new TimeoutException("replacement");
+          }
+        } catch (TimeoutException t) {
+          return "got:" + t.getMessage();
+        } catch (IOException e) {
+          return "WRONG";
+        }
+      }
+    }
+  )");
+  EXPECT_EQ(RunString("C.f"), "got:replacement");
+}
+
+TEST_F(InterpEdgeTest, NegativeSleepIsClampedToZero) {
+  Load(R"(
+    class C {
+      void f() {
+        Thread.sleep(0 - 50);
+      }
+    }
+  )");
+  interp_->Invoke("C.f");
+  EXPECT_EQ(interp_->now_ms(), 0);
+}
+
+TEST_F(InterpEdgeTest, StringConcatenationInLoopsStaysCorrect) {
+  Load(R"(
+    class C {
+      String f() {
+        var s = "";
+        for (var i = 0; i < 3; i++) {
+          s += i;
+          s = s + "-";
+        }
+        return s;
+      }
+    }
+  )");
+  EXPECT_EQ(RunString("C.f"), "0-1-2-");
+}
+
+TEST_F(InterpEdgeTest, InstanceOfOnPrimitivesIsFalse) {
+  Load(R"(
+    class C {
+      bool f() {
+        var n = 5;
+        var s = "x";
+        return (n instanceof Exception) || (s instanceof Exception) || (null instanceof Exception);
+      }
+    }
+  )");
+  Value value = interp_->Invoke("C.f");
+  EXPECT_FALSE(std::get<bool>(value));
+}
+
+TEST_F(InterpEdgeTest, SingletonAndInstanceStateAreSeparate) {
+  Load(R"(
+    class S {
+      int n = 0;
+      int bumpSelf() {
+        this.n += 1;
+        return this.n;
+      }
+      int viaFresh() {
+        var other = new S();
+        other.bumpSelf();
+        return this.n;
+      }
+    }
+  )");
+  EXPECT_EQ(RunInt("S.bumpSelf"), 1);
+  // The fresh instance's bump does not touch the singleton's field.
+  EXPECT_EQ(RunInt("S.viaFresh"), 1);
+}
+
+}  // namespace
+}  // namespace wasabi

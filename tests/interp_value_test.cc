@@ -1,0 +1,92 @@
+// Unit tests for the runtime value model.
+
+#include "src/interp/value.h"
+
+#include <gtest/gtest.h>
+
+namespace wasabi {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(IsNull(Value{}));
+  EXPECT_TRUE(IsInt(Value{int64_t{3}}));
+  EXPECT_TRUE(IsBool(Value{true}));
+  EXPECT_TRUE(IsString(Value{std::string("x")}));
+  auto object = std::make_shared<Object>(ObjectKind::kInstance, "C");
+  EXPECT_TRUE(IsObject(Value{object}));
+  EXPECT_FALSE(IsInt(Value{}));
+  EXPECT_FALSE(IsBool(Value{int64_t{0}}));
+}
+
+TEST(ValueTest, EqualsBySemanticType) {
+  EXPECT_TRUE(ValueEquals(Value{}, Value{}));
+  EXPECT_TRUE(ValueEquals(Value{int64_t{5}}, Value{int64_t{5}}));
+  EXPECT_FALSE(ValueEquals(Value{int64_t{5}}, Value{int64_t{6}}));
+  EXPECT_TRUE(ValueEquals(Value{std::string("a")}, Value{std::string("a")}));
+  EXPECT_FALSE(ValueEquals(Value{std::string("a")}, Value{std::string("b")}));
+  EXPECT_TRUE(ValueEquals(Value{true}, Value{true}));
+  EXPECT_FALSE(ValueEquals(Value{true}, Value{false}));
+  // Cross-type is never equal (no coercion).
+  EXPECT_FALSE(ValueEquals(Value{int64_t{1}}, Value{true}));
+  EXPECT_FALSE(ValueEquals(Value{int64_t{0}}, Value{}));
+  EXPECT_FALSE(ValueEquals(Value{std::string("1")}, Value{int64_t{1}}));
+}
+
+TEST(ValueTest, ObjectEqualityIsReferenceBased) {
+  auto a = std::make_shared<Object>(ObjectKind::kInstance, "C");
+  auto b = std::make_shared<Object>(ObjectKind::kInstance, "C");
+  EXPECT_TRUE(ValueEquals(Value{a}, Value{a}));
+  EXPECT_FALSE(ValueEquals(Value{a}, Value{b}));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  // Named values (not temporaries) to sidestep a GCC-12 -Wmaybe-uninitialized
+  // false positive on variant temporaries.
+  Value null_value;
+  Value int_value{int64_t{42}};
+  Value bool_value{false};
+  Value string_value{std::string("hi")};
+  EXPECT_EQ(ValueToString(null_value), "null");
+  EXPECT_EQ(ValueToString(int_value), "42");
+  EXPECT_EQ(ValueToString(bool_value), "false");
+  EXPECT_EQ(ValueToString(string_value), "hi");
+
+  auto queue = std::make_shared<Object>(ObjectKind::kQueue, "Queue");
+  Value element{int64_t{1}};
+  queue->elements().push_back(element);
+  Value queue_value{queue};
+  EXPECT_EQ(ValueToString(queue_value), "Queue(size=1)");
+
+  auto exc = std::make_shared<Object>(ObjectKind::kException, "IOException");
+  exc->set_message("disk gone");
+  Value exc_value{exc};
+  EXPECT_EQ(ValueToString(exc_value), "IOException(\"disk gone\")");
+}
+
+TEST(ValueTest, MapKeysCoverIntStringBool) {
+  bool ok = false;
+  EXPECT_EQ(MapKeyFor(Value{int64_t{7}}, &ok), "i:7");
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(MapKeyFor(Value{std::string("k")}, &ok), "s:k");
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(MapKeyFor(Value{true}, &ok), "b:true");
+  EXPECT_TRUE(ok);
+  // Int and string keys never collide even with crafted content.
+  EXPECT_NE(MapKeyFor(Value{int64_t{7}}, &ok), MapKeyFor(Value{std::string("7")}, &ok));
+  MapKeyFor(Value{}, &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(ValueTest, ExceptionPayloads) {
+  auto cause = std::make_shared<Object>(ObjectKind::kException, "SocketException");
+  auto wrapper = std::make_shared<Object>(ObjectKind::kException, "HadoopException");
+  wrapper->set_message("wrapped");
+  wrapper->set_cause(cause);
+  wrapper->set_origin_stack({"A.f", "A.g"});
+  EXPECT_EQ(wrapper->cause()->class_name(), "SocketException");
+  EXPECT_EQ(wrapper->origin_stack().size(), 2u);
+  EXPECT_EQ(wrapper->message(), "wrapped");
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,332 @@
+// Unit tests for the mj parser.
+
+#include "src/lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/lang/ast.h"
+#include "src/lang/diagnostics.h"
+
+namespace mj {
+namespace {
+
+std::unique_ptr<CompilationUnit> Parse(const std::string& text, DiagnosticEngine& diag) {
+  return ParseSource("test.mj", text, diag);
+}
+
+std::unique_ptr<CompilationUnit> ParseOk(const std::string& text) {
+  DiagnosticEngine diag;
+  auto unit = Parse(text, diag);
+  EXPECT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+  return unit;
+}
+
+TEST(ParserTest, EmptyUnit) {
+  auto unit = ParseOk("");
+  EXPECT_TRUE(unit->classes().empty());
+}
+
+TEST(ParserTest, SimpleClassWithFieldAndMethod) {
+  auto unit = ParseOk(R"(
+    class Worker {
+      int attempts = 0;
+      void run() {
+        this.attempts = this.attempts + 1;
+      }
+    }
+  )");
+  ASSERT_EQ(unit->classes().size(), 1u);
+  const ClassDecl* cls = unit->classes()[0];
+  EXPECT_EQ(cls->name, "Worker");
+  ASSERT_EQ(cls->fields.size(), 1u);
+  EXPECT_EQ(cls->fields[0]->name, "attempts");
+  EXPECT_EQ(cls->fields[0]->type_name, "int");
+  ASSERT_EQ(cls->methods.size(), 1u);
+  EXPECT_EQ(cls->methods[0]->name, "run");
+  EXPECT_EQ(cls->methods[0]->QualifiedName(), "Worker.run");
+}
+
+TEST(ParserTest, ExtendsClause) {
+  auto unit = ParseOk("class Sub extends Base { }");
+  ASSERT_EQ(unit->classes().size(), 1u);
+  EXPECT_EQ(unit->classes()[0]->base_name, "Base");
+}
+
+TEST(ParserTest, MethodThrowsClause) {
+  auto unit = ParseOk(R"(
+    class Client {
+      HttpResponse connect(String url) throws ConnectException, SocketException;
+    }
+  )");
+  const MethodDecl* method = unit->classes()[0]->methods[0];
+  EXPECT_EQ(method->return_type, "HttpResponse");
+  ASSERT_EQ(method->throws.size(), 2u);
+  EXPECT_EQ(method->throws[0], "ConnectException");
+  EXPECT_EQ(method->throws[1], "SocketException");
+  EXPECT_EQ(method->body, nullptr);
+  ASSERT_EQ(method->params.size(), 1u);
+  EXPECT_EQ(method->params[0]->type_name, "String");
+  EXPECT_EQ(method->params[0]->name, "url");
+}
+
+TEST(ParserTest, StaticMethod) {
+  auto unit = ParseOk("class Util { static int max(int a, int b) { return a; } }");
+  EXPECT_TRUE(unit->classes()[0]->methods[0]->is_static);
+}
+
+TEST(ParserTest, SingleIdentifierParamDefaultsToVarType) {
+  auto unit = ParseOk("class C { void f(x, y) { } }");
+  const MethodDecl* method = unit->classes()[0]->methods[0];
+  ASSERT_EQ(method->params.size(), 2u);
+  EXPECT_EQ(method->params[0]->type_name, "var");
+  EXPECT_EQ(method->params[0]->name, "x");
+  EXPECT_EQ(method->params[1]->name, "y");
+}
+
+TEST(ParserTest, RetryLoopShape) {
+  // The canonical loop-retry shape from the paper's Listing 2.
+  auto unit = ParseOk(R"(
+    class WebHdfsFileSystem {
+      int maxAttempts = 3;
+      HttpResponse run() throws IOException {
+        for (var retry = 0; retry < this.maxAttempts; retry++) {
+          try {
+            var conn = this.connect("url");
+            var response = this.getResponse(conn);
+            return response;
+          } catch (AccessControlException e) {
+            break;
+          } catch (ConnectException ce) {
+            Log.warn("connect failed, retrying");
+          }
+          Thread.sleep(1000);
+        }
+        return null;
+      }
+      HttpUrlConnection connect(String url) throws AccessControlException, ConnectException;
+      HttpResponse getResponse(HttpUrlConnection conn) throws IOException;
+    }
+  )");
+  const ClassDecl* cls = unit->classes()[0];
+  ASSERT_EQ(cls->methods.size(), 3u);
+  const MethodDecl* run = cls->methods[0];
+  ASSERT_NE(run->body, nullptr);
+  ASSERT_EQ(run->body->statements.size(), 2u);
+  ASSERT_EQ(run->body->statements[0]->kind, AstKind::kFor);
+  const auto* loop = static_cast<const ForStmt*>(run->body->statements[0]);
+  ASSERT_NE(loop->init, nullptr);
+  EXPECT_EQ(loop->init->kind, AstKind::kVarDecl);
+  ASSERT_NE(loop->update, nullptr);
+  EXPECT_EQ(loop->update->kind, AstKind::kAssign);
+  const auto* body = static_cast<const BlockStmt*>(loop->body);
+  ASSERT_EQ(body->statements.size(), 2u);
+  ASSERT_EQ(body->statements[0]->kind, AstKind::kTry);
+  const auto* try_stmt = static_cast<const TryStmt*>(body->statements[0]);
+  ASSERT_EQ(try_stmt->catches.size(), 2u);
+  EXPECT_EQ(try_stmt->catches[0].exception_type, "AccessControlException");
+  EXPECT_EQ(try_stmt->catches[1].exception_type, "ConnectException");
+}
+
+TEST(ParserTest, SwitchStateMachineShape) {
+  // The state-machine retry shape from the paper's Listing 4.
+  auto unit = ParseOk(R"(
+    class UnassignProcedure {
+      int state = 0;
+      void execute(int currentState) {
+        switch (currentState) {
+          case 1:
+            try {
+              this.markRegionAsClosing();
+              this.state = 2;
+            } catch (Exception e) {
+              return;
+            }
+            break;
+          case 2:
+          default:
+            return;
+        }
+      }
+      void markRegionAsClosing() throws IOException;
+    }
+  )");
+  const MethodDecl* execute = unit->classes()[0]->methods[0];
+  ASSERT_EQ(execute->body->statements.size(), 1u);
+  ASSERT_EQ(execute->body->statements[0]->kind, AstKind::kSwitch);
+  const auto* switch_stmt = static_cast<const SwitchStmt*>(execute->body->statements[0]);
+  ASSERT_EQ(switch_stmt->cases.size(), 2u);
+  ASSERT_EQ(switch_stmt->cases[0].labels.size(), 1u);
+  // `case 2: default:` parses as one group with one label + default flag folded
+  // into empty labels... mj keeps them as a single case with one label list
+  // containing the case-2 label; default contributes no label.
+  ASSERT_EQ(switch_stmt->cases[1].labels.size(), 1u);
+}
+
+TEST(ParserTest, TryFinallyWithoutCatch) {
+  auto unit = ParseOk("class C { void f() { try { this.g(); } finally { this.h(); } } }");
+  const auto* try_stmt =
+      static_cast<const TryStmt*>(unit->classes()[0]->methods[0]->body->statements[0]);
+  EXPECT_TRUE(try_stmt->catches.empty());
+  ASSERT_NE(try_stmt->finally, nullptr);
+}
+
+TEST(ParserTest, TryWithoutCatchOrFinallyIsError) {
+  DiagnosticEngine diag;
+  Parse("class C { void f() { try { this.g(); } } }", diag);
+  EXPECT_TRUE(diag.has_errors());
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto unit = ParseOk("class C { int f() { return 1 + 2 * 3; } }");
+  const auto* ret =
+      static_cast<const ReturnStmt*>(unit->classes()[0]->methods[0]->body->statements[0]);
+  ASSERT_EQ(ret->value->kind, AstKind::kBinary);
+  const auto* add = static_cast<const BinaryExpr*>(ret->value);
+  EXPECT_EQ(add->op, BinaryOp::kAdd);
+  ASSERT_EQ(add->rhs->kind, AstKind::kBinary);
+  EXPECT_EQ(static_cast<const BinaryExpr*>(add->rhs)->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, LogicalPrecedenceAndInstanceof) {
+  auto unit = ParseOk(
+      "class C { bool f(e) { return e instanceof IOException && this.x == 1 || false; } }");
+  const auto* ret =
+      static_cast<const ReturnStmt*>(unit->classes()[0]->methods[0]->body->statements[0]);
+  const auto* or_expr = static_cast<const BinaryExpr*>(ret->value);
+  EXPECT_EQ(or_expr->op, BinaryOp::kOr);
+  const auto* and_expr = static_cast<const BinaryExpr*>(or_expr->lhs);
+  EXPECT_EQ(and_expr->op, BinaryOp::kAnd);
+  EXPECT_EQ(and_expr->lhs->kind, AstKind::kInstanceOf);
+}
+
+TEST(ParserTest, ChainedCallsAndFieldAccess) {
+  auto unit = ParseOk("class C { void f() { this.queue.take().execute(); } }");
+  const auto* stmt =
+      static_cast<const ExprStmt*>(unit->classes()[0]->methods[0]->body->statements[0]);
+  ASSERT_EQ(stmt->expr->kind, AstKind::kCall);
+  const auto* execute = static_cast<const CallExpr*>(stmt->expr);
+  EXPECT_EQ(execute->callee, "execute");
+  ASSERT_NE(execute->base, nullptr);
+  ASSERT_EQ(execute->base->kind, AstKind::kCall);
+  const auto* take = static_cast<const CallExpr*>(execute->base);
+  EXPECT_EQ(take->callee, "take");
+  ASSERT_EQ(take->base->kind, AstKind::kFieldAccess);
+}
+
+TEST(ParserTest, PostIncrementBecomesAddAssign) {
+  auto unit = ParseOk("class C { void f() { var i = 0; i++; } }");
+  const auto* stmt =
+      static_cast<const AssignStmt*>(unit->classes()[0]->methods[0]->body->statements[1]);
+  EXPECT_EQ(stmt->op, AssignOp::kAddAssign);
+  ASSERT_EQ(stmt->value->kind, AstKind::kIntLiteral);
+  EXPECT_EQ(static_cast<const IntLiteralExpr*>(stmt->value)->value, 1);
+}
+
+TEST(ParserTest, CompoundAssignOnField) {
+  auto unit = ParseOk("class C { int n = 0; void f() { this.n += 2; } }");
+  const auto* stmt =
+      static_cast<const AssignStmt*>(unit->classes()[0]->methods[0]->body->statements[0]);
+  EXPECT_EQ(stmt->op, AssignOp::kAddAssign);
+  EXPECT_EQ(stmt->target->kind, AstKind::kFieldAccess);
+}
+
+TEST(ParserTest, AssignToCallIsError) {
+  DiagnosticEngine diag;
+  Parse("class C { void f() { this.g() = 1; } }", diag);
+  EXPECT_TRUE(diag.has_errors());
+}
+
+TEST(ParserTest, WhileTrueLoop) {
+  auto unit = ParseOk("class C { void f() { while (true) { this.g(); } } }");
+  const auto* loop =
+      static_cast<const WhileStmt*>(unit->classes()[0]->methods[0]->body->statements[0]);
+  EXPECT_EQ(loop->condition->kind, AstKind::kBoolLiteral);
+}
+
+TEST(ParserTest, ForWithEmptyClauses) {
+  auto unit = ParseOk("class C { void f() { for (;;) { break; } } }");
+  const auto* loop =
+      static_cast<const ForStmt*>(unit->classes()[0]->methods[0]->body->statements[0]);
+  EXPECT_EQ(loop->init, nullptr);
+  EXPECT_EQ(loop->condition, nullptr);
+  EXPECT_EQ(loop->update, nullptr);
+}
+
+TEST(ParserTest, NewWithArgs) {
+  auto unit = ParseOk("class C { void f() { throw new SocketException(\"reset\"); } }");
+  const auto* throw_stmt =
+      static_cast<const ThrowStmt*>(unit->classes()[0]->methods[0]->body->statements[0]);
+  ASSERT_EQ(throw_stmt->value->kind, AstKind::kNew);
+  const auto* new_expr = static_cast<const NewExpr*>(throw_stmt->value);
+  EXPECT_EQ(new_expr->class_name, "SocketException");
+  ASSERT_EQ(new_expr->args.size(), 1u);
+}
+
+TEST(ParserTest, CommentsAttachedToUnit) {
+  auto unit = ParseOk("// Retries the RPC with backoff.\nclass C { }");
+  ASSERT_EQ(unit->comments().size(), 1u);
+  EXPECT_EQ(unit->comments()[0].text, "Retries the RPC with backoff.");
+}
+
+TEST(ParserTest, ErrorRecoverySkipsBadMemberAndContinues) {
+  DiagnosticEngine diag;
+  auto unit = Parse(R"(
+    class C {
+      void good1() { }
+      ???
+      void good2() { }
+    }
+  )", diag);
+  EXPECT_TRUE(diag.has_errors());
+  ASSERT_EQ(unit->classes().size(), 1u);
+  // good1 parsed; recovery may or may not reach good2, but must not crash.
+  EXPECT_GE(unit->classes()[0]->methods.size(), 1u);
+}
+
+TEST(ParserTest, MissingSemicolonIsReported) {
+  DiagnosticEngine diag;
+  Parse("class C { void f() { var x = 1 } }", diag);
+  EXPECT_TRUE(diag.has_errors());
+}
+
+TEST(ParserTest, TopLevelGarbageIsReported) {
+  DiagnosticEngine diag;
+  Parse("banana", diag);
+  EXPECT_TRUE(diag.has_errors());
+}
+
+TEST(ParserTest, NodeIdsAreUniqueAndDense) {
+  auto unit = ParseOk("class C { void f() { var x = 1 + 2; } }");
+  EXPECT_GT(unit->node_count(), 4u);
+  for (NodeId i = 0; i < unit->node_count(); ++i) {
+    EXPECT_EQ(unit->node(i)->id, i);
+  }
+}
+
+TEST(ParserTest, QueueRetryShape) {
+  // The queue-based retry shape from the paper's Listing 3.
+  auto unit = ParseOk(R"(
+    class TaskProcessor {
+      Queue taskQueue = new Queue();
+      void run() {
+        var task = this.taskQueue.take();
+        try {
+          task.execute();
+        } catch (Exception e) {
+          if (task.isShutdown() == false) {
+            this.taskQueue.put(task);
+          }
+        }
+      }
+    }
+  )");
+  const MethodDecl* run = unit->classes()[0]->methods[0];
+  ASSERT_EQ(run->body->statements.size(), 2u);
+  EXPECT_EQ(run->body->statements[1]->kind, AstKind::kTry);
+}
+
+}  // namespace
+}  // namespace mj

@@ -1,0 +1,113 @@
+// Printer tests, including the parse→print→parse round-trip property.
+
+#include "src/lang/printer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/lang/ast.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+
+namespace mj {
+namespace {
+
+std::unique_ptr<CompilationUnit> ParseOk(const std::string& text) {
+  DiagnosticEngine diag;
+  auto unit = ParseSource("test.mj", text, diag);
+  EXPECT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+  return unit;
+}
+
+TEST(PrinterTest, PrintsSimpleClass) {
+  auto unit = ParseOk("class C { int x = 1; void f() { return; } }");
+  std::string printed = PrintUnit(*unit);
+  EXPECT_NE(printed.find("class C {"), std::string::npos);
+  EXPECT_NE(printed.find("int x = 1;"), std::string::npos);
+  EXPECT_NE(printed.find("void f()"), std::string::npos);
+}
+
+TEST(PrinterTest, PrintsThrowsClause) {
+  auto unit = ParseOk("class C { void f() throws IOException, TimeoutException; }");
+  std::string printed = PrintUnit(*unit);
+  EXPECT_NE(printed.find("throws IOException, TimeoutException;"), std::string::npos);
+}
+
+TEST(PrinterTest, EscapesStrings) {
+  auto unit = ParseOk(R"(class C { void f() { Log.info("a\nb\"c"); } })");
+  std::string printed = PrintUnit(*unit);
+  EXPECT_NE(printed.find(R"("a\nb\"c")"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: print(parse(s)) parses to an identical printed form.
+// Parameterized over a corpus of representative snippets (P: property tests).
+// ---------------------------------------------------------------------------
+
+class PrinterRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrinterRoundTripTest, PrintParsePrintIsStable) {
+  auto unit1 = ParseOk(GetParam());
+  std::string printed1 = PrintUnit(*unit1);
+  DiagnosticEngine diag;
+  auto unit2 = ParseSource("roundtrip.mj", printed1, diag);
+  ASSERT_FALSE(diag.has_errors()) << "printed form failed to re-parse:\n"
+                                  << printed1 << "\n"
+                                  << diag.FormatAll(nullptr);
+  std::string printed2 = PrintUnit(*unit2);
+  EXPECT_EQ(printed1, printed2) << "printing is not a fixed point for:\n" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Snippets, PrinterRoundTripTest,
+    ::testing::Values(
+        "class A { }",
+        "class A extends B { int x = 0; }",
+        "class C { void f() { var x = 1; x = x + 1; } }",
+        "class C { void f() { if (true) { this.g(); } else { this.h(); } } }",
+        "class C { void f() { if (this.a == 1) { return; } else if (this.a == 2) { return; } } }",
+        "class C { void f() { while (this.more()) { this.step(); } } }",
+        "class C { void f() { for (var i = 0; i < 10; i++) { this.g(i); } } }",
+        "class C { void f() { for (;;) { break; } } }",
+        R"(class C {
+          void f() {
+            try { this.g(); } catch (IOException e) { Log.warn("x"); } finally { this.h(); }
+          }
+        })",
+        R"(class C {
+          void f(s) {
+            switch (s) {
+              case 1:
+                this.g();
+                break;
+              case 2:
+              default:
+                return;
+            }
+          }
+        })",
+        "class C { void f() { throw new SocketException(\"reset\"); } }",
+        "class C { bool f(e) { return e instanceof IOException && !(this.done); } }",
+        "class C { void f() { var q = new Queue(); q.put(this.make(1, 2)); } }",
+        "class C { int f() { return 1 + 2 * 3 - 4 / 2 % 3; } }",
+        "class C { void f() { this.n += 2; this.n -= 1; } }",
+        R"(class WebHdfs {
+          int maxAttempts = 3;
+          HttpResponse run() throws IOException {
+            for (var retry = 0; retry < this.maxAttempts; retry++) {
+              try {
+                var conn = this.connect("url");
+                return this.getResponse(conn);
+              } catch (ConnectException ce) {
+                Thread.sleep(1000);
+              }
+            }
+            return null;
+          }
+          Conn connect(String url) throws ConnectException;
+          HttpResponse getResponse(Conn conn) throws IOException;
+        })"));
+
+}  // namespace
+}  // namespace mj

@@ -1,0 +1,121 @@
+// Robustness property tests: the front end must survive arbitrarily corrupted
+// input — report diagnostics, never crash, never hang. Corruptions are derived
+// deterministically from corpus sources.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/corpus/corpus.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+
+namespace wasabi {
+namespace {
+
+// Deterministic corruption: deletes, duplicates, or swaps characters at
+// hash-derived positions.
+std::string Corrupt(const std::string& source, uint64_t seed, int edits) {
+  std::string text = source;
+  uint64_t state = seed * 1099511628211ULL + 7;
+  for (int i = 0; i < edits && !text.empty(); ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    size_t pos = static_cast<size_t>((state >> 17) % text.size());
+    switch ((state >> 7) % 4) {
+      case 0:
+        text.erase(pos, 1);
+        break;
+      case 1:
+        text.insert(pos, 1, "{}();\"@#"[(state >> 23) % 8]);
+        break;
+      case 2:
+        text[pos] = static_cast<char>('!' + ((state >> 31) % 90));
+        break;
+      default:
+        if (pos + 1 < text.size()) {
+          std::swap(text[pos], text[pos + 1]);
+        }
+        break;
+    }
+  }
+  return text;
+}
+
+TEST(RobustnessTest, ParserSurvivesCorruptedCorpusSources) {
+  CorpusApp app = BuildCorpusApp("mapred");
+  int parsed = 0;
+  for (const auto& unit : app.program.units()) {
+    std::string original(unit->file().text());
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      std::string corrupted = Corrupt(original, seed, 12);
+      mj::DiagnosticEngine diag;
+      auto result = mj::ParseSource(unit->file().name(), corrupted, diag);
+      ASSERT_NE(result, nullptr);
+      // The unit is structurally sound even if error-ridden: all node ids are
+      // dense and classes are non-null.
+      for (mj::NodeId id = 0; id < result->node_count(); ++id) {
+        ASSERT_EQ(result->node(id)->id, id);
+      }
+      ++parsed;
+    }
+  }
+  EXPECT_GT(parsed, 80);
+}
+
+TEST(RobustnessTest, ParserSurvivesPathologicalInputs) {
+  const char* kInputs[] = {
+      "",
+      "}}}}}}}}",
+      "((((((((",
+      "class",
+      "class {",
+      "class A extends extends B { }",
+      "class A { void f( { } }",
+      "class A { void f() { if } }",
+      "class A { void f() { for (;;;;) { } } }",
+      "class A { void f() { switch { } } }",
+      "class A { void f() { try { } } }",
+      "\"unterminated",
+      "/* unterminated",
+      "class A { int x = ; }",
+      "class A { void f() { x = = 1; } }",
+      "class A { void f() { throw; } }",
+      "class \xff\xfe { }",
+  };
+  for (const char* input : kInputs) {
+    mj::DiagnosticEngine diag;
+    auto unit = mj::ParseSource("bad.mj", input, diag);
+    ASSERT_NE(unit, nullptr) << input;
+  }
+}
+
+TEST(RobustnessTest, DeeplyNestedInputParsesWithoutStackIssues) {
+  // 200 levels of nested blocks.
+  std::string body;
+  for (int i = 0; i < 200; ++i) {
+    body += "{ ";
+  }
+  body += "var x = 1;";
+  for (int i = 0; i < 200; ++i) {
+    body += " }";
+  }
+  std::string source = "class Deep { void f() { " + body + " } }";
+  mj::DiagnosticEngine diag;
+  auto unit = mj::ParseSource("deep.mj", source, diag);
+  EXPECT_FALSE(diag.has_errors());
+  ASSERT_EQ(unit->classes().size(), 1u);
+}
+
+TEST(RobustnessTest, LongExpressionChainsParse) {
+  std::string expr = "1";
+  for (int i = 0; i < 500; ++i) {
+    expr += " + 1";
+  }
+  std::string source = "class C { int f() { return " + expr + "; } }";
+  mj::DiagnosticEngine diag;
+  auto unit = mj::ParseSource("long.mj", source, diag);
+  EXPECT_FALSE(diag.has_errors());
+}
+
+}  // namespace
+}  // namespace wasabi

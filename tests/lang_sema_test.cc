@@ -1,0 +1,180 @@
+// Unit tests for the mj program index (sema).
+
+#include "src/lang/sema.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+
+namespace mj {
+namespace {
+
+Program MakeProgram(std::initializer_list<std::string> sources) {
+  Program program;
+  DiagnosticEngine diag;
+  int i = 0;
+  for (const std::string& text : sources) {
+    program.AddUnit(ParseSource("unit" + std::to_string(i++) + ".mj", text, diag));
+  }
+  EXPECT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+  return program;
+}
+
+TEST(SemaTest, FindClassAndUnit) {
+  Program program = MakeProgram({"class A { }", "class B extends A { }"});
+  ProgramIndex index(program);
+  const ClassDecl* a = index.FindClass("A");
+  const ClassDecl* b = index.FindClass("B");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(index.FindClass("Missing"), nullptr);
+  EXPECT_EQ(index.UnitOf(*a), program.units()[0].get());
+  EXPECT_EQ(index.UnitOf(*b), program.units()[1].get());
+}
+
+TEST(SemaTest, ResolveMethodWalksBaseChain) {
+  Program program = MakeProgram({
+      "class Base { void shared() { } }",
+      "class Mid extends Base { void midOnly() { } }",
+      "class Leaf extends Mid { void leafOnly() { } }",
+  });
+  ProgramIndex index(program);
+  const ClassDecl* leaf = index.FindClass("Leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_NE(index.ResolveMethod(*leaf, "leafOnly"), nullptr);
+  EXPECT_NE(index.ResolveMethod(*leaf, "midOnly"), nullptr);
+  EXPECT_NE(index.ResolveMethod(*leaf, "shared"), nullptr);
+  EXPECT_EQ(index.ResolveMethod(*leaf, "absent"), nullptr);
+}
+
+TEST(SemaTest, OverrideResolvesToMostDerived) {
+  Program program = MakeProgram({
+      "class Base { int f() { return 1; } }",
+      "class Leaf extends Base { int f() { return 2; } }",
+  });
+  ProgramIndex index(program);
+  const MethodDecl* resolved = index.ResolveMethod(*index.FindClass("Leaf"), "f");
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(resolved->owner->name, "Leaf");
+}
+
+TEST(SemaTest, BaseCycleDoesNotHang) {
+  Program program = MakeProgram({"class A extends B { }", "class B extends A { }"});
+  ProgramIndex index(program);
+  EXPECT_EQ(index.ResolveMethod(*index.FindClass("A"), "nothing"), nullptr);
+  EXPECT_FALSE(index.IsSubtype("A", "Exception"));
+}
+
+TEST(SemaTest, DuplicateClassReported) {
+  Program program;
+  DiagnosticEngine parse_diag;
+  program.AddUnit(ParseSource("a.mj", "class A { }", parse_diag));
+  program.AddUnit(ParseSource("b.mj", "class A { }", parse_diag));
+  DiagnosticEngine index_diag;
+  ProgramIndex index(program, &index_diag);
+  EXPECT_TRUE(index_diag.has_errors());
+}
+
+TEST(SemaTest, MethodsNamedAcrossClasses) {
+  Program program = MakeProgram({
+      "class A { void execute() { } }",
+      "class B { void execute() { } void other() { } }",
+  });
+  ProgramIndex index(program);
+  EXPECT_EQ(index.MethodsNamed("execute").size(), 2u);
+  EXPECT_EQ(index.MethodsNamed("other").size(), 1u);
+  EXPECT_TRUE(index.MethodsNamed("absent").empty());
+}
+
+TEST(SemaTest, FindQualified) {
+  Program program = MakeProgram({"class A { void f() { } }"});
+  ProgramIndex index(program);
+  EXPECT_NE(index.FindQualified("A.f"), nullptr);
+  EXPECT_EQ(index.FindQualified("A.g"), nullptr);
+  EXPECT_EQ(index.FindQualified("B.f"), nullptr);
+}
+
+// --- Exception hierarchy -------------------------------------------------
+
+TEST(SemaTest, BuiltinExceptionHierarchy) {
+  Program program = MakeProgram({"class A { }"});
+  ProgramIndex index(program);
+  EXPECT_TRUE(index.IsExceptionType("IOException"));
+  EXPECT_TRUE(index.IsExceptionType("ConnectException"));
+  EXPECT_FALSE(index.IsExceptionType("A"));
+  EXPECT_FALSE(index.IsExceptionType("NotAThing"));
+
+  EXPECT_TRUE(index.IsSubtype("ConnectException", "IOException"));
+  EXPECT_TRUE(index.IsSubtype("ConnectException", "Exception"));
+  EXPECT_TRUE(index.IsSubtype("IOException", "IOException"));
+  EXPECT_FALSE(index.IsSubtype("IOException", "ConnectException"));
+  EXPECT_FALSE(index.IsSubtype("TimeoutException", "IOException"));
+  // The paper's HADOOP-16580: AccessControlException is under IOException.
+  EXPECT_TRUE(index.IsSubtype("AccessControlException", "IOException"));
+}
+
+TEST(SemaTest, UserExceptionExtendsBuiltin) {
+  Program program = MakeProgram({
+      "class RegionServerStoppedException extends IOException { }",
+      "class DeepException extends RegionServerStoppedException { }",
+  });
+  ProgramIndex index(program);
+  EXPECT_TRUE(index.IsExceptionType("RegionServerStoppedException"));
+  EXPECT_TRUE(index.IsExceptionType("DeepException"));
+  EXPECT_TRUE(index.IsSubtype("DeepException", "IOException"));
+  EXPECT_TRUE(index.IsSubtype("DeepException", "Exception"));
+  EXPECT_FALSE(index.IsSubtype("IOException", "DeepException"));
+}
+
+TEST(SemaTest, DeclaredThrows) {
+  Program program = MakeProgram({
+      "class C { void f() throws IOException, TimeoutException; void g() { } }",
+  });
+  ProgramIndex index(program);
+  const MethodDecl* f = index.FindQualified("C.f");
+  const MethodDecl* g = index.FindQualified("C.g");
+  EXPECT_EQ(index.DeclaredThrows(*f).size(), 2u);
+  EXPECT_TRUE(index.DeclaredThrows(*g).empty());
+}
+
+TEST(SemaTest, PotentialThrowsIncludesBodyThrows) {
+  Program program = MakeProgram({R"(
+    class C {
+      void f() throws IOException {
+        if (this.bad()) {
+          throw new IllegalStateException("bad");
+        }
+        throw new IOException("dup declared");
+      }
+      bool bad() { return false; }
+    }
+  )"});
+  ProgramIndex index(program);
+  const MethodDecl* f = index.FindQualified("C.f");
+  std::vector<std::string> throws = index.PotentialThrows(*f);
+  // IOException (declared, deduped with body) + IllegalStateException.
+  ASSERT_EQ(throws.size(), 2u);
+  EXPECT_EQ(throws[0], "IOException");
+  EXPECT_EQ(throws[1], "IllegalStateException");
+}
+
+TEST(SemaTest, BuiltinExceptionTableIsWellFormed) {
+  // Property: every non-root parent must itself be a builtin exception, and
+  // every chain terminates at the root "Exception".
+  Program program = MakeProgram({"class A { }"});
+  ProgramIndex index(program);
+  for (const BuiltinException& exc : BuiltinExceptions()) {
+    if (exc.name == "Exception") {
+      EXPECT_TRUE(exc.parent.empty());
+      continue;
+    }
+    EXPECT_TRUE(IsBuiltinException(exc.parent)) << std::string(exc.name);
+    EXPECT_TRUE(index.IsSubtype(exc.name, "Exception")) << std::string(exc.name);
+  }
+}
+
+}  // namespace
+}  // namespace mj

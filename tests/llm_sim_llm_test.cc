@@ -1,0 +1,531 @@
+// Unit tests for SimLLM, the deterministic GPT-4 stand-in.
+
+#include "src/llm/sim_llm.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+
+namespace wasabi {
+namespace {
+
+std::unique_ptr<mj::CompilationUnit> ParseOk(const std::string& text,
+                                             const std::string& name = "test.mj") {
+  mj::DiagnosticEngine diag;
+  auto unit = mj::ParseSource(name, text, diag);
+  EXPECT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+  return unit;
+}
+
+SimLlmConfig NoNoise() {
+  SimLlmConfig config;
+  config.comprehension_noise_percent = 0;
+  return config;
+}
+
+// --- Q1: retry identification ---------------------------------------------
+
+TEST(SimLlmTest, DetectsLoopRetry) {
+  auto unit = ParseOk(R"(
+    class Client {
+      // Retries the fetch on transient connection errors.
+      void fetchWithRetry() {
+        for (var retry = 0; retry < 3; retry++) {
+          try {
+            this.fetch();
+            return;
+          } catch (ConnectException e) {
+            Thread.sleep(100);
+          }
+        }
+      }
+      void fetch() throws ConnectException;
+    }
+  )");
+  SimLlm llm(NoNoise());
+  LlmFileFindings findings = llm.AnalyzeFile(*unit);
+  EXPECT_TRUE(findings.performs_retry);
+  ASSERT_EQ(findings.coordinators.size(), 1u);
+  EXPECT_EQ(findings.coordinators[0].qualified_name, "Client.fetchWithRetry");
+  EXPECT_EQ(findings.coordinators[0].mechanism, RetryMechanism::kLoop);
+}
+
+TEST(SimLlmTest, DetectsQueueRetry) {
+  // Listing-3 analog: catch re-enqueues the task. No loop at all — the case
+  // control-flow analysis cannot see.
+  auto unit = ParseOk(R"(
+    class TaskProcessor {
+      Queue taskQueue = new Queue();
+      void runOne() {
+        var task = this.taskQueue.take();
+        try {
+          task.execute();
+        } catch (Exception e) {
+          // Resubmit the failed task so it is retried later.
+          this.taskQueue.put(task);
+        }
+      }
+    }
+  )");
+  SimLlm llm(NoNoise());
+  LlmFileFindings findings = llm.AnalyzeFile(*unit);
+  ASSERT_EQ(findings.coordinators.size(), 1u);
+  EXPECT_EQ(findings.coordinators[0].mechanism, RetryMechanism::kQueue);
+}
+
+TEST(SimLlmTest, DetectsStateMachineRetry) {
+  // Listing-4 analog: switch-based procedure; the catch leaves the state
+  // unchanged so the executor re-runs the same step.
+  auto unit = ParseOk(R"(
+    class UnassignProcedure {
+      int state = 1;
+      void execute(currentState) {
+        switch (currentState) {
+          case 1:
+            try {
+              this.markRegionAsClosing();
+              this.state = 2;
+            } catch (IOException e) {
+              // State deliberately unchanged: the executor will retry this step.
+              return;
+            }
+            break;
+          default:
+            return;
+        }
+      }
+      void markRegionAsClosing() throws IOException;
+    }
+  )");
+  SimLlm llm(NoNoise());
+  LlmFileFindings findings = llm.AnalyzeFile(*unit);
+  ASSERT_EQ(findings.coordinators.size(), 1u);
+  EXPECT_EQ(findings.coordinators[0].mechanism, RetryMechanism::kStateMachine);
+}
+
+TEST(SimLlmTest, PlainIterationLoopIsAProbabilisticFalsePositive) {
+  // The loop-with-catch shape without ANY retry wording is the ambiguous
+  // class: GPT-4 usually rejects it but sometimes labels it retry (§4.2/§4.3).
+  // The model gates it on a deterministic hash with configurable rate.
+  constexpr const char* kSource = R"(
+    class Batch {
+      void processAll(items) {
+        for (var i = 0; i < items.size(); i++) {
+          try {
+            this.processOne(items.get(i));
+          } catch (IOException e) {
+            Log.warn("item failed");
+          }
+        }
+      }
+      void processOne(item) throws IOException;
+    }
+  )";
+  auto unit = ParseOk(kSource);
+
+  SimLlmConfig never = NoNoise();
+  never.q1_iteration_fp_percent = 0;
+  SimLlm strict(never);
+  EXPECT_FALSE(strict.AnalyzeFile(*unit).performs_retry);
+
+  SimLlmConfig always = NoNoise();
+  always.q1_iteration_fp_percent = 100;
+  SimLlm gullible(always);
+  EXPECT_TRUE(gullible.AnalyzeFile(*unit).performs_retry);
+
+  // Determinism: the default-rate answer is stable across instances.
+  SimLlm a(NoNoise());
+  SimLlm b(NoNoise());
+  EXPECT_EQ(a.AnalyzeFile(*unit).performs_retry, b.AnalyzeFile(*unit).performs_retry);
+}
+
+TEST(SimLlmTest, SaysNoForPolicyDefinitionOnlyFiles) {
+  // Q1 prompt: say NO when the file only defines/creates retry policies.
+  auto unit = ParseOk(R"(
+    class RetryPolicyBuilder {
+      int maxRetries = 3;
+      int getMaxRetries() {
+        return this.maxRetries;
+      }
+      void setMaxRetries(n) {
+        this.maxRetries = n;
+      }
+    }
+  )");
+  SimLlm llm(NoNoise());
+  LlmFileFindings findings = llm.AnalyzeFile(*unit);
+  EXPECT_FALSE(findings.performs_retry);
+}
+
+TEST(SimLlmTest, KeywordDensePolicyFileBecomesFalsePositive) {
+  // The paper's FP mode 1: enough retry wording fools the model even without
+  // a retry shape.
+  auto unit = ParseOk(R"(
+    class RetryUtils {
+      // Builds the retry schedule for retrying retriable requests.
+      // Retry count and retry backoff come from the retry configuration.
+      RetrySchedule buildRetrySchedule(retryConfig) {
+        var retrySchedule = this.newRetrySchedule(retryConfig);
+        retrySchedule.setRetryBackoff(retryConfig.retryBackoffMs);
+        retrySchedule.setMaxRetries(retryConfig.maxRetries);
+        return retrySchedule;
+      }
+      RetrySchedule newRetrySchedule(c) { return null; }
+    }
+  )");
+  SimLlm llm(NoNoise());
+  LlmFileFindings findings = llm.AnalyzeFile(*unit);
+  EXPECT_TRUE(findings.performs_retry);  // Documented false positive mode.
+}
+
+TEST(SimLlmTest, DetectsErrorCodeRetryWithoutExceptions) {
+  // Error-code driven retry has no try/catch at all: only fuzzy comprehension
+  // (loop + explicit retry naming) can identify it. The control-flow query
+  // never sees it — the source of Hive/ElasticSearch's identified-but-
+  // untestable gap in Table 5.
+  auto unit = ParseOk(R"(
+    class Replicator {
+      int maxRetries = 5;
+      int replicateWithRetries(payload) {
+        var code = this.replicate(payload);
+        var retries = 0;
+        while (code != 0 && retries < this.maxRetries) {
+          retries += 1;
+          Log.warn("replicate returned error code " + code + "; retry " + retries);
+          code = this.replicate(payload);
+        }
+        return code;
+      }
+      int replicate(payload) { return 0; }
+    }
+  )");
+  SimLlm llm(NoNoise());
+  LlmFileFindings findings = llm.AnalyzeFile(*unit);
+  ASSERT_TRUE(findings.performs_retry);
+  EXPECT_EQ(findings.coordinators[0].qualified_name, "Replicator.replicateWithRetries");
+
+  // The WHEN prompts work on it too: cap present, delay absent.
+  LlmWhenJudgment judgment = llm.JudgeWhen(*unit, findings.coordinators[0]);
+  EXPECT_TRUE(judgment.has_cap);
+  EXPECT_FALSE(judgment.sleeps_before_retry);
+}
+
+TEST(SimLlmTest, LoopWithoutWordingOrCatchIsNotRetry) {
+  // A plain computation loop: no catch, no retry wording — never identified.
+  auto unit = ParseOk(R"(
+    class Summer {
+      int total(items) {
+        var sum = 0;
+        for (var i = 0; i < items.size(); i++) {
+          sum += items.get(i);
+        }
+        return sum;
+      }
+    }
+  )");
+  SimLlmConfig config = NoNoise();
+  config.q1_iteration_fp_percent = 100;  // Even the FP lottery needs a catch.
+  SimLlm llm(config);
+  EXPECT_FALSE(llm.AnalyzeFile(*unit).performs_retry);
+}
+
+TEST(SimLlmTest, Q4ExcludesSpinLockCode) {
+  auto unit = ParseOk(R"(
+    class SpinLock {
+      void acquire() {
+        while (true) {
+          try {
+            if (this.flag.compareAndSet(0, 1)) {
+              return;
+            }
+          } catch (IllegalStateException e) {
+            Log.warn("contention");
+          }
+        }
+      }
+    }
+  )");
+  SimLlm llm(NoNoise());
+  EXPECT_FALSE(llm.AnalyzeFile(*unit).performs_retry);
+}
+
+TEST(SimLlmTest, Q4ExclusionCanBeOverriddenByStrongWording) {
+  auto unit = ParseOk(R"(
+    class Poller {
+      // Retry the poll; retries are capped by the retry configuration.
+      void pollWithRetry() {
+        for (var retry = 0; retry < this.maxRetries; retry++) {
+          try {
+            this.poll();
+            return;
+          } catch (TimeoutException e) {
+            Log.warn("will retry polling");
+          }
+        }
+      }
+      void poll() throws TimeoutException;
+      int maxRetries = 5;
+    }
+  )");
+  SimLlm llm(NoNoise());
+  // Retry wording is overwhelming: Q4 fails to exclude (paper §4.3).
+  EXPECT_TRUE(llm.AnalyzeFile(*unit).performs_retry);
+}
+
+TEST(SimLlmTest, LargeFileMissesLateRetry) {
+  // Build a file whose retry method sits beyond the attention window.
+  std::string padding;
+  for (int i = 0; i < 200; ++i) {
+    padding += "  void filler" + std::to_string(i) + "() { var x = " + std::to_string(i) +
+               "; this.use(x); }\n";
+  }
+  std::string source = "class Big {\n" + padding + R"(
+      void sendWithRetry() {
+        for (var retry = 0; retry < 3; retry++) {
+          try {
+            this.send();
+            return;
+          } catch (IOException e) {
+            Thread.sleep(50);
+          }
+        }
+      }
+      void send() throws IOException;
+      void use(x) { }
+    }
+  )";
+  auto unit = ParseOk(source, "big.mj");
+  SimLlmConfig config = NoNoise();
+  config.attention_window_tokens = 500;  // ~2 KB window, file is much larger.
+  SimLlm llm(config);
+  LlmFileFindings findings = llm.AnalyzeFile(*unit);
+  EXPECT_FALSE(findings.performs_retry);
+  EXPECT_TRUE(findings.truncated_by_attention);
+
+  // With an unlimited window the same file is detected.
+  SimLlmConfig unlimited = NoNoise();
+  unlimited.attention_window_tokens = 0;
+  SimLlm llm2(unlimited);
+  EXPECT_TRUE(llm2.AnalyzeFile(*unit).performs_retry);
+}
+
+// --- Q2/Q3 judgments --------------------------------------------------------
+
+struct JudgeResult {
+  LlmFileFindings findings;
+  LlmWhenJudgment judgment;
+};
+
+JudgeResult Judge(const std::string& source, SimLlmConfig config = NoNoise()) {
+  static std::unique_ptr<mj::CompilationUnit> unit;  // Keep alive for pointers.
+  unit = ParseOk(source);
+  SimLlm llm(config);
+  JudgeResult result;
+  result.findings = llm.AnalyzeFile(*unit);
+  EXPECT_TRUE(result.findings.performs_retry) << "expected retry to be identified";
+  if (!result.findings.coordinators.empty()) {
+    result.judgment = llm.JudgeWhen(*unit, result.findings.coordinators[0]);
+  }
+  return result;
+}
+
+TEST(SimLlmTest, Q2SeesDirectSleep) {
+  JudgeResult result = Judge(R"(
+    class C {
+      void sendWithRetry() {
+        for (var retry = 0; retry < 3; retry++) {
+          try {
+            this.send();
+            return;
+          } catch (IOException e) {
+            Thread.sleep(100);
+          }
+        }
+      }
+      void send() throws IOException;
+    }
+  )");
+  EXPECT_TRUE(result.judgment.sleeps_before_retry);
+  EXPECT_TRUE(result.judgment.has_cap);
+}
+
+TEST(SimLlmTest, Q2SeesSameFileHelperSleep) {
+  JudgeResult result = Judge(R"(
+    class C {
+      void sendWithRetry() {
+        for (var retry = 0; retry < 3; retry++) {
+          try {
+            this.send();
+            return;
+          } catch (IOException e) {
+            this.waitQuietly();
+          }
+        }
+      }
+      void waitQuietly() {
+        Thread.sleep(250);
+      }
+      void send() throws IOException;
+    }
+  )");
+  EXPECT_TRUE(result.judgment.sleeps_before_retry);
+}
+
+TEST(SimLlmTest, Q2MissesCrossFileHelperSleep) {
+  // The helper lives in another file: the model cannot see it sleeps, and its
+  // name gives nothing away — missing-delay FP mode (§4.3).
+  JudgeResult result = Judge(R"(
+    class C {
+      BackpressureGate gate = new BackpressureGate();
+      void sendWithRetry() {
+        for (var retry = 0; retry < 3; retry++) {
+          try {
+            this.send();
+            return;
+          } catch (IOException e) {
+            this.gate.awaitQuietPeriod();
+          }
+        }
+      }
+      void send() throws IOException;
+    }
+  )");
+  EXPECT_FALSE(result.judgment.sleeps_before_retry);
+}
+
+TEST(SimLlmTest, Q2TrustsSleepyNamesForUnknownHelpers) {
+  JudgeResult result = Judge(R"(
+    class C {
+      Backoff backoff = new Backoff();
+      void sendWithRetry() {
+        for (var retry = 0; retry < 3; retry++) {
+          try {
+            this.send();
+            return;
+          } catch (IOException e) {
+            this.backoff.sleepBackoff();
+          }
+        }
+      }
+      void send() throws IOException;
+    }
+  )");
+  EXPECT_TRUE(result.judgment.sleeps_before_retry);
+}
+
+TEST(SimLlmTest, Q3DetectsMissingCapInWhileTrue) {
+  JudgeResult result = Judge(R"(
+    class C {
+      void sendWithRetry() {
+        while (true) {
+          try {
+            this.send();
+            return;
+          } catch (IOException e) {
+            Thread.sleep(100);
+          }
+        }
+      }
+      void send() throws IOException;
+    }
+  )");
+  EXPECT_FALSE(result.judgment.has_cap);
+  EXPECT_TRUE(result.judgment.sleeps_before_retry);
+}
+
+TEST(SimLlmTest, Q3SeesGuardInsideInfiniteLoop) {
+  JudgeResult result = Judge(R"(
+    class C {
+      void sendWithRetry() {
+        var attempts = 0;
+        while (true) {
+          try {
+            this.send();
+            return;
+          } catch (IOException e) {
+            attempts++;
+            if (attempts > this.maxAttempts) {
+              throw new RuntimeException("giving up retrying");
+            }
+          }
+        }
+      }
+      int maxAttempts = 10;
+      void send() throws IOException;
+    }
+  )");
+  EXPECT_TRUE(result.judgment.has_cap);
+}
+
+TEST(SimLlmTest, NoiseFlipsAreDeterministic) {
+  std::string source = R"(
+    class C {
+      void sendWithRetry() {
+        for (var retry = 0; retry < 3; retry++) {
+          try {
+            this.send();
+            return;
+          } catch (IOException e) {
+            Thread.sleep(100);
+          }
+        }
+      }
+      void send() throws IOException;
+    }
+  )";
+  SimLlmConfig noisy;
+  noisy.comprehension_noise_percent = 100;  // Every judgment flips.
+  JudgeResult flipped = Judge(source, noisy);
+  EXPECT_FALSE(flipped.judgment.sleeps_before_retry);
+  EXPECT_TRUE(flipped.judgment.q2_noise_flipped);
+  EXPECT_FALSE(flipped.judgment.has_cap);
+
+  // Same config twice: identical results.
+  JudgeResult again = Judge(source, noisy);
+  EXPECT_EQ(again.judgment.sleeps_before_retry, flipped.judgment.sleeps_before_retry);
+  EXPECT_EQ(again.judgment.has_cap, flipped.judgment.has_cap);
+}
+
+TEST(SimLlmTest, UsageAccountingCountsCallsAndTokens) {
+  auto unit = ParseOk(R"(
+    class C {
+      void sendWithRetry() {
+        for (var retry = 0; retry < 3; retry++) {
+          try {
+            this.send();
+            return;
+          } catch (IOException e) {
+            Thread.sleep(100);
+          }
+        }
+      }
+      void send() throws IOException;
+    }
+  )");
+  SimLlm llm(NoNoise());
+  LlmFileFindings findings = llm.AnalyzeFile(*unit);
+  // Q1 + follow-up.
+  EXPECT_EQ(llm.usage().calls, 2);
+  ASSERT_FALSE(findings.coordinators.empty());
+  llm.JudgeWhen(*unit, findings.coordinators[0]);
+  // + Q2, Q3, Q4.
+  EXPECT_EQ(llm.usage().calls, 5);
+  EXPECT_GT(llm.usage().prompt_tokens, 0);
+  EXPECT_GT(llm.usage().bytes_sent, 5 * static_cast<int64_t>(unit->file().text().size()) - 1);
+  llm.ResetUsage();
+  EXPECT_EQ(llm.usage().calls, 0);
+}
+
+TEST(SimLlmTest, NonRetryFileMakesOneCall) {
+  auto unit = ParseOk("class C { void f() { var x = 1; } }");
+  SimLlm llm(NoNoise());
+  llm.AnalyzeFile(*unit);
+  EXPECT_EQ(llm.usage().calls, 1);  // Q1 only; no follow-up.
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,147 @@
+// Regression tests distilled from the paper's listings: the buggy variant
+// exhibits the defect (WASABI report or behavioral evidence) and the patched
+// variant does not.
+
+#include "src/study/listings.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/core/wasabi.h"
+#include "src/lang/parser.h"
+
+namespace wasabi {
+namespace {
+
+struct LoadedListing {
+  mj::Program program;
+  std::unique_ptr<mj::ProgramIndex> index;
+};
+
+LoadedListing LoadVariant(const PaperListing& listing, bool fixed) {
+  LoadedListing loaded;
+  mj::DiagnosticEngine diag;
+  loaded.program.AddUnit(mj::ParseSource(
+      listing.file_name, fixed ? listing.fixed_source : listing.buggy_source, diag));
+  loaded.program.AddUnit(
+      mj::ParseSource("test/" + listing.file_name, listing.test_source, diag));
+  EXPECT_FALSE(diag.has_errors()) << listing.id << ": " << diag.FormatAll(nullptr);
+  loaded.index = std::make_unique<mj::ProgramIndex>(loaded.program);
+  return loaded;
+}
+
+const PaperListing& ListingByIssue(const std::string& issue_id) {
+  for (const PaperListing& listing : PaperListings()) {
+    if (listing.issue_id == issue_id) {
+      return listing;
+    }
+  }
+  ADD_FAILURE() << "missing listing " << issue_id;
+  static PaperListing empty;
+  return empty;
+}
+
+TEST(ListingsTest, FourListingsBothVariantsParse) {
+  ASSERT_EQ(PaperListings().size(), 4u);
+  for (const PaperListing& listing : PaperListings()) {
+    LoadVariant(listing, /*fixed=*/false);
+    LoadVariant(listing, /*fixed=*/true);
+    EXPECT_NE(listing.buggy_source, listing.fixed_source) << listing.id;
+  }
+}
+
+TEST(ListingsTest, Kafka6829BuggyLosesCommitFixedRetriesIt) {
+  const PaperListing& listing = ListingByIssue("KAFKA-6829");
+
+  LoadedListing buggy = LoadVariant(listing, /*fixed=*/false);
+  Interpreter buggy_interp(buggy.program, *buggy.index);
+  Value buggy_result = buggy_interp.Invoke("Listing1Scenario.run");
+  EXPECT_NE(std::get<std::string>(buggy_result).find("commit LOST"), std::string::npos);
+
+  LoadedListing fixed = LoadVariant(listing, /*fixed=*/true);
+  Interpreter fixed_interp(fixed.program, *fixed.index);
+  Value fixed_result = fixed_interp.Invoke("Listing1Scenario.run");
+  EXPECT_NE(std::get<std::string>(fixed_result).find("succeeded after 3"),
+            std::string::npos);
+}
+
+TEST(ListingsTest, Hadoop16683BuggyWastesAttemptsFixedStopsImmediately) {
+  const PaperListing& listing = ListingByIssue("HADOOP-16683");
+
+  LoadedListing buggy = LoadVariant(listing, /*fixed=*/false);
+  Interpreter buggy_interp(buggy.program, *buggy.index);
+  std::string buggy_result =
+      std::get<std::string>(buggy_interp.Invoke("Listing2Scenario.run"));
+  // All 4 attempts burned against a permanent permission error, with backoff.
+  EXPECT_NE(buggy_result.find("error: 4"), std::string::npos) << buggy_result;
+  EXPECT_GE(buggy_interp.now_ms(), 3000);
+
+  LoadedListing fixed = LoadVariant(listing, /*fixed=*/true);
+  Interpreter fixed_interp(fixed.program, *fixed.index);
+  std::string fixed_result =
+      std::get<std::string>(fixed_interp.Invoke("Listing2Scenario.run"));
+  EXPECT_NE(fixed_result.find("error: 1"), std::string::npos) << fixed_result;
+  EXPECT_EQ(fixed_interp.now_ms(), 0);
+}
+
+TEST(ListingsTest, Hive23894BuggyNeverTerminatesFixedCompletes) {
+  const PaperListing& listing = ListingByIssue("HIVE-23894");
+
+  LoadedListing buggy = LoadVariant(listing, /*fixed=*/false);
+  Interpreter buggy_interp(buggy.program, *buggy.index);
+  EXPECT_THROW(buggy_interp.Invoke("Listing3Scenario.run"), ExecutionAborted);
+
+  LoadedListing fixed = LoadVariant(listing, /*fixed=*/true);
+  Interpreter fixed_interp(fixed.program, *fixed.index);
+  std::string fixed_result =
+      std::get<std::string>(fixed_interp.Invoke("Listing3Scenario.run"));
+  EXPECT_NE(fixed_result.find("completed=1"), std::string::npos);
+}
+
+TEST(ListingsTest, Hbase20492WasabiFlagsBuggyNotFixed) {
+  const PaperListing& listing = ListingByIssue("HBASE-20492");
+
+  auto missing_delay_reports = [&](bool fixed) {
+    LoadedListing loaded = LoadVariant(listing, fixed);
+    WasabiOptions options;
+    options.app_name = "listing4";
+    Wasabi wasabi(loaded.program, *loaded.index, options);
+    DynamicResult dynamic = wasabi.RunDynamicWorkflow();
+    int count = 0;
+    for (const BugReport& bug : dynamic.bugs) {
+      if (bug.type == BugType::kWhenMissingDelay && bug.coordinator == listing.coordinator) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  EXPECT_GE(missing_delay_reports(/*fixed=*/false), 1);
+  EXPECT_EQ(missing_delay_reports(/*fixed=*/true), 0);
+}
+
+TEST(ListingsTest, Hbase20492StaticLlmAgrees) {
+  const PaperListing& listing = ListingByIssue("HBASE-20492");
+  auto llm_delay_reports = [&](bool fixed) {
+    LoadedListing loaded = LoadVariant(listing, fixed);
+    WasabiOptions options;
+    options.app_name = "listing4";
+    options.llm.comprehension_noise_percent = 0;
+    Wasabi wasabi(loaded.program, *loaded.index, options);
+    StaticResult statics = wasabi.RunStaticWorkflow();
+    int count = 0;
+    for (const BugReport& bug : statics.when_bugs) {
+      if (bug.type == BugType::kWhenMissingDelay && bug.coordinator == listing.coordinator) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  EXPECT_GE(llm_delay_reports(/*fixed=*/false), 1);
+  EXPECT_EQ(llm_delay_reports(/*fixed=*/true), 0);
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,105 @@
+// Tests that the §2 study dataset reproduces every aggregate the paper reports.
+
+#include "src/study/study.h"
+
+#include <gtest/gtest.h>
+
+namespace wasabi {
+namespace {
+
+TEST(StudyTest, SeventyIssues) {
+  EXPECT_EQ(StudyDataset().size(), 70u);
+}
+
+TEST(StudyTest, Table1PerApplicationCounts) {
+  auto counts = StudyCountByApp();
+  EXPECT_EQ(counts["elasticsearch"], 11);
+  EXPECT_EQ(counts["hadoop"], 15);
+  EXPECT_EQ(counts["hbase"], 15);
+  EXPECT_EQ(counts["hive"], 11);
+  EXPECT_EQ(counts["kafka"], 9);
+  EXPECT_EQ(counts["spark"], 9);
+  EXPECT_EQ(counts.size(), 6u);
+}
+
+TEST(StudyTest, Table2RootCauseCounts) {
+  auto counts = StudyCountByRootCause();
+  EXPECT_EQ(counts[StudyRootCause::kWrongPolicy], 17);
+  EXPECT_EQ(counts[StudyRootCause::kMissingMechanism], 8);
+  EXPECT_EQ(counts[StudyRootCause::kDelay], 10);
+  EXPECT_EQ(counts[StudyRootCause::kCap], 13);
+  EXPECT_EQ(counts[StudyRootCause::kStateReset], 12);
+  EXPECT_EQ(counts[StudyRootCause::kJobTracking], 8);
+  EXPECT_EQ(counts[StudyRootCause::kOther], 2);
+}
+
+TEST(StudyTest, CategoryShares) {
+  // IF 25 (36%), WHEN 23 (33%), HOW 22 (31%).
+  auto counts = StudyCountByCategory();
+  EXPECT_EQ(counts[StudyCategory::kIf], 25);
+  EXPECT_EQ(counts[StudyCategory::kWhen], 23);
+  EXPECT_EQ(counts[StudyCategory::kHow], 22);
+}
+
+TEST(StudyTest, MechanismSplit) {
+  // ~55% loop, 25% queue re-enqueueing, 20% state machine (§2.5).
+  auto counts = StudyCountByMechanism();
+  EXPECT_EQ(counts[RetryMechanism::kLoop], 39);
+  EXPECT_EQ(counts[RetryMechanism::kQueue], 17);
+  EXPECT_EQ(counts[RetryMechanism::kStateMachine], 14);
+}
+
+TEST(StudyTest, TriggerSplit) {
+  // 70% exceptions, 30% error codes (§3.1).
+  EXPECT_EQ(StudyExceptionTriggeredCount(), 49);
+}
+
+TEST(StudyTest, SeverityDistribution) {
+  auto counts = StudyCountBySeverity();
+  // Paper: ~5% blocker, 10% critical, 65% major, 5% minor, rest unlabeled.
+  EXPECT_EQ(counts[StudySeverity::kBlocker], 4);
+  EXPECT_EQ(counts[StudySeverity::kCritical], 7);
+  EXPECT_EQ(counts[StudySeverity::kMajor], 45);
+  EXPECT_EQ(counts[StudySeverity::kMinor], 4);
+  EXPECT_EQ(counts[StudySeverity::kUnlabeled], 10);
+}
+
+TEST(StudyTest, RegressionTestShare) {
+  // 42 of the 70 issues got regression tests (§2.5).
+  EXPECT_EQ(StudyRegressionTestCount(), 42);
+}
+
+TEST(StudyTest, PinnedIssuesPresent) {
+  int pinned = 0;
+  bool has_hbase_20492 = false;
+  for (const StudyIssue& issue : StudyDataset()) {
+    if (issue.pinned) {
+      ++pinned;
+      EXPECT_FALSE(issue.summary.empty());
+    }
+    if (issue.id == "HBASE-20492") {
+      has_hbase_20492 = true;
+      EXPECT_EQ(issue.root_cause, StudyRootCause::kDelay);
+      EXPECT_EQ(issue.mechanism, RetryMechanism::kStateMachine);
+      EXPECT_EQ(issue.severity, StudySeverity::kCritical);
+    }
+  }
+  EXPECT_EQ(pinned, 13);
+  EXPECT_TRUE(has_hbase_20492);
+}
+
+TEST(StudyTest, IdsAreUnique) {
+  std::set<std::string> ids;
+  for (const StudyIssue& issue : StudyDataset()) {
+    EXPECT_TRUE(ids.insert(issue.id).second) << "duplicate id " << issue.id;
+  }
+}
+
+TEST(StudyTest, DatasetIsStable) {
+  const auto& first = StudyDataset();
+  const auto& second = StudyDataset();
+  EXPECT_EQ(&first, &second);
+}
+
+}  // namespace
+}  // namespace wasabi

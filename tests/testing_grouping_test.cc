@@ -1,0 +1,127 @@
+// The §4.1 report-grouping behaviors: one underlying bug reached from
+// multiple retry locations produces ONE deduplicated report (crash-stack
+// grouping for HOW bugs; per-structure grouping for cap/delay bugs).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/inject/injector.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+#include "src/testing/oracles.h"
+#include "src/testing/runner.h"
+
+namespace wasabi {
+namespace {
+
+// The HDFS example: the catch block NPEs regardless of which call in the try
+// body failed, so injections at `open` and at `transferHeader` crash with the
+// same stack.
+constexpr const char* kMultiLocationSource = R"(
+class Streamer {
+  Map status = null;
+  String readWithRetry() {
+    for (var retry = 0; retry < 3; retry++) {
+      try {
+        this.allocateBuffers();
+        this.open();
+        return this.transferBody();
+      } catch (SocketException e) {
+        var phase = this.status.get("phase");
+        Log.warn("failed in phase " + phase);
+      }
+    }
+    return null;
+  }
+  void allocateBuffers() throws SocketException {
+    Log.debug("buffers ready");
+  }
+  void open() throws SocketException {
+    this.status = new Map();
+    this.status.put("phase", "open");
+  }
+  String transferBody() throws SocketException {
+    return "body";
+  }
+}
+class StreamerTest {
+  void testRead() {
+    var s = new Streamer();
+    s.readWithRetry();
+  }
+}
+)";
+
+class GroupingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mj::DiagnosticEngine diag;
+    program_.AddUnit(mj::ParseSource("group.mj", kMultiLocationSource, diag));
+    ASSERT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+    index_ = std::make_unique<mj::ProgramIndex>(program_);
+    runner_ = std::make_unique<TestRunner>(program_, *index_);
+  }
+
+  RetryLocation LocationFor(const std::string& retried) {
+    RetryLocation location;
+    location.coordinator = "Streamer.readWithRetry";
+    location.retried_method = "Streamer." + retried;
+    location.exception_name = "SocketException";
+    location.file = "group.mj";
+    return location;
+  }
+
+  std::vector<OracleReport> RunAndEvaluate(const std::string& retried) {
+    FaultInjector injector({InjectionPoint{"Streamer." + retried, "Streamer.readWithRetry",
+                                           "SocketException", kInjectOnce}});
+    TestRunRecord record = runner_->RunTest(TestCase{"StreamerTest.testRead"}, {&injector});
+    return EvaluateOracles(record, LocationFor(retried));
+  }
+
+  mj::Program program_;
+  std::unique_ptr<mj::ProgramIndex> index_;
+  std::unique_ptr<TestRunner> runner_;
+};
+
+TEST_F(GroupingTest, SameCrashStackFromTwoLocationsIsOneBug) {
+  // Injecting at `allocateBuffers` and at `open` — both BEFORE this.status is
+  // constructed — makes the catch handler NPE at the same line with the same
+  // stack: one underlying bug, two retry locations (the paper's HDFS case).
+  std::vector<OracleReport> from_alloc = RunAndEvaluate("allocateBuffers");
+  std::vector<OracleReport> from_open = RunAndEvaluate("open");
+  ASSERT_EQ(from_alloc.size(), 1u);
+  ASSERT_EQ(from_open.size(), 1u);
+  EXPECT_EQ(from_alloc[0].kind, OracleKind::kDifferentException);
+  EXPECT_EQ(from_open[0].kind, OracleKind::kDifferentException);
+  // Same crash stack => same group key => one bug after deduplication.
+  EXPECT_EQ(from_alloc[0].group_key, from_open[0].group_key);
+
+  std::vector<OracleReport> all = from_alloc;
+  all.insert(all.end(), from_open.begin(), from_open.end());
+  EXPECT_EQ(DeduplicateReports(std::move(all)).size(), 1u);
+}
+
+TEST_F(GroupingTest, TransferBodyInjectionDoesNotCrash) {
+  // Injecting at transferBody: open() already set status, so the handler logs
+  // and retries; attempt 2 succeeds. Nothing to report at K=1.
+  std::vector<OracleReport> reports = RunAndEvaluate("transferBody");
+  EXPECT_TRUE(reports.empty()) << (reports.empty() ? "" : reports[0].detail);
+}
+
+TEST_F(GroupingTest, CapAndDelayGroupPerStructureNotPerExceptionType) {
+  // Two different trigger exceptions at the same structure yield cap reports
+  // with the same group key (one missing-cap bug per retry loop, §4.1).
+  OracleReport cap_a;
+  cap_a.kind = OracleKind::kMissingCap;
+  cap_a.location = LocationFor("open");
+  cap_a.group_key = "cap|group.mj|Streamer.readWithRetry";
+  OracleReport cap_b = cap_a;
+  cap_b.location = LocationFor("transferHeader");  // Different location...
+  // ...but the structure-level group key is identical by construction.
+  EXPECT_EQ(DeduplicateReports({cap_a, cap_b}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace wasabi

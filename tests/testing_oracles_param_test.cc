@@ -1,0 +1,176 @@
+// Parameterized property tests for the retry oracles: sweeps over injection
+// budgets (K) and oracle thresholds establish the boundary behavior the paper
+// relies on (K=1 exposes HOW bugs; K=100 trips the cap threshold; the delay
+// oracle needs at least two attempts).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/inject/injector.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+#include "src/testing/oracles.h"
+#include "src/testing/runner.h"
+
+namespace wasabi {
+namespace {
+
+// An uncapped, undelayed retry loop plus a capped, delayed one.
+constexpr const char* kSource = R"(
+class Uncapped {
+  String go() {
+    while (true) {
+      try {
+        return this.op();
+      } catch (TimeoutException e) {
+        Log.warn("retrying");
+      }
+    }
+  }
+  String op() throws TimeoutException { return "v"; }
+}
+class Capped {
+  String go() {
+    var lastError = null;
+    for (var retry = 0; retry < 5; retry++) {
+      try {
+        return this.op();
+      } catch (TimeoutException e) {
+        lastError = e;
+        Thread.sleep(10);
+      }
+    }
+    throw lastError;
+  }
+  String op() throws TimeoutException { return "v"; }
+}
+class SweepTest {
+  void testUncapped() {
+    var u = new Uncapped();
+    u.go();
+  }
+  void testCapped() {
+    var c = new Capped();
+    c.go();
+  }
+}
+)";
+
+class OracleSweepFixture {
+ public:
+  OracleSweepFixture() {
+    mj::DiagnosticEngine diag;
+    program_.AddUnit(mj::ParseSource("sweep.mj", kSource, diag));
+    EXPECT_FALSE(diag.has_errors());
+    index_ = std::make_unique<mj::ProgramIndex>(program_);
+    runner_ = std::make_unique<TestRunner>(program_, *index_);
+  }
+
+  TestRunRecord Run(const std::string& cls, int k) {
+    FaultInjector injector(
+        {InjectionPoint{cls + ".op", cls + ".go", "TimeoutException", k}});
+    std::string test = cls == "Uncapped" ? "SweepTest.testUncapped" : "SweepTest.testCapped";
+    return runner_->RunTest(TestCase{test}, {&injector});
+  }
+
+  static RetryLocation LocationFor(const std::string& cls) {
+    RetryLocation location;
+    location.coordinator = cls + ".go";
+    location.retried_method = cls + ".op";
+    location.exception_name = "TimeoutException";
+    location.file = "sweep.mj";
+    return location;
+  }
+
+ private:
+  mj::Program program_;
+  std::unique_ptr<mj::ProgramIndex> index_;
+  std::unique_ptr<TestRunner> runner_;
+};
+
+OracleSweepFixture& Fixture() {
+  static auto* fixture = new OracleSweepFixture();
+  return *fixture;
+}
+
+// --- Sweep K for the uncapped loop: cap fires iff K >= threshold. -----------
+
+class CapThresholdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CapThresholdSweep, CapOracleFiresExactlyAtThreshold) {
+  int k = GetParam();
+  TestRunRecord record = Fixture().Run("Uncapped", k);
+  OracleOptions options;  // Threshold 100.
+  bool cap = false;
+  bool delay = false;
+  for (const OracleReport& report :
+       EvaluateOracles(record, OracleSweepFixture::LocationFor("Uncapped"), options)) {
+    cap |= report.kind == OracleKind::kMissingCap;
+    delay |= report.kind == OracleKind::kMissingDelay;
+  }
+  EXPECT_EQ(cap, k >= 100) << "K=" << k;
+  // The delay oracle fires from 2 injections onward (no sleeps anywhere).
+  EXPECT_EQ(delay, k >= 2) << "K=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(KValues, CapThresholdSweep,
+                         ::testing::Values(1, 2, 5, 50, 99, 100, 150));
+
+// --- Sweep the cap threshold itself against a fixed K. -----------------------
+
+class ThresholdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdSweep, LowerThresholdsTripOnCappedRetryToo) {
+  int threshold = GetParam();
+  TestRunRecord record = Fixture().Run("Capped", kInjectRepeatedly);  // 5 injections max.
+  OracleOptions options;
+  options.cap_injection_threshold = threshold;
+  bool cap = false;
+  for (const OracleReport& report :
+       EvaluateOracles(record, OracleSweepFixture::LocationFor("Capped"), options)) {
+    cap |= report.kind == OracleKind::kMissingCap;
+  }
+  // The capped loop performs exactly 5 attempts: thresholds <= 5 flag it
+  // (over-strict policy), thresholds > 5 stay quiet.
+  EXPECT_EQ(cap, threshold <= 5) << "threshold=" << threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep, ::testing::Values(2, 5, 6, 20, 100));
+
+// --- Delay-oracle minimum-injection boundary. -----------------------------------
+
+class DelayMinSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelayMinSweep, DelayOracleRespectsMinimumInjections) {
+  int min_injections = GetParam();
+  TestRunRecord record = Fixture().Run("Uncapped", 3);  // Exactly 3 injections.
+  OracleOptions options;
+  options.delay_min_injections = min_injections;
+  bool delay = false;
+  for (const OracleReport& report :
+       EvaluateOracles(record, OracleSweepFixture::LocationFor("Uncapped"), options)) {
+    delay |= report.kind == OracleKind::kMissingDelay;
+  }
+  EXPECT_EQ(delay, min_injections <= 3) << "min=" << min_injections;
+}
+
+INSTANTIATE_TEST_SUITE_P(Minimums, DelayMinSweep, ::testing::Values(2, 3, 4, 10));
+
+// --- The capped loop is clean under every K. --------------------------------------
+
+class CappedCleanSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CappedCleanSweep, WellBehavedRetryNeverReported) {
+  TestRunRecord record = Fixture().Run("Capped", GetParam());
+  std::vector<OracleReport> reports =
+      EvaluateOracles(record, OracleSweepFixture::LocationFor("Capped"));
+  EXPECT_TRUE(reports.empty()) << "K=" << GetParam() << " first report: "
+                               << (reports.empty() ? "" : reports[0].detail);
+}
+
+INSTANTIATE_TEST_SUITE_P(KValues, CappedCleanSweep, ::testing::Values(1, 2, 4, 5, 100));
+
+}  // namespace
+}  // namespace wasabi

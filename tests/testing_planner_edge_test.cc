@@ -1,0 +1,151 @@
+// Edge cases for the injection planner and the config-restoration scanner.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+#include "src/testing/config_restore.h"
+#include "src/testing/coverage.h"
+
+namespace wasabi {
+namespace {
+
+// --- Planner ------------------------------------------------------------------
+
+TEST(PlannerEdgeTest, EmptyCoverageYieldsEmptyPlan) {
+  CoverageMap coverage;
+  EXPECT_TRUE(PlanInjections(coverage, 10).empty());
+  EXPECT_TRUE(NaivePlan(coverage).empty());
+}
+
+TEST(PlannerEdgeTest, ZeroLocationsYieldsEmptyPlan) {
+  CoverageMap coverage;
+  coverage["T.test1"] = {};
+  EXPECT_TRUE(PlanInjections(coverage, 0).empty());
+}
+
+TEST(PlannerEdgeTest, UncoverableLocationsAreSimplyAbsent) {
+  CoverageMap coverage;
+  coverage["T.test1"] = {0};  // Location 1 is never covered by anything.
+  std::vector<PlanEntry> plan = PlanInjections(coverage, 2);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].location_index, 0u);
+}
+
+TEST(PlannerEdgeTest, OneTestCoveringManyLocationsGetsThemAcrossPasses) {
+  CoverageMap coverage;
+  coverage["T.only"] = {0, 1, 2, 3};
+  std::vector<PlanEntry> plan = PlanInjections(coverage, 4);
+  ASSERT_EQ(plan.size(), 4u);
+  std::vector<bool> covered(4, false);
+  for (const PlanEntry& entry : plan) {
+    EXPECT_EQ(entry.test, "T.only");
+    EXPECT_FALSE(covered[entry.location_index]);
+    covered[entry.location_index] = true;
+  }
+}
+
+TEST(PlannerEdgeTest, RoundRobinSpreadsOverTestsBeforeRepeating) {
+  // Two tests each covering both locations: the plan should use both tests.
+  CoverageMap coverage;
+  coverage["T.a"] = {0, 1};
+  coverage["T.b"] = {0, 1};
+  std::vector<PlanEntry> plan = PlanInjections(coverage, 2);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_NE(plan[0].test, plan[1].test);
+}
+
+TEST(PlannerEdgeTest, OutOfRangeIndicesInCoverageAreIgnored) {
+  CoverageMap coverage;
+  coverage["T.a"] = {0, 99};  // 99 is out of range for location_count 1.
+  std::vector<PlanEntry> plan = PlanInjections(coverage, 1);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].location_index, 0u);
+}
+
+// --- Config restoration ---------------------------------------------------------
+
+mj::Program ParseProgram(const std::string& source) {
+  mj::Program program;
+  mj::DiagnosticEngine diag;
+  program.AddUnit(mj::ParseSource("t/test/XTest.mj", source, diag));
+  EXPECT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+  return program;
+}
+
+TEST(ConfigRestoreEdgeTest, IgnoresLargeValuesAndNonRetryKeys) {
+  mj::Program program = ParseProgram(R"(
+    class XTest {
+      void testA() {
+        Config.set("x.retry.max", 50);        // Large: a real setting, keep.
+        Config.set("x.timeout.ms", 1);        // Not retry-ish.
+        Config.set("x.attempt.limit", 2);     // Restricting: restore.
+      }
+    }
+  )");
+  ConfigRestorationResult result = ScanTestsForRetryRestrictions(program);
+  ASSERT_EQ(result.restrictions.size(), 1u);
+  EXPECT_EQ(result.restrictions[0].key, "x.attempt.limit");
+}
+
+TEST(ConfigRestoreEdgeTest, IgnoresNonLiteralArguments) {
+  mj::Program program = ParseProgram(R"(
+    class XTest {
+      void testA() {
+        var key = "x.retry.max";
+        var value = 1;
+        Config.set(key, value);     // Dynamic: the static scan cannot see it.
+        Config.set("x.retry.max", value);
+      }
+    }
+  )");
+  EXPECT_TRUE(ScanTestsForRetryRestrictions(program).restrictions.empty());
+}
+
+TEST(ConfigRestoreEdgeTest, OnlyTestClassesAreScanned) {
+  mj::Program program;
+  mj::DiagnosticEngine diag;
+  program.AddUnit(mj::ParseSource("t/App.mj", R"(
+    class App {
+      void tighten() {
+        Config.set("app.retry.max", 0);  // Application code, not a test.
+      }
+    }
+  )", diag));
+  ASSERT_FALSE(diag.has_errors());
+  EXPECT_TRUE(ScanTestsForRetryRestrictions(program).restrictions.empty());
+}
+
+TEST(ConfigRestoreEdgeTest, DuplicateKeysFrozenOnce) {
+  mj::Program program = ParseProgram(R"(
+    class XTest {
+      void testA() {
+        Config.set("x.retry.max", 1);
+      }
+      void testB() {
+        Config.set("x.retry.max", 0);
+      }
+    }
+  )");
+  ConfigRestorationResult result = ScanTestsForRetryRestrictions(program);
+  EXPECT_EQ(result.restrictions.size(), 2u);
+  EXPECT_EQ(result.keys_to_freeze.size(), 1u);
+}
+
+TEST(ConfigRestoreEdgeTest, NegativeValuesAreNotRestrictions) {
+  // A negative cap is a different bug class (HDFS-15439), not a deliberate
+  // test restriction; the scanner leaves it alone.
+  mj::Program program = ParseProgram(R"(
+    class XTest {
+      void testA() {
+        Config.set("x.retry.max", 0 - 1);
+      }
+    }
+  )");
+  EXPECT_TRUE(ScanTestsForRetryRestrictions(program).restrictions.empty());
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,24 @@
+# Dumps the corpus to disk, then re-analyzes one application from the files:
+# the CLI's file-loading path must reproduce the in-memory pipeline.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(COMMAND "${WASABI_CLI}" dump-corpus "${WORK_DIR}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dump-corpus failed: ${rc}")
+endif()
+execute_process(COMMAND "${WASABI_CLI}" identify "${WORK_DIR}/cassandra"
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "identify failed: ${rc}")
+endif()
+if(NOT out MATCHES "retry structures")
+  message(FATAL_ERROR "identify output unexpected: ${out}")
+endif()
+execute_process(COMMAND "${WASABI_CLI}" test "${WORK_DIR}/cassandra" --json
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "test failed: ${rc}")
+endif()
+if(NOT out MATCHES "missing-cap")
+  message(FATAL_ERROR "expected a missing-cap report, got: ${out}")
+endif()

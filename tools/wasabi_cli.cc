@@ -1,0 +1,238 @@
+// wasabi — command-line driver for the retry-bug detection toolkit.
+//
+// Usage:
+//   wasabi dump-corpus <dir>          write the 8 evaluation applications' mj
+//                                     sources (and MANIFEST.txt) under <dir>
+//   wasabi identify <dir>             retry-structure inventory for the mj
+//                                     sources under <dir> (recursive)
+//   wasabi static <dir>               static workflow: LLM WHEN bugs + IF
+//                                     retry-ratio outliers
+//   wasabi test <dir>                 dynamic workflow: repurposed unit tests
+//                                     with fault injection and oracles
+//   wasabi study                      print the §2 issue-study summary
+//
+// Directory layout convention: every *.mj file is part of the application;
+// classes whose names end in "Test" are unit tests. The directory's base name
+// is used as the application name in reports.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/report_json.h"
+#include "src/core/wasabi.h"
+#include "src/corpus/corpus.h"
+#include "src/lang/parser.h"
+#include "src/study/study.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using namespace wasabi;
+
+int Usage() {
+  std::cerr << "usage: wasabi <dump-corpus|identify|static|test|study> [dir] [--json]\n";
+  return 2;
+}
+
+// Loads every .mj file under `root` (recursively) into a program. Paths are
+// recorded relative to `root` so reports are readable.
+bool LoadProgram(const fs::path& root, mj::Program& program) {
+  mj::DiagnosticEngine diag;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end && !ec;
+       it.increment(ec)) {
+    if (it->is_regular_file() && it->path().extension() == ".mj") {
+      files.push_back(it->path());
+    }
+  }
+  if (ec) {
+    std::cerr << "error: cannot read " << root << ": " << ec.message() << "\n";
+    return false;
+  }
+  if (files.empty()) {
+    std::cerr << "error: no .mj files under " << root << "\n";
+    return false;
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string name = fs::relative(file, root, ec).generic_string();
+    program.AddUnit(mj::ParseSource(name, text.str(), diag));
+  }
+  if (diag.has_errors()) {
+    std::cerr << diag.FormatAll(nullptr);
+    return false;
+  }
+  return true;
+}
+
+int DumpCorpus(const fs::path& root) {
+  for (const std::string& name : CorpusAppNames()) {
+    CorpusApp app = BuildCorpusApp(name);
+    std::ostringstream manifest;
+    manifest << "# Seeded bugs for " << app.display_name << "\n";
+    for (const SeededBug& bug : app.bugs) {
+      manifest << bug.id << "\t" << BugTypeName(bug.type) << "\t" << bug.coordinator << "\t"
+               << bug.note << "\n";
+    }
+    for (const auto& unit : app.program.units()) {
+      fs::path out_path = root / unit->file().name();
+      std::error_code ec;
+      fs::create_directories(out_path.parent_path(), ec);
+      std::ofstream out(out_path);
+      out << unit->file().text();
+    }
+    fs::path manifest_path = root / name / "MANIFEST.txt";
+    std::ofstream out(manifest_path);
+    out << manifest.str();
+    std::cout << "wrote " << app.source_files << " files + manifest under "
+              << (root / name).generic_string() << "\n";
+  }
+  return 0;
+}
+
+WasabiOptions OptionsFor(const fs::path& root) {
+  WasabiOptions options;
+  options.app_name = root.filename().generic_string();
+  if (options.app_name.empty()) {
+    options.app_name = "app";
+  }
+  return options;
+}
+
+int Identify(const fs::path& root) {
+  mj::Program program;
+  if (!LoadProgram(root, program)) {
+    return 1;
+  }
+  mj::ProgramIndex index(program);
+  Wasabi tool(program, index, OptionsFor(root));
+  IdentificationResult result = tool.IdentifyRetryStructures();
+  std::cout << result.structures.size() << " retry structures ("
+            << result.candidate_loops_without_keyword_filter
+            << " candidate loops before keyword filtering):\n";
+  for (const RetryStructure& structure : result.structures) {
+    std::cout << "  " << structure.file << ":" << structure.location.line << "\t"
+              << structure.coordinator << "\t" << RetryMechanismName(structure.mechanism)
+              << "\t"
+              << (structure.found_by.both()    ? "codeql+llm"
+                  : structure.found_by.codeql ? "codeql"
+                                              : "llm")
+              << "\t" << structure.locations.size() << " location(s)\n";
+  }
+  return 0;
+}
+
+int StaticWorkflow(const fs::path& root, bool json) {
+  mj::Program program;
+  if (!LoadProgram(root, program)) {
+    return 1;
+  }
+  mj::ProgramIndex index(program);
+  Wasabi tool(program, index, OptionsFor(root));
+  StaticResult result = tool.RunStaticWorkflow();
+  if (json) {
+    std::vector<BugReport> all = result.when_bugs;
+    all.insert(all.end(), result.if_bugs.begin(), result.if_bugs.end());
+    std::cout << BugReportsToJson(all);
+    return 0;
+  }
+  std::cout << result.when_bugs.size() << " WHEN report(s):\n";
+  for (const BugReport& bug : result.when_bugs) {
+    std::cout << "  " << bug.file << ":" << bug.location.line << "\t" << BugTypeName(bug.type)
+              << "\t" << bug.coordinator << "\n";
+  }
+  std::cout << result.if_bugs.size() << " IF report(s):\n";
+  for (const BugReport& bug : result.if_bugs) {
+    std::cout << "  " << bug.file << ":" << bug.location.line << "\t" << bug.exception << "\t"
+              << bug.detail << "\n";
+  }
+  std::cout << "LLM usage: " << result.llm_usage.calls << " calls, ~"
+            << result.llm_usage.prompt_tokens << " tokens\n";
+  return 0;
+}
+
+int DynamicWorkflow(const fs::path& root, bool json) {
+  mj::Program program;
+  if (!LoadProgram(root, program)) {
+    return 1;
+  }
+  mj::ProgramIndex index(program);
+  Wasabi tool(program, index, OptionsFor(root));
+  DynamicResult result = tool.RunDynamicWorkflow();
+  if (json) {
+    std::cout << BugReportsToJson(result.bugs);
+    return 0;
+  }
+  std::cout << result.total_tests << " unit tests, " << result.tests_covering_retry
+            << " cover retry; " << result.planned_runs << " injected runs (naive: "
+            << result.naive_runs << ")\n";
+  std::cout << result.bugs.size() << " bug report(s):\n";
+  for (const BugReport& bug : result.bugs) {
+    std::cout << "  " << bug.file << ":" << bug.location.line << "\t" << BugTypeName(bug.type)
+              << "\t" << bug.coordinator << "\n\t" << bug.detail << "\n";
+  }
+  return 0;
+}
+
+int Study() {
+  std::cout << "70 studied retry issues across 6 applications.\n\nBy root cause:\n";
+  for (auto [cause, count] : StudyCountByRootCause()) {
+    std::cout << "  " << StudyRootCauseName(cause) << ": " << count << "\n";
+  }
+  std::cout << "\nBy mechanism:\n";
+  for (auto [mechanism, count] : StudyCountByMechanism()) {
+    std::cout << "  " << RetryMechanismName(mechanism) << ": " << count << "\n";
+  }
+  std::cout << "\nNamed issues:\n";
+  for (const StudyIssue& issue : StudyDataset()) {
+    if (issue.pinned) {
+      std::cout << "  " << issue.id << " — " << issue.summary << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  if (command == "study") {
+    return Study();
+  }
+  if (argc < 3) {
+    return Usage();
+  }
+  fs::path root = argv[2];
+  bool json = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json = true;
+    }
+  }
+  if (command == "dump-corpus") {
+    return DumpCorpus(root);
+  }
+  if (command == "identify") {
+    return Identify(root);
+  }
+  if (command == "static") {
+    return StaticWorkflow(root, json);
+  }
+  if (command == "test") {
+    return DynamicWorkflow(root, json);
+  }
+  return Usage();
+}
