@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_keywords.dir/ablation_keywords.cc.o"
+  "CMakeFiles/ablation_keywords.dir/ablation_keywords.cc.o.d"
+  "ablation_keywords"
+  "ablation_keywords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_keywords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_oracles.dir/ablation_oracles.cc.o"
+  "CMakeFiles/ablation_oracles.dir/ablation_oracles.cc.o.d"
+  "ablation_oracles"
+  "ablation_oracles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oracles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

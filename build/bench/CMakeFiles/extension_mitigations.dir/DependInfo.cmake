@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extension_mitigations.cc" "bench/CMakeFiles/extension_mitigations.dir/extension_mitigations.cc.o" "gcc" "bench/CMakeFiles/extension_mitigations.dir/extension_mitigations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wasabi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/wasabi_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/wasabi_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/testing/CMakeFiles/wasabi_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/wasabi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/wasabi_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/wasabi_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/wasabi_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

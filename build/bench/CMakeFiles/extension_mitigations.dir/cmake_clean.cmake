@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_mitigations.dir/extension_mitigations.cc.o"
+  "CMakeFiles/extension_mitigations.dir/extension_mitigations.cc.o.d"
+  "extension_mitigations"
+  "extension_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

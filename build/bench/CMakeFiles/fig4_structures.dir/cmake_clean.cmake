@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_structures.dir/fig4_structures.cc.o"
+  "CMakeFiles/fig4_structures.dir/fig4_structures.cc.o.d"
+  "fig4_structures"
+  "fig4_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

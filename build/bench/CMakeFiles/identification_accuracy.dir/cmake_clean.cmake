@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identification_accuracy.dir/identification_accuracy.cc.o"
+  "CMakeFiles/identification_accuracy.dir/identification_accuracy.cc.o.d"
+  "identification_accuracy"
+  "identification_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identification_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/if_outliers.dir/if_outliers.cc.o"
+  "CMakeFiles/if_outliers.dir/if_outliers.cc.o.d"
+  "if_outliers"
+  "if_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/if_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_findings.dir/study_findings.cc.o"
+  "CMakeFiles/study_findings.dir/study_findings.cc.o.d"
+  "study_findings"
+  "study_findings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

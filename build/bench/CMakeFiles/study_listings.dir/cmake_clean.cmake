@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_listings.dir/study_listings.cc.o"
+  "CMakeFiles/study_listings.dir/study_listings.cc.o.d"
+  "study_listings"
+  "study_listings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_listings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for study_listings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_study_apps.dir/table1_study_apps.cc.o"
+  "CMakeFiles/table1_study_apps.dir/table1_study_apps.cc.o.d"
+  "table1_study_apps"
+  "table1_study_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_study_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_unit_testing.dir/table3_unit_testing.cc.o"
+  "CMakeFiles/table3_unit_testing.dir/table3_unit_testing.cc.o.d"
+  "table3_unit_testing"
+  "table3_unit_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_unit_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_llm_detector.dir/table4_llm_detector.cc.o"
+  "CMakeFiles/table4_llm_detector.dir/table4_llm_detector.cc.o.d"
+  "table4_llm_detector"
+  "table4_llm_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_llm_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

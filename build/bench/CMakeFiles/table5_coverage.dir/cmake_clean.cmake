@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_coverage.dir/table5_coverage.cc.o"
+  "CMakeFiles/table5_coverage.dir/table5_coverage.cc.o.d"
+  "table5_coverage"
+  "table5_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

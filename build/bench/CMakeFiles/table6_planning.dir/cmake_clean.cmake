@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_planning.dir/table6_planning.cc.o"
+  "CMakeFiles/table6_planning.dir/table6_planning.cc.o.d"
+  "table6_planning"
+  "table6_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

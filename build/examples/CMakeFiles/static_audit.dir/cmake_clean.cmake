@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_audit.dir/static_audit.cpp.o"
+  "CMakeFiles/static_audit.dir/static_audit.cpp.o.d"
+  "static_audit"
+  "static_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

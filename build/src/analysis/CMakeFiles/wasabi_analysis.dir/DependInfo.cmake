@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cc" "src/analysis/CMakeFiles/wasabi_analysis.dir/cfg.cc.o" "gcc" "src/analysis/CMakeFiles/wasabi_analysis.dir/cfg.cc.o.d"
+  "/root/repo/src/analysis/if_outliers.cc" "src/analysis/CMakeFiles/wasabi_analysis.dir/if_outliers.cc.o" "gcc" "src/analysis/CMakeFiles/wasabi_analysis.dir/if_outliers.cc.o.d"
+  "/root/repo/src/analysis/retry_finder.cc" "src/analysis/CMakeFiles/wasabi_analysis.dir/retry_finder.cc.o" "gcc" "src/analysis/CMakeFiles/wasabi_analysis.dir/retry_finder.cc.o.d"
+  "/root/repo/src/analysis/retry_model.cc" "src/analysis/CMakeFiles/wasabi_analysis.dir/retry_model.cc.o" "gcc" "src/analysis/CMakeFiles/wasabi_analysis.dir/retry_model.cc.o.d"
+  "/root/repo/src/analysis/type_infer.cc" "src/analysis/CMakeFiles/wasabi_analysis.dir/type_infer.cc.o" "gcc" "src/analysis/CMakeFiles/wasabi_analysis.dir/type_infer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/wasabi_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

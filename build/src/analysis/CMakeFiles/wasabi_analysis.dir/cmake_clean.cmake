@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_analysis.dir/cfg.cc.o"
+  "CMakeFiles/wasabi_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/wasabi_analysis.dir/if_outliers.cc.o"
+  "CMakeFiles/wasabi_analysis.dir/if_outliers.cc.o.d"
+  "CMakeFiles/wasabi_analysis.dir/retry_finder.cc.o"
+  "CMakeFiles/wasabi_analysis.dir/retry_finder.cc.o.d"
+  "CMakeFiles/wasabi_analysis.dir/retry_model.cc.o"
+  "CMakeFiles/wasabi_analysis.dir/retry_model.cc.o.d"
+  "CMakeFiles/wasabi_analysis.dir/type_infer.cc.o"
+  "CMakeFiles/wasabi_analysis.dir/type_infer.cc.o.d"
+  "libwasabi_analysis.a"
+  "libwasabi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

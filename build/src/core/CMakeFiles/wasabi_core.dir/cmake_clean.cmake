@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_core.dir/report.cc.o"
+  "CMakeFiles/wasabi_core.dir/report.cc.o.d"
+  "CMakeFiles/wasabi_core.dir/report_json.cc.o"
+  "CMakeFiles/wasabi_core.dir/report_json.cc.o.d"
+  "CMakeFiles/wasabi_core.dir/scoring.cc.o"
+  "CMakeFiles/wasabi_core.dir/scoring.cc.o.d"
+  "CMakeFiles/wasabi_core.dir/wasabi.cc.o"
+  "CMakeFiles/wasabi_core.dir/wasabi.cc.o.d"
+  "libwasabi_core.a"
+  "libwasabi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

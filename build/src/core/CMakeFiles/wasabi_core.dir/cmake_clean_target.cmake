@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwasabi_core.a"
+)

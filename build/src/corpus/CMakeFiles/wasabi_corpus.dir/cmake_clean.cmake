@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_corpus.dir/corpus.cc.o"
+  "CMakeFiles/wasabi_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/wasabi_corpus.dir/generator.cc.o"
+  "CMakeFiles/wasabi_corpus.dir/generator.cc.o.d"
+  "libwasabi_corpus.a"
+  "libwasabi_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_inject.dir/injector.cc.o"
+  "CMakeFiles/wasabi_inject.dir/injector.cc.o.d"
+  "libwasabi_inject.a"
+  "libwasabi_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

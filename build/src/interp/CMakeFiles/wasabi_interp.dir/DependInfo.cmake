@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/exec_log.cc" "src/interp/CMakeFiles/wasabi_interp.dir/exec_log.cc.o" "gcc" "src/interp/CMakeFiles/wasabi_interp.dir/exec_log.cc.o.d"
+  "/root/repo/src/interp/interpreter.cc" "src/interp/CMakeFiles/wasabi_interp.dir/interpreter.cc.o" "gcc" "src/interp/CMakeFiles/wasabi_interp.dir/interpreter.cc.o.d"
+  "/root/repo/src/interp/value.cc" "src/interp/CMakeFiles/wasabi_interp.dir/value.cc.o" "gcc" "src/interp/CMakeFiles/wasabi_interp.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/wasabi_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_interp.dir/exec_log.cc.o"
+  "CMakeFiles/wasabi_interp.dir/exec_log.cc.o.d"
+  "CMakeFiles/wasabi_interp.dir/interpreter.cc.o"
+  "CMakeFiles/wasabi_interp.dir/interpreter.cc.o.d"
+  "CMakeFiles/wasabi_interp.dir/value.cc.o"
+  "CMakeFiles/wasabi_interp.dir/value.cc.o.d"
+  "libwasabi_interp.a"
+  "libwasabi_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

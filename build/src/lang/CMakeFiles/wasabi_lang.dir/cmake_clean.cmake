@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_lang.dir/ast.cc.o"
+  "CMakeFiles/wasabi_lang.dir/ast.cc.o.d"
+  "CMakeFiles/wasabi_lang.dir/diagnostics.cc.o"
+  "CMakeFiles/wasabi_lang.dir/diagnostics.cc.o.d"
+  "CMakeFiles/wasabi_lang.dir/lexer.cc.o"
+  "CMakeFiles/wasabi_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/wasabi_lang.dir/parser.cc.o"
+  "CMakeFiles/wasabi_lang.dir/parser.cc.o.d"
+  "CMakeFiles/wasabi_lang.dir/printer.cc.o"
+  "CMakeFiles/wasabi_lang.dir/printer.cc.o.d"
+  "CMakeFiles/wasabi_lang.dir/sema.cc.o"
+  "CMakeFiles/wasabi_lang.dir/sema.cc.o.d"
+  "CMakeFiles/wasabi_lang.dir/source.cc.o"
+  "CMakeFiles/wasabi_lang.dir/source.cc.o.d"
+  "CMakeFiles/wasabi_lang.dir/token.cc.o"
+  "CMakeFiles/wasabi_lang.dir/token.cc.o.d"
+  "libwasabi_lang.a"
+  "libwasabi_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_llm.dir/sim_llm.cc.o"
+  "CMakeFiles/wasabi_llm.dir/sim_llm.cc.o.d"
+  "libwasabi_llm.a"
+  "libwasabi_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_study.dir/listings.cc.o"
+  "CMakeFiles/wasabi_study.dir/listings.cc.o.d"
+  "CMakeFiles/wasabi_study.dir/study.cc.o"
+  "CMakeFiles/wasabi_study.dir/study.cc.o.d"
+  "libwasabi_study.a"
+  "libwasabi_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_testing.dir/config_restore.cc.o"
+  "CMakeFiles/wasabi_testing.dir/config_restore.cc.o.d"
+  "CMakeFiles/wasabi_testing.dir/coverage.cc.o"
+  "CMakeFiles/wasabi_testing.dir/coverage.cc.o.d"
+  "CMakeFiles/wasabi_testing.dir/oracles.cc.o"
+  "CMakeFiles/wasabi_testing.dir/oracles.cc.o.d"
+  "CMakeFiles/wasabi_testing.dir/runner.cc.o"
+  "CMakeFiles/wasabi_testing.dir/runner.cc.o.d"
+  "libwasabi_testing.a"
+  "libwasabi_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

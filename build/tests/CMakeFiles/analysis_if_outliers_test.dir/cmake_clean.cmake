@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_if_outliers_test.dir/analysis_if_outliers_test.cc.o"
+  "CMakeFiles/analysis_if_outliers_test.dir/analysis_if_outliers_test.cc.o.d"
+  "analysis_if_outliers_test"
+  "analysis_if_outliers_test.pdb"
+  "analysis_if_outliers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_if_outliers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_retry_finder_test.dir/analysis_retry_finder_test.cc.o"
+  "CMakeFiles/analysis_retry_finder_test.dir/analysis_retry_finder_test.cc.o.d"
+  "analysis_retry_finder_test"
+  "analysis_retry_finder_test.pdb"
+  "analysis_retry_finder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_retry_finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

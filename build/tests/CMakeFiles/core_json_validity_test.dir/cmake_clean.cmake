@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_json_validity_test.dir/core_json_validity_test.cc.o"
+  "CMakeFiles/core_json_validity_test.dir/core_json_validity_test.cc.o.d"
+  "core_json_validity_test"
+  "core_json_validity_test.pdb"
+  "core_json_validity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_json_validity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_wasabi_test.dir/core_wasabi_test.cc.o"
+  "CMakeFiles/core_wasabi_test.dir/core_wasabi_test.cc.o.d"
+  "core_wasabi_test"
+  "core_wasabi_test.pdb"
+  "core_wasabi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_wasabi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inject_injector_test.dir/inject_injector_test.cc.o"
+  "CMakeFiles/inject_injector_test.dir/inject_injector_test.cc.o.d"
+  "inject_injector_test"
+  "inject_injector_test.pdb"
+  "inject_injector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inject_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

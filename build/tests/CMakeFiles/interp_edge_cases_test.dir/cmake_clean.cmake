@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_edge_cases_test.dir/interp_edge_cases_test.cc.o"
+  "CMakeFiles/interp_edge_cases_test.dir/interp_edge_cases_test.cc.o.d"
+  "interp_edge_cases_test"
+  "interp_edge_cases_test.pdb"
+  "interp_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

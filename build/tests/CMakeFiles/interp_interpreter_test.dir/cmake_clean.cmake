@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_interpreter_test.dir/interp_interpreter_test.cc.o"
+  "CMakeFiles/interp_interpreter_test.dir/interp_interpreter_test.cc.o.d"
+  "interp_interpreter_test"
+  "interp_interpreter_test.pdb"
+  "interp_interpreter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_robustness_test.dir/lang_robustness_test.cc.o"
+  "CMakeFiles/lang_robustness_test.dir/lang_robustness_test.cc.o.d"
+  "lang_robustness_test"
+  "lang_robustness_test.pdb"
+  "lang_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

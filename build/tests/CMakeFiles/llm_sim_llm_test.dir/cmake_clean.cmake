@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_sim_llm_test.dir/llm_sim_llm_test.cc.o"
+  "CMakeFiles/llm_sim_llm_test.dir/llm_sim_llm_test.cc.o.d"
+  "llm_sim_llm_test"
+  "llm_sim_llm_test.pdb"
+  "llm_sim_llm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_sim_llm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

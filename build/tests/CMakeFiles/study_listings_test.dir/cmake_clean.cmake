@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_listings_test.dir/study_listings_test.cc.o"
+  "CMakeFiles/study_listings_test.dir/study_listings_test.cc.o.d"
+  "study_listings_test"
+  "study_listings_test.pdb"
+  "study_listings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_listings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

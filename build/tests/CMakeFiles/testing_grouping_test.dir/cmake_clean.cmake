@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testing_grouping_test.dir/testing_grouping_test.cc.o"
+  "CMakeFiles/testing_grouping_test.dir/testing_grouping_test.cc.o.d"
+  "testing_grouping_test"
+  "testing_grouping_test.pdb"
+  "testing_grouping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testing_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testing_oracles_param_test.dir/testing_oracles_param_test.cc.o"
+  "CMakeFiles/testing_oracles_param_test.dir/testing_oracles_param_test.cc.o.d"
+  "testing_oracles_param_test"
+  "testing_oracles_param_test.pdb"
+  "testing_oracles_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testing_oracles_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testing_pipeline_test.dir/testing_pipeline_test.cc.o"
+  "CMakeFiles/testing_pipeline_test.dir/testing_pipeline_test.cc.o.d"
+  "testing_pipeline_test"
+  "testing_pipeline_test.pdb"
+  "testing_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testing_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

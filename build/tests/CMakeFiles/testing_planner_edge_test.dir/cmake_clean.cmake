@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testing_planner_edge_test.dir/testing_planner_edge_test.cc.o"
+  "CMakeFiles/testing_planner_edge_test.dir/testing_planner_edge_test.cc.o.d"
+  "testing_planner_edge_test"
+  "testing_planner_edge_test.pdb"
+  "testing_planner_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testing_planner_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_cli.dir/wasabi_cli.cc.o"
+  "CMakeFiles/wasabi_cli.dir/wasabi_cli.cc.o.d"
+  "wasabi"
+  "wasabi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_study "/root/repo/build/tools/wasabi" "study")
+set_tests_properties(cli_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_roundtrip "/usr/bin/cmake" "-DWASABI_CLI=/root/repo/build/tools/wasabi" "-DWORK_DIR=/root/repo/build/tools/cli_roundtrip" "-P" "/root/repo/tools/cli_roundtrip_test.cmake")
+set_tests_properties(cli_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
