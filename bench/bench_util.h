@@ -29,23 +29,28 @@ inline WasabiOptions DefaultOptionsFor(const CorpusApp& app) {
   WasabiOptions options;
   options.app_name = app.name;
   options.default_configs = app.default_configs;
+  options.jobs = 0;  // Benches use every hardware thread; output is identical.
   return options;
 }
 
-inline AppRun RunAppWorkflows(const std::string& name) {
+// `jobs`: campaign workers (0 = all hardware threads, 1 = serial). Reports
+// are byte-identical for any value; only wall-clock changes.
+inline AppRun RunAppWorkflows(const std::string& name, int jobs = 0) {
   AppRun run;
   run.app = BuildCorpusApp(name);
-  Wasabi wasabi(run.app.program, *run.app.index, DefaultOptionsFor(run.app));
+  WasabiOptions options = DefaultOptionsFor(run.app);
+  options.jobs = jobs;
+  Wasabi wasabi(run.app.program, *run.app.index, options);
   run.identification = wasabi.IdentifyRetryStructures();
   run.dynamic = wasabi.RunDynamicWorkflow();
   run.statics = wasabi.RunStaticWorkflow();
   return run;
 }
 
-inline std::vector<AppRun> RunFullCorpusWorkflows() {
+inline std::vector<AppRun> RunFullCorpusWorkflows(int jobs = 0) {
   std::vector<AppRun> runs;
   for (const std::string& name : CorpusAppNames()) {
-    runs.push_back(RunAppWorkflows(name));
+    runs.push_back(RunAppWorkflows(name, jobs));
   }
   return runs;
 }

@@ -1,0 +1,106 @@
+// Scaling benchmark for the parallel injection-campaign executor: the Table 3
+// campaign (the full dynamic workflow over all eight corpus applications) at
+// 1/2/4/8 workers. Identification is memoized per Wasabi instance, so after a
+// warmup pass the timed region is the coverage pass + injected runs — the two
+// phases §4.3 shows dominate wall clock — fanned out by the executor.
+//
+// Besides the human-readable table, a JSON record (first argument, default
+// micro_campaign.json) captures seconds/speedup per worker level plus the
+// host's hardware concurrency, so CI can track scaling and interpret runs on
+// machines with fewer cores than workers.
+//
+// Every level's bug reports are checked byte-identical against the serial
+// JSON — the executor's determinism contract, enforced here too, not just in
+// the unit tests.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/report_json.h"
+#include "src/exec/task_pool.h"
+
+int main(int argc, char** argv) {
+  using namespace wasabi;
+  using Clock = std::chrono::steady_clock;
+  const std::string json_path = argc > 1 ? argv[1] : "micro_campaign.json";
+
+  PrintHeading("Campaign-executor scaling on the Table 3 workload", "Section 4.3");
+  std::cout << "hardware threads available: " << DefaultJobCount() << "\n\n";
+
+  // Front-load the corpus: parse + index once, one Wasabi per app whose
+  // identification memo is filled by the warmup pass below.
+  std::vector<CorpusApp> apps = BuildFullCorpus();
+  std::vector<std::unique_ptr<Wasabi>> tools;
+  tools.reserve(apps.size());
+  for (CorpusApp& app : apps) {
+    WasabiOptions options = DefaultOptionsFor(app);
+    options.jobs = 1;
+    tools.push_back(std::make_unique<Wasabi>(app.program, *app.index, options));
+  }
+
+  auto run_all = [&](int jobs) {
+    std::string json;
+    for (auto& tool : tools) {
+      tool->set_jobs(jobs);
+      json += BugReportsToJson(tool->RunDynamicWorkflow().bugs);
+    }
+    return json;
+  };
+
+  const std::string reference_json = run_all(1);  // Warmup; fills the memos.
+
+  const int kLevels[] = {1, 2, 4, 8};
+  const int kReps = 3;
+  double level_seconds[4] = {0, 0, 0, 0};
+  bool deterministic = true;
+  for (size_t level = 0; level < 4; ++level) {
+    double best = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Clock::time_point start = Clock::now();
+      std::string json = run_all(kLevels[level]);
+      double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      if (rep == 0 || seconds < best) {
+        best = seconds;
+      }
+      if (json != reference_json) {
+        deterministic = false;
+      }
+    }
+    level_seconds[level] = best;
+  }
+
+  TablePrinter table({"Workers", "Seconds (best of 3)", "Speedup vs serial", "Efficiency"});
+  for (size_t level = 0; level < 4; ++level) {
+    double speedup = level_seconds[level] > 0 ? level_seconds[0] / level_seconds[level] : 0;
+    std::ostringstream sec;
+    sec << std::fixed << std::setprecision(3) << level_seconds[level];
+    std::ostringstream spd;
+    spd << std::fixed << std::setprecision(2) << speedup << "x";
+    table.AddRow({std::to_string(kLevels[level]), sec.str(), spd.str(),
+                  Percent(speedup, kLevels[level])});
+  }
+  table.Print();
+  std::cout << "\nAll worker levels produced byte-identical bug reports: "
+            << (deterministic ? "yes" : "NO — DETERMINISM VIOLATION") << "\n";
+  if (DefaultJobCount() < 4) {
+    std::cout << "note: host has fewer than 4 hardware threads; wall-clock speedup is\n"
+              << "bounded by the cores actually available, not by the executor.\n";
+  }
+
+  std::ofstream out(json_path);
+  out << "{\"bench\":\"micro_campaign\",\"hardware_concurrency\":" << DefaultJobCount()
+      << ",\"deterministic\":" << (deterministic ? "true" : "false") << ",\"levels\":[";
+  for (size_t level = 0; level < 4; ++level) {
+    double speedup = level_seconds[level] > 0 ? level_seconds[0] / level_seconds[level] : 0;
+    out << (level > 0 ? "," : "") << "{\"jobs\":" << kLevels[level] << ",\"seconds\":"
+        << level_seconds[level] << ",\"speedup\":" << speedup << "}";
+  }
+  out << "]}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return deterministic ? 0 : 1;
+}

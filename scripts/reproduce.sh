@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# One-shot reproduction: configure, build, run the full test suite, and
-# regenerate every table/figure of the paper, capturing the outputs the
-# repository documents in EXPERIMENTS.md.
+# One-shot reproduction: configure, build, run the test suites (fast tier-1
+# first, then the corpus-wide full suite), regenerate every table/figure of
+# the paper, and — when the toolchain supports it — re-run the concurrency
+# tests under ThreadSanitizer.
 #
 #   scripts/reproduce.sh [build-dir]
 set -euo pipefail
@@ -12,6 +13,10 @@ build_dir="${1:-$repo_root/build}"
 cmake -B "$build_dir" -G Ninja -S "$repo_root"
 cmake --build "$build_dir"
 
+# Tier-1: the fast unit suite. Fail here and stop before the expensive parts.
+ctest --test-dir "$build_dir" -L tier1 --output-on-failure
+
+# Full suite (tier-1 again plus the corpus-wide end-to-end tests).
 ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
 
 {
@@ -23,6 +28,20 @@ ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
     fi
   done
 } 2>&1 | tee "$repo_root/bench_output.txt"
+
+# ThreadSanitizer pass over the campaign-executor concurrency tests (label
+# "exec"), in a separate build tree so the main artifacts stay uninstrumented.
+# Skipped quietly when the compiler can't link TSan (e.g. musl toolchains).
+if echo 'int main(){return 0;}' |
+   c++ -x c++ -fsanitize=thread -o /tmp/wasabi_tsan_probe - 2>/dev/null; then
+  rm -f /tmp/wasabi_tsan_probe
+  cmake -B "$build_dir-tsan" -G Ninja -S "$repo_root" -DWASABI_TSAN=ON
+  cmake --build "$build_dir-tsan"
+  ctest --test-dir "$build_dir-tsan" -L exec --output-on-failure \
+    2>&1 | tee "$repo_root/tsan_output.txt"
+else
+  echo "note: compiler does not support -fsanitize=thread; skipping TSan pass"
+fi
 
 echo
 echo "Done. Test results: test_output.txt; table/figure outputs: bench_output.txt"

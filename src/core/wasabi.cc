@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/exec/campaign.h"
+#include "src/exec/task_pool.h"
 #include "src/inject/injector.h"
 #include "src/testing/config_restore.h"
 
@@ -54,6 +56,10 @@ std::vector<BugReport> CollateStaticWithDynamic(const std::vector<BugReport>& st
 }
 
 IdentificationResult Wasabi::IdentifyRetryStructures() {
+  std::lock_guard<std::mutex> lock(identification_mutex_);
+  if (identification_memo_.has_value()) {
+    return *identification_memo_;  // Front-loaded: analyze once per instance.
+  }
   IdentificationResult result;
   RetryFinder finder(program_, index_, options_.finder);
 
@@ -126,7 +132,8 @@ IdentificationResult Wasabi::IdentifyRetryStructures() {
 
   result.structures = std::move(structures);
   result.llm_usage = llm.usage();
-  return result;
+  identification_memo_ = std::move(result);
+  return *identification_memo_;
 }
 
 std::vector<BugReport> Wasabi::ToBugReports(const std::vector<OracleReport>& reports) const {
@@ -196,9 +203,15 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
   std::vector<TestCase> tests = runner.DiscoverTests();
   result.total_tests = tests.size();
 
+  // Worker pool shared by the coverage pass and the injection campaign. Every
+  // run builds a fresh Interpreter over the shared immutable Program/index,
+  // so the only cross-run state is read-only.
+  TaskPool pool(options_.jobs);
+  result.jobs_used = pool.worker_count();
+
   // Coverage discovery run (one run of every test).
   phase_start = Clock::now();
-  result.coverage = MapCoverage(runner, tests, result.locations);
+  result.coverage = MapCoverageParallel(runner, tests, result.locations, pool);
   result.coverage_seconds = seconds_since(phase_start);
   result.tests_covering_retry = result.coverage.size();
 
@@ -220,29 +233,33 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
   result.naive_runs = NaivePlan(result.coverage).size() * 2;
   result.planned_runs = plan.size() * 2;
 
+  // Fan the campaign out over the pool; evaluate oracles serially over the
+  // id-ordered results, which is exactly the order the serial loop produced
+  // (plan-entry-major, K-minor) — worker scheduling cannot change the output.
   phase_start = Clock::now();
+  std::vector<CampaignRunSpec> specs =
+      ExpandPlan(plan, result.locations, {kInjectOnce, kInjectRepeatedly});
+  std::vector<CampaignRunResult> campaign =
+      ExecuteCampaign(runner, result.locations, specs, pool);
+
   std::vector<OracleReport> all_reports;
-  for (const PlanEntry& entry : plan) {
-    const RetryLocation& location = result.locations[entry.location_index];
-    for (int k : {kInjectOnce, kInjectRepeatedly}) {
-      FaultInjector injector({InjectionPoint{location.retried_method, location.coordinator,
-                                             location.exception_name, k}});
-      TestRunRecord record = runner.RunTest(TestCase{entry.test}, {&injector});
-      if (options_.use_oracles) {
-        std::vector<OracleReport> reports = EvaluateOracles(record, location, options_.oracles);
-        all_reports.insert(all_reports.end(), reports.begin(), reports.end());
-      } else {
-        // Oracle ablation (§4.4): every test failure is naively reported.
-        if (record.outcome.status != TestStatus::kPassed) {
-          OracleReport report;
-          report.kind = OracleKind::kDifferentException;
-          report.test = entry.test;
-          report.location = location;
-          report.detail = "test failed: " + std::string(TestStatusName(record.outcome.status)) +
-                          " " + record.outcome.exception_class;
-          report.group_key = "naive|" + location.Key() + "|" + record.outcome.exception_class;
-          all_reports.push_back(std::move(report));
-        }
+  for (const CampaignRunResult& run : campaign) {
+    const RetryLocation& location = result.locations[run.location_index];
+    if (options_.use_oracles) {
+      std::vector<OracleReport> reports = EvaluateOracles(run.record, location, options_.oracles);
+      all_reports.insert(all_reports.end(), reports.begin(), reports.end());
+    } else {
+      // Oracle ablation (§4.4): every test failure is naively reported.
+      if (run.record.outcome.status != TestStatus::kPassed) {
+        OracleReport report;
+        report.kind = OracleKind::kDifferentException;
+        report.test = run.record.test.qualified_name;
+        report.location = location;
+        report.detail = "test failed: " +
+                        std::string(TestStatusName(run.record.outcome.status)) + " " +
+                        run.record.outcome.exception_class;
+        report.group_key = "naive|" + location.Key() + "|" + run.record.outcome.exception_class;
+        all_reports.push_back(std::move(report));
       }
     }
   }

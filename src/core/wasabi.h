@@ -10,6 +10,8 @@
 #define WASABI_SRC_CORE_WASABI_H_
 
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -38,6 +40,11 @@ struct WasabiOptions {
   bool use_planner = true;       // Off reproduces Table 6 "w/o planning".
   bool use_oracles = true;       // Off reproduces the §4.4 oracle ablation.
   bool restore_configs = true;
+  // Worker threads for the dynamic workflow's coverage pass and injection
+  // campaign. 1 = strictly serial on the calling thread; 0 = one worker per
+  // hardware thread. Results are byte-identical for every setting: runs carry
+  // stable ids and the reducer consumes them in id order.
+  int jobs = 1;
 };
 
 // Merged output of both identification techniques (Figure 4).
@@ -61,6 +68,7 @@ struct DynamicResult {
   size_t planned_runs = 0;         // Injected runs executed (with planning).
   size_t naive_runs = 0;           // Runs a plan-less WASABI would execute.
   size_t config_restrictions_restored = 0;
+  int jobs_used = 1;               // Workers the campaign executor ran with.
   // Wall-clock phase breakdown (§4.3: test execution dominates; the coverage
   // discovery pass alone is a significant share; static analysis is <1%).
   double identification_seconds = 0.0;
@@ -89,11 +97,19 @@ class Wasabi {
  public:
   Wasabi(const mj::Program& program, const mj::ProgramIndex& index, WasabiOptions options = {});
 
+  // Identification parses nothing (the Program is already an AST) but runs
+  // the full CFG + SimLLM analysis, so its result is memoized per instance:
+  // the corpus is analyzed once up front and every later workflow — including
+  // repeated campaigns at different worker counts — reuses the same immutable
+  // structures. The memo is mutex-guarded so concurrent callers are safe.
   IdentificationResult IdentifyRetryStructures();
   DynamicResult RunDynamicWorkflow();
   StaticResult RunStaticWorkflow();
 
   const WasabiOptions& options() const { return options_; }
+  // Re-runs of the dynamic workflow may change only the worker count; the
+  // analysis memo and every report stay identical by construction.
+  void set_jobs(int jobs) { options_.jobs = jobs; }
 
  private:
   std::vector<BugReport> ToBugReports(const std::vector<OracleReport>& reports) const;
@@ -101,6 +117,8 @@ class Wasabi {
   const mj::Program& program_;
   const mj::ProgramIndex& index_;
   WasabiOptions options_;
+  std::mutex identification_mutex_;
+  std::optional<IdentificationResult> identification_memo_;
 };
 
 }  // namespace wasabi

@@ -1,0 +1,77 @@
+#include "src/exec/campaign.h"
+
+#include <algorithm>
+
+namespace wasabi {
+
+std::vector<CampaignRunSpec> ExpandPlan(const std::vector<PlanEntry>& plan,
+                                        const std::vector<RetryLocation>& locations,
+                                        const std::vector<int>& k_values) {
+  std::vector<CampaignRunSpec> specs;
+  specs.reserve(plan.size() * k_values.size());
+  for (const PlanEntry& entry : plan) {
+    if (entry.location_index >= locations.size()) {
+      continue;  // Defensive: the planner never emits these.
+    }
+    for (int k : k_values) {
+      CampaignRunSpec spec;
+      spec.id = specs.size();
+      spec.test = TestCase{entry.test};
+      spec.location_index = entry.location_index;
+      spec.k = k;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::vector<CampaignRunResult> ExecuteCampaign(const TestRunner& runner,
+                                               const std::vector<RetryLocation>& locations,
+                                               const std::vector<CampaignRunSpec>& specs,
+                                               TaskPool& pool) {
+  std::vector<CampaignRunResult> results(specs.size());
+  pool.ParallelFor(specs.size(), [&](size_t i) {
+    const CampaignRunSpec& spec = specs[i];
+    const RetryLocation& location = locations[spec.location_index];
+    // Per-run injector: counts and log entries are private to this run.
+    FaultInjector injector({InjectionPoint{location.retried_method, location.coordinator,
+                                           location.exception_name, spec.k}});
+    CampaignRunResult& result = results[i];
+    result.id = spec.id;
+    result.location_index = spec.location_index;
+    result.k = spec.k;
+    result.record = runner.RunTest(spec.test, {&injector});
+  });
+  // Slot i already holds run id i, but sort anyway so the invariant "reducer
+  // output is id-ordered" survives any future scheduling change.
+  std::sort(results.begin(), results.end(),
+            [](const CampaignRunResult& a, const CampaignRunResult& b) { return a.id < b.id; });
+  return results;
+}
+
+CoverageMap MapCoverageParallel(const TestRunner& runner, const std::vector<TestCase>& tests,
+                                const std::vector<RetryLocation>& locations, TaskPool& pool) {
+  std::vector<std::vector<size_t>> hits(tests.size());
+  pool.ParallelFor(tests.size(), [&](size_t i) {
+    CoverageRecorder recorder(&locations);
+    runner.RunTest(tests[i], {&recorder});
+    hits[i] = recorder.hits();
+  });
+  CoverageMap coverage;
+  for (size_t i = 0; i < tests.size(); ++i) {
+    if (!hits[i].empty()) {
+      coverage[tests[i].qualified_name] = std::move(hits[i]);
+    }
+  }
+  return coverage;
+}
+
+ExecutionLog MergeCampaignLogs(const std::vector<CampaignRunResult>& results) {
+  ExecutionLog merged;
+  for (const CampaignRunResult& result : results) {
+    merged.AppendAll(result.record.log);
+  }
+  return merged;
+}
+
+}  // namespace wasabi

@@ -1,0 +1,68 @@
+// Parallel fault-injection campaign executor (§3.1 dynamic workflow, scaled).
+//
+// The planner emits {test, location} pairs; each pair is executed under every
+// K setting, so a campaign is a flat list of independent runs. Runs share only
+// immutable state — the parsed Program and its ProgramIndex are built once and
+// never mutated after construction — while every run gets a fresh Interpreter
+// (own environment, virtual clock, singletons, execution log) and its own
+// FaultInjector, so workers never share a mutable sink.
+//
+// Determinism: every run carries a stable id assigned in expansion order
+// (plan-entry-major, K-minor). The reducer orders results by that id before
+// any downstream consumer (oracles, report grouping, JSON) sees them, so the
+// output is byte-identical for any worker count and any scheduling.
+
+#ifndef WASABI_SRC_EXEC_CAMPAIGN_H_
+#define WASABI_SRC_EXEC_CAMPAIGN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exec/task_pool.h"
+#include "src/testing/coverage.h"
+#include "src/testing/runner.h"
+
+namespace wasabi {
+
+// One unit of campaign work: run `test` while injecting at `location_index`
+// with budget `k`.
+struct CampaignRunSpec {
+  uint64_t id = 0;  // Stable: position in expansion order.
+  TestCase test;
+  size_t location_index = 0;
+  int k = kInjectOnce;
+};
+
+struct CampaignRunResult {
+  uint64_t id = 0;
+  size_t location_index = 0;
+  int k = kInjectOnce;
+  TestRunRecord record;  // Holds this run's private execution log.
+};
+
+// Expands the plan into run specs: for each entry, one spec per K value, in
+// the order given. Ids number the specs 0..n-1.
+std::vector<CampaignRunSpec> ExpandPlan(const std::vector<PlanEntry>& plan,
+                                        const std::vector<RetryLocation>& locations,
+                                        const std::vector<int>& k_values);
+
+// Executes every spec on the pool and returns the results sorted by run id.
+std::vector<CampaignRunResult> ExecuteCampaign(const TestRunner& runner,
+                                               const std::vector<RetryLocation>& locations,
+                                               const std::vector<CampaignRunSpec>& specs,
+                                               TaskPool& pool);
+
+// The coverage-discovery pass (one clean run of every test, each with its own
+// CoverageRecorder) on the pool. Produces exactly the map the serial
+// MapCoverage produces: keyed and ordered by test name, empty runs omitted.
+CoverageMap MapCoverageParallel(const TestRunner& runner, const std::vector<TestCase>& tests,
+                                const std::vector<RetryLocation>& locations, TaskPool& pool);
+
+// Merges the per-run logs into one campaign-wide log, runs in id order and
+// entries in per-run append order — the deterministic reduce-time counterpart
+// of the old "one shared log" view, with no concurrent appends anywhere.
+ExecutionLog MergeCampaignLogs(const std::vector<CampaignRunResult>& results);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_EXEC_CAMPAIGN_H_

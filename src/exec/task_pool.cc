@@ -1,0 +1,148 @@
+#include "src/exec/task_pool.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wasabi {
+
+int DefaultJobCount() {
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+TaskPool::TaskPool(int workers) {
+  worker_count_ = workers <= 0 ? DefaultJobCount() : workers;
+  slots_ = std::vector<Slot>(static_cast<size_t>(worker_count_));
+  threads_.reserve(static_cast<size_t>(worker_count_ - 1));
+  for (int w = 1; w < worker_count_; ++w) {
+    threads_.emplace_back([this, w] { WorkLoop(w); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+bool TaskPool::PopOwn(int worker, size_t* index) {
+  std::atomic<uint64_t>& range = slots_[static_cast<size_t>(worker)].range;
+  uint64_t bits = range.load(std::memory_order_acquire);
+  while (true) {
+    uint32_t next = RangeNext(bits);
+    uint32_t end = RangeEnd(bits);
+    if (next >= end) {
+      return false;
+    }
+    if (range.compare_exchange_weak(bits, Pack(next + 1, end), std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      *index = next;
+      return true;
+    }
+  }
+}
+
+bool TaskPool::Steal(int worker, size_t* index) {
+  for (int offset = 1; offset < worker_count_; ++offset) {
+    int victim = (worker + offset) % worker_count_;
+    std::atomic<uint64_t>& range = slots_[static_cast<size_t>(victim)].range;
+    uint64_t bits = range.load(std::memory_order_acquire);
+    while (true) {
+      uint32_t next = RangeNext(bits);
+      uint32_t end = RangeEnd(bits);
+      if (next >= end) {
+        break;  // Victim is empty; try the next one.
+      }
+      // Take the back half (rounded up, so a 1-element range is stealable).
+      uint32_t take = (end - next + 1) / 2;
+      uint32_t split = end - take;
+      if (!range.compare_exchange_weak(bits, Pack(next, split), std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        continue;  // Lost a race against the owner or another thief; re-read.
+      }
+      // Own the stolen range [split, end). Our own slot is empty (Steal only
+      // runs after PopOwn failed) and only this thread installs into it, so a
+      // plain store is safe; other thieves may immediately steal from it.
+      slots_[static_cast<size_t>(worker)].range.store(Pack(split + 1, end),
+                                                      std::memory_order_release);
+      *index = split;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskPool::RunJob(int worker) {
+  while (job_pending_.load(std::memory_order_acquire) > 0) {
+    size_t index;
+    if (PopOwn(worker, &index) || Steal(worker, &index)) {
+      try {
+        (*job_fn_)(index);
+      } catch (...) {
+        job_failed_.store(true, std::memory_order_relaxed);
+      }
+      job_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void TaskPool::WorkLoop(int worker) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_cv_.wait(lock, [&] { return shutdown_ || job_generation_ != seen_generation; });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = job_generation_;
+    }
+    RunJob(worker);
+  }
+}
+
+void TaskPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (worker_count_ == 1) {
+    // Strictly serial on the calling thread; no scheduling at all.
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  assert(count <= UINT32_MAX);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_failed_.store(false, std::memory_order_relaxed);
+    job_pending_.store(count, std::memory_order_release);
+    // One contiguous chunk per worker; the imbalance is what stealing fixes.
+    size_t base = count / static_cast<size_t>(worker_count_);
+    size_t remainder = count % static_cast<size_t>(worker_count_);
+    size_t begin = 0;
+    for (int w = 0; w < worker_count_; ++w) {
+      size_t length = base + (static_cast<size_t>(w) < remainder ? 1 : 0);
+      slots_[static_cast<size_t>(w)].range.store(
+          Pack(static_cast<uint32_t>(begin), static_cast<uint32_t>(begin + length)),
+          std::memory_order_release);
+      begin += length;
+    }
+    ++job_generation_;
+  }
+  job_cv_.notify_all();
+  RunJob(0);  // The caller is worker 0; returns once every index completed.
+  if (job_failed_.load(std::memory_order_relaxed)) {
+    throw std::runtime_error("TaskPool: a parallel task threw an exception");
+  }
+}
+
+}  // namespace wasabi

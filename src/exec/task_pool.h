@@ -1,0 +1,83 @@
+// Work-stealing thread pool for the parallel injection-campaign executor.
+//
+// Each ParallelFor splits [0, count) into one contiguous chunk per worker.
+// A worker pops indices from the front of its own chunk; when its chunk runs
+// dry it steals the back half of the largest-looking victim chunk. Ranges are
+// packed {next, end} in a single 64-bit atomic so both pop and steal are one
+// CAS — no locks on the hot path, and chunks stay contiguous, which keeps the
+// per-run interpreter allocations cache-friendly.
+//
+// The calling thread participates as worker 0, so TaskPool(1) never spawns a
+// thread and executes strictly serially on the caller — the property the
+// determinism tests rely on to compare serial and parallel campaigns.
+
+#ifndef WASABI_SRC_EXEC_TASK_POOL_H_
+#define WASABI_SRC_EXEC_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wasabi {
+
+// hardware_concurrency, never less than 1.
+int DefaultJobCount();
+
+class TaskPool {
+ public:
+  // `workers` is the TOTAL worker count including the calling thread;
+  // <= 0 means DefaultJobCount().
+  explicit TaskPool(int workers = 0);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int worker_count() const { return worker_count_; }
+
+  // Runs fn(index) for every index in [0, count), distributed over the
+  // workers, and blocks until all calls have returned. fn must be safe to
+  // call concurrently for distinct indices. Rethrows (as std::runtime_error)
+  // if any call threw. Not reentrant: one ParallelFor at a time.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  // Packed index range owned by one worker: next in the high 32 bits, end in
+  // the low 32. Padded to a cache line so pops and steals don't false-share.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> range{0};
+  };
+
+  static uint64_t Pack(uint32_t next, uint32_t end) {
+    return (static_cast<uint64_t>(next) << 32) | end;
+  }
+  static uint32_t RangeNext(uint64_t bits) { return static_cast<uint32_t>(bits >> 32); }
+  static uint32_t RangeEnd(uint64_t bits) { return static_cast<uint32_t>(bits); }
+
+  bool PopOwn(int worker, size_t* index);
+  // Steals the back half of some victim's remaining range into `worker`'s own
+  // slot and pops from it. False when every slot is empty.
+  bool Steal(int worker, size_t* index);
+  void RunJob(int worker);
+  void WorkLoop(int worker);
+
+  int worker_count_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  uint64_t job_generation_ = 0;
+  std::atomic<size_t> job_pending_{0};  // Indices not yet fully executed.
+  std::atomic<bool> job_failed_{false};
+  bool shutdown_ = false;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_EXEC_TASK_POOL_H_

@@ -10,6 +10,7 @@
 #ifndef WASABI_SRC_INTERP_EXEC_LOG_H_
 #define WASABI_SRC_INTERP_EXEC_LOG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -40,11 +41,21 @@ struct LogEntry {
   std::vector<std::string> call_stack;
 };
 
+// A log belongs to exactly one run (one Interpreter): Append is never called
+// concurrently. Parallel campaigns keep one log per run and combine them with
+// AppendAll at reduce time, in stable run-id order — there is no shared
+// mutable sink for workers to race on.
 class ExecutionLog {
  public:
   void Append(LogEntry entry) { entries_.push_back(std::move(entry)); }
   const std::vector<LogEntry>& entries() const { return entries_; }
   void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+
+  // Reduce-time merge: appends a whole finished run's entries, in order.
+  void AppendAll(const ExecutionLog& other) {
+    entries_.insert(entries_.end(), other.entries_.begin(), other.entries_.end());
+  }
 
   // Rendering for debugging and EXPERIMENTS.md excerpts.
   std::string Dump() const;

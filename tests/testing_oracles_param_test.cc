@@ -46,6 +46,19 @@ class Capped {
   }
   String op() throws TimeoutException { return "v"; }
 }
+class Subclassing {
+  String go() throws SocketTimeoutException {
+    for (var retry = 0; retry < 3; retry++) {
+      try {
+        return this.op();
+      } catch (IOException e) {
+        throw new SocketTimeoutException("gave up after io failure");
+      }
+    }
+    return "";
+  }
+  String op() throws IOException { return "v"; }
+}
 class SweepTest {
   void testUncapped() {
     var u = new Uncapped();
@@ -54,6 +67,10 @@ class SweepTest {
   void testCapped() {
     var c = new Capped();
     c.go();
+  }
+  void testSubclassing() {
+    var s = new Subclassing();
+    s.go();
   }
 }
 )";
@@ -70,18 +87,21 @@ class OracleSweepFixture {
 
   TestRunRecord Run(const std::string& cls, int k) {
     FaultInjector injector(
-        {InjectionPoint{cls + ".op", cls + ".go", "TimeoutException", k}});
-    std::string test = cls == "Uncapped" ? "SweepTest.testUncapped" : "SweepTest.testCapped";
-    return runner_->RunTest(TestCase{test}, {&injector});
+        {InjectionPoint{cls + ".op", cls + ".go", TriggerFor(cls), k}});
+    return runner_->RunTest(TestCase{"SweepTest.test" + cls}, {&injector});
   }
 
   static RetryLocation LocationFor(const std::string& cls) {
     RetryLocation location;
     location.coordinator = cls + ".go";
     location.retried_method = cls + ".op";
-    location.exception_name = "TimeoutException";
+    location.exception_name = TriggerFor(cls);
     location.file = "sweep.mj";
     return location;
+  }
+
+  static std::string TriggerFor(const std::string& cls) {
+    return cls == "Subclassing" ? "IOException" : "TimeoutException";
   }
 
  private:
@@ -171,6 +191,59 @@ TEST_P(CappedCleanSweep, WellBehavedRetryNeverReported) {
 }
 
 INSTANTIATE_TEST_SUITE_P(KValues, CappedCleanSweep, ::testing::Values(1, 2, 4, 5, 100));
+
+// --- K=0: an armed-but-exhausted injector must be a no-op. -------------------
+
+class ZeroBudgetSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZeroBudgetSweep, ZeroInjectionBudgetInjectsNothingAndReportsNothing) {
+  TestRunRecord record = Fixture().Run(GetParam(), 0);
+  ASSERT_EQ(record.injection_counts.size(), 1u);
+  EXPECT_EQ(record.injection_counts[0], 0);
+  EXPECT_EQ(record.outcome.status, TestStatus::kPassed);
+  EXPECT_TRUE(
+      EvaluateOracles(record, OracleSweepFixture::LocationFor(GetParam())).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, ZeroBudgetSweep,
+                         ::testing::Values("Uncapped", "Capped", "Subclassing"));
+
+// --- Retry cap exactly equal to K: correct give-up, not a bug. ---------------
+
+TEST(OracleBoundaries, CapEqualToBudgetIsCorrectGiveUpBehavior) {
+  // Capped retries 5 times; a budget of exactly 5 forces every attempt to fail
+  // and the loop to give up by rethrowing the last (injected) exception.
+  TestRunRecord record = Fixture().Run("Capped", 5);
+  ASSERT_EQ(record.injection_counts.size(), 1u);
+  EXPECT_EQ(record.injection_counts[0], 5);
+  EXPECT_EQ(record.outcome.status, TestStatus::kException);
+  EXPECT_EQ(record.outcome.exception_class, "TimeoutException");
+  // Rethrowing the trigger itself is correct behavior: no oracle may fire —
+  // not different-exception (same class) and not missing-cap (5 < 100).
+  EXPECT_TRUE(EvaluateOracles(record, OracleSweepFixture::LocationFor("Capped")).empty());
+}
+
+// --- Subclass of the trigger is still a DIFFERENT exception. ----------------
+
+TEST(OracleBoundaries, RethrownSubclassOfTriggerCountsAsDifferentException) {
+  // Subclassing.go catches the injected IOException and gives up with a
+  // SocketTimeoutException — a SUBCLASS of the trigger. The oracle matches
+  // exception classes exactly (the paper's log-based check), so the subclass
+  // is evidence of a HOW bug, not absorbed as a rethrow. Pinned here so a
+  // future "subsumption-aware" comparison is a deliberate change.
+  TestRunRecord record = Fixture().Run("Subclassing", kInjectOnce);
+  EXPECT_EQ(record.outcome.status, TestStatus::kException);
+  EXPECT_EQ(record.outcome.exception_class, "SocketTimeoutException");
+
+  std::vector<OracleReport> reports =
+      EvaluateOracles(record, OracleSweepFixture::LocationFor("Subclassing"));
+  bool different = false;
+  for (const OracleReport& report : reports) {
+    different |= report.kind == OracleKind::kDifferentException;
+  }
+  EXPECT_TRUE(different)
+      << "subclass rethrow must trip the different-exception oracle";
+}
 
 }  // namespace
 }  // namespace wasabi

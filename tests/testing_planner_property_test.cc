@@ -1,0 +1,137 @@
+// Property tests for the §3.1.4 injection planner over seeded-random coverage
+// maps. The planner's contract, regardless of coverage shape:
+//
+//   1. every coverable location (one some test hits) appears in the plan;
+//   2. no location appears twice — the whole point of planning vs. naive;
+//   3. every plan entry is backed by the coverage map (the named test really
+//      hits the named location, and the index is in range);
+//   4. the naive baseline contains every {test, covered location} pair exactly
+//      once, so the Table 6 run-count comparison is apples to apples.
+//
+// Seeds are fixed so runs are reproducible; sizes sweep from empty to maps
+// larger than any corpus app produces (~64 locations x ~40 tests).
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/testing/coverage.h"
+
+namespace wasabi {
+namespace {
+
+struct RandomCase {
+  uint64_t seed;
+  size_t location_count;
+  size_t test_count;
+};
+
+// Builds a coverage map the way MapCoverage would: per test, a subset of
+// location indices in a scrambled first-hit order; tests that hit nothing are
+// omitted from the map entirely.
+CoverageMap MakeCoverage(const RandomCase& config, std::mt19937_64& rng) {
+  CoverageMap coverage;
+  std::bernoulli_distribution hit(0.3);
+  for (size_t t = 0; t < config.test_count; ++t) {
+    std::vector<size_t> hits;
+    for (size_t loc = 0; loc < config.location_count; ++loc) {
+      if (hit(rng)) {
+        hits.push_back(loc);
+      }
+    }
+    std::shuffle(hits.begin(), hits.end(), rng);
+    if (!hits.empty()) {
+      coverage["Test" + std::to_string(t) + ".testCase"] = hits;
+    }
+  }
+  return coverage;
+}
+
+std::set<size_t> CoverableLocations(const CoverageMap& coverage, size_t location_count) {
+  std::set<size_t> coverable;
+  for (const auto& [test, hits] : coverage) {
+    for (size_t index : hits) {
+      if (index < location_count) {
+        coverable.insert(index);
+      }
+    }
+  }
+  return coverable;
+}
+
+class PlannerPropertyTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(PlannerPropertyTest, GreedyPlanCoversEveryCoverableLocationExactlyOnce) {
+  const RandomCase& config = GetParam();
+  std::mt19937_64 rng(config.seed);
+  const CoverageMap coverage = MakeCoverage(config, rng);
+  const std::set<size_t> coverable = CoverableLocations(coverage, config.location_count);
+
+  const std::vector<PlanEntry> plan = PlanInjections(coverage, config.location_count);
+
+  // Exactly one entry per coverable location — no misses, no duplicates.
+  std::set<size_t> planned;
+  for (const PlanEntry& entry : plan) {
+    EXPECT_LT(entry.location_index, config.location_count);
+    EXPECT_TRUE(planned.insert(entry.location_index).second)
+        << "location " << entry.location_index << " planned twice";
+  }
+  EXPECT_EQ(planned, coverable);
+  EXPECT_EQ(plan.size(), coverable.size());
+
+  // Every entry is backed by coverage: the chosen test really hits it.
+  for (const PlanEntry& entry : plan) {
+    auto it = coverage.find(entry.test);
+    ASSERT_NE(it, coverage.end()) << "planned test not in coverage map: " << entry.test;
+    EXPECT_NE(std::find(it->second.begin(), it->second.end(), entry.location_index),
+              it->second.end())
+        << entry.test << " does not cover location " << entry.location_index;
+  }
+}
+
+TEST_P(PlannerPropertyTest, NaivePlanIsEveryCoveredPairExactlyOnce) {
+  const RandomCase& config = GetParam();
+  std::mt19937_64 rng(config.seed);
+  const CoverageMap coverage = MakeCoverage(config, rng);
+
+  const std::vector<PlanEntry> naive = NaivePlan(coverage);
+
+  std::set<std::pair<std::string, size_t>> expected;
+  for (const auto& [test, hits] : coverage) {
+    for (size_t index : hits) {
+      expected.emplace(test, index);
+    }
+  }
+  std::set<std::pair<std::string, size_t>> actual;
+  for (const PlanEntry& entry : naive) {
+    EXPECT_TRUE(actual.emplace(entry.test, entry.location_index).second)
+        << "naive pair duplicated: " << entry.test << " @ " << entry.location_index;
+  }
+  EXPECT_EQ(actual, expected);
+
+  // Planning never runs MORE experiments than the naive baseline.
+  EXPECT_LE(PlanInjections(coverage, config.location_count).size(), naive.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeededRandomMaps, PlannerPropertyTest,
+    ::testing::Values(RandomCase{0x5eed0001, 0, 0}, RandomCase{0x5eed0002, 1, 1},
+                      RandomCase{0x5eed0003, 5, 3}, RandomCase{0x5eed0004, 8, 20},
+                      RandomCase{0x5eed0005, 16, 10}, RandomCase{0x5eed0006, 32, 25},
+                      RandomCase{0x5eed0007, 48, 40}, RandomCase{0x5eed0008, 64, 40},
+                      RandomCase{0x5eed0009, 64, 5}, RandomCase{0x5eed000a, 3, 40}),
+    [](const ::testing::TestParamInfo<RandomCase>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed & 0xff) + "_L" +
+             std::to_string(param_info.param.location_count) + "_T" +
+             std::to_string(param_info.param.test_count);
+    });
+
+}  // namespace
+}  // namespace wasabi

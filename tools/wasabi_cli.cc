@@ -11,11 +11,18 @@
 //                                     with fault injection and oracles
 //   wasabi study                      print the §2 issue-study summary
 //
+// Options:
+//   --json                            machine-readable bug reports
+//   --jobs N                          worker threads for the injection
+//                                     campaign (default: all hardware
+//                                     threads; output is identical for any N)
+//
 // Directory layout convention: every *.mj file is part of the application;
 // classes whose names end in "Test" are unit tests. The directory's base name
 // is used as the application name in reports.
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -36,7 +43,8 @@ namespace {
 using namespace wasabi;
 
 int Usage() {
-  std::cerr << "usage: wasabi <dump-corpus|identify|static|test|study> [dir] [--json]\n";
+  std::cerr << "usage: wasabi <dump-corpus|identify|static|test|study> [dir] [--json]"
+               " [--jobs N]\n";
   return 2;
 }
 
@@ -161,13 +169,15 @@ int StaticWorkflow(const fs::path& root, bool json) {
   return 0;
 }
 
-int DynamicWorkflow(const fs::path& root, bool json) {
+int DynamicWorkflow(const fs::path& root, bool json, int jobs) {
   mj::Program program;
   if (!LoadProgram(root, program)) {
     return 1;
   }
   mj::ProgramIndex index(program);
-  Wasabi tool(program, index, OptionsFor(root));
+  WasabiOptions options = OptionsFor(root);
+  options.jobs = jobs;
+  Wasabi tool(program, index, options);
   DynamicResult result = tool.RunDynamicWorkflow();
   if (json) {
     std::cout << BugReportsToJson(result.bugs);
@@ -175,7 +185,7 @@ int DynamicWorkflow(const fs::path& root, bool json) {
   }
   std::cout << result.total_tests << " unit tests, " << result.tests_covering_retry
             << " cover retry; " << result.planned_runs << " injected runs (naive: "
-            << result.naive_runs << ")\n";
+            << result.naive_runs << ") on " << result.jobs_used << " worker(s)\n";
   std::cout << result.bugs.size() << " bug report(s):\n";
   for (const BugReport& bug : result.bugs) {
     std::cout << "  " << bug.file << ":" << bug.location.line << "\t" << BugTypeName(bug.type)
@@ -217,9 +227,19 @@ int main(int argc, char** argv) {
   }
   fs::path root = argv[2];
   bool json = false;
+  int jobs = 0;  // 0 = all hardware threads (DefaultJobCount).
   for (int i = 3; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
+    std::string arg = argv[i];
+    if (arg == "--json") {
       json = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      char* end = nullptr;
+      jobs = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || jobs < 0) {
+        return Usage();
+      }
+    } else {
+      return Usage();
     }
   }
   if (command == "dump-corpus") {
@@ -232,7 +252,7 @@ int main(int argc, char** argv) {
     return StaticWorkflow(root, json);
   }
   if (command == "test") {
-    return DynamicWorkflow(root, json);
+    return DynamicWorkflow(root, json, jobs);
   }
   return Usage();
 }
