@@ -23,6 +23,7 @@
 #include "bench/bench_util.h"
 #include "src/core/report_json.h"
 #include "src/exec/task_pool.h"
+#include "src/obs/metrics.h"
 
 int main(int argc, char** argv) {
   using namespace wasabi;
@@ -43,29 +44,47 @@ int main(int argc, char** argv) {
     tools.push_back(std::make_unique<Wasabi>(app.program, *app.index, options));
   }
 
-  auto run_all = [&](int jobs) {
+  // A fresh registry per timed pass: pool.* counters from the facade's
+  // ExportPoolMetrics give per-level worker utilization (busy time over
+  // wall time x workers), steals, and task counts.
+  auto run_all = [&](int jobs, MetricsRegistry* metrics) {
     std::string json;
     for (auto& tool : tools) {
       tool->set_jobs(jobs);
+      tool->set_observability(nullptr, metrics);
       json += BugReportsToJson(tool->RunDynamicWorkflow().bugs);
+      tool->set_observability(nullptr, nullptr);
     }
     return json;
   };
 
-  const std::string reference_json = run_all(1);  // Warmup; fills the memos.
+  const std::string reference_json = run_all(1, nullptr);  // Warmup; fills the memos.
 
+  struct PoolSample {
+    int64_t tasks = 0;
+    int64_t steals = 0;
+    double utilization = 0;  // Mean across the 8 per-app campaigns.
+  };
   const int kLevels[] = {1, 2, 4, 8};
   const int kReps = 3;
   double level_seconds[4] = {0, 0, 0, 0};
+  PoolSample level_pool[4];
   bool deterministic = true;
   for (size_t level = 0; level < 4; ++level) {
     double best = 0;
     for (int rep = 0; rep < kReps; ++rep) {
+      MetricsRegistry metrics;
       Clock::time_point start = Clock::now();
-      std::string json = run_all(kLevels[level]);
+      std::string json = run_all(kLevels[level], &metrics);
       double seconds = std::chrono::duration<double>(Clock::now() - start).count();
       if (rep == 0 || seconds < best) {
         best = seconds;
+        level_pool[level].tasks = metrics.CounterValue("pool.tasks_total");
+        level_pool[level].steals = metrics.CounterValue("pool.steals_total");
+        // busy/(wall*workers), both summed across the per-app campaigns.
+        double busy = static_cast<double>(metrics.CounterValue("pool.busy_us_total"));
+        double wall = static_cast<double>(metrics.CounterValue("pool.wall_us_total"));
+        level_pool[level].utilization = wall > 0 ? busy / (wall * kLevels[level]) : 0;
       }
       if (json != reference_json) {
         deterministic = false;
@@ -74,7 +93,8 @@ int main(int argc, char** argv) {
     level_seconds[level] = best;
   }
 
-  TablePrinter table({"Workers", "Seconds (best of 3)", "Speedup vs serial", "Efficiency"});
+  TablePrinter table({"Workers", "Seconds (best of 3)", "Speedup vs serial", "Efficiency",
+                      "Utilization", "Tasks", "Steals"});
   for (size_t level = 0; level < 4; ++level) {
     double speedup = level_seconds[level] > 0 ? level_seconds[0] / level_seconds[level] : 0;
     std::ostringstream sec;
@@ -82,7 +102,10 @@ int main(int argc, char** argv) {
     std::ostringstream spd;
     spd << std::fixed << std::setprecision(2) << speedup << "x";
     table.AddRow({std::to_string(kLevels[level]), sec.str(), spd.str(),
-                  Percent(speedup, kLevels[level])});
+                  Percent(speedup, kLevels[level]),
+                  Percent(level_pool[level].utilization, 1.0),
+                  std::to_string(level_pool[level].tasks),
+                  std::to_string(level_pool[level].steals)});
   }
   table.Print();
   std::cout << "\nAll worker levels produced byte-identical bug reports: "
@@ -98,7 +121,10 @@ int main(int argc, char** argv) {
   for (size_t level = 0; level < 4; ++level) {
     double speedup = level_seconds[level] > 0 ? level_seconds[0] / level_seconds[level] : 0;
     out << (level > 0 ? "," : "") << "{\"jobs\":" << kLevels[level] << ",\"seconds\":"
-        << level_seconds[level] << ",\"speedup\":" << speedup << "}";
+        << level_seconds[level] << ",\"speedup\":" << speedup
+        << ",\"utilization\":" << level_pool[level].utilization
+        << ",\"tasks\":" << level_pool[level].tasks
+        << ",\"steals\":" << level_pool[level].steals << "}";
   }
   out << "]}\n";
   std::cout << "\nwrote " << json_path << "\n";

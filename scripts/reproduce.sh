@@ -29,6 +29,15 @@ ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
   done
 } 2>&1 | tee "$repo_root/bench_output.txt"
 
+# Archive an instrumented campaign: the Chrome trace and metrics JSON for one
+# corpus app, loadable in Perfetto / chrome://tracing (docs/OBSERVABILITY.md).
+corpus_dir="$build_dir/reproduce_corpus"
+rm -rf "$corpus_dir"
+"$build_dir/tools/wasabi" dump-corpus "$corpus_dir" >/dev/null
+"$build_dir/tools/wasabi" test "$corpus_dir/mapred" --jobs 4 \
+  --trace-out="$repo_root/campaign_trace.json" \
+  --metrics-out="$repo_root/campaign_metrics.json" >/dev/null
+
 # ThreadSanitizer pass over the campaign-executor concurrency tests (label
 # "exec"), in a separate build tree so the main artifacts stay uninstrumented.
 # Skipped quietly when the compiler can't link TSan (e.g. musl toolchains).
@@ -44,4 +53,5 @@ else
 fi
 
 echo
-echo "Done. Test results: test_output.txt; table/figure outputs: bench_output.txt"
+echo "Done. Test results: test_output.txt; table/figure outputs: bench_output.txt;"
+echo "campaign trace/metrics: campaign_trace.json, campaign_metrics.json"

@@ -20,6 +20,35 @@ bool IsTestPath(const std::string& file) {
   return file.find("/test/") != std::string::npos || file.rfind("test/", 0) == 0;
 }
 
+// Copies the pool's cumulative counters (coverage pass + injection campaign)
+// into the registry, with a derived utilization gauge: busy time across all
+// workers over `wall_seconds * workers`. Low utilization with high queue-wait
+// means starved workers; low utilization with empty queue-wait means the wall
+// clock went to serial phases.
+void ExportPoolMetrics(MetricsRegistry& metrics, const TaskPool& pool, int workers,
+                       double wall_seconds) {
+  TaskPoolStats stats = pool.Stats();
+  metrics.SetGauge("pool.workers", static_cast<double>(workers));
+  for (size_t w = 0; w < stats.workers.size(); ++w) {
+    const TaskPoolStats::Worker& worker = stats.workers[w];
+    const std::string prefix = "pool.worker." + std::to_string(w);
+    metrics.Increment(prefix + ".tasks", static_cast<int64_t>(worker.tasks));
+    metrics.Increment(prefix + ".steals", static_cast<int64_t>(worker.steals));
+    metrics.Increment(prefix + ".busy_us", worker.busy_us);
+    for (int64_t wait_us : worker.queue_wait_us) {
+      metrics.Observe("pool.queue_wait_us", static_cast<double>(wait_us));
+    }
+  }
+  metrics.Increment("pool.tasks_total", static_cast<int64_t>(stats.total_tasks()));
+  metrics.Increment("pool.steals_total", static_cast<int64_t>(stats.total_steals()));
+  metrics.Increment("pool.busy_us_total", stats.total_busy_us());
+  metrics.Increment("pool.wall_us_total", static_cast<int64_t>(wall_seconds * 1e6));
+  if (wall_seconds > 0 && workers > 0) {
+    metrics.SetGauge("pool.utilization", static_cast<double>(stats.total_busy_us()) /
+                                             (wall_seconds * 1e6 * workers));
+  }
+}
+
 }  // namespace
 
 Wasabi::Wasabi(const mj::Program& program, const mj::ProgramIndex& index, WasabiOptions options)
@@ -60,6 +89,10 @@ IdentificationResult Wasabi::IdentifyRetryStructures() {
   if (identification_memo_.has_value()) {
     return *identification_memo_;  // Front-loaded: analyze once per instance.
   }
+  // Spans only on the memo miss: repeated campaigns reuse the memo and the
+  // trace shows the analysis cost exactly once, where it was actually paid.
+  ScopedSpan span(options_.tracer, "identify.analysis");
+  span.AddArg("app", options_.app_name);
   IdentificationResult result;
   RetryFinder finder(program_, index_, options_.finder);
 
@@ -171,8 +204,15 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
   };
 
   DynamicResult result;
+  ScopedSpan workflow_span(options_.tracer, "workflow.dynamic");
+  workflow_span.AddArg("app", options_.app_name);
+
   Clock::time_point phase_start = Clock::now();
-  IdentificationResult identification = IdentifyRetryStructures();
+  IdentificationResult identification;
+  {
+    ScopedSpan span(options_.tracer, "phase.identify");
+    identification = IdentifyRetryStructures();
+  }
   result.identification_seconds = seconds_since(phase_start);
   result.structures_identified = identification.structures.size();
 
@@ -208,10 +248,21 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
   // so the only cross-run state is read-only.
   TaskPool pool(options_.jobs);
   result.jobs_used = pool.worker_count();
+  CampaignObs obs{options_.tracer, options_.metrics, options_.progress};
 
   // Coverage discovery run (one run of every test).
   phase_start = Clock::now();
-  result.coverage = MapCoverageParallel(runner, tests, result.locations, pool);
+  {
+    ScopedSpan span(options_.tracer, "phase.coverage");
+    span.AddArg("tests", static_cast<int64_t>(tests.size()));
+    if (options_.progress != nullptr) {
+      options_.progress->Begin("coverage", tests.size());
+    }
+    result.coverage = MapCoverageParallel(runner, tests, result.locations, pool, obs);
+    if (options_.progress != nullptr) {
+      options_.progress->Finish();
+    }
+  }
   result.coverage_seconds = seconds_since(phase_start);
   result.tests_covering_retry = result.coverage.size();
 
@@ -227,21 +278,46 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
   result.structures_covered = covered_structures.size();
 
   // Plan and execute injections; two K settings per planned pair (§3.1.2).
-  std::vector<PlanEntry> plan = options_.use_planner
-                                    ? PlanInjections(result.coverage, result.locations.size())
-                                    : NaivePlan(result.coverage);
-  result.naive_runs = NaivePlan(result.coverage).size() * 2;
-  result.planned_runs = plan.size() * 2;
+  std::vector<CampaignRunSpec> specs;
+  {
+    ScopedSpan span(options_.tracer, "phase.plan");
+    std::vector<PlanEntry> plan = options_.use_planner
+                                      ? PlanInjections(result.coverage, result.locations.size())
+                                      : NaivePlan(result.coverage);
+    result.naive_runs = NaivePlan(result.coverage).size() * 2;
+    result.planned_runs = plan.size() * 2;
+    specs = ExpandPlan(plan, result.locations, {kInjectOnce, kInjectRepeatedly});
+    span.AddArg("planned_runs", static_cast<int64_t>(result.planned_runs));
+    span.AddArg("naive_runs", static_cast<int64_t>(result.naive_runs));
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->SetGauge("plan.planned_runs", static_cast<double>(result.planned_runs));
+    options_.metrics->SetGauge("plan.naive_runs", static_cast<double>(result.naive_runs));
+    options_.metrics->SetGauge("identify.structures", static_cast<double>(
+                                                          result.structures_identified));
+    options_.metrics->SetGauge("identify.locations", static_cast<double>(
+                                                         result.locations.size()));
+  }
 
   // Fan the campaign out over the pool; evaluate oracles serially over the
   // id-ordered results, which is exactly the order the serial loop produced
   // (plan-entry-major, K-minor) — worker scheduling cannot change the output.
   phase_start = Clock::now();
-  std::vector<CampaignRunSpec> specs =
-      ExpandPlan(plan, result.locations, {kInjectOnce, kInjectRepeatedly});
-  std::vector<CampaignRunResult> campaign =
-      ExecuteCampaign(runner, result.locations, specs, pool);
+  std::vector<CampaignRunResult> campaign;
+  {
+    ScopedSpan span(options_.tracer, "phase.campaign");
+    span.AddArg("runs", static_cast<int64_t>(specs.size()));
+    span.AddArg("jobs", static_cast<int64_t>(result.jobs_used));
+    if (options_.progress != nullptr) {
+      options_.progress->Begin("campaign", specs.size());
+    }
+    campaign = ExecuteCampaign(runner, result.locations, specs, pool, obs);
+    if (options_.progress != nullptr) {
+      options_.progress->Finish();
+    }
+  }
 
+  std::optional<ScopedSpan> oracle_span(std::in_place, options_.tracer, "phase.oracles");
   std::vector<OracleReport> all_reports;
   for (const CampaignRunResult& run : campaign) {
     const RetryLocation& location = result.locations[run.location_index];
@@ -263,8 +339,16 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
       }
     }
   }
+  oracle_span.reset();
 
   result.injection_seconds = seconds_since(phase_start);
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->Increment("oracles.reports_total",
+                                static_cast<int64_t>(all_reports.size()));
+    ExportPoolMetrics(*options_.metrics, pool, result.jobs_used,
+                      result.coverage_seconds + result.injection_seconds);
+  }
 
   result.raw_reports = all_reports;
   result.bugs = DeduplicateBugs(ToBugReports(DeduplicateReports(std::move(all_reports))));
@@ -273,8 +357,11 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
 
 StaticResult Wasabi::RunStaticWorkflow() {
   StaticResult result;
+  ScopedSpan workflow_span(options_.tracer, "workflow.static");
+  workflow_span.AddArg("app", options_.app_name);
 
   // --- WHEN bugs via the LLM prompts (§3.2.1) ---------------------------------
+  std::optional<ScopedSpan> when_span(std::in_place, options_.tracer, "phase.static.when");
   SimLlm llm(options_.llm);
   for (const auto& unit : program_.units()) {
     if (IsTestPath(unit->file().name())) {
@@ -312,8 +399,10 @@ StaticResult Wasabi::RunStaticWorkflow() {
   }
   result.when_bugs = DeduplicateBugs(std::move(result.when_bugs));
   result.llm_usage = llm.usage();
+  when_span.reset();
 
   // --- IF bugs via retry ratios (§3.2.2) ----------------------------------------
+  ScopedSpan if_span(options_.tracer, "phase.static.if");
   IfOutlierAnalysis analysis(program_, index_, options_.if_outliers);
   result.if_outliers = analysis.FindOutliers();
   for (const IfOutlierReport& outlier : result.if_outliers) {
@@ -335,6 +424,10 @@ StaticResult Wasabi::RunStaticWorkflow() {
     }
   }
   result.if_bugs = DeduplicateBugs(std::move(result.if_bugs));
+  if (options_.metrics != nullptr) {
+    options_.metrics->SetGauge("static.when_reports", static_cast<double>(result.when_bugs.size()));
+    options_.metrics->SetGauge("static.if_reports", static_cast<double>(result.if_bugs.size()));
+  }
   return result;
 }
 

@@ -21,6 +21,9 @@
 #include "src/analysis/retry_model.h"
 #include "src/core/report.h"
 #include "src/llm/sim_llm.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/obs/trace.h"
 #include "src/testing/coverage.h"
 #include "src/testing/oracles.h"
 #include "src/testing/runner.h"
@@ -45,6 +48,13 @@ struct WasabiOptions {
   // hardware thread. Results are byte-identical for every setting: runs carry
   // stable ids and the reducer consumes them in id order.
   int jobs = 1;
+  // Observability sinks (all non-owning, all default-off). With sinks
+  // attached the workflows open phase spans, tag every campaign run, and feed
+  // the metric taxonomy in docs/OBSERVABILITY.md; every report and JSON
+  // output stays byte-identical either way.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  ProgressMeter* progress = nullptr;
 };
 
 // Merged output of both identification techniques (Figure 4).
@@ -110,6 +120,15 @@ class Wasabi {
   // Re-runs of the dynamic workflow may change only the worker count; the
   // analysis memo and every report stay identical by construction.
   void set_jobs(int jobs) { options_.jobs = jobs; }
+  // Attaches (or detaches, with nulls) observability sinks after
+  // construction — the bench re-runs one instance at several worker counts
+  // with a fresh registry per level.
+  void set_observability(Tracer* tracer, MetricsRegistry* metrics,
+                         ProgressMeter* progress = nullptr) {
+    options_.tracer = tracer;
+    options_.metrics = metrics;
+    options_.progress = progress;
+  }
 
  private:
   std::vector<BugReport> ToBugReports(const std::vector<OracleReport>& reports) const;

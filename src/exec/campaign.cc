@@ -1,6 +1,7 @@
 #include "src/exec/campaign.h"
 
 #include <algorithm>
+#include <set>
 
 namespace wasabi {
 
@@ -28,40 +29,86 @@ std::vector<CampaignRunSpec> ExpandPlan(const std::vector<PlanEntry>& plan,
 std::vector<CampaignRunResult> ExecuteCampaign(const TestRunner& runner,
                                                const std::vector<RetryLocation>& locations,
                                                const std::vector<CampaignRunSpec>& specs,
-                                               TaskPool& pool) {
+                                               TaskPool& pool, const CampaignObs& obs) {
   std::vector<CampaignRunResult> results(specs.size());
   pool.ParallelFor(specs.size(), [&](size_t i) {
     const CampaignRunSpec& spec = specs[i];
     const RetryLocation& location = locations[spec.location_index];
-    // Per-run injector: counts and log entries are private to this run.
+    ScopedSpan span(obs.tracer, "run");
+    span.AddArg("run_id", static_cast<int64_t>(spec.id));
+    span.AddArg("test", spec.test.qualified_name);
+    span.AddArg("location", location.Key());
+    span.AddArg("k", static_cast<int64_t>(spec.k));
+    // Per-run injector: counts and log entries are private to this run; only
+    // the commutative metric counters land in the shared (locked) registry.
     FaultInjector injector({InjectionPoint{location.retried_method, location.coordinator,
-                                           location.exception_name, spec.k}});
+                                           location.exception_name, spec.k}},
+                           obs.metrics);
     CampaignRunResult& result = results[i];
     result.id = spec.id;
     result.location_index = spec.location_index;
     result.k = spec.k;
     result.record = runner.RunTest(spec.test, {&injector});
+    if (obs.progress != nullptr) {
+      obs.progress->Tick();
+    }
   });
   // Slot i already holds run id i, but sort anyway so the invariant "reducer
   // output is id-ordered" survives any future scheduling change.
   std::sort(results.begin(), results.end(),
             [](const CampaignRunResult& a, const CampaignRunResult& b) { return a.id < b.id; });
+  // Per-run telemetry, aggregated at reduce time — serial, id-ordered, and
+  // therefore identical for every worker count.
+  if (obs.metrics != nullptr) {
+    obs.metrics->Increment("campaign.runs_total", static_cast<int64_t>(results.size()));
+    for (const CampaignRunResult& result : results) {
+      obs.metrics->Observe("runner.steps", static_cast<double>(result.record.steps));
+      obs.metrics->Observe("runner.loop_iterations",
+                           static_cast<double>(result.record.loop_iterations));
+      obs.metrics->Observe("runner.virtual_ms",
+                           static_cast<double>(result.record.virtual_duration_ms));
+    }
+  }
   return results;
 }
 
 CoverageMap MapCoverageParallel(const TestRunner& runner, const std::vector<TestCase>& tests,
-                                const std::vector<RetryLocation>& locations, TaskPool& pool) {
+                                const std::vector<RetryLocation>& locations, TaskPool& pool,
+                                const CampaignObs& obs) {
   std::vector<std::vector<size_t>> hits(tests.size());
   pool.ParallelFor(tests.size(), [&](size_t i) {
+    ScopedSpan span(obs.tracer, "coverage.run");
+    span.AddArg("test", tests[i].qualified_name);
     CoverageRecorder recorder(&locations);
     runner.RunTest(tests[i], {&recorder});
     hits[i] = recorder.hits();
+    if (obs.progress != nullptr) {
+      obs.progress->Tick();
+    }
   });
   CoverageMap coverage;
+  // Cumulative coverage over runs (discovery order) is the §4.3 "how fast do
+  // tests reach new retry code" signal: a metrics series plus a Chrome
+  // counter track. Emitted at reduce time, so the values are deterministic
+  // even though the counter-track timestamps are reduce-side.
+  std::set<size_t> cumulative;
   for (size_t i = 0; i < tests.size(); ++i) {
+    cumulative.insert(hits[i].begin(), hits[i].end());
+    if (obs.metrics != nullptr) {
+      obs.metrics->AppendSeries("coverage.cumulative_locations",
+                                static_cast<double>(cumulative.size()));
+    }
+    if (obs.tracer != nullptr) {
+      obs.tracer->Counter("coverage.cumulative_locations", "locations",
+                          static_cast<int64_t>(cumulative.size()));
+    }
     if (!hits[i].empty()) {
       coverage[tests[i].qualified_name] = std::move(hits[i]);
     }
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->Increment("coverage.runs_total", static_cast<int64_t>(tests.size()));
+    obs.metrics->SetGauge("coverage.locations_covered", static_cast<double>(cumulative.size()));
   }
   return coverage;
 }

@@ -19,10 +19,24 @@
 #include <vector>
 
 #include "src/exec/task_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/obs/trace.h"
 #include "src/testing/coverage.h"
 #include "src/testing/runner.h"
 
 namespace wasabi {
+
+// Optional observability sinks threaded through the executor. All three are
+// non-owning and may be null; the default-constructed value is "fully off".
+// Spans and progress ticks are recorded from worker threads as runs execute;
+// metric aggregation over run records happens at reduce time, serially and in
+// run-id order, so the metrics snapshot is deterministic too.
+struct CampaignObs {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  ProgressMeter* progress = nullptr;
+};
 
 // One unit of campaign work: run `test` while injecting at `location_index`
 // with budget `k`.
@@ -47,16 +61,24 @@ std::vector<CampaignRunSpec> ExpandPlan(const std::vector<PlanEntry>& plan,
                                         const std::vector<int>& k_values);
 
 // Executes every spec on the pool and returns the results sorted by run id.
+// With `obs` attached, every run gets a "run" span tagged
+// {run_id, test, location, k}, per-run step/loop-iteration/virtual-time
+// histograms and injection counters are fed to the registry, and the progress
+// meter ticks once per completed run.
 std::vector<CampaignRunResult> ExecuteCampaign(const TestRunner& runner,
                                                const std::vector<RetryLocation>& locations,
                                                const std::vector<CampaignRunSpec>& specs,
-                                               TaskPool& pool);
+                                               TaskPool& pool, const CampaignObs& obs = {});
 
 // The coverage-discovery pass (one clean run of every test, each with its own
 // CoverageRecorder) on the pool. Produces exactly the map the serial
 // MapCoverage produces: keyed and ordered by test name, empty runs omitted.
+// With `obs` attached, each test run gets a "coverage.run" span, and the
+// reduce emits cumulative-locations-covered over runs as both a metrics
+// series and a Chrome counter track.
 CoverageMap MapCoverageParallel(const TestRunner& runner, const std::vector<TestCase>& tests,
-                                const std::vector<RetryLocation>& locations, TaskPool& pool);
+                                const std::vector<RetryLocation>& locations, TaskPool& pool,
+                                const CampaignObs& obs = {});
 
 // Merges the per-run logs into one campaign-wide log, runs in id order and
 // entries in per-run append order — the deterministic reduce-time counterpart

@@ -10,9 +10,34 @@ int DefaultJobCount() {
   return hardware == 0 ? 1 : static_cast<int>(hardware);
 }
 
+uint64_t TaskPoolStats::total_tasks() const {
+  uint64_t total = 0;
+  for (const Worker& worker : workers) {
+    total += worker.tasks;
+  }
+  return total;
+}
+
+uint64_t TaskPoolStats::total_steals() const {
+  uint64_t total = 0;
+  for (const Worker& worker : workers) {
+    total += worker.steals;
+  }
+  return total;
+}
+
+int64_t TaskPoolStats::total_busy_us() const {
+  int64_t total = 0;
+  for (const Worker& worker : workers) {
+    total += worker.busy_us;
+  }
+  return total;
+}
+
 TaskPool::TaskPool(int workers) {
   worker_count_ = workers <= 0 ? DefaultJobCount() : workers;
   slots_ = std::vector<Slot>(static_cast<size_t>(worker_count_));
+  counters_ = std::vector<WorkerCounters>(static_cast<size_t>(worker_count_));
   threads_.reserve(static_cast<size_t>(worker_count_ - 1));
   for (int w = 1; w < worker_count_; ++w) {
     threads_.emplace_back([this, w] { WorkLoop(w); });
@@ -78,16 +103,47 @@ bool TaskPool::Steal(int worker, size_t* index) {
 }
 
 void TaskPool::RunJob(int worker) {
+  using Clock = std::chrono::steady_clock;
+  WorkerCounters& counters = counters_[static_cast<size_t>(worker)];
+  // Counter writes are ordered before this worker's next job_pending_
+  // fetch_sub (release), and ParallelFor returns only after job_pending_
+  // reads 0 (acquire), so a post-join Stats() read races with nothing. The
+  // one write NOT followed by a fetch_sub — the trailing idle stretch after a
+  // worker's last task — is deliberately never recorded (see below).
+  bool idle = false;
+  Clock::time_point idle_since;
   while (job_pending_.load(std::memory_order_acquire) > 0) {
     size_t index;
-    if (PopOwn(worker, &index) || Steal(worker, &index)) {
+    bool own = PopOwn(worker, &index);
+    bool stolen = !own && Steal(worker, &index);
+    if (own || stolen) {
+      if (idle) {
+        // A stretch that ended in work is a queue wait; trailing idle while
+        // the job drains is not (and recording it would race with the join).
+        counters.queue_wait_us.push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - idle_since)
+                .count());
+        idle = false;
+      }
+      if (stolen) {
+        ++counters.steals;
+      }
+      Clock::time_point task_start = Clock::now();
       try {
         (*job_fn_)(index);
       } catch (...) {
         job_failed_.store(true, std::memory_order_relaxed);
       }
+      counters.busy_us +=
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - task_start)
+              .count();
+      ++counters.tasks;
       job_pending_.fetch_sub(1, std::memory_order_acq_rel);
     } else {
+      if (!idle) {
+        idle = true;
+        idle_since = Clock::now();
+      }
       std::this_thread::yield();
     }
   }
@@ -113,9 +169,17 @@ void TaskPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) 
     return;
   }
   if (worker_count_ == 1) {
-    // Strictly serial on the calling thread; no scheduling at all.
+    // Strictly serial on the calling thread; no scheduling at all. Counters
+    // are still maintained so --jobs 1 metrics stay meaningful.
+    using Clock = std::chrono::steady_clock;
+    WorkerCounters& counters = counters_[0];
     for (size_t i = 0; i < count; ++i) {
+      Clock::time_point task_start = Clock::now();
       fn(i);
+      counters.busy_us +=
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - task_start)
+              .count();
+      ++counters.tasks;
     }
     return;
   }
@@ -142,6 +206,29 @@ void TaskPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) 
   RunJob(0);  // The caller is worker 0; returns once every index completed.
   if (job_failed_.load(std::memory_order_relaxed)) {
     throw std::runtime_error("TaskPool: a parallel task threw an exception");
+  }
+}
+
+TaskPoolStats TaskPool::Stats() const {
+  TaskPoolStats stats;
+  stats.workers.reserve(counters_.size());
+  for (const WorkerCounters& counters : counters_) {
+    TaskPoolStats::Worker worker;
+    worker.tasks = counters.tasks;
+    worker.steals = counters.steals;
+    worker.busy_us = counters.busy_us;
+    worker.queue_wait_us = counters.queue_wait_us;
+    stats.workers.push_back(std::move(worker));
+  }
+  return stats;
+}
+
+void TaskPool::ResetStats() {
+  for (WorkerCounters& counters : counters_) {
+    counters.tasks = 0;
+    counters.steals = 0;
+    counters.busy_us = 0;
+    counters.queue_wait_us.clear();
   }
 }
 

@@ -15,6 +15,7 @@
 #define WASABI_SRC_EXEC_TASK_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -27,6 +28,26 @@ namespace wasabi {
 
 // hardware_concurrency, never less than 1.
 int DefaultJobCount();
+
+// Cumulative per-worker execution counters, kept since construction (or the
+// last ResetStats). Cheap enough to stay always-on: two clock reads per task
+// and per idle stretch, against tasks that each run a whole interpreted test.
+struct TaskPoolStats {
+  struct Worker {
+    uint64_t tasks = 0;   // Indices this worker executed.
+    uint64_t steals = 0;  // Successful steals (tasks acquired from a victim).
+    int64_t busy_us = 0;  // Time spent inside the task function.
+    // One sample per contiguous stretch this worker spent looking for work
+    // before acquiring a task — the queue-wait signal that separates "serial
+    // phase" from "starved workers".
+    std::vector<int64_t> queue_wait_us;
+  };
+  std::vector<Worker> workers;
+
+  uint64_t total_tasks() const;
+  uint64_t total_steals() const;
+  int64_t total_busy_us() const;
+};
 
 class TaskPool {
  public:
@@ -45,11 +66,26 @@ class TaskPool {
   // if any call threw. Not reentrant: one ParallelFor at a time.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
+  // Snapshot / reset of the execution counters. Only valid between
+  // ParallelFor calls (ParallelFor's join provides the happens-before edge
+  // that makes the unsynchronized per-worker fields safe to read).
+  TaskPoolStats Stats() const;
+  void ResetStats();
+
  private:
   // Packed index range owned by one worker: next in the high 32 bits, end in
   // the low 32. Padded to a cache line so pops and steals don't false-share.
   struct alignas(64) Slot {
     std::atomic<uint64_t> range{0};
+  };
+
+  // Per-worker counters, written only by the owning worker while a job runs
+  // and read only after the job joins. Padded like the range slots.
+  struct alignas(64) WorkerCounters {
+    uint64_t tasks = 0;
+    uint64_t steals = 0;
+    int64_t busy_us = 0;
+    std::vector<int64_t> queue_wait_us;
   };
 
   static uint64_t Pack(uint32_t next, uint32_t end) {
@@ -67,6 +103,7 @@ class TaskPool {
 
   int worker_count_ = 1;
   std::vector<Slot> slots_;
+  std::vector<WorkerCounters> counters_;
   std::vector<std::thread> threads_;
 
   std::mutex mutex_;

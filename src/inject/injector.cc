@@ -2,8 +2,8 @@
 
 namespace wasabi {
 
-FaultInjector::FaultInjector(std::vector<InjectionPoint> points)
-    : points_(std::move(points)), counts_(points_.size(), 0) {}
+FaultInjector::FaultInjector(std::vector<InjectionPoint> points, MetricsRegistry* metrics)
+    : points_(std::move(points)), counts_(points_.size(), 0), metrics_(metrics) {}
 
 void FaultInjector::OnCall(const CallEvent& event, Interpreter& interp) {
   for (size_t i = 0; i < points_.size(); ++i) {
@@ -18,6 +18,11 @@ void FaultInjector::OnCall(const CallEvent& event, Interpreter& interp) {
       continue;
     }
     ++counts_[i];
+    if (metrics_ != nullptr) {
+      metrics_->Increment("injector.injections_total");
+      metrics_->Increment("injector.injections.site." + point.callee);
+      metrics_->Increment("injector.injections.exception." + point.exception);
+    }
 
     LogEntry entry;
     entry.kind = LogEntryKind::kInjection;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/interp/interpreter.h"
+#include "src/obs/metrics.h"
 
 namespace wasabi {
 
@@ -33,7 +34,13 @@ struct InjectionPoint {
 
 class FaultInjector : public CallInterceptor {
  public:
-  explicit FaultInjector(std::vector<InjectionPoint> points);
+  // `metrics`, when non-null, receives one `injector.injections_total`
+  // increment per fired injection plus per-site and per-trigger-exception
+  // breakdowns (metric taxonomy in docs/OBSERVABILITY.md). The registry is
+  // thread-safe and the counters commutative, so campaign workers can all
+  // feed one registry without affecting the deterministic outputs.
+  explicit FaultInjector(std::vector<InjectionPoint> points,
+                         MetricsRegistry* metrics = nullptr);
 
   // Listing 5: if this (callee, caller, exception) point has fired fewer than
   // K times, log and throw the exception.
@@ -50,6 +57,7 @@ class FaultInjector : public CallInterceptor {
  private:
   std::vector<InjectionPoint> points_;
   std::vector<int> counts_;
+  MetricsRegistry* metrics_;  // Non-owning; null = no metric export.
 };
 
 }  // namespace wasabi

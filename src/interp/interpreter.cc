@@ -985,6 +985,7 @@ Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
       const auto& node = static_cast<const mj::WhileStmt&>(stmt);
       while (AsBool(Eval(*node.condition), stmt.location)) {
         Step();
+        ++loop_iterations_;
         Flow flow = ExecStmt(*node.body);
         if (flow.kind == FlowKind::kBreak) {
           break;
@@ -1012,6 +1013,7 @@ Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
       }
       while (node.condition == nullptr || AsBool(Eval(*node.condition), stmt.location)) {
         Step();
+        ++loop_iterations_;
         Flow flow = ExecStmt(*node.body);
         if (flow.kind == FlowKind::kBreak) {
           break;

@@ -110,6 +110,9 @@ class Interpreter {
   const ExecutionLog& log() const { return log_; }
   int64_t now_ms() const { return virtual_time_ms_; }
   int64_t steps() const { return steps_; }
+  // while/for iterations executed; retry loops dominate this in injected
+  // runs, so per-run telemetry exposes it (docs/OBSERVABILITY.md).
+  int64_t loop_iterations() const { return loop_iterations_; }
   std::vector<std::string> CaptureStack() const;
   const mj::ProgramIndex& index() const { return index_; }
 
@@ -178,6 +181,7 @@ class Interpreter {
   ExecutionLog log_;
   int64_t virtual_time_ms_ = 0;
   int64_t steps_ = 0;
+  int64_t loop_iterations_ = 0;
   int64_t next_activation_ = 1;
 };
 

@@ -1,0 +1,217 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace wasabi {
+
+namespace {
+
+// Bucket 0 holds exact zeros (and negatives, which the pipeline never
+// produces); bucket i in [1, kBuckets-2] holds samples with |value| in
+// (2^(i-2), 2^(i-1)]; the last bucket is the overflow.
+constexpr size_t kBuckets = 48;
+
+size_t BucketIndex(double value) {
+  if (!(value > 0)) {
+    return 0;
+  }
+  double bound = 1.0;
+  for (size_t i = 1; i + 1 < kBuckets; ++i) {
+    if (value <= bound) {
+      return i;
+    }
+    bound *= 2.0;
+  }
+  return kBuckets - 1;
+}
+
+double BucketUpperBound(size_t index) {
+  if (index == 0) {
+    return 0.0;
+  }
+  double bound = 1.0;
+  for (size_t i = 1; i < index; ++i) {
+    bound *= 2.0;
+  }
+  return bound;
+}
+
+// See trace.cc for why this tiny escaper is duplicated rather than shared
+// with core/report_json: obs sits below every other layer.
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// JSON-safe number rendering: integral values print without a fraction,
+// non-finite values (which no metric should produce) degrade to 0.
+std::string NumberJson(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void MetricsRegistry::Increment(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Histogram& histogram = histograms_[name];
+  if (histogram.bucket_counts.empty()) {
+    histogram.bucket_counts.assign(kBuckets, 0);
+  }
+  if (histogram.count == 0 || value < histogram.min) {
+    histogram.min = value;
+  }
+  if (histogram.count == 0 || value > histogram.max) {
+    histogram.max = value;
+  }
+  ++histogram.count;
+  histogram.sum += value;
+  ++histogram.bucket_counts[BucketIndex(value)];
+}
+
+void MetricsRegistry::AppendSeries(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_[name].push_back(value);
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramSnapshot MetricsRegistry::HistogramFor(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot snapshot;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    return snapshot;
+  }
+  const Histogram& histogram = it->second;
+  snapshot.count = histogram.count;
+  snapshot.sum = histogram.sum;
+  snapshot.min = histogram.min;
+  snapshot.max = histogram.max;
+  for (size_t i = 0; i < histogram.bucket_counts.size(); ++i) {
+    if (histogram.bucket_counts[i] > 0) {
+      snapshot.buckets.emplace_back(BucketUpperBound(i), histogram.bucket_counts[i]);
+    }
+  }
+  return snapshot;
+}
+
+std::vector<double> MetricsRegistry::SeriesFor(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(name);
+  return it == series_.end() ? std::vector<double>{} : it->second;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out << (first ? "" : ",") << "\n    \"" << EscapeJson(name) << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    out << (first ? "" : ",") << "\n    \"" << EscapeJson(name) << "\": " << NumberJson(value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "" : ",") << "\n    \"" << EscapeJson(name) << "\": {\"count\": "
+        << histogram.count << ", \"sum\": " << NumberJson(histogram.sum)
+        << ", \"min\": " << NumberJson(histogram.min)
+        << ", \"max\": " << NumberJson(histogram.max) << ", \"mean\": "
+        << NumberJson(histogram.count == 0 ? 0.0
+                                           : histogram.sum / static_cast<double>(histogram.count))
+        << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t i = 0; i < histogram.bucket_counts.size(); ++i) {
+      if (histogram.bucket_counts[i] == 0) {
+        continue;
+      }
+      out << (first_bucket ? "" : ", ") << "{\"le\": " << NumberJson(BucketUpperBound(i))
+          << ", \"count\": " << histogram.bucket_counts[i] << "}";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"series\": {";
+  first = true;
+  for (const auto& [name, values] : series_) {
+    out << (first ? "" : ",") << "\n    \"" << EscapeJson(name) << "\": [";
+    for (size_t i = 0; i < values.size(); ++i) {
+      out << (i > 0 ? ", " : "") << NumberJson(values[i]);
+    }
+    out << "]";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace wasabi

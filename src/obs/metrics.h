@@ -1,0 +1,78 @@
+// Named counters, gauges, log2-bucket histograms, and append-only series for
+// pipeline metrics — the flat-JSON counterpart of the Tracer's timeline.
+//
+// Thread-safe: one registry can be fed from campaign workers and the main
+// thread at once (a short mutex section per update; update sites are coarse —
+// per run, per injection — never per interpreter step). All exported values
+// are order-independent aggregates (sums, min/max, bucket counts), so the
+// JSON snapshot is deterministic for a deterministic workload regardless of
+// worker scheduling. Series are the one exception: AppendSeries must be
+// called from reduce-time (serial) code, which is where the pipeline computes
+// its cumulative-coverage time series anyway.
+
+#ifndef WASABI_SRC_OBS_METRICS_H_
+#define WASABI_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wasabi {
+
+// Aggregate view of one histogram. Buckets are powers of two over the
+// absolute value: bucket i counts samples with value <= 2^i (after the
+// dedicated zero bucket), the last bucket is unbounded.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  // (inclusive upper bound, samples in bucket); only non-empty buckets.
+  std::vector<std::pair<double, uint64_t>> buckets;
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void Increment(const std::string& name, int64_t delta = 1);
+  void SetGauge(const std::string& name, double value);
+  void Observe(const std::string& name, double value);  // Histogram sample.
+  void AppendSeries(const std::string& name, double value);
+
+  // Snapshot accessors; missing names read as zero / empty.
+  int64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+  HistogramSnapshot HistogramFor(const std::string& name) const;
+  std::vector<double> SeriesFor(const std::string& name) const;
+
+  // One JSON object {"counters":{...},"gauges":{...},"histograms":{...},
+  // "series":{...}}, keys sorted (std::map iteration), always valid JSON.
+  std::string ToJson() const;
+
+ private:
+  struct Histogram {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    // kZeroBucket + one bucket per power of two + overflow; see metrics.cc.
+    std::vector<uint64_t> bucket_counts;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::vector<double>> series_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_OBS_METRICS_H_

@@ -1,0 +1,69 @@
+#include "src/obs/progress.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace wasabi {
+
+ProgressMeter::ProgressMeter(std::ostream* out, int64_t interval_ms)
+    : out_(out), interval_ms_(interval_ms), phase_start_(std::chrono::steady_clock::now()) {}
+
+void ProgressMeter::Begin(const std::string& label, uint64_t total) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  label_ = label;
+  total_ = total;
+  phase_start_ = std::chrono::steady_clock::now();
+  done_.store(0, std::memory_order_relaxed);
+  last_print_ms_.store(-1, std::memory_order_relaxed);
+}
+
+void ProgressMeter::Tick(uint64_t n) {
+  done_.fetch_add(n, std::memory_order_relaxed);
+  if (out_ == nullptr) {
+    return;
+  }
+  int64_t elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - phase_start_)
+                           .count();
+  int64_t last = last_print_ms_.load(std::memory_order_relaxed);
+  if (last >= 0 && elapsed_ms - last < interval_ms_) {
+    return;
+  }
+  // One winner per interval; losers skip the print entirely.
+  if (!last_print_ms_.compare_exchange_strong(last, elapsed_ms, std::memory_order_relaxed)) {
+    return;
+  }
+  PrintLine(false);
+}
+
+void ProgressMeter::Finish() {
+  if (out_ != nullptr) {
+    PrintLine(true);
+  }
+}
+
+void ProgressMeter::PrintLine(bool final_line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t done = done_.load(std::memory_order_relaxed);
+  double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - phase_start_)
+                       .count();
+  double rate = seconds > 0 ? static_cast<double>(done) / seconds : 0.0;
+  char line[160];
+  if (final_line || done >= total_ || rate <= 0) {
+    std::snprintf(line, sizeof(line), "[%s] %llu/%llu runs  %.1f runs/s  %.2fs",
+                  label_.c_str(), static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total_), rate, seconds);
+  } else {
+    double eta = static_cast<double>(total_ - done) / rate;
+    std::snprintf(line, sizeof(line), "[%s] %llu/%llu runs  %.1f runs/s  ETA %.0fs",
+                  label_.c_str(), static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total_), rate, eta);
+  }
+  *out_ << "\r" << line;
+  if (final_line) {
+    *out_ << "\n";
+  }
+  out_->flush();
+}
+
+}  // namespace wasabi

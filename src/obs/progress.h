@@ -1,0 +1,54 @@
+// Periodic progress reporting for long campaign phases: a single stderr line
+// ("[campaign] 120/480 runs  24.3 runs/s  ETA 15s") rewritten in place at a
+// bounded rate.
+//
+// Thread-safe: Tick may be called from every campaign worker. Printing is
+// rate-limited by an atomic timestamp CAS, so at most one thread formats a
+// line per interval and the others pay one relaxed load. Output goes to the
+// stream passed at construction (stderr in the CLI) and never to stdout, so
+// report output stays byte-identical with progress enabled.
+
+#ifndef WASABI_SRC_OBS_PROGRESS_H_
+#define WASABI_SRC_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace wasabi {
+
+class ProgressMeter {
+ public:
+  // `out` may be null, which disables all output (ticks still count).
+  explicit ProgressMeter(std::ostream* out, int64_t interval_ms = 250);
+
+  // Starts a new phase: resets the counter and the rate clock.
+  void Begin(const std::string& label, uint64_t total);
+
+  // Marks `n` more units done; prints at most once per interval.
+  void Tick(uint64_t n = 1);
+
+  // Prints the final line for the phase, newline-terminated.
+  void Finish();
+
+  uint64_t done() const { return done_.load(std::memory_order_relaxed); }
+
+ private:
+  void PrintLine(bool final_line);
+
+  std::ostream* out_;
+  const int64_t interval_ms_;
+  std::mutex mutex_;  // Guards label_/total_/stream writes.
+  std::string label_;
+  uint64_t total_ = 0;
+  std::chrono::steady_clock::time_point phase_start_;
+  std::atomic<uint64_t> done_{0};
+  std::atomic<int64_t> last_print_ms_{-1};
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_OBS_PROGRESS_H_

@@ -1,0 +1,112 @@
+// Zero-dependency tracing substrate for the WASABI pipeline.
+//
+// A Tracer collects nested spans ("complete" events with a start timestamp
+// and a duration), instant events, and counter samples. Recording is
+// lock-free on the hot path: every thread appends to its own buffer
+// (registered once under a mutex on first use) and buffers are merged —
+// sorted by start timestamp — only at collect time, after the workers have
+// quiesced. The campaign executor provides the required happens-before edge:
+// ParallelFor only returns once every task has completed, so a collect that
+// follows it cannot race with a worker's append.
+//
+// Timestamps are steady-clock microseconds relative to Tracer construction;
+// thread ids are small dense integers assigned in registration order, so
+// exports are stable enough for tests to assert on.
+//
+// A null Tracer* means "off" everywhere: ScopedSpan against nullptr performs
+// no clock reads and no allocation, so uninstrumented runs pay nothing and
+// stay byte-identical to instrumented ones.
+
+#ifndef WASABI_SRC_OBS_TRACE_H_
+#define WASABI_SRC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wasabi {
+
+// One recorded event. `phase` uses the Chrome trace-event phase codes this
+// layer emits: 'X' = complete (start + duration), 'i' = instant, 'C' =
+// counter sample.
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';
+  int64_t start_us = 0;
+  int64_t duration_us = 0;  // 'X' events only.
+  int tid = 0;
+  // Rendered into the Chrome "args" object, strings quoted and numbers raw.
+  std::vector<std::pair<std::string, std::string>> string_args;
+  std::vector<std::pair<std::string, int64_t>> int_args;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Microseconds since construction (the trace epoch).
+  int64_t NowUs() const;
+
+  // Appends a finished event to the calling thread's buffer. Safe to call
+  // concurrently from any number of threads; `event.tid` and, for 'i'/'C'
+  // events, a zero `start_us` are filled in here.
+  void Record(TraceEvent event);
+
+  // Convenience recorders for the two timestamp-less event kinds.
+  void Instant(std::string name,
+               std::vector<std::pair<std::string, std::string>> string_args = {},
+               std::vector<std::pair<std::string, int64_t>> int_args = {});
+  void Counter(std::string name, std::string key, int64_t value);
+
+  // Merge of every thread's buffer, sorted by (start_us, tid). Must not run
+  // concurrently with Record; callers collect after parallel phases join.
+  std::vector<TraceEvent> Collect() const;
+
+  // Chrome trace-event JSON ("traceEvents" object form), loadable in
+  // chrome://tracing and Perfetto. Always one valid JSON object, even with
+  // zero events recorded.
+  std::string ToChromeJson() const;
+
+  size_t event_count() const;
+
+ private:
+  struct Buffer {
+    int tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  // The calling thread's buffer, registering one on first use.
+  Buffer& ThisThreadBuffer();
+
+  const uint64_t tracer_id_;  // Process-unique; keys the thread-local cache.
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex register_mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+// RAII span: one 'X' event covering construction to destruction. All methods
+// are no-ops when constructed against a null tracer.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void AddArg(std::string key, std::string value);
+  void AddArg(std::string key, int64_t value);
+
+ private:
+  Tracer* tracer_;
+  TraceEvent event_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_OBS_TRACE_H_

@@ -97,6 +97,7 @@ TestRunRecord TestRunner::RunTest(const TestCase& test,
   record.log = interp.log();
   record.virtual_duration_ms = interp.now_ms();
   record.steps = interp.steps();
+  record.loop_iterations = interp.loop_iterations();
   if (injector != nullptr) {
     record.injected_points = injector->points();
     record.injection_counts.reserve(injector->points().size());

@@ -51,6 +51,7 @@ struct TestRunRecord {
   std::vector<int> injection_counts;  // Parallel to injected_points.
   int64_t virtual_duration_ms = 0;
   int64_t steps = 0;
+  int64_t loop_iterations = 0;
 };
 
 }  // namespace wasabi

@@ -1,185 +1,28 @@
-// Validates that BugReportsToJson emits strictly well-formed JSON, using a
-// small standalone validator (no third-party dependency) over reports whose
+// Validates that BugReportsToJson emits strictly well-formed JSON, using the
+// shared standalone validator (no third-party dependency) over reports whose
 // fields contain adversarial content.
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <string>
 
 #include "src/core/report_json.h"
+#include "tests/json_validator.h"
 
 namespace wasabi {
 namespace {
-
-// Minimal JSON well-formedness checker: values, objects, arrays, strings with
-// escapes, numbers, true/false/null. Returns true iff the whole input is one
-// valid JSON value (plus trailing whitespace).
-class JsonValidator {
- public:
-  explicit JsonValidator(std::string_view text) : text_(text) {}
-
-  bool Validate() {
-    SkipSpace();
-    if (!Value()) {
-      return false;
-    }
-    SkipSpace();
-    return pos_ == text_.size();
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool Literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) == word) {
-      pos_ += word.size();
-      return true;
-    }
-    return false;
-  }
-  bool String() {
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      return false;
-    }
-    ++pos_;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      if (static_cast<unsigned char>(c) < 0x20) {
-        return false;  // Raw control character: invalid.
-      }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) {
-          return false;
-        }
-        char esc = text_[pos_];
-        if (esc == 'u') {
-          for (int i = 1; i <= 4; ++i) {
-            if (pos_ + i >= text_.size() ||
-                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
-              return false;
-            }
-          }
-          pos_ += 4;
-        } else if (std::string_view("\"\\/bfnrt").find(esc) == std::string_view::npos) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;
-  }
-  bool Number() {
-    size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') {
-      ++pos_;
-    }
-    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    return pos_ > start && std::isdigit(static_cast<unsigned char>(text_[pos_ - 1]));
-  }
-  bool Value() {
-    SkipSpace();
-    if (pos_ >= text_.size()) {
-      return false;
-    }
-    char c = text_[pos_];
-    if (c == '{') {
-      return Object();
-    }
-    if (c == '[') {
-      return Array();
-    }
-    if (c == '"') {
-      return String();
-    }
-    if (c == 't') {
-      return Literal("true");
-    }
-    if (c == 'f') {
-      return Literal("false");
-    }
-    if (c == 'n') {
-      return Literal("null");
-    }
-    return Number();
-  }
-  bool Object() {
-    ++pos_;  // '{'
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipSpace();
-      if (!String()) {
-        return false;
-      }
-      SkipSpace();
-      if (pos_ >= text_.size() || text_[pos_] != ':') {
-        return false;
-      }
-      ++pos_;
-      if (!Value()) {
-        return false;
-      }
-      SkipSpace();
-      if (pos_ < text_.size() && text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (pos_ < text_.size() && text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool Array() {
-    ++pos_;  // '['
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      if (!Value()) {
-        return false;
-      }
-      SkipSpace();
-      if (pos_ < text_.size() && text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (pos_ < text_.size() && text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
 
 TEST(JsonValidatorSelfTest, AcceptsAndRejectsCorrectly) {
   EXPECT_TRUE(JsonValidator("[]").Validate());
   EXPECT_TRUE(JsonValidator("[{\"a\": 1, \"b\": \"x\\ny\"}]").Validate());
   EXPECT_TRUE(JsonValidator("{\"k\": [true, false, null, -5]}").Validate());
+  EXPECT_TRUE(JsonValidator("[0.5, -3.25, 1e+06, 2E-3, 1.5e2]").Validate());
   EXPECT_FALSE(JsonValidator("[").Validate());
   EXPECT_FALSE(JsonValidator("{\"a\" 1}").Validate());
   EXPECT_FALSE(JsonValidator("[1,]").Validate());
+  EXPECT_FALSE(JsonValidator("[1.]").Validate());
+  EXPECT_FALSE(JsonValidator("[1e]").Validate());
+  EXPECT_FALSE(JsonValidator("[01]").Validate());
   EXPECT_FALSE(JsonValidator("\"unterminated").Validate());
   EXPECT_FALSE(JsonValidator(std::string("\"ctrl\x01\"")).Validate());
   EXPECT_FALSE(JsonValidator("[] trailing").Validate());

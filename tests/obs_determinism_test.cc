@@ -1,0 +1,102 @@
+// Instrumentation must be a pure observer: attaching a Tracer, a
+// MetricsRegistry, and a ProgressMeter to the dynamic workflow may not change
+// a byte of its report output, at any worker count. In the other direction
+// the observations themselves must be trustworthy — the trace's run spans and
+// the registry's campaign counters have to agree with the planner's numbers.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/report_json.h"
+#include "src/core/wasabi.h"
+#include "src/corpus/corpus.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/obs/trace.h"
+
+namespace wasabi {
+namespace {
+
+TEST(ObsDeterminismTest, InstrumentedCampaignOutputIsByteIdentical) {
+  CorpusApp app = BuildCorpusApp("mapred");
+  WasabiOptions options;
+  options.app_name = app.name;
+  options.default_configs = app.default_configs;
+  options.jobs = 4;
+  Wasabi tool(app.program, *app.index, options);
+
+  DynamicResult plain = tool.RunDynamicWorkflow();
+  std::string plain_json = BugReportsToJson(plain.bugs);
+  ASSERT_GT(plain.planned_runs, 0u);
+
+  Tracer tracer;
+  MetricsRegistry metrics;
+  std::ostringstream progress_sink;
+  ProgressMeter progress(&progress_sink);
+  tool.set_observability(&tracer, &metrics, &progress);
+  DynamicResult instrumented = tool.RunDynamicWorkflow();
+  tool.set_observability(nullptr, nullptr, nullptr);
+
+  EXPECT_EQ(BugReportsToJson(instrumented.bugs), plain_json);
+  EXPECT_EQ(instrumented.planned_runs, plain.planned_runs);
+
+  // One "run" span per planned campaign run, each a complete ('X') event.
+  size_t run_spans = 0;
+  for (const TraceEvent& event : tracer.Collect()) {
+    if (event.name == "run" && event.phase == 'X') {
+      ++run_spans;
+    }
+  }
+  EXPECT_EQ(run_spans, plain.planned_runs);
+
+  // The registry's view of the same campaign.
+  EXPECT_EQ(metrics.CounterValue("campaign.runs_total"),
+            static_cast<int64_t>(plain.planned_runs));
+  EXPECT_GT(metrics.CounterValue("injector.injections_total"), 0);
+  // The pool executes at least one task per campaign run (plus the coverage
+  // pass's per-test tasks).
+  EXPECT_GE(metrics.CounterValue("pool.tasks_total"),
+            static_cast<int64_t>(plain.planned_runs));
+  EXPECT_EQ(metrics.HistogramFor("runner.steps").count, plain.planned_runs);
+  // The progress meter saw the campaign finish.
+  EXPECT_FALSE(progress_sink.str().empty());
+}
+
+TEST(ObsDeterminismTest, MetricsAreIdenticalAcrossWorkerCounts) {
+  CorpusApp app = BuildCorpusApp("mapred");
+  WasabiOptions options;
+  options.app_name = app.name;
+  options.default_configs = app.default_configs;
+  Wasabi tool(app.program, *app.index, options);
+
+  auto run_with_jobs = [&](int jobs) {
+    tool.set_jobs(jobs);
+    MetricsRegistry metrics;
+    tool.set_observability(nullptr, &metrics, nullptr);
+    tool.RunDynamicWorkflow();
+    tool.set_observability(nullptr, nullptr, nullptr);
+    // Everything except the pool.* and oracle timing section is workload
+    // telemetry and must not depend on scheduling; compare those entries.
+    std::ostringstream out;
+    out << "runs=" << metrics.CounterValue("campaign.runs_total")
+        << " injections=" << metrics.CounterValue("injector.injections_total")
+        << " coverage_runs=" << metrics.CounterValue("coverage.runs_total")
+        << " covered=" << metrics.GaugeValue("coverage.locations_covered")
+        << " steps_sum=" << metrics.HistogramFor("runner.steps").sum
+        << " loops_sum=" << metrics.HistogramFor("runner.loop_iterations").sum << " series=";
+    for (double v : metrics.SeriesFor("coverage.cumulative_locations")) {
+      out << v << ",";
+    }
+    return out.str();
+  };
+
+  std::string serial = run_with_jobs(1);
+  EXPECT_EQ(run_with_jobs(2), serial);
+  EXPECT_EQ(run_with_jobs(4), serial);
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,114 @@
+// MetricsRegistry semantics — counter/gauge/histogram/series behavior and the
+// JSON snapshot's well-formedness (shared validator).
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/json_validator.h"
+
+namespace wasabi {
+namespace {
+
+TEST(MetricsTest, CountersAccumulateAndMissingNamesReadZero) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(metrics.CounterValue("absent"), 0);
+  metrics.Increment("runs");
+  metrics.Increment("runs", 4);
+  EXPECT_EQ(metrics.CounterValue("runs"), 5);
+  metrics.Increment("runs", -2);
+  EXPECT_EQ(metrics.CounterValue("runs"), 3);
+}
+
+TEST(MetricsTest, GaugesKeepTheLastValue) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(metrics.GaugeValue("absent"), 0.0);
+  metrics.SetGauge("utilization", 0.25);
+  metrics.SetGauge("utilization", 0.75);
+  EXPECT_DOUBLE_EQ(metrics.GaugeValue("utilization"), 0.75);
+}
+
+TEST(MetricsTest, HistogramTracksCountSumMinMax) {
+  MetricsRegistry metrics;
+  metrics.Observe("latency", 3.0);
+  metrics.Observe("latency", 10.0);
+  metrics.Observe("latency", 1.0);
+  HistogramSnapshot snap = metrics.HistogramFor("latency");
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 14.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 10.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 14.0 / 3.0);
+}
+
+TEST(MetricsTest, HistogramBucketsArePowerOfTwoUpperBounds) {
+  MetricsRegistry metrics;
+  metrics.Observe("h", 0.0);  // Zero bucket.
+  metrics.Observe("h", 3.0);  // <= 4 bucket.
+  metrics.Observe("h", 3.5);  // Same bucket.
+  metrics.Observe("h", 4.0);  // Inclusive bound: still the 4 bucket.
+  metrics.Observe("h", 5.0);  // <= 8 bucket.
+  HistogramSnapshot snap = metrics.HistogramFor("h");
+  EXPECT_EQ(snap.count, 5u);
+  uint64_t in_zero = 0, in_four = 0, in_eight = 0;
+  for (const auto& [bound, count] : snap.buckets) {
+    if (bound == 0.0) {
+      in_zero = count;
+    } else if (bound == 4.0) {
+      in_four = count;
+    } else if (bound == 8.0) {
+      in_eight = count;
+    }
+  }
+  EXPECT_EQ(in_zero, 1u);
+  EXPECT_EQ(in_four, 3u);
+  EXPECT_EQ(in_eight, 1u);
+}
+
+TEST(MetricsTest, EmptyHistogramSnapshotIsAllZeros) {
+  MetricsRegistry metrics;
+  HistogramSnapshot snap = metrics.HistogramFor("absent");
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+  EXPECT_TRUE(snap.buckets.empty());
+}
+
+TEST(MetricsTest, SeriesPreserveAppendOrder) {
+  MetricsRegistry metrics;
+  metrics.AppendSeries("coverage", 1.0);
+  metrics.AppendSeries("coverage", 3.0);
+  metrics.AppendSeries("coverage", 3.0);
+  EXPECT_EQ(metrics.SeriesFor("coverage"), (std::vector<double>{1.0, 3.0, 3.0}));
+  EXPECT_TRUE(metrics.SeriesFor("absent").empty());
+}
+
+TEST(MetricsTest, JsonSnapshotIsValidAndCompletePopulated) {
+  MetricsRegistry metrics;
+  metrics.Increment("a.count", 2);
+  metrics.SetGauge("b.gauge", 1.5);
+  metrics.Observe("c.hist", 7.0);
+  metrics.AppendSeries("d.series", 9.0);
+  // Values that stress the number formatter: large (%.6g may print an
+  // exponent) and adversarial key characters.
+  metrics.SetGauge("big", 12345678901234.0);
+  metrics.Increment("key\"with\\hostiles\n", 1);
+  std::string json = metrics.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Validate()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 2"), std::string::npos);
+}
+
+TEST(MetricsTest, EmptyRegistryJsonIsValid) {
+  MetricsRegistry metrics;
+  std::string json = metrics.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Validate()) << json;
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,124 @@
+// Tracer semantics: span nesting, multi-thread buffer merge ordering, and the
+// Chrome trace-event JSON export (validated with the shared JSON checker).
+
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tests/json_validator.h"
+
+namespace wasabi {
+namespace {
+
+TEST(TracerTest, NestedSpansLandInsideParentTimeRange) {
+  Tracer tracer;
+  {
+    ScopedSpan parent(&tracer, "parent");
+    {
+      ScopedSpan child(&tracer, "child");
+      child.AddArg("k", int64_t{3});
+    }
+  }
+  std::vector<TraceEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  // Both spans can open within the same steady-clock microsecond, so look
+  // them up by name rather than assuming the sort separated them.
+  const TraceEvent& parent = events[0].name == "parent" ? events[0] : events[1];
+  const TraceEvent& child = events[0].name == "child" ? events[0] : events[1];
+  ASSERT_EQ(parent.name, "parent");
+  ASSERT_EQ(child.name, "child");
+  EXPECT_GE(child.start_us, parent.start_us);
+  EXPECT_LE(child.start_us + child.duration_us, parent.start_us + parent.duration_us);
+  ASSERT_EQ(child.int_args.size(), 1u);
+  EXPECT_EQ(child.int_args[0].first, "k");
+  EXPECT_EQ(child.int_args[0].second, 3);
+}
+
+TEST(TracerTest, MultiThreadEventsMergeSortedWithDistinctTids) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span(&tracer, "work");
+        span.AddArg("thread", static_cast<int64_t>(t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  std::vector<TraceEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kSpansPerThread));
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const TraceEvent& a, const TraceEvent& b) {
+                               return a.start_us < b.start_us;
+                             }));
+  std::set<int> tids;
+  for (const TraceEvent& event : events) {
+    tids.insert(event.tid);
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+TEST(TracerTest, EmptyFlushIsStillAValidChromeTrace) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.event_count(), 0u);
+  std::string json = tracer.ToChromeJson();
+  EXPECT_TRUE(JsonValidator(json).Validate()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TracerTest, NullTracerSpanIsANoOp) {
+  ScopedSpan span(nullptr, "ignored");
+  span.AddArg("s", std::string("v"));
+  span.AddArg("i", int64_t{1});
+  // Destruction must not crash; nothing to assert beyond reaching here.
+}
+
+TEST(TracerTest, InstantAndCounterEventsExportWithTheirPhases) {
+  Tracer tracer;
+  tracer.Instant("marker", {{"why", "because"}}, {{"n", 7}});
+  tracer.Counter("coverage", "locations", 42);
+  std::vector<TraceEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_EQ(events[1].phase, 'C');
+  std::string json = tracer.ToChromeJson();
+  EXPECT_TRUE(JsonValidator(json).Validate()) << json;
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);  // Instant scope.
+}
+
+TEST(TracerTest, ArgValuesAreEscapedIntoValidJson) {
+  Tracer tracer;
+  {
+    ScopedSpan span(&tracer, "na\"me\\with\nhostiles");
+    span.AddArg("quote\"key", std::string("va\\lue\twith\x01stuff"));
+  }
+  std::string json = tracer.ToChromeJson();
+  EXPECT_TRUE(JsonValidator(json).Validate()) << json;
+}
+
+TEST(TracerTest, CompleteSpansCarryDurations) {
+  Tracer tracer;
+  { ScopedSpan span(&tracer, "timed"); }
+  std::vector<TraceEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_GE(events[0].duration_us, 0);
+  std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wasabi

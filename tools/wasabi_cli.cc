@@ -16,6 +16,14 @@
 //   --jobs N                          worker threads for the injection
 //                                     campaign (default: all hardware
 //                                     threads; output is identical for any N)
+//   --trace-out=FILE                  write a Chrome trace-event JSON of the
+//                                     run (open in chrome://tracing/Perfetto)
+//   --metrics-out=FILE                write the flat metrics JSON
+//   --progress                        periodic campaign progress on stderr
+//
+// Instrumentation never touches stdout: reports are byte-identical with and
+// without --trace-out/--metrics-out/--progress. Unknown options and options
+// missing a required value are rejected with exit code 2.
 //
 // Directory layout convention: every *.mj file is part of the application;
 // classes whose names end in "Test" are unit tests. The directory's base name
@@ -34,6 +42,9 @@
 #include "src/core/wasabi.h"
 #include "src/corpus/corpus.h"
 #include "src/lang/parser.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/obs/trace.h"
 #include "src/study/study.h"
 
 namespace fs = std::filesystem;
@@ -44,8 +55,105 @@ using namespace wasabi;
 
 int Usage() {
   std::cerr << "usage: wasabi <dump-corpus|identify|static|test|study> [dir] [--json]"
-               " [--jobs N]\n";
+               " [--jobs N] [--trace-out=FILE] [--metrics-out=FILE] [--progress]\n";
   return 2;
+}
+
+// Parsed command-line options shared by the analysis commands.
+struct CliOptions {
+  bool json = false;
+  bool progress = false;
+  int jobs = 0;  // 0 = all hardware threads (DefaultJobCount).
+  std::string trace_out;
+  std::string metrics_out;
+};
+
+// Strict flag parsing: every `--name=value` / `--name value` form must match
+// a known option, and value-taking options must actually get a value — a
+// typo like --trace-ot=t.json fails loudly instead of silently running an
+// uninstrumented campaign. Returns false after printing the usage line.
+bool ParseOptions(int argc, char** argv, int first, CliOptions* options) {
+  auto fail = [](const std::string& message) {
+    std::cerr << "error: " << message << "\n";
+    Usage();
+    return false;
+  };
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (size_t eq = arg.find('='); arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto take_value = [&](const char* flag) {
+      if (has_value) {
+        return true;
+      }
+      if (i + 1 < argc) {
+        value = argv[++i];
+        return true;
+      }
+      std::cerr << "error: option " << flag << " requires a value\n";
+      return false;
+    };
+    if (name == "--json" || name == "--progress") {
+      if (has_value) {
+        return fail("option " + name + " does not take a value");
+      }
+      (name == "--json" ? options->json : options->progress) = true;
+    } else if (name == "--jobs") {
+      if (!take_value("--jobs")) {
+        Usage();
+        return false;
+      }
+      char* end = nullptr;
+      long jobs = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || jobs < 0) {
+        return fail("option --jobs needs a non-negative integer, got '" + value + "'");
+      }
+      options->jobs = static_cast<int>(jobs);
+    } else if (name == "--trace-out") {
+      if (!take_value("--trace-out")) {
+        Usage();
+        return false;
+      }
+      options->trace_out = value;
+    } else if (name == "--metrics-out") {
+      if (!take_value("--metrics-out")) {
+        Usage();
+        return false;
+      }
+      options->metrics_out = value;
+    } else {
+      return fail("unknown option '" + arg + "'");
+    }
+  }
+  return true;
+}
+
+// Exports requested trace/metrics files after a workflow. Returns false (with
+// a message) when a file cannot be written.
+bool ExportObservability(const CliOptions& cli, Tracer& tracer, const MetricsRegistry& metrics) {
+  if (!cli.trace_out.empty()) {
+    std::ofstream out(cli.trace_out);
+    out << tracer.ToChromeJson();
+    if (!out) {
+      std::cerr << "error: cannot write trace to " << cli.trace_out << "\n";
+      return false;
+    }
+  }
+  if (!cli.metrics_out.empty()) {
+    std::ofstream out(cli.metrics_out);
+    out << metrics.ToJson();
+    if (!out) {
+      std::cerr << "error: cannot write metrics to " << cli.metrics_out << "\n";
+      return false;
+    }
+  }
+  return true;
 }
 
 // Loads every .mj file under `root` (recursively) into a program. Paths are
@@ -140,14 +248,38 @@ int Identify(const fs::path& root) {
   return 0;
 }
 
-int StaticWorkflow(const fs::path& root, bool json) {
+// Sinks backing the --trace-out/--metrics-out/--progress flags. The pointers
+// are null unless the matching flag was given, so an unflagged run takes the
+// exact uninstrumented code paths.
+struct ObsSinks {
+  explicit ObsSinks(const CliOptions& cli)
+      : progress_meter(&std::cerr),
+        tracer_ptr(cli.trace_out.empty() ? nullptr : &tracer),
+        metrics_ptr(cli.metrics_out.empty() ? nullptr : &metrics),
+        progress_ptr(cli.progress ? &progress_meter : nullptr) {}
+
+  Tracer tracer;
+  MetricsRegistry metrics;
+  ProgressMeter progress_meter;
+  Tracer* tracer_ptr;
+  MetricsRegistry* metrics_ptr;
+  ProgressMeter* progress_ptr;
+};
+
+int StaticWorkflow(const fs::path& root, const CliOptions& cli) {
+  bool json = cli.json;
   mj::Program program;
   if (!LoadProgram(root, program)) {
     return 1;
   }
   mj::ProgramIndex index(program);
   Wasabi tool(program, index, OptionsFor(root));
+  ObsSinks obs(cli);
+  tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr);
   StaticResult result = tool.RunStaticWorkflow();
+  if (!ExportObservability(cli, obs.tracer, obs.metrics)) {
+    return 1;
+  }
   if (json) {
     std::vector<BugReport> all = result.when_bugs;
     all.insert(all.end(), result.if_bugs.begin(), result.if_bugs.end());
@@ -169,27 +301,38 @@ int StaticWorkflow(const fs::path& root, bool json) {
   return 0;
 }
 
-int DynamicWorkflow(const fs::path& root, bool json, int jobs) {
+int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
   mj::Program program;
   if (!LoadProgram(root, program)) {
     return 1;
   }
   mj::ProgramIndex index(program);
   WasabiOptions options = OptionsFor(root);
-  options.jobs = jobs;
+  options.jobs = cli.jobs;
   Wasabi tool(program, index, options);
+  ObsSinks obs(cli);
+  tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr);
   DynamicResult result = tool.RunDynamicWorkflow();
-  if (json) {
-    std::cout << BugReportsToJson(result.bugs);
-    return 0;
+  {
+    // Report formatting gets its own span so a trace accounts for the whole
+    // wall clock, not just the analysis phases.
+    ScopedSpan report_span(obs.tracer_ptr, "phase.report");
+    if (cli.json) {
+      std::cout << BugReportsToJson(result.bugs);
+    } else {
+      std::cout << result.total_tests << " unit tests, " << result.tests_covering_retry
+                << " cover retry; " << result.planned_runs << " injected runs (naive: "
+                << result.naive_runs << ") on " << result.jobs_used << " worker(s)\n";
+      std::cout << result.bugs.size() << " bug report(s):\n";
+      for (const BugReport& bug : result.bugs) {
+        std::cout << "  " << bug.file << ":" << bug.location.line << "\t"
+                  << BugTypeName(bug.type) << "\t" << bug.coordinator << "\n\t" << bug.detail
+                  << "\n";
+      }
+    }
   }
-  std::cout << result.total_tests << " unit tests, " << result.tests_covering_retry
-            << " cover retry; " << result.planned_runs << " injected runs (naive: "
-            << result.naive_runs << ") on " << result.jobs_used << " worker(s)\n";
-  std::cout << result.bugs.size() << " bug report(s):\n";
-  for (const BugReport& bug : result.bugs) {
-    std::cout << "  " << bug.file << ":" << bug.location.line << "\t" << BugTypeName(bug.type)
-              << "\t" << bug.coordinator << "\n\t" << bug.detail << "\n";
+  if (!ExportObservability(cli, obs.tracer, obs.metrics)) {
+    return 1;
   }
   return 0;
 }
@@ -226,21 +369,9 @@ int main(int argc, char** argv) {
     return Usage();
   }
   fs::path root = argv[2];
-  bool json = false;
-  int jobs = 0;  // 0 = all hardware threads (DefaultJobCount).
-  for (int i = 3; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "--json") {
-      json = true;
-    } else if (arg == "--jobs" && i + 1 < argc) {
-      char* end = nullptr;
-      jobs = static_cast<int>(std::strtol(argv[++i], &end, 10));
-      if (end == argv[i] || *end != '\0' || jobs < 0) {
-        return Usage();
-      }
-    } else {
-      return Usage();
-    }
+  CliOptions cli;
+  if (!ParseOptions(argc, argv, 3, &cli)) {
+    return 2;
   }
   if (command == "dump-corpus") {
     return DumpCorpus(root);
@@ -249,10 +380,10 @@ int main(int argc, char** argv) {
     return Identify(root);
   }
   if (command == "static") {
-    return StaticWorkflow(root, json);
+    return StaticWorkflow(root, cli);
   }
   if (command == "test") {
-    return DynamicWorkflow(root, json, jobs);
+    return DynamicWorkflow(root, cli);
   }
   return Usage();
 }
