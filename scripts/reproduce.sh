@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # One-shot reproduction: configure, build, run the test suites (fast tier-1
 # first, then the corpus-wide full suite), regenerate every table/figure of
-# the paper, and — when the toolchain supports it — re-run the concurrency
-# tests under ThreadSanitizer.
+# the paper, prove chaos containment, and — when the toolchain supports it —
+# re-run the concurrency tests under ThreadSanitizer and the fault-containment
+# tests under AddressSanitizer.
 #
 #   scripts/reproduce.sh [build-dir]
 set -euo pipefail
@@ -38,6 +39,22 @@ rm -rf "$corpus_dir"
   --trace-out="$repo_root/campaign_trace.json" \
   --metrics-out="$repo_root/campaign_metrics.json" >/dev/null
 
+# Chaos-containment pass (docs/ROBUSTNESS.md): the same campaign with the
+# self-chaos harness killing ~10% of run attempts must exit 0 and produce
+# byte-identical output at every worker count.
+chaos_reference=""
+for jobs in 1 2 4 8; do
+  chaos_out="$("$build_dir/tools/wasabi" analyze "$corpus_dir/mapred" --json \
+    --chaos 42:0.1 --jobs "$jobs")"
+  if [ -z "$chaos_reference" ]; then
+    chaos_reference="$chaos_out"
+  elif [ "$chaos_out" != "$chaos_reference" ]; then
+    echo "FATAL: chaos campaign output differs at --jobs $jobs" >&2
+    exit 1
+  fi
+done
+echo "chaos containment: byte-identical at 1/2/4/8 workers"
+
 # ThreadSanitizer pass over the campaign-executor concurrency tests (label
 # "exec"), in a separate build tree so the main artifacts stay uninstrumented.
 # Skipped quietly when the compiler can't link TSan (e.g. musl toolchains).
@@ -50,6 +67,21 @@ if echo 'int main(){return 0;}' |
     2>&1 | tee "$repo_root/tsan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=thread; skipping TSan pass"
+fi
+
+# AddressSanitizer pass over the fault-containment tests (label "robust":
+# exception capture, quarantine bookkeeping, degraded-mode parsing — the
+# lifetime-sensitive paths; see docs/ROBUSTNESS.md). Same separate-tree and
+# probe-then-skip structure as the TSan pass above.
+if echo 'int main(){return 0;}' |
+   c++ -x c++ -fsanitize=address -o /tmp/wasabi_asan_probe - 2>/dev/null; then
+  rm -f /tmp/wasabi_asan_probe
+  cmake -B "$build_dir-asan" -G Ninja -S "$repo_root" -DWASABI_ASAN=ON
+  cmake --build "$build_dir-asan"
+  ctest --test-dir "$build_dir-asan" -L robust --output-on-failure \
+    2>&1 | tee "$repo_root/asan_output.txt"
+else
+  echo "note: compiler does not support -fsanitize=address; skipping ASan pass"
 fi
 
 echo

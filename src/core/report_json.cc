@@ -61,4 +61,38 @@ std::string BugReportsToJson(const std::vector<BugReport>& bugs) {
   return out.str();
 }
 
+std::string AnalysisReportToJson(const std::vector<BugReport>& bugs,
+                                 const ReportHealth& health) {
+  if (health.clean()) {
+    // Default-off guarantee: a healthy analysis emits the exact legacy array,
+    // so consumers that never asked for robustness see nothing new.
+    return BugReportsToJson(bugs);
+  }
+  std::string bugs_json = BugReportsToJson(bugs);
+  if (!bugs_json.empty() && bugs_json.back() == '\n') {
+    bugs_json.pop_back();
+  }
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"degraded\": true,\n"
+      << "  \"bugs\": " << bugs_json << ",\n"
+      << "  \"skipped_files\": [";
+  for (size_t i = 0; i < health.skipped_files.size(); ++i) {
+    const SkippedFile& file = health.skipped_files[i];
+    out << (i > 0 ? "," : "") << "\n    {\"path\": \"" << JsonEscape(file.path)
+        << "\", \"reason\": \"" << JsonEscape(file.reason) << "\"}";
+  }
+  out << "\n  ],\n  \"quarantined\": [";
+  for (size_t i = 0; i < health.quarantined.size(); ++i) {
+    const RunFailure& failure = health.quarantined[i];
+    out << (i > 0 ? "," : "") << "\n    {\"run_id\": " << failure.run_id << ", \"test\": \""
+        << JsonEscape(failure.test) << "\", \"location\": \"" << JsonEscape(failure.location)
+        << "\", \"kind\": \"" << RunFailureKindName(failure.kind) << "\", \"detail\": \""
+        << JsonEscape(failure.detail) << "\", \"attempts\": " << failure.attempts
+        << ", \"chaos\": " << (failure.chaos ? "true" : "false") << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
 }  // namespace wasabi

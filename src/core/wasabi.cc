@@ -258,7 +258,11 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
     if (options_.progress != nullptr) {
       options_.progress->Begin("coverage", tests.size());
     }
-    result.coverage = MapCoverageParallel(runner, tests, result.locations, pool, obs);
+    CoverageOutcome coverage_outcome =
+        MapCoverageRobust(runner, tests, result.locations, pool, options_.robust, obs);
+    result.coverage = std::move(coverage_outcome.coverage);
+    result.quarantined = std::move(coverage_outcome.quarantined);
+    result.robustness.MergeFrom(coverage_outcome.robustness);
     if (options_.progress != nullptr) {
       options_.progress->Finish();
     }
@@ -311,11 +315,18 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
     if (options_.progress != nullptr) {
       options_.progress->Begin("campaign", specs.size());
     }
-    campaign = ExecuteCampaign(runner, result.locations, specs, pool, obs);
+    CampaignOutcome campaign_outcome =
+        ExecuteCampaignRobust(runner, result.locations, specs, pool, options_.robust, obs);
+    campaign = std::move(campaign_outcome.results);
+    result.quarantined.insert(result.quarantined.end(),
+                              campaign_outcome.quarantined.begin(),
+                              campaign_outcome.quarantined.end());
+    result.robustness.MergeFrom(campaign_outcome.robustness);
     if (options_.progress != nullptr) {
       options_.progress->Finish();
     }
   }
+  result.degraded = !result.quarantined.empty();
 
   std::optional<ScopedSpan> oracle_span(std::in_place, options_.tracer, "phase.oracles");
   std::vector<OracleReport> all_reports;

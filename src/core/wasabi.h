@@ -24,6 +24,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
 #include "src/obs/trace.h"
+#include "src/robust/robust.h"
 #include "src/testing/coverage.h"
 #include "src/testing/oracles.h"
 #include "src/testing/runner.h"
@@ -48,6 +49,11 @@ struct WasabiOptions {
   // hardware thread. Results are byte-identical for every setting: runs carry
   // stable ids and the reducer consumes them in id order.
   int jobs = 1;
+  // Fault containment for the dynamic workflow (docs/ROBUSTNESS.md): retry
+  // policy for infrastructure-failed runs, per-location circuit breaker,
+  // optional self-chaos, fail-fast / quarantine budget. The default value
+  // changes nothing when no run fails at the host level.
+  RobustnessOptions robust;
   // Observability sinks (all non-owning, all default-off). With sinks
   // attached the workflows open phase spans, tag every campaign run, and feed
   // the metric taxonomy in docs/OBSERVABILITY.md; every report and JSON
@@ -79,6 +85,12 @@ struct DynamicResult {
   size_t naive_runs = 0;           // Runs a plan-less WASABI would execute.
   size_t config_restrictions_restored = 0;
   int jobs_used = 1;               // Workers the campaign executor ran with.
+  // Fault containment (docs/ROBUSTNESS.md): runs the campaign gave up on
+  // (coverage runs carry location "<coverage>"), aggregate resilience
+  // counters, and whether the result is degraded (some runs quarantined).
+  std::vector<RunFailure> quarantined;
+  RobustnessStats robustness;
+  bool degraded = false;
   // Wall-clock phase breakdown (§4.3: test execution dominates; the coverage
   // discovery pass alone is a significant share; static analysis is <1%).
   double identification_seconds = 0.0;

@@ -121,4 +121,266 @@ ExecutionLog MergeCampaignLogs(const std::vector<CampaignRunResult>& results) {
   return merged;
 }
 
+namespace {
+
+// Chaos identity for a coverage run: top bit set so the draw stream never
+// collides with campaign run ids under the same seed.
+uint64_t CoverageChaosIdentity(size_t test_index) {
+  return (1ULL << 63) | static_cast<uint64_t>(test_index);
+}
+
+void ExportRobustMetrics(const CampaignObs& obs, const RobustnessStats& stats) {
+  if (obs.metrics == nullptr) {
+    return;
+  }
+  obs.metrics->Increment("robust.retries_total", stats.retries);
+  obs.metrics->Increment("robust.recovered_total", stats.recovered);
+  obs.metrics->Increment("robust.quarantined_total", stats.quarantined);
+  obs.metrics->Increment("robust.chaos_faults_total", stats.chaos_faults);
+  obs.metrics->Increment("robust.breaker_open_total", stats.breaker_open);
+  obs.metrics->Increment("robust.fail_fast_skipped_total", stats.fail_fast_skipped);
+  obs.metrics->Increment("robust.backoff_virtual_ms", stats.backoff_virtual_ms);
+}
+
+}  // namespace
+
+CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
+                                      const std::vector<RetryLocation>& locations,
+                                      const std::vector<CampaignRunSpec>& specs, TaskPool& pool,
+                                      const RobustnessOptions& options, const CampaignObs& obs) {
+  CampaignOutcome outcome;
+  RobustnessStats& stats = outcome.robustness;
+  std::vector<CampaignRunResult> results(specs.size());
+  std::vector<int> attempts(specs.size(), 0);
+  std::vector<char> completed(specs.size(), 0);
+  CircuitBreaker breaker(options.breaker_threshold);
+
+  auto quarantine = [&](size_t i, RunFailure failure) {
+    const CampaignRunSpec& spec = specs[i];
+    failure.run_id = spec.id;
+    failure.test = spec.test.qualified_name;
+    failure.location = locations[spec.location_index].Key();
+    failure.attempts = attempts[i];
+    outcome.quarantined.push_back(std::move(failure));
+    ++stats.quarantined;
+  };
+
+  // Wave execution: attempts within a wave run in parallel; everything that
+  // *decides* anything — admission, failure classification, breaker feeding,
+  // retry scheduling — happens serially in id order between waves, so the
+  // outcome is byte-identical for any worker count.
+  std::vector<size_t> wave(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    wave[i] = i;
+  }
+  while (!wave.empty()) {
+    // Admission, serial in id order.
+    std::vector<size_t> admitted;
+    admitted.reserve(wave.size());
+    for (size_t i : wave) {
+      const std::string key = locations[specs[i].location_index].Key();
+      const bool quota_hit =
+          options.max_quarantined >= 0 &&
+          static_cast<int64_t>(outcome.quarantined.size()) > options.max_quarantined;
+      if (quota_hit || (options.fail_fast && !outcome.quarantined.empty())) {
+        RunFailure skip;
+        skip.kind = RunFailureKind::kHostException;
+        skip.detail = quota_hit ? "skipped: quarantine limit reached"
+                                : "skipped: fail-fast after earlier quarantine";
+        stats.aborted = stats.aborted || quota_hit;
+        ++stats.fail_fast_skipped;
+        quarantine(i, std::move(skip));
+        continue;
+      }
+      if (breaker.IsOpen(key)) {
+        RunFailure skip;
+        skip.kind = RunFailureKind::kHostException;
+        skip.detail = "skipped: circuit open for " + key;
+        ++stats.breaker_open;
+        quarantine(i, std::move(skip));
+        continue;
+      }
+      admitted.push_back(i);
+    }
+    if (admitted.empty()) {
+      break;
+    }
+    std::vector<std::exception_ptr> errors = pool.ParallelForCaptured(
+        admitted.size(), [&](size_t w) {
+          const size_t i = admitted[w];
+          const CampaignRunSpec& spec = specs[i];
+          const RetryLocation& location = locations[spec.location_index];
+          const int attempt = attempts[i] + 1;
+          ScopedSpan span(obs.tracer, "run");
+          span.AddArg("run_id", static_cast<int64_t>(spec.id));
+          span.AddArg("test", spec.test.qualified_name);
+          span.AddArg("location", location.Key());
+          span.AddArg("k", static_cast<int64_t>(spec.k));
+          if (attempt > 1) {
+            span.AddArg("attempt", static_cast<int64_t>(attempt));
+          }
+          // The chaos seam sits before the injector so a faulted attempt
+          // contributes no injection counters — the fault-free metric totals
+          // stay reachable by retry.
+          ChaosMaybeFault(options.chaos, spec.id, attempt);
+          FaultInjector injector({InjectionPoint{location.retried_method, location.coordinator,
+                                                 location.exception_name, spec.k}},
+                                 obs.metrics);
+          CampaignRunResult& result = results[i];
+          result.id = spec.id;
+          result.location_index = spec.location_index;
+          result.k = spec.k;
+          result.record = runner.RunTest(spec.test, {&injector});
+          if (obs.progress != nullptr) {
+            obs.progress->Tick();
+          }
+        });
+    // Reduce, serial in id order: classify, feed the breaker, decide retries.
+    std::vector<size_t> next_wave;
+    for (size_t w = 0; w < admitted.size(); ++w) {
+      const size_t i = admitted[w];
+      ++attempts[i];
+      const std::string key = locations[specs[i].location_index].Key();
+      if (!errors[w]) {
+        completed[i] = 1;
+        breaker.RecordSuccess(key);
+        if (attempts[i] > 1) {
+          ++stats.recovered;
+        }
+        continue;
+      }
+      RunFailure failure = ClassifyFailure(errors[w]);
+      if (failure.chaos) {
+        ++stats.chaos_faults;
+      }
+      breaker.RecordFailure(key);
+      const int next_attempt = attempts[i] + 1;
+      if (options.retry.ShouldRetry(next_attempt) && !breaker.IsOpen(key)) {
+        ++stats.retries;
+        stats.backoff_virtual_ms += options.retry.BackoffMs(specs[i].id, next_attempt);
+        next_wave.push_back(i);
+      } else {
+        quarantine(i, std::move(failure));
+      }
+    }
+    wave = std::move(next_wave);
+  }
+  stats.open_locations = breaker.OpenKeys();
+
+  outcome.results.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (completed[i]) {
+      outcome.results.push_back(std::move(results[i]));
+    }
+  }
+  std::sort(outcome.results.begin(), outcome.results.end(),
+            [](const CampaignRunResult& a, const CampaignRunResult& b) { return a.id < b.id; });
+  std::sort(outcome.quarantined.begin(), outcome.quarantined.end(),
+            [](const RunFailure& a, const RunFailure& b) { return a.run_id < b.run_id; });
+  // Same reduce-time telemetry as ExecuteCampaign over the completed runs,
+  // plus the resilience counters.
+  if (obs.metrics != nullptr) {
+    obs.metrics->Increment("campaign.runs_total", static_cast<int64_t>(outcome.results.size()));
+    for (const CampaignRunResult& result : outcome.results) {
+      obs.metrics->Observe("runner.steps", static_cast<double>(result.record.steps));
+      obs.metrics->Observe("runner.loop_iterations",
+                           static_cast<double>(result.record.loop_iterations));
+      obs.metrics->Observe("runner.virtual_ms",
+                           static_cast<double>(result.record.virtual_duration_ms));
+    }
+  }
+  ExportRobustMetrics(obs, stats);
+  return outcome;
+}
+
+CoverageOutcome MapCoverageRobust(const TestRunner& runner, const std::vector<TestCase>& tests,
+                                  const std::vector<RetryLocation>& locations, TaskPool& pool,
+                                  const RobustnessOptions& options, const CampaignObs& obs) {
+  CoverageOutcome outcome;
+  RobustnessStats& stats = outcome.robustness;
+  std::vector<std::vector<size_t>> hits(tests.size());
+  std::vector<int> attempts(tests.size(), 0);
+  std::vector<char> completed(tests.size(), 0);
+
+  std::vector<size_t> wave(tests.size());
+  for (size_t i = 0; i < tests.size(); ++i) {
+    wave[i] = i;
+  }
+  while (!wave.empty()) {
+    std::vector<std::exception_ptr> errors = pool.ParallelForCaptured(
+        wave.size(), [&](size_t w) {
+          const size_t i = wave[w];
+          const int attempt = attempts[i] + 1;
+          ScopedSpan span(obs.tracer, "coverage.run");
+          span.AddArg("test", tests[i].qualified_name);
+          if (attempt > 1) {
+            span.AddArg("attempt", static_cast<int64_t>(attempt));
+          }
+          ChaosMaybeFault(options.chaos, CoverageChaosIdentity(i), attempt);
+          CoverageRecorder recorder(&locations);
+          runner.RunTest(tests[i], {&recorder});
+          hits[i] = recorder.hits();
+          if (obs.progress != nullptr) {
+            obs.progress->Tick();
+          }
+        });
+    std::vector<size_t> next_wave;
+    for (size_t w = 0; w < wave.size(); ++w) {
+      const size_t i = wave[w];
+      ++attempts[i];
+      if (!errors[w]) {
+        completed[i] = 1;
+        if (attempts[i] > 1) {
+          ++stats.recovered;
+        }
+        continue;
+      }
+      RunFailure failure = ClassifyFailure(errors[w]);
+      if (failure.chaos) {
+        ++stats.chaos_faults;
+      }
+      if (options.retry.ShouldRetry(attempts[i] + 1)) {
+        ++stats.retries;
+        stats.backoff_virtual_ms +=
+            options.retry.BackoffMs(CoverageChaosIdentity(i), attempts[i] + 1);
+        next_wave.push_back(i);
+      } else {
+        failure.run_id = static_cast<uint64_t>(i);
+        failure.test = tests[i].qualified_name;
+        failure.location = "<coverage>";
+        failure.attempts = attempts[i];
+        hits[i].clear();  // A quarantined test covers nothing.
+        outcome.quarantined.push_back(std::move(failure));
+        ++stats.quarantined;
+      }
+    }
+    wave = std::move(next_wave);
+  }
+  std::sort(outcome.quarantined.begin(), outcome.quarantined.end(),
+            [](const RunFailure& a, const RunFailure& b) { return a.run_id < b.run_id; });
+
+  // Identical reduce to MapCoverageParallel over the surviving runs.
+  std::set<size_t> cumulative;
+  for (size_t i = 0; i < tests.size(); ++i) {
+    cumulative.insert(hits[i].begin(), hits[i].end());
+    if (obs.metrics != nullptr) {
+      obs.metrics->AppendSeries("coverage.cumulative_locations",
+                                static_cast<double>(cumulative.size()));
+    }
+    if (obs.tracer != nullptr) {
+      obs.tracer->Counter("coverage.cumulative_locations", "locations",
+                          static_cast<int64_t>(cumulative.size()));
+    }
+    if (!hits[i].empty()) {
+      outcome.coverage[tests[i].qualified_name] = std::move(hits[i]);
+    }
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->Increment("coverage.runs_total", static_cast<int64_t>(tests.size()));
+    obs.metrics->SetGauge("coverage.locations_covered", static_cast<double>(cumulative.size()));
+  }
+  ExportRobustMetrics(obs, stats);
+  return outcome;
+}
+
 }  // namespace wasabi

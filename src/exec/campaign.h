@@ -22,6 +22,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
 #include "src/obs/trace.h"
+#include "src/robust/robust.h"
 #include "src/testing/coverage.h"
 #include "src/testing/runner.h"
 
@@ -84,6 +85,45 @@ CoverageMap MapCoverageParallel(const TestRunner& runner, const std::vector<Test
 // entries in per-run append order — the deterministic reduce-time counterpart
 // of the old "one shared log" view, with no concurrent appends anywhere.
 ExecutionLog MergeCampaignLogs(const std::vector<CampaignRunResult>& results);
+
+// --- Fault-contained execution (docs/ROBUSTNESS.md) -------------------------
+//
+// The robust variants never let a host-level failure kill the campaign:
+// a run whose task throws is retried per RobustnessOptions::retry (waves:
+// a parallel attempt wave, then a serial id-ordered reduce that classifies
+// failures, feeds the per-location circuit breaker, and decides retries —
+// so every resilience decision is independent of worker scheduling), and
+// quarantined with a structured RunFailure once attempts are exhausted, the
+// location's circuit is open, or fail-fast / the quarantine budget cut the
+// campaign short. With default options and no failures the completed results
+// are byte-identical to ExecuteCampaign's.
+
+struct CampaignOutcome {
+  std::vector<CampaignRunResult> results;  // Completed runs only, id-ordered.
+  std::vector<RunFailure> quarantined;     // Given-up runs, id-ordered.
+  RobustnessStats robustness;
+};
+
+CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
+                                      const std::vector<RetryLocation>& locations,
+                                      const std::vector<CampaignRunSpec>& specs, TaskPool& pool,
+                                      const RobustnessOptions& options,
+                                      const CampaignObs& obs = {});
+
+// Fault-contained coverage discovery: a test whose coverage run keeps failing
+// at the host level is quarantined (location "<coverage>") and simply covers
+// nothing, instead of killing the whole pass. Chaos identities for coverage
+// runs are tagged with the top bit so they never collide with campaign run
+// ids under one seed.
+struct CoverageOutcome {
+  CoverageMap coverage;
+  std::vector<RunFailure> quarantined;  // run_id = test index in `tests`.
+  RobustnessStats robustness;
+};
+
+CoverageOutcome MapCoverageRobust(const TestRunner& runner, const std::vector<TestCase>& tests,
+                                  const std::vector<RetryLocation>& locations, TaskPool& pool,
+                                  const RobustnessOptions& options, const CampaignObs& obs = {});
 
 }  // namespace wasabi
 

@@ -132,7 +132,9 @@ void TaskPool::RunJob(int worker) {
       try {
         (*job_fn_)(index);
       } catch (...) {
-        job_failed_.store(true, std::memory_order_relaxed);
+        // Keep the failure's identity: index `index` ran exactly once, so
+        // this slot write races with nothing.
+        (*job_errors_)[index] = std::current_exception();
       }
       counters.busy_us +=
           std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - task_start)
@@ -165,8 +167,21 @@ void TaskPool::WorkLoop(int worker) {
 }
 
 void TaskPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  std::vector<std::exception_ptr> errors = ParallelForCaptured(count, fn);
+  // Rethrow the lowest-index failure so the escaping exception is the same
+  // one a serial loop would have raised first.
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+std::vector<std::exception_ptr> TaskPool::ParallelForCaptured(
+    size_t count, const std::function<void(size_t)>& fn) {
+  std::vector<std::exception_ptr> errors(count);
   if (count == 0) {
-    return;
+    return errors;
   }
   if (worker_count_ == 1) {
     // Strictly serial on the calling thread; no scheduling at all. Counters
@@ -175,19 +190,23 @@ void TaskPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) 
     WorkerCounters& counters = counters_[0];
     for (size_t i = 0; i < count; ++i) {
       Clock::time_point task_start = Clock::now();
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
       counters.busy_us +=
           std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - task_start)
               .count();
       ++counters.tasks;
     }
-    return;
+    return errors;
   }
   assert(count <= UINT32_MAX);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_fn_ = &fn;
-    job_failed_.store(false, std::memory_order_relaxed);
+    job_errors_ = &errors;
     job_pending_.store(count, std::memory_order_release);
     // One contiguous chunk per worker; the imbalance is what stealing fixes.
     size_t base = count / static_cast<size_t>(worker_count_);
@@ -204,9 +223,7 @@ void TaskPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) 
   }
   job_cv_.notify_all();
   RunJob(0);  // The caller is worker 0; returns once every index completed.
-  if (job_failed_.load(std::memory_order_relaxed)) {
-    throw std::runtime_error("TaskPool: a parallel task threw an exception");
-  }
+  return errors;
 }
 
 TaskPoolStats TaskPool::Stats() const {

@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -62,9 +63,20 @@ class TaskPool {
 
   // Runs fn(index) for every index in [0, count), distributed over the
   // workers, and blocks until all calls have returned. fn must be safe to
-  // call concurrently for distinct indices. Rethrows (as std::runtime_error)
-  // if any call threw. Not reentrant: one ParallelFor at a time.
+  // call concurrently for distinct indices. Rethrows the lowest-index
+  // captured exception if any call threw. Not reentrant: one ParallelFor at
+  // a time.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  // Like ParallelFor, but never throws on task failure: every index runs to
+  // completion or to its own exception, and the result holds one slot per
+  // index — null for success, the captured std::exception_ptr for failure.
+  // Each index is executed exactly once, so the slot writes are race-free.
+  // This is the seam the campaign layer's quarantine/retry machinery builds
+  // on: a poisoned run keeps its identity instead of collapsing into a
+  // pool-wide boolean.
+  std::vector<std::exception_ptr> ParallelForCaptured(size_t count,
+                                                      const std::function<void(size_t)>& fn);
 
   // Snapshot / reset of the execution counters. Only valid between
   // ParallelFor calls (ParallelFor's join provides the happens-before edge
@@ -111,7 +123,10 @@ class TaskPool {
   const std::function<void(size_t)>* job_fn_ = nullptr;
   uint64_t job_generation_ = 0;
   std::atomic<size_t> job_pending_{0};  // Indices not yet fully executed.
-  std::atomic<bool> job_failed_{false};
+  // Per-index exception slots for the running job. Each worker writes only
+  // the slots of indices it executed (exactly once each), so no two threads
+  // touch the same slot; the join in ParallelForCaptured orders the reads.
+  std::vector<std::exception_ptr>* job_errors_ = nullptr;
   bool shutdown_ = false;
 };
 

@@ -208,6 +208,21 @@ void Parser::ParseMember(ClassDecl* cls) {
 // --------------------------------------------------------------------------
 
 Stmt* Parser::ParseStmt() {
+  if (stmt_depth_ >= kMaxStmtDepth) {
+    ReportDepthExceeded();
+    // Skip to a statement boundary (guaranteeing progress) and hand the
+    // caller an empty block: parents like ParseIf attach the child without a
+    // null check, so the placeholder must be a real statement.
+    SynchronizeStmt();
+    return unit_->Create<BlockStmt>(Current().location);
+  }
+  ++stmt_depth_;
+  Stmt* stmt = ParseStmtImpl();
+  --stmt_depth_;
+  return stmt;
+}
+
+Stmt* Parser::ParseStmtImpl() {
   switch (Current().kind) {
     case TokenKind::kLBrace:
       return ParseBlock();
@@ -452,8 +467,35 @@ Stmt* Parser::ParseSimpleStmt(bool consume_semicolon) {
 // Expressions
 // --------------------------------------------------------------------------
 
+bool Parser::ExprDepthExceeded() {
+  if (expr_depth_ < kMaxExprDepth) {
+    return false;
+  }
+  ReportDepthExceeded();
+  return true;
+}
+
+void Parser::ReportDepthExceeded() {
+  // One diagnostic per unit: a 50k-deep input would otherwise drown every
+  // real diagnostic in repeats of this one.
+  if (!depth_error_reported_) {
+    depth_error_reported_ = true;
+    diag_.Error(Current().location,
+                "expression or statement nesting is too deep; giving up on this subtree");
+  }
+}
+
 Expr* Parser::ParseExpr() {
-  return ParseOr();
+  if (ExprDepthExceeded()) {
+    // Consume nothing; the enclosing construct's Expect calls recover. Every
+    // path into this guard consumed at least one token ('(', an operator,
+    // ...), so parsing still makes progress.
+    return unit_->Create<NullLiteralExpr>(Current().location);
+  }
+  ++expr_depth_;
+  Expr* expr = ParseOr();
+  --expr_depth_;
+  return expr;
 }
 
 Expr* Parser::ParseOr() {
@@ -559,10 +601,18 @@ Expr* Parser::ParseMultiplicative() {
 
 Expr* Parser::ParseUnary() {
   if (Check(TokenKind::kNot) || Check(TokenKind::kMinus)) {
+    // Self-recursive, so it needs its own depth guard: `!!!!...x` never goes
+    // back through ParseExpr.
+    if (ExprDepthExceeded()) {
+      Token op = Advance();  // Consume the operator: progress even here.
+      return unit_->Create<NullLiteralExpr>(op.location);
+    }
     Token op = Advance();
     UnaryExpr* expr = unit_->Create<UnaryExpr>(op.location);
     expr->op = op.kind == TokenKind::kNot ? UnaryOp::kNot : UnaryOp::kNegate;
+    ++expr_depth_;
     expr->operand = ParseUnary();
+    --expr_depth_;
     return expr;
   }
   return ParsePostfix();

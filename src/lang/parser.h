@@ -41,6 +41,7 @@ class Parser {
 
   // Statements.
   Stmt* ParseStmt();
+  Stmt* ParseStmtImpl();
   BlockStmt* ParseBlock();
   Stmt* ParseVarDecl();
   Stmt* ParseIf();
@@ -67,11 +68,23 @@ class Parser {
   Expr* ParsePrimary();
   std::vector<Expr*> ParseArgs();
 
+  // Recursion-depth containment: analyzed input is untrusted, so
+  // pathologically nested expressions/statements must produce a diagnostic
+  // instead of overflowing the host stack (docs/ROBUSTNESS.md). The limits
+  // leave generous headroom over anything the corpus or a human writes.
+  static constexpr int kMaxExprDepth = 500;
+  static constexpr int kMaxStmtDepth = 400;
+  bool ExprDepthExceeded();
+  void ReportDepthExceeded();
+
   std::shared_ptr<const SourceFile> file_;
   DiagnosticEngine& diag_;
   std::unique_ptr<CompilationUnit> unit_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int expr_depth_ = 0;
+  int stmt_depth_ = 0;
+  bool depth_error_reported_ = false;
 };
 
 // Convenience: lex + parse `text` as file `name`, reporting into `diag`.

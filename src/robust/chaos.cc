@@ -1,0 +1,95 @@
+#include "src/robust/chaos.h"
+
+#include <cstdlib>
+
+namespace wasabi {
+
+std::string ChaosHostFault::What() const {
+  return "chaos host fault at identity " + std::to_string(identity) + " attempt " +
+         std::to_string(attempt);
+}
+
+namespace {
+
+// splitmix64 finalizer: a strong 64-bit mix, cheap and dependency-free.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t ChaosDraw(const ChaosConfig& config, uint64_t identity, int attempt) {
+  uint64_t h = Mix64(config.seed ^ Mix64(identity));
+  if (config.transient) {
+    h = Mix64(h ^ static_cast<uint64_t>(attempt));
+  }
+  return h;
+}
+
+}  // namespace
+
+bool ChaosShouldFault(const ChaosConfig& config, uint64_t identity, int attempt) {
+  if (!config.enabled || config.rate <= 0.0) {
+    return false;
+  }
+  if (config.rate >= 1.0) {
+    return true;
+  }
+  // Map the draw to [0, 1) with 53 bits of the hash; compare against the rate.
+  uint64_t h = ChaosDraw(config, identity, attempt);
+  double unit = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return unit < config.rate;
+}
+
+void ChaosMaybeFault(const ChaosConfig& config, uint64_t identity, int attempt) {
+  if (!ChaosShouldFault(config, identity, attempt)) {
+    return;
+  }
+  if (config.budget_fraction > 0.0) {
+    // A second independent draw decides the presentation of the fault.
+    uint64_t h = Mix64(ChaosDraw(config, identity, attempt) ^ 0xc2b2ae3d27d4eb4fULL);
+    double unit = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (unit < config.budget_fraction) {
+      static const AbortReason kFlavors[] = {AbortReason::kStepBudget,
+                                             AbortReason::kVirtualTimeBudget,
+                                             AbortReason::kStackOverflow};
+      throw ChaosBudgetFault{kFlavors[h % 3], identity};
+    }
+  }
+  throw ChaosHostFault{identity, attempt};
+}
+
+bool ParseChaosSpec(const std::string& spec, ChaosConfig* config, std::string* error) {
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    if (error != nullptr) {
+      *error = "expected SEED:RATE";
+    }
+    return false;
+  }
+  const std::string seed_text = spec.substr(0, colon);
+  const std::string rate_text = spec.substr(colon + 1);
+  char* end = nullptr;
+  unsigned long long seed = std::strtoull(seed_text.c_str(), &end, 10);
+  if (end == seed_text.c_str() || *end != '\0') {
+    if (error != nullptr) {
+      *error = "seed must be a non-negative integer";
+    }
+    return false;
+  }
+  end = nullptr;
+  double rate = std::strtod(rate_text.c_str(), &end);
+  if (end == rate_text.c_str() || *end != '\0' || rate < 0.0 || rate > 1.0) {
+    if (error != nullptr) {
+      *error = "rate must be a number in [0, 1]";
+    }
+    return false;
+  }
+  config->enabled = true;
+  config->seed = static_cast<uint64_t>(seed);
+  config->rate = rate;
+  return true;
+}
+
+}  // namespace wasabi

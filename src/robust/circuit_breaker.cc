@@ -1,0 +1,49 @@
+#include "src/robust/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace wasabi {
+
+bool CircuitBreaker::IsOpen(const std::string& key) const {
+  if (threshold_ <= 0) {
+    return false;
+  }
+  auto it = states_.find(key);
+  return it != states_.end() && it->second.open;
+}
+
+void CircuitBreaker::RecordSuccess(const std::string& key) {
+  if (threshold_ <= 0) {
+    return;
+  }
+  auto it = states_.find(key);
+  if (it != states_.end()) {
+    it->second.consecutive_failures = 0;
+    // An open circuit stays open: a campaign has no half-open probe phase —
+    // once a location is condemned, its remaining runs are quarantined.
+  }
+}
+
+void CircuitBreaker::RecordFailure(const std::string& key) {
+  if (threshold_ <= 0) {
+    return;
+  }
+  State& state = states_[key];
+  ++state.consecutive_failures;
+  if (state.consecutive_failures >= threshold_) {
+    state.open = true;
+  }
+}
+
+std::vector<std::string> CircuitBreaker::OpenKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, state] : states_) {
+    if (state.open) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace wasabi

@@ -1,0 +1,44 @@
+// Per-location circuit breaker for the campaign executor.
+//
+// When injections into one retry location keep killing the pipeline (M
+// consecutive infrastructure failures), further runs against that location
+// are skipped and quarantined immediately instead of burning attempts — the
+// paper's prescription that retry must be bounded applies to the harness too.
+// The breaker is fed serially, in run-id order, at reduce time, so its
+// open/closed decisions are independent of worker scheduling.
+
+#ifndef WASABI_SRC_ROBUST_CIRCUIT_BREAKER_H_
+#define WASABI_SRC_ROBUST_CIRCUIT_BREAKER_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace wasabi {
+
+class CircuitBreaker {
+ public:
+  // `threshold` consecutive failures open the circuit for a key; <= 0
+  // disables the breaker entirely.
+  explicit CircuitBreaker(int threshold) : threshold_(threshold) {}
+
+  bool IsOpen(const std::string& key) const;
+  void RecordSuccess(const std::string& key);
+  void RecordFailure(const std::string& key);
+
+  // Keys whose circuit is open, sorted for deterministic reporting.
+  std::vector<std::string> OpenKeys() const;
+
+ private:
+  struct State {
+    int consecutive_failures = 0;
+    bool open = false;
+  };
+  int threshold_;
+  std::unordered_map<std::string, State> states_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_ROBUST_CIRCUIT_BREAKER_H_

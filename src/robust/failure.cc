@@ -1,0 +1,74 @@
+#include "src/robust/failure.h"
+
+#include <stdexcept>
+
+#include "src/interp/interpreter.h"
+#include "src/robust/chaos.h"
+
+namespace wasabi {
+
+const char* RunFailureKindName(RunFailureKind kind) {
+  switch (kind) {
+    case RunFailureKind::kHostException:
+      return "host-exception";
+    case RunFailureKind::kStepBudget:
+      return "step-budget";
+    case RunFailureKind::kVirtualTime:
+      return "virtual-time";
+    case RunFailureKind::kStackOverflow:
+      return "stack-overflow";
+    case RunFailureKind::kChaos:
+      return "chaos";
+  }
+  return "unknown";
+}
+
+namespace {
+
+RunFailureKind KindForAbort(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kStepBudget:
+      return RunFailureKind::kStepBudget;
+    case AbortReason::kVirtualTimeBudget:
+      return RunFailureKind::kVirtualTime;
+    case AbortReason::kStackOverflow:
+      return RunFailureKind::kStackOverflow;
+  }
+  return RunFailureKind::kHostException;
+}
+
+}  // namespace
+
+RunFailure ClassifyFailure(const std::exception_ptr& error) {
+  RunFailure failure;
+  if (!error) {
+    failure.detail = "no exception captured";
+    return failure;
+  }
+  try {
+    std::rethrow_exception(error);
+  } catch (const ChaosHostFault& fault) {
+    failure.kind = RunFailureKind::kChaos;
+    failure.detail = fault.What();
+    failure.chaos = true;
+  } catch (const ChaosBudgetFault& fault) {
+    failure.kind = KindForAbort(fault.reason);
+    failure.detail = std::string("chaos-injected abort: ") + AbortReasonName(fault.reason);
+    failure.chaos = true;
+  } catch (const ExecutionAborted& aborted) {
+    // A real interpreter abort that escaped the runner's containment — the
+    // runner normally converts these into a timeout outcome, so reaching here
+    // means a pipeline seam outside RunTest aborted.
+    failure.kind = KindForAbort(aborted.reason);
+    failure.detail = std::string("execution aborted: ") + AbortReasonName(aborted.reason);
+  } catch (const std::exception& e) {
+    failure.kind = RunFailureKind::kHostException;
+    failure.detail = e.what();
+  } catch (...) {
+    failure.kind = RunFailureKind::kHostException;
+    failure.detail = "unknown non-standard exception";
+  }
+  return failure;
+}
+
+}  // namespace wasabi

@@ -1,0 +1,51 @@
+// Structured failure taxonomy for the execution layer (docs/ROBUSTNESS.md).
+//
+// WASABI's own pipeline is a long fault-injection campaign over untrusted
+// inputs, so its executor needs the same discipline the paper prescribes for
+// the systems it studies: a host-level failure must keep its identity (which
+// run, which location, what kind of fault) instead of collapsing into a
+// boolean. A RunFailure is the quarantine record the campaign layer emits for
+// a run whose infrastructure — not the test under injection — failed.
+
+#ifndef WASABI_SRC_ROBUST_FAILURE_H_
+#define WASABI_SRC_ROBUST_FAILURE_H_
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace wasabi {
+
+// What went wrong at the host level. Test-level outcomes (assertion failures,
+// mj exceptions, budget timeouts *inside* a run) are captured in the run
+// record by the runner and never reach this taxonomy; these kinds classify
+// faults that escaped a pipeline task.
+enum class RunFailureKind : uint8_t {
+  kHostException,  // A C++ exception escaped the task (std::exception or other).
+  kStepBudget,     // An interpreter step-budget abort leaked past the runner.
+  kVirtualTime,    // A virtual-time-budget abort leaked past the runner.
+  kStackOverflow,  // A call-depth abort leaked past the runner.
+  kChaos,          // The self-chaos harness injected a host fault here.
+};
+
+const char* RunFailureKindName(RunFailureKind kind);
+
+// One quarantined run. Ordered by run_id in every report section so the
+// quarantine list is deterministic for any worker count.
+struct RunFailure {
+  uint64_t run_id = 0;
+  std::string test;      // Qualified test name ("" when not test-scoped).
+  std::string location;  // Injected location key, or a seam name like "<coverage>".
+  RunFailureKind kind = RunFailureKind::kHostException;
+  std::string detail;
+  int attempts = 0;     // Attempts executed before quarantine.
+  bool chaos = false;   // True when the fault came from the chaos harness.
+};
+
+// Classifies a captured host exception into the taxonomy; fills kind, detail,
+// and the chaos flag (identity fields are the caller's).
+RunFailure ClassifyFailure(const std::exception_ptr& error);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_ROBUST_FAILURE_H_

@@ -1,0 +1,37 @@
+#include "src/robust/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wasabi {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int64_t RetryPolicy::BackoffMs(uint64_t identity, int next_attempt) const {
+  if (next_attempt <= 1 || base_backoff_ms <= 0) {
+    return 0;
+  }
+  // Exponential: base * multiplier^(retry_index - 1), capped.
+  double backoff = static_cast<double>(base_backoff_ms) *
+                   std::pow(std::max(multiplier, 1.0), next_attempt - 2);
+  backoff = std::min(backoff, static_cast<double>(max_backoff_ms));
+  if (jitter > 0.0) {
+    // "Equal jitter"-style: keep (1 - jitter) of the backoff, randomize the
+    // rest with a pure hash so the schedule replays bit-exactly.
+    uint64_t h = Mix64(jitter_seed ^ Mix64(identity) ^ static_cast<uint64_t>(next_attempt));
+    double unit = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    backoff = backoff * (1.0 - jitter) + backoff * jitter * unit;
+  }
+  return static_cast<int64_t>(backoff);
+}
+
+}  // namespace wasabi

@@ -1,0 +1,34 @@
+// Reference retry policy: the "correct retry" the paper prescribes (§2).
+//
+// Capped attempts, exponential backoff, deterministic jitter — applied to
+// WASABI's own infrastructure failures before a run is quarantined. Backoff
+// is charged to a *virtual* clock (a plain accumulator the caller owns), so
+// retries cost no wall time and the whole schedule is reproducible: the
+// jitter is a pure hash of (seed, identity, attempt), never a live RNG.
+
+#ifndef WASABI_SRC_ROBUST_RETRY_POLICY_H_
+#define WASABI_SRC_ROBUST_RETRY_POLICY_H_
+
+#include <cstdint>
+
+namespace wasabi {
+
+struct RetryPolicy {
+  int max_attempts = 3;          // Total attempts (first try included). 1 = no retry.
+  int64_t base_backoff_ms = 10;  // Backoff before attempt 2.
+  double multiplier = 2.0;       // Exponential growth per further attempt.
+  int64_t max_backoff_ms = 1000;
+  double jitter = 0.5;      // Fraction of the backoff randomized (0 = none).
+  uint64_t jitter_seed = 0;  // Deterministic jitter stream.
+
+  // Whether attempt `next_attempt` (1-based; 2 = first retry) may run.
+  bool ShouldRetry(int next_attempt) const { return next_attempt <= max_attempts; }
+
+  // Virtual milliseconds to back off before `next_attempt` at `identity`.
+  // Deterministic: same policy + identity + attempt → same delay.
+  int64_t BackoffMs(uint64_t identity, int next_attempt) const;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_ROBUST_RETRY_POLICY_H_

@@ -1,0 +1,23 @@
+#include "src/robust/robust.h"
+
+#include <algorithm>
+
+namespace wasabi {
+
+void RobustnessStats::MergeFrom(const RobustnessStats& other) {
+  retries += other.retries;
+  recovered += other.recovered;
+  quarantined += other.quarantined;
+  chaos_faults += other.chaos_faults;
+  breaker_open += other.breaker_open;
+  fail_fast_skipped += other.fail_fast_skipped;
+  backoff_virtual_ms += other.backoff_virtual_ms;
+  open_locations.insert(open_locations.end(), other.open_locations.begin(),
+                        other.open_locations.end());
+  std::sort(open_locations.begin(), open_locations.end());
+  open_locations.erase(std::unique(open_locations.begin(), open_locations.end()),
+                       open_locations.end());
+  aborted = aborted || other.aborted;
+}
+
+}  // namespace wasabi

@@ -75,7 +75,22 @@ std::vector<OracleReport> EvaluateOracles(const TestRunRecord& record,
   }
   if (!cap_hit && record.outcome.status == TestStatus::kTimeout) {
     cap_hit = true;
-    cap_detail = "test exceeded its budget (" + record.outcome.abort_reason + ")";
+    // Name the specific abort: "ran out of virtual time" and "spun through
+    // the step budget" are different retry pathologies (the former is the
+    // paper's 15-minute timeout, the latter a sleepless runaway loop), and
+    // stack exhaustion points at unbounded retry recursion.
+    switch (record.outcome.abort_kind) {
+      case AbortReason::kStepBudget:
+        cap_detail = "test exhausted the step budget (runaway retry loop without sleeps)";
+        break;
+      case AbortReason::kVirtualTimeBudget:
+        cap_detail = "test exceeded the virtual-time budget (retries kept it alive past the "
+                     "test timeout)";
+        break;
+      case AbortReason::kStackOverflow:
+        cap_detail = "test overflowed the call stack (unbounded retry recursion)";
+        break;
+    }
   }
   if (cap_hit) {
     OracleReport report;

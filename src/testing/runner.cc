@@ -92,6 +92,7 @@ TestRunRecord TestRunner::RunTest(const TestCase& test,
   } catch (const ExecutionAborted& aborted) {
     record.outcome.status = TestStatus::kTimeout;
     record.outcome.abort_reason = AbortReasonName(aborted.reason);
+    record.outcome.abort_kind = aborted.reason;
   }
 
   record.log = interp.log();

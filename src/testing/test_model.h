@@ -9,6 +9,7 @@
 
 #include "src/inject/injector.h"
 #include "src/interp/exec_log.h"
+#include "src/interp/interpreter.h"
 
 namespace wasabi {
 
@@ -39,7 +40,12 @@ struct TestOutcome {
   // excluding the exception itself). Lets the §4.5 wrapping-chain mitigation
   // recognize an injected exception inside a generic wrapper.
   std::vector<std::string> cause_chain;
-  std::string abort_reason;       // For kTimeout.
+  std::string abort_reason;       // For kTimeout (human-readable name).
+  // The structured reason behind kTimeout. Step-budget and stack-overflow
+  // aborts are different evidence than virtual-time exhaustion (a runaway
+  // loop or unbounded recursion vs a genuine slow timeout), so oracles must
+  // not fold them together. Only meaningful when status == kTimeout.
+  AbortReason abort_kind = AbortReason::kVirtualTimeBudget;
 };
 
 // The record of one (possibly fault-injected) test execution.

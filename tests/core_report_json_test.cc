@@ -53,5 +53,63 @@ TEST(ReportJsonTest, MultipleReportsAreCommaSeparated) {
   EXPECT_EQ(json.front(), '[');
 }
 
+// --- Degraded-mode analysis report (docs/ROBUSTNESS.md) ----------------------
+
+TEST(AnalysisReportJsonTest, CleanHealthIsByteIdenticalToTheLegacyArray) {
+  BugReport bug;
+  bug.app = "demo";
+  bug.detail = "evidence";
+  const std::vector<BugReport> bugs = {bug};
+  // The default-off guarantee: downstream consumers of the plain array never
+  // see a format change unless something actually went wrong.
+  EXPECT_EQ(AnalysisReportToJson(bugs, ReportHealth{}), BugReportsToJson(bugs));
+  EXPECT_EQ(AnalysisReportToJson({}, ReportHealth{}), BugReportsToJson({}));
+}
+
+TEST(AnalysisReportJsonTest, SkippedFilesFlipTheReportToDegraded) {
+  ReportHealth health;
+  health.skipped_files.push_back(SkippedFile{"broken.mj", "3 parse error(s)"});
+  ASSERT_TRUE(health.degraded());
+
+  BugReport bug;
+  bug.app = "demo";
+  std::string json = AnalysisReportToJson({bug}, health);
+  EXPECT_NE(json.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"bugs\":"), std::string::npos);
+  EXPECT_NE(json.find("\"path\": \"broken.mj\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"3 parse error(s)\""), std::string::npos);
+  // The bugs array inside the envelope is the same array.
+  EXPECT_NE(json.find("\"app\": \"demo\""), std::string::npos);
+}
+
+TEST(AnalysisReportJsonTest, QuarantinedRunsAreRenderedWithTheFullTaxonomy) {
+  ReportHealth health;
+  RunFailure failure;
+  failure.run_id = 7;
+  failure.test = "T.testX";
+  failure.location = "C.op<-C.go:IOException";
+  failure.kind = RunFailureKind::kChaos;
+  failure.detail = "chaos host fault";
+  failure.attempts = 3;
+  failure.chaos = true;
+  health.quarantined.push_back(failure);
+
+  std::string json = AnalysisReportToJson({}, health);
+  EXPECT_NE(json.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"run_id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"test\": \"T.testX\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"chaos\""), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"chaos\": true"), std::string::npos);
+}
+
+TEST(AnalysisReportJsonTest, DegradedEnvelopeEscapesUntrustedStrings) {
+  ReportHealth health;
+  health.skipped_files.push_back(SkippedFile{"we\"ird.mj", "bad \\ input"});
+  std::string json = AnalysisReportToJson({}, health);
+  EXPECT_NE(json.find("we\\\"ird.mj"), std::string::npos);
+  EXPECT_NE(json.find("bad \\\\ input"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wasabi

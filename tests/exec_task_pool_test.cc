@@ -5,8 +5,10 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -95,6 +97,97 @@ TEST(TaskPoolTest, ExceptionInTaskPropagatesAndPoolSurvives) {
     std::atomic<int> calls{0};
     pool.ParallelFor(10, [&](size_t) { calls.fetch_add(1); });
     EXPECT_EQ(calls.load(), 10);
+  }
+}
+
+// --- ParallelForCaptured: per-index exception capture --------------------------
+
+TEST(TaskPoolTest, CapturedRunKeepsEveryExceptionInItsOwnSlot) {
+  for (int workers : {1, 2, 4, 8}) {
+    TaskPool pool(workers);
+    std::vector<std::exception_ptr> errors =
+        pool.ParallelForCaptured(100, [](size_t i) {
+          if (i % 7 == 3) {
+            throw std::runtime_error("fail " + std::to_string(i));
+          }
+        });
+    ASSERT_EQ(errors.size(), 100u) << workers << " workers";
+    for (size_t i = 0; i < errors.size(); ++i) {
+      if (i % 7 == 3) {
+        ASSERT_TRUE(errors[i]) << "index " << i << " with " << workers << " workers";
+        try {
+          std::rethrow_exception(errors[i]);
+        } catch (const std::runtime_error& e) {
+          EXPECT_EQ(e.what(), "fail " + std::to_string(i));
+        }
+      } else {
+        EXPECT_FALSE(errors[i]) << "index " << i << " with " << workers << " workers";
+      }
+    }
+  }
+}
+
+TEST(TaskPoolTest, CapturedRunExecutesEveryIndexDespiteFailures) {
+  // Unlike the throwing ParallelFor, a captured run must not let one failure
+  // shadow the rest of the job: every index still executes exactly once.
+  for (int workers : {1, 4}) {
+    TaskPool pool(workers);
+    std::vector<std::atomic<int>> counts(200);
+    pool.ParallelForCaptured(200, [&](size_t i) {
+      counts[i].fetch_add(1);
+      if (i % 2 == 0) {
+        throw std::runtime_error("boom");
+      }
+    });
+    for (size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "index " << i << " with " << workers << " workers";
+    }
+  }
+}
+
+TEST(TaskPoolTest, CapturedRunContainsForeignExceptionTypes) {
+  // Not derived from std::exception: only catch (...) can capture it, which
+  // is exactly what the campaign's containment guarantee requires.
+  TaskPool pool(4);
+  std::vector<std::exception_ptr> errors =
+      pool.ParallelForCaptured(10, [](size_t i) {
+        if (i == 5) {
+          throw 42;
+        }
+      });
+  ASSERT_TRUE(errors[5]);
+  EXPECT_THROW(std::rethrow_exception(errors[5]), int);
+}
+
+TEST(TaskPoolTest, CapturedRunWithZeroCountReturnsNoSlots) {
+  TaskPool pool(4);
+  EXPECT_TRUE(pool.ParallelForCaptured(0, [](size_t) {}).empty());
+}
+
+TEST(TaskPoolTest, PoolStaysUsableAfterCapturedFailures) {
+  TaskPool pool(4);
+  pool.ParallelForCaptured(50, [](size_t) { throw std::runtime_error("boom"); });
+  std::atomic<int> calls{0};
+  pool.ParallelFor(10, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(TaskPoolTest, ThrowingParallelForRethrowsTheLowestIndexError) {
+  // ParallelFor now delegates to the captured variant; the exception it
+  // surfaces must be deterministic — the lowest failing index — not whichever
+  // worker lost the race.
+  for (int workers : {1, 4}) {
+    TaskPool pool(workers);
+    try {
+      pool.ParallelFor(100, [](size_t i) {
+        if (i == 23 || i == 71) {
+          throw std::runtime_error("fail " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception with " << workers << " workers";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail 23") << workers << " workers";
+    }
   }
 }
 

@@ -117,5 +117,63 @@ TEST(RobustnessTest, LongExpressionChainsParse) {
   EXPECT_FALSE(diag.has_errors());
 }
 
+// The recursion-depth guard: nesting far past the limit must produce a
+// diagnostic, not a host stack overflow. 50k levels would need tens of
+// megabytes of stack without the guard.
+
+TEST(RobustnessTest, PathologicallyNestedParensDiagnoseInsteadOfOverflowing) {
+  std::string expr(50000, '(');
+  expr += "1";
+  expr += std::string(50000, ')');
+  std::string source = "class C { int f() { return " + expr + "; } }";
+  mj::DiagnosticEngine diag;
+  auto unit = mj::ParseSource("parens.mj", source, diag);
+  ASSERT_NE(unit, nullptr);
+  EXPECT_TRUE(diag.has_errors());
+}
+
+TEST(RobustnessTest, PathologicallyNestedUnaryDiagnosesInsteadOfOverflowing) {
+  std::string expr(50000, '!');
+  expr += "true";
+  std::string source = "class C { bool f() { return " + expr + "; } }";
+  mj::DiagnosticEngine diag;
+  auto unit = mj::ParseSource("unary.mj", source, diag);
+  ASSERT_NE(unit, nullptr);
+  EXPECT_TRUE(diag.has_errors());
+}
+
+TEST(RobustnessTest, PathologicallyNestedBlocksDiagnoseInsteadOfOverflowing) {
+  std::string body;
+  for (int i = 0; i < 50000; ++i) {
+    body += "{";
+  }
+  body += "var x = 1;";
+  for (int i = 0; i < 50000; ++i) {
+    body += "}";
+  }
+  std::string source = "class Deep { void f() { " + body + " } }";
+  mj::DiagnosticEngine diag;
+  auto unit = mj::ParseSource("deep.mj", source, diag);
+  ASSERT_NE(unit, nullptr);
+  EXPECT_TRUE(diag.has_errors());
+}
+
+TEST(RobustnessTest, DepthGuardReportsExactlyOneDiagnosticKind) {
+  // A deep-but-valid-shape input past the limit: the guard fires once, not
+  // once per level.
+  std::string expr(2000, '!');
+  expr += "true";
+  std::string source = "class C { bool f() { return " + expr + "; } }";
+  mj::DiagnosticEngine diag;
+  mj::ParseSource("unary.mj", source, diag);
+  size_t depth_messages = 0;
+  for (const mj::Diagnostic& diagnostic : diag.diagnostics()) {
+    if (diagnostic.message.find("nesting is too deep") != std::string::npos) {
+      ++depth_messages;
+    }
+  }
+  EXPECT_EQ(depth_messages, 1u);
+}
+
 }  // namespace
 }  // namespace wasabi

@@ -245,5 +245,68 @@ TEST(OracleBoundaries, RethrownSubclassOfTriggerCountsAsDifferentException) {
       << "subclass rethrow must trip the different-exception oracle";
 }
 
+// --- Timeout evidence names the specific abort reason. -----------------------
+
+struct AbortDetailCase {
+  AbortReason reason;
+  const char* expected_phrase;
+};
+
+class AbortReasonDetailSweep : public ::testing::TestWithParam<AbortDetailCase> {};
+
+TEST_P(AbortReasonDetailSweep, TimeoutCapEvidenceNamesTheAbortKind) {
+  // A step-budget abort (sleepless runaway loop), a virtual-time abort (the
+  // paper's 15-minute timeout), and a stack overflow (unbounded retry
+  // recursion) are different pathologies; the cap verdict must say which one
+  // the run hit instead of a generic "budget exceeded".
+  const AbortDetailCase& c = GetParam();
+  TestRunRecord record;
+  record.test = TestCase{"SweepTest.testUncapped"};
+  record.outcome.status = TestStatus::kTimeout;
+  record.outcome.abort_reason = AbortReasonName(c.reason);
+  record.outcome.abort_kind = c.reason;
+
+  std::vector<OracleReport> reports =
+      EvaluateOracles(record, OracleSweepFixture::LocationFor("Uncapped"));
+  const OracleReport* cap = nullptr;
+  for (const OracleReport& report : reports) {
+    if (report.kind == OracleKind::kMissingCap) {
+      cap = &report;
+    }
+  }
+  ASSERT_NE(cap, nullptr) << "a timeout must trip the cap oracle";
+  EXPECT_NE(cap->detail.find(c.expected_phrase), std::string::npos)
+      << "detail was: " << cap->detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Reasons, AbortReasonDetailSweep,
+    ::testing::Values(
+        AbortDetailCase{AbortReason::kStepBudget, "exhausted the step budget"},
+        AbortDetailCase{AbortReason::kVirtualTimeBudget,
+                        "exceeded the virtual-time budget"},
+        AbortDetailCase{AbortReason::kStackOverflow, "overflowed the call stack"}));
+
+TEST(AbortReasonDetail, RunnerRecordsStructuredAbortKindFromRealExecution) {
+  // End-to-end: the uncapped loop driven with an effectively unlimited
+  // injection budget (kInjectRepeatedly would exhaust and let the run pass)
+  // really does abort, and the runner surfaces the structured kind alongside
+  // the name. A small step budget keeps the spin cheap.
+  mj::DiagnosticEngine diag;
+  mj::Program program;
+  program.AddUnit(mj::ParseSource("sweep.mj", kSource, diag));
+  ASSERT_FALSE(diag.has_errors());
+  mj::ProgramIndex index(program);
+  RunnerOptions options;
+  options.interp.step_budget = 50'000;
+  TestRunner runner(program, index, options);
+  FaultInjector injector({InjectionPoint{
+      "Uncapped.op", "Uncapped.go", "TimeoutException", 1 << 30}});
+  TestRunRecord record =
+      runner.RunTest(TestCase{"SweepTest.testUncapped"}, {&injector});
+  ASSERT_EQ(record.outcome.status, TestStatus::kTimeout);
+  EXPECT_EQ(record.outcome.abort_reason, AbortReasonName(record.outcome.abort_kind));
+}
+
 }  // namespace
 }  // namespace wasabi

@@ -9,6 +9,7 @@
 //                                     retry-ratio outliers
 //   wasabi test <dir>                 dynamic workflow: repurposed unit tests
 //                                     with fault injection and oracles
+//   wasabi analyze <dir>              alias for `test`
 //   wasabi study                      print the §2 issue-study summary
 //
 // Options:
@@ -20,6 +21,17 @@
 //                                     run (open in chrome://tracing/Perfetto)
 //   --metrics-out=FILE                write the flat metrics JSON
 //   --progress                        periodic campaign progress on stderr
+//   --fail-fast                       stop scheduling runs after the first
+//                                     quarantined one
+//   --max-quarantined N               abort the campaign once more than N
+//                                     runs are quarantined
+//   --chaos SEED:RATE                 self-chaos: deterministically fail RATE
+//                                     of runs at the host level (containment
+//                                     drill, docs/ROBUSTNESS.md)
+//
+// Malformed .mj files no longer abort an analysis: they are skipped with a
+// diagnostic on stderr and the report is marked degraded (JSON gains
+// "degraded": true plus skipped_files/quarantined sections; exit stays 0).
 //
 // Instrumentation never touches stdout: reports are byte-identical with and
 // without --trace-out/--metrics-out/--progress. Unknown options and options
@@ -54,8 +66,9 @@ namespace {
 using namespace wasabi;
 
 int Usage() {
-  std::cerr << "usage: wasabi <dump-corpus|identify|static|test|study> [dir] [--json]"
-               " [--jobs N] [--trace-out=FILE] [--metrics-out=FILE] [--progress]\n";
+  std::cerr << "usage: wasabi <dump-corpus|identify|static|test|analyze|study> [dir] [--json]"
+               " [--jobs N] [--trace-out=FILE] [--metrics-out=FILE] [--progress]"
+               " [--fail-fast] [--max-quarantined N] [--chaos SEED:RATE]\n";
   return 2;
 }
 
@@ -66,6 +79,9 @@ struct CliOptions {
   int jobs = 0;  // 0 = all hardware threads (DefaultJobCount).
   std::string trace_out;
   std::string metrics_out;
+  bool fail_fast = false;
+  int64_t max_quarantined = -1;  // < 0 = unlimited.
+  ChaosConfig chaos;
 };
 
 // Strict flag parsing: every `--name=value` / `--name value` form must match
@@ -99,11 +115,17 @@ bool ParseOptions(int argc, char** argv, int first, CliOptions* options) {
       std::cerr << "error: option " << flag << " requires a value\n";
       return false;
     };
-    if (name == "--json" || name == "--progress") {
+    if (name == "--json" || name == "--progress" || name == "--fail-fast") {
       if (has_value) {
         return fail("option " + name + " does not take a value");
       }
-      (name == "--json" ? options->json : options->progress) = true;
+      if (name == "--json") {
+        options->json = true;
+      } else if (name == "--progress") {
+        options->progress = true;
+      } else {
+        options->fail_fast = true;
+      }
     } else if (name == "--jobs") {
       if (!take_value("--jobs")) {
         Usage();
@@ -111,10 +133,31 @@ bool ParseOptions(int argc, char** argv, int first, CliOptions* options) {
       }
       char* end = nullptr;
       long jobs = std::strtol(value.c_str(), &end, 10);
-      if (value.empty() || end == value.c_str() || *end != '\0' || jobs < 0) {
-        return fail("option --jobs needs a non-negative integer, got '" + value + "'");
+      if (value.empty() || end == value.c_str() || *end != '\0' || jobs < 1) {
+        return fail("option --jobs needs a positive integer, got '" + value + "'");
       }
       options->jobs = static_cast<int>(jobs);
+    } else if (name == "--max-quarantined") {
+      if (!take_value("--max-quarantined")) {
+        Usage();
+        return false;
+      }
+      char* end = nullptr;
+      long long limit = std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || limit < 0) {
+        return fail("option --max-quarantined needs a non-negative integer, got '" + value +
+                    "'");
+      }
+      options->max_quarantined = static_cast<int64_t>(limit);
+    } else if (name == "--chaos") {
+      if (!take_value("--chaos")) {
+        Usage();
+        return false;
+      }
+      std::string error;
+      if (!ParseChaosSpec(value, &options->chaos, &error)) {
+        return fail("option --chaos needs SEED:RATE, got '" + value + "' (" + error + ")");
+      }
     } else if (name == "--trace-out") {
       if (!take_value("--trace-out")) {
         Usage();
@@ -158,8 +201,13 @@ bool ExportObservability(const CliOptions& cli, Tracer& tracer, const MetricsReg
 
 // Loads every .mj file under `root` (recursively) into a program. Paths are
 // recorded relative to `root` so reports are readable.
-bool LoadProgram(const fs::path& root, mj::Program& program) {
-  mj::DiagnosticEngine diag;
+//
+// Degraded-mode containment (docs/ROBUSTNESS.md): each file parses against
+// its own DiagnosticEngine, so a malformed or unreadable file is reported on
+// stderr, recorded in `skipped`, and left out of the program instead of
+// aborting the whole analysis. Only "no file loaded at all" is fatal.
+bool LoadProgram(const fs::path& root, mj::Program& program,
+                 std::vector<SkippedFile>* skipped) {
   std::vector<fs::path> files;
   std::error_code ec;
   for (fs::recursive_directory_iterator it(root, ec), end; it != end && !ec;
@@ -177,15 +225,35 @@ bool LoadProgram(const fs::path& root, mj::Program& program) {
     return false;
   }
   std::sort(files.begin(), files.end());
+  size_t loaded = 0;
   for (const fs::path& file : files) {
+    std::string name = fs::relative(file, root, ec).generic_string();
     std::ifstream in(file);
+    if (!in) {
+      std::cerr << "warning: skipping unreadable file " << name << "\n";
+      if (skipped != nullptr) {
+        skipped->push_back({name, "unreadable"});
+      }
+      continue;
+    }
     std::ostringstream text;
     text << in.rdbuf();
-    std::string name = fs::relative(file, root, ec).generic_string();
-    program.AddUnit(mj::ParseSource(name, text.str(), diag));
+    mj::DiagnosticEngine diag;
+    auto unit = mj::ParseSource(name, text.str(), diag);
+    if (diag.has_errors()) {
+      std::cerr << diag.FormatAll(nullptr);
+      std::cerr << "warning: skipping " << name << " (" << diag.error_count()
+                << " parse error(s))\n";
+      if (skipped != nullptr) {
+        skipped->push_back({name, std::to_string(diag.error_count()) + " parse error(s)"});
+      }
+      continue;
+    }
+    program.AddUnit(std::move(unit));
+    ++loaded;
   }
-  if (diag.has_errors()) {
-    std::cerr << diag.FormatAll(nullptr);
+  if (loaded == 0) {
+    std::cerr << "error: no loadable .mj files under " << root << "\n";
     return false;
   }
   return true;
@@ -227,7 +295,8 @@ WasabiOptions OptionsFor(const fs::path& root) {
 
 int Identify(const fs::path& root) {
   mj::Program program;
-  if (!LoadProgram(root, program)) {
+  std::vector<SkippedFile> skipped;
+  if (!LoadProgram(root, program, &skipped)) {
     return 1;
   }
   mj::ProgramIndex index(program);
@@ -269,7 +338,8 @@ struct ObsSinks {
 int StaticWorkflow(const fs::path& root, const CliOptions& cli) {
   bool json = cli.json;
   mj::Program program;
-  if (!LoadProgram(root, program)) {
+  std::vector<SkippedFile> skipped;
+  if (!LoadProgram(root, program, &skipped)) {
     return 1;
   }
   mj::ProgramIndex index(program);
@@ -280,10 +350,12 @@ int StaticWorkflow(const fs::path& root, const CliOptions& cli) {
   if (!ExportObservability(cli, obs.tracer, obs.metrics)) {
     return 1;
   }
+  ReportHealth health;
+  health.skipped_files = skipped;
   if (json) {
     std::vector<BugReport> all = result.when_bugs;
     all.insert(all.end(), result.if_bugs.begin(), result.if_bugs.end());
-    std::cout << BugReportsToJson(all);
+    std::cout << AnalysisReportToJson(all, health);
     return 0;
   }
   std::cout << result.when_bugs.size() << " WHEN report(s):\n";
@@ -298,27 +370,37 @@ int StaticWorkflow(const fs::path& root, const CliOptions& cli) {
   }
   std::cout << "LLM usage: " << result.llm_usage.calls << " calls, ~"
             << result.llm_usage.prompt_tokens << " tokens\n";
+  if (health.degraded()) {
+    std::cout << "DEGRADED: " << health.skipped_files.size() << " file(s) skipped\n";
+  }
   return 0;
 }
 
 int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
   mj::Program program;
-  if (!LoadProgram(root, program)) {
+  std::vector<SkippedFile> skipped;
+  if (!LoadProgram(root, program, &skipped)) {
     return 1;
   }
   mj::ProgramIndex index(program);
   WasabiOptions options = OptionsFor(root);
   options.jobs = cli.jobs;
+  options.robust.fail_fast = cli.fail_fast;
+  options.robust.max_quarantined = cli.max_quarantined;
+  options.robust.chaos = cli.chaos;
   Wasabi tool(program, index, options);
   ObsSinks obs(cli);
   tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr);
   DynamicResult result = tool.RunDynamicWorkflow();
+  ReportHealth health;
+  health.skipped_files = skipped;
+  health.quarantined = result.quarantined;
   {
     // Report formatting gets its own span so a trace accounts for the whole
     // wall clock, not just the analysis phases.
     ScopedSpan report_span(obs.tracer_ptr, "phase.report");
     if (cli.json) {
-      std::cout << BugReportsToJson(result.bugs);
+      std::cout << AnalysisReportToJson(result.bugs, health);
     } else {
       std::cout << result.total_tests << " unit tests, " << result.tests_covering_retry
                 << " cover retry; " << result.planned_runs << " injected runs (naive: "
@@ -329,9 +411,30 @@ int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
                   << BugTypeName(bug.type) << "\t" << bug.coordinator << "\n\t" << bug.detail
                   << "\n";
       }
+      if (health.degraded()) {
+        std::cout << "DEGRADED: " << health.skipped_files.size() << " file(s) skipped, "
+                  << health.quarantined.size() << " run(s) quarantined";
+        if (result.robustness.recovered > 0) {
+          std::cout << " (" << result.robustness.recovered << " recovered by retry)";
+        }
+        std::cout << "\n";
+        for (const SkippedFile& file : health.skipped_files) {
+          std::cout << "  skipped " << file.path << ": " << file.reason << "\n";
+        }
+        for (const RunFailure& failure : health.quarantined) {
+          std::cout << "  quarantined run " << failure.run_id << " ["
+                    << RunFailureKindName(failure.kind) << "] " << failure.test << " @ "
+                    << failure.location << ": " << failure.detail << "\n";
+        }
+      }
     }
   }
   if (!ExportObservability(cli, obs.tracer, obs.metrics)) {
+    return 1;
+  }
+  if (result.robustness.aborted) {
+    std::cerr << "error: campaign aborted: quarantine limit (--max-quarantined "
+              << cli.max_quarantined << ") exceeded\n";
     return 1;
   }
   return 0;
@@ -382,7 +485,7 @@ int main(int argc, char** argv) {
   if (command == "static") {
     return StaticWorkflow(root, cli);
   }
-  if (command == "test") {
+  if (command == "test" || command == "analyze") {
     return DynamicWorkflow(root, cli);
   }
   return Usage();
