@@ -7,14 +7,18 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <thread>
 
 #include "src/analysis/cfg.h"
 #include "src/analysis/retry_finder.h"
 #include "src/corpus/corpus.h"
 #include "src/corpus/generator.h"
+#include "src/exec/campaign.h"
 #include "src/inject/injector.h"
 #include "src/lang/parser.h"
 #include "src/llm/sim_llm.h"
+#include "src/testing/coverage.h"
 #include "src/testing/runner.h"
 
 namespace wasabi {
@@ -99,18 +103,48 @@ void BM_RunCleanTestSuite(benchmark::State& state) {
   options.config_overrides = app.default_configs;
   TestRunner runner(app.program, *app.index, options);
   std::vector<TestCase> tests = runner.DiscoverTests();
+  int64_t steps = 0;
   for (auto _ : state) {
     int passed = 0;
     for (const TestCase& test : tests) {
       TestRunRecord record = runner.RunTest(test);
       passed += record.outcome.status == TestStatus::kPassed ? 1 : 0;
+      steps += record.steps;
     }
     benchmark::DoNotOptimize(passed);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(tests.size()));
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_RunCleanTestSuite);
+
+void BM_RunCleanTestSuiteArena(benchmark::State& state) {
+  // Same workload through a per-worker arena: the campaign executors' hot
+  // configuration (warm frames + dispatch cache, ResetForRun isolation).
+  const CorpusApp& app = SampleCorpusApp();
+  RunnerOptions options;
+  options.config_overrides = app.default_configs;
+  TestRunner runner(app.program, *app.index, options);
+  std::vector<TestCase> tests = runner.DiscoverTests();
+  InterpreterArena arena;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    int passed = 0;
+    for (const TestCase& test : tests) {
+      TestRunRecord record = runner.RunTest(test, {}, &arena);
+      passed += record.outcome.status == TestStatus::kPassed ? 1 : 0;
+      steps += record.steps;
+    }
+    benchmark::DoNotOptimize(passed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tests.size()));
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RunCleanTestSuiteArena);
 
 void BM_InjectedTestSuite(benchmark::State& state) {
   // The whole suite with a K=100 injector armed on the shared RPC client —
@@ -120,6 +154,7 @@ void BM_InjectedTestSuite(benchmark::State& state) {
   options.config_overrides = app.default_configs;
   TestRunner runner(app.program, *app.index, options);
   std::vector<TestCase> tests = runner.DiscoverTests();
+  int64_t steps = 0;
   for (auto _ : state) {
     int outcomes = 0;
     for (const TestCase& test : tests) {
@@ -128,13 +163,56 @@ void BM_InjectedTestSuite(benchmark::State& state) {
                                              kInjectRepeatedly}});
       TestRunRecord record = runner.RunTest(test, {&injector});
       outcomes += static_cast<int>(record.outcome.status);
+      steps += record.steps;
     }
     benchmark::DoNotOptimize(outcomes);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(tests.size()));
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_InjectedTestSuite);
+
+void BM_CampaignRunsPerSecond(benchmark::State& state) {
+  // End-to-end planned injection campaign over the corpus app, serial pool —
+  // the runs/sec figure BENCH_interp.json reports (campaign throughput is the
+  // quantity the §4.3 cost observation is about; the interpreter dominates
+  // it). Uses the same coverage → plan → expand path as the dynamic workflow.
+  const CorpusApp& app = SampleCorpusApp();
+  RunnerOptions options;
+  options.config_overrides = app.default_configs;
+  TestRunner runner(app.program, *app.index, options);
+  std::vector<TestCase> tests = runner.DiscoverTests();
+
+  RetryFinder finder(app.program, *app.index);
+  std::vector<RetryLocation> locations;
+  for (const RetryStructure& structure : finder.FindLoopStructures()) {
+    locations.insert(locations.end(), structure.locations.begin(), structure.locations.end());
+  }
+  TaskPool pool(1);
+  CoverageMap coverage = MapCoverageParallel(runner, tests, locations, pool);
+  std::vector<PlanEntry> plan = PlanInjections(coverage, locations.size());
+  std::vector<CampaignRunSpec> specs =
+      ExpandPlan(plan, locations, {kInjectOnce, kInjectRepeatedly});
+
+  int64_t runs = 0;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    std::vector<CampaignRunResult> results = ExecuteCampaign(runner, locations, specs, pool);
+    runs += static_cast<int64_t>(results.size());
+    for (const CampaignRunResult& result : results) {
+      steps += result.record.steps;
+    }
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(runs);
+  state.counters["campaign_runs_per_sec"] =
+      benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignRunsPerSecond);
 
 void BM_InterpreterArithmeticThroughput(benchmark::State& state) {
   mj::DiagnosticEngine diag;
@@ -151,15 +229,62 @@ void BM_InterpreterArithmeticThroughput(benchmark::State& state) {
     }
   )", diag));
   mj::ProgramIndex index(program);
+  int64_t steps = 0;
   for (auto _ : state) {
     Interpreter interp(program, index);
     benchmark::DoNotOptimize(interp.Invoke("Hot.spin", {Value{int64_t{10000}}}));
+    steps += interp.steps();
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_InterpreterArithmeticThroughput);
+
+void BM_InterpreterArenaReuseThroughput(benchmark::State& state) {
+  // Same hot loop, but reusing one interpreter via ResetForRun the way a
+  // campaign worker does — isolates the per-run construction overhead the
+  // arena removes.
+  mj::DiagnosticEngine diag;
+  mj::Program program;
+  program.AddUnit(mj::ParseSource("hot.mj", R"(
+    class Hot {
+      int spin(n) {
+        var acc = 0;
+        for (var i = 0; i < n; i++) {
+          acc = (acc + i * 3) % 1000003;
+        }
+        return acc;
+      }
+    }
+  )", diag));
+  mj::ProgramIndex index(program);
+  Interpreter interp(program, index);
+  int64_t steps = 0;
+  for (auto _ : state) {
+    interp.ResetForRun();
+    benchmark::DoNotOptimize(interp.Invoke("Hot.spin", {Value{int64_t{10000}}}));
+    steps += interp.steps();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterArenaReuseThroughput);
 
 }  // namespace
 }  // namespace wasabi
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Same caveat micro_campaign records: throughput numbers from hosts with
+  // few hardware threads are interpretable only alongside this value.
+  benchmark::AddCustomContext("hardware_concurrency",
+                              std::to_string(std::thread::hardware_concurrency()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,6 +30,17 @@ ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
   done
 } 2>&1 | tee "$repo_root/bench_output.txt"
 
+# Machine-readable interpreter-throughput record (docs/PERFORMANCE.md): the
+# interpreter and campaign benchmarks with their steps/sec and runs/sec
+# counters, plus the hardware_concurrency context value the throughput caveat
+# from the parallel-executor PR depends on.
+"$build_dir/bench/micro_substrate" \
+  --benchmark_filter='Interpreter|CleanTestSuite|CampaignRunsPerSecond' \
+  --benchmark_min_time=0.3 \
+  --benchmark_out="$repo_root/BENCH_interp.json" \
+  --benchmark_out_format=json >/dev/null
+echo "interpreter bench: BENCH_interp.json"
+
 # Archive an instrumented campaign: the Chrome trace and metrics JSON for one
 # corpus app, loadable in Perfetto / chrome://tracing (docs/OBSERVABILITY.md).
 corpus_dir="$build_dir/reproduce_corpus"
@@ -56,14 +67,17 @@ done
 echo "chaos containment: byte-identical at 1/2/4/8 workers"
 
 # ThreadSanitizer pass over the campaign-executor concurrency tests (label
-# "exec"), in a separate build tree so the main artifacts stay uninstrumented.
-# Skipped quietly when the compiler can't link TSan (e.g. musl toolchains).
+# "exec") plus the interpreter-overhaul golden-equivalence/resolver tests
+# (label "perf", which re-prove byte-identical campaign output with the
+# per-worker interpreter arenas under TSan), in a separate build tree so the
+# main artifacts stay uninstrumented. Skipped quietly when the compiler can't
+# link TSan (e.g. musl toolchains).
 if echo 'int main(){return 0;}' |
    c++ -x c++ -fsanitize=thread -o /tmp/wasabi_tsan_probe - 2>/dev/null; then
   rm -f /tmp/wasabi_tsan_probe
   cmake -B "$build_dir-tsan" -G Ninja -S "$repo_root" -DWASABI_TSAN=ON
   cmake --build "$build_dir-tsan"
-  ctest --test-dir "$build_dir-tsan" -L exec --output-on-failure \
+  ctest --test-dir "$build_dir-tsan" -L 'exec|perf' --output-on-failure \
     2>&1 | tee "$repo_root/tsan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=thread; skipping TSan pass"
@@ -71,14 +85,16 @@ fi
 
 # AddressSanitizer pass over the fault-containment tests (label "robust":
 # exception capture, quarantine bookkeeping, degraded-mode parsing — the
-# lifetime-sensitive paths; see docs/ROBUSTNESS.md). Same separate-tree and
-# probe-then-skip structure as the TSan pass above.
+# lifetime-sensitive paths; see docs/ROBUSTNESS.md) plus the "perf" golden
+# tests, which exercise the interner's string_view tokens and the arena's
+# frame reuse — the overhaul's lifetime-sensitive surface. Same separate-tree
+# and probe-then-skip structure as the TSan pass above.
 if echo 'int main(){return 0;}' |
    c++ -x c++ -fsanitize=address -o /tmp/wasabi_asan_probe - 2>/dev/null; then
   rm -f /tmp/wasabi_asan_probe
   cmake -B "$build_dir-asan" -G Ninja -S "$repo_root" -DWASABI_ASAN=ON
   cmake --build "$build_dir-asan"
-  ctest --test-dir "$build_dir-asan" -L robust --output-on-failure \
+  ctest --test-dir "$build_dir-asan" -L 'robust|perf' --output-on-failure \
     2>&1 | tee "$repo_root/asan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=address; skipping ASan pass"
@@ -86,4 +102,5 @@ fi
 
 echo
 echo "Done. Test results: test_output.txt; table/figure outputs: bench_output.txt;"
-echo "campaign trace/metrics: campaign_trace.json, campaign_metrics.json"
+echo "campaign trace/metrics: campaign_trace.json, campaign_metrics.json;"
+echo "interpreter throughput record: BENCH_interp.json"

@@ -31,6 +31,10 @@ std::vector<CampaignRunResult> ExecuteCampaign(const TestRunner& runner,
                                                const std::vector<CampaignRunSpec>& specs,
                                                TaskPool& pool, const CampaignObs& obs) {
   std::vector<CampaignRunResult> results(specs.size());
+  // One warm interpreter per worker, reused across that worker's runs
+  // (docs/PERFORMANCE.md). Each arena is touched by exactly one worker at a
+  // time, so no locking.
+  std::vector<InterpreterArena> arenas(static_cast<size_t>(pool.worker_count()));
   pool.ParallelFor(specs.size(), [&](size_t i) {
     const CampaignRunSpec& spec = specs[i];
     const RetryLocation& location = locations[spec.location_index];
@@ -48,7 +52,8 @@ std::vector<CampaignRunResult> ExecuteCampaign(const TestRunner& runner,
     result.id = spec.id;
     result.location_index = spec.location_index;
     result.k = spec.k;
-    result.record = runner.RunTest(spec.test, {&injector});
+    result.record = runner.RunTest(spec.test, {&injector},
+                                   &arenas[static_cast<size_t>(TaskPool::CurrentWorker())]);
     if (obs.progress != nullptr) {
       obs.progress->Tick();
     }
@@ -76,11 +81,13 @@ CoverageMap MapCoverageParallel(const TestRunner& runner, const std::vector<Test
                                 const std::vector<RetryLocation>& locations, TaskPool& pool,
                                 const CampaignObs& obs) {
   std::vector<std::vector<size_t>> hits(tests.size());
+  std::vector<InterpreterArena> arenas(static_cast<size_t>(pool.worker_count()));
   pool.ParallelFor(tests.size(), [&](size_t i) {
     ScopedSpan span(obs.tracer, "coverage.run");
     span.AddArg("test", tests[i].qualified_name);
     CoverageRecorder recorder(&locations);
-    runner.RunTest(tests[i], {&recorder});
+    runner.RunTest(tests[i], {&recorder},
+                   &arenas[static_cast<size_t>(TaskPool::CurrentWorker())]);
     hits[i] = recorder.hits();
     if (obs.progress != nullptr) {
       obs.progress->Tick();
@@ -153,6 +160,7 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
   std::vector<CampaignRunResult> results(specs.size());
   std::vector<int> attempts(specs.size(), 0);
   std::vector<char> completed(specs.size(), 0);
+  std::vector<InterpreterArena> arenas(static_cast<size_t>(pool.worker_count()));
   CircuitBreaker breaker(options.breaker_threshold);
 
   auto quarantine = [&](size_t i, RunFailure failure) {
@@ -230,7 +238,8 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
           result.id = spec.id;
           result.location_index = spec.location_index;
           result.k = spec.k;
-          result.record = runner.RunTest(spec.test, {&injector});
+          result.record = runner.RunTest(
+              spec.test, {&injector}, &arenas[static_cast<size_t>(TaskPool::CurrentWorker())]);
           if (obs.progress != nullptr) {
             obs.progress->Tick();
           }
@@ -301,6 +310,7 @@ CoverageOutcome MapCoverageRobust(const TestRunner& runner, const std::vector<Te
   std::vector<std::vector<size_t>> hits(tests.size());
   std::vector<int> attempts(tests.size(), 0);
   std::vector<char> completed(tests.size(), 0);
+  std::vector<InterpreterArena> arenas(static_cast<size_t>(pool.worker_count()));
 
   std::vector<size_t> wave(tests.size());
   for (size_t i = 0; i < tests.size(); ++i) {
@@ -318,7 +328,8 @@ CoverageOutcome MapCoverageRobust(const TestRunner& runner, const std::vector<Te
           }
           ChaosMaybeFault(options.chaos, CoverageChaosIdentity(i), attempt);
           CoverageRecorder recorder(&locations);
-          runner.RunTest(tests[i], {&recorder});
+          runner.RunTest(tests[i], {&recorder},
+                         &arenas[static_cast<size_t>(TaskPool::CurrentWorker())]);
           hits[i] = recorder.hits();
           if (obs.progress != nullptr) {
             obs.progress->Tick();

@@ -5,6 +5,14 @@
 
 namespace wasabi {
 
+namespace {
+// Written at task-execution entry points (RunJob, the serial fast path), read
+// by task bodies that key per-worker state (e.g. interpreter arenas).
+thread_local int current_worker = 0;
+}  // namespace
+
+int TaskPool::CurrentWorker() { return current_worker; }
+
 int DefaultJobCount() {
   unsigned hardware = std::thread::hardware_concurrency();
   return hardware == 0 ? 1 : static_cast<int>(hardware);
@@ -104,6 +112,7 @@ bool TaskPool::Steal(int worker, size_t* index) {
 
 void TaskPool::RunJob(int worker) {
   using Clock = std::chrono::steady_clock;
+  current_worker = worker;
   WorkerCounters& counters = counters_[static_cast<size_t>(worker)];
   // Counter writes are ordered before this worker's next job_pending_
   // fetch_sub (release), and ParallelFor returns only after job_pending_
@@ -187,6 +196,7 @@ std::vector<std::exception_ptr> TaskPool::ParallelForCaptured(
     // Strictly serial on the calling thread; no scheduling at all. Counters
     // are still maintained so --jobs 1 metrics stay meaningful.
     using Clock = std::chrono::steady_clock;
+    current_worker = 0;
     WorkerCounters& counters = counters_[0];
     for (size_t i = 0; i < count; ++i) {
       Clock::time_point task_start = Clock::now();

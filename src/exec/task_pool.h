@@ -61,6 +61,12 @@ class TaskPool {
 
   int worker_count() const { return worker_count_; }
 
+  // Index of the pool worker executing the current task, valid inside a fn
+  // passed to ParallelFor/ParallelForCaptured (the calling thread is worker 0).
+  // Outside a task it returns the last index this thread ran as, or 0 on a
+  // thread that never executed a task — callers use it only from inside tasks.
+  static int CurrentWorker();
+
   // Runs fn(index) for every index in [0, count), distributed over the
   // workers, and blocks until all calls have returned. fn must be safe to
   // call concurrently for distinct indices. Rethrows the lowest-index

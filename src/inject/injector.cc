@@ -29,7 +29,7 @@ void FaultInjector::OnCall(const CallEvent& event, Interpreter& interp) {
     entry.virtual_time_ms = interp.now_ms();
     entry.amount = counts_[i];
     entry.injection_callee = point.callee;
-    entry.injection_caller = point.caller.empty() ? event.caller : point.caller;
+    entry.injection_caller = point.caller.empty() ? std::string(event.caller) : point.caller;
     entry.injection_exception = point.exception;
     entry.caller_activation = event.caller_activation;
     entry.call_stack = interp.CaptureStack();

@@ -1,6 +1,6 @@
 #include "src/interp/interpreter.h"
 
-#include <cassert>
+#include <cstring>
 #include <utility>
 
 namespace wasabi {
@@ -21,7 +21,35 @@ const char* AbortReasonName(AbortReason reason) {
 
 Interpreter::Interpreter(const mj::Program& program, const mj::ProgramIndex& index,
                          InterpOptions options)
-    : program_(program), index_(index), options_(options) {}
+    : program_(program), index_(index), options_(options) {
+  dispatch_cache_.resize(index.call_site_count());
+}
+
+void Interpreter::ResetForRun() {
+  singletons_.clear();
+  config_.clear();
+  frozen_config_keys_.clear();
+  interceptors_.clear();
+  log_.Clear();
+  virtual_time_ms_ = 0;
+  steps_ = 0;
+  loop_iterations_ = 0;
+  next_activation_ = 1;
+  frame_depth_ = 0;
+  for (Frame& frame : frames_) {
+    frame.method = nullptr;
+    frame.qualified_name = nullptr;
+    frame.self = nullptr;
+    frame.slots.clear();  // Keeps capacity, releases object references.
+    frame.defined.clear();
+  }
+  for (std::vector<Value>& buffer : arg_buffers_) {
+    buffer.clear();  // Keeps capacity, releases object references.
+  }
+  arg_buffer_depth_ = 0;
+  // dispatch_cache_ deliberately survives: it is a pure function of the
+  // immutable shared program, so warm entries stay valid across runs.
+}
 
 void Interpreter::SetConfig(const std::string& key, Value value) {
   config_[key] = std::move(value);
@@ -37,22 +65,41 @@ void Interpreter::AddInterceptor(CallInterceptor* interceptor) {
 
 std::vector<std::string> Interpreter::CaptureStack() const {
   std::vector<std::string> stack;
-  stack.reserve(frames_.size());
-  for (const Frame& frame : frames_) {
-    stack.push_back(frame.qualified_name);
+  stack.reserve(frame_depth_);
+  for (size_t i = 0; i < frame_depth_; ++i) {
+    stack.push_back(*frames_[i].qualified_name);
   }
   return stack;
 }
 
-Interpreter::Frame& Interpreter::CurrentFrame() {
-  assert(!frames_.empty());
-  return frames_.back();
+Interpreter::Frame& Interpreter::PushFrame(const mj::MethodDecl* method,
+                                           const std::string* qualified_name, ObjectRef self,
+                                           uint32_t slot_count) {
+  if (frame_depth_ == frames_.size()) {
+    frames_.emplace_back();  // Deque: existing Frame references stay valid.
+  }
+  Frame& frame = frames_[frame_depth_++];
+  frame.method = method;
+  frame.qualified_name = qualified_name;
+  frame.self = std::move(self);
+  frame.activation = next_activation_++;
+  // `defined` gates every slot read, so stale values left by earlier
+  // activations are unreachable: grow the value vector as needed but never
+  // refill it. `defined` itself must be EXACTLY slot_count long — LookupName
+  // uses its size to recognize foreign frames — and assign() on a byte vector
+  // with warm capacity is a memset.
+  if (frame.slots.size() < slot_count) {
+    frame.slots.resize(slot_count);
+  }
+  frame.defined.assign(slot_count, 0);
+  return frame;
 }
 
-void Interpreter::Step() {
-  if (++steps_ > options_.step_budget) {
-    throw ExecutionAborted{AbortReason::kStepBudget};
-  }
+void Interpreter::PopFrame() {
+  Frame& frame = frames_[--frame_depth_];
+  frame.self = nullptr;
+  // Slot values stay behind, unreachable (the next push zeroes `defined`);
+  // ResetForRun or destruction releases pooled object references.
 }
 
 void Interpreter::Sleep(int64_t millis) {
@@ -89,21 +136,24 @@ void Interpreter::ThrowMj(const std::string& class_name, const std::string& mess
 }
 
 bool Interpreter::AsBool(const Value& value, mj::SourceLocation location) {
-  if (IsBool(value)) {
-    return std::get<bool>(value);
+  if (const bool* b = std::get_if<bool>(&value)) {
+    return *b;
   }
-  ThrowMj("IllegalStateException",
-          "type error at line " + std::to_string(location.line) + ": expected bool, got " +
-              ValueToString(value));
+  ThrowTypeError("bool", value, location);
 }
 
 int64_t Interpreter::AsInt(const Value& value, mj::SourceLocation location) {
-  if (IsInt(value)) {
-    return std::get<int64_t>(value);
+  if (const int64_t* i = std::get_if<int64_t>(&value)) {
+    return *i;
   }
-  ThrowMj("IllegalStateException",
-          "type error at line " + std::to_string(location.line) + ": expected int, got " +
-              ValueToString(value));
+  ThrowTypeError("int", value, location);
+}
+
+void Interpreter::ThrowTypeError(const char* expected, const Value& value,
+                                 mj::SourceLocation location) {
+  ThrowMj("IllegalStateException", "type error at line " + std::to_string(location.line) +
+                                       ": expected " + expected + ", got " +
+                                       ValueToString(value));
 }
 
 // ---------------------------------------------------------------------------
@@ -111,30 +161,24 @@ int64_t Interpreter::AsInt(const Value& value, mj::SourceLocation location) {
 // ---------------------------------------------------------------------------
 
 ObjectRef Interpreter::NewInstance(const mj::ClassDecl& cls) {
+  const mj::FieldLayout& layout = index_.field_layout(cls);
   auto object = std::make_shared<Object>(ObjectKind::kInstance, cls.name);
   object->set_decl(&cls);
+  object->BindLayout(&layout);
 
-  // Run field initializers, base classes first, with `this` bound.
-  std::vector<const mj::ClassDecl*> chain;
-  const mj::ClassDecl* current = &cls;
-  int depth = 0;
-  while (current != nullptr && depth++ < 64) {
-    chain.push_back(current);
-    current = current->base_name.empty() ? nullptr : index_.FindClass(current->base_name);
-  }
-  frames_.push_back(Frame{nullptr, cls.name + ".<init>", object, {{}}, next_activation_++});
-  struct PopFrame {
-    std::deque<Frame>* frames;
-    ~PopFrame() { frames->pop_back(); }
-  } pop{&frames_};
-  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    for (const mj::FieldDecl* field : (*it)->fields) {
-      Value value;  // null by default.
-      if (field->init != nullptr) {
-        value = Eval(*field->init);
-      }
-      object->fields()[field->name] = std::move(value);
+  // Run field initializers, base classes first, with `this` bound. The layout
+  // pre-computed the base-first order and the slot of every declaration.
+  PushFrame(nullptr, &layout.init_frame_name, object, 0);
+  struct FramePopper {
+    Interpreter* interp;
+    ~FramePopper() { interp->PopFrame(); }
+  } pop{this};
+  for (const mj::FieldInitStep& step : layout.init_order) {
+    Value value;  // null by default.
+    if (step.field->init != nullptr) {
+      value = Eval(*step.field->init);
     }
+    object->field_slot(step.slot) = std::move(value);
   }
   return object;
 }
@@ -149,28 +193,17 @@ ObjectRef Interpreter::SingletonOf(const mj::ClassDecl& cls) {
   return instance;
 }
 
-Value* Interpreter::FindVariable(const std::string& name) {
-  if (frames_.empty()) {
-    return nullptr;
-  }
-  Frame& frame = frames_.back();
-  for (auto it = frame.scopes.rbegin(); it != frame.scopes.rend(); ++it) {
-    auto found = it->find(name);
-    if (found != it->end()) {
-      return &found->second;
+Value Interpreter::ReadField(const ObjectRef& object, const std::string& field,
+                             mj::SymbolId symbol, mj::SourceLocation location) {
+  const mj::FieldLayout* layout = object->layout();
+  if (layout != nullptr && symbol != mj::kInvalidSymbol) {
+    if (const uint32_t* slot = layout->SlotOf(symbol)) {
+      return object->field_slot(*slot);
     }
   }
-  return nullptr;
-}
-
-void Interpreter::DefineVariable(const std::string& name, Value value) {
-  CurrentFrame().scopes.back()[name] = std::move(value);
-}
-
-Value Interpreter::ReadField(const ObjectRef& object, const std::string& field,
-                             mj::SourceLocation location) {
-  auto it = object->fields().find(field);
-  if (it != object->fields().end()) {
+  auto& extra = object->extra_fields();
+  auto it = extra.find(field);
+  if (it != extra.end()) {
     return it->second;
   }
   // Declared but never assigned (no initializer ran because the declaration
@@ -189,8 +222,16 @@ Value Interpreter::ReadField(const ObjectRef& object, const std::string& field,
                                        " at line " + std::to_string(location.line));
 }
 
-void Interpreter::WriteField(const ObjectRef& object, const std::string& field, Value value) {
-  object->fields()[field] = std::move(value);
+void Interpreter::WriteField(const ObjectRef& object, const std::string& field,
+                             mj::SymbolId symbol, Value value) {
+  const mj::FieldLayout* layout = object->layout();
+  if (layout != nullptr && symbol != mj::kInvalidSymbol) {
+    if (const uint32_t* slot = layout->SlotOf(symbol)) {
+      object->field_slot(*slot) = std::move(value);
+      return;
+    }
+  }
+  object->extra_fields()[field] = std::move(value);
 }
 
 // ---------------------------------------------------------------------------
@@ -198,6 +239,17 @@ void Interpreter::WriteField(const ObjectRef& object, const std::string& field, 
 // ---------------------------------------------------------------------------
 
 namespace {
+
+// Exception-style constructor convention: (message), (cause), or both.
+void ApplyExceptionCtorArgs(Object& object, const std::vector<Value>& args) {
+  for (const Value& arg : args) {
+    if (IsString(arg)) {
+      object.set_message(std::get<std::string>(arg));
+    } else if (IsObject(arg)) {
+      object.set_cause(std::get<ObjectRef>(arg));
+    }
+  }
+}
 
 int64_t IntPow(int64_t base, int64_t exponent) {
   if (exponent < 0) {
@@ -593,16 +645,19 @@ bool Interpreter::TryBuiltinMethod(const ObjectRef& object, const mj::CallExpr& 
 // ---------------------------------------------------------------------------
 
 Value Interpreter::CallMethod(const mj::MethodDecl& method, ObjectRef self,
-                              std::vector<Value> args, const mj::CallExpr* site) {
-  if (static_cast<int>(frames_.size()) >= options_.max_call_depth) {
+                              std::vector<Value>& args, const mj::CallExpr* site) {
+  if (static_cast<int>(frame_depth_) >= options_.max_call_depth) {
     throw ExecutionAborted{AbortReason::kStackOverflow};
   }
 
   CallEvent event;
-  event.caller = frames_.empty() ? "" : frames_.back().qualified_name;
-  event.callee = method.QualifiedName();
+  if (frame_depth_ > 0) {
+    const Frame& caller = frames_[frame_depth_ - 1];
+    event.caller = *caller.qualified_name;
+    event.caller_activation = caller.activation;
+  }
+  event.callee = method.qualified_cache;
   event.site = site;
-  event.caller_activation = frames_.empty() ? 0 : frames_.back().activation;
   for (CallInterceptor* interceptor : interceptors_) {
     interceptor->OnCall(event, *this);  // May throw ThrownException.
   }
@@ -612,16 +667,19 @@ Value Interpreter::CallMethod(const mj::MethodDecl& method, ObjectRef self,
             "call to method without a body: " + method.QualifiedName());
   }
 
-  frames_.push_back(Frame{&method, method.QualifiedName(), std::move(self), {{}},
-                          next_activation_++});
-  struct PopFrame {
-    std::deque<Frame>* frames;
-    ~PopFrame() { frames->pop_back(); }
-  } pop{&frames_};
+  Frame& frame = PushFrame(&method, &method.qualified_cache, std::move(self), method.max_slots);
+  struct FramePopper {
+    Interpreter* interp;
+    ~FramePopper() { interp->PopFrame(); }
+  } pop{this};
 
+  // Bind parameters by their resolved slots, in order: duplicate names share
+  // a slot, so the later argument wins like the old scope-map insert did.
   for (size_t i = 0; i < method.params.size(); ++i) {
     Value value = i < args.size() ? std::move(args[i]) : Value{};
-    DefineVariable(method.params[i]->name, std::move(value));
+    const auto slot = static_cast<size_t>(method.params[i]->slot);
+    frame.slots[slot] = std::move(value);
+    frame.defined[slot] = 1;
   }
 
   Flow flow = ExecBlock(*method.body);
@@ -640,27 +698,30 @@ Value Interpreter::EvalCall(const mj::CallExpr& call) {
 
   if (call.base == nullptr || call.base->kind == AstKind::kThis) {
     // this-call.
-    ObjectRef self = frames_.empty() ? nullptr : CurrentFrame().self;
+    ObjectRef self = frame_depth_ == 0 ? nullptr : CurrentFrame().self;
     if (self == nullptr) {
       ThrowMj("IllegalStateException", "implicit this-call outside an instance: " + call.callee);
     }
     receiver_value = Value{self};
     have_receiver_value = true;
   } else if (call.base->kind == AstKind::kName) {
-    const std::string& name = static_cast<const mj::NameExpr*>(call.base)->name;
-    if (Value* local = FindVariable(name); local != nullptr) {
+    const auto* receiver = static_cast<const mj::NameExpr*>(call.base);
+    if (Value* local = LookupName(*receiver); local != nullptr) {
       receiver_value = *local;
       have_receiver_value = true;
     } else {
+      // Not a live variable: builtin receiver, then class singleton (the
+      // resolver cached the FindClass result), then error — same order the
+      // dynamic lookup used.
       Value result;
-      if (TryBuiltinStatic(name, call, &result)) {
+      if (TryBuiltinStatic(receiver->name, call, &result)) {
         return result;
       }
-      if (const mj::ClassDecl* cls = index_.FindClass(name); cls != nullptr) {
-        receiver_value = Value{SingletonOf(*cls)};
+      if (receiver->class_ref != nullptr) {
+        receiver_value = Value{SingletonOf(*receiver->class_ref)};
         have_receiver_value = true;
       } else {
-        ThrowMj("IllegalStateException", "undefined receiver '" + name + "' at line " +
+        ThrowMj("IllegalStateException", "undefined receiver '" + receiver->name + "' at line " +
                                              std::to_string(call.location.line));
       }
     }
@@ -671,7 +732,18 @@ Value Interpreter::EvalCall(const mj::CallExpr& call) {
   }
 
   // --- Evaluate arguments ------------------------------------------------------
-  std::vector<Value> args;
+  if (arg_buffer_depth_ == arg_buffers_.size()) {
+    arg_buffers_.emplace_back();
+  }
+  std::vector<Value>& args = arg_buffers_[arg_buffer_depth_++];
+  struct BufferReleaser {
+    Interpreter* interp;
+    std::vector<Value>* buffer;
+    ~BufferReleaser() {
+      buffer->clear();
+      --interp->arg_buffer_depth_;
+    }
+  } release{this, &args};
   args.reserve(call.args.size());
   for (const mj::Expr* arg : call.args) {
     args.push_back(Eval(*arg));
@@ -696,9 +768,21 @@ Value Interpreter::EvalCall(const mj::CallExpr& call) {
 
   ObjectRef object = std::get<ObjectRef>(receiver_value);
   if (object->decl() != nullptr) {
-    const mj::MethodDecl* method = index_.ResolveMethod(*object->decl(), call.callee);
+    // Monomorphic per-site dispatch cache (with negative caching: a null
+    // method for a matching class means "no user method, use builtins").
+    const mj::MethodDecl* method = nullptr;
+    if (call.site_index != mj::kNoCallSite) {
+      DispatchEntry& entry = dispatch_cache_[call.site_index];
+      if (entry.cls != object->decl()) {
+        entry.cls = object->decl();
+        entry.method = index_.ResolveMethod(*object->decl(), call.callee);
+      }
+      method = entry.method;
+    } else {
+      method = index_.ResolveMethod(*object->decl(), call.callee);
+    }
     if (method != nullptr) {
-      return CallMethod(*method, object, std::move(args), &call);
+      return CallMethod(*method, object, args, &call);
     }
   }
   Value result;
@@ -712,10 +796,51 @@ Value Interpreter::EvalCall(const mj::CallExpr& call) {
 
 Value Interpreter::EvalNew(const mj::NewExpr& expr) {
   Step();
-  std::vector<Value> args;
+  if (arg_buffer_depth_ == arg_buffers_.size()) {
+    arg_buffers_.emplace_back();
+  }
+  std::vector<Value>& args = arg_buffers_[arg_buffer_depth_++];
+  struct BufferReleaser {
+    Interpreter* interp;
+    std::vector<Value>* buffer;
+    ~BufferReleaser() {
+      buffer->clear();
+      --interp->arg_buffer_depth_;
+    }
+  } release{this, &args};
   args.reserve(expr.args.size());
   for (const mj::Expr* arg : expr.args) {
     args.push_back(Eval(*arg));
+  }
+
+  // Resolution already classified the class name; skip the string dispatch.
+  switch (expr.new_kind) {
+    case mj::NewKind::kQueue:
+      return Value{std::make_shared<Object>(ObjectKind::kQueue, "Queue")};
+    case mj::NewKind::kList:
+      return Value{std::make_shared<Object>(ObjectKind::kList, "List")};
+    case mj::NewKind::kMap:
+      return Value{std::make_shared<Object>(ObjectKind::kMap, "Map")};
+    case mj::NewKind::kUserClass: {
+      ObjectRef object = NewInstance(*expr.class_ref);
+      object->set_origin_stack(CaptureStack());
+      if (expr.init_method != nullptr) {
+        CallMethod(*expr.init_method, object, args, nullptr);
+        return Value{object};
+      }
+      ApplyExceptionCtorArgs(*object, args);
+      return Value{object};
+    }
+    case mj::NewKind::kBuiltinException: {
+      auto object = std::make_shared<Object>(ObjectKind::kException, expr.class_name);
+      object->set_origin_stack(CaptureStack());
+      ApplyExceptionCtorArgs(*object, args);
+      return Value{object};
+    }
+    case mj::NewKind::kUnknownClass:
+      ThrowMj("IllegalStateException", "unknown class '" + expr.class_name + "'");
+    case mj::NewKind::kUnresolved:
+      break;
   }
   return Instantiate(expr.class_name, std::move(args));
 }
@@ -747,17 +872,11 @@ Value Interpreter::Instantiate(const std::string& class_name, std::vector<Value>
   if (cls != nullptr) {
     const mj::MethodDecl* init = index_.ResolveMethod(*cls, "init");
     if (init != nullptr) {
-      CallMethod(*init, object, std::move(args), nullptr);
+      CallMethod(*init, object, args, nullptr);
       return Value{object};
     }
   }
-  for (const Value& arg : args) {
-    if (IsString(arg)) {
-      object->set_message(std::get<std::string>(arg));
-    } else if (IsObject(arg)) {
-      object->set_cause(std::get<ObjectRef>(arg));
-    }
-  }
+  ApplyExceptionCtorArgs(*object, args);
   return Value{object};
 }
 
@@ -765,61 +884,236 @@ Value Interpreter::Instantiate(const std::string& class_name, std::vector<Value>
 // Expressions
 // ---------------------------------------------------------------------------
 
-Value Interpreter::EvalBinary(const mj::BinaryExpr& expr) {
+bool Interpreter::EvalIntOperand(const mj::Expr& expr, int64_t* out, Value* boxed) {
+  switch (expr.kind) {
+    case AstKind::kIntLiteral:
+      *out = static_cast<const mj::IntLiteralExpr&>(expr).value;
+      return true;
+    case AstKind::kName: {
+      const auto& name = static_cast<const mj::NameExpr&>(expr);
+      if (Value* local = LookupName(name); local != nullptr) {
+        if (const int64_t* i = std::get_if<int64_t>(local)) {
+          *out = *i;
+          return true;
+        }
+        *boxed = *local;
+        return false;
+      }
+      ThrowMj("IllegalStateException", "undefined variable '" + name.name + "' at line " +
+                                           std::to_string(expr.location.line));
+    }
+    case AstKind::kBinary:
+      // Nested int arithmetic chains through without a Value per node.
+      return EvalBinaryFast(static_cast<const mj::BinaryExpr&>(expr), out, boxed);
+    case AstKind::kUnary: {
+      const auto& unary = static_cast<const mj::UnaryExpr&>(expr);
+      if (unary.op != mj::UnaryOp::kNot) {
+        int64_t operand = 0;
+        if (EvalIntOperand(*unary.operand, &operand, boxed)) {
+          *out = -operand;
+          return true;
+        }
+        *out = -AsInt(*boxed, expr.location);  // Type error at the unary, as in Eval.
+        return true;
+      }
+      *boxed = Eval(expr);
+      return false;  // `!x` is a bool; never an int.
+    }
+    default: {
+      *boxed = Eval(expr);
+      if (const int64_t* i = std::get_if<int64_t>(boxed)) {
+        *out = *i;
+        return true;
+      }
+      return false;
+    }
+  }
+}
+
+bool Interpreter::EvalBool(const mj::Expr& expr, mj::SourceLocation location) {
+  if (expr.kind == AstKind::kBinary) {
+    const auto& bin = static_cast<const mj::BinaryExpr&>(expr);
+    switch (bin.op) {
+      // Comparisons — the dominant loop-condition shape — produce the raw
+      // bool without a boxed Value. Operand evaluation order and the AsInt
+      // type errors (both at the comparison's location) match EvalBinaryFast.
+      case mj::BinaryOp::kLt:
+      case mj::BinaryOp::kLe:
+      case mj::BinaryOp::kGt:
+      case mj::BinaryOp::kGe: {
+        int64_t li = 0;
+        int64_t ri = 0;
+        Value lhs;
+        Value rhs;
+        const bool lok = EvalIntOperand(*bin.lhs, &li, &lhs);
+        const bool rok = EvalIntOperand(*bin.rhs, &ri, &rhs);
+        if (!lok || !rok) {
+          li = AsInt(lok ? Value{li} : lhs, bin.location);
+          ri = AsInt(rok ? Value{ri} : rhs, bin.location);
+        }
+        switch (bin.op) {
+          case mj::BinaryOp::kLt:
+            return li < ri;
+          case mj::BinaryOp::kLe:
+            return li <= ri;
+          case mj::BinaryOp::kGt:
+            return li > ri;
+          default:
+            return li >= ri;
+        }
+      }
+      default: {
+        int64_t out = 0;
+        Value boxed;
+        if (EvalBinaryFast(bin, &out, &boxed)) {
+          ThrowTypeError("bool", Value{out}, location);  // An int is never a condition.
+        }
+        return AsBool(boxed, location);
+      }
+    }
+  }
+  return AsBool(Eval(expr), location);
+}
+
+bool Interpreter::EvalBinaryFast(const mj::BinaryExpr& expr, int64_t* out, Value* boxed) {
   using mj::BinaryOp;
   // Short-circuit operators first.
   if (expr.op == BinaryOp::kAnd || expr.op == BinaryOp::kOr) {
-    bool lhs = AsBool(Eval(*expr.lhs), expr.location);
+    bool lhs = EvalBool(*expr.lhs, expr.location);
     if (expr.op == BinaryOp::kAnd && !lhs) {
-      return Value{false};
+      *boxed = Value{false};
+      return false;
     }
     if (expr.op == BinaryOp::kOr && lhs) {
-      return Value{true};
+      *boxed = Value{true};
+      return false;
     }
-    return Value{AsBool(Eval(*expr.rhs), expr.location)};
+    *boxed = Value{EvalBool(*expr.rhs, expr.location)};
+    return false;
   }
 
-  Value lhs = Eval(*expr.lhs);
-  Value rhs = Eval(*expr.rhs);
+  // Hot integer path: arithmetic and comparisons on two ints run without
+  // materializing operand Values. Both operands are fully evaluated before any
+  // type check (matching the boxed path, which Evals both and then converts),
+  // and a non-int on either side re-boxes and falls through to the original
+  // switch, so error ordering, messages, and string `+` stay byte-identical.
+  int64_t li = 0;
+  int64_t ri = 0;
+  Value lhs;
+  Value rhs;
+  const bool lok = EvalIntOperand(*expr.lhs, &li, &lhs);
+  const bool rok = EvalIntOperand(*expr.rhs, &ri, &rhs);
+  if (lok && rok) {
+    switch (expr.op) {
+      case BinaryOp::kAdd:
+        *out = li + ri;
+        return true;
+      case BinaryOp::kSub:
+        *out = li - ri;
+        return true;
+      case BinaryOp::kMul:
+        *out = li * ri;
+        return true;
+      case BinaryOp::kDiv:
+        if (ri == 0) {
+          ThrowMj("ArithmeticException", "division by zero");
+        }
+        *out = li / ri;
+        return true;
+      case BinaryOp::kMod:
+        if (ri == 0) {
+          ThrowMj("ArithmeticException", "modulo by zero");
+        }
+        *out = li % ri;
+        return true;
+      case BinaryOp::kEq:
+        *boxed = Value{li == ri};
+        return false;
+      case BinaryOp::kNe:
+        *boxed = Value{li != ri};
+        return false;
+      case BinaryOp::kLt:
+        *boxed = Value{li < ri};
+        return false;
+      case BinaryOp::kLe:
+        *boxed = Value{li <= ri};
+        return false;
+      case BinaryOp::kGt:
+        *boxed = Value{li > ri};
+        return false;
+      case BinaryOp::kGe:
+        *boxed = Value{li >= ri};
+        return false;
+      default:
+        ThrowMj("IllegalStateException", "unsupported binary operator");
+    }
+  }
+  if (lok) {
+    lhs = Value{li};
+  }
+  if (rok) {
+    rhs = Value{ri};
+  }
   switch (expr.op) {
     case BinaryOp::kAdd:
       if (IsString(lhs) || IsString(rhs)) {
-        return Value{ValueToString(lhs) + ValueToString(rhs)};
+        *boxed = Value{ValueToString(lhs) + ValueToString(rhs)};
+        return false;
       }
-      return Value{AsInt(lhs, expr.location) + AsInt(rhs, expr.location)};
+      *out = AsInt(lhs, expr.location) + AsInt(rhs, expr.location);
+      return true;
     case BinaryOp::kSub:
-      return Value{AsInt(lhs, expr.location) - AsInt(rhs, expr.location)};
+      *out = AsInt(lhs, expr.location) - AsInt(rhs, expr.location);
+      return true;
     case BinaryOp::kMul:
-      return Value{AsInt(lhs, expr.location) * AsInt(rhs, expr.location)};
+      *out = AsInt(lhs, expr.location) * AsInt(rhs, expr.location);
+      return true;
     case BinaryOp::kDiv: {
       int64_t divisor = AsInt(rhs, expr.location);
       if (divisor == 0) {
         ThrowMj("ArithmeticException", "division by zero");
       }
-      return Value{AsInt(lhs, expr.location) / divisor};
+      *out = AsInt(lhs, expr.location) / divisor;
+      return true;
     }
     case BinaryOp::kMod: {
       int64_t divisor = AsInt(rhs, expr.location);
       if (divisor == 0) {
         ThrowMj("ArithmeticException", "modulo by zero");
       }
-      return Value{AsInt(lhs, expr.location) % divisor};
+      *out = AsInt(lhs, expr.location) % divisor;
+      return true;
     }
     case BinaryOp::kEq:
-      return Value{ValueEquals(lhs, rhs)};
+      *boxed = Value{ValueEquals(lhs, rhs)};
+      return false;
     case BinaryOp::kNe:
-      return Value{!ValueEquals(lhs, rhs)};
+      *boxed = Value{!ValueEquals(lhs, rhs)};
+      return false;
     case BinaryOp::kLt:
-      return Value{AsInt(lhs, expr.location) < AsInt(rhs, expr.location)};
+      *boxed = Value{AsInt(lhs, expr.location) < AsInt(rhs, expr.location)};
+      return false;
     case BinaryOp::kLe:
-      return Value{AsInt(lhs, expr.location) <= AsInt(rhs, expr.location)};
+      *boxed = Value{AsInt(lhs, expr.location) <= AsInt(rhs, expr.location)};
+      return false;
     case BinaryOp::kGt:
-      return Value{AsInt(lhs, expr.location) > AsInt(rhs, expr.location)};
+      *boxed = Value{AsInt(lhs, expr.location) > AsInt(rhs, expr.location)};
+      return false;
     case BinaryOp::kGe:
-      return Value{AsInt(lhs, expr.location) >= AsInt(rhs, expr.location)};
+      *boxed = Value{AsInt(lhs, expr.location) >= AsInt(rhs, expr.location)};
+      return false;
     default:
       ThrowMj("IllegalStateException", "unsupported binary operator");
   }
+}
+
+Value Interpreter::EvalBinary(const mj::BinaryExpr& expr) {
+  int64_t out = 0;
+  Value boxed;
+  if (EvalBinaryFast(expr, &out, &boxed)) {
+    return Value{out};
+  }
+  return boxed;
 }
 
 Value Interpreter::Eval(const mj::Expr& expr) {
@@ -833,19 +1127,19 @@ Value Interpreter::Eval(const mj::Expr& expr) {
     case AstKind::kNullLiteral:
       return Value{};
     case AstKind::kThis: {
-      ObjectRef self = frames_.empty() ? nullptr : CurrentFrame().self;
+      ObjectRef self = frame_depth_ == 0 ? nullptr : CurrentFrame().self;
       if (self == nullptr) {
         ThrowMj("IllegalStateException", "'this' outside an instance method");
       }
       return Value{self};
     }
     case AstKind::kName: {
-      const std::string& name = static_cast<const mj::NameExpr&>(expr).name;
-      if (Value* local = FindVariable(name); local != nullptr) {
+      const auto& name = static_cast<const mj::NameExpr&>(expr);
+      if (Value* local = LookupName(name); local != nullptr) {
         return *local;
       }
-      ThrowMj("IllegalStateException",
-              "undefined variable '" + name + "' at line " + std::to_string(expr.location.line));
+      ThrowMj("IllegalStateException", "undefined variable '" + name.name + "' at line " +
+                                           std::to_string(expr.location.line));
     }
     case AstKind::kFieldAccess: {
       const auto& access = static_cast<const mj::FieldAccessExpr&>(expr);
@@ -858,7 +1152,8 @@ Value Interpreter::Eval(const mj::Expr& expr) {
         ThrowMj("IllegalStateException",
                 "field access on non-object " + ValueToString(base));
       }
-      return ReadField(std::get<ObjectRef>(base), access.field, expr.location);
+      return ReadField(std::get<ObjectRef>(base), access.field, access.field_symbol,
+                       expr.location);
     }
     case AstKind::kCall:
       return EvalCall(static_cast<const mj::CallExpr&>(expr));
@@ -893,11 +1188,11 @@ Value Interpreter::Eval(const mj::Expr& expr) {
 // ---------------------------------------------------------------------------
 
 Interpreter::Flow Interpreter::ExecBlock(const mj::BlockStmt& block) {
-  CurrentFrame().scopes.emplace_back();
-  struct PopScope {
-    Frame* frame;
-    ~PopScope() { frame->scopes.pop_back(); }
-  } pop{&CurrentFrame()};
+  // Entering the block invalidates its subtree's declarations — the dynamic
+  // semantics rebuilt inner scope maps from scratch on every (re-)entry. No
+  // scope-exit work is needed (exception unwinding included): dead slots are
+  // unreachable until the next entry clears them.
+  ClearSlotRange(CurrentFrame(), block.slot_base, block.slot_count);
   for (const mj::Stmt* stmt : block.statements) {
     Flow flow = ExecStmt(*stmt);
     if (flow.kind != FlowKind::kNormal) {
@@ -915,7 +1210,11 @@ Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
 
     case AstKind::kVarDecl: {
       const auto& decl = static_cast<const mj::VarDeclStmt&>(stmt);
-      DefineVariable(decl.name, Eval(*decl.init));
+      Value value = Eval(*decl.init);  // The initializer runs before the name binds.
+      Frame& frame = CurrentFrame();
+      const auto slot = static_cast<size_t>(decl.slot);
+      frame.slots[slot] = std::move(value);
+      frame.defined[slot] = 1;
       return Flow{};
     }
 
@@ -936,13 +1235,42 @@ Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
         return new_value;
       };
       if (assign.target->kind == AstKind::kName) {
-        const std::string& name = static_cast<const mj::NameExpr*>(assign.target)->name;
-        Value* slot = FindVariable(name);
+        const auto* name = static_cast<const mj::NameExpr*>(assign.target);
+        // The slot pointer stays valid across Eval: live frames are fixed-size
+        // and the deque never moves them.
+        Value* slot = LookupName(*name);
         if (slot == nullptr) {
-          ThrowMj("IllegalStateException", "assignment to undefined variable '" + name +
+          ThrowMj("IllegalStateException", "assignment to undefined variable '" + name->name +
                                                "' at line " + std::to_string(stmt.location.line));
         }
-        Value rhs = Eval(*assign.value);
+        // Int results flow from the rhs into an int-holding slot as a plain
+        // store — no intermediate Value, no variant assignment (which must
+        // dispatch on the old alternative to destroy it). Everything else
+        // takes the original combine path, which owns the string-concat and
+        // type-error behavior.
+        int64_t ri = 0;
+        Value rhs;
+        const bool rok = EvalIntOperand(*assign.value, &ri, &rhs);
+        int64_t* slot_i = std::get_if<int64_t>(slot);
+        if (assign.op == mj::AssignOp::kAssign) {
+          if (rok) {
+            if (slot_i != nullptr) {
+              *slot_i = ri;
+            } else {
+              *slot = Value{ri};
+            }
+          } else {
+            *slot = std::move(rhs);
+          }
+          return Flow{};
+        }
+        if (rok && slot_i != nullptr) {
+          *slot_i = assign.op == mj::AssignOp::kAddAssign ? *slot_i + ri : *slot_i - ri;
+          return Flow{};
+        }
+        if (rok) {
+          rhs = Value{ri};
+        }
         *slot = combine(*slot, rhs);
         return Flow{};
       }
@@ -958,10 +1286,10 @@ Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
       ObjectRef object = std::get<ObjectRef>(base);
       Value rhs = Eval(*assign.value);
       if (assign.op == mj::AssignOp::kAssign) {
-        WriteField(object, access->field, std::move(rhs));
+        WriteField(object, access->field, access->field_symbol, std::move(rhs));
       } else {
-        Value old_value = ReadField(object, access->field, stmt.location);
-        WriteField(object, access->field, combine(old_value, rhs));
+        Value old_value = ReadField(object, access->field, access->field_symbol, stmt.location);
+        WriteField(object, access->field, access->field_symbol, combine(old_value, rhs));
       }
       return Flow{};
     }
@@ -972,7 +1300,7 @@ Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
 
     case AstKind::kIf: {
       const auto& node = static_cast<const mj::IfStmt&>(stmt);
-      if (AsBool(Eval(*node.condition), stmt.location)) {
+      if (EvalBool(*node.condition, stmt.location)) {
         return ExecStmt(*node.then_branch);
       }
       if (node.else_branch != nullptr) {
@@ -983,7 +1311,7 @@ Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
 
     case AstKind::kWhile: {
       const auto& node = static_cast<const mj::WhileStmt&>(stmt);
-      while (AsBool(Eval(*node.condition), stmt.location)) {
+      while (EvalBool(*node.condition, stmt.location)) {
         Step();
         ++loop_iterations_;
         Flow flow = ExecStmt(*node.body);
@@ -1000,18 +1328,16 @@ Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
 
     case AstKind::kFor: {
       const auto& node = static_cast<const mj::ForStmt&>(stmt);
-      CurrentFrame().scopes.emplace_back();
-      struct PopScope {
-        Frame* frame;
-        ~PopScope() { frame->scopes.pop_back(); }
-      } pop{&CurrentFrame()};
+      // The for-statement's own scope: cleared at entry; the init declaration
+      // then persists across iterations, like its scope map did.
+      ClearSlotRange(CurrentFrame(), node.slot_base, node.slot_count);
       if (node.init != nullptr) {
         Flow flow = ExecStmt(*node.init);
         if (flow.kind != FlowKind::kNormal) {
           return flow;
         }
       }
-      while (node.condition == nullptr || AsBool(Eval(*node.condition), stmt.location)) {
+      while (node.condition == nullptr || EvalBool(*node.condition, stmt.location)) {
         Step();
         ++loop_iterations_;
         Flow flow = ExecStmt(*node.body);
@@ -1083,12 +1409,11 @@ Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
             continue;
           }
           pending_throw = false;
-          CurrentFrame().scopes.emplace_back();
-          struct PopScope {
-            Frame* frame;
-            ~PopScope() { frame->scopes.pop_back(); }
-          } pop{&CurrentFrame()};
-          DefineVariable(clause.variable, Value{exception});
+          Frame& frame = CurrentFrame();
+          ClearSlotRange(frame, clause.slot_base, clause.slot_count);
+          const auto var_slot = static_cast<size_t>(clause.var_slot);
+          frame.slots[var_slot] = Value{exception};
+          frame.defined[var_slot] = 1;
           try {
             flow = ExecBlock(*clause.body);
           } catch (ThrownException& rethrown) {
@@ -1150,7 +1475,7 @@ Value Interpreter::Invoke(const std::string& qualified_name, std::vector<Value> 
     ThrowMj("IllegalStateException", "no such method: " + qualified_name);
   }
   ObjectRef self = method->owner != nullptr ? SingletonOf(*method->owner) : nullptr;
-  return CallMethod(*method, std::move(self), std::move(args), nullptr);
+  return CallMethod(*method, std::move(self), args, nullptr);
 }
 
 }  // namespace wasabi

@@ -19,9 +19,11 @@
 #define WASABI_SRC_INTERP_INTERPRETER_H_
 
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -51,10 +53,12 @@ struct ExecutionAborted {
 
 const char* AbortReasonName(AbortReason reason);
 
-// Event passed to interceptors before a user-method call executes.
+// Event passed to interceptors before a user-method call executes. The name
+// views are backed by resolver-owned storage (MethodDecl::qualified_cache /
+// FieldLayout::init_frame_name), which outlives every run of the program.
 struct CallEvent {
-  std::string caller;     // Qualified name of the invoking method ("" at top level).
-  std::string callee;     // Qualified name of the resolved target.
+  std::string_view caller;  // Qualified name of the invoking method ("" at top level).
+  std::string_view callee;  // Qualified name of the resolved target.
   const mj::CallExpr* site = nullptr;
   // Unique id of the caller's activation (frame). Two calls share it iff they
   // happen within the SAME invocation of the caller — the context signal the
@@ -77,6 +81,8 @@ struct InterpOptions {
   int64_t step_budget = 2'000'000;
   int64_t virtual_time_budget_ms = 15LL * 60 * 1000;  // The paper's 15 minutes.
   int max_call_depth = 200;
+
+  bool operator==(const InterpOptions&) const = default;
 };
 
 class Interpreter {
@@ -116,13 +122,33 @@ class Interpreter {
   std::vector<std::string> CaptureStack() const;
   const mj::ProgramIndex& index() const { return index_; }
 
+  // --- Run reuse -------------------------------------------------------------
+  // Restores the observable state of a freshly-constructed interpreter while
+  // keeping warm storage: pooled frames retain their slot-vector capacity and
+  // the dispatch cache survives (it is a pure function of the immutable
+  // program). Used by InterpreterArena for per-worker run reuse
+  // (docs/PERFORMANCE.md).
+  void ResetForRun();
+
  private:
+  // A flat activation record: one slot per local declaration of the method
+  // (the resolution pass assigned the indices), plus parallel defined-flags
+  // that replicate "is this name in a scope map right now".
   struct Frame {
     const mj::MethodDecl* method = nullptr;
-    std::string qualified_name;
+    const std::string* qualified_name = nullptr;  // Resolver-owned storage.
     ObjectRef self;
-    std::vector<std::unordered_map<std::string, Value>> scopes;
+    std::vector<Value> slots;
+    std::vector<uint8_t> defined;
     int64_t activation = 0;  // Unique per frame push.
+  };
+
+  // Per-call-site monomorphic dispatch cache entry. `method == nullptr` with
+  // a non-null `cls` is a negative entry: this receiver class resolves no
+  // user method here, fall through to builtins.
+  struct DispatchEntry {
+    const mj::ClassDecl* cls = nullptr;
+    const mj::MethodDecl* method = nullptr;
   };
 
   // Statement execution outcome.
@@ -139,8 +165,27 @@ class Interpreter {
 
   Value EvalCall(const mj::CallExpr& call);
   Value EvalBinary(const mj::BinaryExpr& expr);
+  // Evaluates one operand of a non-short-circuit binary expression. Returns
+  // true with *out set when it produced an int; otherwise stores the full
+  // value in *boxed and returns false. The operand is FULLY evaluated either
+  // way (same side effects and errors as Eval), so EvalBinary can evaluate
+  // both operands before any type check runs — preserving the boxed path's
+  // error ordering exactly while skipping variant round-trips on the int path.
+  bool EvalIntOperand(const mj::Expr& expr, int64_t* out, Value* boxed);
+  // Core of EvalBinary: true with *out set for an all-int arithmetic result,
+  // false with *boxed set for everything else (bools, strings, mixed). Nested
+  // int subtrees chain through EvalIntOperand's kBinary case without ever
+  // materializing intermediate Values.
+  bool EvalBinaryFast(const mj::BinaryExpr& expr, int64_t* out, Value* boxed);
+  // Condition evaluation for if/while/for and `&&`/`||` operands: same result
+  // and errors as AsBool(Eval(expr), location) minus the Value round-trip for
+  // the dominant comparison-expression shape.
+  bool EvalBool(const mj::Expr& expr, mj::SourceLocation location);
   Value EvalNew(const mj::NewExpr& expr);
-  Value CallMethod(const mj::MethodDecl& method, ObjectRef self, std::vector<Value> args,
+  // `args` is consumed (elements moved into the callee frame). By-reference so
+  // EvalCall/EvalNew can pass pooled buffers instead of a fresh heap
+  // allocation per call.
+  Value CallMethod(const mj::MethodDecl& method, ObjectRef self, std::vector<Value>& args,
                    const mj::CallExpr* site);
 
   // Builtin dispatch. Returns true when handled.
@@ -151,29 +196,86 @@ class Interpreter {
                        std::vector<Value>& args, Value* result);
 
   // --- Variables and fields ---------------------------------------------------
-  Frame& CurrentFrame();
-  Value* FindVariable(const std::string& name);
-  void DefineVariable(const std::string& name, Value value);
-  Value ReadField(const ObjectRef& object, const std::string& field,
+  Frame& CurrentFrame() { return frames_[frame_depth_ - 1]; }
+  // Frame management with high-water pooling: frames_[0, frame_depth_) are
+  // live; popped frames keep their vector capacity for the next push.
+  Frame& PushFrame(const mj::MethodDecl* method, const std::string* qualified_name,
+                   ObjectRef self, uint32_t slot_count);
+  void PopFrame();
+  // Resolver-annotated name lookup: primary slot if its declaration executed,
+  // else the outer fallback candidates, else null (== "undefined variable").
+  // Inline: this sits on every name read/write in the interpreter loop.
+  Value* LookupName(const mj::NameExpr& name) {
+    if (frame_depth_ == 0 || name.slot == mj::kNoSlot) {
+      return nullptr;
+    }
+    Frame& frame = frames_[frame_depth_ - 1];
+    const auto slot = static_cast<size_t>(name.slot);
+    if (slot >= frame.defined.size()) {
+      return nullptr;  // Foreign frame (e.g. a field-init <init> frame).
+    }
+    if (frame.defined[slot]) {
+      return &frame.slots[slot];
+    }
+    if (name.fallback_chain != mj::kNoNameChain) {
+      for (mj::SlotIndex candidate : index_.name_chain(name.fallback_chain)) {
+        const auto candidate_slot = static_cast<size_t>(candidate);
+        if (frame.defined[candidate_slot]) {
+          return &frame.slots[candidate_slot];
+        }
+      }
+    }
+    return nullptr;
+  }
+  // Invalidates a subtree's declarations on scope (re-)entry. Inline: runs on
+  // every block entry, and most blocks declare nothing (count == 0).
+  void ClearSlotRange(Frame& frame, uint32_t base, uint32_t count) {
+    if (count > 0) {
+      std::memset(frame.defined.data() + base, 0, count);
+    }
+  }
+  Value ReadField(const ObjectRef& object, const std::string& field, mj::SymbolId symbol,
                   mj::SourceLocation location);
-  void WriteField(const ObjectRef& object, const std::string& field, Value value);
+  void WriteField(const ObjectRef& object, const std::string& field, mj::SymbolId symbol,
+                  Value value);
 
   // --- Helpers -----------------------------------------------------------------
   ObjectRef SingletonOf(const mj::ClassDecl& cls);
   ObjectRef NewInstance(const mj::ClassDecl& cls);
   void Sleep(int64_t millis);
-  void Step();
+  // Hot per-statement/per-iteration accounting — kept inline (with the throw
+  // marked unlikely) so the check is a single increment-and-compare at every
+  // call site instead of an out-of-line call.
+  void Step() {
+    if (++steps_ > options_.step_budget) [[unlikely]] {
+      throw ExecutionAborted{AbortReason::kStepBudget};
+    }
+  }
   [[noreturn]] void ThrowMj(const std::string& class_name, const std::string& message);
+  // AsBool/AsInt succeed on the expected alternative and otherwise delegate to
+  // the out-of-line ThrowTypeError; splitting off the cold string-building
+  // keeps the checks small enough to inline into Eval/EvalBinary.
   bool AsBool(const Value& value, mj::SourceLocation location);
   int64_t AsInt(const Value& value, mj::SourceLocation location);
+  [[noreturn]] void ThrowTypeError(const char* expected, const Value& value,
+                                   mj::SourceLocation location);
 
   const mj::Program& program_;
   const mj::ProgramIndex& index_;
   InterpOptions options_;
 
   // A deque so references to a frame stay valid while nested calls push and
-  // pop frames (the RAII scope guards hold Frame pointers).
+  // pop frames. Frames above frame_depth_ are pooled storage kept warm for
+  // reuse, not live activations.
   std::deque<Frame> frames_;
+  size_t frame_depth_ = 0;
+  // Pooled argument buffers, indexed by call-expression nesting depth (an
+  // argument expression may itself contain calls). Saves the heap allocation
+  // a fresh vector per call would cost; capacity stays warm across calls and
+  // runs. A deque so held references survive deeper acquisitions.
+  std::deque<std::vector<Value>> arg_buffers_;
+  size_t arg_buffer_depth_ = 0;
+  std::vector<DispatchEntry> dispatch_cache_;  // Indexed by CallExpr::site_index.
   std::unordered_map<const mj::ClassDecl*, ObjectRef> singletons_;
   std::unordered_map<std::string, Value> config_;
   std::unordered_set<std::string> frozen_config_keys_;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/lang/ast.h"
+#include "src/lang/resolve.h"
 
 namespace wasabi {
 
@@ -36,7 +37,7 @@ inline bool IsString(const Value& value) { return std::holds_alternative<std::st
 inline bool IsObject(const Value& value) { return std::holds_alternative<ObjectRef>(value); }
 
 // What kind of heap object this is. User instances and exceptions use the
-// field map; builtin containers use their native payloads.
+// field storage; builtin containers use their native payloads.
 enum class ObjectKind : uint8_t {
   kInstance,   // User class instance (may also be an exception instance).
   kException,  // Builtin exception instance (no user ClassDecl).
@@ -53,9 +54,19 @@ class Object {
   ObjectKind kind() const { return kind_; }
   const std::string& class_name() const { return class_name_; }
 
-  // Fields (instances and exceptions).
-  std::unordered_map<std::string, Value>& fields() { return fields_; }
-  const std::unordered_map<std::string, Value>& fields() const { return fields_; }
+  // Declared-field storage. Instances created from a user class bind their
+  // class's FieldLayout once and store declared fields in a flat vector,
+  // indexed by the layout's slots; everything else (ad-hoc WriteField names,
+  // builtin exception payloads) lands in the extra-fields overflow map.
+  void BindLayout(const mj::FieldLayout* layout) {
+    layout_ = layout;
+    field_slots_.resize(layout->field_count);
+  }
+  const mj::FieldLayout* layout() const { return layout_; }
+  Value& field_slot(uint32_t slot) { return field_slots_[slot]; }
+  const Value& field_slot(uint32_t slot) const { return field_slots_[slot]; }
+  std::unordered_map<std::string, Value>& extra_fields() { return extra_fields_; }
+  const std::unordered_map<std::string, Value>& extra_fields() const { return extra_fields_; }
 
   // Container payloads.
   std::deque<Value>& elements() { return elements_; }
@@ -82,7 +93,9 @@ class Object {
  private:
   ObjectKind kind_;
   std::string class_name_;
-  std::unordered_map<std::string, Value> fields_;
+  const mj::FieldLayout* layout_ = nullptr;
+  std::vector<Value> field_slots_;
+  std::unordered_map<std::string, Value> extra_fields_;
   std::deque<Value> elements_;
   std::map<std::string, Value> entries_;
   std::string message_;

@@ -3,6 +3,9 @@
 namespace mj {
 
 std::string MethodDecl::QualifiedName() const {
+  if (!qualified_cache.empty()) {
+    return qualified_cache;
+  }
   if (owner == nullptr) {
     return name;
   }

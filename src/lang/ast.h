@@ -15,12 +15,50 @@
 #include <vector>
 
 #include "src/lang/source.h"
+#include "src/lang/symtab.h"
 #include "src/lang/token.h"
 
 namespace mj {
 
+struct ClassDecl;
+struct MethodDecl;
+
 using NodeId = uint32_t;
 inline constexpr NodeId kInvalidNodeId = 0xFFFFFFFF;
+
+// ---------------------------------------------------------------------------
+// Resolution annotations
+// ---------------------------------------------------------------------------
+// Filled in place by the one-time resolution pass (src/lang/resolve.h) that
+// ProgramIndex runs at construction. Default values mean "unresolved" and
+// route the interpreter to its dynamic slow path; resolved values let it use
+// flat slot-indexed frames and cached dispatch (docs/PERFORMANCE.md).
+
+// Index of a local variable in its method's flat frame. Slots are unique per
+// method (no reuse across sibling scopes): reuse would let a stale
+// defined-flag from a dead sibling declaration resurrect a variable that the
+// scope-map semantics would report as undefined.
+using SlotIndex = int32_t;
+inline constexpr SlotIndex kNoSlot = -1;
+
+// Index into the resolution result's fallback name chains (outer same-named
+// declarations a NameExpr may legally see when the innermost one has not
+// executed yet).
+inline constexpr uint32_t kNoNameChain = 0xFFFFFFFF;
+
+// Dense per-program call-site index; keys the interpreter's dispatch cache.
+inline constexpr uint32_t kNoCallSite = 0xFFFFFFFF;
+
+// What `new ClassName(...)` will produce, decided once at resolution time.
+enum class NewKind : uint8_t {
+  kUnresolved,
+  kQueue,
+  kList,
+  kMap,
+  kUserClass,
+  kBuiltinException,
+  kUnknownClass,
+};
 
 enum class AstKind : uint8_t {
   // Expressions.
@@ -100,6 +138,16 @@ struct NullLiteralExpr : Expr {
 struct NameExpr : Expr {
   NameExpr() : Expr(AstKind::kName) {}
   std::string name;
+
+  // Frame slot of the innermost declaration lexically visible here; kNoSlot
+  // when no declaration is in scope (the dynamic semantics then error, or
+  // fall through to builtin/class receivers in call position).
+  SlotIndex slot = kNoSlot;
+  // Outer same-named candidates (innermost first, primary excluded) consulted
+  // when the primary slot's declaration has not executed; see resolve.h.
+  uint32_t fallback_chain = kNoNameChain;
+  // FindClass(name), cached for call-receiver position (`Helper.run()`).
+  const ClassDecl* class_ref = nullptr;
 };
 
 struct ThisExpr : Expr {
@@ -110,6 +158,9 @@ struct FieldAccessExpr : Expr {
   FieldAccessExpr() : Expr(AstKind::kFieldAccess) {}
   Expr* base = nullptr;
   std::string field;
+
+  // Interned `field`; keys FieldLayout slot lookups.
+  SymbolId field_symbol = kInvalidSymbol;
 };
 
 // A call `base.callee(args)` or `callee(args)` (base == nullptr; implicit
@@ -121,12 +172,21 @@ struct CallExpr : Expr {
   Expr* base = nullptr;
   std::string callee;
   std::vector<Expr*> args;
+
+  // Dense per-program index of this call site (dispatch-cache key).
+  uint32_t site_index = kNoCallSite;
 };
 
 struct NewExpr : Expr {
   NewExpr() : Expr(AstKind::kNew) {}
   std::string class_name;
   std::vector<Expr*> args;
+
+  // Resolution of `class_name`: container/user-class/builtin-exception, plus
+  // the class and its `init` method when it names a user class.
+  NewKind new_kind = NewKind::kUnresolved;
+  const ClassDecl* class_ref = nullptr;
+  const MethodDecl* init_method = nullptr;
 };
 
 enum class UnaryOp : uint8_t {
@@ -176,12 +236,20 @@ struct InstanceOfExpr : Expr {
 struct BlockStmt : Stmt {
   BlockStmt() : Stmt(AstKind::kBlock) {}
   std::vector<Stmt*> statements;
+
+  // Slot range declared anywhere in this block's subtree. Entering the block
+  // clears the `defined` flags of the range — the scope-map semantics rebuild
+  // inner scopes from scratch on every (re-)entry.
+  uint32_t slot_base = 0;
+  uint32_t slot_count = 0;
 };
 
 struct VarDeclStmt : Stmt {
   VarDeclStmt() : Stmt(AstKind::kVarDecl) {}
   std::string name;
   Expr* init = nullptr;  // Never null: `var x = e;` requires an initializer.
+
+  SlotIndex slot = kNoSlot;
 };
 
 enum class AssignOp : uint8_t {
@@ -221,6 +289,11 @@ struct ForStmt : Stmt {
   Expr* condition = nullptr;  // Null means "true".
   Stmt* update = nullptr;     // AssignStmt/ExprStmt or null.
   Stmt* body = nullptr;
+
+  // Slot range of the for-statement's own scope (init + subtree); cleared at
+  // for-entry. The init slot survives iterations, like its scope map did.
+  uint32_t slot_base = 0;
+  uint32_t slot_count = 0;
 };
 
 struct SwitchCase {
@@ -242,6 +315,12 @@ struct CatchClause {
   std::string variable;
   BlockStmt* body = nullptr;
   SourceLocation location;
+
+  // The catch variable's slot plus the clause's whole subtree range (cleared
+  // when the clause is entered, like its fresh scope map).
+  SlotIndex var_slot = kNoSlot;
+  uint32_t slot_base = 0;
+  uint32_t slot_count = 0;
 };
 
 struct TryStmt : Stmt {
@@ -277,6 +356,8 @@ struct ParamDecl : AstNode {
   ParamDecl() : AstNode(AstKind::kParam) {}
   std::string type_name;  // Recorded, not enforced (mj is dynamically checked).
   std::string name;
+
+  SlotIndex slot = kNoSlot;  // Duplicate param names share one slot.
 };
 
 struct FieldDecl : AstNode {
@@ -284,9 +365,9 @@ struct FieldDecl : AstNode {
   std::string type_name;
   std::string name;
   Expr* init = nullptr;  // May be null -> null value.
-};
 
-struct ClassDecl;
+  SymbolId name_symbol = kInvalidSymbol;  // Interned `name`.
+};
 
 struct MethodDecl : AstNode {
   MethodDecl() : AstNode(AstKind::kMethodDecl) {}
@@ -297,6 +378,13 @@ struct MethodDecl : AstNode {
   BlockStmt* body = nullptr;        // Null for abstract/declared-only methods.
   bool is_static = false;
   ClassDecl* owner = nullptr;
+
+  // Flat frame size: one slot per distinct local declaration (params
+  // included). Filled by the resolution pass.
+  uint32_t max_slots = 0;
+  // Cached QualifiedName(); also the stable backing storage for the
+  // string_view CallEvent::callee.
+  std::string qualified_cache;
 
   // "Class.method" — the qualified name used throughout reports and plans.
   std::string QualifiedName() const;

@@ -122,6 +122,9 @@ Token Lexer::LexIdentifierOrKeyword() {
   }
   std::string_view lexeme = text_.substr(start, pos_ - start);
   Token token = MakeToken(KeywordKind(lexeme), start);
+  if (token.kind == TokenKind::kIdentifier) {
+    token.symbol = symbols_.Intern(lexeme);
+  }
   return token;
 }
 
@@ -173,7 +176,7 @@ Token Lexer::LexString() {
     if (c == '\n') {
       diag_.Error(file_.LocationFor(start), "unterminated string literal");
       Token token = MakeToken(TokenKind::kStringLiteral, start);
-      token.string_value = std::move(value);
+      token.string_value = string_storage_.emplace_back(std::move(value));
       return token;
     }
     value.push_back(c);
@@ -184,7 +187,7 @@ Token Lexer::LexString() {
     ++pos_;  // Closing quote.
   }
   Token token = MakeToken(TokenKind::kStringLiteral, start);
-  token.string_value = std::move(value);
+  token.string_value = string_storage_.emplace_back(std::move(value));
   return token;
 }
 

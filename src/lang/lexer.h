@@ -3,10 +3,14 @@
 #ifndef WASABI_SRC_LANG_LEXER_H_
 #define WASABI_SRC_LANG_LEXER_H_
 
+#include <deque>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/lang/diagnostics.h"
 #include "src/lang/source.h"
+#include "src/lang/symtab.h"
 #include "src/lang/token.h"
 
 namespace mj {
@@ -19,6 +23,9 @@ namespace mj {
 // Lifetime: Token::text views into the SourceFile's text, so the file must
 // outlive the returned tokens (the Parser guarantees this by holding the file
 // through a shared_ptr for the CompilationUnit's lifetime).
+// Token::string_value views into this lexer's decoded-string storage; a caller
+// that outlives the lexer must TakeStringStorage() (deque moves preserve
+// element addresses, so the views stay valid across the transfer).
 class Lexer {
  public:
   Lexer(const SourceFile& file, DiagnosticEngine& diag);
@@ -27,6 +34,13 @@ class Lexer {
   std::vector<Token> LexAll();
 
   const std::vector<Comment>& comments() const { return comments_; }
+
+  // Identifier spellings interned while lexing (Token::symbol indexes this).
+  const SymbolTable& symbols() const { return symbols_; }
+
+  // Transfers ownership of the decoded string-literal storage backing
+  // Token::string_value views.
+  std::deque<std::string> TakeStringStorage() { return std::move(string_storage_); }
 
  private:
   Token Next();
@@ -46,6 +60,8 @@ class Lexer {
   std::string_view text_;
   uint32_t pos_ = 0;
   std::vector<Comment> comments_;
+  SymbolTable symbols_;
+  std::deque<std::string> string_storage_;  // Stable addresses for the views.
 };
 
 }  // namespace mj

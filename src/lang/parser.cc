@@ -13,6 +13,7 @@ std::unique_ptr<CompilationUnit> Parser::ParseUnit() {
   unit_ = std::make_unique<CompilationUnit>(file_);
   Lexer lexer(*file_, diag_);
   tokens_ = lexer.LexAll();
+  token_strings_ = lexer.TakeStringStorage();
   unit_->comments() = lexer.comments();
   pos_ = 0;
 

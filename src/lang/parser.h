@@ -3,6 +3,7 @@
 #ifndef WASABI_SRC_LANG_PARSER_H_
 #define WASABI_SRC_LANG_PARSER_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -81,6 +82,9 @@ class Parser {
   DiagnosticEngine& diag_;
   std::unique_ptr<CompilationUnit> unit_;
   std::vector<Token> tokens_;
+  // Backs Token::string_value views for the lifetime of tokens_ (taken from
+  // the lexer; deque moves keep element addresses stable).
+  std::deque<std::string> token_strings_;
   size_t pos_ = 0;
   int expr_depth_ = 0;
   int stmt_depth_ = 0;

@@ -1,0 +1,375 @@
+#include "src/lang/resolve.h"
+
+#include <cassert>
+
+#include "src/lang/sema.h"
+
+namespace mj {
+namespace {
+
+// Walks one class at a time, mirroring the interpreter's dynamic scoping
+// exactly: a scope opens at method entry (parameters), per block, around a
+// for-statement, and per catch clause; everything else (if/while bodies,
+// switch cases) declares into the enclosing scope.
+class Resolver {
+ public:
+  Resolver(const ProgramIndex& index, ResolveResult& result) : index_(index), result_(result) {}
+
+  void ResolveClass(ClassDecl& cls) {
+    for (FieldDecl* field : cls.fields) {
+      field->name_symbol = result_.symbols.Intern(field->name);
+      // Field initializers run in a parameterless <init> frame where no local
+      // is ever visible: resolve them against an empty binding stack so their
+      // names keep the dynamic not-found behavior.
+      assert(bindings_.empty());
+      ResolveExpr(field->init);
+    }
+    for (MethodDecl* method : cls.methods) {
+      ResolveMethodDecl(*method);
+    }
+  }
+
+ private:
+  struct Binding {
+    SymbolId name = kInvalidSymbol;
+    SlotIndex slot = kNoSlot;
+  };
+
+  void ResolveMethodDecl(MethodDecl& method) {
+    method.qualified_cache =
+        method.owner == nullptr ? method.name : method.owner->name + "." + method.name;
+    method.max_slots = 0;
+    if (method.body == nullptr) {
+      return;
+    }
+    next_slot_ = 0;
+    OpenScope();  // The parameter scope the interpreter opens at frame entry.
+    for (ParamDecl* param : method.params) {
+      param->slot = Declare(param->name);
+    }
+    ResolveBlock(*method.body);
+    CloseScope();
+    method.max_slots = next_slot_;
+  }
+
+  void OpenScope() { scope_starts_.push_back(bindings_.size()); }
+
+  void CloseScope() {
+    // Only the name bindings are rolled back; slots stay unique per method so
+    // a dead sibling declaration can never alias a live one.
+    bindings_.resize(scope_starts_.back());
+    scope_starts_.pop_back();
+  }
+
+  SlotIndex Declare(const std::string& name) {
+    SymbolId symbol = result_.symbols.Intern(name);
+    // Redeclaration in the same scope overwrites the same map entry
+    // dynamically, so it reuses the slot (this also makes Declare idempotent
+    // for the loop predeclaration pass below).
+    for (size_t i = bindings_.size(); i > scope_starts_.back();) {
+      --i;
+      if (bindings_[i].name == symbol) {
+        return bindings_[i].slot;
+      }
+    }
+    SlotIndex slot = static_cast<SlotIndex>(next_slot_++);
+    bindings_.push_back({symbol, slot});
+    return slot;
+  }
+
+  // Annotates `name` with the innermost visible declaration plus the chain of
+  // outer same-named candidates. At run time the defined-flags pick the first
+  // candidate whose declaration actually executed — which is precisely the
+  // entry the reverse scope-map search would have found.
+  void ResolveName(NameExpr& name) {
+    SymbolId symbol = result_.symbols.Intern(name.name);
+    name.slot = kNoSlot;
+    name.fallback_chain = kNoNameChain;
+    std::vector<SlotIndex> outer;
+    for (size_t i = bindings_.size(); i > 0;) {
+      --i;
+      if (bindings_[i].name != symbol) {
+        continue;
+      }
+      if (name.slot == kNoSlot) {
+        name.slot = bindings_[i].slot;
+      } else if (bindings_[i].slot != name.slot) {
+        outer.push_back(bindings_[i].slot);
+      }
+    }
+    if (!outer.empty()) {
+      name.fallback_chain = static_cast<uint32_t>(result_.name_chains.size());
+      result_.name_chains.push_back(std::move(outer));
+    }
+  }
+
+  void ResolveExpr(Expr* expr) {
+    if (expr == nullptr) {
+      return;
+    }
+    switch (expr->kind) {
+      case AstKind::kName:
+        ResolveName(*static_cast<NameExpr*>(expr));
+        break;
+      case AstKind::kFieldAccess: {
+        auto* access = static_cast<FieldAccessExpr*>(expr);
+        access->field_symbol = result_.symbols.Intern(access->field);
+        ResolveExpr(access->base);
+        break;
+      }
+      case AstKind::kCall: {
+        auto* call = static_cast<CallExpr*>(expr);
+        call->site_index = result_.call_site_count++;
+        if (call->base != nullptr && call->base->kind == AstKind::kName) {
+          // Receiver position: besides the variable lookup, cache the
+          // class-name fallback (`Helper.run()`); evaluation order between
+          // the two stays with the interpreter.
+          auto* receiver = static_cast<NameExpr*>(call->base);
+          ResolveName(*receiver);
+          receiver->class_ref = index_.FindClass(receiver->name);
+        } else {
+          ResolveExpr(call->base);
+        }
+        for (Expr* arg : call->args) {
+          ResolveExpr(arg);
+        }
+        break;
+      }
+      case AstKind::kNew: {
+        auto* node = static_cast<NewExpr*>(expr);
+        ResolveNew(*node);
+        for (Expr* arg : node->args) {
+          ResolveExpr(arg);
+        }
+        break;
+      }
+      case AstKind::kUnary:
+        ResolveExpr(static_cast<UnaryExpr*>(expr)->operand);
+        break;
+      case AstKind::kBinary:
+        ResolveExpr(static_cast<BinaryExpr*>(expr)->lhs);
+        ResolveExpr(static_cast<BinaryExpr*>(expr)->rhs);
+        break;
+      case AstKind::kInstanceOf:
+        ResolveExpr(static_cast<InstanceOfExpr*>(expr)->operand);
+        break;
+      default:
+        break;  // Literals and `this`.
+    }
+  }
+
+  void ResolveNew(NewExpr& node) {
+    // Container names win over user classes, matching Instantiate().
+    if (node.class_name == "Queue") {
+      node.new_kind = NewKind::kQueue;
+      return;
+    }
+    if (node.class_name == "List") {
+      node.new_kind = NewKind::kList;
+      return;
+    }
+    if (node.class_name == "Map") {
+      node.new_kind = NewKind::kMap;
+      return;
+    }
+    node.class_ref = index_.FindClass(node.class_name);
+    if (node.class_ref != nullptr) {
+      node.new_kind = NewKind::kUserClass;
+      node.init_method = index_.ResolveMethod(*node.class_ref, "init");
+      return;
+    }
+    node.new_kind =
+        IsBuiltinException(node.class_name) ? NewKind::kBuiltinException : NewKind::kUnknownClass;
+  }
+
+  void ResolveBlock(BlockStmt& block) {
+    OpenScope();
+    const uint32_t base = next_slot_;
+    for (Stmt* stmt : block.statements) {
+      ResolveStmt(stmt);
+    }
+    block.slot_base = base;
+    block.slot_count = next_slot_ - base;
+    CloseScope();
+  }
+
+  // Declarations inside a loop body that land in scopes surviving the
+  // iteration boundary (i.e. not inside a block/for/catch of their own) are
+  // visible to the condition, the update, and textually-earlier statements on
+  // later iterations. Pre-declaring them before the loop's real resolution
+  // walk gives those names their slot; the runtime defined-flags reproduce
+  // the first-iteration "not declared yet" behavior.
+  void PredeclareLoopBody(Stmt* stmt) {
+    if (stmt == nullptr) {
+      return;
+    }
+    switch (stmt->kind) {
+      case AstKind::kVarDecl:
+        Declare(static_cast<VarDeclStmt*>(stmt)->name);
+        break;
+      case AstKind::kIf: {
+        auto* node = static_cast<IfStmt*>(stmt);
+        PredeclareLoopBody(node->then_branch);
+        PredeclareLoopBody(node->else_branch);
+        break;
+      }
+      case AstKind::kWhile:
+        PredeclareLoopBody(static_cast<WhileStmt*>(stmt)->body);
+        break;
+      case AstKind::kSwitch:
+        for (SwitchCase& switch_case : static_cast<SwitchStmt*>(stmt)->cases) {
+          for (Stmt* child : switch_case.body) {
+            PredeclareLoopBody(child);
+          }
+        }
+        break;
+      default:
+        // Blocks, for-statements and try/catch open their own per-execution
+        // scopes: nothing inside them survives an enclosing-loop iteration.
+        break;
+    }
+  }
+
+  void ResolveStmt(Stmt* stmt) {
+    if (stmt == nullptr) {
+      return;
+    }
+    switch (stmt->kind) {
+      case AstKind::kBlock:
+        ResolveBlock(*static_cast<BlockStmt*>(stmt));
+        break;
+      case AstKind::kVarDecl: {
+        auto* decl = static_cast<VarDeclStmt*>(stmt);
+        // The initializer is resolved before the declaration binds, matching
+        // `var x = e` evaluating e first.
+        ResolveExpr(decl->init);
+        decl->slot = Declare(decl->name);
+        break;
+      }
+      case AstKind::kAssign: {
+        auto* assign = static_cast<AssignStmt*>(stmt);
+        ResolveExpr(assign->target);
+        ResolveExpr(assign->value);
+        break;
+      }
+      case AstKind::kExprStmt:
+        ResolveExpr(static_cast<ExprStmt*>(stmt)->expr);
+        break;
+      case AstKind::kIf: {
+        auto* node = static_cast<IfStmt*>(stmt);
+        ResolveExpr(node->condition);
+        ResolveStmt(node->then_branch);
+        ResolveStmt(node->else_branch);
+        break;
+      }
+      case AstKind::kWhile: {
+        auto* node = static_cast<WhileStmt*>(stmt);
+        PredeclareLoopBody(node->body);
+        ResolveExpr(node->condition);
+        ResolveStmt(node->body);
+        break;
+      }
+      case AstKind::kFor: {
+        auto* node = static_cast<ForStmt*>(stmt);
+        OpenScope();
+        const uint32_t base = next_slot_;
+        ResolveStmt(node->init);
+        PredeclareLoopBody(node->body);
+        ResolveExpr(node->condition);
+        ResolveStmt(node->body);
+        ResolveStmt(node->update);
+        node->slot_base = base;
+        node->slot_count = next_slot_ - base;
+        CloseScope();
+        break;
+      }
+      case AstKind::kSwitch: {
+        auto* node = static_cast<SwitchStmt*>(stmt);
+        ResolveExpr(node->subject);
+        for (SwitchCase& switch_case : node->cases) {
+          for (Expr* label : switch_case.labels) {
+            ResolveExpr(label);
+          }
+          for (Stmt* child : switch_case.body) {
+            ResolveStmt(child);
+          }
+        }
+        break;
+      }
+      case AstKind::kTry: {
+        auto* node = static_cast<TryStmt*>(stmt);
+        ResolveBlock(*node->body);
+        for (CatchClause& clause : node->catches) {
+          OpenScope();
+          const uint32_t base = next_slot_;
+          clause.var_slot = Declare(clause.variable);
+          ResolveBlock(*clause.body);
+          clause.slot_base = base;
+          clause.slot_count = next_slot_ - base;
+          CloseScope();
+        }
+        if (node->finally != nullptr) {
+          ResolveBlock(*node->finally);
+        }
+        break;
+      }
+      case AstKind::kThrow:
+        ResolveExpr(static_cast<ThrowStmt*>(stmt)->value);
+        break;
+      case AstKind::kReturn:
+        ResolveExpr(static_cast<ReturnStmt*>(stmt)->value);
+        break;
+      default:
+        break;  // break/continue.
+    }
+  }
+
+  const ProgramIndex& index_;
+  ResolveResult& result_;
+  std::vector<Binding> bindings_;
+  std::vector<size_t> scope_starts_;
+  uint32_t next_slot_ = 0;
+};
+
+FieldLayout BuildFieldLayout(const ClassDecl& cls, const ProgramIndex& index,
+                             SymbolTable& symbols) {
+  FieldLayout layout;
+  layout.init_frame_name = cls.name + ".<init>";
+  // Base-first chain, bounded like NewInstance's walk.
+  std::vector<const ClassDecl*> chain;
+  const ClassDecl* current = &cls;
+  for (int depth = 0; current != nullptr && depth < 64; ++depth) {
+    chain.push_back(current);
+    current = current->base_name.empty() ? nullptr : index.FindClass(current->base_name);
+  }
+  for (size_t i = chain.size(); i > 0;) {
+    --i;
+    for (const FieldDecl* field : chain[i]->fields) {
+      SymbolId symbol = symbols.Intern(field->name);
+      auto [it, inserted] = layout.slot_of.emplace(symbol, layout.field_count);
+      if (inserted) {
+        ++layout.field_count;
+      }
+      // Duplicates keep their init step (every initializer runs; later writes
+      // to the shared slot win, like the old per-name map).
+      layout.init_order.push_back({field, it->second});
+    }
+  }
+  return layout;
+}
+
+}  // namespace
+
+ResolveResult ResolveProgram(const Program& program, const ProgramIndex& index) {
+  ResolveResult result;
+  Resolver resolver(index, result);
+  for (const auto& unit : program.units()) {
+    for (ClassDecl* cls : unit->classes()) {
+      result.field_layouts.emplace(cls, BuildFieldLayout(*cls, index, result.symbols));
+      resolver.ResolveClass(*cls);
+    }
+  }
+  return result;
+}
+
+}  // namespace mj

@@ -1,0 +1,78 @@
+// One-time resolution pass over a Program (docs/PERFORMANCE.md).
+//
+// ProgramIndex runs this at construction, annotating the AST in place so the
+// interpreter's hot path becomes index arithmetic instead of string-keyed map
+// traffic:
+//
+//   - every local declaration (params, var-decls, catch variables) gets a
+//     frame slot, unique within its method;
+//   - every NameExpr gets the slot of its innermost visible declaration plus a
+//     fallback chain of outer same-named candidates, which together replicate
+//     the dynamic scope-map search exactly (including conditional declarations
+//     that may or may not have executed);
+//   - every block/for/catch records the slot range of its subtree so frame
+//     entry can invalidate exactly the declarations a fresh scope map would
+//     drop;
+//   - every CallExpr gets a dense site index keying the dispatch cache;
+//   - every class gets a FieldLayout interning field names and assigning
+//     object slots, so instances store declared fields in a flat vector.
+//
+// The pass is deterministic and idempotent: resolving the same Program twice
+// (even from two ProgramIndex instances) produces identical annotations, so a
+// shared immutable Program stays safe to annotate before workers start.
+
+#ifndef WASABI_SRC_LANG_RESOLVE_H_
+#define WASABI_SRC_LANG_RESOLVE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/symtab.h"
+
+namespace mj {
+
+class Program;
+class ProgramIndex;
+
+// One field-initializer execution step of `new Cls(...)`.
+struct FieldInitStep {
+  const FieldDecl* field = nullptr;
+  uint32_t slot = 0;
+};
+
+// Flat storage layout for a class's declared fields, base classes included.
+struct FieldLayout {
+  // Base-first initialization order. Duplicate declarations of one name (in a
+  // class or across its bases) all appear — each initializer still runs — but
+  // share one slot, so later writes win exactly like the old field map.
+  std::vector<FieldInitStep> init_order;
+  std::unordered_map<SymbolId, uint32_t> slot_of;
+  uint32_t field_count = 0;
+  // "Cls.<init>" — stable backing for the constructor frame's name.
+  std::string init_frame_name;
+
+  const uint32_t* SlotOf(SymbolId symbol) const {
+    auto it = slot_of.find(symbol);
+    return it == slot_of.end() ? nullptr : &it->second;
+  }
+};
+
+struct ResolveResult {
+  SymbolTable symbols;
+  // Fallback slot chains referenced by NameExpr::fallback_chain.
+  std::vector<std::vector<SlotIndex>> name_chains;
+  // Layouts for every class in the program (duplicate-name losers included).
+  std::unordered_map<const ClassDecl*, FieldLayout> field_layouts;
+  uint32_t call_site_count = 0;
+};
+
+// Annotates every class of every unit in `program`. Must run single-threaded,
+// before the program is shared across interpreter workers.
+ResolveResult ResolveProgram(const Program& program, const ProgramIndex& index);
+
+}  // namespace mj
+
+#endif  // WASABI_SRC_LANG_RESOLVE_H_

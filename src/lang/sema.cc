@@ -91,10 +91,14 @@ ProgramIndex::ProgramIndex(const Program& program, DiagnosticEngine* diag) {
       }
     }
   }
+  // Annotate the AST for the interpreter's slot frames, dispatch cache and
+  // field layouts. Deterministic and idempotent, so building several indexes
+  // over one program is safe (each produces identical annotations).
+  resolution_ = ResolveProgram(program, *this);
 }
 
 const ClassDecl* ProgramIndex::FindClass(std::string_view name) const {
-  auto it = classes_by_name_.find(std::string(name));
+  auto it = classes_by_name_.find(name);
   return it == classes_by_name_.end() ? nullptr : it->second;
 }
 
@@ -110,8 +114,8 @@ const CompilationUnit* ProgramIndex::UnitOfMethod(const MethodDecl& method) cons
 const MethodDecl* ProgramIndex::ResolveMethod(const ClassDecl& cls,
                                               std::string_view name) const {
   const ClassDecl* current = &cls;
-  std::unordered_set<const ClassDecl*> visited;  // Defends against base cycles.
-  while (current != nullptr && visited.insert(current).second) {
+  // Bounded walk defends against base cycles without per-call allocation.
+  for (int depth = 0; current != nullptr && depth < 64; ++depth) {
     for (const MethodDecl* method : current->methods) {
       if (method->name == name) {
         return method;
@@ -123,12 +127,12 @@ const MethodDecl* ProgramIndex::ResolveMethod(const ClassDecl& cls,
 }
 
 const MethodDecl* ProgramIndex::FindQualified(std::string_view qualified_name) const {
-  auto it = methods_by_qualified_name_.find(std::string(qualified_name));
+  auto it = methods_by_qualified_name_.find(qualified_name);
   return it == methods_by_qualified_name_.end() ? nullptr : it->second;
 }
 
 std::vector<const MethodDecl*> ProgramIndex::MethodsNamed(std::string_view name) const {
-  auto it = methods_by_name_.find(std::string(name));
+  auto it = methods_by_name_.find(name);
   return it == methods_by_name_.end() ? std::vector<const MethodDecl*>{} : it->second;
 }
 

@@ -18,8 +18,17 @@
 
 #include "src/lang/ast.h"
 #include "src/lang/diagnostics.h"
+#include "src/lang/resolve.h"
+#include "src/lang/symtab.h"
 
 namespace mj {
+
+// Transparent hasher so string_view lookups hit string-keyed maps without
+// materializing a std::string per query (hot on the interpreter's slow paths).
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view text) const { return std::hash<std::string_view>{}(text); }
+};
 
 // A whole application: owns its compilation units.
 class Program {
@@ -101,13 +110,35 @@ class ProgramIndex {
   const std::vector<const ClassDecl*>& all_classes() const { return all_classes_; }
   const std::vector<const MethodDecl*>& all_methods() const { return all_methods_; }
 
+  // --- Resolution-pass output (the interpreter's fast path) ----------------
+  // Construction runs ResolveProgram over the (shared, immutable) program;
+  // see src/lang/resolve.h and docs/PERFORMANCE.md.
+
+  const SymbolTable& symbols() const { return resolution_.symbols; }
+
+  // Flat field layout of `cls` (present for every class of this program).
+  const FieldLayout& field_layout(const ClassDecl& cls) const {
+    return resolution_.field_layouts.at(&cls);
+  }
+
+  // Fallback slots behind NameExpr::fallback_chain.
+  const std::vector<SlotIndex>& name_chain(uint32_t chain) const {
+    return resolution_.name_chains[chain];
+  }
+
+  // Number of CallExpr sites in the program; sizes dispatch caches.
+  uint32_t call_site_count() const { return resolution_.call_site_count; }
+
  private:
-  std::unordered_map<std::string, const ClassDecl*> classes_by_name_;
+  std::unordered_map<std::string, const ClassDecl*, StringHash, std::equal_to<>> classes_by_name_;
   std::unordered_map<const ClassDecl*, const CompilationUnit*> unit_of_class_;
-  std::unordered_map<std::string, std::vector<const MethodDecl*>> methods_by_name_;
-  std::unordered_map<std::string, const MethodDecl*> methods_by_qualified_name_;
+  std::unordered_map<std::string, std::vector<const MethodDecl*>, StringHash, std::equal_to<>>
+      methods_by_name_;
+  std::unordered_map<std::string, const MethodDecl*, StringHash, std::equal_to<>>
+      methods_by_qualified_name_;
   std::vector<const ClassDecl*> all_classes_;
   std::vector<const MethodDecl*> all_methods_;
+  ResolveResult resolution_;
   static const std::vector<std::string> kNoThrows;
 };
 

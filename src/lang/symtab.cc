@@ -1,0 +1,28 @@
+#include "src/lang/symtab.h"
+
+#include <cassert>
+
+namespace mj {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  storage_.emplace_back(name);
+  SymbolId id = static_cast<SymbolId>(storage_.size() - 1);
+  ids_.emplace(std::string_view(storage_.back()), id);
+  return id;
+}
+
+SymbolId SymbolTable::Lookup(std::string_view name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+std::string_view SymbolTable::Name(SymbolId id) const {
+  assert(id < storage_.size());
+  return storage_[id];
+}
+
+}  // namespace mj

@@ -1,0 +1,46 @@
+// Symbol interning for mj identifiers.
+//
+// The interpreter hot path (docs/PERFORMANCE.md) replaces string-keyed maps
+// with dense indices; the SymbolTable is the bridge: every identifier spelling
+// is interned once into a SymbolId, and all later comparisons/lookups are
+// integer operations. Interned spellings have stable addresses (deque
+// storage), so string_views handed out by Name() stay valid for the table's
+// lifetime.
+
+#ifndef WASABI_SRC_LANG_SYMTAB_H_
+#define WASABI_SRC_LANG_SYMTAB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace mj {
+
+using SymbolId = uint32_t;
+inline constexpr SymbolId kInvalidSymbol = 0xFFFFFFFF;
+
+class SymbolTable {
+ public:
+  // Returns the id of `name`, interning it on first sight.
+  SymbolId Intern(std::string_view name);
+
+  // Returns the id of `name`, or kInvalidSymbol when it was never interned.
+  SymbolId Lookup(std::string_view name) const;
+
+  // The interned spelling. Valid for the table's lifetime.
+  std::string_view Name(SymbolId id) const;
+
+  size_t size() const { return storage_.size(); }
+
+ private:
+  // Deque keeps element addresses stable, so ids_ can key on views into it.
+  std::deque<std::string> storage_;
+  std::unordered_map<std::string_view, SymbolId> ids_;
+};
+
+}  // namespace mj
+
+#endif  // WASABI_SRC_LANG_SYMTAB_H_

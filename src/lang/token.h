@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "src/lang/source.h"
+#include "src/lang/symtab.h"
 
 namespace mj {
 
@@ -89,7 +90,13 @@ struct Token {
   SourceLocation location;
   std::string_view text;   // Lexeme as it appears in the source.
   int64_t int_value = 0;   // Valid when kind == kIntLiteral.
-  std::string string_value;  // Decoded value when kind == kStringLiteral.
+  // Decoded value when kind == kStringLiteral. A view into the lexer's decoded
+  // string storage (Lexer::TakeStringStorage transfers ownership), so tokens
+  // stay trivially copyable and carry no per-token allocation.
+  std::string_view string_value;
+  // Interned id when kind == kIdentifier (one hash per distinct spelling for
+  // the whole unit instead of one std::string per occurrence).
+  SymbolId symbol = kInvalidSymbol;
 
   bool is(TokenKind k) const { return kind == k; }
 };

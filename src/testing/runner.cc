@@ -1,8 +1,22 @@
 #include "src/testing/runner.h"
 
+#include <optional>
 #include <sstream>
 
 namespace wasabi {
+
+Interpreter& InterpreterArena::Acquire(const mj::Program& program, const mj::ProgramIndex& index,
+                                       const InterpOptions& options) {
+  if (interp_ != nullptr && program_ == &program && index_ == &index && options_ == options) {
+    interp_->ResetForRun();
+    return *interp_;
+  }
+  interp_ = std::make_unique<Interpreter>(program, index, options);
+  program_ = &program;
+  index_ = &index;
+  options_ = options;
+  return *interp_;
+}
 
 const char* TestStatusName(TestStatus status) {
   switch (status) {
@@ -54,11 +68,14 @@ std::vector<TestCase> TestRunner::DiscoverTests() const {
 }
 
 TestRunRecord TestRunner::RunTest(const TestCase& test,
-                                  std::vector<CallInterceptor*> interceptors) const {
+                                  std::vector<CallInterceptor*> interceptors,
+                                  InterpreterArena* arena) const {
   TestRunRecord record;
   record.test = test;
 
-  Interpreter interp(program_, index_, options_.interp);
+  std::optional<Interpreter> local;
+  Interpreter& interp = arena != nullptr ? arena->Acquire(program_, index_, options_.interp)
+                                         : local.emplace(program_, index_, options_.interp);
   for (const auto& [key, value] : options_.config_overrides) {
     interp.SetConfig(key, value);
   }

@@ -2,12 +2,15 @@
 //
 // Tests follow the JUnit-ish convention the corpus uses: classes whose names
 // end in "Test", methods whose names start with "test". Every run gets a
-// FRESH interpreter (clean singletons, clock, log) so runs are independent —
-// the property the paper's planner relies on.
+// FRESH interpreter state (clean singletons, clock, log) so runs are
+// independent — the property the paper's planner relies on. The interpreter
+// OBJECT may be reused across a worker's runs via InterpreterArena; reuse
+// keeps warm storage only, never observable state.
 
 #ifndef WASABI_SRC_TESTING_RUNNER_H_
 #define WASABI_SRC_TESTING_RUNNER_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +19,25 @@
 #include "src/testing/test_model.h"
 
 namespace wasabi {
+
+// Per-worker interpreter reuse (docs/PERFORMANCE.md): a campaign worker keeps
+// one arena holding a warm Interpreter whose frame/value storage and dispatch
+// cache survive across that worker's runs. Acquire() reconstructs only when
+// the program/index/options change; otherwise ResetForRun() restores the
+// fresh-run isolation contract (clean singletons, config, clock, log) without
+// reallocating. Not thread-safe: each arena must be owned by exactly one
+// worker at a time.
+class InterpreterArena {
+ public:
+  Interpreter& Acquire(const mj::Program& program, const mj::ProgramIndex& index,
+                       const InterpOptions& options);
+
+ private:
+  std::unique_ptr<Interpreter> interp_;
+  const mj::Program* program_ = nullptr;
+  const mj::ProgramIndex* index_ = nullptr;
+  InterpOptions options_;
+};
 
 struct RunnerOptions {
   InterpOptions interp;
@@ -35,8 +57,11 @@ class TestRunner {
 
   // Runs one test with optional extra interceptors (injector, coverage
   // recorder). Never throws: all outcomes are captured in the record.
-  TestRunRecord RunTest(const TestCase& test,
-                        std::vector<CallInterceptor*> interceptors = {}) const;
+  // With an arena, the run reuses the arena's warm interpreter (identical
+  // observable behavior, no per-run construction); without one, a fresh
+  // interpreter is built as before.
+  TestRunRecord RunTest(const TestCase& test, std::vector<CallInterceptor*> interceptors = {},
+                        InterpreterArena* arena = nullptr) const;
 
   const RunnerOptions& options() const { return options_; }
   void set_options(RunnerOptions options) { options_ = std::move(options); }

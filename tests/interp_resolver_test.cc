@@ -1,0 +1,531 @@
+// Edge-case tests for the resolution pass (src/lang/resolve.cc) and the
+// slot-frame interpreter it feeds (docs/PERFORMANCE.md). Each scoping shape
+// here is one the flat-frame rewrite could plausibly get wrong: the dynamic
+// scope-map interpreter defined names at execution time, so the resolver must
+// reproduce "declared yet?" with slot indices and defined-flags alone.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/interp/interpreter.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+#include "src/lang/resolve.h"
+#include "src/lang/sema.h"
+
+namespace wasabi {
+namespace {
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  void Load(std::initializer_list<std::string> sources) {
+    mj::DiagnosticEngine diag;
+    int i = 0;
+    for (const std::string& text : sources) {
+      program_.AddUnit(mj::ParseSource("unit" + std::to_string(i++) + ".mj", text, diag));
+    }
+    ASSERT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+    index_ = std::make_unique<mj::ProgramIndex>(program_);
+    interp_ = std::make_unique<Interpreter>(program_, *index_);
+  }
+
+  Value Run(const std::string& qualified) { return interp_->Invoke(qualified); }
+
+  int64_t RunInt(const std::string& qualified) {
+    Value result = Run(qualified);
+    EXPECT_TRUE(IsInt(result));
+    return IsInt(result) ? std::get<int64_t>(result) : -1;
+  }
+
+  std::string RunString(const std::string& qualified) {
+    Value result = Run(qualified);
+    EXPECT_TRUE(IsString(result));
+    return IsString(result) ? std::get<std::string>(result) : "<not a string>";
+  }
+
+  // Expects the run to die with IllegalStateException and returns the message.
+  std::string RunExpectUndefined(const std::string& qualified) {
+    try {
+      interp_->Invoke(qualified);
+    } catch (ThrownException& thrown) {
+      EXPECT_EQ(thrown.exception->class_name(), "IllegalStateException");
+      return thrown.exception->message();
+    }
+    ADD_FAILURE() << "expected IllegalStateException from " << qualified;
+    return "";
+  }
+
+  const mj::MethodDecl* Method(const std::string& qualified) {
+    const mj::MethodDecl* method = index_->FindQualified(qualified);
+    EXPECT_NE(method, nullptr) << qualified;
+    return method;
+  }
+
+  mj::Program program_;
+  std::unique_ptr<mj::ProgramIndex> index_;
+  std::unique_ptr<Interpreter> interp_;
+};
+
+// --- Shadowing -------------------------------------------------------------
+
+TEST_F(ResolverTest, BlockShadowingRestoresOuterAfterBlock) {
+  Load({R"(
+    class C {
+      int f() {
+        var x = 1;
+        {
+          var x = 10;
+          x = x + 5;   // Inner x: 15.
+        }
+        return x;      // Outer x untouched.
+      }
+    }
+  )"});
+  EXPECT_EQ(RunInt("C.f"), 1);
+}
+
+TEST_F(ResolverTest, UseBeforeInnerDeclBindsOuter) {
+  // Before the inner declaration executes, `x` must resolve to the OUTER
+  // binding — the dynamic interpreter found it by walking scope maps; the
+  // slot interpreter must find it through the fallback chain.
+  Load({R"(
+    class C {
+      int f() {
+        var x = 7;
+        var seen = 0;
+        {
+          seen = x;     // Outer x: the inner one is not declared yet.
+          var x = 100;
+          seen = seen + x;
+        }
+        return seen * 10 + x;
+      }
+    }
+  )"});
+  EXPECT_EQ(RunInt("C.f"), 1077);  // seen = 7+100, outer x still 7.
+}
+
+TEST_F(ResolverTest, InitializerOfShadowingDeclSeesOuter) {
+  // `var x = x + 1` inside a block: the initializer evaluates before the new
+  // x is defined, so it reads the outer x.
+  Load({R"(
+    class C {
+      int f() {
+        var x = 5;
+        var inner = 0;
+        {
+          var x = x + 1;
+          inner = x;
+        }
+        return inner * 100 + x;
+      }
+    }
+  )"});
+  EXPECT_EQ(RunInt("C.f"), 605);
+}
+
+// --- Sibling scopes and stale slots ----------------------------------------
+
+TEST_F(ResolverTest, SiblingBlockDoesNotResurrectDeadVariable) {
+  // The regression the per-method-unique slot design prevents: if sibling
+  // blocks shared slot storage, the second block could read the first block's
+  // dead `t` through a stale defined-flag. It must instead be undefined.
+  Load({R"(
+    class C {
+      int f(bool first) {
+        if (first) {
+          var t = 41;
+          return t;
+        }
+        return t;   // t is dead here: its block never ran in this path.
+      }
+      int g() { return this.f(false); }
+    }
+  )"});
+  std::string message = RunExpectUndefined("C.g");
+  EXPECT_NE(message.find("undefined variable 't'"), std::string::npos) << message;
+}
+
+TEST_F(ResolverTest, ReenteredBlockForgetsPreviousIterationSiblings) {
+  // Entering a block clears its subtree's defined-flags, so a name declared
+  // on a previous visit of a SIBLING branch is not visible in this branch.
+  Load({R"(
+    class C {
+      int f() {
+        var i = 0;
+        var sum = 0;
+        while (i < 2) {
+          if (i == 0) {
+            var a = 100;
+            sum = sum + a;
+          } else {
+            sum = sum + a;   // a is the sibling branch's variable: undefined.
+          }
+          i = i + 1;
+        }
+        return sum;
+      }
+    }
+  )"});
+  std::string message = RunExpectUndefined("C.f");
+  EXPECT_NE(message.find("undefined variable 'a'"), std::string::npos) << message;
+}
+
+// --- Same-scope redeclaration ----------------------------------------------
+
+TEST_F(ResolverTest, SameScopeRedeclarationOverwrites) {
+  Load({R"(
+    class C {
+      int f() {
+        var x = 1;
+        var x = x + 10;   // Same scope: same slot, initializer sees old value.
+        return x;
+      }
+    }
+  )"});
+  EXPECT_EQ(RunInt("C.f"), 11);
+}
+
+// --- Loops ------------------------------------------------------------------
+
+TEST_F(ResolverTest, NonBlockLoopBodyDeclarationSurvivesIterations) {
+  // A declaration in a NON-block loop body (here: a bare if-branch) lands in
+  // the for statement's own scope, which persists across iterations. Later
+  // iterations then read it at a use that is textually EARLIER than the
+  // declaration — the case the resolver's loop predeclaration exists for.
+  Load({R"(
+    class C {
+      int f() {
+        var sum = 0;
+        for (var i = 0; i < 3; i = i + 1)
+          if (i > 0)
+            sum = sum + v;   // v declared on iteration 1, below.
+          else
+            var v = 40;
+        return sum;
+      }
+    }
+  )"});
+  EXPECT_EQ(RunInt("C.f"), 80);  // Iterations 2 and 3 each add 40.
+}
+
+TEST_F(ResolverTest, BlockLoopBodyDeclarationDiesEachIteration) {
+  // In contrast, a declaration inside the loop body's BLOCK belongs to that
+  // block's per-iteration scope: the next iteration re-enters the block and
+  // must not see the previous iteration's value.
+  Load({R"(
+    class C {
+      int f() {
+        var i = 0;
+        var sum = 0;
+        while (i < 2) {
+          if (i > 0) {
+            sum = sum + v;   // Previous iteration's v is dead.
+          }
+          var v = i * 10;
+          i = i + 1;
+        }
+        return sum;
+      }
+    }
+  )"});
+  std::string message = RunExpectUndefined("C.f");
+  EXPECT_NE(message.find("undefined variable 'v'"), std::string::npos) << message;
+}
+
+TEST_F(ResolverTest, ForInitVariableInvisibleAfterLoop) {
+  Load({R"(
+    class C {
+      int f() {
+        for (var i = 0; i < 3; i = i + 1) { }
+        return i;
+      }
+    }
+  )"});
+  std::string message = RunExpectUndefined("C.f");
+  EXPECT_NE(message.find("undefined variable 'i'"), std::string::npos) << message;
+}
+
+TEST_F(ResolverTest, ForUpdateSeesNonBlockBodyDeclaration) {
+  // The update clause runs after the body, so a declaration in a non-block
+  // body (for scope, survives the iteration) must be resolvable there.
+  Load({R"(
+    class C {
+      int f() {
+        for (var i = 0; i < 3; i = i + step)
+          var step = 1;
+        return 5;
+      }
+    }
+  )"});
+  EXPECT_EQ(RunInt("C.f"), 5);
+  EXPECT_EQ(interp_->loop_iterations(), 3);
+}
+
+// --- Catch-parameter scoping -----------------------------------------------
+
+TEST_F(ResolverTest, CatchParameterScopedToHandler) {
+  Load({R"(
+    class C {
+      String f() {
+        var seen = "none";
+        try {
+          throw new IOException("boom");
+        } catch (IOException e) {
+          seen = e.getMessage();
+        }
+        return seen;
+      }
+    }
+  )"});
+  EXPECT_EQ(RunString("C.f"), "boom");
+}
+
+TEST_F(ResolverTest, CatchParameterInvisibleAfterHandler) {
+  Load({R"(
+    class C {
+      String f() {
+        try {
+          throw new IOException("boom");
+        } catch (IOException e) {
+        }
+        return e;
+      }
+    }
+  )"});
+  std::string message = RunExpectUndefined("C.f");
+  EXPECT_NE(message.find("undefined variable 'e'"), std::string::npos) << message;
+}
+
+TEST_F(ResolverTest, UndefinedCallReceiverKeepsReceiverError) {
+  // A dangling name in RECEIVER position reports through the receiver path
+  // ("undefined receiver"), not the plain variable path — frozen wording the
+  // log-based oracles and goldens depend on.
+  Load({R"(
+    class C {
+      String f() {
+        try {
+          throw new IOException("boom");
+        } catch (IOException e) {
+        }
+        return e.getMessage();
+      }
+    }
+  )"});
+  std::string message = RunExpectUndefined("C.f");
+  EXPECT_NE(message.find("undefined receiver 'e'"), std::string::npos) << message;
+}
+
+TEST_F(ResolverTest, CatchParameterShadowsOuterVariable) {
+  Load({R"(
+    class C {
+      String f() {
+        var e = "outer";
+        try {
+          throw new IOException("inner");
+        } catch (IOException e) {
+          var got = e.getMessage();
+          if (got != "inner") { return "wrong: " + got; }
+        }
+        return e;   // Outer string restored after the handler.
+      }
+    }
+  )"});
+  EXPECT_EQ(RunString("C.f"), "outer");
+}
+
+// --- Switch fallthrough -----------------------------------------------------
+
+TEST_F(ResolverTest, SwitchCaseDeclarationVisibleAcrossFallthrough) {
+  // Case bodies share the enclosing scope; fallthrough from case 1 into case
+  // 2 keeps `v` defined.
+  Load({R"(
+    class C {
+      int f() {
+        var r = 0;
+        switch (1) {
+          case 1:
+            var v = 40;
+          case 2:
+            r = v + 2;
+            break;
+        }
+        return r;
+      }
+    }
+  )"});
+  EXPECT_EQ(RunInt("C.f"), 42);
+}
+
+TEST_F(ResolverTest, SwitchCaseDeclarationUndefinedWhenCaseSkipped) {
+  // Jumping straight to case 2 skips case 1's declaration: `v` has a slot but
+  // its defined-flag never set, exactly the dynamic "undefined variable".
+  Load({R"(
+    class C {
+      int f() {
+        var r = 0;
+        switch (2) {
+          case 1:
+            var v = 40;
+          case 2:
+            r = v + 2;
+            break;
+        }
+        return r;
+      }
+    }
+  )"});
+  std::string message = RunExpectUndefined("C.f");
+  EXPECT_NE(message.find("undefined variable 'v'"), std::string::npos) << message;
+}
+
+// --- Fields and singletons --------------------------------------------------
+
+TEST_F(ResolverTest, SingletonFieldsPersistAcrossCalls) {
+  Load({R"(
+    class Counter {
+      var count = 0;
+      int bump() {
+        this.count = this.count + 1;
+        return this.count;
+      }
+    }
+    class CounterTest {
+      int drive() {
+        Counter.bump();
+        Counter.bump();
+        return Counter.bump();
+      }
+    }
+  )"});
+  EXPECT_EQ(RunInt("CounterTest.drive"), 3);
+}
+
+TEST_F(ResolverTest, InheritedFieldsShareBaseLayoutSlots) {
+  Load({R"(
+    class Base {
+      var a = 1;
+      var b = 2;
+    }
+    class Derived extends Base {
+      var c = 3;
+      int sum() { return this.a + this.b + this.c; }
+    }
+    class D {
+      int f() {
+        var d = new Derived();
+        d.a = 10;
+        return d.sum();
+      }
+    }
+  )"});
+  EXPECT_EQ(RunInt("D.f"), 15);
+
+  // The layout pre-sizes storage for the whole base chain.
+  const mj::ClassDecl* derived = index_->FindClass("Derived");
+  ASSERT_NE(derived, nullptr);
+  EXPECT_EQ(index_->field_layout(*derived).field_count, 3u);
+}
+
+TEST_F(ResolverTest, FieldInitializerSeesEarlierFields) {
+  Load({R"(
+    class P {
+      var base = 10;
+      var derived = this.base * 4 + 2;
+      int get() { return this.derived; }
+    }
+    class Q {
+      int f() { return new P().get(); }
+    }
+  )"});
+  EXPECT_EQ(RunInt("Q.f"), 42);
+}
+
+TEST_F(ResolverTest, AdHocFieldWritesUseOverflowStorage) {
+  // Writing a field that no declaration mentions must still work (the extra-
+  // fields overflow), and reading an unknown field still errors exactly.
+  Load({R"(
+    class Bag { }
+    class B {
+      int f() {
+        var bag = new Bag();
+        bag.stashed = 99;
+        return bag.stashed;
+      }
+      int g() {
+        var bag = new Bag();
+        return bag.missing;
+      }
+    }
+  )"});
+  EXPECT_EQ(RunInt("B.f"), 99);
+  std::string message = RunExpectUndefined("B.g");
+  EXPECT_NE(message.find("no such field 'missing'"), std::string::npos) << message;
+}
+
+// --- Annotation shape -------------------------------------------------------
+
+TEST_F(ResolverTest, MethodSlotAnnotations) {
+  Load({R"(
+    class C {
+      int f(int a, int b) {
+        var x = a + b;
+        {
+          var y = x;
+          x = y;
+        }
+        return x;
+      }
+    }
+  )"});
+  const mj::MethodDecl* method = Method("C.f");
+  ASSERT_NE(method, nullptr);
+  // Slots are unique per declaration: a, b, x, y.
+  EXPECT_EQ(method->max_slots, 4u);
+  ASSERT_EQ(method->params.size(), 2u);
+  EXPECT_EQ(method->params[0]->slot, 0);
+  EXPECT_EQ(method->params[1]->slot, 1);
+}
+
+TEST_F(ResolverTest, SymbolTableInternsEachNameOnce) {
+  Load({R"(
+    class C {
+      int f() {
+        var alpha = 1;
+        var beta = alpha + alpha;
+        return beta + alpha;
+      }
+    }
+  )"});
+  const mj::SymbolTable& symbols = index_->symbols();
+  mj::SymbolId alpha = symbols.Lookup("alpha");
+  ASSERT_NE(alpha, mj::kInvalidSymbol);
+  EXPECT_EQ(symbols.Name(alpha), "alpha");
+  EXPECT_EQ(symbols.Lookup("no_such_name_anywhere"), mj::kInvalidSymbol);
+}
+
+TEST_F(ResolverTest, ResolutionIsDeterministicAcrossIndexRebuilds) {
+  // Building a second index over the same program must produce identical slot
+  // assignments — the property the golden suite leans on.
+  Load({R"(
+    class C {
+      int f(int a) {
+        var x = a;
+        { var y = x; x = y + 1; }
+        return x;
+      }
+    }
+  )"});
+  const mj::MethodDecl* method = Method("C.f");
+  uint32_t first_max = method->max_slots;
+  mj::SlotIndex first_param = method->params[0]->slot;
+  mj::ProgramIndex rebuilt(program_);
+  EXPECT_EQ(method->max_slots, first_max);
+  EXPECT_EQ(method->params[0]->slot, first_param);
+  EXPECT_EQ(rebuilt.call_site_count(), index_->call_site_count());
+}
+
+}  // namespace
+}  // namespace wasabi
