@@ -24,7 +24,13 @@ ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
   for bench in "$build_dir"/bench/*; do
     if [ -f "$bench" ] && [ -x "$bench" ]; then
       echo "##### $(basename "$bench")"
-      "$bench"
+      if [ "$(basename "$bench")" = "stress_campaign" ]; then
+        # Regenerates the committed cold/warm cache record (docs/CACHING.md)
+        # and exits non-zero if the >=5x warm speedup or byte-identity fails.
+        "$bench" "$repo_root/BENCH_cache.json" "$build_dir/stress_cache" 10
+      else
+        "$bench"
+      fi
       echo
     fi
   done
@@ -66,6 +72,25 @@ for jobs in 1 2 4 8; do
 done
 echo "chaos containment: byte-identical at 1/2/4/8 workers"
 
+# Warm-cache differential (docs/CACHING.md): a --cache-dir campaign — cold
+# populate, then a warm replay — must match the cache-off output byte for
+# byte at every worker count. Worker count is deliberately not part of any
+# cache key, so the store populated at --jobs 1 serves every other count.
+cache_dir="$build_dir/reproduce_cache"
+rm -rf "$cache_dir"
+for jobs in 1 2 4 8; do
+  nocache_out="$("$build_dir/tools/wasabi" test "$corpus_dir/mapred" --json \
+    --jobs "$jobs")"
+  cached_out="$("$build_dir/tools/wasabi" test "$corpus_dir/mapred" --json \
+    --jobs "$jobs" --cache-dir "$cache_dir")"
+  if [ "$cached_out" != "$nocache_out" ]; then
+    echo "FATAL: --cache-dir output differs from cache-off at --jobs $jobs" >&2
+    exit 1
+  fi
+done
+rm -rf "$cache_dir"
+echo "warm cache: byte-identical to cache-off at 1/2/4/8 workers"
+
 # ThreadSanitizer pass over the campaign-executor concurrency tests (label
 # "exec") plus the interpreter-overhaul golden-equivalence/resolver tests
 # (label "perf", which re-prove byte-identical campaign output with the
@@ -87,14 +112,17 @@ fi
 # exception capture, quarantine bookkeeping, degraded-mode parsing — the
 # lifetime-sensitive paths; see docs/ROBUSTNESS.md) plus the "perf" golden
 # tests, which exercise the interner's string_view tokens and the arena's
-# frame reuse — the overhaul's lifetime-sensitive surface. Same separate-tree
-# and probe-then-skip structure as the TSan pass above.
+# frame reuse — the overhaul's lifetime-sensitive surface — plus the "fuzz"
+# grammar fuzzer (500 random programs through lexer/parser/printer/interpreter)
+# and the "cache" suites (corruption-fallback paths parse hostile bytes; see
+# docs/CACHING.md). Same separate-tree and probe-then-skip structure as the
+# TSan pass above.
 if echo 'int main(){return 0;}' |
    c++ -x c++ -fsanitize=address -o /tmp/wasabi_asan_probe - 2>/dev/null; then
   rm -f /tmp/wasabi_asan_probe
   cmake -B "$build_dir-asan" -G Ninja -S "$repo_root" -DWASABI_ASAN=ON
   cmake --build "$build_dir-asan"
-  ctest --test-dir "$build_dir-asan" -L 'robust|perf' --output-on-failure \
+  ctest --test-dir "$build_dir-asan" -L 'robust|perf|fuzz|cache' --output-on-failure \
     2>&1 | tee "$repo_root/asan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=address; skipping ASan pass"
@@ -103,4 +131,5 @@ fi
 echo
 echo "Done. Test results: test_output.txt; table/figure outputs: bench_output.txt;"
 echo "campaign trace/metrics: campaign_trace.json, campaign_metrics.json;"
-echo "interpreter throughput record: BENCH_interp.json"
+echo "interpreter throughput record: BENCH_interp.json;"
+echo "cache cold/warm record: BENCH_cache.json"

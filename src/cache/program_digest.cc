@@ -1,0 +1,22 @@
+#include "src/cache/program_digest.h"
+
+#include "src/lang/digest.h"
+
+namespace wasabi {
+
+ProgramDigest DigestProgram(const mj::Program& program) {
+  ProgramDigest result;
+  uint64_t rollup = mj::kFnvOffsetBasis;
+  for (const auto& unit : program.units()) {
+    FileDigest file;
+    file.file = unit->file().name();
+    file.digest = mj::SourceContentDigest(unit->file());
+    rollup = mj::Fnv1a64(file.file, rollup);
+    rollup = mj::Fnv1a64Mix(file.digest, rollup);
+    result.files.push_back(std::move(file));
+  }
+  result.digest = rollup;
+  return result;
+}
+
+}  // namespace wasabi

@@ -1,0 +1,33 @@
+// Program-level digest composition (docs/CACHING.md): per-file token digests
+// (src/lang/digest.h) rolled up into one program digest, in unit order. Any
+// edit to any file — or adding, removing, or renaming a file — changes the
+// program digest, which keys everything whose meaning spans files (coverage
+// maps, injected-run verdicts); per-file results (SimLLM memos) key on the
+// individual file digest and survive edits elsewhere.
+
+#ifndef WASABI_SRC_CACHE_PROGRAM_DIGEST_H_
+#define WASABI_SRC_CACHE_PROGRAM_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/lang/sema.h"
+
+namespace wasabi {
+
+struct FileDigest {
+  std::string file;  // CompilationUnit file name.
+  uint64_t digest = 0;
+};
+
+struct ProgramDigest {
+  uint64_t digest = 0;          // Rollup over (name, digest) pairs, unit order.
+  std::vector<FileDigest> files;  // Parallel to program.units().
+};
+
+ProgramDigest DigestProgram(const mj::Program& program);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_CACHE_PROGRAM_DIGEST_H_

@@ -1,13 +1,18 @@
 #include "src/core/wasabi.h"
 
+#include <bit>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/exec/campaign.h"
+#include "src/exec/campaign_cache.h"
 #include "src/exec/task_pool.h"
 #include "src/inject/injector.h"
+#include "src/interp/value.h"
+#include "src/lang/digest.h"
 #include "src/testing/config_restore.h"
 
 namespace wasabi {
@@ -49,10 +54,291 @@ void ExportPoolMetrics(MetricsRegistry& metrics, const TaskPool& pool, int worke
   }
 }
 
+// --- Result-cache plumbing (docs/CACHING.md) --------------------------------
+//
+// Per-file SimLLM memos live in the "q1" (identification) and "when" (static
+// workflow) namespaces, keyed by (llm-config digest, file content digest).
+// Entries hold only identifiers, booleans, and counters — never free text —
+// so the codec needs no escaping; any shape violation decodes as a miss.
+
+constexpr char kFieldSep = '\x1f';
+constexpr char kRecordSep = '\x1e';
+constexpr char kCacheNsIdentify[] = "q1";
+constexpr char kCacheNsWhen[] = "when";
+
+std::vector<std::string_view> SplitEntry(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool ParseCachedInt(std::string_view field, int64_t* out) {
+  if (field.empty()) {
+    return false;
+  }
+  std::string buffer(field);
+  char* end = nullptr;
+  long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (end != buffer.c_str() + buffer.size()) {
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseCachedBool(std::string_view field, bool* out) {
+  if (field == "0" || field == "1") {
+    *out = field == "1";
+    return true;
+  }
+  return false;
+}
+
+void AppendCachedField(std::string& out, std::string_view field) {
+  if (!out.empty() && out.back() != kRecordSep) {
+    out.push_back(kFieldSep);
+  }
+  out.append(field);
+}
+
+// Length-delimited string fold: plain concatenation would let adjacent fields
+// alias ("ab"+"c" vs "a"+"bc").
+uint64_t DigestStringField(std::string_view field, uint64_t hash) {
+  hash = mj::Fnv1a64(field, hash);
+  return mj::Fnv1a64Mix(field.size(), hash);
+}
+
+uint64_t DigestDoubleField(double value, uint64_t hash) {
+  return mj::Fnv1a64Mix(std::bit_cast<uint64_t>(value), hash);
+}
+
+uint64_t DigestLlmConfig(const SimLlmConfig& config) {
+  uint64_t hash = mj::kFnvOffsetBasis;
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(config.retry_threshold), hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(config.attention_window_tokens), hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(config.comprehension_noise_percent), hash);
+  hash = mj::Fnv1a64Mix(config.seed, hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(config.q1_iteration_fp_percent), hash);
+  hash = mj::Fnv1a64Mix(config.enable_q4_exclusion ? 1u : 0u, hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(config.q4_override_score), hash);
+  return hash;
+}
+
+// Everything the dynamic workflow's cached results depend on, except the
+// program (digested separately) and the retry-location list (ditto). `jobs`
+// and `app_name` are deliberately absent: worker count cannot change any
+// report byte, and the app name is stamped on reports AFTER cache replay.
+uint64_t DigestDynamicConfig(const WasabiOptions& options) {
+  uint64_t hash = DigestLlmConfig(options.llm);
+  hash = mj::Fnv1a64Mix(options.finder.require_keyword ? 1u : 0u, hash);
+  hash = mj::Fnv1a64Mix(options.finder.keywords.size(), hash);
+  for (const std::string& keyword : options.finder.keywords) {
+    hash = DigestStringField(keyword, hash);
+  }
+  hash = mj::Fnv1a64Mix(options.finder.skip_test_classes ? 1u : 0u, hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.oracles.cap_injection_threshold), hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.oracles.delay_min_injections), hash);
+  hash = mj::Fnv1a64Mix(options.oracles.assertions_require_single_injection ? 1u : 0u, hash);
+  hash = mj::Fnv1a64Mix(options.oracles.prune_wrapped_exceptions ? 1u : 0u, hash);
+  hash = mj::Fnv1a64Mix(options.oracles.context_aware_cap ? 1u : 0u, hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.interp.step_budget), hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.interp.virtual_time_budget_ms), hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.interp.max_call_depth), hash);
+  hash = mj::Fnv1a64Mix(options.default_configs.size(), hash);
+  for (const auto& [key, value] : options.default_configs) {
+    hash = DigestStringField(key, hash);
+    hash = DigestStringField(ValueToString(value), hash);
+  }
+  hash = mj::Fnv1a64Mix(options.use_planner ? 1u : 0u, hash);
+  hash = mj::Fnv1a64Mix(options.use_oracles ? 1u : 0u, hash);
+  hash = mj::Fnv1a64Mix(options.restore_configs ? 1u : 0u, hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.robust.retry.max_attempts), hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.robust.retry.base_backoff_ms), hash);
+  hash = DigestDoubleField(options.robust.retry.multiplier, hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.robust.retry.max_backoff_ms), hash);
+  hash = DigestDoubleField(options.robust.retry.jitter, hash);
+  hash = mj::Fnv1a64Mix(options.robust.retry.jitter_seed, hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.robust.breaker_threshold), hash);
+  hash = mj::Fnv1a64Mix(options.robust.chaos.enabled ? 1u : 0u, hash);
+  hash = mj::Fnv1a64Mix(options.robust.chaos.seed, hash);
+  hash = DigestDoubleField(options.robust.chaos.rate, hash);
+  hash = mj::Fnv1a64Mix(options.robust.chaos.transient ? 1u : 0u, hash);
+  hash = DigestDoubleField(options.robust.chaos.budget_fraction, hash);
+  hash = mj::Fnv1a64Mix(options.robust.fail_fast ? 1u : 0u, hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.robust.max_quarantined), hash);
+  return hash;
+}
+
+uint64_t DigestLocationList(const std::vector<RetryLocation>& locations) {
+  uint64_t hash = mj::Fnv1a64Mix(locations.size(), mj::kFnvOffsetBasis);
+  for (const RetryLocation& location : locations) {
+    hash = DigestStringField(location.Key(), hash);
+  }
+  return hash;
+}
+
+// "q1" entry: header (performs_retry, truncated, usage delta), then one
+// record per coordinator (qualified name, mechanism, evidence, has-method).
+std::string EncodeIdentifyEntry(const LlmFileFindings& findings, const LlmUsage& delta) {
+  std::string out;
+  AppendCachedField(out, findings.performs_retry ? "1" : "0");
+  AppendCachedField(out, findings.truncated_by_attention ? "1" : "0");
+  AppendCachedField(out, std::to_string(delta.calls));
+  AppendCachedField(out, std::to_string(delta.bytes_sent));
+  AppendCachedField(out, std::to_string(delta.prompt_tokens));
+  for (const LlmCoordinator& coordinator : findings.coordinators) {
+    out.push_back(kRecordSep);
+    std::string record;
+    AppendCachedField(record, coordinator.qualified_name);
+    AppendCachedField(record, std::to_string(static_cast<int>(coordinator.mechanism)));
+    AppendCachedField(record, std::to_string(coordinator.evidence_score));
+    AppendCachedField(record, coordinator.method != nullptr ? "1" : "0");
+    out.append(record);
+  }
+  return out;
+}
+
+bool DecodeIdentifyEntry(const std::string& entry, const mj::ProgramIndex& index,
+                         const std::string& file, LlmFileFindings* findings, LlmUsage* delta) {
+  std::vector<std::string_view> records = SplitEntry(entry, kRecordSep);
+  std::vector<std::string_view> header = SplitEntry(records[0], kFieldSep);
+  if (header.size() != 5) {
+    return false;
+  }
+  LlmFileFindings out;
+  LlmUsage usage;
+  out.file = file;
+  if (!ParseCachedBool(header[0], &out.performs_retry) ||
+      !ParseCachedBool(header[1], &out.truncated_by_attention) ||
+      !ParseCachedInt(header[2], &usage.calls) || !ParseCachedInt(header[3], &usage.bytes_sent) ||
+      !ParseCachedInt(header[4], &usage.prompt_tokens)) {
+    return false;
+  }
+  for (size_t r = 1; r < records.size(); ++r) {
+    std::vector<std::string_view> fields = SplitEntry(records[r], kFieldSep);
+    if (fields.size() != 4) {
+      return false;
+    }
+    LlmCoordinator coordinator;
+    coordinator.qualified_name = std::string(fields[0]);
+    int64_t mechanism = 0;
+    int64_t evidence = 0;
+    bool has_method = false;
+    if (!ParseCachedInt(fields[1], &mechanism) || mechanism < 0 ||
+        mechanism > static_cast<int64_t>(RetryMechanism::kStateMachine) ||
+        !ParseCachedInt(fields[2], &evidence) || !ParseCachedBool(fields[3], &has_method)) {
+      return false;
+    }
+    coordinator.mechanism = static_cast<RetryMechanism>(mechanism);
+    coordinator.evidence_score = static_cast<int>(evidence);
+    if (has_method) {
+      coordinator.method = index.FindQualified(coordinator.qualified_name);
+      if (coordinator.method == nullptr) {
+        return false;  // The file digest matched but the AST disagrees: miss.
+      }
+    }
+    out.coordinators.push_back(std::move(coordinator));
+  }
+  *findings = std::move(out);
+  *delta = usage;
+  return true;
+}
+
+// "when" entry: header (usage delta over AnalyzeFile + every JudgeWhen), then
+// one record per coordinator (qualified name, has-method, Q2/Q3/Q4 answers).
+struct CachedWhenJudgment {
+  std::string qualified_name;
+  const mj::MethodDecl* method = nullptr;
+  bool sleeps_before_retry = false;
+  bool has_cap = false;
+  bool poll_or_spin = false;
+};
+
+std::string EncodeWhenEntry(const std::vector<CachedWhenJudgment>& judgments,
+                            const LlmUsage& delta) {
+  std::string out;
+  AppendCachedField(out, std::to_string(delta.calls));
+  AppendCachedField(out, std::to_string(delta.bytes_sent));
+  AppendCachedField(out, std::to_string(delta.prompt_tokens));
+  for (const CachedWhenJudgment& judgment : judgments) {
+    out.push_back(kRecordSep);
+    std::string record;
+    AppendCachedField(record, judgment.qualified_name);
+    AppendCachedField(record, judgment.method != nullptr ? "1" : "0");
+    AppendCachedField(record, judgment.sleeps_before_retry ? "1" : "0");
+    AppendCachedField(record, judgment.has_cap ? "1" : "0");
+    AppendCachedField(record, judgment.poll_or_spin ? "1" : "0");
+    out.append(record);
+  }
+  return out;
+}
+
+bool DecodeWhenEntry(const std::string& entry, const mj::ProgramIndex& index,
+                     std::vector<CachedWhenJudgment>* judgments, LlmUsage* delta) {
+  std::vector<std::string_view> records = SplitEntry(entry, kRecordSep);
+  std::vector<std::string_view> header = SplitEntry(records[0], kFieldSep);
+  if (header.size() != 3) {
+    return false;
+  }
+  LlmUsage usage;
+  if (!ParseCachedInt(header[0], &usage.calls) || !ParseCachedInt(header[1], &usage.bytes_sent) ||
+      !ParseCachedInt(header[2], &usage.prompt_tokens)) {
+    return false;
+  }
+  std::vector<CachedWhenJudgment> out;
+  for (size_t r = 1; r < records.size(); ++r) {
+    std::vector<std::string_view> fields = SplitEntry(records[r], kFieldSep);
+    if (fields.size() != 5) {
+      return false;
+    }
+    CachedWhenJudgment judgment;
+    judgment.qualified_name = std::string(fields[0]);
+    bool has_method = false;
+    if (!ParseCachedBool(fields[1], &has_method) ||
+        !ParseCachedBool(fields[2], &judgment.sleeps_before_retry) ||
+        !ParseCachedBool(fields[3], &judgment.has_cap) ||
+        !ParseCachedBool(fields[4], &judgment.poll_or_spin)) {
+      return false;
+    }
+    if (has_method) {
+      judgment.method = index.FindQualified(judgment.qualified_name);
+      if (judgment.method == nullptr) {
+        return false;
+      }
+    }
+    out.push_back(std::move(judgment));
+  }
+  *judgments = std::move(out);
+  *delta = usage;
+  return true;
+}
+
+void CountCacheLookup(MetricsRegistry* metrics, const char* ns, bool hit) {
+  if (metrics != nullptr) {
+    metrics->Increment(std::string(hit ? "cache.hits." : "cache.misses.") + ns);
+  }
+}
+
 }  // namespace
 
 Wasabi::Wasabi(const mj::Program& program, const mj::ProgramIndex& index, WasabiOptions options)
     : program_(program), index_(index), options_(std::move(options)) {}
+
+const ProgramDigest& Wasabi::GetProgramDigest() {
+  std::lock_guard<std::mutex> lock(digest_mutex_);
+  if (!program_digest_memo_.has_value()) {
+    program_digest_memo_ = DigestProgram(program_);
+  }
+  return *program_digest_memo_;
+}
 
 std::vector<BugReport> CollateStaticWithDynamic(const std::vector<BugReport>& static_bugs,
                                                 const DynamicResult& dynamic) {
@@ -108,12 +394,44 @@ IdentificationResult Wasabi::IdentifyRetryStructures() {
 
   // Technique 2: SimLLM, one file at a time. Only application source is fed
   // to the model (the paper analyzes the code base, not the test harness).
+  // With a cache attached, per-file findings are memoized under
+  // (llm-config digest, file content digest); the merge below runs either way.
   SimLlm llm(options_.llm);
-  for (const auto& unit : program_.units()) {
+  CacheStore* cache = options_.cache;
+  const ProgramDigest* program_digest = cache != nullptr ? &GetProgramDigest() : nullptr;
+  const std::string llm_prefix =
+      cache != nullptr ? mj::DigestHex(DigestLlmConfig(options_.llm)) + "|" : std::string();
+  LlmUsage cached_usage;
+  for (size_t u = 0; u < program_.units().size(); ++u) {
+    const auto& unit = program_.units()[u];
     if (IsTestPath(unit->file().name())) {
       continue;
     }
-    LlmFileFindings findings = llm.AnalyzeFile(*unit);
+    LlmFileFindings findings;
+    std::string entry_key;
+    bool hit = false;
+    if (cache != nullptr) {
+      entry_key = llm_prefix + mj::DigestHex(program_digest->files[u].digest);
+      std::optional<std::string> entry = cache->Get(kCacheNsIdentify, entry_key);
+      LlmUsage delta;
+      hit = entry.has_value() &&
+            DecodeIdentifyEntry(*entry, index_, unit->file().name(), &findings, &delta);
+      if (hit) {
+        cached_usage.calls += delta.calls;
+        cached_usage.bytes_sent += delta.bytes_sent;
+        cached_usage.prompt_tokens += delta.prompt_tokens;
+      }
+      CountCacheLookup(options_.metrics, kCacheNsIdentify, hit);
+    }
+    if (!hit) {
+      LlmUsage before = llm.usage();
+      findings = llm.AnalyzeFile(*unit);
+      if (cache != nullptr) {
+        LlmUsage delta{llm.usage().calls - before.calls, llm.usage().bytes_sent - before.bytes_sent,
+                       llm.usage().prompt_tokens - before.prompt_tokens};
+        cache->Put(kCacheNsIdentify, entry_key, EncodeIdentifyEntry(findings, delta));
+      }
+    }
     if (findings.truncated_by_attention) {
       ++result.files_truncated_by_llm;
     }
@@ -164,7 +482,12 @@ IdentificationResult Wasabi::IdentifyRetryStructures() {
   }
 
   result.structures = std::move(structures);
+  // Usage counters are additive, so live calls plus replayed per-file deltas
+  // reproduce the cache-off totals exactly.
   result.llm_usage = llm.usage();
+  result.llm_usage.calls += cached_usage.calls;
+  result.llm_usage.bytes_sent += cached_usage.bytes_sent;
+  result.llm_usage.prompt_tokens += cached_usage.prompt_tokens;
   identification_memo_ = std::move(result);
   return *identification_memo_;
 }
@@ -250,6 +573,17 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
   result.jobs_used = pool.worker_count();
   CampaignObs obs{options_.tracer, options_.metrics, options_.progress};
 
+  // Cache context for the execution phases: every key folds in the program
+  // digest, the workflow-config digest, and the retry-location-list digest,
+  // so any corpus or option change invalidates exactly what it must.
+  CampaignCacheContext cache_context;
+  if (options_.cache != nullptr) {
+    cache_context.store = options_.cache;
+    cache_context.prefix = mj::DigestHex(GetProgramDigest().digest) + "|" +
+                           mj::DigestHex(DigestDynamicConfig(options_)) + "|" +
+                           mj::DigestHex(DigestLocationList(result.locations)) + "|";
+  }
+
   // Coverage discovery run (one run of every test).
   phase_start = Clock::now();
   {
@@ -259,7 +593,8 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
       options_.progress->Begin("coverage", tests.size());
     }
     CoverageOutcome coverage_outcome =
-        MapCoverageRobust(runner, tests, result.locations, pool, options_.robust, obs);
+        MapCoverageCached(runner, tests, result.locations, pool, options_.robust, obs,
+                          cache_context);
     result.coverage = std::move(coverage_outcome.coverage);
     result.quarantined = std::move(coverage_outcome.quarantined);
     result.robustness.MergeFrom(coverage_outcome.robustness);
@@ -308,49 +643,113 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
   // (plan-entry-major, K-minor) — worker scheduling cannot change the output.
   phase_start = Clock::now();
   std::vector<CampaignRunResult> campaign;
-  {
+  std::vector<OracleReport> all_reports;
+  // All-or-nothing campaign replay: a warm hit yields the exact post-oracle
+  // reports, quarantine records, and resilience counters a cold campaign
+  // produces, in the same order; any gap runs everything cold and re-stores.
+  CachedCampaign cached_campaign;
+  const bool campaign_warm =
+      cache_context.enabled() &&
+      TryLoadCampaign(cache_context, specs, result.locations, &cached_campaign);
+  if (cache_context.enabled()) {
+    CountCacheLookup(options_.metrics, kCacheNsCampaign, campaign_warm);
+  }
+  if (campaign_warm) {
     ScopedSpan span(options_.tracer, "phase.campaign");
     span.AddArg("runs", static_cast<int64_t>(specs.size()));
     span.AddArg("jobs", static_cast<int64_t>(result.jobs_used));
-    if (options_.progress != nullptr) {
-      options_.progress->Begin("campaign", specs.size());
-    }
-    CampaignOutcome campaign_outcome =
-        ExecuteCampaignRobust(runner, result.locations, specs, pool, options_.robust, obs);
-    campaign = std::move(campaign_outcome.results);
-    result.quarantined.insert(result.quarantined.end(),
-                              campaign_outcome.quarantined.begin(),
-                              campaign_outcome.quarantined.end());
-    result.robustness.MergeFrom(campaign_outcome.robustness);
-    if (options_.progress != nullptr) {
-      options_.progress->Finish();
-    }
-  }
-  result.degraded = !result.quarantined.empty();
-
-  std::optional<ScopedSpan> oracle_span(std::in_place, options_.tracer, "phase.oracles");
-  std::vector<OracleReport> all_reports;
-  for (const CampaignRunResult& run : campaign) {
-    const RetryLocation& location = result.locations[run.location_index];
-    if (options_.use_oracles) {
-      std::vector<OracleReport> reports = EvaluateOracles(run.record, location, options_.oracles);
-      all_reports.insert(all_reports.end(), reports.begin(), reports.end());
-    } else {
-      // Oracle ablation (§4.4): every test failure is naively reported.
-      if (run.record.outcome.status != TestStatus::kPassed) {
-        OracleReport report;
-        report.kind = OracleKind::kDifferentException;
-        report.test = run.record.test.qualified_name;
-        report.location = location;
-        report.detail = "test failed: " +
-                        std::string(TestStatusName(run.record.outcome.status)) + " " +
-                        run.record.outcome.exception_class;
-        report.group_key = "naive|" + location.Key() + "|" + run.record.outcome.exception_class;
-        all_reports.push_back(std::move(report));
+    span.AddArg("warm", static_cast<int64_t>(1));
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const CachedRunVerdict& verdict = cached_campaign.runs[i];
+      const RetryLocation& location = result.locations[specs[i].location_index];
+      if (verdict.completed) {
+        for (const CachedRunVerdict::Report& report : verdict.reports) {
+          OracleReport replay;
+          replay.kind = static_cast<OracleKind>(report.kind);
+          replay.test = specs[i].test.qualified_name;
+          replay.location = location;
+          replay.detail = report.detail;
+          replay.group_key = report.group_key;
+          all_reports.push_back(std::move(replay));
+        }
+      } else {
+        RunFailure failure;
+        failure.run_id = specs[i].id;
+        failure.test = specs[i].test.qualified_name;
+        failure.location = location.Key();
+        failure.kind = verdict.failure_kind;
+        failure.detail = verdict.failure_detail;
+        failure.attempts = verdict.failure_attempts;
+        failure.chaos = verdict.failure_chaos;
+        result.quarantined.push_back(std::move(failure));
       }
     }
+    result.robustness.MergeFrom(cached_campaign.stats);
+  } else {
+    {
+      ScopedSpan span(options_.tracer, "phase.campaign");
+      span.AddArg("runs", static_cast<int64_t>(specs.size()));
+      span.AddArg("jobs", static_cast<int64_t>(result.jobs_used));
+      if (options_.progress != nullptr) {
+        options_.progress->Begin("campaign", specs.size());
+      }
+      CampaignOutcome campaign_outcome =
+          ExecuteCampaignRobust(runner, result.locations, specs, pool, options_.robust, obs);
+      campaign = std::move(campaign_outcome.results);
+      if (cache_context.enabled()) {
+        cached_campaign.runs.assign(specs.size(), CachedRunVerdict{});
+        for (const RunFailure& failure : campaign_outcome.quarantined) {
+          CachedRunVerdict& verdict = cached_campaign.runs[failure.run_id];
+          verdict.completed = false;
+          verdict.failure_kind = failure.kind;
+          verdict.failure_detail = failure.detail;
+          verdict.failure_attempts = failure.attempts;
+          verdict.failure_chaos = failure.chaos;
+        }
+        cached_campaign.stats = campaign_outcome.robustness;
+      }
+      result.quarantined.insert(result.quarantined.end(),
+                                campaign_outcome.quarantined.begin(),
+                                campaign_outcome.quarantined.end());
+      result.robustness.MergeFrom(campaign_outcome.robustness);
+      if (options_.progress != nullptr) {
+        options_.progress->Finish();
+      }
+    }
+
+    std::optional<ScopedSpan> oracle_span(std::in_place, options_.tracer, "phase.oracles");
+    for (const CampaignRunResult& run : campaign) {
+      const RetryLocation& location = result.locations[run.location_index];
+      std::vector<OracleReport> reports;
+      if (options_.use_oracles) {
+        reports = EvaluateOracles(run.record, location, options_.oracles);
+      } else {
+        // Oracle ablation (§4.4): every test failure is naively reported.
+        if (run.record.outcome.status != TestStatus::kPassed) {
+          OracleReport report;
+          report.kind = OracleKind::kDifferentException;
+          report.test = run.record.test.qualified_name;
+          report.location = location;
+          report.detail = "test failed: " +
+                          std::string(TestStatusName(run.record.outcome.status)) + " " +
+                          run.record.outcome.exception_class;
+          report.group_key = "naive|" + location.Key() + "|" + run.record.outcome.exception_class;
+          reports.push_back(std::move(report));
+        }
+      }
+      if (cache_context.enabled()) {
+        for (const OracleReport& report : reports) {
+          cached_campaign.runs[run.id].reports.push_back(CachedRunVerdict::Report{
+              static_cast<int>(report.kind), report.detail, report.group_key});
+        }
+      }
+      all_reports.insert(all_reports.end(), std::make_move_iterator(reports.begin()),
+                         std::make_move_iterator(reports.end()));
+    }
+    oracle_span.reset();
+    StoreCampaign(cache_context, specs, result.locations, cached_campaign);
   }
-  oracle_span.reset();
+  result.degraded = !result.quarantined.empty();
 
   result.injection_seconds = seconds_since(phase_start);
 
@@ -372,15 +771,52 @@ StaticResult Wasabi::RunStaticWorkflow() {
   workflow_span.AddArg("app", options_.app_name);
 
   // --- WHEN bugs via the LLM prompts (§3.2.1) ---------------------------------
+  // With a cache attached, a file's AnalyzeFile + JudgeWhen answers (and the
+  // usage they charged) are memoized together under the file content digest.
   std::optional<ScopedSpan> when_span(std::in_place, options_.tracer, "phase.static.when");
   SimLlm llm(options_.llm);
-  for (const auto& unit : program_.units()) {
+  CacheStore* cache = options_.cache;
+  const ProgramDigest* program_digest = cache != nullptr ? &GetProgramDigest() : nullptr;
+  const std::string llm_prefix =
+      cache != nullptr ? mj::DigestHex(DigestLlmConfig(options_.llm)) + "|" : std::string();
+  LlmUsage cached_usage;
+  for (size_t u = 0; u < program_.units().size(); ++u) {
+    const auto& unit = program_.units()[u];
     if (IsTestPath(unit->file().name())) {
       continue;
     }
-    LlmFileFindings findings = llm.AnalyzeFile(*unit);
-    for (const LlmCoordinator& coordinator : findings.coordinators) {
-      LlmWhenJudgment judgment = llm.JudgeWhen(*unit, coordinator);
+    const std::string file = unit->file().name();
+    std::vector<CachedWhenJudgment> judgments;
+    std::string entry_key;
+    bool hit = false;
+    if (cache != nullptr) {
+      entry_key = llm_prefix + mj::DigestHex(program_digest->files[u].digest);
+      std::optional<std::string> entry = cache->Get(kCacheNsWhen, entry_key);
+      LlmUsage delta;
+      hit = entry.has_value() && DecodeWhenEntry(*entry, index_, &judgments, &delta);
+      if (hit) {
+        cached_usage.calls += delta.calls;
+        cached_usage.bytes_sent += delta.bytes_sent;
+        cached_usage.prompt_tokens += delta.prompt_tokens;
+      }
+      CountCacheLookup(options_.metrics, kCacheNsWhen, hit);
+    }
+    if (!hit) {
+      LlmUsage before = llm.usage();
+      LlmFileFindings findings = llm.AnalyzeFile(*unit);
+      for (const LlmCoordinator& coordinator : findings.coordinators) {
+        LlmWhenJudgment judgment = llm.JudgeWhen(*unit, coordinator);
+        judgments.push_back(CachedWhenJudgment{coordinator.qualified_name, coordinator.method,
+                                               judgment.sleeps_before_retry, judgment.has_cap,
+                                               judgment.poll_or_spin});
+      }
+      if (cache != nullptr) {
+        LlmUsage delta{llm.usage().calls - before.calls, llm.usage().bytes_sent - before.bytes_sent,
+                       llm.usage().prompt_tokens - before.prompt_tokens};
+        cache->Put(kCacheNsWhen, entry_key, EncodeWhenEntry(judgments, delta));
+      }
+    }
+    for (const CachedWhenJudgment& judgment : judgments) {
       if (judgment.poll_or_spin) {
         continue;  // Q4 exclusion.
       }
@@ -389,13 +825,13 @@ StaticResult Wasabi::RunStaticWorkflow() {
         bug.type = type;
         bug.technique = DetectionTechnique::kLlmStatic;
         bug.app = options_.app_name;
-        bug.file = findings.file;
-        bug.coordinator = coordinator.qualified_name;
+        bug.file = file;
+        bug.coordinator = judgment.qualified_name;
         bug.detail = detail;
-        bug.group_key = std::string(BugTypeName(type)) + "|" + findings.file + "|" +
-                        coordinator.qualified_name;
-        bug.location = coordinator.method != nullptr ? coordinator.method->location
-                                                     : mj::SourceLocation{};
+        bug.group_key =
+            std::string(BugTypeName(type)) + "|" + file + "|" + judgment.qualified_name;
+        bug.location = judgment.method != nullptr ? judgment.method->location
+                                                  : mj::SourceLocation{};
         result.when_bugs.push_back(std::move(bug));
       };
       if (!judgment.has_cap) {
@@ -410,6 +846,9 @@ StaticResult Wasabi::RunStaticWorkflow() {
   }
   result.when_bugs = DeduplicateBugs(std::move(result.when_bugs));
   result.llm_usage = llm.usage();
+  result.llm_usage.calls += cached_usage.calls;
+  result.llm_usage.bytes_sent += cached_usage.bytes_sent;
+  result.llm_usage.prompt_tokens += cached_usage.prompt_tokens;
   when_span.reset();
 
   // --- IF bugs via retry ratios (§3.2.2) ----------------------------------------

@@ -19,6 +19,8 @@
 #include "src/analysis/if_outliers.h"
 #include "src/analysis/retry_finder.h"
 #include "src/analysis/retry_model.h"
+#include "src/cache/program_digest.h"
+#include "src/cache/store.h"
 #include "src/core/report.h"
 #include "src/llm/sim_llm.h"
 #include "src/obs/metrics.h"
@@ -61,6 +63,12 @@ struct WasabiOptions {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
   ProgressMeter* progress = nullptr;
+  // Optional result cache (docs/CACHING.md), non-owning and default-off. With
+  // a store attached, per-file SimLLM results, per-test coverage runs, and
+  // whole-campaign verdicts are memoized under content-digest keys; every
+  // report stays byte-identical to a cache-off run. Without one, no code path
+  // changes at all.
+  CacheStore* cache = nullptr;
 };
 
 // Merged output of both identification techniques (Figure 4).
@@ -141,15 +149,22 @@ class Wasabi {
     options_.metrics = metrics;
     options_.progress = progress;
   }
+  // Attaches (or detaches) the result cache after construction.
+  void set_cache(CacheStore* cache) { options_.cache = cache; }
 
  private:
   std::vector<BugReport> ToBugReports(const std::vector<OracleReport>& reports) const;
+  // Content digest of the program, computed once per instance (the Program is
+  // immutable for the instance's lifetime).
+  const ProgramDigest& GetProgramDigest();
 
   const mj::Program& program_;
   const mj::ProgramIndex& index_;
   WasabiOptions options_;
   std::mutex identification_mutex_;
   std::optional<IdentificationResult> identification_memo_;
+  std::mutex digest_mutex_;
+  std::optional<ProgramDigest> program_digest_memo_;
 };
 
 }  // namespace wasabi

@@ -226,12 +226,19 @@ const std::vector<std::string>& CorpusAppNames() {
   return *kNames;
 }
 
-CorpusApp BuildCorpusApp(const std::string& name) {
-  GeneratorSpec spec = SpecFor(name);
+namespace {
+
+// Shared tail of app construction: generate, parse, index. `base_name` picks
+// the descriptor (display name / short code); `spec` may describe a variant.
+CorpusApp BuildFromSpec(const std::string& base_name, GeneratorSpec spec) {
   for (const AppDescriptor& descriptor : kApps) {
-    if (name == descriptor.name) {
+    if (base_name == descriptor.name) {
       spec.display_name = descriptor.display_name;
     }
+  }
+  if (spec.app != base_name) {
+    // Variant apps carry their variant tag in the display name too.
+    spec.display_name += " (" + spec.app.substr(base_name.size() + 1) + ")";
   }
   GeneratedApp generated = GenerateApp(spec);
 
@@ -239,7 +246,7 @@ CorpusApp BuildCorpusApp(const std::string& name) {
   app.name = generated.name;
   app.display_name = generated.display_name;
   for (const AppDescriptor& descriptor : kApps) {
-    if (name == descriptor.name) {
+    if (base_name == descriptor.name) {
       app.short_code = descriptor.short_code;
     }
   }
@@ -254,13 +261,13 @@ CorpusApp BuildCorpusApp(const std::string& name) {
     app.program.AddUnit(mj::ParseSource(file, std::move(source), diag));
   }
   if (diag.has_errors()) {
-    std::fprintf(stderr, "corpus app '%s' failed to parse:\n%s", name.c_str(),
+    std::fprintf(stderr, "corpus app '%s' failed to parse:\n%s", app.name.c_str(),
                  diag.FormatAll(nullptr).c_str());
     std::abort();
   }
   app.index = std::make_unique<mj::ProgramIndex>(app.program, &diag);
   if (diag.has_errors()) {
-    std::fprintf(stderr, "corpus app '%s' failed to index:\n%s", name.c_str(),
+    std::fprintf(stderr, "corpus app '%s' failed to index:\n%s", app.name.c_str(),
                  diag.FormatAll(nullptr).c_str());
     std::abort();
   }
@@ -271,11 +278,60 @@ CorpusApp BuildCorpusApp(const std::string& name) {
   return app;
 }
 
+}  // namespace
+
+CorpusApp BuildCorpusApp(const std::string& name) {
+  return BuildFromSpec(name, SpecFor(name));
+}
+
 std::vector<CorpusApp> BuildFullCorpus() {
   std::vector<CorpusApp> corpus;
   corpus.reserve(CorpusAppNames().size());
   for (const std::string& name : CorpusAppNames()) {
     corpus.push_back(BuildCorpusApp(name));
+  }
+  return corpus;
+}
+
+CorpusApp BuildCorpusAppVariant(const std::string& name, int variant) {
+  if (variant <= 1) {
+    return BuildCorpusApp(name);
+  }
+  GeneratorSpec spec = SpecFor(name);
+  spec.app = name + "_v" + std::to_string(variant);
+  // A large odd multiplier spreads variant seeds far apart so no two variants
+  // (or base apps) share a generator stream.
+  spec.seed += 1000003ull * static_cast<uint64_t>(variant - 1);
+  return BuildFromSpec(name, std::move(spec));
+}
+
+std::vector<std::string> ScaledCorpusAppNames(int scale) {
+  std::vector<std::string> names;
+  for (const std::string& base : CorpusAppNames()) {
+    names.push_back(base);
+    for (int variant = 2; variant <= scale; ++variant) {
+      names.push_back(base + "_v" + std::to_string(variant));
+    }
+  }
+  return names;
+}
+
+CorpusApp BuildScaledCorpusApp(const std::string& scaled_name) {
+  size_t tag = scaled_name.rfind("_v");
+  if (tag != std::string::npos && tag + 2 < scaled_name.size()) {
+    const std::string digits = scaled_name.substr(tag + 2);
+    if (digits.find_first_not_of("0123456789") == std::string::npos) {
+      return BuildCorpusAppVariant(scaled_name.substr(0, tag),
+                                   std::atoi(digits.c_str()));
+    }
+  }
+  return BuildCorpusApp(scaled_name);
+}
+
+std::vector<CorpusApp> BuildScaledCorpus(int scale) {
+  std::vector<CorpusApp> corpus;
+  for (const std::string& name : ScaledCorpusAppNames(scale)) {
+    corpus.push_back(BuildScaledCorpusApp(name));
   }
   return corpus;
 }

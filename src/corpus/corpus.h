@@ -44,6 +44,30 @@ CorpusApp BuildCorpusApp(const std::string& name);
 // Builds all eight applications.
 std::vector<CorpusApp> BuildFullCorpus();
 
+// --- Corpus scaling (bench workloads, docs/CACHING.md) ----------------------
+//
+// A scaled corpus repeats each base application as deterministic seeded
+// variants: variant 1 is the base app itself; variant K >= 2 regenerates the
+// same module mix under id "name_vK" with a remixed seed, so the variant is
+// structurally similar but textually distinct (different identifiers, noise,
+// and bug placements). Same (name, variant) always yields the same sources.
+
+// App ids for a scale-N corpus, grouped per base app in paper column order:
+// scale 1 = the 8 base ids; scale 3 = "hacommon", "hacommon_v2",
+// "hacommon_v3", "hdfs", ... Scale < 1 is treated as 1.
+std::vector<std::string> ScaledCorpusAppNames(int scale);
+
+// Builds variant `variant` (1-based) of base app `name`. Variant 1 is exactly
+// BuildCorpusApp(name). Aborts on unknown base id, like BuildCorpusApp.
+CorpusApp BuildCorpusAppVariant(const std::string& name, int variant);
+
+// Builds an app from a scaled id ("hbase" or "hbase_v3"). Aborts on ids not
+// produced by ScaledCorpusAppNames.
+CorpusApp BuildScaledCorpusApp(const std::string& scaled_name);
+
+// Builds the full scale-N corpus in ScaledCorpusAppNames order.
+std::vector<CorpusApp> BuildScaledCorpus(int scale);
+
 }  // namespace wasabi
 
 #endif  // WASABI_SRC_CORPUS_CORPUS_H_

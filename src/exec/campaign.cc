@@ -302,14 +302,12 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
   return outcome;
 }
 
-CoverageOutcome MapCoverageRobust(const TestRunner& runner, const std::vector<TestCase>& tests,
-                                  const std::vector<RetryLocation>& locations, TaskPool& pool,
-                                  const RobustnessOptions& options, const CampaignObs& obs) {
-  CoverageOutcome outcome;
-  RobustnessStats& stats = outcome.robustness;
-  std::vector<std::vector<size_t>> hits(tests.size());
-  std::vector<int> attempts(tests.size(), 0);
-  std::vector<char> completed(tests.size(), 0);
+std::vector<CoverageRunOutcome> ExecuteCoverageRuns(
+    const TestRunner& runner, const std::vector<TestCase>& tests,
+    const std::vector<RetryLocation>& locations, TaskPool& pool,
+    const RobustnessOptions& options, const CampaignObs& obs,
+    const std::vector<size_t>& original_indices) {
+  std::vector<CoverageRunOutcome> per_test(tests.size());
   std::vector<InterpreterArena> arenas(static_cast<size_t>(pool.worker_count()));
 
   std::vector<size_t> wave(tests.size());
@@ -320,17 +318,17 @@ CoverageOutcome MapCoverageRobust(const TestRunner& runner, const std::vector<Te
     std::vector<std::exception_ptr> errors = pool.ParallelForCaptured(
         wave.size(), [&](size_t w) {
           const size_t i = wave[w];
-          const int attempt = attempts[i] + 1;
+          const int attempt = per_test[i].attempts + 1;
           ScopedSpan span(obs.tracer, "coverage.run");
           span.AddArg("test", tests[i].qualified_name);
           if (attempt > 1) {
             span.AddArg("attempt", static_cast<int64_t>(attempt));
           }
-          ChaosMaybeFault(options.chaos, CoverageChaosIdentity(i), attempt);
+          ChaosMaybeFault(options.chaos, CoverageChaosIdentity(original_indices[i]), attempt);
           CoverageRecorder recorder(&locations);
           runner.RunTest(tests[i], {&recorder},
                          &arenas[static_cast<size_t>(TaskPool::CurrentWorker())]);
-          hits[i] = recorder.hits();
+          per_test[i].hits = recorder.hits();
           if (obs.progress != nullptr) {
             obs.progress->Tick();
           }
@@ -338,42 +336,66 @@ CoverageOutcome MapCoverageRobust(const TestRunner& runner, const std::vector<Te
     std::vector<size_t> next_wave;
     for (size_t w = 0; w < wave.size(); ++w) {
       const size_t i = wave[w];
-      ++attempts[i];
+      CoverageRunOutcome& out = per_test[i];
+      ++out.attempts;
       if (!errors[w]) {
-        completed[i] = 1;
-        if (attempts[i] > 1) {
-          ++stats.recovered;
+        if (out.attempts > 1) {
+          out.recovered = true;
         }
         continue;
       }
       RunFailure failure = ClassifyFailure(errors[w]);
       if (failure.chaos) {
-        ++stats.chaos_faults;
+        ++out.chaos_faults;
       }
-      if (options.retry.ShouldRetry(attempts[i] + 1)) {
-        ++stats.retries;
-        stats.backoff_virtual_ms +=
-            options.retry.BackoffMs(CoverageChaosIdentity(i), attempts[i] + 1);
+      if (options.retry.ShouldRetry(out.attempts + 1)) {
+        ++out.retries;
+        out.backoff_virtual_ms +=
+            options.retry.BackoffMs(CoverageChaosIdentity(original_indices[i]), out.attempts + 1);
         next_wave.push_back(i);
       } else {
-        failure.run_id = static_cast<uint64_t>(i);
-        failure.test = tests[i].qualified_name;
-        failure.location = "<coverage>";
-        failure.attempts = attempts[i];
-        hits[i].clear();  // A quarantined test covers nothing.
-        outcome.quarantined.push_back(std::move(failure));
-        ++stats.quarantined;
+        out.quarantined = true;
+        out.failure_kind = failure.kind;
+        out.failure_detail = std::move(failure.detail);
+        out.failure_chaos = failure.chaos;
+        out.hits.clear();  // A quarantined test covers nothing.
       }
     }
     wave = std::move(next_wave);
   }
-  std::sort(outcome.quarantined.begin(), outcome.quarantined.end(),
-            [](const RunFailure& a, const RunFailure& b) { return a.run_id < b.run_id; });
+  return per_test;
+}
+
+CoverageOutcome ReduceCoverageOutcomes(const std::vector<TestCase>& tests,
+                                       std::vector<CoverageRunOutcome> per_test,
+                                       const CampaignObs& obs) {
+  CoverageOutcome outcome;
+  RobustnessStats& stats = outcome.robustness;
+  for (size_t i = 0; i < tests.size(); ++i) {
+    const CoverageRunOutcome& out = per_test[i];
+    stats.retries += out.retries;
+    stats.chaos_faults += out.chaos_faults;
+    stats.backoff_virtual_ms += out.backoff_virtual_ms;
+    if (out.quarantined) {
+      RunFailure failure;
+      failure.run_id = static_cast<uint64_t>(i);
+      failure.test = tests[i].qualified_name;
+      failure.location = "<coverage>";
+      failure.kind = out.failure_kind;
+      failure.detail = out.failure_detail;
+      failure.attempts = out.attempts;
+      failure.chaos = out.failure_chaos;
+      outcome.quarantined.push_back(std::move(failure));
+      ++stats.quarantined;
+    } else if (out.recovered) {
+      ++stats.recovered;
+    }
+  }
 
   // Identical reduce to MapCoverageParallel over the surviving runs.
   std::set<size_t> cumulative;
   for (size_t i = 0; i < tests.size(); ++i) {
-    cumulative.insert(hits[i].begin(), hits[i].end());
+    cumulative.insert(per_test[i].hits.begin(), per_test[i].hits.end());
     if (obs.metrics != nullptr) {
       obs.metrics->AppendSeries("coverage.cumulative_locations",
                                 static_cast<double>(cumulative.size()));
@@ -382,8 +404,8 @@ CoverageOutcome MapCoverageRobust(const TestRunner& runner, const std::vector<Te
       obs.tracer->Counter("coverage.cumulative_locations", "locations",
                           static_cast<int64_t>(cumulative.size()));
     }
-    if (!hits[i].empty()) {
-      outcome.coverage[tests[i].qualified_name] = std::move(hits[i]);
+    if (!per_test[i].hits.empty()) {
+      outcome.coverage[tests[i].qualified_name] = std::move(per_test[i].hits);
     }
   }
   if (obs.metrics != nullptr) {
@@ -392,6 +414,17 @@ CoverageOutcome MapCoverageRobust(const TestRunner& runner, const std::vector<Te
   }
   ExportRobustMetrics(obs, stats);
   return outcome;
+}
+
+CoverageOutcome MapCoverageRobust(const TestRunner& runner, const std::vector<TestCase>& tests,
+                                  const std::vector<RetryLocation>& locations, TaskPool& pool,
+                                  const RobustnessOptions& options, const CampaignObs& obs) {
+  std::vector<size_t> identity(tests.size());
+  for (size_t i = 0; i < tests.size(); ++i) {
+    identity[i] = i;
+  }
+  return ReduceCoverageOutcomes(
+      tests, ExecuteCoverageRuns(runner, tests, locations, pool, options, obs, identity), obs);
 }
 
 }  // namespace wasabi

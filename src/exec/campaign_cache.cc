@@ -1,0 +1,370 @@
+#include "src/exec/campaign_cache.h"
+
+#include <cstdlib>
+
+#include "src/lang/digest.h"
+
+namespace wasabi {
+
+namespace {
+
+// Payload framing: records separated by '\x1e', fields by '\x1f'. String
+// fields escape both separators (and the escape char) so arbitrary detail
+// text round-trips; a bad escape fails the decode, which is just a miss.
+constexpr char kRecordSep = '\x1e';
+constexpr char kFieldSep = '\x1f';
+
+std::string EscapePayload(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case kRecordSep: out += "\\R"; break;
+      case kFieldSep: out += "\\F"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool UnescapePayload(std::string_view escaped, std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    char c = escaped[i];
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (++i >= escaped.size()) {
+      return false;
+    }
+    switch (escaped[i]) {
+      case '\\': out->push_back('\\'); break;
+      case 'R': out->push_back(kRecordSep); break;
+      case 'F': out->push_back(kFieldSep); break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool ParseInt(std::string_view field, int64_t* out) {
+  if (field.empty()) {
+    return false;
+  }
+  std::string buffer(field);
+  char* end = nullptr;
+  long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (end != buffer.c_str() + buffer.size()) {
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseBool(std::string_view field, bool* out) {
+  if (field == "0") {
+    *out = false;
+    return true;
+  }
+  if (field == "1") {
+    *out = true;
+    return true;
+  }
+  return false;
+}
+
+void AppendField(std::string& out, std::string_view field, bool escape = false) {
+  if (!out.empty() && out.back() != kRecordSep) {
+    out.push_back(kFieldSep);
+  }
+  out.append(escape ? EscapePayload(field) : std::string(field));
+}
+
+bool ParseFailureKind(std::string_view field, RunFailureKind* out) {
+  int64_t kind = 0;
+  if (!ParseInt(field, &kind) || kind < 0 ||
+      kind > static_cast<int64_t>(RunFailureKind::kChaos)) {
+    return false;
+  }
+  *out = static_cast<RunFailureKind>(kind);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeCoverageEntry(const CoverageRunOutcome& outcome) {
+  std::string out;
+  AppendField(out, outcome.quarantined ? "1" : "0");
+  AppendField(out, std::to_string(outcome.attempts));
+  AppendField(out, std::to_string(outcome.retries));
+  AppendField(out, outcome.recovered ? "1" : "0");
+  AppendField(out, std::to_string(outcome.chaos_faults));
+  AppendField(out, std::to_string(outcome.backoff_virtual_ms));
+  AppendField(out, std::to_string(static_cast<int>(outcome.failure_kind)));
+  AppendField(out, outcome.failure_detail, /*escape=*/true);
+  AppendField(out, outcome.failure_chaos ? "1" : "0");
+  std::string hits;
+  for (size_t hit : outcome.hits) {
+    if (!hits.empty()) {
+      hits.push_back(',');
+    }
+    hits += std::to_string(hit);
+  }
+  AppendField(out, hits);
+  return out;
+}
+
+bool DecodeCoverageEntry(const std::string& entry, size_t location_count,
+                         CoverageRunOutcome* outcome) {
+  std::vector<std::string_view> fields = Split(entry, kFieldSep);
+  if (fields.size() != 10) {
+    return false;
+  }
+  CoverageRunOutcome out;
+  int64_t attempts = 0;
+  if (!ParseBool(fields[0], &out.quarantined) || !ParseInt(fields[1], &attempts) ||
+      !ParseInt(fields[2], &out.retries) || !ParseBool(fields[3], &out.recovered) ||
+      !ParseInt(fields[4], &out.chaos_faults) || !ParseInt(fields[5], &out.backoff_virtual_ms) ||
+      !ParseFailureKind(fields[6], &out.failure_kind) ||
+      !UnescapePayload(fields[7], &out.failure_detail) ||
+      !ParseBool(fields[8], &out.failure_chaos)) {
+    return false;
+  }
+  out.attempts = static_cast<int>(attempts);
+  if (!fields[9].empty()) {
+    for (std::string_view part : Split(fields[9], ',')) {
+      int64_t hit = 0;
+      if (!ParseInt(part, &hit) || hit < 0 || static_cast<size_t>(hit) >= location_count) {
+        return false;  // Index out of range: stale or damaged entry.
+      }
+      out.hits.push_back(static_cast<size_t>(hit));
+    }
+  }
+  if (out.quarantined && !out.hits.empty()) {
+    return false;  // Quarantined runs cover nothing, by construction.
+  }
+  *outcome = std::move(out);
+  return true;
+}
+
+CoverageOutcome MapCoverageCached(const TestRunner& runner, const std::vector<TestCase>& tests,
+                                  const std::vector<RetryLocation>& locations, TaskPool& pool,
+                                  const RobustnessOptions& options, const CampaignObs& obs,
+                                  const CampaignCacheContext& cache) {
+  if (!cache.enabled()) {
+    return MapCoverageRobust(runner, tests, locations, pool, options, obs);
+  }
+  std::vector<CoverageRunOutcome> per_test(tests.size());
+  std::vector<char> cached(tests.size(), 0);
+  std::vector<TestCase> missing;
+  std::vector<size_t> missing_indices;
+  for (size_t i = 0; i < tests.size(); ++i) {
+    std::optional<std::string> entry =
+        cache.store->Get(kCacheNsCoverage, cache.prefix + tests[i].qualified_name);
+    if (entry.has_value() && DecodeCoverageEntry(*entry, locations.size(), &per_test[i])) {
+      cached[i] = 1;
+      continue;
+    }
+    missing.push_back(tests[i]);
+    missing_indices.push_back(i);
+  }
+  if (!missing.empty()) {
+    std::vector<CoverageRunOutcome> executed =
+        ExecuteCoverageRuns(runner, missing, locations, pool, options, obs, missing_indices);
+    for (size_t m = 0; m < missing.size(); ++m) {
+      cache.store->Put(kCacheNsCoverage, cache.prefix + missing[m].qualified_name,
+                       EncodeCoverageEntry(executed[m]));
+      per_test[missing_indices[m]] = std::move(executed[m]);
+    }
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->Increment("cache.hits.cov",
+                           static_cast<int64_t>(tests.size() - missing.size()));
+    obs.metrics->Increment("cache.misses.cov", static_cast<int64_t>(missing.size()));
+  }
+  return ReduceCoverageOutcomes(tests, std::move(per_test), obs);
+}
+
+std::string CampaignRunKey(const CampaignCacheContext& cache, const CampaignRunSpec& spec,
+                           const std::vector<RetryLocation>& locations) {
+  return cache.prefix + spec.test.qualified_name + "|" +
+         locations[spec.location_index].Key() + "|k=" + std::to_string(spec.k);
+}
+
+std::string CampaignAggregateKey(const CampaignCacheContext& cache,
+                                 const std::vector<CampaignRunSpec>& specs,
+                                 const std::vector<RetryLocation>& locations) {
+  // The aggregate key pins the exact spec list (order included), so a plan
+  // change under the same program/config — impossible today, cheap to guard —
+  // reads as a miss rather than a mismatched verdict set.
+  uint64_t digest = mj::kFnvOffsetBasis;
+  for (const CampaignRunSpec& spec : specs) {
+    digest = mj::Fnv1a64(spec.test.qualified_name, digest);
+    digest = mj::Fnv1a64(locations[spec.location_index].Key(), digest);
+    digest = mj::Fnv1a64Mix(static_cast<uint64_t>(spec.k), digest);
+  }
+  return cache.prefix + "specs=" + std::to_string(specs.size()) + "|" + mj::DigestHex(digest);
+}
+
+namespace {
+
+std::string EncodeStats(const RobustnessStats& stats) {
+  std::string out;
+  AppendField(out, std::to_string(stats.retries));
+  AppendField(out, std::to_string(stats.recovered));
+  AppendField(out, std::to_string(stats.quarantined));
+  AppendField(out, std::to_string(stats.chaos_faults));
+  AppendField(out, std::to_string(stats.breaker_open));
+  AppendField(out, std::to_string(stats.fail_fast_skipped));
+  AppendField(out, std::to_string(stats.backoff_virtual_ms));
+  AppendField(out, stats.aborted ? "1" : "0");
+  AppendField(out, std::to_string(stats.open_locations.size()));
+  for (const std::string& key : stats.open_locations) {
+    out.push_back(kRecordSep);
+    out.append(EscapePayload(key));
+  }
+  return out;
+}
+
+bool DecodeStats(std::string_view entry, RobustnessStats* stats) {
+  std::vector<std::string_view> records = Split(entry, kRecordSep);
+  std::vector<std::string_view> fields = Split(records[0], kFieldSep);
+  if (fields.size() != 9) {
+    return false;
+  }
+  RobustnessStats out;
+  int64_t open_count = 0;
+  if (!ParseInt(fields[0], &out.retries) || !ParseInt(fields[1], &out.recovered) ||
+      !ParseInt(fields[2], &out.quarantined) || !ParseInt(fields[3], &out.chaos_faults) ||
+      !ParseInt(fields[4], &out.breaker_open) || !ParseInt(fields[5], &out.fail_fast_skipped) ||
+      !ParseInt(fields[6], &out.backoff_virtual_ms) || !ParseBool(fields[7], &out.aborted) ||
+      !ParseInt(fields[8], &open_count)) {
+    return false;
+  }
+  if (open_count < 0 || static_cast<size_t>(open_count) != records.size() - 1) {
+    return false;
+  }
+  for (size_t r = 1; r < records.size(); ++r) {
+    std::string key;
+    if (!UnescapePayload(records[r], &key)) {
+      return false;
+    }
+    out.open_locations.push_back(std::move(key));
+  }
+  *stats = std::move(out);
+  return true;
+}
+
+std::string EncodeVerdict(const CachedRunVerdict& verdict) {
+  std::string out;
+  AppendField(out, verdict.completed ? "1" : "0");
+  AppendField(out, std::to_string(static_cast<int>(verdict.failure_kind)));
+  AppendField(out, verdict.failure_detail, /*escape=*/true);
+  AppendField(out, std::to_string(verdict.failure_attempts));
+  AppendField(out, verdict.failure_chaos ? "1" : "0");
+  for (const CachedRunVerdict::Report& report : verdict.reports) {
+    out.push_back(kRecordSep);
+    std::string record;
+    AppendField(record, std::to_string(report.kind));
+    AppendField(record, report.detail, /*escape=*/true);
+    AppendField(record, report.group_key, /*escape=*/true);
+    out.append(record);
+  }
+  return out;
+}
+
+bool DecodeVerdict(std::string_view entry, CachedRunVerdict* verdict) {
+  std::vector<std::string_view> records = Split(entry, kRecordSep);
+  std::vector<std::string_view> header = Split(records[0], kFieldSep);
+  if (header.size() != 5) {
+    return false;
+  }
+  CachedRunVerdict out;
+  int64_t attempts = 0;
+  if (!ParseBool(header[0], &out.completed) ||
+      !ParseFailureKind(header[1], &out.failure_kind) ||
+      !UnescapePayload(header[2], &out.failure_detail) || !ParseInt(header[3], &attempts) ||
+      !ParseBool(header[4], &out.failure_chaos)) {
+    return false;
+  }
+  out.failure_attempts = static_cast<int>(attempts);
+  for (size_t r = 1; r < records.size(); ++r) {
+    std::vector<std::string_view> fields = Split(records[r], kFieldSep);
+    if (fields.size() != 3) {
+      return false;
+    }
+    CachedRunVerdict::Report report;
+    int64_t kind = 0;
+    if (!ParseInt(fields[0], &kind) || kind < 0 ||
+        kind > static_cast<int64_t>(OracleKind::kDifferentException) ||
+        !UnescapePayload(fields[1], &report.detail) ||
+        !UnescapePayload(fields[2], &report.group_key)) {
+      return false;
+    }
+    report.kind = static_cast<int>(kind);
+    out.reports.push_back(std::move(report));
+  }
+  if (!out.completed && !out.reports.empty()) {
+    return false;  // Quarantined runs produce no reports.
+  }
+  *verdict = std::move(out);
+  return true;
+}
+
+}  // namespace
+
+bool TryLoadCampaign(const CampaignCacheContext& cache,
+                     const std::vector<CampaignRunSpec>& specs,
+                     const std::vector<RetryLocation>& locations, CachedCampaign* out) {
+  if (!cache.enabled()) {
+    return false;
+  }
+  std::optional<std::string> aggregate =
+      cache.store->Get(kCacheNsCampaign, CampaignAggregateKey(cache, specs, locations));
+  if (!aggregate.has_value() || !DecodeStats(*aggregate, &out->stats)) {
+    return false;
+  }
+  out->runs.clear();
+  out->runs.reserve(specs.size());
+  for (const CampaignRunSpec& spec : specs) {
+    std::optional<std::string> entry =
+        cache.store->Get(kCacheNsRun, CampaignRunKey(cache, spec, locations));
+    CachedRunVerdict verdict;
+    if (!entry.has_value() || !DecodeVerdict(*entry, &verdict)) {
+      return false;  // All-or-nothing: any gap means a cold campaign.
+    }
+    out->runs.push_back(std::move(verdict));
+  }
+  return true;
+}
+
+void StoreCampaign(const CampaignCacheContext& cache, const std::vector<CampaignRunSpec>& specs,
+                   const std::vector<RetryLocation>& locations, const CachedCampaign& campaign) {
+  if (!cache.enabled() || campaign.runs.size() != specs.size()) {
+    return;
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    cache.store->Put(kCacheNsRun, CampaignRunKey(cache, specs[i], locations),
+                     EncodeVerdict(campaign.runs[i]));
+  }
+  cache.store->Put(kCacheNsCampaign, CampaignAggregateKey(cache, specs, locations),
+                   EncodeStats(campaign.stats));
+}
+
+}  // namespace wasabi

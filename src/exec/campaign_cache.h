@@ -1,0 +1,111 @@
+// Cache integration for the campaign executor (docs/CACHING.md).
+//
+// Two memo granularities, chosen for correctness under partial hits:
+//
+//  * Coverage runs are independent of each other, so they memoize PER TEST:
+//    a warm pass executes only the tests whose entries are missing, with their
+//    ORIGINAL indices driving chaos identities and backoff streams so the
+//    merged outcome is byte-identical to a cache-off run.
+//
+//  * Injected-run verdicts memoize per run but are consumed ALL OR NOTHING:
+//    admission control (circuit breaker, fail-fast, quarantine quota) makes a
+//    run's fate depend on every earlier run's fate, so replaying a subset
+//    against live executions could diverge from a cold campaign. The facade
+//    skips the campaign phase only when the aggregate entry and every per-run
+//    verdict are present; any gap runs the whole campaign cold and re-stores.
+//    (Any corpus edit changes the program digest and hence every campaign key,
+//    so the all-or-nothing rule costs nothing in the workflows that matter.)
+//
+// Every decode validates shape, bounds, and enum ranges; a record that fails
+// decodes as a miss (the store already checksums raw bytes), so cache damage
+// can only cause recomputation, never a wrong report.
+
+#ifndef WASABI_SRC_EXEC_CAMPAIGN_CACHE_H_
+#define WASABI_SRC_EXEC_CAMPAIGN_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cache/store.h"
+#include "src/exec/campaign.h"
+#include "src/testing/oracles.h"
+
+namespace wasabi {
+
+// Namespace tags inside the store.
+inline constexpr char kCacheNsCoverage[] = "cov";
+inline constexpr char kCacheNsRun[] = "run";
+inline constexpr char kCacheNsCampaign[] = "camp";
+
+// Threaded from the facade into the executor. `prefix` already folds in the
+// program digest, the workflow-config digest (interp/robust/oracle/planner
+// options, chaos seed, injected exception set via the location keys), and the
+// retry-location-list digest, so keys built from it are fully qualified.
+struct CampaignCacheContext {
+  CacheStore* store = nullptr;
+  std::string prefix;
+
+  bool enabled() const { return store != nullptr; }
+};
+
+// Per-test coverage cache entry payload.
+std::string EncodeCoverageEntry(const CoverageRunOutcome& outcome);
+bool DecodeCoverageEntry(const std::string& entry, size_t location_count,
+                         CoverageRunOutcome* outcome);
+
+// MapCoverageRobust with per-test memoization. With a disabled context this
+// is exactly MapCoverageRobust; with one enabled, cached tests are restored
+// and only the misses execute (under their original identities), then the
+// shared reduce produces the byte-identical outcome and new entries are
+// stored.
+CoverageOutcome MapCoverageCached(const TestRunner& runner, const std::vector<TestCase>& tests,
+                                  const std::vector<RetryLocation>& locations, TaskPool& pool,
+                                  const RobustnessOptions& options, const CampaignObs& obs,
+                                  const CampaignCacheContext& cache);
+
+// One memoized injected-run verdict: the post-oracle reports for a completed
+// run, or the quarantine record for a given-up one. Identity fields
+// (test/location/run id) are reconstructed from the spec list on load.
+struct CachedRunVerdict {
+  bool completed = true;
+  // Completed runs: the oracle (or naive-ablation) reports this run produced.
+  struct Report {
+    int kind = 0;  // OracleKind as int.
+    std::string detail;
+    std::string group_key;
+  };
+  std::vector<Report> reports;
+  // Quarantined runs.
+  RunFailureKind failure_kind = RunFailureKind::kHostException;
+  std::string failure_detail;
+  int failure_attempts = 0;
+  bool failure_chaos = false;
+};
+
+// Whole-campaign verdict set, parallel to the spec list.
+struct CachedCampaign {
+  std::vector<CachedRunVerdict> runs;
+  RobustnessStats stats;
+};
+
+std::string CampaignRunKey(const CampaignCacheContext& cache, const CampaignRunSpec& spec,
+                           const std::vector<RetryLocation>& locations);
+std::string CampaignAggregateKey(const CampaignCacheContext& cache,
+                                 const std::vector<CampaignRunSpec>& specs,
+                                 const std::vector<RetryLocation>& locations);
+
+// All-or-nothing load: true only when the aggregate entry and every per-run
+// verdict decode. On false the out-param is unspecified and the campaign must
+// run cold.
+bool TryLoadCampaign(const CampaignCacheContext& cache,
+                     const std::vector<CampaignRunSpec>& specs,
+                     const std::vector<RetryLocation>& locations, CachedCampaign* out);
+
+// Stores the aggregate entry and one verdict per spec after a cold campaign.
+void StoreCampaign(const CampaignCacheContext& cache, const std::vector<CampaignRunSpec>& specs,
+                   const std::vector<RetryLocation>& locations, const CachedCampaign& campaign);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_EXEC_CAMPAIGN_CACHE_H_

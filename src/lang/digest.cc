@@ -1,0 +1,21 @@
+#include "src/lang/digest.h"
+
+namespace mj {
+
+uint64_t SourceContentDigest(const SourceFile& file) {
+  uint64_t hash = kFnvOffsetBasis;
+  hash = Fnv1a64Mix(static_cast<uint64_t>(file.text().size()), hash);
+  return Fnv1a64(file.text(), hash);
+}
+
+std::string DigestHex(uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace mj

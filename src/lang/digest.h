@@ -1,0 +1,55 @@
+// Content digests over mj source, the foundation of the incremental cache
+// (docs/CACHING.md).
+//
+// A file's digest is FNV-1a 64 over its raw bytes (plus the byte length as a
+// prefix, so concatenation patterns cannot collide). Raw bytes subsume every
+// downstream view of the file: the token stream, token positions, retained
+// comments, and SimLLM's attention window are all pure functions of the text,
+// so two files share a digest only when every analysis in the pipeline is
+// guaranteed to treat them identically. Hashing bytes instead of a re-lexed
+// token stream also keeps digesting out of the warm-path profile: a cache-hit
+// run must still digest every file to build its keys, and that pass has to be
+// cheap for the warm/cold speedup to materialize.
+
+#ifndef WASABI_SRC_LANG_DIGEST_H_
+#define WASABI_SRC_LANG_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/lang/source.h"
+
+namespace mj {
+
+// FNV-1a 64-bit, the repo-wide stable hash (matches the golden tests).
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t Fnv1a64(std::string_view data, uint64_t hash = kFnvOffsetBasis) {
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+inline uint64_t Fnv1a64Mix(uint64_t value, uint64_t hash) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= value & 0xffu;
+    hash *= kFnvPrime;
+    value >>= 8;
+  }
+  return hash;
+}
+
+// Digest of one source file's content (see the header comment for exactly
+// what is hashed and why).
+uint64_t SourceContentDigest(const SourceFile& file);
+
+// Lower-case hex rendering used wherever a digest becomes a cache-key part.
+std::string DigestHex(uint64_t digest);
+
+}  // namespace mj
+
+#endif  // WASABI_SRC_LANG_DIGEST_H_

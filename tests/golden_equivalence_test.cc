@@ -18,10 +18,13 @@
 // with: WASABI_UPDATE_GOLDENS=1 ./golden_equivalence_test  — but only ever
 // from a build whose behavior is already trusted.
 
+#include <unistd.h>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -29,6 +32,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/cache/store.h"
 #include "src/core/report_json.h"
 #include "src/core/wasabi.h"
 #include "src/corpus/corpus.h"
@@ -231,6 +235,63 @@ TEST_P(GoldenEquivalenceTest, MatchesPreOverhaulGoldens) {
     EXPECT_EQ(found->second, value) << app_name << " " << key
                                     << " diverged from the pre-overhaul interpreter";
   }
+}
+
+// Differential half of the suite (docs/CACHING.md): a warm `--cache-dir` run
+// must be byte-identical to a cache-off run of the same configuration at
+// every worker count, and under self-chaos. The cold pass populates at one
+// worker count and the warm passes replay at all of them — run verdicts carry
+// stable ids and the reducer consumes them in id order, so worker count can
+// never leak into a cached (or uncached) report. Both configurations share
+// one cache directory: their dynamic-config digests differ, which also pins
+// the keyspace separation between chaos-on and chaos-off entries.
+TEST_P(GoldenEquivalenceTest, WarmCacheRunsAreByteIdenticalToCacheOff) {
+  const std::string app_name = GetParam();
+  CorpusApp app = BuildCorpusApp(app_name);
+
+  const std::string cache_dir =
+      ::testing::TempDir() + "wasabi_cache_differential_" + app_name + "_" +
+      std::to_string(::getpid());
+  std::filesystem::remove_all(cache_dir);
+  std::string error;
+  std::unique_ptr<CacheStore> store = CacheStore::Open(cache_dir, &error);
+  ASSERT_NE(store, nullptr) << error;
+
+  WasabiOptions options;
+  options.app_name = app.name;
+  options.default_configs = app.default_configs;
+  options.jobs = 1;
+  WasabiOptions chaos_options = options;
+  chaos_options.robust.chaos.enabled = true;
+  chaos_options.robust.chaos.seed = 42;
+  chaos_options.robust.chaos.rate = 0.1;
+
+  Wasabi off(app.program, *app.index, options);
+  Wasabi cached(app.program, *app.index, options);
+  cached.set_cache(store.get());
+  Wasabi chaos_off(app.program, *app.index, chaos_options);
+  Wasabi chaos_cached(app.program, *app.index, chaos_options);
+  chaos_cached.set_cache(store.get());
+
+  // Cold populate at 1 worker; every later iteration replays warm.
+  for (int jobs : {1, 2, 4, 8}) {
+    off.set_jobs(jobs);
+    cached.set_jobs(jobs);
+    chaos_off.set_jobs(jobs);
+    chaos_cached.set_jobs(jobs);
+    EXPECT_EQ(WorkflowFingerprint(cached.RunDynamicWorkflow()),
+              WorkflowFingerprint(off.RunDynamicWorkflow()))
+        << app_name << " cache-on vs cache-off diverged at jobs=" << jobs;
+    EXPECT_EQ(WorkflowFingerprint(chaos_cached.RunDynamicWorkflow()),
+              WorkflowFingerprint(chaos_off.RunDynamicWorkflow()))
+        << app_name << " cache-on vs cache-off diverged under chaos at jobs=" << jobs;
+  }
+
+  // The warm passes actually replayed: the campaign aggregate was stored once
+  // per configuration and hit on every later lookup.
+  CacheStats stats = store->stats();
+  EXPECT_GE(stats.hits_by_namespace["camp"], 6) << "warm passes did not replay";
+  std::filesystem::remove_all(cache_dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCorpusApps, GoldenEquivalenceTest,

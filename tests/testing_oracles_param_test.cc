@@ -287,6 +287,157 @@ INSTANTIATE_TEST_SUITE_P(
                         "exceeded the virtual-time budget"},
         AbortDetailCase{AbortReason::kStackOverflow, "overflowed the call stack"}));
 
+// --- Cause chains: deep wraps and cycles (§4.5 wrapped-exception pruning). ---
+
+constexpr const char* kWrapSource = R"(
+class DeepWrap {
+  String go() {
+    for (var retry = 0; retry < 3; retry++) {
+      try {
+        return this.op();
+      } catch (TimeoutException e) {
+        throw new IllegalStateException("outer wrapper", new RuntimeException("middle wrapper", e));
+      }
+    }
+    return "";
+  }
+  String op() throws TimeoutException { return "v"; }
+}
+class Cyclic {
+  String go() { return this.op(); }
+  String op() { return "v"; }
+}
+class ChainTest {
+  void testDeepWrap() {
+    var d = new DeepWrap();
+    d.go();
+  }
+  void testCyclic() {
+    var c = new Cyclic();
+    c.go();
+  }
+}
+)";
+
+struct WrapFixture {
+  WrapFixture() {
+    mj::DiagnosticEngine diag;
+    program.AddUnit(mj::ParseSource("wrap.mj", kWrapSource, diag));
+    EXPECT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+    index = std::make_unique<mj::ProgramIndex>(program);
+    runner = std::make_unique<TestRunner>(program, *index);
+  }
+
+  static RetryLocation Location(const std::string& cls) {
+    RetryLocation location;
+    location.coordinator = cls + ".go";
+    location.retried_method = cls + ".op";
+    location.exception_name = "TimeoutException";
+    location.file = "wrap.mj";
+    return location;
+  }
+
+  mj::Program program;
+  std::unique_ptr<mj::ProgramIndex> index;
+  std::unique_ptr<TestRunner> runner;
+};
+
+TEST(CauseChainOracle, WrapDepthTwoIsPrunedOnlyWithCauseChainScan) {
+  // DeepWrap rethrows the injected TimeoutException under TWO layers of
+  // wrapping: IllegalStateException -> RuntimeException -> TimeoutException.
+  // The §4.5 mitigation must find the injected class anywhere in the cause
+  // chain, not just one level down.
+  WrapFixture fixture;
+  FaultInjector injector(
+      {InjectionPoint{"DeepWrap.op", "DeepWrap.go", "TimeoutException", kInjectOnce}});
+  TestRunRecord record =
+      fixture.runner->RunTest(TestCase{"ChainTest.testDeepWrap"}, {&injector});
+
+  ASSERT_EQ(record.outcome.status, TestStatus::kException);
+  EXPECT_EQ(record.outcome.exception_class, "IllegalStateException");
+  ASSERT_EQ(record.outcome.cause_chain.size(), 2u);
+  EXPECT_EQ(record.outcome.cause_chain[0], "RuntimeException");
+  EXPECT_EQ(record.outcome.cause_chain[1], "TimeoutException");
+
+  // Without pruning, the wrapper counts as a different exception (a report).
+  OracleOptions no_prune;
+  no_prune.prune_wrapped_exceptions = false;
+  bool different = false;
+  for (const OracleReport& report :
+       EvaluateOracles(record, WrapFixture::Location("DeepWrap"), no_prune)) {
+    different |= report.kind == OracleKind::kDifferentException;
+  }
+  EXPECT_TRUE(different);
+
+  // With pruning, the injected class two causes deep absorbs the report.
+  OracleOptions prune;
+  prune.prune_wrapped_exceptions = true;
+  for (const OracleReport& report :
+       EvaluateOracles(record, WrapFixture::Location("DeepWrap"), prune)) {
+    EXPECT_NE(report.kind, OracleKind::kDifferentException)
+        << "depth-2 wrapped injected exception must be pruned: " << report.detail;
+  }
+}
+
+// Throws an exception whose cause chain is a two-node CYCLE — buildable only
+// from the host side (mj constructors set causes at creation, so mj programs
+// cannot close the loop). The runner must terminate while extracting it.
+class CyclicCauseInterceptor : public CallInterceptor {
+ public:
+  void OnCall(const CallEvent& event, Interpreter& interp) override {
+    if (event.callee != "Cyclic.op" || fired_) {
+      return;
+    }
+    fired_ = true;
+    ObjectRef outer = interp.MakeException("RuntimeException", "wrapper in a cause cycle");
+    ObjectRef inner = interp.MakeException("IOException", "inner in a cause cycle");
+    outer->set_cause(inner);
+    inner->set_cause(outer);
+    throw ThrownException{outer};
+  }
+
+ private:
+  bool fired_ = false;
+};
+
+TEST(CauseChainOracle, CyclicCauseChainIsCappedAndStillPrunable) {
+  WrapFixture fixture;
+  CyclicCauseInterceptor interceptor;
+  TestRunRecord record =
+      fixture.runner->RunTest(TestCase{"ChainTest.testCyclic"}, {&interceptor});
+
+  // The runner walked the cycle without hanging and capped the recorded chain.
+  ASSERT_EQ(record.outcome.status, TestStatus::kException);
+  EXPECT_EQ(record.outcome.exception_class, "RuntimeException");
+  ASSERT_EQ(record.outcome.cause_chain.size(), 8u) << "cause extraction must cap cycles";
+  for (size_t i = 0; i < record.outcome.cause_chain.size(); ++i) {
+    EXPECT_EQ(record.outcome.cause_chain[i], i % 2 == 0 ? "IOException" : "RuntimeException");
+  }
+
+  OracleOptions prune;
+  prune.prune_wrapped_exceptions = true;
+
+  // An injected class that appears inside the cycle is treated as the fault
+  // propagating (pruned)...
+  record.injected_points = {InjectionPoint{"Cyclic.op", "Cyclic.go", "IOException", 1}};
+  record.injection_counts = {1};
+  for (const OracleReport& report :
+       EvaluateOracles(record, WrapFixture::Location("Cyclic"), prune)) {
+    EXPECT_NE(report.kind, OracleKind::kDifferentException)
+        << "injected class inside the cause cycle must be pruned";
+  }
+
+  // ...while an unrelated injected class still yields a report even though
+  // the chain is cyclic.
+  record.injected_points = {InjectionPoint{"Cyclic.op", "Cyclic.go", "TimeoutException", 1}};
+  bool different = false;
+  for (const OracleReport& report :
+       EvaluateOracles(record, WrapFixture::Location("Cyclic"), prune)) {
+    different |= report.kind == OracleKind::kDifferentException;
+  }
+  EXPECT_TRUE(different);
+}
+
 TEST(AbortReasonDetail, RunnerRecordsStructuredAbortKindFromRealExecution) {
   // End-to-end: the uncapped loop driven with an effectively unlimited
   // injection budget (kInjectRepeatedly would exhaust and let the run pass)

@@ -28,6 +28,13 @@
 //   --chaos SEED:RATE                 self-chaos: deterministically fail RATE
 //                                     of runs at the host level (containment
 //                                     drill, docs/ROBUSTNESS.md)
+//   --cache-dir=DIR                   memoize per-file analysis, coverage, and
+//                                     campaign verdicts under DIR keyed by
+//                                     content digests (docs/CACHING.md);
+//                                     reports are byte-identical with the
+//                                     cache on, off, warm, or damaged
+//   --scale N                         dump-corpus only: emit N seeded variants
+//                                     of each application (default 1)
 //
 // Malformed .mj files no longer abort an analysis: they are skipped with a
 // diagnostic on stderr and the report is marked degraded (JSON gains
@@ -46,10 +53,12 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/cache/store.h"
 #include "src/core/report_json.h"
 #include "src/core/wasabi.h"
 #include "src/corpus/corpus.h"
@@ -68,7 +77,8 @@ using namespace wasabi;
 int Usage() {
   std::cerr << "usage: wasabi <dump-corpus|identify|static|test|analyze|study> [dir] [--json]"
                " [--jobs N] [--trace-out=FILE] [--metrics-out=FILE] [--progress]"
-               " [--fail-fast] [--max-quarantined N] [--chaos SEED:RATE]\n";
+               " [--fail-fast] [--max-quarantined N] [--chaos SEED:RATE]"
+               " [--cache-dir=DIR] [--scale N]\n";
   return 2;
 }
 
@@ -82,6 +92,8 @@ struct CliOptions {
   bool fail_fast = false;
   int64_t max_quarantined = -1;  // < 0 = unlimited.
   ChaosConfig chaos;
+  std::string cache_dir;  // Empty = cache off (the default code path).
+  int scale = 1;          // dump-corpus variant multiplier.
 };
 
 // Strict flag parsing: every `--name=value` / `--name value` form must match
@@ -170,6 +182,26 @@ bool ParseOptions(int argc, char** argv, int first, CliOptions* options) {
         return false;
       }
       options->metrics_out = value;
+    } else if (name == "--cache-dir") {
+      if (!take_value("--cache-dir")) {
+        Usage();
+        return false;
+      }
+      if (value.empty()) {
+        return fail("option --cache-dir needs a non-empty directory");
+      }
+      options->cache_dir = value;
+    } else if (name == "--scale") {
+      if (!take_value("--scale")) {
+        Usage();
+        return false;
+      }
+      char* end = nullptr;
+      long scale = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || scale < 1) {
+        return fail("option --scale needs a positive integer, got '" + value + "'");
+      }
+      options->scale = static_cast<int>(scale);
     } else {
       return fail("unknown option '" + arg + "'");
     }
@@ -197,6 +229,44 @@ bool ExportObservability(const CliOptions& cli, Tracer& tracer, const MetricsReg
     }
   }
   return true;
+}
+
+// Opens the --cache-dir store. A store that cannot be opened (filesystem-level
+// failure) only warns on stderr and runs the analysis cold: the cache is an
+// accelerator, never a correctness dependency. Returns null when the flag is
+// absent, which keeps every cache code path disabled.
+std::unique_ptr<CacheStore> OpenCliCache(const CliOptions& cli) {
+  if (cli.cache_dir.empty()) {
+    return nullptr;
+  }
+  std::string error;
+  std::unique_ptr<CacheStore> store = CacheStore::Open(cli.cache_dir, &error);
+  if (store == nullptr) {
+    std::cerr << "warning: cache disabled: " << error << "\n";
+  }
+  return store;
+}
+
+// Persists new cache entries and exports the store's health counters into the
+// metrics registry (robust.* — corruption can only cost recomputation, and
+// these gauges prove when it did). Call before ExportObservability.
+void FinishCliCache(CacheStore* store, MetricsRegistry* metrics) {
+  if (store == nullptr) {
+    return;
+  }
+  if (metrics != nullptr) {
+    CacheStats stats = store->stats();
+    metrics->SetGauge("cache.loaded_entries", static_cast<double>(stats.loaded_entries));
+    metrics->SetGauge("cache.puts", static_cast<double>(stats.puts));
+    metrics->SetGauge("robust.cache_corrupt_entries",
+                      static_cast<double>(stats.corrupt_entries));
+    metrics->SetGauge("robust.cache_version_mismatches",
+                      static_cast<double>(stats.version_mismatches));
+  }
+  std::string error;
+  if (!store->Flush(&error)) {
+    std::cerr << "warning: cache flush failed: " << error << "\n";
+  }
 }
 
 // Loads every .mj file under `root` (recursively) into a program. Paths are
@@ -259,9 +329,9 @@ bool LoadProgram(const fs::path& root, mj::Program& program,
   return true;
 }
 
-int DumpCorpus(const fs::path& root) {
-  for (const std::string& name : CorpusAppNames()) {
-    CorpusApp app = BuildCorpusApp(name);
+int DumpCorpus(const fs::path& root, int scale) {
+  for (const std::string& name : ScaledCorpusAppNames(scale)) {
+    CorpusApp app = BuildScaledCorpusApp(name);
     std::ostringstream manifest;
     manifest << "# Seeded bugs for " << app.display_name << "\n";
     for (const SeededBug& bug : app.bugs) {
@@ -293,7 +363,7 @@ WasabiOptions OptionsFor(const fs::path& root) {
   return options;
 }
 
-int Identify(const fs::path& root) {
+int Identify(const fs::path& root, const CliOptions& cli) {
   mj::Program program;
   std::vector<SkippedFile> skipped;
   if (!LoadProgram(root, program, &skipped)) {
@@ -301,7 +371,10 @@ int Identify(const fs::path& root) {
   }
   mj::ProgramIndex index(program);
   Wasabi tool(program, index, OptionsFor(root));
+  std::unique_ptr<CacheStore> cache = OpenCliCache(cli);
+  tool.set_cache(cache.get());
   IdentificationResult result = tool.IdentifyRetryStructures();
+  FinishCliCache(cache.get(), nullptr);
   std::cout << result.structures.size() << " retry structures ("
             << result.candidate_loops_without_keyword_filter
             << " candidate loops before keyword filtering):\n";
@@ -346,7 +419,10 @@ int StaticWorkflow(const fs::path& root, const CliOptions& cli) {
   Wasabi tool(program, index, OptionsFor(root));
   ObsSinks obs(cli);
   tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr);
+  std::unique_ptr<CacheStore> cache = OpenCliCache(cli);
+  tool.set_cache(cache.get());
   StaticResult result = tool.RunStaticWorkflow();
+  FinishCliCache(cache.get(), obs.metrics_ptr);
   if (!ExportObservability(cli, obs.tracer, obs.metrics)) {
     return 1;
   }
@@ -391,7 +467,10 @@ int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
   Wasabi tool(program, index, options);
   ObsSinks obs(cli);
   tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr);
+  std::unique_ptr<CacheStore> cache = OpenCliCache(cli);
+  tool.set_cache(cache.get());
   DynamicResult result = tool.RunDynamicWorkflow();
+  FinishCliCache(cache.get(), obs.metrics_ptr);
   ReportHealth health;
   health.skipped_files = skipped;
   health.quarantined = result.quarantined;
@@ -477,10 +556,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (command == "dump-corpus") {
-    return DumpCorpus(root);
+    return DumpCorpus(root, cli.scale);
   }
   if (command == "identify") {
-    return Identify(root);
+    return Identify(root, cli);
   }
   if (command == "static") {
     return StaticWorkflow(root, cli);
