@@ -94,15 +94,17 @@ echo "warm cache: byte-identical to cache-off at 1/2/4/8 workers"
 # ThreadSanitizer pass over the campaign-executor concurrency tests (label
 # "exec") plus the interpreter-overhaul golden-equivalence/resolver tests
 # (label "perf", which re-prove byte-identical campaign output with the
-# per-worker interpreter arenas under TSan), in a separate build tree so the
-# main artifacts stay uninstrumented. Skipped quietly when the compiler can't
-# link TSan (e.g. musl toolchains).
+# per-worker interpreter arenas under TSan) and the flakiness-prober/replay
+# suites (labels "flaky"/"replay", whose probe reruns share the campaign's
+# warm arenas across workers; see docs/FLAKINESS.md), in a separate build
+# tree so the main artifacts stay uninstrumented. Skipped quietly when the
+# compiler can't link TSan (e.g. musl toolchains).
 if echo 'int main(){return 0;}' |
    c++ -x c++ -fsanitize=thread -o /tmp/wasabi_tsan_probe - 2>/dev/null; then
   rm -f /tmp/wasabi_tsan_probe
   cmake -B "$build_dir-tsan" -G Ninja -S "$repo_root" -DWASABI_TSAN=ON
   cmake --build "$build_dir-tsan"
-  ctest --test-dir "$build_dir-tsan" -L 'exec|perf' --output-on-failure \
+  ctest --test-dir "$build_dir-tsan" -L 'exec|perf|flaky|replay' --output-on-failure \
     2>&1 | tee "$repo_root/tsan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=thread; skipping TSan pass"
@@ -115,14 +117,15 @@ fi
 # frame reuse — the overhaul's lifetime-sensitive surface — plus the "fuzz"
 # grammar fuzzer (500 random programs through lexer/parser/printer/interpreter)
 # and the "cache" suites (corruption-fallback paths parse hostile bytes; see
-# docs/CACHING.md). Same separate-tree and probe-then-skip structure as the
-# TSan pass above.
+# docs/CACHING.md), plus the "flaky"/"replay" suites (record parsing rejects
+# truncated/bit-flipped/version-skewed bytes; see docs/FLAKINESS.md). Same
+# separate-tree and probe-then-skip structure as the TSan pass above.
 if echo 'int main(){return 0;}' |
    c++ -x c++ -fsanitize=address -o /tmp/wasabi_asan_probe - 2>/dev/null; then
   rm -f /tmp/wasabi_asan_probe
   cmake -B "$build_dir-asan" -G Ninja -S "$repo_root" -DWASABI_ASAN=ON
   cmake --build "$build_dir-asan"
-  ctest --test-dir "$build_dir-asan" -L 'robust|perf|fuzz|cache' --output-on-failure \
+  ctest --test-dir "$build_dir-asan" -L 'robust|perf|fuzz|cache|flaky|replay' --output-on-failure \
     2>&1 | tee "$repo_root/asan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=address; skipping ASan pass"

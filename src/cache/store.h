@@ -31,7 +31,8 @@
 namespace wasabi {
 
 // Bumping this invalidates every existing cache directory.
-inline constexpr std::string_view kCacheSchemaVersion = "wasabi-cache-v1";
+// v2: campaign run verdicts carry flakiness-prober classification fields.
+inline constexpr std::string_view kCacheSchemaVersion = "wasabi-cache-v2";
 
 struct CacheStats {
   int64_t hits = 0;

@@ -1,5 +1,6 @@
 #include "src/core/report.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 namespace wasabi {
@@ -34,14 +35,50 @@ std::string BugReport::MatchKey() const {
   return std::string(BugTypeName(type)) + "|" + file + "|" + coordinator;
 }
 
+namespace {
+
+// Dominance order for merging probed duplicates: chaos-induced beats flaky
+// beats stable.
+int StabilityRank(VerdictStability stability) {
+  switch (stability) {
+    case VerdictStability::kStable:
+      return 0;
+    case VerdictStability::kFlaky:
+      return 1;
+    case VerdictStability::kChaosInduced:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
 std::vector<BugReport> DeduplicateBugs(std::vector<BugReport> reports) {
   std::vector<BugReport> unique;
-  std::unordered_set<std::string> seen;
+  std::unordered_map<std::string, size_t> seen;  // Key -> index in `unique`.
   for (BugReport& report : reports) {
     std::string key = std::string(DetectionTechniqueName(report.technique)) + "|" +
                       BugTypeName(report.type) + "|" + report.group_key;
-    if (seen.insert(key).second) {
+    auto [it, inserted] = seen.emplace(std::move(key), unique.size());
+    if (inserted) {
       unique.push_back(std::move(report));
+      continue;
+    }
+    // Merge the duplicate's classification into the survivor: the dominant
+    // stability class wins, and a judged cause fills an empty one.
+    BugReport& survivor = unique[it->second];
+    if (report.probed) {
+      if (!survivor.probed ||
+          StabilityRank(report.stability) > StabilityRank(survivor.stability)) {
+        survivor.stability = report.stability;
+        if (!report.flaky_cause.empty()) {
+          survivor.flaky_cause = report.flaky_cause;
+        }
+      }
+      survivor.probed = true;
+      if (survivor.flaky_cause.empty() && !report.flaky_cause.empty()) {
+        survivor.flaky_cause = report.flaky_cause;
+      }
     }
   }
   return unique;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/lang/source.h"
+#include "src/testing/oracles.h"
 
 namespace wasabi {
 
@@ -39,12 +40,25 @@ struct BugReport {
   std::string group_key;    // Identity for dedup within a technique.
   mj::SourceLocation location;
 
+  // Flakiness classification (docs/FLAKINESS.md). `probed == false` (the
+  // default, and always the case for static-technique reports) means the
+  // prober never ran; every output path then renders exactly the pre-prober
+  // bytes. `flaky_cause` is SimLLM's judged root cause for non-stable
+  // verdicts ("" = not judged).
+  bool probed = false;
+  VerdictStability stability = VerdictStability::kStable;
+  std::string flaky_cause;
+
   // Cross-technique identity for Figure-3 overlap: two reports are the same
   // bug when type, file, and coordinator agree.
   std::string MatchKey() const;
 };
 
-// Deduplicates by (technique, type, group_key), preserving order.
+// Deduplicates by (technique, type, group_key), preserving order. When probed
+// duplicates of one bug disagree on stability, the survivor takes the
+// dominant class (chaos-induced > flaky > stable): one run flipping under
+// perturbation makes the BUG's evidence unstable even if another run of it
+// reproduced.
 std::vector<BugReport> DeduplicateBugs(std::vector<BugReport> reports);
 
 // Figure-3 composition: how many bugs only unit testing found, only static

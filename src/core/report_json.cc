@@ -55,7 +55,17 @@ std::string BugReportsToJson(const std::vector<BugReport>& bugs) {
         << "\"line\": " << bug.location.line << ", "
         << "\"coordinator\": \"" << JsonEscape(bug.coordinator) << "\", "
         << "\"exception\": \"" << JsonEscape(bug.exception) << "\", "
-        << "\"detail\": \"" << JsonEscape(bug.detail) << "\"}";
+        << "\"detail\": \"" << JsonEscape(bug.detail) << "\"";
+    // Stability keys appear ONLY for probed reports: an un-probed analysis
+    // emits the exact legacy bytes (golden-equivalence contract).
+    if (bug.probed) {
+      out << ", \"stability\": \"" << JsonEscape(VerdictStabilityName(bug.stability))
+          << "\"";
+      if (!bug.flaky_cause.empty()) {
+        out << ", \"flaky_cause\": \"" << JsonEscape(bug.flaky_cause) << "\"";
+      }
+    }
+    out << "}";
   }
   out << "\n]\n";
   return out.str();

@@ -5,14 +5,27 @@
 
 namespace wasabi {
 
+namespace {
+
+void AccumulateCell(ScoreCell* total, const ScoreCell& cell) {
+  total->true_positives += cell.true_positives;
+  total->false_positives += cell.false_positives;
+  total->false_negatives += cell.false_negatives;
+  for (size_t s = 0; s < 3; ++s) {
+    total->probed_true_positives[s] += cell.probed_true_positives[s];
+    total->probed_false_positives[s] += cell.probed_false_positives[s];
+  }
+  total->stability_matches += cell.stability_matches;
+}
+
+}  // namespace
+
 ScoreCell Scorecard::Total(BugType type) const {
   ScoreCell total;
   for (const auto& [app, by_type] : cells) {
     auto it = by_type.find(type);
     if (it != by_type.end()) {
-      total.true_positives += it->second.true_positives;
-      total.false_positives += it->second.false_positives;
-      total.false_negatives += it->second.false_negatives;
+      AccumulateCell(&total, it->second);
     }
   }
   return total;
@@ -22,9 +35,7 @@ ScoreCell Scorecard::TotalAll() const {
   ScoreCell total;
   for (const auto& [app, by_type] : cells) {
     for (const auto& [type, cell] : by_type) {
-      total.true_positives += cell.true_positives;
-      total.false_positives += cell.false_positives;
-      total.false_negatives += cell.false_negatives;
+      AccumulateCell(&total, cell);
     }
   }
   return total;
@@ -53,15 +64,28 @@ Scorecard ScoreReports(const std::vector<BugReport>& reports,
     auto it = truth_by_key.find(TruthKey(report.type, report.file, report.coordinator));
     if (it != truth_by_key.end()) {
       if (matched.insert(it->second).second) {
-        scorecard.cells[it->second->app][report.type].true_positives += 1;
+        ScoreCell& cell = scorecard.cells[it->second->app][report.type];
+        cell.true_positives += 1;
         scorecard.matched_bug_ids.push_back(it->second->id);
+        if (report.probed) {
+          cell.probed_true_positives[static_cast<size_t>(report.stability)] += 1;
+          if (report.stability == it->second->expected_stability) {
+            cell.stability_matches += 1;
+          } else {
+            scorecard.stability_mismatched_ids.push_back(it->second->id);
+          }
+        }
       }
       continue;  // Further reports of the same bug are duplicates, not FPs.
     }
     // Distinct false positives only (a report repeated across techniques or
     // runs should already be deduped by the caller, but be safe).
     if (counted_fp_keys.insert(report.MatchKey()).second) {
-      scorecard.cells[report.app][report.type].false_positives += 1;
+      ScoreCell& cell = scorecard.cells[report.app][report.type];
+      cell.false_positives += 1;
+      if (report.probed) {
+        cell.probed_false_positives[static_cast<size_t>(report.stability)] += 1;
+      }
       scorecard.false_positive_reports.push_back(report);
     }
   }

@@ -26,6 +26,11 @@ struct SeededBug {
   std::string note;         // Human description / paper-issue analog.
   bool reachable_from_tests = true;  // Covered by at least one unit test.
   bool error_code_based = false;     // Out of WASABI's exception-only scope.
+  // Ground-truth stability class of this bug's failing verdict under the
+  // flakiness prober (docs/FLAKINESS.md): timing-dependent seeds are kFlaky,
+  // degraded-environment-only seeds are kChaosInduced, everything else
+  // reproduces deterministically.
+  VerdictStability expected_stability = VerdictStability::kStable;
 };
 
 // TP/FP/FN counts for one (app, type) cell.
@@ -33,6 +38,16 @@ struct ScoreCell {
   int true_positives = 0;
   int false_positives = 0;
   int false_negatives = 0;
+
+  // Breakdown of PROBED reports by stability class, indexed by
+  // static_cast<size_t>(VerdictStability). Un-probed reports (prober off,
+  // static techniques) contribute nothing here, so the legacy totals above
+  // are untouched by classification.
+  int probed_true_positives[3] = {0, 0, 0};
+  int probed_false_positives[3] = {0, 0, 0};
+  // Matched seeded bugs whose classified stability equals the manifest's
+  // expected_stability — the exact-classification numerator in EXPERIMENTS.md.
+  int stability_matches = 0;
 
   int reported() const { return true_positives + false_positives; }
 };
@@ -43,6 +58,9 @@ struct Scorecard {
   std::vector<std::string> matched_bug_ids;      // Seeded bugs found.
   std::vector<BugReport> false_positive_reports;
   std::vector<SeededBug> missed_bugs;            // False negatives.
+  // Seeded-bug ids matched by a probed report whose stability class differs
+  // from the manifest's expected_stability (empty = classification is exact).
+  std::vector<std::string> stability_mismatched_ids;
 
   ScoreCell Total(BugType type) const;
   ScoreCell TotalAll() const;

@@ -172,8 +172,14 @@ uint64_t DigestDynamicConfig(const WasabiOptions& options) {
   hash = DigestDoubleField(options.robust.chaos.rate, hash);
   hash = mj::Fnv1a64Mix(options.robust.chaos.transient ? 1u : 0u, hash);
   hash = DigestDoubleField(options.robust.chaos.budget_fraction, hash);
+  hash = DigestDoubleField(options.robust.chaos.env_rate, hash);
   hash = mj::Fnv1a64Mix(options.robust.fail_fast ? 1u : 0u, hash);
   hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.robust.max_quarantined), hash);
+  // The prober changes cached verdict content (classification fields), so its
+  // settings are part of the config identity. `record_dir` is deliberately
+  // absent: recording is observation only.
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.prober.repetitions), hash);
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.prober.epoch_stride_ms), hash);
   return hash;
 }
 
@@ -325,6 +331,94 @@ void CountCacheLookup(MetricsRegistry* metrics, const char* ns, bool hit) {
   if (metrics != nullptr) {
     metrics->Increment(std::string(hit ? "cache.hits." : "cache.misses.") + ns);
   }
+}
+
+// --- Flakiness prober + record/replay plumbing (docs/FLAKINESS.md) ----------
+
+// One run's oracle evaluation, shared by the campaign reduce and ReplayRun so
+// a replayed verdict is computed by the exact same rule (including the §4.4
+// naive ablation when oracles are off).
+std::vector<OracleReport> EvaluateRunReports(const TestRunRecord& record,
+                                             const RetryLocation& location,
+                                             const OracleOptions& oracles, bool use_oracles) {
+  if (use_oracles) {
+    return EvaluateOracles(record, location, oracles);
+  }
+  std::vector<OracleReport> reports;
+  if (record.outcome.status != TestStatus::kPassed) {
+    OracleReport report;
+    report.kind = OracleKind::kDifferentException;
+    report.test = record.test.qualified_name;
+    report.location = location;
+    report.detail = "test failed: " + std::string(TestStatusName(record.outcome.status)) + " " +
+                    record.outcome.exception_class;
+    report.group_key = "naive|" + location.Key() + "|" + record.outcome.exception_class;
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+// The single-line verdict text a recorder carries: "clean", or the deduped
+// report count plus the FNV digest of the canonical oracle signature. Replay
+// recomputes it independently, so equality proves the verdict reproduced.
+std::string RunVerdictText(size_t deduped_count, const std::string& signature) {
+  if (deduped_count == 0) {
+    return "clean";
+  }
+  return "reports=" + std::to_string(deduped_count) +
+         " sig=" + mj::DigestHex(mj::Fnv1a64(signature));
+}
+
+// Forwards dispatch-cache resolutions into the replay recorder (the campaign
+// executor has its own copy; both feed RunRecorder::Dispatch, whose per-run
+// dedup makes the stream arena-warmth-independent).
+struct ReplayDispatchObserver : DispatchObserver {
+  RunRecorder* recorder = nullptr;
+  void OnDispatch(uint32_t site_index, std::string_view cls,
+                  std::string_view method) override {
+    recorder->Dispatch(site_index, cls, method);
+  }
+};
+
+std::string ExtractVerdict(const RecordedRun& run) {
+  for (auto it = run.events.rbegin(); it != run.events.rend(); ++it) {
+    if (it->rfind("verdict\t", 0) == 0) {
+      return it->substr(8);
+    }
+  }
+  return std::string();
+}
+
+// An admission skip (fail-fast, quarantine quota, circuit open) depends on
+// every other run's fate, so it is not re-executable in isolation.
+bool IsAdmissionSkipped(const RecordedRun& run) {
+  for (const std::string& event : run.events) {
+    if (event.rfind("quarantine\t", 0) != 0) {
+      continue;
+    }
+    const size_t detail_start = event.find('\t', event.find('\t') + 1);
+    if (detail_start != std::string::npos &&
+        event.compare(detail_start + 1, 8, "skipped:") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// First event pair (or count mismatch) where two streams diverge.
+std::string FirstDivergence(const RecordedRun& recorded, const RecordedRun& replayed) {
+  const size_t common = std::min(recorded.events.size(), replayed.events.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (recorded.events[i] != replayed.events[i]) {
+      return "event " + std::to_string(i) + ": recorded \"" + recorded.events[i] +
+             "\" vs replayed \"" + replayed.events[i] + "\"";
+    }
+  }
+  if (recorded.events.size() != replayed.events.size()) {
+    return "event count: recorded " + std::to_string(recorded.events.size()) +
+           " vs replayed " + std::to_string(replayed.events.size());
+  }
+  return "header fields differ";
 }
 
 }  // namespace
@@ -515,6 +609,9 @@ std::vector<BugReport> Wasabi::ToBugReports(const std::vector<OracleReport>& rep
     bug.detail = report.detail + " [test " + report.test + "]";
     bug.group_key = report.group_key;
     bug.location = report.location.location;
+    bug.probed = report.probed;
+    bug.stability = report.stability;
+    bug.flaky_cause = report.flaky_cause;
     bugs.push_back(std::move(bug));
   }
   return bugs;
@@ -644,14 +741,22 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
   phase_start = Clock::now();
   std::vector<CampaignRunResult> campaign;
   std::vector<OracleReport> all_reports;
+  // Per-worker arena pool shared by the campaign and the flakiness prober, so
+  // probe reruns reuse the campaign's warm interpreters.
+  std::vector<InterpreterArena> arenas(static_cast<size_t>(pool.worker_count()));
+  std::vector<RunRecorder> recorders;
+  const bool recording = !options_.record_dir.empty();
   // All-or-nothing campaign replay: a warm hit yields the exact post-oracle
-  // reports, quarantine records, and resilience counters a cold campaign
-  // produces, in the same order; any gap runs everything cold and re-stores.
+  // reports (classification included), quarantine records, and resilience
+  // counters a cold campaign produces, in the same order; any gap runs
+  // everything cold and re-stores. Record mode forces a cold campaign — a
+  // warm replay executes nothing, so there would be no decision stream to
+  // record.
   CachedCampaign cached_campaign;
   const bool campaign_warm =
-      cache_context.enabled() &&
+      !recording && cache_context.enabled() &&
       TryLoadCampaign(cache_context, specs, result.locations, &cached_campaign);
-  if (cache_context.enabled()) {
+  if (cache_context.enabled() && !recording) {
     CountCacheLookup(options_.metrics, kCacheNsCampaign, campaign_warm);
   }
   if (campaign_warm) {
@@ -670,6 +775,9 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
           replay.location = location;
           replay.detail = report.detail;
           replay.group_key = report.group_key;
+          replay.probed = report.probed;
+          replay.stability = static_cast<VerdictStability>(report.stability);
+          replay.flaky_cause = report.flaky_cause;
           all_reports.push_back(std::move(replay));
         }
       } else {
@@ -694,7 +802,8 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
         options_.progress->Begin("campaign", specs.size());
       }
       CampaignOutcome campaign_outcome =
-          ExecuteCampaignRobust(runner, result.locations, specs, pool, options_.robust, obs);
+          ExecuteCampaignRobust(runner, result.locations, specs, pool, options_.robust, obs,
+                                &arenas, recording ? &recorders : nullptr);
       campaign = std::move(campaign_outcome.results);
       if (cache_context.enabled()) {
         cached_campaign.runs.assign(specs.size(), CachedRunVerdict{});
@@ -717,36 +826,131 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
       }
     }
 
+    // Oracle evaluation, serial in id order. Reports are kept per run (not
+    // immediately flattened) so the prober and the record verdicts can consume
+    // each failing run's verdict individually.
+    std::vector<std::vector<OracleReport>> run_reports(specs.size());
+    std::vector<char> run_completed(specs.size(), 0);
+    std::vector<std::string> run_signatures(specs.size());   // Deduped, canonical.
+    std::vector<size_t> run_deduped_counts(specs.size(), 0);
     std::optional<ScopedSpan> oracle_span(std::in_place, options_.tracer, "phase.oracles");
     for (const CampaignRunResult& run : campaign) {
       const RetryLocation& location = result.locations[run.location_index];
-      std::vector<OracleReport> reports;
-      if (options_.use_oracles) {
-        reports = EvaluateOracles(run.record, location, options_.oracles);
-      } else {
-        // Oracle ablation (§4.4): every test failure is naively reported.
-        if (run.record.outcome.status != TestStatus::kPassed) {
-          OracleReport report;
-          report.kind = OracleKind::kDifferentException;
-          report.test = run.record.test.qualified_name;
-          report.location = location;
-          report.detail = "test failed: " +
-                          std::string(TestStatusName(run.record.outcome.status)) + " " +
-                          run.record.outcome.exception_class;
-          report.group_key = "naive|" + location.Key() + "|" + run.record.outcome.exception_class;
-          reports.push_back(std::move(report));
-        }
-      }
-      if (cache_context.enabled()) {
-        for (const OracleReport& report : reports) {
-          cached_campaign.runs[run.id].reports.push_back(CachedRunVerdict::Report{
-              static_cast<int>(report.kind), report.detail, report.group_key});
-        }
-      }
-      all_reports.insert(all_reports.end(), std::make_move_iterator(reports.begin()),
-                         std::make_move_iterator(reports.end()));
+      run_completed[run.id] = 1;
+      run_reports[run.id] =
+          EvaluateRunReports(run.record, location, options_.oracles, options_.use_oracles);
+      std::vector<OracleReport> deduped = DeduplicateReports(run_reports[run.id]);
+      run_signatures[run.id] = OracleSignature(deduped);
+      run_deduped_counts[run.id] = deduped.size();
     }
     oracle_span.reset();
+
+    // Flakiness prober (docs/FLAKINESS.md): classify every failing verdict by
+    // re-executing it under virtual-clock perturbation on the warm arenas,
+    // then let SimLLM judge a root cause for the non-stable classes.
+    if (options_.prober.enabled() && options_.use_oracles) {
+      std::vector<ProbeRequest> requests;
+      for (size_t i = 0; i < specs.size(); ++i) {
+        if (run_reports[i].empty()) {
+          continue;
+        }
+        ProbeRequest request;
+        request.run_id = specs[i].id;
+        request.baseline_signature = run_signatures[i];
+        requests.push_back(std::move(request));
+      }
+      if (!requests.empty()) {
+        ScopedSpan span(options_.tracer, "phase.probe");
+        span.AddArg("failing_runs", static_cast<int64_t>(requests.size()));
+        span.AddArg("repetitions", static_cast<int64_t>(options_.prober.repetitions));
+        std::vector<ProbeResult> probe_results =
+            ProbeFailingRuns(runner, result.locations, specs, requests, options_.robust.chaos,
+                             options_.oracles, options_.prober, pool, &arenas, obs);
+        SimLlm flaky_llm(options_.llm);
+        std::unordered_map<std::string, const mj::CompilationUnit*> unit_by_file;
+        for (const auto& unit : program_.units()) {
+          unit_by_file[unit->file().name()] = unit.get();
+        }
+        // Cause judgments are per (file, coordinator); memoized so one flaky
+        // structure reported by many runs is judged once.
+        std::unordered_map<std::string, std::string> cause_memo;
+        for (const ProbeResult& probe : probe_results) {
+          ++result.probed_runs;
+          if (probe.probe_failed) {
+            ++result.probe_failures;
+          }
+          switch (probe.stability) {
+            case VerdictStability::kStable:
+              ++result.stable_runs;
+              break;
+            case VerdictStability::kFlaky:
+              ++result.flaky_runs;
+              break;
+            case VerdictStability::kChaosInduced:
+              ++result.chaos_induced_runs;
+              break;
+          }
+          for (OracleReport& report : run_reports[probe.run_id]) {
+            report.probed = true;
+            report.stability = probe.stability;
+            if (probe.stability == VerdictStability::kStable) {
+              continue;
+            }
+            const std::string key = report.location.file + "|" + report.location.coordinator;
+            auto [it, inserted] = cause_memo.try_emplace(key);
+            if (inserted) {
+              auto unit_it = unit_by_file.find(report.location.file);
+              if (unit_it != unit_by_file.end()) {
+                it->second = flaky_llm
+                                 .JudgeFlakinessCause(
+                                     *unit_it->second,
+                                     index_.FindQualified(report.location.coordinator))
+                                 .cause;
+              }
+            }
+            report.flaky_cause = it->second;
+          }
+        }
+      }
+    }
+
+    // Record mode: append each run's verdict line (an oracle-phase fact the
+    // executor could not know) and serialize the whole directory.
+    if (recording) {
+      RecordManifest manifest;
+      manifest.program_digest = mj::DigestHex(GetProgramDigest().digest);
+      manifest.config_digest = mj::DigestHex(DigestDynamicConfig(options_));
+      std::vector<RecordedRun> recorded_runs;
+      recorded_runs.reserve(specs.size());
+      for (size_t i = 0; i < specs.size(); ++i) {
+        recorders[i].Verdict(run_completed[i]
+                                 ? RunVerdictText(run_deduped_counts[i], run_signatures[i])
+                                 : "quarantined");
+        recorded_runs.push_back(recorders[i].Finish());
+        manifest.runs.push_back(RecordManifest::Entry{
+            static_cast<int64_t>(specs[i].id), specs[i].test.qualified_name,
+            result.locations[specs[i].location_index].Key(), specs[i].k});
+      }
+      std::string record_write_error;
+      if (!WriteRecordDir(options_.record_dir, manifest, recorded_runs,
+                          &record_write_error)) {
+        result.record_error = record_write_error;
+      }
+    }
+
+    // Assemble: cache entries (classification included) and the flat,
+    // id-ordered report list.
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (cache_context.enabled()) {
+        for (const OracleReport& report : run_reports[i]) {
+          cached_campaign.runs[i].reports.push_back(CachedRunVerdict::Report{
+              static_cast<int>(report.kind), report.detail, report.group_key, report.probed,
+              static_cast<int>(report.stability), report.flaky_cause});
+        }
+      }
+      all_reports.insert(all_reports.end(), std::make_move_iterator(run_reports[i].begin()),
+                         std::make_move_iterator(run_reports[i].end()));
+    }
     StoreCampaign(cache_context, specs, result.locations, cached_campaign);
   }
   result.degraded = !result.quarantined.empty();
@@ -763,6 +967,162 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
   result.raw_reports = all_reports;
   result.bugs = DeduplicateBugs(ToBugReports(DeduplicateReports(std::move(all_reports))));
   return result;
+}
+
+ReplayOutcome Wasabi::ReplayRun(const std::string& record_dir, uint64_t run_id) {
+  ReplayOutcome outcome;
+  ScopedSpan span(options_.tracer, "replay.run");
+  span.AddArg("run_id", static_cast<int64_t>(run_id));
+
+  // Load + validate: version/checksum (inside the loaders), then that the
+  // record was taken from this exact program and configuration.
+  RecordManifest manifest;
+  if (!LoadRecordManifest(record_dir, &manifest, &outcome.error)) {
+    return outcome;
+  }
+  if (manifest.program_digest != mj::DigestHex(GetProgramDigest().digest)) {
+    outcome.error = "program digest mismatch: record " + manifest.program_digest +
+                    " vs current " + mj::DigestHex(GetProgramDigest().digest);
+    return outcome;
+  }
+  if (manifest.config_digest != mj::DigestHex(DigestDynamicConfig(options_))) {
+    outcome.error = "config digest mismatch: record " + manifest.config_digest +
+                    " vs current " + mj::DigestHex(DigestDynamicConfig(options_));
+    return outcome;
+  }
+  const RecordManifest::Entry* entry = nullptr;
+  for (const RecordManifest::Entry& candidate : manifest.runs) {
+    if (candidate.run_id == static_cast<int64_t>(run_id)) {
+      entry = &candidate;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    outcome.error = "run " + std::to_string(run_id) + " not in record manifest";
+    return outcome;
+  }
+  if (!LoadRecordedRun(record_dir, entry->run_id, &outcome.recorded, &outcome.error)) {
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.recorded_verdict = ExtractVerdict(outcome.recorded);
+
+  // Admission skips (fail-fast, quarantine quota, open circuit) depend on the
+  // fate of every other campaign run; the recorded verdict stands.
+  if (IsAdmissionSkipped(outcome.recorded)) {
+    outcome.replayed_verdict = outcome.recorded_verdict;
+    outcome.stream_identical = true;
+    outcome.verdict_identical = true;
+    return outcome;
+  }
+  outcome.executed = true;
+
+  // Rebuild the injectable-location list exactly as the dynamic workflow does
+  // (the identification memo makes this cheap after the recording run).
+  IdentificationResult identification = IdentifyRetryStructures();
+  std::unordered_set<std::string> seen_locations;
+  std::vector<RetryLocation> locations;
+  for (const RetryStructure& structure : identification.structures) {
+    for (const RetryLocation& location : structure.locations) {
+      if (seen_locations.insert(location.Key()).second) {
+        locations.push_back(location);
+      }
+    }
+  }
+  const RetryLocation* location = nullptr;
+  for (const RetryLocation& candidate : locations) {
+    if (candidate.Key() == outcome.recorded.location_key) {
+      location = &candidate;
+      break;
+    }
+  }
+  if (location == nullptr) {
+    outcome.ok = false;
+    outcome.executed = false;
+    outcome.error = "recorded location not identified: " + outcome.recorded.location_key;
+    return outcome;
+  }
+
+  RunnerOptions runner_options;
+  runner_options.interp = options_.interp;
+  runner_options.config_overrides = options_.default_configs;
+  if (options_.restore_configs) {
+    runner_options.frozen_keys = ScanTestsForRetryRestrictions(program_).keys_to_freeze;
+  }
+  TestRunner runner(program_, index_, runner_options);
+
+  // Re-execute the run's attempt schedule. Chaos draws, backoff draws, the
+  // degraded-environment flag, and injector decisions are all pure functions
+  // of (run_id, attempt), so the stream reproduces without any campaign
+  // context. The breaker is isolated: it sees only this run's failures, which
+  // matches the campaign whenever this run alone fed its location's circuit;
+  // genuine cross-run breaker interaction surfaces as an honest divergence.
+  const ChaosConfig& chaos = options_.robust.chaos;
+  TestCase test;
+  test.qualified_name = outcome.recorded.test;
+  RunRecorder recorder;
+  recorder.BeginRun(outcome.recorded.run_id, outcome.recorded.test,
+                    outcome.recorded.location_key, outcome.recorded.k,
+                    ChaosDegradedEnvironment(chaos, run_id), outcome.recorded.epoch_ms);
+  InterpreterArena arena;
+  CircuitBreaker breaker(options_.robust.breaker_threshold);
+  TestRunRecord record;
+  bool completed = false;
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    if (chaos.enabled) {
+      recorder.Chaos(attempt, ChaosShouldFault(chaos, run_id, attempt));
+    }
+    try {
+      // Chaos seam before the injector, exactly as in the campaign worker: a
+      // faulted attempt records no AttemptBegin and fires no injections.
+      ChaosMaybeFault(chaos, run_id, attempt);
+      FaultInjector injector({InjectionPoint{location->retried_method, location->coordinator,
+                                             location->exception_name, outcome.recorded.k}},
+                             options_.metrics);
+      injector.set_recorder(&recorder);
+      ReplayDispatchObserver dispatch_observer;
+      dispatch_observer.recorder = &recorder;
+      RunPerturbation perturbation;
+      perturbation.virtual_clock_epoch_ms = outcome.recorded.epoch_ms;
+      perturbation.chaos_degraded_env = ChaosDegradedEnvironment(chaos, run_id);
+      perturbation.dispatch_observer = &dispatch_observer;
+      recorder.AttemptBegin(attempt);
+      record = runner.RunTest(test, {&injector}, &arena, perturbation);
+      recorder.AttemptEnd(attempt, TestStatusName(record.outcome.status));
+      completed = true;
+      break;
+    } catch (...) {
+      RunFailure failure = ClassifyFailure(std::current_exception());
+      recorder.HostFailure(attempt, RunFailureKindName(failure.kind), failure.detail);
+      breaker.RecordFailure(outcome.recorded.location_key);
+      const int next_attempt = attempt + 1;
+      if (options_.robust.retry.ShouldRetry(next_attempt) &&
+          !breaker.IsOpen(outcome.recorded.location_key)) {
+        recorder.Backoff(next_attempt, options_.robust.retry.BackoffMs(run_id, next_attempt));
+        continue;
+      }
+      recorder.Quarantine(RunFailureKindName(failure.kind), failure.detail);
+      break;
+    }
+  }
+  if (completed) {
+    std::vector<OracleReport> deduped = DeduplicateReports(
+        EvaluateRunReports(record, *location, options_.oracles, options_.use_oracles));
+    recorder.Verdict(RunVerdictText(deduped.size(), OracleSignature(deduped)));
+  } else {
+    recorder.Verdict("quarantined");
+  }
+  outcome.replayed = recorder.Finish();
+  outcome.replayed_verdict = ExtractVerdict(outcome.replayed);
+  outcome.stream_identical =
+      SerializeRecordedRun(outcome.replayed) == SerializeRecordedRun(outcome.recorded);
+  outcome.verdict_identical = outcome.replayed_verdict == outcome.recorded_verdict;
+  if (!outcome.stream_identical) {
+    outcome.divergence = FirstDivergence(outcome.recorded, outcome.replayed);
+  }
+  return outcome;
 }
 
 StaticResult Wasabi::RunStaticWorkflow() {

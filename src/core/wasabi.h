@@ -22,6 +22,8 @@
 #include "src/cache/program_digest.h"
 #include "src/cache/store.h"
 #include "src/core/report.h"
+#include "src/exec/prober.h"
+#include "src/record/recorder.h"
 #include "src/llm/sim_llm.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
@@ -69,6 +71,18 @@ struct WasabiOptions {
   // report stays byte-identical to a cache-off run. Without one, no code path
   // changes at all.
   CacheStore* cache = nullptr;
+  // N-repetition flakiness prober (docs/FLAKINESS.md), default-off. With
+  // repetitions > 0, every failing campaign verdict is re-executed under
+  // virtual-clock perturbation and classified {stable, flaky, chaos-induced};
+  // the classification rides on reports (probed == true) and is cached with
+  // the campaign verdicts. SimLLM judges a root cause for non-stable classes.
+  ProberOptions prober;
+  // Record mode (docs/FLAKINESS.md): when non-empty, the dynamic workflow
+  // records every campaign run's complete decision stream into this directory
+  // (one checksummed run-<id>.rec per run plus MANIFEST.tsv) and forces a cold
+  // campaign (a warm replay executes nothing, so there is nothing to record).
+  // Recording never changes any report byte.
+  std::string record_dir;
 };
 
 // Merged output of both identification techniques (Figure 4).
@@ -99,6 +113,17 @@ struct DynamicResult {
   std::vector<RunFailure> quarantined;
   RobustnessStats robustness;
   bool degraded = false;
+  // Flakiness-prober summary (docs/FLAKINESS.md). All zero when the prober is
+  // off or restored from a warm campaign (the cached classifications already
+  // carry the cold run's counts on the reports themselves).
+  size_t probed_runs = 0;
+  size_t stable_runs = 0;
+  size_t flaky_runs = 0;
+  size_t chaos_induced_runs = 0;
+  size_t probe_failures = 0;
+  // Record mode: non-empty when writing the record directory failed (the
+  // analysis itself is unaffected — recording is observation only).
+  std::string record_error;
   // Wall-clock phase breakdown (§4.3: test execution dominates; the coverage
   // discovery pass alone is a significant share; static analysis is <1%).
   double identification_seconds = 0.0;
@@ -123,6 +148,22 @@ struct StaticResult {
 std::vector<BugReport> CollateStaticWithDynamic(const std::vector<BugReport>& static_bugs,
                                                 const DynamicResult& dynamic);
 
+// Outcome of replaying one recorded run in isolation (docs/FLAKINESS.md).
+struct ReplayOutcome {
+  bool ok = false;        // Record loaded and validated (digests, checksum).
+  bool executed = false;  // False for admission-skipped runs, which depend on
+                          // campaign-wide state and are not re-executable in
+                          // isolation; their recorded verdict stands.
+  bool stream_identical = false;   // Replayed decision stream == recorded, byte for byte.
+  bool verdict_identical = false;  // Replayed verdict line == recorded verdict line.
+  std::string error;               // Load/validation diagnostic when !ok.
+  std::string recorded_verdict;
+  std::string replayed_verdict;
+  std::string divergence;          // First differing event pair, when any.
+  RecordedRun recorded;
+  RecordedRun replayed;
+};
+
 class Wasabi {
  public:
   Wasabi(const mj::Program& program, const mj::ProgramIndex& index, WasabiOptions options = {});
@@ -135,6 +176,15 @@ class Wasabi {
   IdentificationResult IdentifyRetryStructures();
   DynamicResult RunDynamicWorkflow();
   StaticResult RunStaticWorkflow();
+
+  // Replays ONE recorded run in isolation: validates the record directory's
+  // version/checksums and that its program/config digests match this instance,
+  // re-executes the run's attempt schedule (chaos draws, backoff draws, and
+  // injector decisions are pure functions of (run_id, attempt)), and compares
+  // the freshly recorded decision stream and verdict byte-for-byte against
+  // the recorded ones. Admission-skipped runs ("skipped:" quarantines) return
+  // the recorded verdict with executed == false.
+  ReplayOutcome ReplayRun(const std::string& record_dir, uint64_t run_id);
 
   const WasabiOptions& options() const { return options_; }
   // Re-runs of the dynamic workflow may change only the worker count; the

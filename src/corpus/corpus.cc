@@ -206,6 +206,20 @@ GeneratorSpec SpecFor(const std::string& name) {
     c.policy_files = 2;
     c.background_daemons = 5;
     c.unrelated_util_files = 6;
+  } else if (name == "flakylab") {
+    // Flakiness-prober ground truth (docs/FLAKINESS.md). Deliberately NOT in
+    // kApps: the full-corpus goldens must not change. Built on demand by the
+    // prober/replay tests, it seeds exactly one bug per stability class —
+    // timing-dependent (kFlaky), degraded-environment-only (kChaosInduced),
+    // and a plain deterministic missing cap (kStable) — so classification
+    // precision/recall against the manifest is exact.
+    spec.seed = 99;
+    spec.display_name = "FlakyLab";
+    c.ok_loops = 1;
+    c.nocap_loops = 1;  // The stable deterministic failure.
+    c.timing_flaky_loops = 1;
+    c.chaos_cap_loops = 1;
+    c.unrelated_util_files = 2;
   } else {
     std::fprintf(stderr, "unknown corpus app '%s'\n", name.c_str());
     std::abort();

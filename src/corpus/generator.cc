@@ -83,7 +83,8 @@ class AppBuilder {
   }
 
   void AddBug(BugType type, const std::string& cls, const std::string& method,
-              const std::string& note, bool tested) {
+              const std::string& note, bool tested,
+              VerdictStability expected_stability = VerdictStability::kStable) {
     SeededBug bug;
     bug.id = spec_.app + "-" + std::to_string(app_.bugs.size() + 1);
     bug.app = spec_.app;
@@ -92,6 +93,7 @@ class AppBuilder {
     bug.coordinator = cls + "." + method;
     bug.note = note;
     bug.reachable_from_tests = tested;
+    bug.expected_stability = expected_stability;
     app_.bugs.push_back(std::move(bug));
   }
 
@@ -155,6 +157,8 @@ class AppBuilder {
   void EmitCodeqlFpUniqueString();
   void EmitCodeqlFpParamParser();
   void EmitIfRatioModule();
+  void EmitTimingFlakyLoop();
+  void EmitChaosCapLoop();
   void EmitHalvedCapLoop();
   void EmitDaemonModule();
   void EmitUnrelatedUtil();
@@ -1332,6 +1336,111 @@ void AppBuilder::EmitIfRatioModule() {
   EmitTest(cls, test.str());
 }
 
+void AppBuilder::EmitTimingFlakyLoop() {
+  std::string cls = FreshName("Flusher");
+  std::string exc = PickException();
+  std::string key = spec_.app + "." + ToLower(cls);
+  std::ostringstream out;
+  out << "// Flushes one batch to the sink. Give-up behavior depends on the\n"
+      << "// wall-clock window: quiet seconds fall back to the local journal after\n"
+      << "// three attempts, busy seconds retry until the sink accepts the batch.\n"
+      << "class " << cls << " {\n"
+      << "  String flushWithRetry(batch) {\n"
+      << "    var window = (Clock.nowMillis() / 1000) % 2;\n"
+      << "    if (window == 1) {\n"
+      << "      for (var retry = 0; retry < 3; retry++) {\n"
+      << "        try {\n"
+      << "          return this.flush(batch);\n"
+      << "        } catch (" << exc << " e) {\n"
+      << "          Log.warn(\"flush failed in quiet window; retrying\");\n"
+      << "          Thread.sleep(Config.getInt(\"" << key << ".backoff.ms\", 100));\n"
+      << "        }\n"
+      << "      }\n"
+      << "      return \"journaled:\" + batch;\n"
+      << "    }\n"
+      << "    while (true) {\n"
+      << "      try {\n"
+      << "        return this.flush(batch);\n"
+      << "      } catch (" << exc << " e) {\n"
+      << "        // Busy window: the sink must eventually accept the batch.\n"
+      << "        Log.warn(\"flush failed; will retry\");\n"
+      << "        Thread.sleep(Config.getInt(\"" << key << ".backoff.ms\", 100));\n"
+      << "      }\n"
+      << "    }\n"
+      << "  }\n"
+      << "\n"
+      << "  String flush(batch) throws " << exc << " {\n"
+      << "    return \"flushed:\" + batch;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "flushWithRetry");
+  AddBug(BugType::kWhenMissingCap, cls, "flushWithRetry",
+         "uncapped retry in the busy wall-clock window only; the verdict flips "
+         "under clock-epoch skew",
+         /*tested=*/true, VerdictStability::kFlaky);
+
+  std::ostringstream test;
+  test << "  void testFlush() {\n"
+       << MaybeTestPreamble()  //
+       << "    var f = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"flushed:4\", f.flushWithRetry(4));\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitChaosCapLoop() {
+  std::string cls = FreshName("Publisher");
+  std::string exc = PickException();
+  std::string key = spec_.app + "." + ToLower(cls);
+  std::ostringstream out;
+  out << "// Publishes one event. In a degraded environment the broker is expected\n"
+      << "// to flap, so the publish cap is lifted and delivery is retried until\n"
+      << "// the event is accepted; healthy environments drop after five attempts.\n"
+      << "class " << cls << " {\n"
+      << "  String publishWithRetry(event) {\n"
+      << "    var degraded = Config.getBool(\"chaos.degraded\", false);\n"
+      << "    if (degraded) {\n"
+      << "      while (true) {\n"
+      << "        try {\n"
+      << "          return this.publish(event);\n"
+      << "        } catch (" << exc << " e) {\n"
+      << "          Log.warn(\"publish failed under degraded broker; will retry\");\n"
+      << "          Thread.sleep(Config.getInt(\"" << key << ".backoff.ms\", 100));\n"
+      << "        }\n"
+      << "      }\n"
+      << "    }\n"
+      << "    for (var retry = 0; retry < 5; retry++) {\n"
+      << "      try {\n"
+      << "        return this.publish(event);\n"
+      << "      } catch (" << exc << " e) {\n"
+      << "        Log.warn(\"publish failed; retrying\");\n"
+      << "        Thread.sleep(Config.getInt(\"" << key << ".backoff.ms\", 100));\n"
+      << "      }\n"
+      << "    }\n"
+      << "    return \"dropped:\" + event;\n"
+      << "  }\n"
+      << "\n"
+      << "  String publish(event) throws " << exc << " {\n"
+      << "    return \"published:\" + event;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "publishWithRetry");
+  AddBug(BugType::kWhenMissingCap, cls, "publishWithRetry",
+         "retry cap lifted only when the degraded-environment chaos mode is "
+         "active; the clean-environment counterfactual is capped",
+         /*tested=*/true, VerdictStability::kChaosInduced);
+
+  std::ostringstream test;
+  test << "  void testPublish() {\n"
+       << MaybeTestPreamble()  //
+       << "    var p = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"published:6\", p.publishWithRetry(6));\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
 void AppBuilder::EmitHalvedCapLoop() {
   std::string cls = FreshName("Transitioner");
   std::string exc = PickException();
@@ -1487,6 +1596,12 @@ GeneratedApp AppBuilder::Build() {
   }
   for (int i = 0; i < counts.nocap_loops_untested; ++i) {
     EmitNoCapLoop(/*tested=*/false);
+  }
+  for (int i = 0; i < counts.timing_flaky_loops; ++i) {
+    EmitTimingFlakyLoop();
+  }
+  for (int i = 0; i < counts.chaos_cap_loops; ++i) {
+    EmitChaosCapLoop();
   }
   for (int i = 0; i < counts.negative_config_cap_loops; ++i) {
     EmitNegativeConfigCapLoop();

@@ -88,6 +88,16 @@ struct ModuleCounts {
   // believes a cap exists (false negative for static checking).
   int negative_config_cap_loops = 0;
 
+  // Flakiness-prober ground truth (docs/FLAKINESS.md). A timing-flaky loop
+  // branches on the wall-clock window: the busy window retries uncapped (the
+  // seeded missing-cap fires), the quiet window gives up after 3 bounded
+  // attempts — so the verdict flips under the prober's clock-epoch skew
+  // (expected kFlaky). A chaos-cap loop drops its cap only when the seeded
+  // degraded-environment chaos mode is active (expected kChaosInduced: probe
+  // repetitions agree, the counterfactual clean-environment rerun differs).
+  int timing_flaky_loops = 0;
+  int chaos_cap_loops = 0;
+
   // Background-maintenance modules: five periodic catch-in-loop methods each,
   // with no retry wording. They populate the §4.4 keyword ablation (candidate
   // loops the filter prunes) and the LLM's iteration-FP lottery.

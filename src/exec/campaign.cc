@@ -151,17 +151,59 @@ void ExportRobustMetrics(const CampaignObs& obs, const RobustnessStats& stats) {
 
 }  // namespace
 
+namespace {
+
+// Forwards dispatch-cache resolutions into a run's decision stream. One
+// instance per in-flight attempt, owned by the worker lambda.
+struct RecorderDispatchObserver : DispatchObserver {
+  RunRecorder* recorder = nullptr;
+  void OnDispatch(uint32_t site_index, std::string_view cls,
+                  std::string_view method) override {
+    recorder->Dispatch(site_index, cls, method);
+  }
+};
+
+}  // namespace
+
 CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
                                       const std::vector<RetryLocation>& locations,
                                       const std::vector<CampaignRunSpec>& specs, TaskPool& pool,
                                       const RobustnessOptions& options, const CampaignObs& obs) {
+  return ExecuteCampaignRobust(runner, locations, specs, pool, options, obs, nullptr,
+                               nullptr);
+}
+
+CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
+                                      const std::vector<RetryLocation>& locations,
+                                      const std::vector<CampaignRunSpec>& specs, TaskPool& pool,
+                                      const RobustnessOptions& options, const CampaignObs& obs,
+                                      std::vector<InterpreterArena>* arenas,
+                                      std::vector<RunRecorder>* recorders) {
   CampaignOutcome outcome;
   RobustnessStats& stats = outcome.robustness;
   std::vector<CampaignRunResult> results(specs.size());
   std::vector<int> attempts(specs.size(), 0);
   std::vector<char> completed(specs.size(), 0);
-  std::vector<InterpreterArena> arenas(static_cast<size_t>(pool.worker_count()));
+  std::vector<InterpreterArena> local_arenas(
+      arenas != nullptr ? 0 : static_cast<size_t>(pool.worker_count()));
+  std::vector<InterpreterArena>& arena_pool = arenas != nullptr ? *arenas : local_arenas;
   CircuitBreaker breaker(options.breaker_threshold);
+
+  if (recorders != nullptr) {
+    // One decision stream per run, indexed by run id (== spec position).
+    // Begun up front so even never-admitted runs serialize a complete record.
+    recorders->clear();
+    recorders->resize(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      (*recorders)[i].BeginRun(specs[i].id, specs[i].test.qualified_name,
+                               locations[specs[i].location_index].Key(), specs[i].k,
+                               ChaosDegradedEnvironment(options.chaos, specs[i].id),
+                               /*epoch_ms=*/0);
+    }
+  }
+  auto recorder_for = [&](size_t i) -> RunRecorder* {
+    return recorders != nullptr ? &(*recorders)[i] : nullptr;
+  };
 
   auto quarantine = [&](size_t i, RunFailure failure) {
     const CampaignRunSpec& spec = specs[i];
@@ -169,6 +211,9 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
     failure.test = spec.test.qualified_name;
     failure.location = locations[spec.location_index].Key();
     failure.attempts = attempts[i];
+    if (RunRecorder* recorder = recorder_for(i)) {
+      recorder->Quarantine(RunFailureKindName(failure.kind), failure.detail);
+    }
     outcome.quarantined.push_back(std::move(failure));
     ++stats.quarantined;
   };
@@ -227,6 +272,10 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
           if (attempt > 1) {
             span.AddArg("attempt", static_cast<int64_t>(attempt));
           }
+          RunRecorder* recorder = recorder_for(i);
+          if (recorder != nullptr && options.chaos.enabled) {
+            recorder->Chaos(attempt, ChaosShouldFault(options.chaos, spec.id, attempt));
+          }
           // The chaos seam sits before the injector so a faulted attempt
           // contributes no injection counters — the fault-free metric totals
           // stay reachable by retry.
@@ -234,12 +283,25 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
           FaultInjector injector({InjectionPoint{location.retried_method, location.coordinator,
                                                  location.exception_name, spec.k}},
                                  obs.metrics);
+          RecorderDispatchObserver dispatch_observer;
+          RunPerturbation perturbation;
+          perturbation.chaos_degraded_env = ChaosDegradedEnvironment(options.chaos, spec.id);
+          if (recorder != nullptr) {
+            recorder->AttemptBegin(attempt);
+            injector.set_recorder(recorder);
+            dispatch_observer.recorder = recorder;
+            perturbation.dispatch_observer = &dispatch_observer;
+          }
           CampaignRunResult& result = results[i];
           result.id = spec.id;
           result.location_index = spec.location_index;
           result.k = spec.k;
           result.record = runner.RunTest(
-              spec.test, {&injector}, &arenas[static_cast<size_t>(TaskPool::CurrentWorker())]);
+              spec.test, {&injector},
+              &arena_pool[static_cast<size_t>(TaskPool::CurrentWorker())], perturbation);
+          if (recorder != nullptr) {
+            recorder->AttemptEnd(attempt, TestStatusName(result.record.outcome.status));
+          }
           if (obs.progress != nullptr) {
             obs.progress->Tick();
           }
@@ -262,11 +324,18 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
       if (failure.chaos) {
         ++stats.chaos_faults;
       }
+      if (RunRecorder* recorder = recorder_for(i)) {
+        recorder->HostFailure(attempts[i], RunFailureKindName(failure.kind), failure.detail);
+      }
       breaker.RecordFailure(key);
       const int next_attempt = attempts[i] + 1;
       if (options.retry.ShouldRetry(next_attempt) && !breaker.IsOpen(key)) {
         ++stats.retries;
-        stats.backoff_virtual_ms += options.retry.BackoffMs(specs[i].id, next_attempt);
+        const int64_t backoff_ms = options.retry.BackoffMs(specs[i].id, next_attempt);
+        stats.backoff_virtual_ms += backoff_ms;
+        if (RunRecorder* recorder = recorder_for(i)) {
+          recorder->Backoff(next_attempt, backoff_ms);
+        }
         next_wave.push_back(i);
       } else {
         quarantine(i, std::move(failure));

@@ -284,6 +284,9 @@ std::string EncodeVerdict(const CachedRunVerdict& verdict) {
     AppendField(record, std::to_string(report.kind));
     AppendField(record, report.detail, /*escape=*/true);
     AppendField(record, report.group_key, /*escape=*/true);
+    AppendField(record, report.probed ? "1" : "0");
+    AppendField(record, std::to_string(report.stability));
+    AppendField(record, report.flaky_cause, /*escape=*/true);
     out.append(record);
   }
   return out;
@@ -306,18 +309,23 @@ bool DecodeVerdict(std::string_view entry, CachedRunVerdict* verdict) {
   out.failure_attempts = static_cast<int>(attempts);
   for (size_t r = 1; r < records.size(); ++r) {
     std::vector<std::string_view> fields = Split(records[r], kFieldSep);
-    if (fields.size() != 3) {
+    if (fields.size() != 6) {
       return false;
     }
     CachedRunVerdict::Report report;
     int64_t kind = 0;
+    int64_t stability = 0;
     if (!ParseInt(fields[0], &kind) || kind < 0 ||
         kind > static_cast<int64_t>(OracleKind::kDifferentException) ||
         !UnescapePayload(fields[1], &report.detail) ||
-        !UnescapePayload(fields[2], &report.group_key)) {
+        !UnescapePayload(fields[2], &report.group_key) ||
+        !ParseBool(fields[3], &report.probed) || !ParseInt(fields[4], &stability) ||
+        stability < 0 || stability > static_cast<int64_t>(VerdictStability::kChaosInduced) ||
+        !UnescapePayload(fields[5], &report.flaky_cause)) {
       return false;
     }
     report.kind = static_cast<int>(kind);
+    report.stability = static_cast<int>(stability);
     out.reports.push_back(std::move(report));
   }
   if (!out.completed && !out.reports.empty()) {

@@ -74,6 +74,12 @@ struct CachedRunVerdict {
     int kind = 0;  // OracleKind as int.
     std::string detail;
     std::string group_key;
+    // Flakiness-prober classification for this report (docs/FLAKINESS.md).
+    // Cached alongside the verdict so a warm campaign restores the exact
+    // stability output of the cold one without re-probing.
+    bool probed = false;
+    int stability = 0;  // VerdictStability as int.
+    std::string flaky_cause;
   };
   std::vector<Report> reports;
   // Quarantined runs.

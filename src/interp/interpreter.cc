@@ -30,8 +30,10 @@ void Interpreter::ResetForRun() {
   config_.clear();
   frozen_config_keys_.clear();
   interceptors_.clear();
+  dispatch_observer_ = nullptr;
   log_.Clear();
   virtual_time_ms_ = 0;
+  run_epoch_ms_ = 0;
   steps_ = 0;
   loop_iterations_ = 0;
   next_activation_ = 1;
@@ -113,7 +115,9 @@ void Interpreter::Sleep(int64_t millis) {
   entry.amount = millis;
   entry.call_stack = CaptureStack();
   log_.Append(std::move(entry));
-  if (virtual_time_ms_ > options_.virtual_time_budget_ms) {
+  // Budget is epoch-relative: a run whose clock starts skewed (flakiness
+  // probing) still gets the full virtual-time allowance.
+  if (virtual_time_ms_ - run_epoch_ms_ > options_.virtual_time_budget_ms) {
     throw ExecutionAborted{AbortReason::kVirtualTimeBudget};
   }
 }
@@ -778,6 +782,12 @@ Value Interpreter::EvalCall(const mj::CallExpr& call) {
         entry.method = index_.ResolveMethod(*object->decl(), call.callee);
       }
       method = entry.method;
+      if (dispatch_observer_ != nullptr) [[unlikely]] {
+        dispatch_observer_->OnDispatch(
+            call.site_index, object->decl()->name,
+            method != nullptr ? std::string_view(method->qualified_cache)
+                              : std::string_view());
+      }
     } else {
       method = index_.ResolveMethod(*object->decl(), call.callee);
     }

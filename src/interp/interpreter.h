@@ -77,6 +77,19 @@ class CallInterceptor {
   virtual void OnCall(const CallEvent& event, Interpreter& interp) = 0;
 };
 
+// Observes monomorphic dispatch-cache resolutions (docs/FLAKINESS.md). The
+// observer fires on every cached-dispatch USE, not only on installs: installs
+// depend on arena warmth (a reused interpreter may already hold the entry from
+// an earlier run), while uses are a pure function of the run itself — which is
+// what single-run record/replay needs. `method` is empty for a negative entry
+// (receiver class resolves no user method; builtins handle the call).
+class DispatchObserver {
+ public:
+  virtual ~DispatchObserver() = default;
+  virtual void OnDispatch(uint32_t site_index, std::string_view cls,
+                          std::string_view method) = 0;
+};
+
 struct InterpOptions {
   int64_t step_budget = 2'000'000;
   int64_t virtual_time_budget_ms = 15LL * 60 * 1000;  // The paper's 15 minutes.
@@ -98,6 +111,21 @@ class Interpreter {
 
   // --- Instrumentation ------------------------------------------------------
   void AddInterceptor(CallInterceptor* interceptor);  // Non-owning.
+  // Non-owning; cleared by ResetForRun. Null (the default) keeps the dispatch
+  // hot path free of virtual calls.
+  void set_dispatch_observer(DispatchObserver* observer) { dispatch_observer_ = observer; }
+
+  // --- Run perturbation ------------------------------------------------------
+  // Starts the virtual clock at `epoch_ms` instead of 0. The time BUDGET stays
+  // epoch-relative (a skewed run gets the full 15 virtual minutes), but
+  // Clock.nowMillis() observes the absolute skewed clock — which is exactly how
+  // the flakiness prober perturbs timing-dependent applications
+  // (docs/FLAKINESS.md). Call after ResetForRun, before Invoke.
+  void set_run_epoch_ms(int64_t epoch_ms) {
+    run_epoch_ms_ = epoch_ms;
+    virtual_time_ms_ = epoch_ms;
+  }
+  int64_t run_epoch_ms() const { return run_epoch_ms_; }
 
   // --- Execution -----------------------------------------------------------
   // Invokes "Class.method" on the class's singleton instance. Throws
@@ -280,8 +308,10 @@ class Interpreter {
   std::unordered_map<std::string, Value> config_;
   std::unordered_set<std::string> frozen_config_keys_;
   std::vector<CallInterceptor*> interceptors_;
+  DispatchObserver* dispatch_observer_ = nullptr;
   ExecutionLog log_;
   int64_t virtual_time_ms_ = 0;
+  int64_t run_epoch_ms_ = 0;
   int64_t steps_ = 0;
   int64_t loop_iterations_ = 0;
   int64_t next_activation_ = 1;

@@ -42,6 +42,15 @@ inline constexpr std::string_view kPromptQ4 =
     "Q4. Do any of the retry-containing methods either call \"compareAndSet\" or contain\n"
     "poll-related behavior? Answer (Yes) or (No)\n";
 
+// F1: flakiness-cause judgment (docs/FLAKINESS.md). Fed the failing source
+// when the prober classifies a verdict as non-stable.
+inline constexpr std::string_view kPromptFlaky =
+    "F1. The test failure in the method below reproduces inconsistently across reruns.\n"
+    "Judging only from the code, is the inconsistency caused by (a) timing-dependence\n"
+    "(wall-clock reads, time-window branching), (b) environment-dependence (behavior\n"
+    "switching on degraded-environment configuration), or (c) unknown? Answer (a), (b),\n"
+    "or (c).\n";
+
 }  // namespace wasabi
 
 #endif  // WASABI_SRC_LLM_PROMPTS_H_

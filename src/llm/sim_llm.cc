@@ -71,6 +71,25 @@ bool IsSleepCall(const mj::CallExpr& call) {
   return false;
 }
 
+// Wall-clock reads: the only time API in mj is Clock.nowMillis().
+bool IsClockRead(const mj::CallExpr& call) {
+  return call.base != nullptr && call.base->kind == AstKind::kName &&
+         static_cast<const mj::NameExpr*>(call.base)->name == "Clock";
+}
+
+// Config reads of the injected degraded-environment namespace.
+bool IsChaosConfigRead(const mj::CallExpr& call) {
+  if (call.base == nullptr || call.base->kind != AstKind::kName ||
+      static_cast<const mj::NameExpr*>(call.base)->name != "Config") {
+    return false;
+  }
+  if (call.args.empty() || call.args[0]->kind != AstKind::kStringLiteral) {
+    return false;
+  }
+  const std::string& key = static_cast<const mj::StringLiteralExpr*>(call.args[0])->value;
+  return key.rfind("chaos.", 0) == 0;
+}
+
 bool IsEnqueueCallee(std::string_view name) {
   static const std::unordered_set<std::string_view> kNames = {
       "put", "add", "offer", "enqueue", "requeue", "resubmit", "submit", "push", "reenqueue",
@@ -615,6 +634,45 @@ LlmWhenJudgment SimLlm::JudgeWhen(const mj::CompilationUnit& unit,
   judgment.poll_or_spin = config_.enable_q4_exclusion &&
                           (shape.has_poll_spin_call || shape.has_poll_spin_word) &&
                           coordinator.evidence_score < config_.q4_override_score;
+  return judgment;
+}
+
+LlmFlakinessJudgment SimLlm::JudgeFlakinessCause(const mj::CompilationUnit& unit,
+                                                 const mj::MethodDecl* method) {
+  ChargeCall(unit, kPromptFlaky);
+  LlmFlakinessJudgment judgment;
+  if (method == nullptr || method->body == nullptr) {
+    return judgment;  // Nothing to read: "unknown".
+  }
+  bool reads_clock = false;
+  bool reads_chaos_config = false;
+  mj::WalkStmts(
+      method->body, [](const mj::Stmt&) {},
+      [&](const mj::Expr& expr) {
+        if (expr.kind != AstKind::kCall) {
+          return;
+        }
+        const auto& call = static_cast<const mj::CallExpr&>(expr);
+        if (IsClockRead(call)) {
+          reads_clock = true;
+        }
+        if (IsChaosConfigRead(call)) {
+          reads_chaos_config = true;
+        }
+      });
+  // Environment evidence outranks timing evidence: reading the degraded flag
+  // is specific, wall-clock reads show up in ordinary bookkeeping too.
+  if (reads_chaos_config) {
+    judgment.cause = "chaos-environment";
+  } else if (reads_clock) {
+    judgment.cause = "timing-dependence";
+  }
+  judgment.noise_flipped = NoiseFlip(unit.file().name(), method->name, 'F');
+  if (judgment.noise_flipped) {
+    // Comprehension error mode: the model commits to the wrong concrete cause.
+    judgment.cause = judgment.cause == "timing-dependence" ? "chaos-environment"
+                                                           : "timing-dependence";
+  }
   return judgment;
 }
 

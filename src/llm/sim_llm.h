@@ -87,6 +87,15 @@ struct LlmFileFindings {
   bool truncated_by_attention = false;
 };
 
+// F1 result: judged root cause of a non-stable failing verdict
+// (docs/FLAKINESS.md).
+struct LlmFlakinessJudgment {
+  // "timing-dependence", "chaos-environment", or "unknown".
+  std::string cause = "unknown";
+  // True when seeded comprehension noise swapped the heuristic answer.
+  bool noise_flipped = false;
+};
+
 // Q2/Q3/Q4 result for one coordinator.
 struct LlmWhenJudgment {
   bool sleeps_before_retry = false;  // Q2.
@@ -107,6 +116,13 @@ class SimLlm {
   // Q2–Q4 for one coordinator previously reported by AnalyzeFile on the same
   // unit. Single-file scope: helper methods outside `unit` are invisible.
   LlmWhenJudgment JudgeWhen(const mj::CompilationUnit& unit, const LlmCoordinator& coordinator);
+
+  // F1: judge why a failing verdict at `method` reproduces inconsistently.
+  // Lexical evidence only — wall-clock reads say timing, reads of the injected
+  // "chaos.*" configuration namespace say environment — with the usual seeded
+  // comprehension-noise error mode. Deterministic per (file, method).
+  LlmFlakinessJudgment JudgeFlakinessCause(const mj::CompilationUnit& unit,
+                                           const mj::MethodDecl* method);
 
   const LlmUsage& usage() const { return usage_; }
   void ResetUsage() { usage_ = LlmUsage(); }

@@ -1,0 +1,437 @@
+#include "src/record/recorder.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/lang/digest.h"
+
+namespace wasabi {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Splits one line on tabs. Record identifiers (tests, qualified names,
+// location keys) never contain tabs, so the split is unambiguous.
+std::vector<std::string_view> SplitTabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+bool ParseI64(std::string_view text, int64_t* out) {
+  std::string buffer(text);
+  char* end = nullptr;
+  long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (buffer.empty() || end == buffer.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+// One `name\tvalue` header line; fails with a positional diagnostic so a
+// corrupted record names the line it died on.
+bool ReadHeader(const std::vector<std::string_view>& lines, size_t index,
+                std::string_view name, std::string_view* value, std::string* error) {
+  if (index >= lines.size()) {
+    *error = "record truncated before '" + std::string(name) + "' header";
+    return false;
+  }
+  std::vector<std::string_view> fields = SplitTabs(lines[index]);
+  if (fields.size() != 2 || fields[0] != name) {
+    *error = "record header line " + std::to_string(index + 1) + " is not '" +
+             std::string(name) + "\\t<value>'";
+    return false;
+  }
+  *value = fields[1];
+  return true;
+}
+
+// The checksum covers every byte before the checksum line itself. Records are
+// serialized with exactly one '\n' per line, so rejoining the parsed lines
+// reproduces the hashed prefix byte for byte.
+uint64_t ChecksumLines(const std::vector<std::string_view>& lines, size_t count) {
+  uint64_t hash = mj::kFnvOffsetBasis;
+  for (size_t i = 0; i < count; ++i) {
+    hash = mj::Fnv1a64(lines[i], hash);
+    hash = mj::Fnv1a64("\n", hash);
+  }
+  return hash;
+}
+
+// Splits `text` into lines, requiring a trailing newline on the last one (a
+// record without it was truncated mid-line).
+bool SplitLines(std::string_view text, std::vector<std::string_view>* lines,
+                std::string* error) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      *error = "record is truncated (no trailing newline)";
+      return false;
+    }
+    lines->push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines->empty()) {
+    *error = "record is empty";
+    return false;
+  }
+  return true;
+}
+
+// Shared version + checksum envelope validation for records and manifests.
+// On success `lines` holds the payload lines between the version line and the
+// checksum line.
+bool ValidateEnvelope(std::string_view text, std::string_view version,
+                      std::vector<std::string_view>* lines, std::string* error) {
+  std::vector<std::string_view> all;
+  if (!SplitLines(text, &all, error)) {
+    return false;
+  }
+  if (all[0] != version) {
+    *error = "version mismatch: got '" + std::string(all[0]) + "', want '" +
+             std::string(version) + "'";
+    return false;
+  }
+  if (all.size() < 2) {
+    *error = "record truncated before checksum";
+    return false;
+  }
+  std::vector<std::string_view> last = SplitTabs(all.back());
+  if (last.size() != 2 || last[0] != "checksum") {
+    *error = "record truncated (last line is not a checksum)";
+    return false;
+  }
+  uint64_t expected = ChecksumLines(all, all.size() - 1);
+  if (std::string(last[1]) != mj::DigestHex(expected)) {
+    *error = "checksum mismatch: file is corrupt";
+    return false;
+  }
+  lines->assign(all.begin() + 1, all.end() - 1);
+  return true;
+}
+
+void AppendChecksum(std::string* out) {
+  uint64_t hash = mj::Fnv1a64(*out);
+  out->append("checksum\t");
+  out->append(mj::DigestHex(hash));
+  out->push_back('\n');
+}
+
+bool WriteFileAtomic(const fs::path& path, const std::string& text, std::string* error) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out) {
+      *error = "cannot write " + tmp.generic_string();
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    *error = "cannot move " + tmp.generic_string() + " into place: " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+bool ReadFileText(const fs::path& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + path.generic_string();
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  *out = text.str();
+  return true;
+}
+
+}  // namespace
+
+// --- RunRecorder ------------------------------------------------------------
+
+void RunRecorder::BeginRun(int64_t run_id, std::string test, std::string location_key,
+                           int k, bool degraded_env, int64_t epoch_ms) {
+  run_ = RecordedRun{};
+  run_.run_id = run_id;
+  run_.test = std::move(test);
+  run_.location_key = std::move(location_key);
+  run_.k = k;
+  run_.degraded_env = degraded_env;
+  run_.epoch_ms = epoch_ms;
+  dispatch_seen_.clear();
+  skip_key_.clear();
+  skip_count_ = 0;
+}
+
+void RunRecorder::Chaos(int attempt, bool faulted) {
+  FlushSkip();
+  run_.events.push_back("chaos\t" + std::to_string(attempt) + "\t" +
+                        (faulted ? "fault" : "ok"));
+}
+
+void RunRecorder::AttemptBegin(int attempt) {
+  FlushSkip();
+  run_.events.push_back("attempt\t" + std::to_string(attempt) + "\tbegin");
+}
+
+void RunRecorder::AttemptEnd(int attempt, std::string_view status) {
+  FlushSkip();
+  run_.events.push_back("attempt\t" + std::to_string(attempt) + "\tend\t" +
+                        std::string(status));
+}
+
+void RunRecorder::Backoff(int attempt, int64_t ms) {
+  FlushSkip();
+  run_.events.push_back("backoff\t" + std::to_string(attempt) + "\t" + std::to_string(ms));
+}
+
+void RunRecorder::Dispatch(uint32_t site_index, std::string_view cls,
+                           std::string_view method) {
+  std::string key = std::to_string(site_index) + "\t" + std::string(cls) + "\t" +
+                    std::string(method);
+  if (!dispatch_seen_.insert(key).second) {
+    return;
+  }
+  FlushSkip();
+  run_.events.push_back("dispatch\t" + key);
+}
+
+void RunRecorder::Inject(std::string_view callee, std::string_view caller,
+                         std::string_view exception, int count) {
+  FlushSkip();
+  run_.events.push_back("inject\t" + std::string(callee) + "\t" + std::string(caller) +
+                        "\t" + std::string(exception) + "\t" + std::to_string(count));
+}
+
+void RunRecorder::InjectSkip(std::string_view callee, std::string_view caller,
+                             std::string_view exception) {
+  std::string key = std::string(callee) + "\t" + std::string(caller) + "\t" +
+                    std::string(exception);
+  if (skip_count_ > 0 && key == skip_key_) {
+    ++skip_count_;
+    return;
+  }
+  FlushSkip();
+  skip_key_ = std::move(key);
+  skip_count_ = 1;
+}
+
+void RunRecorder::HostFailure(int attempt, std::string_view kind, std::string_view detail) {
+  FlushSkip();
+  run_.events.push_back("host-failure\t" + std::to_string(attempt) + "\t" +
+                        std::string(kind) + "\t" + std::string(detail));
+}
+
+void RunRecorder::Quarantine(std::string_view kind, std::string_view detail) {
+  FlushSkip();
+  run_.events.push_back("quarantine\t" + std::string(kind) + "\t" + std::string(detail));
+}
+
+void RunRecorder::Verdict(std::string_view text) {
+  FlushSkip();
+  run_.events.push_back("verdict\t" + std::string(text));
+}
+
+RecordedRun RunRecorder::Finish() {
+  FlushSkip();
+  dispatch_seen_.clear();
+  return std::move(run_);
+}
+
+void RunRecorder::FlushSkip() {
+  if (skip_count_ > 0) {
+    run_.events.push_back("inject-skip\t" + skip_key_ + "\tx" +
+                          std::to_string(skip_count_));
+    skip_key_.clear();
+    skip_count_ = 0;
+  }
+}
+
+// --- Serialization ----------------------------------------------------------
+
+std::string SerializeRecordedRun(const RecordedRun& run) {
+  std::string out;
+  out.append(kRecordFormatVersion);
+  out.push_back('\n');
+  out.append("run\t" + std::to_string(run.run_id) + "\n");
+  out.append("test\t" + run.test + "\n");
+  out.append("location\t" + run.location_key + "\n");
+  out.append("k\t" + std::to_string(run.k) + "\n");
+  out.append("env\t" + std::string(run.degraded_env ? "1" : "0") + "\n");
+  out.append("epoch\t" + std::to_string(run.epoch_ms) + "\n");
+  out.append("events\t" + std::to_string(run.events.size()) + "\n");
+  for (const std::string& event : run.events) {
+    out.append(event);
+    out.push_back('\n');
+  }
+  AppendChecksum(&out);
+  return out;
+}
+
+bool ParseRecordedRun(std::string_view text, RecordedRun* out, std::string* error) {
+  error->clear();
+  std::vector<std::string_view> lines;
+  if (!ValidateEnvelope(text, kRecordFormatVersion, &lines, error)) {
+    return false;
+  }
+  RecordedRun run;
+  std::string_view value;
+  int64_t number = 0;
+  if (!ReadHeader(lines, 0, "run", &value, error) || !ParseI64(value, &run.run_id)) {
+    if (error->empty()) *error = "bad run id";
+    return false;
+  }
+  if (!ReadHeader(lines, 1, "test", &value, error)) {
+    return false;
+  }
+  run.test = std::string(value);
+  if (!ReadHeader(lines, 2, "location", &value, error)) {
+    return false;
+  }
+  run.location_key = std::string(value);
+  if (!ReadHeader(lines, 3, "k", &value, error) || !ParseI64(value, &number)) {
+    if (error->empty()) *error = "bad k";
+    return false;
+  }
+  run.k = static_cast<int>(number);
+  if (!ReadHeader(lines, 4, "env", &value, error) || (value != "0" && value != "1")) {
+    if (error->empty()) *error = "bad env flag";
+    return false;
+  }
+  run.degraded_env = value == "1";
+  if (!ReadHeader(lines, 5, "epoch", &value, error) || !ParseI64(value, &run.epoch_ms)) {
+    if (error->empty()) *error = "bad epoch";
+    return false;
+  }
+  if (!ReadHeader(lines, 6, "events", &value, error) || !ParseI64(value, &number) ||
+      number < 0) {
+    if (error->empty()) *error = "bad event count";
+    return false;
+  }
+  if (lines.size() != 7 + static_cast<size_t>(number)) {
+    *error = "event count mismatch: header says " + std::to_string(number) + ", found " +
+             std::to_string(lines.size() - 7);
+    return false;
+  }
+  run.events.reserve(static_cast<size_t>(number));
+  for (size_t i = 7; i < lines.size(); ++i) {
+    run.events.emplace_back(lines[i]);
+  }
+  *out = std::move(run);
+  return true;
+}
+
+std::string SerializeRecordManifest(const RecordManifest& manifest) {
+  std::string out;
+  out.append(kRecordManifestVersion);
+  out.push_back('\n');
+  out.append("program\t" + manifest.program_digest + "\n");
+  out.append("config\t" + manifest.config_digest + "\n");
+  for (const RecordManifest::Entry& entry : manifest.runs) {
+    out.append("run\t" + std::to_string(entry.run_id) + "\t" + entry.test + "\t" +
+               entry.location_key + "\t" + std::to_string(entry.k) + "\n");
+  }
+  AppendChecksum(&out);
+  return out;
+}
+
+bool ParseRecordManifest(std::string_view text, RecordManifest* out, std::string* error) {
+  std::vector<std::string_view> lines;
+  if (!ValidateEnvelope(text, kRecordManifestVersion, &lines, error)) {
+    return false;
+  }
+  RecordManifest manifest;
+  std::string_view value;
+  if (!ReadHeader(lines, 0, "program", &value, error)) {
+    return false;
+  }
+  manifest.program_digest = std::string(value);
+  if (!ReadHeader(lines, 1, "config", &value, error)) {
+    return false;
+  }
+  manifest.config_digest = std::string(value);
+  for (size_t i = 2; i < lines.size(); ++i) {
+    std::vector<std::string_view> fields = SplitTabs(lines[i]);
+    RecordManifest::Entry entry;
+    int64_t k = 0;
+    if (fields.size() != 5 || fields[0] != "run" || !ParseI64(fields[1], &entry.run_id) ||
+        !ParseI64(fields[4], &k)) {
+      *error = "bad manifest run line " + std::to_string(i + 2);
+      return false;
+    }
+    entry.test = std::string(fields[2]);
+    entry.location_key = std::string(fields[3]);
+    entry.k = static_cast<int>(k);
+    manifest.runs.push_back(std::move(entry));
+  }
+  *out = std::move(manifest);
+  return true;
+}
+
+std::string RecordFileName(int64_t run_id) {
+  return "run-" + std::to_string(run_id) + ".rec";
+}
+
+// --- Record-directory store -------------------------------------------------
+
+bool WriteRecordDir(const std::string& dir, const RecordManifest& manifest,
+                    const std::vector<RecordedRun>& runs, std::string* error) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    *error = "cannot create " + dir + ": " + ec.message();
+    return false;
+  }
+  for (const RecordedRun& run : runs) {
+    if (!WriteFileAtomic(fs::path(dir) / RecordFileName(run.run_id),
+                         SerializeRecordedRun(run), error)) {
+      return false;
+    }
+  }
+  return WriteFileAtomic(fs::path(dir) / "MANIFEST.tsv", SerializeRecordManifest(manifest),
+                         error);
+}
+
+bool LoadRecordManifest(const std::string& dir, RecordManifest* out, std::string* error) {
+  std::string text;
+  if (!ReadFileText(fs::path(dir) / "MANIFEST.tsv", &text, error)) {
+    return false;
+  }
+  return ParseRecordManifest(text, out, error);
+}
+
+bool LoadRecordedRun(const std::string& dir, int64_t run_id, RecordedRun* out,
+                     std::string* error) {
+  std::string text;
+  if (!ReadFileText(fs::path(dir) / RecordFileName(run_id), &text, error)) {
+    return false;
+  }
+  if (!ParseRecordedRun(text, out, error)) {
+    return false;
+  }
+  if (out->run_id != run_id) {
+    *error = "record file for run " + std::to_string(run_id) + " contains run " +
+             std::to_string(out->run_id);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace wasabi

@@ -60,16 +60,52 @@ void ChaosMaybeFault(const ChaosConfig& config, uint64_t identity, int attempt) 
   throw ChaosHostFault{identity, attempt};
 }
 
+bool ChaosDegradedEnvironment(const ChaosConfig& config, uint64_t identity) {
+  if (!config.enabled || config.env_rate <= 0.0) {
+    return false;
+  }
+  if (config.env_rate >= 1.0) {
+    return true;
+  }
+  // Independent of the fault draw: xor-ing a distinct constant into the seeded
+  // identity mix decorrelates "this run fails" from "this run runs degraded".
+  uint64_t h = Mix64(config.seed ^ Mix64(identity) ^ 0x9ae16a3b2f90404fULL);
+  double unit = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return unit < config.env_rate;
+}
+
+namespace {
+
+bool ParseUnitRate(const std::string& text, double* out) {
+  char* end = nullptr;
+  double rate = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == text.c_str() || *end != '\0' || rate < 0.0 || rate > 1.0) {
+    return false;
+  }
+  *out = rate;
+  return true;
+}
+
+}  // namespace
+
 bool ParseChaosSpec(const std::string& spec, ChaosConfig* config, std::string* error) {
   size_t colon = spec.find(':');
   if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
     if (error != nullptr) {
-      *error = "expected SEED:RATE";
+      *error = "expected SEED:RATE[:ENV_RATE]";
     }
     return false;
   }
   const std::string seed_text = spec.substr(0, colon);
-  const std::string rate_text = spec.substr(colon + 1);
+  std::string rate_text = spec.substr(colon + 1);
+  // Optional third field: the degraded-environment rate.
+  std::string env_text;
+  bool has_env = false;
+  if (size_t second = rate_text.find(':'); second != std::string::npos) {
+    env_text = rate_text.substr(second + 1);
+    rate_text = rate_text.substr(0, second);
+    has_env = true;
+  }
   char* end = nullptr;
   unsigned long long seed = std::strtoull(seed_text.c_str(), &end, 10);
   if (end == seed_text.c_str() || *end != '\0') {
@@ -78,17 +114,24 @@ bool ParseChaosSpec(const std::string& spec, ChaosConfig* config, std::string* e
     }
     return false;
   }
-  end = nullptr;
-  double rate = std::strtod(rate_text.c_str(), &end);
-  if (end == rate_text.c_str() || *end != '\0' || rate < 0.0 || rate > 1.0) {
+  double rate = 0.0;
+  if (!ParseUnitRate(rate_text, &rate)) {
     if (error != nullptr) {
       *error = "rate must be a number in [0, 1]";
+    }
+    return false;
+  }
+  double env_rate = 0.0;
+  if (has_env && !ParseUnitRate(env_text, &env_rate)) {
+    if (error != nullptr) {
+      *error = "env rate must be a number in [0, 1]";
     }
     return false;
   }
   config->enabled = true;
   config->seed = static_cast<uint64_t>(seed);
   config->rate = rate;
+  config->env_rate = env_rate;
   return true;
 }
 

@@ -50,6 +50,13 @@ struct ChaosConfig {
   // Fraction of faults that present as budget aborts instead of host
   // exceptions (cycling step-budget / virtual-time / stack-overflow flavors).
   double budget_fraction = 0.0;
+  // Fraction of campaign runs that execute in a degraded ENVIRONMENT instead
+  // of failing outright: the run proceeds normally but the interpreter config
+  // key "chaos.degraded" is true, visible to applications via
+  // Config.getBool("chaos.degraded", false). The flakiness prober uses this to
+  // detect chaos-induced verdicts (docs/FLAKINESS.md). Default off, so the
+  // PR 3 chaos-containment byte-identity contract is untouched.
+  double env_rate = 0.0;
 };
 
 // Pure decision function: should this (identity, attempt) draw fault?
@@ -59,8 +66,15 @@ bool ChaosShouldFault(const ChaosConfig& config, uint64_t identity, int attempt)
 // no-op. Call at a pipeline seam before executing the real work.
 void ChaosMaybeFault(const ChaosConfig& config, uint64_t identity, int attempt);
 
-// Parses the CLI `--chaos SEED:RATE` spec (e.g. "42:0.1"). Returns false and
-// fills `error` on malformed input; RATE must be in [0, 1].
+// Pure decision function: does this run identity execute under the degraded
+// environment? Independent of the fault draw (distinct mix constant) and of
+// the attempt number — the environment is a property of the run, so host-level
+// retries of a degraded run stay degraded.
+bool ChaosDegradedEnvironment(const ChaosConfig& config, uint64_t identity);
+
+// Parses the CLI `--chaos SEED:RATE[:ENV_RATE]` spec (e.g. "42:0.1" or
+// "42:0:0.25"). Returns false and fills `error` on malformed input; RATE and
+// ENV_RATE must be in [0, 1].
 bool ParseChaosSpec(const std::string& spec, ChaosConfig* config, std::string* error);
 
 }  // namespace wasabi

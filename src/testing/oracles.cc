@@ -18,6 +18,18 @@ const char* OracleKindName(OracleKind kind) {
   return "unknown";
 }
 
+const char* VerdictStabilityName(VerdictStability stability) {
+  switch (stability) {
+    case VerdictStability::kStable:
+      return "stable";
+    case VerdictStability::kFlaky:
+      return "flaky";
+    case VerdictStability::kChaosInduced:
+      return "chaos-induced";
+  }
+  return "unknown";
+}
+
 namespace {
 
 std::string StructureGroupKey(const char* prefix, const RetryLocation& location) {
@@ -205,13 +217,51 @@ std::vector<OracleReport> EvaluateOracles(const TestRunRecord& record,
   return reports;
 }
 
+namespace {
+
+// Dominance order for merging probed duplicates: chaos-induced beats flaky
+// beats stable (mirrors DeduplicateBugs in src/core/report.cc).
+int StabilityRank(VerdictStability stability) {
+  switch (stability) {
+    case VerdictStability::kStable:
+      return 0;
+    case VerdictStability::kFlaky:
+      return 1;
+    case VerdictStability::kChaosInduced:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
 std::vector<OracleReport> DeduplicateReports(std::vector<OracleReport> reports) {
   std::vector<OracleReport> unique;
-  std::unordered_set<std::string> seen;
+  std::unordered_map<std::string, size_t> seen;  // Key -> index in `unique`.
   for (OracleReport& report : reports) {
     std::string key = std::string(OracleKindName(report.kind)) + "|" + report.group_key;
-    if (seen.insert(key).second) {
+    auto [it, inserted] = seen.emplace(std::move(key), unique.size());
+    if (inserted) {
       unique.push_back(std::move(report));
+      continue;
+    }
+    // A later probed duplicate from another run may carry a more unstable
+    // classification; the survivor takes the dominant one so downstream
+    // consumers never see a bug as stable when any of its runs flipped.
+    // With probed == false everywhere this is byte-identical to keep-first.
+    OracleReport& survivor = unique[it->second];
+    if (report.probed) {
+      if (!survivor.probed ||
+          StabilityRank(report.stability) > StabilityRank(survivor.stability)) {
+        survivor.stability = report.stability;
+        if (!report.flaky_cause.empty()) {
+          survivor.flaky_cause = report.flaky_cause;
+        }
+      }
+      survivor.probed = true;
+      if (survivor.flaky_cause.empty() && !report.flaky_cause.empty()) {
+        survivor.flaky_cause = report.flaky_cause;
+      }
     }
   }
   return unique;

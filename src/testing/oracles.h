@@ -33,6 +33,18 @@ enum class OracleKind : uint8_t {
 
 const char* OracleKindName(OracleKind kind);
 
+// Flakiness classification of a failing verdict (docs/FLAKINESS.md). Assigned
+// by the N-repetition prober: kStable reproduces under timing perturbation,
+// kFlaky diverges under it, kChaosInduced only reproduces in the chaos-
+// degraded environment the run happened to execute in.
+enum class VerdictStability : uint8_t {
+  kStable,
+  kFlaky,
+  kChaosInduced,
+};
+
+const char* VerdictStabilityName(VerdictStability stability);
+
 struct OracleReport {
   OracleKind kind = OracleKind::kMissingCap;
   std::string test;
@@ -42,6 +54,13 @@ struct OracleReport {
   // reports group per retry structure (file + coordinator), different-
   // exception reports group per crash stack (§4.1).
   std::string group_key;
+  // Filled by the flakiness prober; `probed == false` (default) means the
+  // verdict was never classified and all downstream output stays exactly as
+  // it was before stability existed. `flaky_cause` is SimLLM's judged root
+  // cause for non-stable classifications ("" = not judged).
+  bool probed = false;
+  VerdictStability stability = VerdictStability::kStable;
+  std::string flaky_cause;
 };
 
 struct OracleOptions {

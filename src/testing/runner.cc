@@ -70,12 +70,26 @@ std::vector<TestCase> TestRunner::DiscoverTests() const {
 TestRunRecord TestRunner::RunTest(const TestCase& test,
                                   std::vector<CallInterceptor*> interceptors,
                                   InterpreterArena* arena) const {
+  return RunTest(test, std::move(interceptors), arena, RunPerturbation{});
+}
+
+TestRunRecord TestRunner::RunTest(const TestCase& test,
+                                  std::vector<CallInterceptor*> interceptors,
+                                  InterpreterArena* arena,
+                                  const RunPerturbation& perturbation) const {
   TestRunRecord record;
   record.test = test;
 
   std::optional<Interpreter> local;
   Interpreter& interp = arena != nullptr ? arena->Acquire(program_, index_, options_.interp)
                                          : local.emplace(program_, index_, options_.interp);
+  if (perturbation.virtual_clock_epoch_ms != 0) {
+    interp.set_run_epoch_ms(perturbation.virtual_clock_epoch_ms);
+  }
+  interp.set_dispatch_observer(perturbation.dispatch_observer);
+  if (perturbation.chaos_degraded_env) {
+    interp.SetConfig("chaos.degraded", Value{true});
+  }
   for (const auto& [key, value] : options_.config_overrides) {
     interp.SetConfig(key, value);
   }
@@ -113,7 +127,7 @@ TestRunRecord TestRunner::RunTest(const TestCase& test,
   }
 
   record.log = interp.log();
-  record.virtual_duration_ms = interp.now_ms();
+  record.virtual_duration_ms = interp.now_ms() - interp.run_epoch_ms();
   record.steps = interp.steps();
   record.loop_iterations = interp.loop_iterations();
   if (injector != nullptr) {

@@ -47,6 +47,22 @@ struct RunnerOptions {
   std::vector<std::string> frozen_keys;
 };
 
+// Per-run perturbation applied on top of RunnerOptions (docs/FLAKINESS.md).
+// Deliberately NOT part of InterpOptions: arenas compare options for warm
+// reuse, and a perturbed probe repetition must still reuse the worker's warm
+// interpreter.
+struct RunPerturbation {
+  // Virtual-clock epoch the run starts at. The time budget stays relative
+  // (a skewed run gets the full allowance); Clock.nowMillis() observes the
+  // skewed absolute clock — the flakiness prober's timing perturbation.
+  int64_t virtual_clock_epoch_ms = 0;
+  // Sets interpreter config "chaos.degraded" = true for this run, the seeded
+  // degraded-environment chaos mode applications can branch on.
+  bool chaos_degraded_env = false;
+  // Non-owning; observes dispatch-cache resolutions for record/replay.
+  DispatchObserver* dispatch_observer = nullptr;
+};
+
 class TestRunner {
  public:
   TestRunner(const mj::Program& program, const mj::ProgramIndex& index,
@@ -62,6 +78,12 @@ class TestRunner {
   // interpreter is built as before.
   TestRunRecord RunTest(const TestCase& test, std::vector<CallInterceptor*> interceptors = {},
                         InterpreterArena* arena = nullptr) const;
+
+  // As above, with a per-run perturbation (clock epoch, degraded environment,
+  // dispatch observer). The default RunPerturbation{} is behavior-identical to
+  // the three-argument overload.
+  TestRunRecord RunTest(const TestCase& test, std::vector<CallInterceptor*> interceptors,
+                        InterpreterArena* arena, const RunPerturbation& perturbation) const;
 
   const RunnerOptions& options() const { return options_; }
   void set_options(RunnerOptions options) { options_ = std::move(options); }

@@ -1,0 +1,196 @@
+// Unit tests for the single-run decision-stream recorder (docs/FLAKINESS.md):
+// serialize/parse round trips, per-run dispatch dedup, injector-skip
+// coalescing, the record-directory store, and — the contract corruption tests
+// ride on — clean rejection of truncated, bit-flipped, and version-skewed
+// record files.
+
+#include "src/record/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace wasabi {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A representative run touching every event kind.
+RecordedRun MakeRun() {
+  RunRecorder recorder;
+  recorder.BeginRun(7, "FetcherTest.testFetch", "Fetcher.mj:3 Fetcher.fetch ConnectException",
+                    100, /*degraded_env=*/true, /*epoch_ms=*/2000);
+  recorder.Chaos(1, true);
+  recorder.HostFailure(1, "host-exception", "chaos fault (identity 7, attempt 1)");
+  recorder.Backoff(2, 40);
+  recorder.Chaos(2, false);
+  recorder.AttemptBegin(2);
+  recorder.Dispatch(12, "Fetcher", "Fetcher.fetch");
+  recorder.Inject("Fetcher.pull", "Fetcher.fetch", "ConnectException", 1);
+  recorder.Inject("Fetcher.pull", "Fetcher.fetch", "ConnectException", 2);
+  recorder.AttemptEnd(2, "passed");
+  recorder.Verdict("clean");
+  return recorder.Finish();
+}
+
+TEST(RecordRoundTripTest, SerializeParseIsLossless) {
+  RecordedRun run = MakeRun();
+  std::string text = SerializeRecordedRun(run);
+
+  RecordedRun parsed;
+  std::string error;
+  ASSERT_TRUE(ParseRecordedRun(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.run_id, 7);
+  EXPECT_EQ(parsed.test, "FetcherTest.testFetch");
+  EXPECT_EQ(parsed.location_key, "Fetcher.mj:3 Fetcher.fetch ConnectException");
+  EXPECT_EQ(parsed.k, 100);
+  EXPECT_TRUE(parsed.degraded_env);
+  EXPECT_EQ(parsed.epoch_ms, 2000);
+  EXPECT_EQ(parsed.events, run.events);
+  // Re-serializing the parse reproduces the exact bytes: the format is
+  // canonical, so byte comparison of streams is meaningful.
+  EXPECT_EQ(SerializeRecordedRun(parsed), text);
+}
+
+TEST(RecordRoundTripTest, DispatchIsDedupedPerRun) {
+  RunRecorder recorder;
+  recorder.BeginRun(1, "T.t", "loc", 1, false, 0);
+  recorder.Dispatch(5, "A", "A.m");
+  recorder.Dispatch(5, "A", "A.m");  // Same site/receiver: dropped.
+  recorder.Dispatch(5, "B", "B.m");  // Same site, new receiver: kept.
+  recorder.Verdict("clean");
+  RecordedRun run = recorder.Finish();
+  int dispatches = 0;
+  for (const std::string& event : run.events) {
+    if (event.rfind("dispatch\t", 0) == 0) {
+      ++dispatches;
+    }
+  }
+  EXPECT_EQ(dispatches, 2);
+}
+
+TEST(RecordRoundTripTest, ConsecutiveInjectSkipsCoalesce) {
+  RunRecorder recorder;
+  recorder.BeginRun(1, "T.t", "loc", 100, false, 0);
+  for (int i = 0; i < 250; ++i) {
+    recorder.InjectSkip("A.m", "A.coord", "IOException");
+  }
+  recorder.Verdict("clean");
+  RecordedRun run = recorder.Finish();
+  int skip_events = 0;
+  std::string skip_line;
+  for (const std::string& event : run.events) {
+    if (event.rfind("inject-skip\t", 0) == 0) {
+      ++skip_events;
+      skip_line = event;
+    }
+  }
+  EXPECT_EQ(skip_events, 1);
+  EXPECT_NE(skip_line.find("x250"), std::string::npos) << skip_line;
+}
+
+TEST(RecordCorruptionTest, TruncatedRecordRejected) {
+  std::string text = SerializeRecordedRun(MakeRun());
+  // Drop the checksum line (and the trailing newline before it).
+  std::string truncated = text.substr(0, text.rfind("checksum"));
+  RecordedRun parsed;
+  std::string error;
+  EXPECT_FALSE(ParseRecordedRun(truncated, &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RecordCorruptionTest, BitFlipRejected) {
+  std::string text = SerializeRecordedRun(MakeRun());
+  // Flip one character in an event payload (not in the checksum line).
+  size_t pos = text.find("ConnectException");
+  ASSERT_NE(pos, std::string::npos);
+  std::string flipped = text;
+  flipped[pos] ^= 0x1;
+  RecordedRun parsed;
+  std::string error;
+  EXPECT_FALSE(ParseRecordedRun(flipped, &parsed, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(RecordCorruptionTest, VersionSkewRejected) {
+  std::string text = SerializeRecordedRun(MakeRun());
+  std::string skewed = "wasabi-record-v999" + text.substr(text.find('\n'));
+  RecordedRun parsed;
+  std::string error;
+  EXPECT_FALSE(ParseRecordedRun(skewed, &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RecordCorruptionTest, ManifestRoundTripAndVersionSkew) {
+  RecordManifest manifest;
+  manifest.program_digest = "abc123";
+  manifest.config_digest = "def456";
+  manifest.runs.push_back(RecordManifest::Entry{0, "T.a", "loc-a", 1});
+  manifest.runs.push_back(RecordManifest::Entry{1, "T.b", "loc-b", 100});
+  std::string text = SerializeRecordManifest(manifest);
+
+  RecordManifest parsed;
+  std::string error;
+  ASSERT_TRUE(ParseRecordManifest(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.program_digest, "abc123");
+  EXPECT_EQ(parsed.config_digest, "def456");
+  ASSERT_EQ(parsed.runs.size(), 2u);
+  EXPECT_EQ(parsed.runs[1].test, "T.b");
+  EXPECT_EQ(parsed.runs[1].k, 100);
+
+  std::string skewed = "wasabi-record-manifest-v999" + text.substr(text.find('\n'));
+  EXPECT_FALSE(ParseRecordManifest(skewed, &parsed, &error));
+}
+
+TEST(RecordDirTest, WriteThenLoadRoundTripsAndRejectsDamage) {
+  fs::path dir = fs::path(::testing::TempDir()) / "wasabi_record_dir_test";
+  fs::remove_all(dir);
+
+  RecordManifest manifest;
+  manifest.program_digest = "p";
+  manifest.config_digest = "c";
+  manifest.runs.push_back(RecordManifest::Entry{7, "FetcherTest.testFetch",
+                                                "Fetcher.mj:3 Fetcher.fetch ConnectException",
+                                                100});
+  std::vector<RecordedRun> runs{MakeRun()};
+  std::string error;
+  ASSERT_TRUE(WriteRecordDir(dir.string(), manifest, runs, &error)) << error;
+
+  RecordManifest loaded_manifest;
+  ASSERT_TRUE(LoadRecordManifest(dir.string(), &loaded_manifest, &error)) << error;
+  EXPECT_EQ(loaded_manifest.runs.size(), 1u);
+
+  RecordedRun loaded_run;
+  ASSERT_TRUE(LoadRecordedRun(dir.string(), 7, &loaded_run, &error)) << error;
+  EXPECT_EQ(loaded_run.events, runs[0].events);
+
+  // A missing run id fails with a diagnostic, not a crash.
+  EXPECT_FALSE(LoadRecordedRun(dir.string(), 99, &loaded_run, &error));
+
+  // Damage the run file on disk: the loader must reject it.
+  fs::path run_file = dir / RecordFileName(7);
+  std::string bytes;
+  {
+    std::ifstream in(run_file);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x2;
+  {
+    std::ofstream out(run_file, std::ios::trunc);
+    out << bytes;
+  }
+  EXPECT_FALSE(LoadRecordedRun(dir.string(), 7, &loaded_run, &error));
+  EXPECT_FALSE(error.empty());
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wasabi

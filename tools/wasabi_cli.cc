@@ -25,9 +25,23 @@
 //                                     quarantined one
 //   --max-quarantined N               abort the campaign once more than N
 //                                     runs are quarantined
-//   --chaos SEED:RATE                 self-chaos: deterministically fail RATE
+//   --chaos SEED:RATE[:ENV_RATE]      self-chaos: deterministically fail RATE
 //                                     of runs at the host level (containment
-//                                     drill, docs/ROBUSTNESS.md)
+//                                     drill, docs/ROBUSTNESS.md); ENV_RATE of
+//                                     runs additionally execute in the seeded
+//                                     degraded-environment mode
+//   --repetitions N                   flakiness prober: rerun each failing
+//                                     campaign verdict N times under clock
+//                                     perturbation and classify it {stable,
+//                                     flaky, chaos-induced} (docs/FLAKINESS.md)
+//   --record DIR                      record every campaign run's decision
+//                                     stream (chaos/backoff/injection/dispatch
+//                                     events) into DIR; output-neutral
+//   --replay ID                       test/analyze only: replay the single
+//                                     recorded run ID from --record DIR in
+//                                     isolation and compare the decision
+//                                     stream and verdict byte-for-byte (pass
+//                                     the same flags as the recording run)
 //   --cache-dir=DIR                   memoize per-file analysis, coverage, and
 //                                     campaign verdicts under DIR keyed by
 //                                     content digests (docs/CACHING.md);
@@ -77,8 +91,9 @@ using namespace wasabi;
 int Usage() {
   std::cerr << "usage: wasabi <dump-corpus|identify|static|test|analyze|study> [dir] [--json]"
                " [--jobs N] [--trace-out=FILE] [--metrics-out=FILE] [--progress]"
-               " [--fail-fast] [--max-quarantined N] [--chaos SEED:RATE]"
-               " [--cache-dir=DIR] [--scale N]\n";
+               " [--fail-fast] [--max-quarantined N] [--chaos SEED:RATE[:ENV_RATE]]"
+               " [--cache-dir=DIR] [--scale N] [--repetitions N] [--record DIR]"
+               " [--replay ID]\n";
   return 2;
 }
 
@@ -94,6 +109,9 @@ struct CliOptions {
   ChaosConfig chaos;
   std::string cache_dir;  // Empty = cache off (the default code path).
   int scale = 1;          // dump-corpus variant multiplier.
+  int repetitions = 0;    // Flakiness-prober repetitions; 0 = prober off.
+  std::string record_dir;     // Empty = record mode off.
+  int64_t replay_run_id = -1;  // < 0 = no replay requested.
 };
 
 // Strict flag parsing: every `--name=value` / `--name value` form must match
@@ -191,6 +209,37 @@ bool ParseOptions(int argc, char** argv, int first, CliOptions* options) {
         return fail("option --cache-dir needs a non-empty directory");
       }
       options->cache_dir = value;
+    } else if (name == "--repetitions") {
+      if (!take_value("--repetitions")) {
+        Usage();
+        return false;
+      }
+      char* end = nullptr;
+      long repetitions = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || repetitions < 1) {
+        return fail("option --repetitions needs a positive integer, got '" + value + "'");
+      }
+      options->repetitions = static_cast<int>(repetitions);
+    } else if (name == "--record") {
+      if (!take_value("--record")) {
+        Usage();
+        return false;
+      }
+      if (value.empty()) {
+        return fail("option --record needs a non-empty directory");
+      }
+      options->record_dir = value;
+    } else if (name == "--replay") {
+      if (!take_value("--replay")) {
+        Usage();
+        return false;
+      }
+      char* end = nullptr;
+      long long run_id = std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || run_id < 0) {
+        return fail("option --replay needs a non-negative run id, got '" + value + "'");
+      }
+      options->replay_run_id = static_cast<int64_t>(run_id);
     } else if (name == "--scale") {
       if (!take_value("--scale")) {
         Usage();
@@ -452,6 +501,63 @@ int StaticWorkflow(const fs::path& root, const CliOptions& cli) {
   return 0;
 }
 
+// Shared option plumbing for the dynamic workflow and replay: both must build
+// the exact same WasabiOptions or the record's config digest will not match.
+WasabiOptions DynamicOptionsFor(const fs::path& root, const CliOptions& cli) {
+  WasabiOptions options = OptionsFor(root);
+  options.jobs = cli.jobs;
+  options.robust.fail_fast = cli.fail_fast;
+  options.robust.max_quarantined = cli.max_quarantined;
+  options.robust.chaos = cli.chaos;
+  options.prober.repetitions = cli.repetitions;
+  return options;
+}
+
+// Replays one recorded run in isolation (docs/FLAKINESS.md). Exit 0 when the
+// replayed decision stream and verdict are byte-identical to the record, 1 on
+// any divergence or load failure.
+int Replay(const fs::path& root, const CliOptions& cli) {
+  mj::Program program;
+  std::vector<SkippedFile> skipped;
+  if (!LoadProgram(root, program, &skipped)) {
+    return 1;
+  }
+  mj::ProgramIndex index(program);
+  Wasabi tool(program, index, DynamicOptionsFor(root, cli));
+  ObsSinks obs(cli);
+  tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr);
+  ReplayOutcome outcome = tool.ReplayRun(cli.record_dir,
+                                         static_cast<uint64_t>(cli.replay_run_id));
+  if (!ExportObservability(cli, obs.tracer, obs.metrics)) {
+    return 1;
+  }
+  if (!outcome.ok) {
+    std::cerr << "error: replay failed: " << outcome.error << "\n";
+    return 1;
+  }
+  if (!outcome.executed) {
+    std::cout << "run " << cli.replay_run_id
+              << " was admission-skipped during the recorded campaign; recorded verdict \""
+              << outcome.recorded_verdict << "\" stands\n";
+    return 0;
+  }
+  std::cout << "replayed run " << cli.replay_run_id << ": verdict \""
+            << outcome.replayed_verdict << "\" (recorded \"" << outcome.recorded_verdict
+            << "\")\n";
+  if (outcome.stream_identical && outcome.verdict_identical) {
+    std::cout << "decision stream: identical (" << outcome.recorded.events.size()
+              << " events)\n";
+    return 0;
+  }
+  if (!outcome.stream_identical) {
+    std::cout << "decision stream: DIVERGED at " << outcome.divergence << "\n";
+  }
+  if (!outcome.verdict_identical) {
+    std::cout << "verdict: DIVERGED\n";
+  }
+  return 1;
+}
+
 int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
   mj::Program program;
   std::vector<SkippedFile> skipped;
@@ -459,11 +565,8 @@ int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
     return 1;
   }
   mj::ProgramIndex index(program);
-  WasabiOptions options = OptionsFor(root);
-  options.jobs = cli.jobs;
-  options.robust.fail_fast = cli.fail_fast;
-  options.robust.max_quarantined = cli.max_quarantined;
-  options.robust.chaos = cli.chaos;
+  WasabiOptions options = DynamicOptionsFor(root, cli);
+  options.record_dir = cli.record_dir;
   Wasabi tool(program, index, options);
   ObsSinks obs(cli);
   tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr);
@@ -471,6 +574,9 @@ int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
   tool.set_cache(cache.get());
   DynamicResult result = tool.RunDynamicWorkflow();
   FinishCliCache(cache.get(), obs.metrics_ptr);
+  if (!result.record_error.empty()) {
+    std::cerr << "warning: recording failed: " << result.record_error << "\n";
+  }
   ReportHealth health;
   health.skipped_files = skipped;
   health.quarantined = result.quarantined;
@@ -484,11 +590,20 @@ int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
       std::cout << result.total_tests << " unit tests, " << result.tests_covering_retry
                 << " cover retry; " << result.planned_runs << " injected runs (naive: "
                 << result.naive_runs << ") on " << result.jobs_used << " worker(s)\n";
+      if (result.probed_runs > 0) {
+        std::cout << "flakiness prober: " << result.probed_runs << " failing run(s) probed — "
+                  << result.stable_runs << " stable, " << result.flaky_runs << " flaky, "
+                  << result.chaos_induced_runs << " chaos-induced\n";
+      }
       std::cout << result.bugs.size() << " bug report(s):\n";
       for (const BugReport& bug : result.bugs) {
         std::cout << "  " << bug.file << ":" << bug.location.line << "\t"
-                  << BugTypeName(bug.type) << "\t" << bug.coordinator << "\n\t" << bug.detail
-                  << "\n";
+                  << BugTypeName(bug.type) << "\t" << bug.coordinator;
+        if (bug.probed) {
+          std::cout << "\t[" << VerdictStabilityName(bug.stability)
+                    << (bug.flaky_cause.empty() ? "" : ": " + bug.flaky_cause) << "]";
+        }
+        std::cout << "\n\t" << bug.detail << "\n";
       }
       if (health.degraded()) {
         std::cout << "DEGRADED: " << health.skipped_files.size() << " file(s) skipped, "
@@ -554,6 +669,17 @@ int main(int argc, char** argv) {
   CliOptions cli;
   if (!ParseOptions(argc, argv, 3, &cli)) {
     return 2;
+  }
+  if (cli.replay_run_id >= 0) {
+    if (cli.record_dir.empty()) {
+      std::cerr << "error: option --replay requires --record DIR (the record to replay from)\n";
+      return Usage();
+    }
+    if (command != "test" && command != "analyze") {
+      std::cerr << "error: option --replay only applies to the test/analyze command\n";
+      return Usage();
+    }
+    return Replay(root, cli);
   }
   if (command == "dump-corpus") {
     return DumpCorpus(root, cli.scale);
