@@ -1,0 +1,93 @@
+// Microbenchmark for the retry journal (docs/OBSERVABILITY.md): the full
+// dynamic workflow over every corpus app with journaling off vs on, plus the
+// derivation pass and the HTML render on the collected stream. Journaling is
+// default-off and its hot-path cost is one null-pointer test per event site,
+// so the "on" column should stay within noise of the "off" column (minus the
+// campaign-cache interaction: journaled runs always execute cold). Also
+// verifies the journal is byte-identical across worker counts on every app,
+// which is the determinism contract the tests pin on flakylab alone.
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/exec/task_pool.h"
+#include "src/obs/journal.h"
+#include "src/obs/report_html.h"
+#include "src/obs/retry_stats.h"
+
+int main() {
+  using namespace wasabi;
+  using Clock = std::chrono::steady_clock;
+
+  PrintHeading("Retry-journal overhead and derivation cost", "docs/OBSERVABILITY.md");
+  std::cout << "hardware threads available: " << DefaultJobCount() << "\n\n";
+
+  TablePrinter table({"app", "plain (ms)", "journaled (ms)", "events", "derive (ms)",
+                      "render (ms)", "report KB", "deterministic"});
+
+  double total_plain = 0;
+  double total_journaled = 0;
+  for (const std::string& name : CorpusAppNames()) {
+    CorpusApp app = BuildCorpusApp(name);
+    WasabiOptions options = DefaultOptionsFor(app);
+
+    auto run_once = [&](RetryJournal* journal) {
+      Wasabi tool(app.program, *app.index, options);
+      if (journal != nullptr) {
+        tool.set_observability(nullptr, nullptr, nullptr, journal);
+      }
+      const auto start = Clock::now();
+      tool.RunDynamicWorkflow();
+      return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    };
+
+    const double plain_ms = run_once(nullptr);
+    RetryJournal journal;
+    const double journaled_ms = run_once(&journal);
+    total_plain += plain_ms;
+    total_journaled += journaled_ms;
+
+    auto derive_start = Clock::now();
+    std::vector<JournalEvent> events = journal.Collect();
+    RetryStatsReport stats = ComputeRetryStats(events);
+    const double derive_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - derive_start).count();
+
+    auto render_start = Clock::now();
+    const std::string html = RenderHtmlReport(app.name, events, stats, "", "");
+    const double render_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - render_start).count();
+
+    // Worker-count determinism across the corpus, not just flakylab.
+    RetryJournal serial_journal;
+    WasabiOptions serial = options;
+    serial.jobs = 1;
+    Wasabi serial_tool(app.program, *app.index, serial);
+    serial_tool.set_observability(nullptr, nullptr, nullptr, &serial_journal);
+    serial_tool.RunDynamicWorkflow();
+    const bool deterministic =
+        serial_journal.ToJson(app.name) == journal.ToJson(app.name);
+
+    auto ms = [](double value) {
+      std::ostringstream out;
+      out << std::fixed << std::setprecision(1) << value;
+      return out.str();
+    };
+    table.AddRow({name, ms(plain_ms), ms(journaled_ms), std::to_string(events.size()),
+                  ms(derive_ms), ms(render_ms), std::to_string(html.size() / 1024),
+                  deterministic ? "yes" : "NO"});
+    if (!deterministic) {
+      std::cerr << "FAIL: journal for " << name << " differs across worker counts\n";
+      return 1;
+    }
+  }
+  table.Print();
+  std::cout << "\ncorpus total: plain " << std::fixed << std::setprecision(1) << total_plain
+            << " ms, journaled " << total_journaled << " ms\n";
+  return 0;
+}

@@ -47,14 +47,19 @@ ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
   --benchmark_out_format=json >/dev/null
 echo "interpreter bench: BENCH_interp.json"
 
-# Archive an instrumented campaign: the Chrome trace and metrics JSON for one
-# corpus app, loadable in Perfetto / chrome://tracing (docs/OBSERVABILITY.md).
+# Archive an instrumented campaign: the Chrome trace, metrics JSON, retry
+# journal, and the self-contained HTML retry dashboard for one corpus app
+# (docs/OBSERVABILITY.md). The journal must be byte-identical at any worker
+# count; the cli_report_smoke ctest checks that on every run, and the
+# obs_journal_test gtest pins it at 1/2/4/8 workers.
 corpus_dir="$build_dir/reproduce_corpus"
 rm -rf "$corpus_dir"
 "$build_dir/tools/wasabi" dump-corpus "$corpus_dir" >/dev/null
 "$build_dir/tools/wasabi" test "$corpus_dir/mapred" --jobs 4 \
   --trace-out="$repo_root/campaign_trace.json" \
-  --metrics-out="$repo_root/campaign_metrics.json" >/dev/null
+  --metrics-out="$repo_root/campaign_metrics.json" \
+  --journal-out="$repo_root/campaign_journal.json" \
+  --report-out="$repo_root/campaign_report.html" >/dev/null
 
 # Chaos-containment pass (docs/ROBUSTNESS.md): the same campaign with the
 # self-chaos harness killing ~10% of run attempts must exit 0 and produce
@@ -96,15 +101,17 @@ echo "warm cache: byte-identical to cache-off at 1/2/4/8 workers"
 # (label "perf", which re-prove byte-identical campaign output with the
 # per-worker interpreter arenas under TSan) and the flakiness-prober/replay
 # suites (labels "flaky"/"replay", whose probe reruns share the campaign's
-# warm arenas across workers; see docs/FLAKINESS.md), in a separate build
-# tree so the main artifacts stay uninstrumented. Skipped quietly when the
-# compiler can't link TSan (e.g. musl toolchains).
+# warm arenas across workers; see docs/FLAKINESS.md) and the retry-journal
+# suite (label "obsjournal", whose per-thread journal buffers are written by
+# 8 campaign workers and merged at collect time; see docs/OBSERVABILITY.md),
+# in a separate build tree so the main artifacts stay uninstrumented.
+# Skipped quietly when the compiler can't link TSan (e.g. musl toolchains).
 if echo 'int main(){return 0;}' |
    c++ -x c++ -fsanitize=thread -o /tmp/wasabi_tsan_probe - 2>/dev/null; then
   rm -f /tmp/wasabi_tsan_probe
   cmake -B "$build_dir-tsan" -G Ninja -S "$repo_root" -DWASABI_TSAN=ON
   cmake --build "$build_dir-tsan"
-  ctest --test-dir "$build_dir-tsan" -L 'exec|perf|flaky|replay' --output-on-failure \
+  ctest --test-dir "$build_dir-tsan" -L 'exec|perf|flaky|replay|obsjournal' --output-on-failure \
     2>&1 | tee "$repo_root/tsan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=thread; skipping TSan pass"
@@ -125,7 +132,7 @@ if echo 'int main(){return 0;}' |
   rm -f /tmp/wasabi_asan_probe
   cmake -B "$build_dir-asan" -G Ninja -S "$repo_root" -DWASABI_ASAN=ON
   cmake --build "$build_dir-asan"
-  ctest --test-dir "$build_dir-asan" -L 'robust|perf|fuzz|cache|flaky|replay' --output-on-failure \
+  ctest --test-dir "$build_dir-asan" -L 'robust|perf|fuzz|cache|flaky|replay|obsjournal' --output-on-failure \
     2>&1 | tee "$repo_root/asan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=address; skipping ASan pass"
@@ -134,5 +141,6 @@ fi
 echo
 echo "Done. Test results: test_output.txt; table/figure outputs: bench_output.txt;"
 echo "campaign trace/metrics: campaign_trace.json, campaign_metrics.json;"
+echo "retry journal + dashboard: campaign_journal.json, campaign_report.html;"
 echo "interpreter throughput record: BENCH_interp.json;"
 echo "cache cold/warm record: BENCH_cache.json"

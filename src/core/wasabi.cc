@@ -10,6 +10,7 @@
 #include "src/exec/campaign.h"
 #include "src/exec/campaign_cache.h"
 #include "src/exec/task_pool.h"
+#include "src/obs/retry_stats.h"
 #include "src/inject/injector.h"
 #include "src/interp/value.h"
 #include "src/lang/digest.h"
@@ -327,9 +328,26 @@ bool DecodeWhenEntry(const std::string& entry, const mj::ProgramIndex& index,
   return true;
 }
 
-void CountCacheLookup(MetricsRegistry* metrics, const char* ns, bool hit) {
-  if (metrics != nullptr) {
-    metrics->Increment(std::string(hit ? "cache.hits." : "cache.misses.") + ns);
+// Cache-lookup telemetry: one metrics increment, one cumulative Chrome
+// counter-track sample (counter tracks plot running totals, so each site
+// keeps its own tally), and one journal cache event per lookup. Every call
+// site is serial, so the emission order is deterministic.
+struct CacheLookupCounters {
+  int64_t hits = 0;
+  int64_t misses = 0;
+};
+
+void CountCacheLookup(const WasabiOptions& options, const char* ns, bool hit,
+                      CacheLookupCounters& counters) {
+  const int64_t cumulative = hit ? ++counters.hits : ++counters.misses;
+  if (options.metrics != nullptr) {
+    options.metrics->Increment(std::string(hit ? "cache.hits." : "cache.misses.") + ns);
+  }
+  if (options.tracer != nullptr) {
+    options.tracer->Counter(hit ? "cache.hits" : "cache.misses", ns, cumulative);
+  }
+  if (options.journal != nullptr) {
+    options.journal->CacheLookup(ns, hit);
   }
 }
 
@@ -496,6 +514,7 @@ IdentificationResult Wasabi::IdentifyRetryStructures() {
   const std::string llm_prefix =
       cache != nullptr ? mj::DigestHex(DigestLlmConfig(options_.llm)) + "|" : std::string();
   LlmUsage cached_usage;
+  CacheLookupCounters identify_lookups;
   for (size_t u = 0; u < program_.units().size(); ++u) {
     const auto& unit = program_.units()[u];
     if (IsTestPath(unit->file().name())) {
@@ -515,7 +534,7 @@ IdentificationResult Wasabi::IdentifyRetryStructures() {
         cached_usage.bytes_sent += delta.bytes_sent;
         cached_usage.prompt_tokens += delta.prompt_tokens;
       }
-      CountCacheLookup(options_.metrics, kCacheNsIdentify, hit);
+      CountCacheLookup(options_, kCacheNsIdentify, hit, identify_lookups);
     }
     if (!hit) {
       LlmUsage before = llm.usage();
@@ -668,7 +687,7 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
   // so the only cross-run state is read-only.
   TaskPool pool(options_.jobs);
   result.jobs_used = pool.worker_count();
-  CampaignObs obs{options_.tracer, options_.metrics, options_.progress};
+  CampaignObs obs{options_.tracer, options_.metrics, options_.progress, options_.journal};
 
   // Cache context for the execution phases: every key folds in the program
   // digest, the workflow-config digest, and the retry-location-list digest,
@@ -746,18 +765,20 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
   std::vector<InterpreterArena> arenas(static_cast<size_t>(pool.worker_count()));
   std::vector<RunRecorder> recorders;
   const bool recording = !options_.record_dir.empty();
+  const bool journaling = options_.journal != nullptr;
   // All-or-nothing campaign replay: a warm hit yields the exact post-oracle
   // reports (classification included), quarantine records, and resilience
   // counters a cold campaign produces, in the same order; any gap runs
-  // everything cold and re-stores. Record mode forces a cold campaign — a
-  // warm replay executes nothing, so there would be no decision stream to
-  // record.
+  // everything cold and re-stores. Record mode and journaling force a cold
+  // campaign — a warm replay executes nothing, so there would be no decision
+  // stream to record and no retry behavior to journal.
   CachedCampaign cached_campaign;
   const bool campaign_warm =
-      !recording && cache_context.enabled() &&
+      !recording && !journaling && cache_context.enabled() &&
       TryLoadCampaign(cache_context, specs, result.locations, &cached_campaign);
-  if (cache_context.enabled() && !recording) {
-    CountCacheLookup(options_.metrics, kCacheNsCampaign, campaign_warm);
+  if (cache_context.enabled() && !recording && !journaling) {
+    CacheLookupCounters campaign_lookups;
+    CountCacheLookup(options_, kCacheNsCampaign, campaign_warm, campaign_lookups);
   }
   if (campaign_warm) {
     ScopedSpan span(options_.tracer, "phase.campaign");
@@ -863,9 +884,15 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
         ScopedSpan span(options_.tracer, "phase.probe");
         span.AddArg("failing_runs", static_cast<int64_t>(requests.size()));
         span.AddArg("repetitions", static_cast<int64_t>(options_.prober.repetitions));
+        if (options_.progress != nullptr) {
+          options_.progress->Begin("probe", requests.size());
+        }
         std::vector<ProbeResult> probe_results =
             ProbeFailingRuns(runner, result.locations, specs, requests, options_.robust.chaos,
                              options_.oracles, options_.prober, pool, &arenas, obs);
+        if (options_.progress != nullptr) {
+          options_.progress->Finish();
+        }
         SimLlm flaky_llm(options_.llm);
         std::unordered_map<std::string, const mj::CompilationUnit*> unit_by_file;
         for (const auto& unit : program_.units()) {
@@ -962,6 +989,15 @@ DynamicResult Wasabi::RunDynamicWorkflow() {
                                 static_cast<int64_t>(all_reports.size()));
     ExportPoolMetrics(*options_.metrics, pool, result.jobs_used,
                       result.coverage_seconds + result.injection_seconds);
+  }
+
+  // Derived retry analytics (docs/OBSERVABILITY.md "Retry analytics"): the
+  // collected journal — merged and (stream, run, seq)-sorted, so identical at
+  // any worker count — feeds amplification / goodput / time-to-recover /
+  // latency-quantile stats into the metrics registry and trace counter tracks.
+  if (journaling) {
+    ExportRetryStats(ComputeRetryStats(options_.journal->Collect()), options_.metrics,
+                     options_.tracer);
   }
 
   result.raw_reports = all_reports;
@@ -1140,6 +1176,7 @@ StaticResult Wasabi::RunStaticWorkflow() {
   const std::string llm_prefix =
       cache != nullptr ? mj::DigestHex(DigestLlmConfig(options_.llm)) + "|" : std::string();
   LlmUsage cached_usage;
+  CacheLookupCounters when_lookups;
   for (size_t u = 0; u < program_.units().size(); ++u) {
     const auto& unit = program_.units()[u];
     if (IsTestPath(unit->file().name())) {
@@ -1159,7 +1196,7 @@ StaticResult Wasabi::RunStaticWorkflow() {
         cached_usage.bytes_sent += delta.bytes_sent;
         cached_usage.prompt_tokens += delta.prompt_tokens;
       }
-      CountCacheLookup(options_.metrics, kCacheNsWhen, hit);
+      CountCacheLookup(options_, kCacheNsWhen, hit, when_lookups);
     }
     if (!hit) {
       LlmUsage before = llm.usage();

@@ -25,6 +25,7 @@
 #include "src/exec/prober.h"
 #include "src/record/recorder.h"
 #include "src/llm/sim_llm.h"
+#include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
 #include "src/obs/trace.h"
@@ -65,6 +66,13 @@ struct WasabiOptions {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
   ProgressMeter* progress = nullptr;
+  // Retry-behavior journal (docs/OBSERVABILITY.md "Retry analytics"),
+  // non-owning and default-off. With a journal attached the dynamic workflow
+  // records every campaign/coverage/probe/cache retry event, forces a cold
+  // campaign (a warm replay executes nothing journal-worthy), and exports
+  // derived retry.* analytics into `metrics`/`tracer`; stdout and every
+  // report byte stay identical either way.
+  RetryJournal* journal = nullptr;
   // Optional result cache (docs/CACHING.md), non-owning and default-off. With
   // a store attached, per-file SimLLM results, per-test coverage runs, and
   // whole-campaign verdicts are memoized under content-digest keys; every
@@ -194,10 +202,11 @@ class Wasabi {
   // construction — the bench re-runs one instance at several worker counts
   // with a fresh registry per level.
   void set_observability(Tracer* tracer, MetricsRegistry* metrics,
-                         ProgressMeter* progress = nullptr) {
+                         ProgressMeter* progress = nullptr, RetryJournal* journal = nullptr) {
     options_.tracer = tracer;
     options_.metrics = metrics;
     options_.progress = progress;
+    options_.journal = journal;
   }
   // Attaches (or detaches) the result cache after construction.
   void set_cache(CacheStore* cache) { options_.cache = cache; }

@@ -163,6 +163,23 @@ struct RecorderDispatchObserver : DispatchObserver {
   }
 };
 
+// Counts retry-loop (while/for) iterations executed inside the coordinator
+// method for the journal. One instance per in-flight attempt, owned by the
+// worker lambda; the coordinator filter keeps the application's unrelated
+// loops (map phases, list walks) out of the retry accounting. Coalesced to
+// one kLoopIterations event per attempt at attempt end.
+struct JournalLoopObserver : LoopObserver {
+  std::string_view coordinator;
+  int64_t iterations = 0;
+  int64_t last_ms = 0;
+  void OnLoopIteration(std::string_view method, int64_t virtual_ms) override {
+    if (method == coordinator) {
+      ++iterations;
+      last_ms = virtual_ms;
+    }
+  }
+};
+
 }  // namespace
 
 CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
@@ -205,6 +222,23 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
     return recorders != nullptr ? &(*recorders)[i] : nullptr;
   };
 
+  // One journal handle per run, indexed like `recorders`. A handle is touched
+  // by at most one worker per wave and by the serial reduce after the wave
+  // joins, so its per-run sequence numbers never race.
+  std::vector<JournalRun> journal_runs;
+  if (obs.journal != nullptr) {
+    journal_runs.resize(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      journal_runs[i].Begin(obs.journal, JournalStream::kCampaign, specs[i].id,
+                            specs[i].test.qualified_name,
+                            locations[specs[i].location_index].Key(), specs[i].k);
+    }
+  }
+  auto journal_for = [&](size_t i) -> JournalRun* {
+    return obs.journal != nullptr ? &journal_runs[i] : nullptr;
+  };
+  int64_t breaker_opens = 0;  // Cumulative, for the breaker counter track.
+
   auto quarantine = [&](size_t i, RunFailure failure) {
     const CampaignRunSpec& spec = specs[i];
     failure.run_id = spec.id;
@@ -213,6 +247,9 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
     failure.attempts = attempts[i];
     if (RunRecorder* recorder = recorder_for(i)) {
       recorder->Quarantine(RunFailureKindName(failure.kind), failure.detail);
+    }
+    if (JournalRun* jr = journal_for(i)) {
+      jr->Quarantine(RunFailureKindName(failure.kind), failure.detail);
     }
     outcome.quarantined.push_back(std::move(failure));
     ++stats.quarantined;
@@ -250,6 +287,9 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
         skip.kind = RunFailureKind::kHostException;
         skip.detail = "skipped: circuit open for " + key;
         ++stats.breaker_open;
+        if (obs.tracer != nullptr) {
+          obs.tracer->Counter("robust.breaker_open", "skipped_runs", stats.breaker_open);
+        }
         quarantine(i, std::move(skip));
         continue;
       }
@@ -284,6 +324,7 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
                                                  location.exception_name, spec.k}},
                                  obs.metrics);
           RecorderDispatchObserver dispatch_observer;
+          JournalLoopObserver loop_observer;
           RunPerturbation perturbation;
           perturbation.chaos_degraded_env = ChaosDegradedEnvironment(options.chaos, spec.id);
           if (recorder != nullptr) {
@@ -291,6 +332,15 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
             injector.set_recorder(recorder);
             dispatch_observer.recorder = recorder;
             perturbation.dispatch_observer = &dispatch_observer;
+          }
+          JournalRun* jr = journal_for(i);
+          if (jr != nullptr) {
+            // Like the recorder's AttemptBegin, this sits after the chaos
+            // seam: a chaos-faulted attempt never began at the app level and
+            // shows up as a reduce-time kHostFailure instead.
+            jr->AttemptBegin(attempt);
+            loop_observer.coordinator = location.coordinator;
+            perturbation.loop_observer = &loop_observer;
           }
           CampaignRunResult& result = results[i];
           result.id = spec.id;
@@ -301,6 +351,27 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
               &arena_pool[static_cast<size_t>(TaskPool::CurrentWorker())], perturbation);
           if (recorder != nullptr) {
             recorder->AttemptEnd(attempt, TestStatusName(result.record.outcome.status));
+          }
+          if (jr != nullptr) {
+            // Derive the attempt's retry timeline from run-private data (the
+            // execution log preserves fire/sleep interleaving in virtual-time
+            // order), so journal content never depends on which worker ran it.
+            for (const LogEntry& entry : result.record.log.entries()) {
+              if (entry.kind == LogEntryKind::kInjection) {
+                jr->InjectFire(attempt, entry.virtual_time_ms, entry.amount);
+              } else if (entry.kind == LogEntryKind::kSleep) {
+                jr->Sleep(attempt, entry.virtual_time_ms, entry.amount);
+              }
+            }
+            if (injector.TotalSkips() > 0) {
+              jr->InjectSkip(attempt, injector.TotalSkips());
+            }
+            if (loop_observer.iterations > 0) {
+              jr->LoopIterations(attempt, loop_observer.iterations, loop_observer.last_ms);
+            }
+            jr->Work(attempt, result.record.steps);
+            jr->AttemptEnd(attempt, TestStatusName(result.record.outcome.status),
+                           result.record.virtual_duration_ms);
           }
           if (obs.progress != nullptr) {
             obs.progress->Tick();
@@ -327,7 +398,20 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
       if (RunRecorder* recorder = recorder_for(i)) {
         recorder->HostFailure(attempts[i], RunFailureKindName(failure.kind), failure.detail);
       }
+      if (JournalRun* jr = journal_for(i)) {
+        jr->HostFailure(attempts[i], RunFailureKindName(failure.kind), failure.chaos);
+      }
+      const bool was_open = breaker.IsOpen(key);
       breaker.RecordFailure(key);
+      if (!was_open && breaker.IsOpen(key)) {
+        ++breaker_opens;
+        if (obs.tracer != nullptr) {
+          obs.tracer->Counter("robust.breaker_open", "open_locations", breaker_opens);
+        }
+        if (JournalRun* jr = journal_for(i)) {
+          jr->BreakerOpen(attempts[i]);
+        }
+      }
       const int next_attempt = attempts[i] + 1;
       if (options.retry.ShouldRetry(next_attempt) && !breaker.IsOpen(key)) {
         ++stats.retries;
@@ -335,6 +419,9 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
         stats.backoff_virtual_ms += backoff_ms;
         if (RunRecorder* recorder = recorder_for(i)) {
           recorder->Backoff(next_attempt, backoff_ms);
+        }
+        if (JournalRun* jr = journal_for(i)) {
+          jr->BackoffWait(next_attempt, backoff_ms);
         }
         next_wave.push_back(i);
       } else {
@@ -445,6 +532,25 @@ CoverageOutcome ReduceCoverageOutcomes(const std::vector<TestCase>& tests,
     stats.retries += out.retries;
     stats.chaos_faults += out.chaos_faults;
     stats.backoff_virtual_ms += out.backoff_virtual_ms;
+    if (obs.journal != nullptr) {
+      // Coverage journal entries are derived here, serially, from the
+      // per-test outcome aggregates — the same structs a warm cache restores
+      // — so the stream is identical for cold, warm, and any worker count.
+      JournalRun jr;
+      jr.Begin(obs.journal, JournalStream::kCoverage, static_cast<uint64_t>(i),
+               tests[i].qualified_name, "<coverage>", 0);
+      for (int64_t f = 0; f < out.chaos_faults; ++f) {
+        jr.HostFailure(static_cast<int>(f) + 1, "chaos", true);
+      }
+      if (out.backoff_virtual_ms > 0) {
+        jr.BackoffWait(out.attempts, out.backoff_virtual_ms);
+      }
+      if (out.quarantined) {
+        jr.Quarantine(RunFailureKindName(out.failure_kind), out.failure_detail);
+      } else {
+        jr.AttemptEnd(out.attempts, out.recovered ? "recovered" : "passed", 0);
+      }
+    }
     if (out.quarantined) {
       RunFailure failure;
       failure.run_id = static_cast<uint64_t>(i);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/exec/task_pool.h"
+#include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
 #include "src/obs/trace.h"
@@ -29,15 +30,19 @@
 
 namespace wasabi {
 
-// Optional observability sinks threaded through the executor. All three are
+// Optional observability sinks threaded through the executor. All four are
 // non-owning and may be null; the default-constructed value is "fully off".
 // Spans and progress ticks are recorded from worker threads as runs execute;
 // metric aggregation over run records happens at reduce time, serially and in
-// run-id order, so the metrics snapshot is deterministic too.
+// run-id order, so the metrics snapshot is deterministic too. The journal
+// records worker-side events through per-run JournalRun handles (one worker
+// per run per wave) and reduce-side events serially, so its collected stream
+// is byte-identical at any worker count (docs/OBSERVABILITY.md).
 struct CampaignObs {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
   ProgressMeter* progress = nullptr;
+  RetryJournal* journal = nullptr;
 };
 
 // One unit of campaign work: run `test` while injecting at `location_index`

@@ -193,10 +193,19 @@ CoverageOutcome MapCoverageCached(const TestRunner& runner, const std::vector<Te
       per_test[missing_indices[m]] = std::move(executed[m]);
     }
   }
+  const int64_t hits = static_cast<int64_t>(tests.size() - missing.size());
+  const int64_t misses = static_cast<int64_t>(missing.size());
   if (obs.metrics != nullptr) {
-    obs.metrics->Increment("cache.hits.cov",
-                           static_cast<int64_t>(tests.size() - missing.size()));
-    obs.metrics->Increment("cache.misses.cov", static_cast<int64_t>(missing.size()));
+    obs.metrics->Increment("cache.hits.cov", hits);
+    obs.metrics->Increment("cache.misses.cov", misses);
+  }
+  if (obs.tracer != nullptr) {
+    obs.tracer->Counter("cache.hits", "cov", hits);
+    obs.tracer->Counter("cache.misses", "cov", misses);
+  }
+  if (obs.journal != nullptr) {
+    obs.journal->CacheLookup("cov", /*hit=*/true, hits);
+    obs.journal->CacheLookup("cov", /*hit=*/false, misses);
   }
   return ReduceCoverageOutcomes(tests, std::move(per_test), obs);
 }

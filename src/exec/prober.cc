@@ -57,6 +57,20 @@ std::vector<ProbeResult> ProbeFailingRuns(const TestRunner& runner,
       arenas != nullptr ? 0 : static_cast<size_t>(pool.worker_count()));
   std::vector<InterpreterArena>& arena_pool = arenas != nullptr ? *arenas : local_arenas;
 
+  // One journal handle per request; begun serially here (deterministic order),
+  // repetitions appended by the single worker that owns the request's task,
+  // verdicts appended by the serial reduce below.
+  std::vector<JournalRun> journal_runs;
+  if (obs.journal != nullptr) {
+    journal_runs.resize(requests.size());
+    for (size_t r = 0; r < requests.size(); ++r) {
+      const CampaignRunSpec& spec = specs[requests[r].run_id];
+      journal_runs[r].Begin(obs.journal, JournalStream::kProbe, requests[r].run_id,
+                            spec.test.qualified_name,
+                            locations[spec.location_index].Key(), spec.k);
+    }
+  }
+
   // Each request's probing is one self-contained task: its repetitions run
   // serially on one worker (reusing that worker's warm arena), so worker
   // count never changes the classification. Host failures inside a probe are
@@ -76,6 +90,7 @@ std::vector<ProbeResult> ProbeFailingRuns(const TestRunner& runner,
 
         ProbeResult& result = results[r];
         result.run_id = request.run_id;
+        JournalRun* jr = obs.journal != nullptr ? &journal_runs[r] : nullptr;
         const bool degraded = ChaosDegradedEnvironment(chaos, spec.id);
         bool diverged = false;
         for (int rep = 1; rep <= options.repetitions; ++rep) {
@@ -83,27 +98,36 @@ std::vector<ProbeResult> ProbeFailingRuns(const TestRunner& runner,
           std::string signature =
               ProbeSignature(runner, location, spec, arena, oracles,
                              static_cast<int64_t>(rep) * options.epoch_stride_ms, degraded);
-          if (signature != request.baseline_signature) {
-            diverged = true;
+          diverged = signature != request.baseline_signature;
+          if (jr != nullptr) {
+            jr->ProbeRepetition(rep, diverged, /*counterfactual=*/false);
+          }
+          if (diverged) {
             break;  // Any divergence settles the class; later reps add nothing.
           }
         }
         if (diverged) {
           result.stability = VerdictStability::kFlaky;
-          return;
-        }
-        if (degraded) {
-          // Counterfactual: original epoch, degradation off. If the verdict
-          // vanishes, the environment caused it.
-          ++result.repetitions;
-          std::string signature = ProbeSignature(runner, location, spec, arena, oracles,
-                                                 /*epoch_ms=*/0, /*degraded_env=*/false);
-          if (signature != request.baseline_signature) {
-            result.stability = VerdictStability::kChaosInduced;
-            return;
+        } else {
+          result.stability = VerdictStability::kStable;
+          if (degraded) {
+            // Counterfactual: original epoch, degradation off. If the verdict
+            // vanishes, the environment caused it.
+            ++result.repetitions;
+            std::string signature = ProbeSignature(runner, location, spec, arena, oracles,
+                                                   /*epoch_ms=*/0, /*degraded_env=*/false);
+            const bool vanished = signature != request.baseline_signature;
+            if (jr != nullptr) {
+              jr->ProbeRepetition(result.repetitions, vanished, /*counterfactual=*/true);
+            }
+            if (vanished) {
+              result.stability = VerdictStability::kChaosInduced;
+            }
           }
         }
-        result.stability = VerdictStability::kStable;
+        if (obs.progress != nullptr) {
+          obs.progress->Tick();
+        }
       });
 
   // Serial reduce in request (== run id) order: contain probe failures and
@@ -122,6 +146,9 @@ std::vector<ProbeResult> ProbeFailingRuns(const TestRunner& runner,
       result.probe_failed = true;
       result.stability = VerdictStability::kStable;
       ++probe_failures;
+    }
+    if (obs.journal != nullptr) {
+      journal_runs[r].ProbeVerdict(VerdictStabilityName(result.stability), result.probe_failed);
     }
     repetitions_total += result.repetitions;
     switch (result.stability) {

@@ -3,7 +3,10 @@
 namespace wasabi {
 
 FaultInjector::FaultInjector(std::vector<InjectionPoint> points, MetricsRegistry* metrics)
-    : points_(std::move(points)), counts_(points_.size(), 0), metrics_(metrics) {}
+    : points_(std::move(points)),
+      counts_(points_.size(), 0),
+      skip_counts_(points_.size(), 0),
+      metrics_(metrics) {}
 
 void FaultInjector::OnCall(const CallEvent& event, Interpreter& interp) {
   for (size_t i = 0; i < points_.size(); ++i) {
@@ -17,6 +20,7 @@ void FaultInjector::OnCall(const CallEvent& event, Interpreter& interp) {
     if (counts_[i] >= point.max_injections) {
       // Budget exhausted: the call proceeds un-faulted. That is still a
       // decision worth replay-validating (it is what ends a retry storm).
+      ++skip_counts_[i];
       if (recorder_ != nullptr) {
         recorder_->InjectSkip(point.callee, event.caller, point.exception);
       }
@@ -62,8 +66,21 @@ int FaultInjector::TotalInjections() const {
   return total;
 }
 
+int FaultInjector::SkipCount(size_t point_index) const {
+  return point_index < skip_counts_.size() ? skip_counts_[point_index] : 0;
+}
+
+int FaultInjector::TotalSkips() const {
+  int total = 0;
+  for (int count : skip_counts_) {
+    total += count;
+  }
+  return total;
+}
+
 void FaultInjector::Reset() {
   counts_.assign(points_.size(), 0);
+  skip_counts_.assign(points_.size(), 0);
 }
 
 }  // namespace wasabi

@@ -53,6 +53,12 @@ class FaultInjector : public CallInterceptor {
   int InjectionCount(size_t point_index) const;
   int TotalInjections() const;
 
+  // How many calls matched the i-th point after its budget was exhausted —
+  // the application-level attempts a fault did NOT stop, which is what the
+  // retry journal's amplification accounting needs.
+  int SkipCount(size_t point_index) const;
+  int TotalSkips() const;
+
   void Reset();
 
   // Non-owning; when set, every fire and exhausted-budget skip decision is
@@ -62,6 +68,7 @@ class FaultInjector : public CallInterceptor {
  private:
   std::vector<InjectionPoint> points_;
   std::vector<int> counts_;
+  std::vector<int> skip_counts_;
   MetricsRegistry* metrics_;  // Non-owning; null = no metric export.
   RunRecorder* recorder_ = nullptr;
 };

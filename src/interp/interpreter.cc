@@ -31,6 +31,7 @@ void Interpreter::ResetForRun() {
   frozen_config_keys_.clear();
   interceptors_.clear();
   dispatch_observer_ = nullptr;
+  loop_observer_ = nullptr;
   log_.Clear();
   virtual_time_ms_ = 0;
   run_epoch_ms_ = 0;
@@ -51,6 +52,12 @@ void Interpreter::ResetForRun() {
   arg_buffer_depth_ = 0;
   // dispatch_cache_ deliberately survives: it is a pure function of the
   // immutable shared program, so warm entries stay valid across runs.
+}
+
+void Interpreter::NotifyLoopIteration() {
+  const std::string* name = frame_depth_ > 0 ? CurrentFrame().qualified_name : nullptr;
+  loop_observer_->OnLoopIteration(name != nullptr ? std::string_view(*name) : std::string_view(),
+                                  virtual_time_ms_);
 }
 
 void Interpreter::SetConfig(const std::string& key, Value value) {
@@ -1324,6 +1331,9 @@ Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
       while (EvalBool(*node.condition, stmt.location)) {
         Step();
         ++loop_iterations_;
+        if (loop_observer_ != nullptr) {
+          NotifyLoopIteration();
+        }
         Flow flow = ExecStmt(*node.body);
         if (flow.kind == FlowKind::kBreak) {
           break;
@@ -1350,6 +1360,9 @@ Interpreter::Flow Interpreter::ExecStmt(const mj::Stmt& stmt) {
       while (node.condition == nullptr || EvalBool(*node.condition, stmt.location)) {
         Step();
         ++loop_iterations_;
+        if (loop_observer_ != nullptr) {
+          NotifyLoopIteration();
+        }
         Flow flow = ExecStmt(*node.body);
         if (flow.kind == FlowKind::kBreak) {
           break;

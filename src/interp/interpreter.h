@@ -90,6 +90,16 @@ class DispatchObserver {
                           std::string_view method) = 0;
 };
 
+// Observes while/for back-edges with the enclosing method's qualified name
+// and the virtual clock. The retry journal uses it to count coordinator
+// retry-loop iterations per attempt; like DispatchObserver, null (the
+// default) keeps the loop hot path down to one pointer test.
+class LoopObserver {
+ public:
+  virtual ~LoopObserver() = default;
+  virtual void OnLoopIteration(std::string_view method, int64_t virtual_ms) = 0;
+};
+
 struct InterpOptions {
   int64_t step_budget = 2'000'000;
   int64_t virtual_time_budget_ms = 15LL * 60 * 1000;  // The paper's 15 minutes.
@@ -114,6 +124,8 @@ class Interpreter {
   // Non-owning; cleared by ResetForRun. Null (the default) keeps the dispatch
   // hot path free of virtual calls.
   void set_dispatch_observer(DispatchObserver* observer) { dispatch_observer_ = observer; }
+  // Non-owning; cleared by ResetForRun. Same null-by-default discipline.
+  void set_loop_observer(LoopObserver* observer) { loop_observer_ = observer; }
 
   // --- Run perturbation ------------------------------------------------------
   // Starts the virtual clock at `epoch_ms` instead of 0. The time BUDGET stays
@@ -308,7 +320,11 @@ class Interpreter {
   std::unordered_map<std::string, Value> config_;
   std::unordered_set<std::string> frozen_config_keys_;
   std::vector<CallInterceptor*> interceptors_;
+  // Out-of-line cold path: called only when loop_observer_ is set.
+  void NotifyLoopIteration();
+
   DispatchObserver* dispatch_observer_ = nullptr;
+  LoopObserver* loop_observer_ = nullptr;
   ExecutionLog log_;
   int64_t virtual_time_ms_ = 0;
   int64_t run_epoch_ms_ = 0;

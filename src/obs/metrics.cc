@@ -91,7 +91,55 @@ std::string NumberJson(double value) {
   return buffer;
 }
 
+// OpenMetrics metric names are limited to [a-zA-Z0-9_:] and must not start
+// with a digit; the registry's dotted names map onto that with '_'.
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
 }  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // 0-based fractional rank of the requested quantile among `count` samples.
+  const double rank = q * static_cast<double>(count - 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double upper = buckets[i].first;
+    const uint64_t in_bucket = buckets[i].second;
+    const bool last = i + 1 == buckets.size();
+    if (!last && rank >= static_cast<double>(seen + in_bucket)) {
+      seen += in_bucket;
+      continue;
+    }
+    // Bucket bounds tightened by the observed extremes; the overflow bucket
+    // has no real upper bound, so `max` stands in for it.
+    const double lower = upper > 1.0 ? upper / 2.0 : 0.0;
+    const double lo = std::max(lower, min);
+    double hi = last ? max : std::min(upper, max);
+    if (hi < lo) {
+      hi = lo;
+    }
+    const double within =
+        (rank - static_cast<double>(seen) + 1.0) / static_cast<double>(in_bucket);
+    const double estimate = lo + (hi - lo) * std::min(within, 1.0);
+    return std::clamp(estimate, min, max);
+  }
+  return max;
+}
 
 void MetricsRegistry::Increment(const std::string& name, int64_t delta) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -211,6 +259,44 @@ std::string MetricsRegistry::ToJson() const {
     first = false;
   }
   out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string MetricsRegistry::ToOpenMetrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    std::string family = SanitizeMetricName(name);
+    // Counter sample names carry a mandatory _total suffix; avoid doubling it
+    // for registry names that already end that way.
+    constexpr std::string_view kTotal = "_total";
+    if (family.size() > kTotal.size() &&
+        family.compare(family.size() - kTotal.size(), kTotal.size(), kTotal) == 0) {
+      family.resize(family.size() - kTotal.size());
+    }
+    out << "# TYPE " << family << " counter\n" << family << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    const std::string family = SanitizeMetricName(name);
+    out << "# TYPE " << family << " gauge\n" << family << " " << NumberJson(value) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string family = SanitizeMetricName(name);
+    out << "# TYPE " << family << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.bucket_counts.size(); ++i) {
+      if (histogram.bucket_counts[i] == 0) {
+        continue;
+      }
+      cumulative += histogram.bucket_counts[i];
+      out << family << "_bucket{le=\"" << NumberJson(BucketUpperBound(i)) << "\"} " << cumulative
+          << "\n";
+    }
+    out << family << "_bucket{le=\"+Inf\"} " << histogram.count << "\n";
+    out << family << "_sum " << NumberJson(histogram.sum) << "\n";
+    out << family << "_count " << histogram.count << "\n";
+  }
+  out << "# EOF\n";
   return out.str();
 }
 

@@ -33,6 +33,12 @@ struct HistogramSnapshot {
   std::vector<std::pair<double, uint64_t>> buckets;
 
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  // Quantile estimate (q in [0, 1]) by linear interpolation inside the log2
+  // bucket holding rank q*(count-1), clamped to the observed [min, max]. The
+  // estimate is always within the true quantile's bucket bounds, which the
+  // retry analytics tests assert on.
+  double Quantile(double q) const;
 };
 
 class MetricsRegistry {
@@ -55,6 +61,13 @@ class MetricsRegistry {
   // One JSON object {"counters":{...},"gauges":{...},"histograms":{...},
   // "series":{...}}, keys sorted (std::map iteration), always valid JSON.
   std::string ToJson() const;
+
+  // OpenMetrics text exposition (the `--metrics-format=openmetrics` scrape
+  // path): counters as `<name>_total`, gauges verbatim, histograms with
+  // cumulative `_bucket{le=...}` lines plus `_sum`/`_count`, names sanitized
+  // to [a-zA-Z0-9_:], terminated by `# EOF`. Series have no OpenMetrics
+  // equivalent and are deliberately omitted.
+  std::string ToOpenMetrics() const;
 
  private:
   struct Histogram {

@@ -1,0 +1,31 @@
+// Self-contained HTML rendering for `wasabi report` (docs/OBSERVABILITY.md).
+//
+// RenderHtmlReport turns a collected journal plus its derived retry stats
+// into ONE static HTML file: inline CSS and JS only, no external fetches, no
+// wall-clock timestamps — the bytes are a pure function of the inputs, so the
+// output is golden-testable and identical at any worker count. Charts are
+// server-rendered inline SVG; the only scripting is a hover tooltip layer.
+
+#ifndef WASABI_SRC_OBS_REPORT_HTML_H_
+#define WASABI_SRC_OBS_REPORT_HTML_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/journal.h"
+#include "src/obs/retry_stats.h"
+
+namespace wasabi {
+
+// Renders the dashboard. `events` is the collected journal (export order),
+// `stats` its derivation. `metrics_json` / `trace_json` are the sibling
+// artifacts' raw bytes — embedded verbatim in collapsible sections when
+// non-empty, so the report is a one-file record of the whole run.
+std::string RenderHtmlReport(std::string_view app, const std::vector<JournalEvent>& events,
+                             const RetryStatsReport& stats, std::string_view metrics_json,
+                             std::string_view trace_json);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_OBS_REPORT_HTML_H_

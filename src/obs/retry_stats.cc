@@ -1,0 +1,267 @@
+#include "src/obs/retry_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace wasabi {
+
+namespace {
+
+int64_t MinInt64(int64_t a, int64_t b) { return a < b ? a : b; }
+
+// Derive the per-run analytics once every event of the run has been applied.
+void FinalizeRun(RunRetryTimeline& run, const RetryStatsOptions& options) {
+  const int64_t cap = options.correct_policy_attempts > 0 ? options.correct_policy_attempts : 1;
+  run.attempts_observed = run.fires + run.skips;
+  if (run.attempts_observed == 0) {
+    // The retry location never fired in this run; nothing to amplify.
+    run.attempts_needed = 0;
+    run.amplification = 1.0;
+    run.goodput_steps = run.steps;
+    run.wasted_steps = 0;
+  } else {
+    if (run.completed && run.passed) {
+      // Each fire failed one application attempt and the final attempt
+      // succeeded; a correct bounded policy would have stopped at `cap`.
+      run.attempts_needed = MinInt64(run.fires + 1, cap);
+    } else {
+      run.attempts_needed = MinInt64(run.attempts_observed, cap);
+    }
+    run.amplification =
+        static_cast<double>(run.attempts_observed) / static_cast<double>(run.attempts_needed);
+    if (run.completed && run.passed) {
+      // A run that used no more attempts than the allowance wasted nothing;
+      // beyond it, steps are prorated by needed/observed.
+      run.goodput_steps =
+          run.attempts_observed <= run.attempts_needed
+              ? run.steps
+              : run.steps * run.attempts_needed / run.attempts_observed;
+    } else {
+      run.goodput_steps = 0;  // A failed run's work is all waste.
+    }
+    run.wasted_steps = run.steps - run.goodput_steps;
+  }
+  // Time-to-recover: host backoff charged between a chaos-injected failure
+  // and the attempt that finally completed. Runs that never completed (or
+  // never saw chaos) have no recovery to measure.
+  run.time_to_recover_ms = (run.chaos_failures > 0 && run.completed) ? run.host_backoff_ms : -1;
+}
+
+void AccumulateLocation(LocationRetryStats& loc, const RunRetryTimeline& run) {
+  if (loc.runs == 0) {
+    loc.location = run.location;
+    loc.test = run.test;
+  }
+  ++loc.runs;
+  if (run.completed) {
+    ++loc.completed_runs;
+  }
+  if (run.passed) {
+    ++loc.passed_runs;
+  }
+  if (run.quarantined) {
+    ++loc.quarantined_runs;
+  }
+  if (run.chaos_failures > 0 && run.completed) {
+    ++loc.recovered_runs;
+    loc.time_to_recover_ms_total += run.time_to_recover_ms;
+    loc.time_to_recover_ms_max = std::max(loc.time_to_recover_ms_max, run.time_to_recover_ms);
+  }
+  loc.attempts_observed += run.attempts_observed;
+  loc.attempts_needed += run.attempts_needed;
+  loc.total_steps += run.steps;
+  loc.goodput_steps += run.goodput_steps;
+  loc.wasted_steps += run.wasted_steps;
+  loc.sleep_ms += run.sleep_ms;
+  loc.host_backoff_ms += run.host_backoff_ms;
+}
+
+void FinalizeRatios(LocationRetryStats& loc, const std::vector<double>& latencies) {
+  loc.amplification = loc.attempts_needed > 0 ? static_cast<double>(loc.attempts_observed) /
+                                                    static_cast<double>(loc.attempts_needed)
+                                              : 1.0;
+  loc.goodput_ratio = loc.total_steps > 0 ? static_cast<double>(loc.goodput_steps) /
+                                                static_cast<double>(loc.total_steps)
+                                          : 1.0;
+  loc.latency_p50_ms = ExactQuantile(latencies, 0.5);
+  loc.latency_p90_ms = ExactQuantile(latencies, 0.9);
+  loc.latency_p99_ms = ExactQuantile(latencies, 0.99);
+}
+
+}  // namespace
+
+double ExactQuantile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  if (lo == hi) {
+    return values[lo];
+  }
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+RetryStatsReport ComputeRetryStats(const std::vector<JournalEvent>& events,
+                                   const RetryStatsOptions& options) {
+  // Tests hand-build journals, so do not assume export order.
+  std::vector<const JournalEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const JournalEvent& event : events) {
+    if (event.stream == JournalStream::kCampaign) {
+      ordered.push_back(&event);
+    }
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const JournalEvent* a, const JournalEvent* b) {
+                     return a->run_id != b->run_id ? a->run_id < b->run_id : a->seq < b->seq;
+                   });
+
+  RetryStatsReport report;
+  std::map<uint64_t, size_t> run_index;
+  for (const JournalEvent* event : ordered) {
+    auto [it, inserted] = run_index.emplace(event->run_id, report.runs.size());
+    if (inserted) {
+      report.runs.emplace_back();
+      RunRetryTimeline& run = report.runs.back();
+      run.run_id = event->run_id;
+      run.test = event->test;
+      run.location = event->location;
+      run.k = event->k;
+    }
+    RunRetryTimeline& run = report.runs[it->second];
+    switch (event->kind) {
+      case JournalEventKind::kRunBegin:
+        break;
+      case JournalEventKind::kAttemptBegin:
+        break;
+      case JournalEventKind::kAttemptEnd:
+        run.host_attempts = std::max(run.host_attempts, event->attempt);
+        run.completed = true;
+        run.final_status = event->detail;
+        run.passed = event->detail == "passed";
+        run.virtual_ms = event->value;
+        break;
+      case JournalEventKind::kWork:
+        run.steps = event->value;
+        break;
+      case JournalEventKind::kLoopIterations:
+        run.loop_iterations += event->value;
+        break;
+      case JournalEventKind::kInjectFire:
+        ++run.fires;
+        run.points.push_back({event->kind, event->attempt, event->t_ms, event->value});
+        break;
+      case JournalEventKind::kInjectSkip:
+        run.skips += event->value;
+        break;
+      case JournalEventKind::kSleep:
+        run.sleep_ms += event->value;
+        run.points.push_back({event->kind, event->attempt, event->t_ms, event->value});
+        break;
+      case JournalEventKind::kBackoffWait:
+        run.host_backoff_ms += event->value;
+        run.points.push_back({event->kind, event->attempt, event->t_ms, event->value});
+        break;
+      case JournalEventKind::kHostFailure:
+        run.host_attempts = std::max(run.host_attempts, event->attempt);
+        if (event->value != 0) {
+          ++run.chaos_failures;
+        }
+        break;
+      case JournalEventKind::kBreakerOpen:
+        run.breaker_opened = true;
+        break;
+      case JournalEventKind::kQuarantine:
+        run.quarantined = true;
+        break;
+      case JournalEventKind::kCacheHit:
+      case JournalEventKind::kCacheMiss:
+      case JournalEventKind::kProbeRepetition:
+      case JournalEventKind::kProbeVerdict:
+        break;  // Other streams; never in the campaign stream.
+    }
+  }
+
+  std::map<std::string, LocationRetryStats> locations;
+  std::map<std::string, std::vector<double>> location_latencies;
+  std::vector<double> all_latencies;
+  for (RunRetryTimeline& run : report.runs) {
+    FinalizeRun(run, options);
+    AccumulateLocation(locations[run.location], run);
+    if (run.completed) {
+      location_latencies[run.location].push_back(static_cast<double>(run.virtual_ms));
+      all_latencies.push_back(static_cast<double>(run.virtual_ms));
+    }
+    report.attempts_observed += run.attempts_observed;
+    report.attempts_needed += run.attempts_needed;
+    report.total_steps += run.steps;
+    report.goodput_steps += run.goodput_steps;
+    report.wasted_steps += run.wasted_steps;
+    if (run.time_to_recover_ms >= 0) {
+      report.time_to_recover_ms_total += run.time_to_recover_ms;
+      report.time_to_recover_ms_max =
+          std::max(report.time_to_recover_ms_max, run.time_to_recover_ms);
+    }
+  }
+  report.campaign_runs = report.runs.size();
+  report.amplification = report.attempts_needed > 0
+                             ? static_cast<double>(report.attempts_observed) /
+                                   static_cast<double>(report.attempts_needed)
+                             : 1.0;
+  report.goodput_ratio = report.total_steps > 0 ? static_cast<double>(report.goodput_steps) /
+                                                      static_cast<double>(report.total_steps)
+                                                : 1.0;
+  report.latency_p50_ms = ExactQuantile(all_latencies, 0.5);
+  report.latency_p90_ms = ExactQuantile(all_latencies, 0.9);
+  report.latency_p99_ms = ExactQuantile(all_latencies, 0.99);
+
+  report.locations.reserve(locations.size());
+  for (auto& [key, loc] : locations) {
+    FinalizeRatios(loc, location_latencies[key]);
+    report.locations.push_back(std::move(loc));
+  }
+  return report;
+}
+
+void ExportRetryStats(const RetryStatsReport& report, MetricsRegistry* metrics, Tracer* tracer) {
+  if (metrics != nullptr) {
+    metrics->SetGauge("retry.amplification", report.amplification);
+    metrics->SetGauge("retry.goodput_ratio", report.goodput_ratio);
+    metrics->SetGauge("retry.attempts_observed", static_cast<double>(report.attempts_observed));
+    metrics->SetGauge("retry.attempts_needed", static_cast<double>(report.attempts_needed));
+    metrics->SetGauge("retry.goodput_steps", static_cast<double>(report.goodput_steps));
+    metrics->SetGauge("retry.wasted_steps", static_cast<double>(report.wasted_steps));
+    metrics->SetGauge("retry.time_to_recover_ms_total",
+                      static_cast<double>(report.time_to_recover_ms_total));
+    metrics->SetGauge("retry.time_to_recover_ms_max",
+                      static_cast<double>(report.time_to_recover_ms_max));
+    metrics->SetGauge("retry.latency_p50_ms", report.latency_p50_ms);
+    metrics->SetGauge("retry.latency_p90_ms", report.latency_p90_ms);
+    metrics->SetGauge("retry.latency_p99_ms", report.latency_p99_ms);
+    // Per-run latency distribution through the log2 histogram + quantile
+    // estimator, the shape the future wasabid scrape path consumes.
+    for (const RunRetryTimeline& run : report.runs) {
+      if (run.completed) {
+        metrics->Observe("retry.run_virtual_ms", static_cast<double>(run.virtual_ms));
+      }
+    }
+  }
+  if (tracer != nullptr) {
+    for (const LocationRetryStats& loc : report.locations) {
+      tracer->Counter("retry.amplification_x1000", loc.location,
+                      static_cast<int64_t>(std::llround(loc.amplification * 1000.0)));
+      tracer->Counter("retry.wasted_steps", loc.location, loc.wasted_steps);
+    }
+  }
+}
+
+}  // namespace wasabi

@@ -1,0 +1,142 @@
+// Derived retry analytics over a RetryJournal event stream.
+//
+// ComputeRetryStats replays a collected journal into per-run retry timelines
+// and per-location aggregates: amplification factor (attempts executed ÷
+// attempts a correct policy would need), wasted work vs goodput (interpreter
+// steps attributed to attempts a correct policy would not have run),
+// time-to-recover after transient chaos clears (host backoff charged to runs
+// that failed under chaos and later completed), and exact per-run latency
+// quantiles over virtual durations. Everything is integer/virtual-time based,
+// so the report is byte-identical at any worker count.
+//
+// ExportRetryStats publishes the aggregates into the metrics snapshot
+// (retry.* gauges) and as Chrome-trace counter tracks, and the HTML report
+// renderer consumes the structs directly.
+
+#ifndef WASABI_SRC_OBS_RETRY_STATS_H_
+#define WASABI_SRC_OBS_RETRY_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/journal.h"
+
+namespace wasabi {
+
+class MetricsRegistry;
+class Tracer;
+
+// One point on a run's retry timeline, in virtual time.
+struct RetryTimelinePoint {
+  JournalEventKind kind = JournalEventKind::kInjectFire;  // fire | sleep | backoff
+  int attempt = 0;
+  int64_t t_ms = 0;   // Virtual ms (0 for host backoff, which has no clock).
+  int64_t value = 0;  // fire index / ms slept / backoff ms.
+};
+
+// Everything the journal says about one campaign run.
+struct RunRetryTimeline {
+  uint64_t run_id = 0;
+  std::string test;
+  std::string location;
+  int k = 0;
+
+  int host_attempts = 0;          // kAttemptEnd events seen.
+  bool completed = false;         // Final attempt produced a verdict.
+  bool passed = false;            // Final status was "passed".
+  std::string final_status;       // TestStatusName of the last attempt.
+  bool quarantined = false;
+  bool breaker_opened = false;
+
+  int64_t attempts_observed = 0;  // Application-level: fires + budget skips.
+  int64_t fires = 0;
+  int64_t skips = 0;
+  int64_t loop_iterations = 0;
+  int64_t steps = 0;              // Interpreter steps of the final attempt.
+  int64_t virtual_ms = 0;         // Virtual duration of the final attempt.
+  int64_t sleep_ms = 0;           // Application sleeps (in-run backoff).
+  int64_t host_backoff_ms = 0;    // Host retry-policy backoff (virtual).
+  int chaos_failures = 0;         // Host failures flagged as chaos-injected.
+
+  // Derived per-run analytics (see RetryStatsOptions for the policy model).
+  int64_t attempts_needed = 0;
+  double amplification = 1.0;
+  int64_t goodput_steps = 0;
+  int64_t wasted_steps = 0;
+  int64_t time_to_recover_ms = -1;  // -1 when the run never recovered.
+
+  std::vector<RetryTimelinePoint> points;
+};
+
+// Aggregates over every campaign run at one retry location.
+struct LocationRetryStats {
+  std::string location;
+  std::string test;  // One representative test (first run's).
+
+  uint64_t runs = 0;
+  uint64_t completed_runs = 0;
+  uint64_t passed_runs = 0;
+  uint64_t quarantined_runs = 0;
+  uint64_t recovered_runs = 0;  // Chaos-failed at host level, then completed.
+  int64_t attempts_observed = 0;
+  int64_t attempts_needed = 0;
+  int64_t total_steps = 0;
+  int64_t goodput_steps = 0;
+  int64_t wasted_steps = 0;
+  int64_t sleep_ms = 0;
+  int64_t host_backoff_ms = 0;
+
+  double amplification = 1.0;    // Σ observed / Σ needed.
+  double goodput_ratio = 1.0;    // Σ goodput / Σ steps (1.0 when no steps).
+  int64_t time_to_recover_ms_total = 0;
+  int64_t time_to_recover_ms_max = 0;
+  double latency_p50_ms = 0;     // Exact quantiles over completed runs'
+  double latency_p90_ms = 0;     // virtual durations, rank = q*(n-1)
+  double latency_p99_ms = 0;     // with linear interpolation.
+};
+
+struct RetryStatsOptions {
+  // The "correct policy" yardstick for amplification: a bounded retry loop
+  // of 3 retries + the final successful attempt, matching the pipeline's own
+  // RetryPolicy default and the paper's WHEN prescription. A passing run
+  // needs min(fires + 1, cap) application attempts; a failing one is charged
+  // min(observed, cap).
+  int64_t correct_policy_attempts = 4;
+};
+
+struct RetryStatsReport {
+  std::vector<RunRetryTimeline> runs;           // Campaign stream, run-id order.
+  std::vector<LocationRetryStats> locations;    // Sorted by location key.
+
+  uint64_t campaign_runs = 0;
+  int64_t attempts_observed = 0;
+  int64_t attempts_needed = 0;
+  double amplification = 1.0;
+  int64_t total_steps = 0;
+  int64_t goodput_steps = 0;
+  int64_t wasted_steps = 0;
+  double goodput_ratio = 1.0;
+  int64_t time_to_recover_ms_total = 0;
+  int64_t time_to_recover_ms_max = 0;
+  double latency_p50_ms = 0;
+  double latency_p90_ms = 0;
+  double latency_p99_ms = 0;
+};
+
+// Exact quantile over an unsorted sample set: rank = q*(n-1), linearly
+// interpolated between the neighbouring order statistics. Returns 0 for an
+// empty set. Shared by the stats pass and its tests.
+double ExactQuantile(std::vector<double> values, double q);
+
+RetryStatsReport ComputeRetryStats(const std::vector<JournalEvent>& events,
+                                   const RetryStatsOptions& options = {});
+
+// Publishes retry.* gauges into `metrics` and per-location counter tracks
+// ("retry.amplification_x1000", "retry.wasted_steps") into `tracer`. Either
+// sink may be null.
+void ExportRetryStats(const RetryStatsReport& report, MetricsRegistry* metrics, Tracer* tracer);
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_OBS_RETRY_STATS_H_

@@ -61,6 +61,8 @@ struct RunPerturbation {
   bool chaos_degraded_env = false;
   // Non-owning; observes dispatch-cache resolutions for record/replay.
   DispatchObserver* dispatch_observer = nullptr;
+  // Non-owning; observes while/for back-edges for the retry journal.
+  LoopObserver* loop_observer = nullptr;
 };
 
 class TestRunner {

@@ -1,0 +1,200 @@
+// Retry-journal contract tests (ctest label "obsjournal",
+// docs/OBSERVABILITY.md "Retry journal"). The contracts: the collected
+// journal is byte-identical at any worker count (with and without host
+// chaos), journaling is output-neutral (bug reports byte-identical journal on
+// vs off, including against a warm result cache, which journaling forces
+// cold), the JSON export round-trips through the strict parser, and every
+// campaign location surfaces in the derived retry analytics.
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/store.h"
+#include "src/core/report_json.h"
+#include "src/core/wasabi.h"
+#include "src/corpus/corpus.h"
+#include "src/obs/journal.h"
+#include "src/obs/retry_stats.h"
+
+namespace wasabi {
+namespace {
+
+namespace fs = std::filesystem;
+
+WasabiOptions JournalOptionsFor(const CorpusApp& app) {
+  WasabiOptions options;
+  options.app_name = app.name;
+  options.default_configs = app.default_configs;
+  options.prober.repetitions = 2;
+  // Degraded environment on every run, no host-level fault interference: the
+  // chaos-cap seed fires deterministically (same setup as the prober tests).
+  options.robust.chaos.enabled = true;
+  options.robust.chaos.seed = 42;
+  options.robust.chaos.rate = 0.0;
+  options.robust.chaos.env_rate = 1.0;
+  return options;
+}
+
+std::string JournalJsonAt(const CorpusApp& app, WasabiOptions options, int jobs,
+                          DynamicResult* result_out = nullptr) {
+  options.jobs = jobs;
+  RetryJournal journal;
+  Wasabi wasabi(app.program, *app.index, options);
+  wasabi.set_observability(nullptr, nullptr, nullptr, &journal);
+  DynamicResult result = wasabi.RunDynamicWorkflow();
+  if (result_out != nullptr) {
+    *result_out = std::move(result);
+  }
+  return journal.ToJson(app.name);
+}
+
+TEST(JournalDeterminismTest, ByteIdenticalAtEveryWorkerCount) {
+  CorpusApp app = BuildCorpusApp("flakylab");
+  const std::string baseline = JournalJsonAt(app, JournalOptionsFor(app), /*jobs=*/1);
+  EXPECT_NE(baseline.find("\"wasabi-journal-v1\""), std::string::npos);
+  EXPECT_NE(baseline.find("\"attempt_end\""), std::string::npos);
+  EXPECT_NE(baseline.find("\"inject_fire\""), std::string::npos);
+  EXPECT_NE(baseline.find("\"probe_rep\""), std::string::npos);
+  for (int jobs : {2, 4, 8}) {
+    EXPECT_EQ(JournalJsonAt(app, JournalOptionsFor(app), jobs), baseline)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(JournalDeterminismTest, ByteIdenticalUnderHostChaos) {
+  // Nonzero host-fault rate exercises the retry/backoff/quarantine half of
+  // the journal (host_failure, backoff_wait events) — still deterministic,
+  // because chaos decisions are seeded per run id, not per worker.
+  CorpusApp app = BuildCorpusApp("flakylab");
+  WasabiOptions options = JournalOptionsFor(app);
+  options.robust.chaos.rate = 0.2;
+  const std::string one = JournalJsonAt(app, options, /*jobs=*/1);
+  const std::string four = JournalJsonAt(app, options, /*jobs=*/4);
+  EXPECT_EQ(one, four);
+  EXPECT_NE(one.find("\"host_failure\""), std::string::npos);
+  EXPECT_NE(one.find("\"backoff_wait\""), std::string::npos);
+}
+
+TEST(JournalNeutralityTest, JournalingDoesNotChangeResults) {
+  CorpusApp app = BuildCorpusApp("flakylab");
+
+  Wasabi plain(app.program, *app.index, JournalOptionsFor(app));
+  DynamicResult without = plain.RunDynamicWorkflow();
+
+  DynamicResult with;
+  JournalJsonAt(app, JournalOptionsFor(app), /*jobs=*/2, &with);
+
+  EXPECT_EQ(BugReportsToJson(with.bugs), BugReportsToJson(without.bugs));
+  EXPECT_EQ(with.raw_reports.size(), without.raw_reports.size());
+  EXPECT_EQ(with.probed_runs, without.probed_runs);
+  EXPECT_EQ(with.planned_runs, without.planned_runs);
+}
+
+TEST(JournalNeutralityTest, WarmCacheIsForcedColdAndStaysNeutral) {
+  // A warm campaign cache skips execution, which would leave the journal
+  // empty; journaling therefore forces a cold campaign. The results must
+  // still match the warm ones, and the journal must match an uncached run's.
+  CorpusApp app = BuildCorpusApp("flakylab");
+  WasabiOptions options = JournalOptionsFor(app);
+
+  fs::path dir = fs::path(::testing::TempDir()) / "wasabi_journal_cache_test";
+  fs::remove_all(dir);
+  std::string error;
+  std::unique_ptr<CacheStore> store = CacheStore::Open(dir.string(), &error);
+  ASSERT_NE(store, nullptr) << error;
+
+  Wasabi cold(app.program, *app.index, options);
+  cold.set_cache(store.get());
+  DynamicResult cold_result = cold.RunDynamicWorkflow();
+
+  RetryJournal journal;
+  Wasabi journaled(app.program, *app.index, options);
+  journaled.set_cache(store.get());
+  journaled.set_observability(nullptr, nullptr, nullptr, &journal);
+  DynamicResult journaled_result = journaled.RunDynamicWorkflow();
+
+  EXPECT_EQ(BugReportsToJson(journaled_result.bugs), BugReportsToJson(cold_result.bugs));
+
+  // The cache stream legitimately differs (it records the lookups that only
+  // happen when a cache is attached); every other stream must match an
+  // uncached run byte for byte — the forced-cold campaign really executed.
+  auto without_cache_stream = [&](const std::string& json) {
+    std::vector<JournalEvent> events;
+    std::string parsed_app;
+    std::string parse_error;
+    EXPECT_TRUE(RetryJournal::ParseJson(json, &events, &parsed_app, &parse_error))
+        << parse_error;
+    RetryJournal filtered;
+    for (const JournalEvent& event : events) {
+      if (event.stream != JournalStream::kCache) {
+        filtered.Append(event);
+      }
+    }
+    return filtered.ToJson(parsed_app);
+  };
+  const std::string with_cache = journal.ToJson(app.name);
+  EXPECT_NE(with_cache.find("\"attempt_end\""), std::string::npos);
+  EXPECT_NE(with_cache.find("\"cache_hit\""), std::string::npos);
+  EXPECT_EQ(without_cache_stream(with_cache),
+            without_cache_stream(JournalJsonAt(app, options, /*jobs=*/1)));
+
+  fs::remove_all(dir);
+}
+
+TEST(JournalJsonTest, ExportRoundTripsThroughStrictParser) {
+  CorpusApp app = BuildCorpusApp("flakylab");
+  const std::string exported = JournalJsonAt(app, JournalOptionsFor(app), /*jobs=*/1);
+
+  std::vector<JournalEvent> events;
+  std::string parsed_app;
+  std::string error;
+  ASSERT_TRUE(RetryJournal::ParseJson(exported, &events, &parsed_app, &error)) << error;
+  EXPECT_EQ(parsed_app, app.name);
+  EXPECT_FALSE(events.empty());
+
+  // Re-appending the parsed events reproduces the exact bytes.
+  RetryJournal rebuilt;
+  for (const JournalEvent& event : events) {
+    rebuilt.Append(event);
+  }
+  EXPECT_EQ(rebuilt.ToJson(parsed_app), exported);
+
+  std::string bad_error;
+  EXPECT_FALSE(RetryJournal::ParseJson("{\"version\":\"nope\"}", &events, &parsed_app,
+                                       &bad_error));
+  EXPECT_FALSE(bad_error.empty());
+  EXPECT_FALSE(RetryJournal::ParseJson("not json", &events, &parsed_app, &bad_error));
+}
+
+TEST(JournalAnalyticsTest, EveryCampaignLocationHasRetryStats) {
+  // Acceptance check from the issue: amplification/goodput/TTR/latency
+  // quantiles exist for every seeded retry bug the campaign exercised.
+  CorpusApp app = BuildCorpusApp("flakylab");
+  RetryJournal journal;
+  Wasabi wasabi(app.program, *app.index, JournalOptionsFor(app));
+  wasabi.set_observability(nullptr, nullptr, nullptr, &journal);
+  DynamicResult result = wasabi.RunDynamicWorkflow();
+  ASSERT_FALSE(result.raw_reports.empty());
+
+  RetryStatsReport stats = ComputeRetryStats(journal.Collect());
+  EXPECT_FALSE(stats.runs.empty());
+  std::set<std::string> covered;
+  for (const LocationRetryStats& loc : stats.locations) {
+    EXPECT_GT(loc.runs, 0u);
+    EXPECT_GE(loc.amplification, 0.0);
+    EXPECT_GE(loc.latency_p99_ms, loc.latency_p50_ms);
+    covered.insert(loc.location);
+  }
+  for (const OracleReport& report : result.raw_reports) {
+    EXPECT_TRUE(covered.count(report.location.Key())) << report.location.Key();
+  }
+  EXPECT_GT(stats.amplification, 0.0);
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,138 @@
+// Golden test for the `wasabi report` HTML renderer (ctest label
+// "obsjournal", docs/OBSERVABILITY.md "HTML report"). The dashboard bytes are
+// a pure function of the journal — no wall clock, no randomness, announced
+// truncation only — so a fixed flakylab journal must render the exact same
+// file on every platform and at any worker count. Goldens store an FNV-1a-64
+// digest (same idiom as golden_equivalence_test.cc); regenerate with
+// WASABI_UPDATE_GOLDENS=1 from a build whose rendering is already trusted.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/wasabi.h"
+#include "src/corpus/corpus.h"
+#include "src/obs/journal.h"
+#include "src/obs/report_html.h"
+#include "src/obs/retry_stats.h"
+
+#ifndef WASABI_GOLDENS_DIR
+#define WASABI_GOLDENS_DIR "tests/goldens"
+#endif
+
+namespace wasabi {
+namespace {
+
+uint64_t Fnv1a64(std::string_view text) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string Digest(std::string_view text) {
+  std::ostringstream out;
+  out << "fnv=" << std::hex << Fnv1a64(text) << std::dec << " bytes=" << text.size();
+  return out.str();
+}
+
+// The fixed input: a flakylab run with the prober and deterministic chaos
+// environment on, journaled at one worker (the journal is identical at any
+// worker count — obs_journal_test pins that — so one is enough here).
+std::string RenderFlakylabReport() {
+  CorpusApp app = BuildCorpusApp("flakylab");
+  WasabiOptions options;
+  options.app_name = app.name;
+  options.default_configs = app.default_configs;
+  options.prober.repetitions = 2;
+  options.robust.chaos.enabled = true;
+  options.robust.chaos.seed = 42;
+  options.robust.chaos.rate = 0.0;
+  options.robust.chaos.env_rate = 1.0;
+  options.jobs = 1;
+
+  RetryJournal journal;
+  Wasabi wasabi(app.program, *app.index, options);
+  wasabi.set_observability(nullptr, nullptr, nullptr, &journal);
+  wasabi.RunDynamicWorkflow();
+
+  std::vector<JournalEvent> events = journal.Collect();
+  RetryStatsReport stats = ComputeRetryStats(events);
+  return RenderHtmlReport(app.name, events, stats, /*metrics_json=*/"", /*trace_json=*/"");
+}
+
+TEST(ReportHtmlTest, FlakylabDashboardMatchesGolden) {
+  const std::string html = RenderFlakylabReport();
+  const std::string golden_path = std::string(WASABI_GOLDENS_DIR) + "/report_flakylab.golden";
+
+  if (std::getenv("WASABI_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(golden_path);
+    out << "# HTML report golden for the fixed flakylab journal "
+        << "(see report_html_test.cc).\n";
+    out << "report " << Digest(html) << "\n";
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  std::string line;
+  std::string expected;
+  while (std::getline(in, line)) {
+    if (line.rfind("report ", 0) == 0) {
+      expected = line.substr(7);
+    }
+  }
+  ASSERT_FALSE(expected.empty()) << "no golden at " << golden_path
+                                 << "; regenerate with WASABI_UPDATE_GOLDENS=1";
+  EXPECT_EQ(Digest(html), expected)
+      << "report bytes diverged; inspect a fresh render and regenerate only if intended";
+}
+
+TEST(ReportHtmlTest, RenderIsDeterministic) {
+  EXPECT_EQ(RenderFlakylabReport(), RenderFlakylabReport());
+}
+
+TEST(ReportHtmlTest, StructureAndEscaping) {
+  const std::string html = RenderFlakylabReport();
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("flakylab"), std::string::npos);
+  EXPECT_NE(html.find("Retry timelines"), std::string::npos);
+  EXPECT_NE(html.find("prefers-color-scheme: dark"), std::string::npos);
+  // Self-contained: no external fetches of any kind.
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+  EXPECT_EQ(html.find("src="), std::string::npos);
+
+  // Hostile journal content is escaped, never interpreted as markup. The
+  // location key and app name are the rendered identities, so plant the
+  // markup there (test names only ever reach tooltips through the same
+  // EscapeHtml path).
+  JournalEvent hostile;
+  hostile.stream = JournalStream::kCampaign;
+  hostile.kind = JournalEventKind::kRunBegin;
+  hostile.test = "T.t";
+  hostile.location = "<script>alert(1)</script>&\"";
+  JournalEvent end = hostile;
+  end.seq = 1;
+  end.kind = JournalEventKind::kAttemptEnd;
+  end.attempt = 1;
+  end.value = 5;
+  end.detail = "passed";
+  std::vector<JournalEvent> events = {hostile, end};
+  RetryStatsReport stats = ComputeRetryStats(events);
+  const std::string page = RenderHtmlReport("x<y", events, stats, "", "");
+  EXPECT_EQ(page.find("<script>alert"), std::string::npos);
+  EXPECT_NE(page.find("&lt;script&gt;alert(1)&lt;/script&gt;&amp;&quot;"), std::string::npos);
+  EXPECT_NE(page.find("x&lt;y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -1,0 +1,121 @@
+# End-to-end smoke for the retry journal and `wasabi report` (the
+# "obsjournal" layer, docs/OBSERVABILITY.md): journaling leaves stdout
+# byte-identical and the journal file byte-identical across worker counts;
+# the OpenMetrics exposition ends with "# EOF"; the rendered dashboard is a
+# self-contained HTML file; and the strict flag parsing rejects unknown
+# metrics formats, valueless paths, and a report invocation with no journal.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(COMMAND "${WASABI_CLI}" dump-corpus "${WORK_DIR}" RESULT_VARIABLE rc
+                OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dump-corpus failed: ${rc}")
+endif()
+
+set(app "${WORK_DIR}/mapred")
+set(journal_j2 "${WORK_DIR}/mapred_journal.json")
+set(journal_j1 "${WORK_DIR}/mapred_j1_journal.json")
+set(report_file "${WORK_DIR}/mapred_report.html")
+set(metrics_file "${WORK_DIR}/metrics.txt")
+
+execute_process(COMMAND "${WASABI_CLI}" test "${app}" --json --jobs 2
+                        "--journal-out=${journal_j2}" "--report-out=${report_file}"
+                        "--metrics-out=${metrics_file}" --metrics-format=openmetrics
+                OUTPUT_VARIABLE instrumented RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "journaled run failed: ${rc}")
+endif()
+execute_process(COMMAND "${WASABI_CLI}" test "${app}" --json --jobs 2
+                OUTPUT_VARIABLE plain RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "plain run failed: ${rc}")
+endif()
+if(NOT instrumented STREQUAL plain)
+  message(FATAL_ERROR "--journal-out/--report-out changed stdout")
+endif()
+
+# Journal bytes are identical at any worker count.
+execute_process(COMMAND "${WASABI_CLI}" test "${app}" --json --jobs 1
+                        "--journal-out=${journal_j1}"
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "jobs=1 journaled run failed: ${rc}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${journal_j1}" "${journal_j2}"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "journal differs between --jobs 1 and --jobs 2")
+endif()
+
+file(READ "${journal_j2}" journal_text)
+string(JSON version ERROR_VARIABLE err GET "${journal_text}" "version")
+if(NOT err STREQUAL "NOTFOUND" OR NOT version STREQUAL "wasabi-journal-v1")
+  message(FATAL_ERROR "bad journal version '${version}' (err='${err}')")
+endif()
+string(JSON event_count ERROR_VARIABLE err LENGTH "${journal_text}" "events")
+if(NOT err STREQUAL "NOTFOUND" OR event_count EQUAL 0)
+  message(FATAL_ERROR "journal has no events (count='${event_count}', err='${err}')")
+endif()
+
+file(READ "${metrics_file}" metrics_text)
+if(NOT metrics_text MATCHES "# TYPE .* counter" OR NOT metrics_text MATCHES "# EOF\n$")
+  message(FATAL_ERROR "--metrics-format=openmetrics did not produce OpenMetrics text")
+endif()
+if(NOT metrics_text MATCHES "retry_amplification")
+  message(FATAL_ERROR "OpenMetrics exposition is missing the retry.* gauges")
+endif()
+
+file(READ "${report_file}" report_text)
+if(NOT report_text MATCHES "^<!DOCTYPE html>")
+  message(FATAL_ERROR "report is not an HTML document")
+endif()
+if(NOT report_text MATCHES "Retry timelines")
+  message(FATAL_ERROR "report is missing the retry-timeline section")
+endif()
+
+# Offline rendering: `wasabi report` over the saved journal reproduces a
+# dashboard for the same app.
+set(offline_report "${WORK_DIR}/offline_report.html")
+execute_process(COMMAND "${WASABI_CLI}" report "--journal=${journal_j2}"
+                        "--out=${offline_report}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wasabi report failed: ${rc}")
+endif()
+if(NOT out MATCHES "wrote retry report for mapred")
+  message(FATAL_ERROR "unexpected report output: ${out}")
+endif()
+file(READ "${offline_report}" offline_text)
+if(NOT offline_text MATCHES "^<!DOCTYPE html>")
+  message(FATAL_ERROR "offline report is not an HTML document")
+endif()
+
+# Strict flag parsing: each must exit 2 with the usage line.
+set(bad_invocations
+    "test|${app}|--metrics-out=${metrics_file}|--metrics-format=xml"
+    "test|${app}|--metrics-format=openmetrics"
+    "test|${app}|--journal-out"
+    "test|${app}|--report-out="
+    "report|--out=${offline_report}"
+    "report|--journal=${journal_j2}"
+    "report|--journal=${journal_j2}|--out=${offline_report}|--bogus=1")
+foreach(bad IN LISTS bad_invocations)
+  string(REPLACE "|" ";" bad_args "${bad}")
+  execute_process(COMMAND "${WASABI_CLI}" ${bad_args}
+                  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "expected exit 2 for '${bad}', got ${rc}")
+  endif()
+  if(NOT err MATCHES "usage: wasabi")
+    message(FATAL_ERROR "no usage line for '${bad}': ${err}")
+  endif()
+endforeach()
+
+# A malformed journal is a data error (exit 1), not a usage error.
+file(WRITE "${WORK_DIR}/garbage.json" "not a journal")
+execute_process(COMMAND "${WASABI_CLI}" report "--journal=${WORK_DIR}/garbage.json"
+                        "--out=${offline_report}"
+                RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "expected exit 1 for malformed journal, got ${rc}")
+endif()

@@ -11,6 +11,10 @@
 //                                     with fault injection and oracles
 //   wasabi analyze <dir>              alias for `test`
 //   wasabi study                      print the §2 issue-study summary
+//   wasabi report --journal=FILE --out=FILE [--metrics=FILE] [--trace=FILE]
+//                                     render a journal (plus optional sibling
+//                                     artifacts) into one self-contained HTML
+//                                     dashboard — no analysis is run
 //
 // Options:
 //   --json                            machine-readable bug reports
@@ -19,7 +23,14 @@
 //                                     threads; output is identical for any N)
 //   --trace-out=FILE                  write a Chrome trace-event JSON of the
 //                                     run (open in chrome://tracing/Perfetto)
-//   --metrics-out=FILE                write the flat metrics JSON
+//   --metrics-out=FILE                write the metrics snapshot
+//   --metrics-format=json|openmetrics metrics-out encoding (default json);
+//                                     openmetrics is Prometheus-scrapeable
+//   --journal-out=FILE                write the retry-behavior journal JSON
+//                                     (docs/OBSERVABILITY.md); byte-identical
+//                                     at any --jobs N
+//   --report-out=FILE                 render the HTML retry dashboard for this
+//                                     run (implies journaling)
 //   --progress                        periodic campaign progress on stderr
 //   --fail-fast                       stop scheduling runs after the first
 //                                     quarantined one
@@ -77,8 +88,11 @@
 #include "src/core/wasabi.h"
 #include "src/corpus/corpus.h"
 #include "src/lang/parser.h"
+#include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
+#include "src/obs/report_html.h"
+#include "src/obs/retry_stats.h"
 #include "src/obs/trace.h"
 #include "src/study/study.h"
 
@@ -90,10 +104,13 @@ using namespace wasabi;
 
 int Usage() {
   std::cerr << "usage: wasabi <dump-corpus|identify|static|test|analyze|study> [dir] [--json]"
-               " [--jobs N] [--trace-out=FILE] [--metrics-out=FILE] [--progress]"
+               " [--jobs N] [--trace-out=FILE] [--metrics-out=FILE]"
+               " [--metrics-format=json|openmetrics] [--journal-out=FILE]"
+               " [--report-out=FILE] [--progress]"
                " [--fail-fast] [--max-quarantined N] [--chaos SEED:RATE[:ENV_RATE]]"
                " [--cache-dir=DIR] [--scale N] [--repetitions N] [--record DIR]"
-               " [--replay ID]\n";
+               " [--replay ID]\n"
+               "       wasabi report --journal=FILE --out=FILE [--metrics=FILE] [--trace=FILE]\n";
   return 2;
 }
 
@@ -104,6 +121,10 @@ struct CliOptions {
   int jobs = 0;  // 0 = all hardware threads (DefaultJobCount).
   std::string trace_out;
   std::string metrics_out;
+  std::string metrics_format = "json";  // "json" | "openmetrics".
+  bool metrics_format_set = false;      // For "--metrics-format without --metrics-out" errors.
+  std::string journal_out;  // Empty = retry journal off.
+  std::string report_out;   // Empty = no HTML report; non-empty implies journaling.
   bool fail_fast = false;
   int64_t max_quarantined = -1;  // < 0 = unlimited.
   ChaosConfig chaos;
@@ -200,6 +221,34 @@ bool ParseOptions(int argc, char** argv, int first, CliOptions* options) {
         return false;
       }
       options->metrics_out = value;
+    } else if (name == "--metrics-format") {
+      if (!take_value("--metrics-format")) {
+        Usage();
+        return false;
+      }
+      if (value != "json" && value != "openmetrics") {
+        return fail("option --metrics-format must be json or openmetrics, got '" + value + "'");
+      }
+      options->metrics_format = value;
+      options->metrics_format_set = true;
+    } else if (name == "--journal-out") {
+      if (!take_value("--journal-out")) {
+        Usage();
+        return false;
+      }
+      if (value.empty()) {
+        return fail("option --journal-out needs a non-empty path");
+      }
+      options->journal_out = value;
+    } else if (name == "--report-out") {
+      if (!take_value("--report-out")) {
+        Usage();
+        return false;
+      }
+      if (value.empty()) {
+        return fail("option --report-out needs a non-empty path");
+      }
+      options->report_out = value;
     } else if (name == "--cache-dir") {
       if (!take_value("--cache-dir")) {
         Usage();
@@ -255,27 +304,20 @@ bool ParseOptions(int argc, char** argv, int first, CliOptions* options) {
       return fail("unknown option '" + arg + "'");
     }
   }
+  if (options->metrics_format_set && options->metrics_out.empty()) {
+    return fail("option --metrics-format requires --metrics-out=FILE");
+  }
   return true;
 }
 
-// Exports requested trace/metrics files after a workflow. Returns false (with
-// a message) when a file cannot be written.
-bool ExportObservability(const CliOptions& cli, Tracer& tracer, const MetricsRegistry& metrics) {
-  if (!cli.trace_out.empty()) {
-    std::ofstream out(cli.trace_out);
-    out << tracer.ToChromeJson();
-    if (!out) {
-      std::cerr << "error: cannot write trace to " << cli.trace_out << "\n";
-      return false;
-    }
-  }
-  if (!cli.metrics_out.empty()) {
-    std::ofstream out(cli.metrics_out);
-    out << metrics.ToJson();
-    if (!out) {
-      std::cerr << "error: cannot write metrics to " << cli.metrics_out << "\n";
-      return false;
-    }
+struct ObsSinks;
+
+bool WriteFileOrComplain(const std::string& path, const std::string& bytes, const char* what) {
+  std::ofstream out(path, std::ios::binary);
+  out << bytes;
+  if (!out) {
+    std::cerr << "error: cannot write " << what << " to " << path << "\n";
+    return false;
   }
   return true;
 }
@@ -439,23 +481,60 @@ int Identify(const fs::path& root, const CliOptions& cli) {
   return 0;
 }
 
-// Sinks backing the --trace-out/--metrics-out/--progress flags. The pointers
-// are null unless the matching flag was given, so an unflagged run takes the
-// exact uninstrumented code paths.
+// Sinks backing the --trace-out/--metrics-out/--journal-out/--report-out/
+// --progress flags. The pointers are null unless the matching flag was given,
+// so an unflagged run takes the exact uninstrumented code paths. --report-out
+// implies journaling: the dashboard is rendered from this run's journal.
 struct ObsSinks {
   explicit ObsSinks(const CliOptions& cli)
       : progress_meter(&std::cerr),
         tracer_ptr(cli.trace_out.empty() ? nullptr : &tracer),
         metrics_ptr(cli.metrics_out.empty() ? nullptr : &metrics),
-        progress_ptr(cli.progress ? &progress_meter : nullptr) {}
+        progress_ptr(cli.progress ? &progress_meter : nullptr),
+        journal_ptr(cli.journal_out.empty() && cli.report_out.empty() ? nullptr : &journal) {}
 
   Tracer tracer;
   MetricsRegistry metrics;
   ProgressMeter progress_meter;
+  RetryJournal journal;
   Tracer* tracer_ptr;
   MetricsRegistry* metrics_ptr;
   ProgressMeter* progress_ptr;
+  RetryJournal* journal_ptr;
 };
+
+// Exports every requested observability artifact after a workflow: trace,
+// metrics (JSON or OpenMetrics), journal, and the in-process HTML report
+// (rendered from this run's journal, embedding whatever sibling artifacts
+// were also requested). Returns false when a file cannot be written.
+bool ExportObservability(const CliOptions& cli, const std::string& app, ObsSinks& obs) {
+  if (!cli.trace_out.empty() &&
+      !WriteFileOrComplain(cli.trace_out, obs.tracer.ToChromeJson(), "trace")) {
+    return false;
+  }
+  if (!cli.metrics_out.empty() &&
+      !WriteFileOrComplain(cli.metrics_out,
+                           cli.metrics_format == "openmetrics" ? obs.metrics.ToOpenMetrics()
+                                                               : obs.metrics.ToJson(),
+                           "metrics")) {
+    return false;
+  }
+  if (!cli.journal_out.empty() &&
+      !WriteFileOrComplain(cli.journal_out, obs.journal.ToJson(app), "journal")) {
+    return false;
+  }
+  if (!cli.report_out.empty()) {
+    std::vector<JournalEvent> events = obs.journal.Collect();
+    RetryStatsReport stats = ComputeRetryStats(events);
+    std::string html = RenderHtmlReport(
+        app, events, stats, obs.metrics_ptr != nullptr ? obs.metrics.ToJson() : std::string(),
+        obs.tracer_ptr != nullptr ? obs.tracer.ToChromeJson() : std::string());
+    if (!WriteFileOrComplain(cli.report_out, html, "report")) {
+      return false;
+    }
+  }
+  return true;
+}
 
 int StaticWorkflow(const fs::path& root, const CliOptions& cli) {
   bool json = cli.json;
@@ -467,12 +546,12 @@ int StaticWorkflow(const fs::path& root, const CliOptions& cli) {
   mj::ProgramIndex index(program);
   Wasabi tool(program, index, OptionsFor(root));
   ObsSinks obs(cli);
-  tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr);
+  tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr, obs.journal_ptr);
   std::unique_ptr<CacheStore> cache = OpenCliCache(cli);
   tool.set_cache(cache.get());
   StaticResult result = tool.RunStaticWorkflow();
   FinishCliCache(cache.get(), obs.metrics_ptr);
-  if (!ExportObservability(cli, obs.tracer, obs.metrics)) {
+  if (!ExportObservability(cli, tool.options().app_name, obs)) {
     return 1;
   }
   ReportHealth health;
@@ -525,10 +604,10 @@ int Replay(const fs::path& root, const CliOptions& cli) {
   mj::ProgramIndex index(program);
   Wasabi tool(program, index, DynamicOptionsFor(root, cli));
   ObsSinks obs(cli);
-  tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr);
+  tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr, obs.journal_ptr);
   ReplayOutcome outcome = tool.ReplayRun(cli.record_dir,
                                          static_cast<uint64_t>(cli.replay_run_id));
-  if (!ExportObservability(cli, obs.tracer, obs.metrics)) {
+  if (!ExportObservability(cli, tool.options().app_name, obs)) {
     return 1;
   }
   if (!outcome.ok) {
@@ -569,7 +648,7 @@ int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
   options.record_dir = cli.record_dir;
   Wasabi tool(program, index, options);
   ObsSinks obs(cli);
-  tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr);
+  tool.set_observability(obs.tracer_ptr, obs.metrics_ptr, obs.progress_ptr, obs.journal_ptr);
   std::unique_ptr<CacheStore> cache = OpenCliCache(cli);
   tool.set_cache(cache.get());
   DynamicResult result = tool.RunDynamicWorkflow();
@@ -623,7 +702,7 @@ int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
       }
     }
   }
-  if (!ExportObservability(cli, obs.tracer, obs.metrics)) {
+  if (!ExportObservability(cli, options.app_name, obs)) {
     return 1;
   }
   if (result.robustness.aborted) {
@@ -631,6 +710,101 @@ int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
               << cli.max_quarantined << ") exceeded\n";
     return 1;
   }
+  return 0;
+}
+
+// `wasabi report`: offline renderer. Consumes a journal JSON written by
+// --journal-out (plus optional --metrics/--trace artifacts from the same run)
+// and writes the self-contained HTML dashboard. No analysis is executed, so
+// the output is a pure function of the input files.
+int ReportCommand(int argc, char** argv) {
+  auto fail = [](const std::string& message) {
+    std::cerr << "error: " << message << "\n";
+    return Usage();
+  };
+  std::string journal_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (size_t eq = arg.find('='); arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        return fail("option " + name + " requires a value");
+      }
+      value = argv[++i];
+    }
+    if (value.empty()) {
+      return fail("option " + name + " needs a non-empty path");
+    }
+    if (name == "--journal") {
+      journal_path = value;
+    } else if (name == "--metrics") {
+      metrics_path = value;
+    } else if (name == "--trace") {
+      trace_path = value;
+    } else if (name == "--out") {
+      out_path = value;
+    } else {
+      return fail("unknown option '" + arg + "'");
+    }
+  }
+  if (journal_path.empty()) {
+    return fail("report requires --journal=FILE");
+  }
+  if (out_path.empty()) {
+    return fail("report requires --out=FILE");
+  }
+  auto read_file = [](const std::string& path, std::string* text) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    *text = buffer.str();
+    return true;
+  };
+  std::string journal_text;
+  if (!read_file(journal_path, &journal_text)) {
+    std::cerr << "error: cannot read journal " << journal_path << "\n";
+    return 1;
+  }
+  std::vector<JournalEvent> events;
+  std::string app;
+  std::string parse_error;
+  if (!RetryJournal::ParseJson(journal_text, &events, &app, &parse_error)) {
+    std::cerr << "error: malformed journal " << journal_path << ": " << parse_error << "\n";
+    return 1;
+  }
+  std::string metrics_text;
+  if (!metrics_path.empty() && !read_file(metrics_path, &metrics_text)) {
+    std::cerr << "error: cannot read metrics " << metrics_path << "\n";
+    return 1;
+  }
+  std::string trace_text;
+  if (!trace_path.empty() && !read_file(trace_path, &trace_text)) {
+    std::cerr << "error: cannot read trace " << trace_path << "\n";
+    return 1;
+  }
+  RetryStatsReport stats = ComputeRetryStats(events);
+  std::string html = RenderHtmlReport(app, events, stats, metrics_text, trace_text);
+  std::ofstream out(out_path, std::ios::binary);
+  out << html;
+  if (!out) {
+    std::cerr << "error: cannot write report to " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote retry report for " << app << " (" << events.size() << " events, "
+            << html.size() << " bytes) to " << out_path << "\n";
   return 0;
 }
 
@@ -661,6 +835,10 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
   if (command == "study") {
     return Study();
+  }
+  if (command == "report") {
+    // No corpus directory: report renders existing artifacts.
+    return ReportCommand(argc, argv);
   }
   if (argc < 3) {
     return Usage();
