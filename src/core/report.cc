@@ -15,6 +15,12 @@ const char* BugTypeName(BugType type) {
       return "HOW";
     case BugType::kIfOutlier:
       return "IF/outlier";
+    case BugType::kStormMissingJitter:
+      return "STORM/missing-jitter";
+    case BugType::kStormUnboundedFanout:
+      return "STORM/unbounded-fanout";
+    case BugType::kStormRetryOnOverload:
+      return "STORM/retry-on-overload";
   }
   return "unknown";
 }
@@ -27,6 +33,8 @@ const char* DetectionTechniqueName(DetectionTechnique technique) {
       return "llm-static";
     case DetectionTechnique::kCodeQlStatic:
       return "codeql-static";
+    case DetectionTechnique::kStormSim:
+      return "storm-sim";
   }
   return "unknown";
 }

@@ -17,6 +17,12 @@ enum class BugType : uint8_t {
   kWhenMissingDelay,  // WHEN: no delay between attempts.
   kHow,               // HOW: broken state/cleanup around retry.
   kIfOutlier,         // IF: inconsistent retry-or-not policy for an exception.
+  // Emergent cross-service storm bugs (src/storm, docs/STORM.md). These are
+  // invisible to the per-location techniques above: each retry loop looks
+  // locally sane and only the simulated system shows the amplification.
+  kStormMissingJitter,    // Fixed backoff: synchronized retry waves.
+  kStormUnboundedFanout,  // Uncapped hedged/broadcast retry: load multiplies.
+  kStormRetryOnOverload,  // Retries overload push-back: metastable storm.
 };
 
 const char* BugTypeName(BugType type);
@@ -25,6 +31,7 @@ enum class DetectionTechnique : uint8_t {
   kUnitTesting,    // Repurposed unit tests + fault injection (§3.1).
   kLlmStatic,      // LLM WHEN-bug detection (§3.2.1).
   kCodeQlStatic,   // Retry-ratio IF-bug detection (§3.2.2).
+  kStormSim,       // Deterministic retry-storm simulation (docs/STORM.md).
 };
 
 const char* DetectionTechniqueName(DetectionTechnique technique);

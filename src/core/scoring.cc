@@ -106,13 +106,22 @@ std::vector<SeededBug> DetectableBugs(const std::vector<SeededBug>& truth,
     bool keep = false;
     switch (technique) {
       case DetectionTechnique::kUnitTesting:
-        keep = bug.type != BugType::kIfOutlier;
+        // Explicit list, not "everything but IF": storm bugs are systemic and
+        // out of scope for per-location unit testing, so they must not count
+        // as unit-testing false negatives.
+        keep = bug.type == BugType::kWhenMissingCap || bug.type == BugType::kWhenMissingDelay ||
+               bug.type == BugType::kHow;
         break;
       case DetectionTechnique::kLlmStatic:
         keep = bug.type == BugType::kWhenMissingCap || bug.type == BugType::kWhenMissingDelay;
         break;
       case DetectionTechnique::kCodeQlStatic:
         keep = bug.type == BugType::kIfOutlier;
+        break;
+      case DetectionTechnique::kStormSim:
+        keep = bug.type == BugType::kStormMissingJitter ||
+               bug.type == BugType::kStormUnboundedFanout ||
+               bug.type == BugType::kStormRetryOnOverload;
         break;
     }
     if (keep) {

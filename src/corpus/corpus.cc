@@ -220,6 +220,20 @@ GeneratorSpec SpecFor(const std::string& name) {
     c.timing_flaky_loops = 1;
     c.chaos_cap_loops = 1;
     c.unrelated_util_files = 2;
+  } else if (name == "stormlab") {
+    // Storm-simulation ground truth (docs/STORM.md). Like flakylab,
+    // deliberately NOT in kApps — the full-corpus goldens must not change.
+    // Built on demand by the storm tests, the `wasabi storm` smoke test, and
+    // bench/stress_storm. Four service frontends: one healthy, plus exactly
+    // one seeded bug per storm class — missing jitter, unbounded fan-out,
+    // retry-on-overload — so the simulation oracles score exact TP/FP.
+    spec.seed = 111;
+    spec.display_name = "StormLab";
+    c.storm_ok_services = 1;
+    c.storm_nojitter_services = 1;
+    c.storm_fanout_services = 1;
+    c.storm_overload_services = 1;
+    c.unrelated_util_files = 2;
   } else {
     std::fprintf(stderr, "unknown corpus app '%s'\n", name.c_str());
     std::abort();
@@ -238,6 +252,18 @@ const std::vector<std::string>& CorpusAppNames() {
     return names;
   }();
   return *kNames;
+}
+
+bool IsKnownCorpusApp(const std::string& name) {
+  if (name == "flakylab" || name == "stormlab") {
+    return true;
+  }
+  for (const AppDescriptor& app : kApps) {
+    if (name == app.name) {
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {

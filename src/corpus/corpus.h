@@ -37,6 +37,11 @@ struct CorpusApp {
 // hacommon, hdfs, mapred, yarn, hbase, hive, cassandra, elastic.
 const std::vector<std::string>& CorpusAppNames();
 
+// True for the eight base ids plus the on-demand ground-truth labs
+// ("flakylab", "stormlab") that are deliberately outside the full-corpus
+// goldens. Lets the CLI validate `dump-corpus --app` without aborting.
+bool IsKnownCorpusApp(const std::string& name);
+
 // Builds one application by id. Aborts (assert) on unknown id or if the
 // generated source fails to parse — corpus generation is covered by tests.
 CorpusApp BuildCorpusApp(const std::string& name);

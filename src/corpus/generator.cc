@@ -162,6 +162,10 @@ class AppBuilder {
   void EmitHalvedCapLoop();
   void EmitDaemonModule();
   void EmitUnrelatedUtil();
+  void EmitStormOkService();
+  void EmitStormNoJitterService();
+  void EmitStormFanoutService();
+  void EmitStormOverloadService();
 
   const GeneratorSpec& spec_;
   GeneratedApp app_;
@@ -1577,6 +1581,209 @@ void AppBuilder::EmitUnrelatedUtil() {
   EmitTest(cls, test.str());
 }
 
+// --- Storm-simulation service frontends (docs/STORM.md) ---------------------
+//
+// Every storm service exposes the probe shape the extractor keys on: a
+// zero-arg `handle()` that retries a downstream `send()`. The storm engine
+// never executes these loops under traffic — it probes each one a handful of
+// times under forced transport/overload failures and replays the measured
+// retry policy (attempts, backoff schedule, jitter, fan-out, overload
+// behavior) against a simulated shared backend.
+
+void AppBuilder::EmitStormOkService() {
+  std::string cls = FreshName("Gateway");
+  std::string key = spec_.app + "." + ToLower(cls);
+  std::ostringstream out;
+  out << "// Healthy storm frontend: bounded attempts, exponential backoff with\n"
+      << "// per-request jitter, and overload push-back is honored by shedding.\n"
+      << "class " << cls << " {\n"
+      << "  int maxAttempts = Config.getInt(\"" << key << ".retry.max\", 3);\n"
+      << "\n"
+      << "  String handle() throws ServiceUnavailableException {\n"
+      << "    var requestId = Config.getInt(\"storm.request.id\", 0);\n"
+      << "    var backoff = Config.getInt(\"" << key << ".backoff.ms\", 80);\n"
+      << "    var lastError = null;\n"
+      << "    for (var retry = 0; retry < this.maxAttempts; retry++) {\n"
+      << "      try {\n"
+      << "        return this.send(\"req\");\n"
+      << "      } catch (ServiceUnavailableException e) {\n"
+      << "        lastError = e;\n"
+      << "        var jitter = (Clock.nowMillis() * 31 + requestId * 17 + retry * 13) % backoff;\n"
+      << "        Log.warn(\"backend unavailable; backing off: \" + e.getMessage());\n"
+      << "        Thread.sleep(backoff / 2 + jitter / 2);\n"
+      << "        backoff = backoff * 2;\n"
+      << "      } catch (ResourceExhaustedException e) {\n"
+      << "        Log.warn(\"backend overloaded; shedding this request\");\n"
+      << "        return \"shed\";\n"
+      << "      }\n"
+      << "    }\n"
+      << "    throw lastError;\n"
+      << "  }\n"
+      << "\n"
+      << "  String send(String payload)\n"
+      << "      throws ServiceUnavailableException, ResourceExhaustedException {\n"
+      << "    return \"ok:\" + payload;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "handle");
+  app_.default_int_configs.emplace_back(key + ".retry.max", 3);
+  app_.default_int_configs.emplace_back(key + ".backoff.ms", 80);
+
+  std::ostringstream test;
+  test << "  void testHandle() {\n"
+       << MaybeTestPreamble()  //
+       << "    var g = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"ok:req\", g.handle());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitStormNoJitterService() {
+  std::string cls = FreshName("Relay");
+  std::string key = spec_.app + "." + ToLower(cls);
+  std::ostringstream out;
+  out << "// Storm frontend with a FIXED backoff: every caller that failed in the\n"
+      << "// same instant retries in the same instant, forever re-synchronized —\n"
+      << "// the per-location oracles see a capped, delayed (healthy) loop.\n"
+      << "class " << cls << " {\n"
+      << "  int maxAttempts = Config.getInt(\"" << key << ".retry.max\", 5);\n"
+      << "\n"
+      << "  String handle() throws ServiceUnavailableException {\n"
+      << "    var lastError = null;\n"
+      << "    for (var retry = 0; retry < this.maxAttempts; retry++) {\n"
+      << "      try {\n"
+      << "        return this.send(\"req\");\n"
+      << "      } catch (ServiceUnavailableException e) {\n"
+      << "        lastError = e;\n"
+      << "        Log.warn(\"backend unavailable; retrying on the fixed schedule\");\n"
+      << "        Thread.sleep(Config.getInt(\"" << key << ".backoff.ms\", 100));\n"
+      << "      }\n"
+      << "    }\n"
+      << "    throw lastError;\n"
+      << "  }\n"
+      << "\n"
+      << "  String send(String payload)\n"
+      << "      throws ServiceUnavailableException, ResourceExhaustedException {\n"
+      << "    return \"ok:\" + payload;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "handle");
+  AddBug(BugType::kStormMissingJitter, cls, "handle",
+         "fixed backoff with no jitter: synchronized callers retry in waves", /*tested=*/true);
+  app_.default_int_configs.emplace_back(key + ".retry.max", 5);
+  app_.default_int_configs.emplace_back(key + ".backoff.ms", 100);
+
+  std::ostringstream test;
+  test << "  void testHandle() {\n"
+       << MaybeTestPreamble()  //
+       << "    var r = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"ok:req\", r.handle());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitStormFanoutService() {
+  std::string cls = FreshName("Mirror");
+  std::string key = spec_.app + "." + ToLower(cls);
+  std::ostringstream out;
+  out << "// Hedged broadcast retry: every attempt re-sends to all three replicas\n"
+      << "// and the loop never gives up, so each failed round offers 3x the load\n"
+      << "// of the last — amplification the per-location taxonomy cannot see.\n"
+      << "class " << cls << " {\n"
+      << "  String handle() throws ServiceUnavailableException {\n"
+      << "    var requestId = Config.getInt(\"storm.request.id\", 0);\n"
+      << "    var backoff = Config.getInt(\"" << key << ".backoff.ms\", 60);\n"
+      << "    while (true) {\n"
+      << "      try {\n"
+      << "        return this.broadcast();\n"
+      << "      } catch (ServiceUnavailableException e) {\n"
+      << "        var jitter = (Clock.nowMillis() * 29 + requestId * 23) % backoff;\n"
+      << "        Log.warn(\"replica set unavailable; re-broadcasting\");\n"
+      << "        Thread.sleep(backoff / 2 + jitter / 2);\n"
+      << "      }\n"
+      << "    }\n"
+      << "  }\n"
+      << "\n"
+      << "  String broadcast()\n"
+      << "      throws ServiceUnavailableException, ResourceExhaustedException {\n"
+      << "    var primary = this.send(\"replica-0\");\n"
+      << "    var mirror1 = this.send(\"replica-1\");\n"
+      << "    var mirror2 = this.send(\"replica-2\");\n"
+      << "    Log.info(\"mirrored: \" + mirror1 + \" \" + mirror2);\n"
+      << "    return primary;\n"
+      << "  }\n"
+      << "\n"
+      << "  String send(String payload)\n"
+      << "      throws ServiceUnavailableException, ResourceExhaustedException {\n"
+      << "    return \"ok:\" + payload;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "handle");
+  AddBug(BugType::kStormUnboundedFanout, cls, "handle",
+         "uncapped hedged retry re-broadcasts to every replica each round: load multiplies",
+         /*tested=*/true);
+  app_.default_int_configs.emplace_back(key + ".backoff.ms", 60);
+
+  std::ostringstream test;
+  test << "  void testHandle() {\n"
+       << MaybeTestPreamble()  //
+       << "    var m = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"ok:replica-0\", m.handle());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
+void AppBuilder::EmitStormOverloadService() {
+  std::string cls = FreshName("Pump");
+  std::string key = spec_.app + "." + ToLower(cls);
+  std::ostringstream out;
+  out << "// Treats the backend's overload push-back like any transient blip: it\n"
+      << "// keeps hammering with a short fixed delay instead of shedding, so the\n"
+      << "// offered load never drops below capacity once the queue fills — the\n"
+      << "// classic metastable-storm pattern (docs/STORM.md).\n"
+      << "class " << cls << " {\n"
+      << "  String handle() throws ServiceUnavailableException {\n"
+      << "    var requestId = Config.getInt(\"storm.request.id\", 0);\n"
+      << "    var backoff = Config.getInt(\"" << key << ".backoff.ms\", 40);\n"
+      << "    while (true) {\n"
+      << "      try {\n"
+      << "        return this.send(\"req\");\n"
+      << "      } catch (ServiceUnavailableException e) {\n"
+      << "        var jitter = (Clock.nowMillis() * 37 + requestId * 19) % backoff;\n"
+      << "        Thread.sleep(backoff / 2 + jitter / 2);\n"
+      << "      } catch (ResourceExhaustedException e) {\n"
+      << "        Log.warn(\"backend overloaded; retrying anyway\");\n"
+      << "        Thread.sleep(Config.getInt(\"" << key << ".overload.backoff.ms\", 10));\n"
+      << "      }\n"
+      << "    }\n"
+      << "  }\n"
+      << "\n"
+      << "  String send(String payload)\n"
+      << "      throws ServiceUnavailableException, ResourceExhaustedException {\n"
+      << "    return \"ok:\" + payload;\n"
+      << "  }\n"
+      << "}\n";
+  AddFile(cls, out.str());
+  RegisterRetry(cls, "handle");
+  AddBug(BugType::kStormRetryOnOverload, cls, "handle",
+         "retries the backend's overload signal with no breaker or shedding: metastable once "
+         "the queue fills",
+         /*tested=*/true);
+  app_.default_int_configs.emplace_back(key + ".backoff.ms", 40);
+  app_.default_int_configs.emplace_back(key + ".overload.backoff.ms", 10);
+
+  std::ostringstream test;
+  test << "  void testHandle() {\n"
+       << MaybeTestPreamble()  //
+       << "    var p = new " << cls << "();\n"
+       << "    Assert.assertEquals(\"ok:req\", p.handle());\n"
+       << "  }\n";
+  EmitTest(cls, test.str());
+}
+
 GeneratedApp AppBuilder::Build() {
   app_.name = spec_.app;
   app_.display_name = spec_.display_name;
@@ -1681,6 +1888,18 @@ GeneratedApp AppBuilder::Build() {
   }
   for (int i = 0; i < counts.background_daemons; ++i) {
     EmitDaemonModule();
+  }
+  for (int i = 0; i < counts.storm_ok_services; ++i) {
+    EmitStormOkService();
+  }
+  for (int i = 0; i < counts.storm_nojitter_services; ++i) {
+    EmitStormNoJitterService();
+  }
+  for (int i = 0; i < counts.storm_fanout_services; ++i) {
+    EmitStormFanoutService();
+  }
+  for (int i = 0; i < counts.storm_overload_services; ++i) {
+    EmitStormOverloadService();
   }
   for (int i = 0; i < counts.unrelated_util_files; ++i) {
     EmitUnrelatedUtil();

@@ -106,6 +106,16 @@ struct ModuleCounts {
   // Retry-free utility modules with plain assertion tests; they provide the
   // large population of unit tests that do NOT cover retry (Table 6).
   int unrelated_util_files = 0;
+
+  // Storm-simulation service frontends (src/storm, docs/STORM.md). Each is a
+  // class with a zero-arg `handle()` entry point that retries a downstream
+  // `send()`; the storm profile extractor probes exactly that shape. The ok
+  // variant is healthy (bounded, jittered, sheds overload); the other three
+  // seed one storm bug class each, only visible to the simulation oracles.
+  int storm_ok_services = 0;
+  int storm_nojitter_services = 0;  // Seeded STORM/missing-jitter.
+  int storm_fanout_services = 0;    // Seeded STORM/unbounded-fanout.
+  int storm_overload_services = 0;  // Seeded STORM/retry-on-overload.
 };
 
 struct GeneratorSpec {

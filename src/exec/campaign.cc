@@ -204,7 +204,7 @@ CampaignOutcome ExecuteCampaignRobust(const TestRunner& runner,
   std::vector<InterpreterArena> local_arenas(
       arenas != nullptr ? 0 : static_cast<size_t>(pool.worker_count()));
   std::vector<InterpreterArena>& arena_pool = arenas != nullptr ? *arenas : local_arenas;
-  CircuitBreaker breaker(options.breaker_threshold);
+  CircuitBreaker breaker(options.breaker_threshold, options.breaker_cooldown);
 
   if (recorders != nullptr) {
     // One decision stream per run, indexed by run id (== spec position).

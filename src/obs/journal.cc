@@ -62,6 +62,7 @@ constexpr JournalStream kAllStreams[] = {
     JournalStream::kCampaign,
     JournalStream::kProbe,
     JournalStream::kCache,
+    JournalStream::kStorm,
 };
 
 constexpr JournalEventKind kAllKinds[] = {
@@ -73,6 +74,9 @@ constexpr JournalEventKind kAllKinds[] = {
     JournalEventKind::kBreakerOpen,     JournalEventKind::kQuarantine,
     JournalEventKind::kCacheHit,        JournalEventKind::kCacheMiss,
     JournalEventKind::kProbeRepetition, JournalEventKind::kProbeVerdict,
+    JournalEventKind::kQueueDepth,      JournalEventKind::kInflightRetries,
+    JournalEventKind::kFaultBegin,      JournalEventKind::kFaultEnd,
+    JournalEventKind::kBreakerHalfOpen, JournalEventKind::kBreakerClose,
 };
 
 bool StreamFromName(std::string_view name, JournalStream* out) {
@@ -313,6 +317,8 @@ const char* JournalStreamName(JournalStream stream) {
       return "probe";
     case JournalStream::kCache:
       return "cache";
+    case JournalStream::kStorm:
+      return "storm";
   }
   return "unknown";
 }
@@ -351,6 +357,18 @@ const char* JournalEventKindName(JournalEventKind kind) {
       return "probe_rep";
     case JournalEventKind::kProbeVerdict:
       return "probe_verdict";
+    case JournalEventKind::kQueueDepth:
+      return "queue_depth";
+    case JournalEventKind::kInflightRetries:
+      return "inflight_retries";
+    case JournalEventKind::kFaultBegin:
+      return "fault_begin";
+    case JournalEventKind::kFaultEnd:
+      return "fault_end";
+    case JournalEventKind::kBreakerHalfOpen:
+      return "breaker_half_open";
+    case JournalEventKind::kBreakerClose:
+      return "breaker_close";
   }
   return "unknown";
 }
@@ -582,6 +600,30 @@ void JournalRun::ProbeRepetition(int repetition, bool diverged, bool counterfact
 
 void JournalRun::ProbeVerdict(std::string_view stability, bool probe_failed) {
   Emit(JournalEventKind::kProbeVerdict, 0, 0, probe_failed ? 1 : 0, stability);
+}
+
+void JournalRun::QueueDepth(int64_t t_ms, int64_t depth) {
+  Emit(JournalEventKind::kQueueDepth, 0, t_ms, depth, {});
+}
+
+void JournalRun::InflightRetries(int64_t t_ms, int64_t count) {
+  Emit(JournalEventKind::kInflightRetries, 0, t_ms, count, {});
+}
+
+void JournalRun::FaultBegin(int64_t t_ms) {
+  Emit(JournalEventKind::kFaultBegin, 0, t_ms, 0, {});
+}
+
+void JournalRun::FaultEnd(int64_t t_ms) {
+  Emit(JournalEventKind::kFaultEnd, 0, t_ms, 0, {});
+}
+
+void JournalRun::BreakerTransition(JournalEventKind kind, int64_t t_ms) {
+  if (kind != JournalEventKind::kBreakerOpen && kind != JournalEventKind::kBreakerHalfOpen &&
+      kind != JournalEventKind::kBreakerClose) {
+    return;
+  }
+  Emit(kind, 0, t_ms, 1, {});
 }
 
 }  // namespace wasabi

@@ -44,6 +44,7 @@ enum class JournalStream : uint8_t {
   kCampaign = 1,  // Injection-campaign runs (one run id per planned run).
   kProbe = 2,     // Flakiness-prober repetitions of failing runs.
   kCache = 3,     // Content-addressed cache lookups (no run identity).
+  kStorm = 4,     // Storm-simulation timelines (run 0 = backend, 1.. = edges).
 };
 
 const char* JournalStreamName(JournalStream stream);
@@ -69,6 +70,16 @@ enum class JournalEventKind : uint8_t {
                     // value = 1 when the signature diverged,
                     // detail = "counterfactual" for the degraded-off rerun.
   kProbeVerdict,    // detail = stability class, value = 1 when probe failed.
+  // --- Storm-simulation kinds (stream kStorm, src/storm) -------------------
+  // All t_ms values are simulated milliseconds from the storm's virtual
+  // clock; sampling and breaker transitions happen in the serial event loop,
+  // so the storm sub-journal is deterministic by construction.
+  kQueueDepth,       // Backend queue depth sample. value = depth (incl. in service).
+  kInflightRetries,  // Edge in-flight retrying requests sample. value = count.
+  kFaultBegin,       // Transient backend fault window opens. t_ms = start.
+  kFaultEnd,         // Fault window closes. t_ms = end.
+  kBreakerHalfOpen,  // Edge breaker admitted its probe after cooldown.
+  kBreakerClose,     // Probe succeeded; edge breaker closed.
 };
 
 const char* JournalEventKindName(JournalEventKind kind);
@@ -164,6 +175,16 @@ class JournalRun {
   void Quarantine(std::string_view kind, std::string_view detail);
   void ProbeRepetition(int repetition, bool diverged, bool counterfactual);
   void ProbeVerdict(std::string_view stability, bool probe_failed);
+
+  // --- Storm-simulation emitters (stream kStorm, src/storm) ----------------
+  void QueueDepth(int64_t t_ms, int64_t depth);
+  void InflightRetries(int64_t t_ms, int64_t count);
+  void FaultBegin(int64_t t_ms);
+  void FaultEnd(int64_t t_ms);
+  // kind must be kBreakerOpen, kBreakerHalfOpen, or kBreakerClose; the storm
+  // engine stamps transitions with simulated time (the campaign's
+  // BreakerOpen(attempt) carries no clock — its reduce step is untimed).
+  void BreakerTransition(JournalEventKind kind, int64_t t_ms);
 
  private:
   void Emit(JournalEventKind kind, int attempt, int64_t t_ms, int64_t value,

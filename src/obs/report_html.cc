@@ -546,6 +546,121 @@ std::string RenderHtmlReport(std::string_view app, const std::vector<JournalEven
     }
   }
 
+  // --- Storm simulation timelines (stream kStorm) ---------------------------
+  // Rendered only when a `wasabi storm` run journaled the kStorm stream: the
+  // backend queue-depth timeline with the fault window shaded, then one
+  // in-flight-retries track per edge with its breaker transitions marked.
+  {
+    struct StormEdgeTrack {
+      std::string location;
+      std::vector<std::pair<int64_t, int64_t>> inflight;  // (t_ms, count).
+      std::vector<std::pair<int64_t, JournalEventKind>> transitions;
+    };
+    std::vector<std::pair<int64_t, int64_t>> depth;  // Backend (t_ms, depth).
+    int64_t fault_begin = -1;
+    int64_t fault_end = -1;
+    std::map<uint64_t, StormEdgeTrack> storm_edges;
+    for (const JournalEvent& event : events) {
+      if (event.stream != JournalStream::kStorm) {
+        continue;
+      }
+      if (event.run_id == 0) {
+        if (event.kind == JournalEventKind::kQueueDepth) {
+          depth.emplace_back(event.t_ms, event.value);
+        } else if (event.kind == JournalEventKind::kFaultBegin) {
+          fault_begin = event.t_ms;
+        } else if (event.kind == JournalEventKind::kFaultEnd) {
+          fault_end = event.t_ms;
+        }
+        continue;
+      }
+      StormEdgeTrack& track = storm_edges[event.run_id];
+      if (track.location.empty()) {
+        track.location = event.location;
+      }
+      if (event.kind == JournalEventKind::kInflightRetries) {
+        track.inflight.emplace_back(event.t_ms, event.value);
+      } else if (event.kind == JournalEventKind::kBreakerOpen ||
+                 event.kind == JournalEventKind::kBreakerHalfOpen ||
+                 event.kind == JournalEventKind::kBreakerClose) {
+        track.transitions.emplace_back(event.t_ms, event.kind);
+      }
+    }
+    // One gauge track: shaded fault window, a column per sample (rendered as
+    // thin bars so the x axis is honest about sampling), peak in the note.
+    auto storm_track = [&](const std::vector<std::pair<int64_t, int64_t>>& samples,
+                           const std::vector<std::pair<int64_t, JournalEventKind>>& transitions,
+                           const std::string& unit) {
+      const double width = 720;
+      const double plot_h = 96;
+      const double base_y = 110;
+      int64_t max_t = 1;
+      int64_t max_v = 1;
+      for (const auto& [t, v] : samples) {
+        max_t = std::max(max_t, t);
+        max_v = std::max(max_v, v);
+      }
+      SvgOpen(&out, 740, 130);
+      if (fault_begin >= 0 && fault_end > fault_begin) {
+        const double x0 = static_cast<double>(fault_begin) / static_cast<double>(max_t) * width;
+        const double x1 = static_cast<double>(fault_end) / static_cast<double>(max_t) * width;
+        out += "<rect x=\"" + FmtCoord(x0) + "\" y=\"" + FmtCoord(base_y - plot_h) +
+               "\" width=\"" + FmtCoord(x1 - x0) + "\" height=\"" + FmtCoord(plot_h) +
+               "\" fill=\"var(--status-serious)\" fill-opacity=\"0.15\" data-tip=\"backend "
+               "fault window " +
+               FmtInt(fault_begin) + "\xe2\x80\x93" + FmtInt(fault_end) + " ms\"/>";
+      }
+      SvgLine(&out, 0, base_y, width, base_y);
+      const double bar_w = std::max(1.0, width / static_cast<double>(samples.size() + 1) - 1.0);
+      for (const auto& [t, v] : samples) {
+        const double x = static_cast<double>(t) / static_cast<double>(max_t) * width;
+        const double h =
+            std::max(v > 0 ? 2.0 : 0.0,
+                     static_cast<double>(v) / static_cast<double>(max_v) * plot_h);
+        if (h > 0) {
+          SvgRect(&out, x, base_y - h, bar_w, h, "var(--series-1)", 0,
+                  FmtInt(v) + " " + unit + " at t=" + FmtInt(t) + " ms");
+        }
+      }
+      for (const auto& [t, kind] : transitions) {
+        const double x = static_cast<double>(t) / static_cast<double>(max_t) * width;
+        const char* fill = kind == JournalEventKind::kBreakerOpen    ? "var(--status-critical)"
+                           : kind == JournalEventKind::kBreakerClose ? "var(--status-good)"
+                                                                     : "var(--series-3)";
+        SvgCircle(&out, x, base_y - plot_h - 6, 4, fill,
+                  std::string(JournalEventKindName(kind)) + " at t=" + FmtInt(t) + " ms");
+      }
+      SvgText(&out, 0, 128, "svg-axis", "0 ms");
+      SvgText(&out, width, 128, "svg-axis", FmtInt(max_t) + " ms", "end");
+      SvgText(&out, width, base_y - plot_h - 2, "svg-value", "peak " + FmtInt(max_v), "end");
+    };
+    if (!depth.empty()) {
+      out += "<h2>Retry storm simulation</h2>";
+      out += "<div class=\"legend\"><span><span class=\"key-bar\" "
+             "style=\"background:var(--status-serious);opacity:.4\"></span>fault window</span>"
+             "<span><span class=\"key\" style=\"background:var(--status-critical)\"></span>"
+             "breaker opened</span><span><span class=\"key\" "
+             "style=\"background:var(--series-3)\"></span>half-open probe</span>"
+             "<span><span class=\"key\" style=\"background:var(--status-good)\"></span>"
+             "breaker closed</span></div>";
+      out += "<div class=\"card\"><h3>Backend queue depth</h3>";
+      storm_track(depth, {}, "queued copies");
+      out += "</svg><div class=\"note\">Queued + in-service copies per sample; a queue that "
+             "never drains after the shaded fault clears is the metastable signature.</div>"
+             "</div>";
+      for (const auto& [run_id, track] : storm_edges) {
+        if (track.inflight.empty()) {
+          continue;
+        }
+        out += "<div class=\"card\"><h3>" + EscapeHtml(track.location) +
+               " \xc2\xb7 in-flight retries</h3>";
+        storm_track(track.inflight, track.transitions, "retrying requests");
+        out += "</svg><div class=\"note\">Requests mid-retry for this edge; markers are "
+               "admission-breaker transitions.</div></div>";
+      }
+    }
+  }
+
   // --- Embedded sibling artifacts -------------------------------------------
   if (!metrics_json.empty() || !trace_json.empty()) {
     out += "<h2>Raw artifacts</h2>";

@@ -187,6 +187,12 @@ RetryStatsReport ComputeRetryStats(const std::vector<JournalEvent>& events,
       case JournalEventKind::kCacheMiss:
       case JournalEventKind::kProbeRepetition:
       case JournalEventKind::kProbeVerdict:
+      case JournalEventKind::kQueueDepth:
+      case JournalEventKind::kInflightRetries:
+      case JournalEventKind::kFaultBegin:
+      case JournalEventKind::kFaultEnd:
+      case JournalEventKind::kBreakerHalfOpen:
+      case JournalEventKind::kBreakerClose:
         break;  // Other streams; never in the campaign stream.
     }
   }

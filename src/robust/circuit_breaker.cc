@@ -5,11 +5,46 @@
 namespace wasabi {
 
 bool CircuitBreaker::IsOpen(const std::string& key) const {
+  return StateOf(key) == BreakerState::kOpen;
+}
+
+BreakerState CircuitBreaker::StateOf(const std::string& key) const {
   if (threshold_ <= 0) {
-    return false;
+    return BreakerState::kClosed;
   }
   auto it = states_.find(key);
-  return it != states_.end() && it->second.open;
+  return it == states_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+BreakerDecision CircuitBreaker::Admit(const std::string& key) {
+  if (threshold_ <= 0) {
+    return BreakerDecision::kAllow;
+  }
+  auto it = states_.find(key);
+  if (it == states_.end()) {
+    return BreakerDecision::kAllow;
+  }
+  State& state = it->second;
+  switch (state.state) {
+    case BreakerState::kClosed:
+      return BreakerDecision::kAllow;
+    case BreakerState::kHalfOpen:
+      // The probe is already in flight; shed everything else until it
+      // resolves via RecordSuccess/RecordFailure.
+      return BreakerDecision::kShed;
+    case BreakerState::kOpen:
+      if (cooldown_ <= 0) {
+        return BreakerDecision::kShed;  // Campaign semantics: no recovery.
+      }
+      if (state.shed_since_open < cooldown_) {
+        ++state.shed_since_open;
+        return BreakerDecision::kShed;
+      }
+      state.state = BreakerState::kHalfOpen;
+      state.shed_since_open = 0;
+      return BreakerDecision::kProbe;
+  }
+  return BreakerDecision::kAllow;
 }
 
 void CircuitBreaker::RecordSuccess(const std::string& key) {
@@ -17,11 +52,19 @@ void CircuitBreaker::RecordSuccess(const std::string& key) {
     return;
   }
   auto it = states_.find(key);
-  if (it != states_.end()) {
-    it->second.consecutive_failures = 0;
-    // An open circuit stays open: a campaign has no half-open probe phase —
-    // once a location is condemned, its remaining runs are quarantined.
+  if (it == states_.end()) {
+    return;
   }
+  State& state = it->second;
+  state.consecutive_failures = 0;
+  if (state.state == BreakerState::kHalfOpen) {
+    // The probe succeeded: close the circuit and forget the episode.
+    state.state = BreakerState::kClosed;
+    state.shed_since_open = 0;
+  }
+  // An open circuit stays open: the campaign has no half-open probe phase —
+  // once a location is condemned, its remaining runs are quarantined. Only
+  // an Admit()-granted probe (kHalfOpen) can close a circuit.
 }
 
 void CircuitBreaker::RecordFailure(const std::string& key) {
@@ -29,16 +72,23 @@ void CircuitBreaker::RecordFailure(const std::string& key) {
     return;
   }
   State& state = states_[key];
+  if (state.state == BreakerState::kHalfOpen) {
+    // The probe failed: back to open, restart the cooldown from scratch.
+    state.state = BreakerState::kOpen;
+    state.shed_since_open = 0;
+    return;
+  }
   ++state.consecutive_failures;
   if (state.consecutive_failures >= threshold_) {
-    state.open = true;
+    state.state = BreakerState::kOpen;
+    state.shed_since_open = 0;
   }
 }
 
 std::vector<std::string> CircuitBreaker::OpenKeys() const {
   std::vector<std::string> keys;
   for (const auto& [key, state] : states_) {
-    if (state.open) {
+    if (state.state != BreakerState::kClosed) {
       keys.push_back(key);
     }
   }

@@ -1,4 +1,5 @@
-// Per-location circuit breaker for the campaign executor.
+// Per-location circuit breaker for the campaign executor and the storm
+// simulator.
 //
 // When injections into one retry location keep killing the pipeline (M
 // consecutive infrastructure failures), further runs against that location
@@ -6,36 +7,76 @@
 // paper's prescription that retry must be bounded applies to the harness too.
 // The breaker is fed serially, in run-id order, at reduce time, so its
 // open/closed decisions are independent of worker scheduling.
+//
+// Recovery (half-open) is opt-in via `cooldown`: admission-controlled callers
+// (src/storm, and any future service frontend) use Admit() and get a
+// deterministic probe-after-cooldown cycle; the campaign keeps the legacy
+// cooldown = 0 configuration, where an open circuit stays open for the rest
+// of the run. See docs/ROBUSTNESS.md and docs/STORM.md.
 
 #ifndef WASABI_SRC_ROBUST_CIRCUIT_BREAKER_H_
 #define WASABI_SRC_ROBUST_CIRCUIT_BREAKER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace wasabi {
 
+enum class BreakerState : uint8_t {
+  kClosed,    // Requests flow; failures are being counted.
+  kOpen,      // Requests are shed.
+  kHalfOpen,  // One probe request is in flight; everything else is shed.
+};
+
+// Outcome of an admission check (Admit). kProbe marks the single request that
+// transitions an open circuit to half-open — callers journal it as
+// `breaker_half_open` so time-to-recover is measurable from the event stream.
+enum class BreakerDecision : uint8_t { kAllow, kProbe, kShed };
+
 class CircuitBreaker {
  public:
   // `threshold` consecutive failures open the circuit for a key; <= 0
-  // disables the breaker entirely.
-  explicit CircuitBreaker(int threshold) : threshold_(threshold) {}
+  // disables the breaker entirely. `cooldown` is the number of admissions an
+  // open circuit sheds before it goes half-open and admits one probe;
+  // <= 0 (the default, and the campaign's setting) means an open circuit
+  // never recovers. Both counts make recovery a pure function of the call
+  // sequence — no wall clock anywhere.
+  explicit CircuitBreaker(int threshold, int cooldown = 0)
+      : threshold_(threshold), cooldown_(cooldown) {}
 
+  // True while the key's circuit is open (kOpen only: a half-open circuit is
+  // admitting its probe, so legacy IsOpen callers see it as recovering).
   bool IsOpen(const std::string& key) const;
+  BreakerState StateOf(const std::string& key) const;
+
+  // Admission check for one request. Closed -> kAllow. Open -> kShed until
+  // `cooldown` requests have been shed, then the next request transitions the
+  // circuit to half-open and is admitted as the probe (kProbe). Half-open ->
+  // kShed (the probe is already in flight). With cooldown <= 0 an open
+  // circuit sheds forever, matching the campaign's quarantine semantics.
+  BreakerDecision Admit(const std::string& key);
+
+  // Probe resolution: RecordSuccess on a half-open key closes the circuit
+  // (full reset); RecordFailure re-opens it and restarts the cooldown.
+  // On a closed key they keep the legacy consecutive-failure count.
   void RecordSuccess(const std::string& key);
   void RecordFailure(const std::string& key);
 
-  // Keys whose circuit is open, sorted for deterministic reporting.
+  // Keys whose circuit is open or half-open, sorted for deterministic
+  // reporting.
   std::vector<std::string> OpenKeys() const;
 
  private:
   struct State {
     int consecutive_failures = 0;
-    bool open = false;
+    int shed_since_open = 0;
+    BreakerState state = BreakerState::kClosed;
   };
   int threshold_;
+  int cooldown_;
   std::unordered_map<std::string, State> states_;
 };
 

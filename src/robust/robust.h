@@ -25,6 +25,10 @@ struct RobustnessOptions {
   // Consecutive infrastructure failures per location before its circuit
   // opens; <= 0 disables the breaker.
   int breaker_threshold = 8;
+  // Shed admissions before an open circuit half-opens and admits one probe
+  // (CircuitBreaker::Admit); <= 0 means an open circuit never recovers. The
+  // campaign keeps 0 (quarantine is final); the storm simulator sets it.
+  int breaker_cooldown = 0;
   ChaosConfig chaos;
   // Stop scheduling new waves after the first quarantined run.
   bool fail_fast = false;

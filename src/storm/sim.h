@@ -1,0 +1,153 @@
+// Determinism kit for the retry-storm simulator (docs/STORM.md).
+//
+// Three small pieces, modeled on the Mars-sim SimClock/Rng/Recorder idiom the
+// ROADMAP names: a virtual clock that only ever moves when an event says so,
+// a seeded splittable RNG (splitmix64) so every edge draws jitter from its
+// own stream regardless of event interleaving, and a binary-heap event queue
+// keyed by (time, tiebreak seq) so same-instant events pop in push order.
+// Nothing here reads wall time; a storm run is a pure function of
+// (profiles, options, seed).
+
+#ifndef WASABI_SRC_STORM_SIM_H_
+#define WASABI_SRC_STORM_SIM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wasabi {
+
+// Virtual milliseconds. Advanced only by the event loop, never by wall time.
+class SimClock {
+ public:
+  int64_t now_ms() const { return now_ms_; }
+
+  // Time is monotone: popping the event queue in (time, seq) order can only
+  // move the clock forward, so a backwards AdvanceTo is clamped (and would
+  // indicate a scheduling bug upstream).
+  void AdvanceTo(int64_t t_ms) {
+    if (t_ms > now_ms_) {
+      now_ms_ = t_ms;
+    }
+  }
+
+ private:
+  int64_t now_ms_ = 0;
+};
+
+// splitmix64 (Steele et al., "Fast splittable pseudorandom number
+// generators"): tiny state, full 64-bit period per stream, and cheap
+// splitting — hashing a salt into the current state yields an independent
+// child stream. Each storm edge gets its own split so adding or removing an
+// edge never perturbs another edge's jitter draws.
+class SimRng {
+ public:
+  explicit SimRng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Independent child stream: mixes the salt through one splitmix step so
+  // Split(1) and Split(2) diverge even from a zero seed.
+  SimRng Split(uint64_t salt) const {
+    SimRng child(state_ ^ (salt + 0x9e3779b97f4a7c15ull));
+    child.Next();
+    return child;
+  }
+
+  // Uniform in [lo, hi], inclusive. hi < lo yields lo.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    if (hi <= lo) {
+      return lo;
+    }
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Min-heap of events keyed by (at_ms, seq); seq is assigned at push, so
+// same-instant events pop in push order — the tiebreak that makes the whole
+// simulation insensitive to heap internals.
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Entry {
+    int64_t at_ms = 0;
+    uint64_t seq = 0;
+    Payload payload;
+  };
+
+  void Push(int64_t at_ms, Payload payload) {
+    entries_.push_back(Entry{at_ms, next_seq_++, std::move(payload)});
+    SiftUp(entries_.size() - 1);
+  }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const Entry& top() const { return entries_.front(); }
+
+  Entry PopMin() {
+    Entry min = std::move(entries_.front());
+    entries_.front() = std::move(entries_.back());
+    entries_.pop_back();
+    if (!entries_.empty()) {
+      SiftDown(0);
+    }
+    return min;
+  }
+
+ private:
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.at_ms != b.at_ms) {
+      return a.at_ms < b.at_ms;
+    }
+    return a.seq < b.seq;
+  }
+
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (!Less(entries_[i], entries_[parent])) {
+        break;
+      }
+      std::swap(entries_[i], entries_[parent]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = entries_.size();
+    while (true) {
+      size_t left = 2 * i + 1;
+      size_t right = left + 1;
+      size_t smallest = i;
+      if (left < n && Less(entries_[left], entries_[smallest])) {
+        smallest = left;
+      }
+      if (right < n && Less(entries_[right], entries_[smallest])) {
+        smallest = right;
+      }
+      if (smallest == i) {
+        break;
+      }
+      std::swap(entries_[i], entries_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_STORM_SIM_H_

@@ -21,6 +21,8 @@
 #include "src/obs/journal.h"
 #include "src/obs/report_html.h"
 #include "src/obs/retry_stats.h"
+#include "src/storm/profile.h"
+#include "src/storm/storm.h"
 
 #ifndef WASABI_GOLDENS_DIR
 #define WASABI_GOLDENS_DIR "tests/goldens"
@@ -132,6 +134,31 @@ TEST(ReportHtmlTest, StructureAndEscaping) {
   EXPECT_EQ(page.find("<script>alert"), std::string::npos);
   EXPECT_NE(page.find("&lt;script&gt;alert(1)&lt;/script&gt;&amp;&quot;"), std::string::npos);
   EXPECT_NE(page.find("x&lt;y"), std::string::npos);
+}
+
+TEST(ReportHtmlTest, StormJournalRendersTheStormTimelines) {
+  // The storm section is gated on the kStorm stream: absent from campaign
+  // dashboards (the flakylab golden pins that), present — with the fault
+  // window, backend queue track, and per-edge breaker markers — after a
+  // `wasabi storm` run.
+  CorpusApp app = BuildCorpusApp("stormlab");
+  std::vector<EdgeRetryProfile> profiles =
+      ExtractRetryProfiles(app.program, *app.index, /*jobs=*/1);
+  RetryJournal journal;
+  StormOptions options;
+  RunStormSim(app.name, profiles, options, &journal);
+  std::vector<JournalEvent> events = journal.Collect();
+  RetryStatsReport stats = ComputeRetryStats(events);
+  const std::string html = RenderHtmlReport(app.name, events, stats, "", "");
+  EXPECT_NE(html.find("Retry storm simulation"), std::string::npos);
+  EXPECT_NE(html.find("Backend queue depth"), std::string::npos);
+  EXPECT_NE(html.find("in-flight retries"), std::string::npos);
+  EXPECT_NE(html.find("backend fault window"), std::string::npos);
+  EXPECT_NE(html.find("breaker_half_open"), std::string::npos)
+      << "a healthy edge's half-open probe must be marked on its track";
+
+  const std::string campaign_html = RenderFlakylabReport();
+  EXPECT_EQ(campaign_html.find("Retry storm simulation"), std::string::npos);
 }
 
 }  // namespace

@@ -192,6 +192,125 @@ TEST(RetryStatsTest, LocationsAggregateAndSortByKey) {
   EXPECT_DOUBLE_EQ(report.locations[1].amplification, 9.0 / 4.0);
 }
 
+TEST(RetryStatsTest, NonCampaignStreamsNeverPerturbTheReport) {
+  // A journal is multi-stream: coverage, probe, cache, and (new) storm events
+  // ride alongside the campaign runs. The analytics must replay the campaign
+  // stream only, so interleaving every other stream is byte-neutral.
+  std::vector<JournalEvent> campaign_only;
+  AppendPassingRun(&campaign_only, 0, 3, 400, 200);
+  AppendPassingRun(&campaign_only, 1, 9, 900, 450);
+
+  std::vector<JournalEvent> mixed = campaign_only;
+  auto foreign = [](JournalStream stream, JournalEventKind kind, int64_t t_ms,
+                    int64_t value) {
+    JournalEvent event;
+    event.stream = stream;
+    event.run_id = 0;  // Same run id as a campaign run: stream keys identity.
+    event.kind = kind;
+    event.t_ms = t_ms;
+    event.value = value;
+    return event;
+  };
+  mixed.insert(mixed.begin() + 1,
+               foreign(JournalStream::kStorm, JournalEventKind::kQueueDepth, 250, 64));
+  mixed.push_back(foreign(JournalStream::kStorm, JournalEventKind::kInflightRetries, 500, 7));
+  mixed.push_back(foreign(JournalStream::kStorm, JournalEventKind::kFaultBegin, 5000, 0));
+  mixed.push_back(foreign(JournalStream::kStorm, JournalEventKind::kFaultEnd, 10000, 0));
+  mixed.push_back(
+      foreign(JournalStream::kStorm, JournalEventKind::kBreakerHalfOpen, 12000, 1));
+  mixed.push_back(foreign(JournalStream::kStorm, JournalEventKind::kBreakerClose, 12010, 1));
+  mixed.push_back(foreign(JournalStream::kProbe, JournalEventKind::kProbeRepetition, 0, 1));
+  mixed.push_back(foreign(JournalStream::kCache, JournalEventKind::kCacheHit, 0, 3));
+  mixed.push_back(foreign(JournalStream::kCoverage, JournalEventKind::kWork, 0, 100));
+
+  RetryStatsReport a = ComputeRetryStats(campaign_only);
+  RetryStatsReport b = ComputeRetryStats(mixed);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  EXPECT_EQ(a.campaign_runs, b.campaign_runs);
+  EXPECT_DOUBLE_EQ(a.amplification, b.amplification);
+  EXPECT_EQ(a.wasted_steps, b.wasted_steps);
+  EXPECT_EQ(a.time_to_recover_ms_total, b.time_to_recover_ms_total);
+  EXPECT_DOUBLE_EQ(a.latency_p99_ms, b.latency_p99_ms);
+}
+
+TEST(RetryStatsTest, OverlappingChaosFaultsAccumulateRecoveryBackoff) {
+  // Two chaos host failures inside one run (overlapping fault windows): the
+  // recovery charge is the SUM of the backoff the host paid, not the last leg.
+  std::vector<JournalEvent> events;
+  uint32_t seq = 0;
+  events.push_back(Event(0, seq++, JournalEventKind::kRunBegin, 0, 0, 1));
+  events.push_back(Event(0, seq++, JournalEventKind::kHostFailure, 1, 0, 1, "chaos"));
+  events.push_back(Event(0, seq++, JournalEventKind::kBackoffWait, 2, 0, 40));
+  events.push_back(Event(0, seq++, JournalEventKind::kHostFailure, 2, 0, 1, "chaos"));
+  events.push_back(Event(0, seq++, JournalEventKind::kBackoffWait, 3, 0, 80));
+  events.push_back(Event(0, seq++, JournalEventKind::kAttemptBegin, 3, 0, 0));
+  events.push_back(Event(0, seq++, JournalEventKind::kWork, 3, 0, 50));
+  events.push_back(Event(0, seq++, JournalEventKind::kAttemptEnd, 3, 0, 20, "passed"));
+  RetryStatsReport report = ComputeRetryStats(events);
+
+  ASSERT_EQ(report.runs.size(), 1u);
+  EXPECT_EQ(report.runs[0].chaos_failures, 2);
+  EXPECT_EQ(report.runs[0].time_to_recover_ms, 120);
+  EXPECT_EQ(report.time_to_recover_ms_total, 120);
+  EXPECT_EQ(report.time_to_recover_ms_max, 120);
+  ASSERT_EQ(report.locations.size(), 1u);
+  EXPECT_EQ(report.locations[0].recovered_runs, 1u);
+}
+
+TEST(RetryStatsTest, FaultClearingWithInFlightApplicationBackoffIsNotRecovery) {
+  // The fault clears while the application's own retry loop is mid-backoff:
+  // in-run sleeps are latency, not time-to-recover — only host backoff after
+  // a chaos failure counts, and a run with no chaos failure recovers nothing.
+  std::vector<JournalEvent> events;
+  uint32_t seq = 0;
+  events.push_back(Event(0, seq++, JournalEventKind::kRunBegin, 0, 0, 1));
+  events.push_back(Event(0, seq++, JournalEventKind::kAttemptBegin, 1, 0, 0));
+  events.push_back(Event(0, seq++, JournalEventKind::kInjectFire, 1, 0, 0));
+  events.push_back(Event(0, seq++, JournalEventKind::kSleep, 1, 100, 100));
+  events.push_back(Event(0, seq++, JournalEventKind::kInjectFire, 1, 100, 1));
+  events.push_back(Event(0, seq++, JournalEventKind::kSleep, 1, 300, 200));
+  events.push_back(Event(0, seq++, JournalEventKind::kWork, 1, 0, 90));
+  events.push_back(Event(0, seq++, JournalEventKind::kAttemptEnd, 1, 0, 320, "passed"));
+  RetryStatsReport report = ComputeRetryStats(events);
+
+  ASSERT_EQ(report.runs.size(), 1u);
+  EXPECT_EQ(report.runs[0].sleep_ms, 300);
+  EXPECT_EQ(report.runs[0].chaos_failures, 0);
+  EXPECT_EQ(report.runs[0].time_to_recover_ms, -1);
+  EXPECT_EQ(report.time_to_recover_ms_total, 0);
+}
+
+TEST(RetryStatsTest, ZeroGoodputRunsStillYieldExactQuantiles) {
+  // Every run fails: goodput is exactly zero, yet the failed attempts DID
+  // complete with a verdict, so their virtual durations still feed the
+  // latency quantiles (a zero-goodput storm is precisely when you read them).
+  std::vector<JournalEvent> events;
+  const int64_t latencies[] = {10, 30, 50};
+  for (uint64_t r = 0; r < 3; ++r) {
+    uint32_t seq = 0;
+    events.push_back(Event(r, seq++, JournalEventKind::kRunBegin, 0, 0, 1));
+    events.push_back(Event(r, seq++, JournalEventKind::kAttemptBegin, 1, 0, 0));
+    events.push_back(Event(r, seq++, JournalEventKind::kInjectFire, 1, 0, 0));
+    events.push_back(Event(r, seq++, JournalEventKind::kWork, 1, 0, 200));
+    events.push_back(
+        Event(r, seq++, JournalEventKind::kAttemptEnd, 1, 0, latencies[r], "failed"));
+  }
+  RetryStatsReport report = ComputeRetryStats(events);
+  EXPECT_EQ(report.goodput_steps, 0);
+  EXPECT_DOUBLE_EQ(report.goodput_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(report.latency_p50_ms, 30.0);
+  EXPECT_DOUBLE_EQ(report.latency_p90_ms, 46.0);  // rank 1.8 between 30 and 50.
+
+  // A journal with NO completed run yields defined (zero) quantiles, not UB.
+  std::vector<JournalEvent> never;
+  uint32_t seq = 0;
+  never.push_back(Event(0, seq++, JournalEventKind::kRunBegin, 0, 0, 1));
+  never.push_back(Event(0, seq++, JournalEventKind::kQuarantine, 0, 0, 0, "host: gave up"));
+  RetryStatsReport empty = ComputeRetryStats(never);
+  EXPECT_DOUBLE_EQ(empty.latency_p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(empty.latency_p99_ms, 0.0);
+}
+
 TEST(ExactQuantileTest, BoundsAndEdgeCases) {
   EXPECT_DOUBLE_EQ(ExactQuantile({}, 0.5), 0.0);
   EXPECT_DOUBLE_EQ(ExactQuantile({7.0}, 0.0), 7.0);

@@ -185,6 +185,71 @@ TEST(CircuitBreakerTest, OpenKeysAreSorted) {
   EXPECT_EQ(breaker.OpenKeys(), (std::vector<std::string>{"alpha", "mid", "zeta"}));
 }
 
+// --- Circuit breaker half-open recovery (storm admission control) ------------
+
+TEST(CircuitBreakerTest, CooldownAdmitsAHalfOpenProbeDeterministically) {
+  CircuitBreaker breaker(1, /*cooldown=*/2);
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kAllow);
+  breaker.RecordFailure("loc");
+  ASSERT_EQ(breaker.StateOf("loc"), BreakerState::kOpen);
+  // Exactly `cooldown` admissions shed, then the next one is the probe.
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kShed);
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kShed);
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kProbe);
+  EXPECT_EQ(breaker.StateOf("loc"), BreakerState::kHalfOpen);
+  // While the probe is outstanding, everything else sheds.
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kShed);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesTheBreaker) {
+  CircuitBreaker breaker(2, /*cooldown=*/1);
+  breaker.RecordFailure("loc");
+  breaker.RecordFailure("loc");
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kShed);
+  ASSERT_EQ(breaker.Admit("loc"), BreakerDecision::kProbe);
+  breaker.RecordSuccess("loc");
+  EXPECT_EQ(breaker.StateOf("loc"), BreakerState::kClosed);
+  EXPECT_FALSE(breaker.IsOpen("loc"));
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kAllow);
+  // The failure streak restarts from zero after recovery.
+  breaker.RecordFailure("loc");
+  EXPECT_EQ(breaker.StateOf("loc"), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsTheCooldown) {
+  CircuitBreaker breaker(1, /*cooldown=*/2);
+  breaker.RecordFailure("loc");
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kShed);
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kShed);
+  ASSERT_EQ(breaker.Admit("loc"), BreakerDecision::kProbe);
+  breaker.RecordFailure("loc");
+  EXPECT_EQ(breaker.StateOf("loc"), BreakerState::kOpen);
+  // A failed probe buys a full new cooldown, not an immediate retry.
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kShed);
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kShed);
+  EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kProbe);
+}
+
+TEST(CircuitBreakerTest, ZeroCooldownKeepsCampaignNeverCloseSemantics) {
+  CircuitBreaker breaker(1);  // Default cooldown 0: the campaign's breaker.
+  breaker.RecordFailure("loc");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kShed);
+  }
+  EXPECT_EQ(breaker.StateOf("loc"), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenCountsAsOpenForOpenKeysButNotIsOpen) {
+  CircuitBreaker breaker(1, /*cooldown=*/1);
+  breaker.RecordFailure("loc");
+  breaker.Admit("loc");
+  ASSERT_EQ(breaker.Admit("loc"), BreakerDecision::kProbe);
+  // Half-open is not "open" for the campaign's skip check (the probe must
+  // run), but the key still shows up in the end-of-run condemned listing.
+  EXPECT_FALSE(breaker.IsOpen("loc"));
+  EXPECT_EQ(breaker.OpenKeys(), (std::vector<std::string>{"loc"}));
+}
+
 // --- Chaos harness -----------------------------------------------------------
 
 TEST(ChaosTest, DisabledOrZeroRateNeverFaults) {

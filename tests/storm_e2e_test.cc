@@ -1,0 +1,107 @@
+// End-to-end storm pipeline over the stormlab ground-truth app: extract
+// profiles from the generated sources, run the simulation, score the oracle
+// output against the seeded manifest (exact TP/FP/FN), and prove the report
+// and journal are byte-identical at every worker count and across reruns.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/scoring.h"
+#include "src/corpus/corpus.h"
+#include "src/obs/journal.h"
+#include "src/storm/profile.h"
+#include "src/storm/storm.h"
+
+namespace wasabi {
+namespace {
+
+struct StormRun {
+  std::string report_json;
+  std::string journal_json;
+  StormReport report;
+};
+
+StormRun RunOnce(const CorpusApp& app, int jobs) {
+  std::vector<EdgeRetryProfile> profiles =
+      ExtractRetryProfiles(app.program, *app.index, jobs);
+  RetryJournal journal;
+  StormOptions options;
+  StormRun run;
+  run.report = RunStormSim(app.name, profiles, options, &journal);
+  run.report_json = StormReportToJson(run.report);
+  run.journal_json = journal.ToJson(app.name);
+  return run;
+}
+
+TEST(StormE2eTest, StormlabScoresExactAgainstTheSeededManifest) {
+  CorpusApp app = BuildCorpusApp("stormlab");
+  StormRun run = RunOnce(app, /*jobs=*/4);
+
+  // One report per storm bug class, nothing on the healthy gateway.
+  ASSERT_EQ(run.report.bugs.size(), 3u);
+  for (const BugReport& bug : run.report.bugs) {
+    EXPECT_EQ(bug.technique, DetectionTechnique::kStormSim);
+    EXPECT_EQ(bug.app, "stormlab");
+  }
+
+  std::vector<SeededBug> truth = DetectableBugs(app.bugs, DetectionTechnique::kStormSim);
+  ASSERT_EQ(truth.size(), 3u) << "stormlab seeds exactly one bug per storm class";
+  Scorecard scorecard = ScoreReports(run.report.bugs, truth);
+  ScoreCell total = scorecard.TotalAll();
+  EXPECT_EQ(total.true_positives, 3);
+  EXPECT_EQ(total.false_positives, 0);
+  EXPECT_EQ(total.false_negatives, 0);
+  EXPECT_EQ(scorecard.Total(BugType::kStormMissingJitter).true_positives, 1);
+  EXPECT_EQ(scorecard.Total(BugType::kStormUnboundedFanout).true_positives, 1);
+  EXPECT_EQ(scorecard.Total(BugType::kStormRetryOnOverload).true_positives, 1);
+}
+
+TEST(StormE2eTest, ReportAndJournalAreByteIdenticalAtAnyWorkerCount) {
+  CorpusApp app = BuildCorpusApp("stormlab");
+  StormRun baseline = RunOnce(app, /*jobs=*/1);
+  EXPECT_FALSE(baseline.report_json.empty());
+  EXPECT_FALSE(baseline.journal_json.empty());
+  for (int jobs : {2, 4, 8}) {
+    StormRun run = RunOnce(app, jobs);
+    EXPECT_EQ(run.report_json, baseline.report_json) << "jobs=" << jobs;
+    EXPECT_EQ(run.journal_json, baseline.journal_json) << "jobs=" << jobs;
+  }
+  // Same seed, same app, fresh everything: still byte-identical.
+  StormRun rerun = RunOnce(app, /*jobs=*/1);
+  EXPECT_EQ(rerun.report_json, baseline.report_json);
+  EXPECT_EQ(rerun.journal_json, baseline.journal_json);
+}
+
+TEST(StormE2eTest, StormJournalRoundTripsThroughTheStrictParser) {
+  CorpusApp app = BuildCorpusApp("stormlab");
+  StormRun run = RunOnce(app, /*jobs=*/2);
+  std::vector<JournalEvent> events;
+  std::string parsed_app;
+  std::string error;
+  ASSERT_TRUE(RetryJournal::ParseJson(run.journal_json, &events, &parsed_app, &error)) << error;
+  EXPECT_EQ(parsed_app, "stormlab");
+  ASSERT_FALSE(events.empty());
+  size_t storm_events = 0;
+  for (const JournalEvent& event : events) {
+    if (event.stream == JournalStream::kStorm) {
+      storm_events++;
+    }
+  }
+  EXPECT_EQ(storm_events, events.size()) << "a storm run only writes the kStorm stream";
+}
+
+TEST(StormE2eTest, SeedChangesJitterButNotTheVerdicts) {
+  CorpusApp app = BuildCorpusApp("stormlab");
+  std::vector<EdgeRetryProfile> profiles =
+      ExtractRetryProfiles(app.program, *app.index, /*jobs=*/2);
+  StormOptions options;
+  options.seed = 2026;
+  StormReport report = RunStormSim(app.name, profiles, options, nullptr);
+  ASSERT_EQ(report.bugs.size(), 3u) << "oracle verdicts must be robust to the jitter seed";
+  EXPECT_TRUE(report.metastable);
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -10,6 +10,9 @@
 //   wasabi test <dir>                 dynamic workflow: repurposed unit tests
 //                                     with fault injection and oracles
 //   wasabi analyze <dir>              alias for `test`
+//   wasabi storm <dir>                deterministic retry-storm simulation of
+//                                     the app's extracted retry policies
+//                                     (docs/STORM.md)
 //   wasabi study                      print the §2 issue-study summary
 //   wasabi report --journal=FILE --out=FILE [--metrics=FILE] [--trace=FILE]
 //                                     render a journal (plus optional sibling
@@ -60,6 +63,23 @@
 //                                     cache on, off, warm, or damaged
 //   --scale N                         dump-corpus only: emit N seeded variants
 //                                     of each application (default 1)
+//   --app NAME                        dump-corpus only: emit a single known
+//                                     app (including the on-demand labs
+//                                     "flakylab" and "stormlab"); unknown
+//                                     names are rejected with exit code 2
+//   --storm                           test/analyze only: also run the storm
+//                                     simulation, output-neutral — results go
+//                                     to the obs sinks (journal/metrics/trace/
+//                                     report) only
+//   --storm-seed N                    storm RNG seed (non-negative; default 1)
+//   --storm-duration MS               simulated duration (positive; default
+//                                     30000)
+//   --storm-fault START:END           transient backend fault window in
+//                                     simulated ms (0 <= START < END <=
+//                                     duration; default 5000:10000)
+//   --storm-out=FILE                  write the storm report JSON
+//                                     ("wasabi-storm-v1"; byte-identical at
+//                                     any --jobs N)
 //
 // Malformed .mj files no longer abort an analysis: they are skipped with a
 // diagnostic on stderr and the report is marked degraded (JSON gains
@@ -94,6 +114,8 @@
 #include "src/obs/report_html.h"
 #include "src/obs/retry_stats.h"
 #include "src/obs/trace.h"
+#include "src/storm/profile.h"
+#include "src/storm/storm.h"
 #include "src/study/study.h"
 
 namespace fs = std::filesystem;
@@ -103,13 +125,15 @@ namespace {
 using namespace wasabi;
 
 int Usage() {
-  std::cerr << "usage: wasabi <dump-corpus|identify|static|test|analyze|study> [dir] [--json]"
+  std::cerr << "usage: wasabi <dump-corpus|identify|static|test|analyze|storm|study> [dir]"
+               " [--json]"
                " [--jobs N] [--trace-out=FILE] [--metrics-out=FILE]"
                " [--metrics-format=json|openmetrics] [--journal-out=FILE]"
                " [--report-out=FILE] [--progress]"
                " [--fail-fast] [--max-quarantined N] [--chaos SEED:RATE[:ENV_RATE]]"
-               " [--cache-dir=DIR] [--scale N] [--repetitions N] [--record DIR]"
-               " [--replay ID]\n"
+               " [--cache-dir=DIR] [--scale N] [--app NAME] [--repetitions N] [--record DIR]"
+               " [--replay ID] [--storm] [--storm-seed N] [--storm-duration MS]"
+               " [--storm-fault START:END] [--storm-out=FILE]\n"
                "       wasabi report --journal=FILE --out=FILE [--metrics=FILE] [--trace=FILE]\n";
   return 2;
 }
@@ -133,6 +157,12 @@ struct CliOptions {
   int repetitions = 0;    // Flakiness-prober repetitions; 0 = prober off.
   std::string record_dir;     // Empty = record mode off.
   int64_t replay_run_id = -1;  // < 0 = no replay requested.
+  std::string corpus_app;  // --app: dump-corpus single-app selection.
+  bool storm = false;      // --storm: output-neutral storm phase on test/analyze.
+  StormOptions storm_options;  // Defaults unless --storm-* flags override.
+  std::string storm_out;       // --storm-out: write the storm report JSON.
+  std::string storm_flag;      // First --storm-* value flag seen (validation).
+  bool storm_fault_set = false;
 };
 
 // Strict flag parsing: every `--name=value` / `--name value` form must match
@@ -300,12 +330,93 @@ bool ParseOptions(int argc, char** argv, int first, CliOptions* options) {
         return fail("option --scale needs a positive integer, got '" + value + "'");
       }
       options->scale = static_cast<int>(scale);
+    } else if (name == "--app") {
+      if (!take_value("--app")) {
+        Usage();
+        return false;
+      }
+      if (value.empty()) {
+        return fail("option --app needs a non-empty corpus app name");
+      }
+      options->corpus_app = value;
+    } else if (name == "--storm") {
+      if (has_value) {
+        return fail("option --storm does not take a value");
+      }
+      options->storm = true;
+    } else if (name == "--storm-seed") {
+      if (!take_value("--storm-seed")) {
+        Usage();
+        return false;
+      }
+      char* end = nullptr;
+      long long seed = std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || seed < 0) {
+        return fail("option --storm-seed needs a non-negative integer, got '" + value + "'");
+      }
+      options->storm_options.seed = static_cast<uint64_t>(seed);
+      options->storm_flag = "--storm-seed";
+    } else if (name == "--storm-duration") {
+      if (!take_value("--storm-duration")) {
+        Usage();
+        return false;
+      }
+      char* end = nullptr;
+      long long duration = std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || duration < 1) {
+        return fail("option --storm-duration needs a positive integer of simulated ms, got '" +
+                    value + "'");
+      }
+      options->storm_options.duration_ms = static_cast<int64_t>(duration);
+      options->storm_flag = "--storm-duration";
+    } else if (name == "--storm-fault") {
+      if (!take_value("--storm-fault")) {
+        Usage();
+        return false;
+      }
+      size_t colon = value.find(':');
+      bool ok = colon != std::string::npos && colon > 0 && colon + 1 < value.size();
+      long long start = 0;
+      long long stop = 0;
+      if (ok) {
+        char* end = nullptr;
+        std::string head = value.substr(0, colon);
+        std::string tail = value.substr(colon + 1);
+        start = std::strtoll(head.c_str(), &end, 10);
+        ok = end != head.c_str() && *end == '\0' && start >= 0;
+        if (ok) {
+          stop = std::strtoll(tail.c_str(), &end, 10);
+          ok = end != tail.c_str() && *end == '\0' && stop > start;
+        }
+      }
+      if (!ok) {
+        return fail("option --storm-fault needs START:END with 0 <= START < END, got '" +
+                    value + "'");
+      }
+      options->storm_options.fault_start_ms = static_cast<int64_t>(start);
+      options->storm_options.fault_end_ms = static_cast<int64_t>(stop);
+      options->storm_fault_set = true;
+      options->storm_flag = "--storm-fault";
+    } else if (name == "--storm-out") {
+      if (!take_value("--storm-out")) {
+        Usage();
+        return false;
+      }
+      if (value.empty()) {
+        return fail("option --storm-out needs a non-empty path");
+      }
+      options->storm_out = value;
+      options->storm_flag = "--storm-out";
     } else {
       return fail("unknown option '" + arg + "'");
     }
   }
   if (options->metrics_format_set && options->metrics_out.empty()) {
     return fail("option --metrics-format requires --metrics-out=FILE");
+  }
+  if (options->storm_fault_set &&
+      options->storm_options.fault_end_ms > options->storm_options.duration_ms) {
+    return fail("option --storm-fault window must end within --storm-duration");
   }
   return true;
 }
@@ -420,27 +531,45 @@ bool LoadProgram(const fs::path& root, mj::Program& program,
   return true;
 }
 
-int DumpCorpus(const fs::path& root, int scale) {
-  for (const std::string& name : ScaledCorpusAppNames(scale)) {
-    CorpusApp app = BuildScaledCorpusApp(name);
-    std::ostringstream manifest;
-    manifest << "# Seeded bugs for " << app.display_name << "\n";
-    for (const SeededBug& bug : app.bugs) {
-      manifest << bug.id << "\t" << BugTypeName(bug.type) << "\t" << bug.coordinator << "\t"
-               << bug.note << "\n";
+void WriteCorpusApp(const fs::path& root, const CorpusApp& app) {
+  std::ostringstream manifest;
+  manifest << "# Seeded bugs for " << app.display_name << "\n";
+  for (const SeededBug& bug : app.bugs) {
+    manifest << bug.id << "\t" << BugTypeName(bug.type) << "\t" << bug.coordinator << "\t"
+             << bug.note << "\n";
+  }
+  for (const auto& unit : app.program.units()) {
+    fs::path out_path = root / unit->file().name();
+    std::error_code ec;
+    fs::create_directories(out_path.parent_path(), ec);
+    std::ofstream out(out_path);
+    out << unit->file().text();
+  }
+  fs::path manifest_path = root / app.name / "MANIFEST.txt";
+  std::ofstream out(manifest_path);
+  out << manifest.str();
+  std::cout << "wrote " << app.source_files << " files + manifest under "
+            << (root / app.name).generic_string() << "\n";
+}
+
+int DumpCorpus(const fs::path& root, const CliOptions& cli) {
+  if (!cli.corpus_app.empty()) {
+    // Single-app dumps reach the on-demand labs (flakylab, stormlab) that are
+    // deliberately outside the eight-app goldens; unknown names are a usage
+    // error, not an abort.
+    if (!IsKnownCorpusApp(cli.corpus_app)) {
+      std::cerr << "error: unknown corpus app '" << cli.corpus_app << "'\n";
+      return Usage();
     }
-    for (const auto& unit : app.program.units()) {
-      fs::path out_path = root / unit->file().name();
-      std::error_code ec;
-      fs::create_directories(out_path.parent_path(), ec);
-      std::ofstream out(out_path);
-      out << unit->file().text();
+    if (cli.scale != 1) {
+      std::cerr << "error: option --scale does not combine with --app\n";
+      return Usage();
     }
-    fs::path manifest_path = root / name / "MANIFEST.txt";
-    std::ofstream out(manifest_path);
-    out << manifest.str();
-    std::cout << "wrote " << app.source_files << " files + manifest under "
-              << (root / name).generic_string() << "\n";
+    WriteCorpusApp(root, BuildCorpusApp(cli.corpus_app));
+    return 0;
+  }
+  for (const std::string& name : ScaledCorpusAppNames(cli.scale)) {
+    WriteCorpusApp(root, BuildScaledCorpusApp(name));
   }
   return 0;
 }
@@ -702,12 +831,62 @@ int DynamicWorkflow(const fs::path& root, const CliOptions& cli) {
       }
     }
   }
+  if (cli.storm) {
+    // Output-neutral storm phase: the simulation runs after the campaign and
+    // feeds only the obs sinks (journal/metrics/trace, and --storm-out), so
+    // stdout is byte-identical with and without --storm.
+    std::vector<EdgeRetryProfile> profiles = ExtractRetryProfiles(program, index, cli.jobs);
+    StormReport storm = RunStormSim(options.app_name, profiles, cli.storm_options,
+                                    obs.journal_ptr);
+    ExportStormStats(storm, obs.metrics_ptr, obs.tracer_ptr);
+    if (!cli.storm_out.empty() &&
+        !WriteFileOrComplain(cli.storm_out, StormReportToJson(storm), "storm report")) {
+      return 1;
+    }
+  }
   if (!ExportObservability(cli, options.app_name, obs)) {
     return 1;
   }
   if (result.robustness.aborted) {
     std::cerr << "error: campaign aborted: quarantine limit (--max-quarantined "
               << cli.max_quarantined << ") exceeded\n";
+    return 1;
+  }
+  return 0;
+}
+
+// `wasabi storm`: extracts every service's retry policy by probing (src/storm/
+// profile.h) and replays them against a shared backend in the deterministic
+// discrete-event simulation (docs/STORM.md). The report (JSON with --json,
+// summary text otherwise) and the kStorm journal stream are byte-identical at
+// any --jobs N and across repeated same-seed runs.
+int StormCommand(const fs::path& root, const CliOptions& cli) {
+  mj::Program program;
+  std::vector<SkippedFile> skipped;
+  if (!LoadProgram(root, program, &skipped)) {
+    return 1;
+  }
+  mj::ProgramIndex index(program);
+  const std::string app = OptionsFor(root).app_name;
+  ObsSinks obs(cli);
+  std::vector<EdgeRetryProfile> profiles = ExtractRetryProfiles(program, index, cli.jobs);
+  if (profiles.empty()) {
+    std::cerr << "error: no storm-profilable services (zero-arg handle() plus send()) under "
+              << root << "\n";
+    return 1;
+  }
+  StormReport report = RunStormSim(app, profiles, cli.storm_options, obs.journal_ptr);
+  ExportStormStats(report, obs.metrics_ptr, obs.tracer_ptr);
+  std::string json = StormReportToJson(report);
+  if (!cli.storm_out.empty() && !WriteFileOrComplain(cli.storm_out, json, "storm report")) {
+    return 1;
+  }
+  if (cli.json) {
+    std::cout << json;
+  } else {
+    std::cout << StormReportToText(report);
+  }
+  if (!ExportObservability(cli, app, obs)) {
     return 1;
   }
   return 0;
@@ -848,6 +1027,22 @@ int main(int argc, char** argv) {
   if (!ParseOptions(argc, argv, 3, &cli)) {
     return 2;
   }
+  if (!cli.storm_flag.empty() && command != "storm" && !cli.storm) {
+    std::cerr << "error: option " << cli.storm_flag
+              << " requires the storm command or --storm\n";
+    return Usage();
+  }
+  if (cli.storm && command != "test" && command != "analyze") {
+    std::cerr << "error: option --storm only applies to the test/analyze command\n";
+    return Usage();
+  }
+  if (!cli.corpus_app.empty() && command != "dump-corpus") {
+    std::cerr << "error: option --app only applies to the dump-corpus command\n";
+    return Usage();
+  }
+  if (command == "storm") {
+    return StormCommand(root, cli);
+  }
   if (cli.replay_run_id >= 0) {
     if (cli.record_dir.empty()) {
       std::cerr << "error: option --replay requires --record DIR (the record to replay from)\n";
@@ -860,7 +1055,7 @@ int main(int argc, char** argv) {
     return Replay(root, cli);
   }
   if (command == "dump-corpus") {
-    return DumpCorpus(root, cli.scale);
+    return DumpCorpus(root, cli);
   }
   if (command == "identify") {
     return Identify(root, cli);
