@@ -20,6 +20,7 @@
 #include "src/llm/sim_llm.h"
 #include "src/testing/coverage.h"
 #include "src/testing/runner.h"
+#include "src/vm/bytecode.h"
 
 namespace wasabi {
 namespace {
@@ -97,9 +98,10 @@ void BM_SimLlmAnalyzeApp(benchmark::State& state) {
 }
 BENCHMARK(BM_SimLlmAnalyzeApp);
 
-void BM_RunCleanTestSuite(benchmark::State& state) {
+void BM_RunCleanTestSuite(benchmark::State& state, EngineKind engine) {
   const CorpusApp& app = SampleCorpusApp();
   RunnerOptions options;
+  options.interp.engine = engine;
   options.config_overrides = app.default_configs;
   TestRunner runner(app.program, *app.index, options);
   std::vector<TestCase> tests = runner.DiscoverTests();
@@ -118,13 +120,19 @@ void BM_RunCleanTestSuite(benchmark::State& state) {
   state.counters["steps_per_sec"] =
       benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_RunCleanTestSuite);
+// The engine dimension (docs/PERFORMANCE.md): every interpretation benchmark
+// runs under both the bytecode VM (the default engine) and the reference
+// tree-walker, so BENCH_interp.json carries the speedup alongside the
+// tree-walker numbers the earlier hot-path PRs recorded.
+BENCHMARK_CAPTURE(BM_RunCleanTestSuite, vm, EngineKind::kVm);
+BENCHMARK_CAPTURE(BM_RunCleanTestSuite, tree, EngineKind::kTree);
 
-void BM_RunCleanTestSuiteArena(benchmark::State& state) {
+void BM_RunCleanTestSuiteArena(benchmark::State& state, EngineKind engine) {
   // Same workload through a per-worker arena: the campaign executors' hot
   // configuration (warm frames + dispatch cache, ResetForRun isolation).
   const CorpusApp& app = SampleCorpusApp();
   RunnerOptions options;
+  options.interp.engine = engine;
   options.config_overrides = app.default_configs;
   TestRunner runner(app.program, *app.index, options);
   std::vector<TestCase> tests = runner.DiscoverTests();
@@ -144,7 +152,8 @@ void BM_RunCleanTestSuiteArena(benchmark::State& state) {
   state.counters["steps_per_sec"] =
       benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_RunCleanTestSuiteArena);
+BENCHMARK_CAPTURE(BM_RunCleanTestSuiteArena, vm, EngineKind::kVm);
+BENCHMARK_CAPTURE(BM_RunCleanTestSuiteArena, tree, EngineKind::kTree);
 
 void BM_InjectedTestSuite(benchmark::State& state) {
   // The whole suite with a K=100 injector armed on the shared RPC client —
@@ -214,7 +223,7 @@ void BM_CampaignRunsPerSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignRunsPerSecond);
 
-void BM_InterpreterArithmeticThroughput(benchmark::State& state) {
+void BM_InterpreterArithmeticThroughput(benchmark::State& state, EngineKind engine) {
   mj::DiagnosticEngine diag;
   mj::Program program;
   program.AddUnit(mj::ParseSource("hot.mj", R"(
@@ -229,9 +238,11 @@ void BM_InterpreterArithmeticThroughput(benchmark::State& state) {
     }
   )", diag));
   mj::ProgramIndex index(program);
+  InterpOptions interp_options;
+  interp_options.engine = engine;
   int64_t steps = 0;
   for (auto _ : state) {
-    Interpreter interp(program, index);
+    Interpreter interp(program, index, interp_options);
     benchmark::DoNotOptimize(interp.Invoke("Hot.spin", {Value{int64_t{10000}}}));
     steps += interp.steps();
   }
@@ -239,9 +250,10 @@ void BM_InterpreterArithmeticThroughput(benchmark::State& state) {
   state.counters["steps_per_sec"] =
       benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_InterpreterArithmeticThroughput);
+BENCHMARK_CAPTURE(BM_InterpreterArithmeticThroughput, vm, EngineKind::kVm);
+BENCHMARK_CAPTURE(BM_InterpreterArithmeticThroughput, tree, EngineKind::kTree);
 
-void BM_InterpreterArenaReuseThroughput(benchmark::State& state) {
+void BM_InterpreterArenaReuseThroughput(benchmark::State& state, EngineKind engine) {
   // Same hot loop, but reusing one interpreter via ResetForRun the way a
   // campaign worker does — isolates the per-run construction overhead the
   // arena removes.
@@ -259,7 +271,9 @@ void BM_InterpreterArenaReuseThroughput(benchmark::State& state) {
     }
   )", diag));
   mj::ProgramIndex index(program);
-  Interpreter interp(program, index);
+  InterpOptions interp_options;
+  interp_options.engine = engine;
+  Interpreter interp(program, index, interp_options);
   int64_t steps = 0;
   for (auto _ : state) {
     interp.ResetForRun();
@@ -270,7 +284,8 @@ void BM_InterpreterArenaReuseThroughput(benchmark::State& state) {
   state.counters["steps_per_sec"] =
       benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_InterpreterArenaReuseThroughput);
+BENCHMARK_CAPTURE(BM_InterpreterArenaReuseThroughput, vm, EngineKind::kVm);
+BENCHMARK_CAPTURE(BM_InterpreterArenaReuseThroughput, tree, EngineKind::kTree);
 
 }  // namespace
 }  // namespace wasabi
@@ -280,6 +295,11 @@ int main(int argc, char** argv) {
   // few hardware threads are interpretable only alongside this value.
   benchmark::AddCustomContext("hardware_concurrency",
                               std::to_string(std::thread::hardware_concurrency()));
+  // Which dispatch strategy the VM was compiled with (docs/PERFORMANCE.md):
+  // "computed-goto" where the compiler probe found the GNU labels-as-values
+  // extension, "switch" on the portable fallback. VM numbers from the two
+  // strategies are not directly comparable, so the record carries the probe.
+  benchmark::AddCustomContext("vm_dispatch", wasabi::vm::DispatchKindName());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

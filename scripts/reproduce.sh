@@ -103,7 +103,9 @@ echo "warm cache: byte-identical to cache-off at 1/2/4/8 workers"
 # suites (labels "flaky"/"replay", whose probe reruns share the campaign's
 # warm arenas across workers; see docs/FLAKINESS.md) and the retry-journal
 # suite (label "obsjournal", whose per-thread journal buffers are written by
-# 8 campaign workers and merged at collect time; see docs/OBSERVABILITY.md),
+# 8 campaign workers and merged at collect time; see docs/OBSERVABILITY.md)
+# and the bytecode-VM suites (label "vm", whose compiled chunks are shared
+# read-only across campaign workers; see docs/PERFORMANCE.md "Bytecode VM"),
 # in a separate build tree so the main artifacts stay uninstrumented.
 # Skipped quietly when the compiler can't link TSan (e.g. musl toolchains).
 if echo 'int main(){return 0;}' |
@@ -111,7 +113,7 @@ if echo 'int main(){return 0;}' |
   rm -f /tmp/wasabi_tsan_probe
   cmake -B "$build_dir-tsan" -G Ninja -S "$repo_root" -DWASABI_TSAN=ON
   cmake --build "$build_dir-tsan"
-  ctest --test-dir "$build_dir-tsan" -L 'exec|perf|flaky|replay|obsjournal|storm' --output-on-failure \
+  ctest --test-dir "$build_dir-tsan" -L 'exec|perf|flaky|replay|obsjournal|storm|vm' --output-on-failure \
     2>&1 | tee "$repo_root/tsan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=thread; skipping TSan pass"
@@ -125,14 +127,16 @@ fi
 # grammar fuzzer (500 random programs through lexer/parser/printer/interpreter)
 # and the "cache" suites (corruption-fallback paths parse hostile bytes; see
 # docs/CACHING.md), plus the "flaky"/"replay" suites (record parsing rejects
-# truncated/bit-flipped/version-skewed bytes; see docs/FLAKINESS.md). Same
+# truncated/bit-flipped/version-skewed bytes; see docs/FLAKINESS.md), plus
+# the "vm" suites (the bytecode executor's pooled operand stacks and slow-path
+# tree replays are lifetime-sensitive; see docs/PERFORMANCE.md). Same
 # separate-tree and probe-then-skip structure as the TSan pass above.
 if echo 'int main(){return 0;}' |
    c++ -x c++ -fsanitize=address -o /tmp/wasabi_asan_probe - 2>/dev/null; then
   rm -f /tmp/wasabi_asan_probe
   cmake -B "$build_dir-asan" -G Ninja -S "$repo_root" -DWASABI_ASAN=ON
   cmake --build "$build_dir-asan"
-  ctest --test-dir "$build_dir-asan" -L 'robust|perf|fuzz|cache|flaky|replay|obsjournal|storm' --output-on-failure \
+  ctest --test-dir "$build_dir-asan" -L 'robust|perf|fuzz|cache|flaky|replay|obsjournal|storm|vm' --output-on-failure \
     2>&1 | tee "$repo_root/asan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=address; skipping ASan pass"

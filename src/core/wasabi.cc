@@ -153,6 +153,11 @@ uint64_t DigestDynamicConfig(const WasabiOptions& options) {
   hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.interp.step_budget), hash);
   hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.interp.virtual_time_budget_ms), hash);
   hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.interp.max_call_depth), hash);
+  // The engine is proven byte-identical, but it still participates: a cached
+  // verdict should always be reproducible under the exact configuration that
+  // produced it, and digesting it keeps an engine regression from hiding
+  // behind warm cache hits after an --engine switch.
+  hash = mj::Fnv1a64Mix(static_cast<uint64_t>(options.interp.engine), hash);
   hash = mj::Fnv1a64Mix(options.default_configs.size(), hash);
   for (const auto& [key, value] : options.default_configs) {
     hash = DigestStringField(key, hash);

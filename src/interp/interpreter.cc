@@ -3,6 +3,9 @@
 #include <cstring>
 #include <utility>
 
+#include "src/vm/bytecode.h"
+#include "src/vm/vm.h"
+
 namespace wasabi {
 
 using mj::AstKind;
@@ -23,6 +26,9 @@ Interpreter::Interpreter(const mj::Program& program, const mj::ProgramIndex& ind
                          InterpOptions options)
     : program_(program), index_(index), options_(options) {
   dispatch_cache_.resize(index.call_site_count());
+  if (options_.engine == EngineKind::kVm) {
+    compiled_ = vm::Compile(program, index);
+  }
 }
 
 void Interpreter::ResetForRun() {
@@ -50,8 +56,13 @@ void Interpreter::ResetForRun() {
     buffer.clear();  // Keeps capacity, releases object references.
   }
   arg_buffer_depth_ = 0;
-  // dispatch_cache_ deliberately survives: it is a pure function of the
-  // immutable shared program, so warm entries stay valid across runs.
+  for (std::vector<Value>& stack : vm_stacks_) {
+    stack.clear();  // Keeps capacity, releases object references.
+  }
+  vm_stack_depth_ = 0;
+  // dispatch_cache_ and compiled_ deliberately survive: both are pure
+  // functions of the immutable shared program, so warm entries and compiled
+  // chunks stay valid across runs.
 }
 
 void Interpreter::NotifyLoopIteration() {
@@ -693,6 +704,12 @@ Value Interpreter::CallMethod(const mj::MethodDecl& method, ObjectRef self,
     frame.defined[slot] = 1;
   }
 
+  if (compiled_ != nullptr) {
+    const vm::Chunk& chunk = compiled_->methods[method.method_index];
+    if (chunk.compiled) {
+      return vm::VmExecutor::Run(*this, chunk);
+    }
+  }
   Flow flow = ExecBlock(*method.body);
   if (flow.kind == FlowKind::kReturn) {
     return flow.value;
@@ -1119,6 +1136,89 @@ bool Interpreter::EvalBinaryFast(const mj::BinaryExpr& expr, int64_t* out, Value
     case BinaryOp::kGe:
       *boxed = Value{AsInt(lhs, expr.location) >= AsInt(rhs, expr.location)};
       return false;
+    default:
+      ThrowMj("IllegalStateException", "unsupported binary operator");
+  }
+}
+
+Value Interpreter::ApplyBinary(mj::BinaryOp op, const Value& lhs, const Value& rhs,
+                               mj::SourceLocation location) {
+  using mj::BinaryOp;
+  // Int-int first (the VM normally handles this inline; kept for safety), then
+  // the boxed tail — the same order, coercion locations, and messages as
+  // EvalBinaryFast with both operands already evaluated.
+  const int64_t* li = std::get_if<int64_t>(&lhs);
+  const int64_t* ri = std::get_if<int64_t>(&rhs);
+  if (li != nullptr && ri != nullptr) {
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value{*li + *ri};
+      case BinaryOp::kSub:
+        return Value{*li - *ri};
+      case BinaryOp::kMul:
+        return Value{*li * *ri};
+      case BinaryOp::kDiv:
+        if (*ri == 0) {
+          ThrowMj("ArithmeticException", "division by zero");
+        }
+        return Value{*li / *ri};
+      case BinaryOp::kMod:
+        if (*ri == 0) {
+          ThrowMj("ArithmeticException", "modulo by zero");
+        }
+        return Value{*li % *ri};
+      case BinaryOp::kEq:
+        return Value{*li == *ri};
+      case BinaryOp::kNe:
+        return Value{*li != *ri};
+      case BinaryOp::kLt:
+        return Value{*li < *ri};
+      case BinaryOp::kLe:
+        return Value{*li <= *ri};
+      case BinaryOp::kGt:
+        return Value{*li > *ri};
+      case BinaryOp::kGe:
+        return Value{*li >= *ri};
+      default:
+        ThrowMj("IllegalStateException", "unsupported binary operator");
+    }
+  }
+  switch (op) {
+    case BinaryOp::kAdd:
+      if (IsString(lhs) || IsString(rhs)) {
+        return Value{ValueToString(lhs) + ValueToString(rhs)};
+      }
+      return Value{AsInt(lhs, location) + AsInt(rhs, location)};
+    case BinaryOp::kSub:
+      return Value{AsInt(lhs, location) - AsInt(rhs, location)};
+    case BinaryOp::kMul:
+      return Value{AsInt(lhs, location) * AsInt(rhs, location)};
+    case BinaryOp::kDiv: {
+      int64_t divisor = AsInt(rhs, location);
+      if (divisor == 0) {
+        ThrowMj("ArithmeticException", "division by zero");
+      }
+      return Value{AsInt(lhs, location) / divisor};
+    }
+    case BinaryOp::kMod: {
+      int64_t divisor = AsInt(rhs, location);
+      if (divisor == 0) {
+        ThrowMj("ArithmeticException", "modulo by zero");
+      }
+      return Value{AsInt(lhs, location) % divisor};
+    }
+    case BinaryOp::kEq:
+      return Value{ValueEquals(lhs, rhs)};
+    case BinaryOp::kNe:
+      return Value{!ValueEquals(lhs, rhs)};
+    case BinaryOp::kLt:
+      return Value{AsInt(lhs, location) < AsInt(rhs, location)};
+    case BinaryOp::kLe:
+      return Value{AsInt(lhs, location) <= AsInt(rhs, location)};
+    case BinaryOp::kGt:
+      return Value{AsInt(lhs, location) > AsInt(rhs, location)};
+    case BinaryOp::kGe:
+      return Value{AsInt(lhs, location) >= AsInt(rhs, location)};
     default:
       ThrowMj("IllegalStateException", "unsupported binary operator");
   }

@@ -35,6 +35,12 @@
 
 namespace wasabi {
 
+namespace vm {
+struct Chunk;
+struct CompiledProgram;
+class VmExecutor;
+}  // namespace vm
+
 // An mj-level exception crossing C++ frames.
 struct ThrownException {
   ObjectRef exception;
@@ -100,10 +106,19 @@ class LoopObserver {
   virtual void OnLoopIteration(std::string_view method, int64_t virtual_ms) = 0;
 };
 
+// Which engine executes method bodies (docs/PERFORMANCE.md "Bytecode VM").
+// Both are byte-identical in every observable: verdicts, logs, step counts,
+// error wording, abort kinds. The VM exists purely for throughput.
+enum class EngineKind : uint8_t {
+  kVm,    // Flat bytecode, threaded dispatch, superinstructions (src/vm).
+  kTree,  // The original AST-walking evaluator; the reference semantics.
+};
+
 struct InterpOptions {
   int64_t step_budget = 2'000'000;
   int64_t virtual_time_budget_ms = 15LL * 60 * 1000;  // The paper's 15 minutes.
   int max_call_depth = 200;
+  EngineKind engine = EngineKind::kVm;
 
   bool operator==(const InterpOptions&) const = default;
 };
@@ -171,6 +186,11 @@ class Interpreter {
   void ResetForRun();
 
  private:
+  // The bytecode executor is an alternative body-execution strategy, not a
+  // separate machine: it runs against this class's frames, budgets, caches,
+  // and log, so it needs the same access ExecBlock has.
+  friend class vm::VmExecutor;
+
   // A flat activation record: one slot per local declaration of the method
   // (the resolution pass assigned the indices), plus parallel defined-flags
   // that replicate "is this name in a scope map right now".
@@ -222,6 +242,13 @@ class Interpreter {
   // the dominant comparison-expression shape.
   bool EvalBool(const mj::Expr& expr, mj::SourceLocation location);
   Value EvalNew(const mj::NewExpr& expr);
+  // The boxed tail of EvalBinaryFast for operands that already exist as
+  // Values: string `+`, mixed-type coercions (errors at `location`), and
+  // ValueEquals for ==/!=. The VM's superinstruction slow paths land here
+  // after evaluating operands natively; kAnd/kOr never reach it (the compiler
+  // lowers them to jump chains).
+  Value ApplyBinary(mj::BinaryOp op, const Value& lhs, const Value& rhs,
+                    mj::SourceLocation location);
   // `args` is consumed (elements moved into the callee frame). By-reference so
   // EvalCall/EvalNew can pass pooled buffers instead of a fresh heap
   // allocation per call.
@@ -316,6 +343,15 @@ class Interpreter {
   std::deque<std::vector<Value>> arg_buffers_;
   size_t arg_buffer_depth_ = 0;
   std::vector<DispatchEntry> dispatch_cache_;  // Indexed by CallExpr::site_index.
+  // Bytecode for every method body (null when engine == kTree). Compiled once
+  // at construction — a pure function of the immutable shared program, like
+  // the dispatch cache — so it survives ResetForRun and arena reuse.
+  std::shared_ptr<const vm::CompiledProgram> compiled_;
+  // Pooled VM operand stacks, indexed by VM invocation depth (a callee's VM
+  // run nests inside its caller's). Same warm-capacity discipline as
+  // arg_buffers_; a deque so held references survive deeper acquisitions.
+  std::deque<std::vector<Value>> vm_stacks_;
+  size_t vm_stack_depth_ = 0;
   std::unordered_map<const mj::ClassDecl*, ObjectRef> singletons_;
   std::unordered_map<std::string, Value> config_;
   std::unordered_set<std::string> frozen_config_keys_;

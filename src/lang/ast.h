@@ -382,6 +382,10 @@ struct MethodDecl : AstNode {
   // Flat frame size: one slot per distinct local declaration (params
   // included). Filled by the resolution pass.
   uint32_t max_slots = 0;
+  // Dense program-wide method index, assigned by the resolution pass in
+  // declaration order. Indexes per-method side tables (the bytecode engine's
+  // compiled chunks) without a pointer map on the hot call path.
+  uint32_t method_index = 0;
   // Cached QualifiedName(); also the stable backing storage for the
   // string_view CallEvent::callee.
   std::string qualified_cache;

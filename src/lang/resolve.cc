@@ -38,6 +38,7 @@ class Resolver {
   void ResolveMethodDecl(MethodDecl& method) {
     method.qualified_cache =
         method.owner == nullptr ? method.name : method.owner->name + "." + method.name;
+    method.method_index = result_.method_count++;
     method.max_slots = 0;
     if (method.body == nullptr) {
       return;

@@ -67,6 +67,8 @@ struct ResolveResult {
   // Layouts for every class in the program (duplicate-name losers included).
   std::unordered_map<const ClassDecl*, FieldLayout> field_layouts;
   uint32_t call_site_count = 0;
+  // Methods annotated (MethodDecl::method_index values are [0, method_count)).
+  uint32_t method_count = 0;
 };
 
 // Annotates every class of every unit in `program`. Must run single-threaded,

@@ -129,6 +129,10 @@ class ProgramIndex {
   // Number of CallExpr sites in the program; sizes dispatch caches.
   uint32_t call_site_count() const { return resolution_.call_site_count; }
 
+  // Number of methods annotated by the resolution pass; sizes per-method side
+  // tables (MethodDecl::method_index is dense in [0, method_count)).
+  uint32_t method_count() const { return resolution_.method_count; }
+
  private:
   std::unordered_map<std::string, const ClassDecl*, StringHash, std::equal_to<>> classes_by_name_;
   std::unordered_map<const ClassDecl*, const CompilationUnit*> unit_of_class_;

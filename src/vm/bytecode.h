@@ -1,0 +1,198 @@
+// Flat bytecode for the mj substrate (docs/PERFORMANCE.md "Bytecode VM").
+//
+// A one-time compiler lowers every resolved method body into a Chunk of
+// fixed-width instructions. The compiled form is a pure function of the
+// immutable Program — it carries no run state, so one CompiledProgram is
+// shared by every run of an interpreter (and survives ResetForRun exactly
+// like the dispatch cache does).
+//
+// Design rule: the VM must be byte-identical to the tree-walker — same error
+// wording, same evaluation order, same step counts, same abort points. The
+// instruction set therefore splits into three tiers:
+//   1. native opcodes for the hot statement/expression shapes, whose error
+//      paths either replicate the tree-walker's code exactly or re-evaluate
+//      the original (side-effect-free) AST node through the tree-walker;
+//   2. superinstructions fusing the dominant arithmetic/compare/branch/
+//      compound-assign chains (PR 4's profile), which fall back to the
+//      de-fused semantics whenever an operand is not a defined int slot;
+//   3. delegation opcodes (kCallTree/kNewTree/kEvalTree/kExecTree) that hand
+//      a subtree to the tree-walker — calls, news, switch, try-with-finally,
+//      throw. Every observation point (CallInterceptor pointcuts, injector
+//      fire/skip sites, the per-site monomorphic dispatch cache + observer,
+//      LoopObserver back-edges, ExecLog writes, step/virtual-time budgets)
+//      lives on those shared paths, so src/inject, src/exec, src/obs and
+//      src/record see the exact same hooks under either engine.
+
+#ifndef WASABI_SRC_VM_BYTECODE_H_
+#define WASABI_SRC_VM_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/interp/value.h"
+#include "src/lang/ast.h"
+#include "src/lang/sema.h"
+
+namespace wasabi::vm {
+
+// Operand conventions: `a`..`d` are int32 payloads, `flags` carries a small
+// enum (BinaryOp / AssignOp / handler-pop counts). `d` is almost always an
+// index into Chunk::nodes — the original AST node, used for source locations
+// in error messages and for slow-path re-evaluation through the tree-walker.
+enum class Op : uint8_t {
+  // --- Values ---------------------------------------------------------------
+  kConst,          // push consts[a]
+  kLoadSlot,       // a=slot, d=NameExpr: push slot or "undefined variable"
+  kStoreSlot,      // a=slot: slots[a] = pop (definedness asserted earlier)
+  kPop,            // drop top
+  // --- Accounting / scopes --------------------------------------------------
+  kStep,           // statement-entry Step() (budget check)
+  kLoopIter,       // back-edge: Step() + ++loop_iterations_ + LoopObserver
+  kClearSlots,     // a=base, b=count: clear `defined` on scope (re-)entry
+  // --- Control flow ---------------------------------------------------------
+  kJump,           // ip = a
+  kJumpIfFalse,    // pop bool (guaranteed by construction); ip = a when false
+  kJumpIfTrue,     // pop bool; ip = a when true
+  kReturn,         // return pop
+  kReturnNull,     // return Value{}
+  // --- Coercions (tree-walker error wording at nodes[d]->location) ----------
+  kAsBool,         // top must be bool, else "expected bool, got ..."
+  kNotBool,        // top = !AsBool(top)
+  kNegInt,         // top = -AsInt(top)
+  // --- Binary operators -----------------------------------------------------
+  kBinary,         // flags=BinaryOp, d=BinaryExpr: pop rhs, lhs; push result
+  // --- Superinstructions (tier 2) -------------------------------------------
+  kBinarySS,       // flags=op, a=lhs slot, b=rhs slot, d=BinaryExpr
+  kBinarySI,       // flags=op, a=lhs slot, b=ints[] index, d=BinaryExpr
+  kBinaryTS,       // flags=op, a=rhs slot, c=rhs NameExpr node, d=BinaryExpr
+  kBinaryTI,       // flags=op, b=ints[] index, d=BinaryExpr
+  kBrCmpSS,        // flags=cmp op (|kFlagLoopHead), a=lhs slot, b=rhs slot,
+                   //   c=target, d=node: jump to c when the comparison is
+                   //   FALSE; with kFlagLoopHead a TRUE outcome also performs
+                   //   the back-edge accounting a separate kLoopIter would
+  kBrCmpSI,        // flags=cmp op (|kFlagLoopHead), a=lhs slot,
+                   //   b=ints[] index, c=target, d=node
+  kIncSlotImm,     // compound `x += imm` / `x -= imm`: flags=AssignOp
+                   //   (|kFlagJumpAfter: jump to c afterwards — for-loop tail
+                   //   fusion), a=slot, b=ints[] index, d=AssignStmt
+                   //   (includes Step)
+  kAssignBinSlotImm,  // `x = y + imm` / `x = y - imm`: flags=BinaryOp,
+                   //   a=target slot, b=source slot, c=ints[] index,
+                   //   d=AssignStmt (includes Step)
+  kAssignIntExpr,  // whole `x = <pure int expr>` / `x ±= <pure int expr>` in
+                   //   one dispatch: flags=AssignOp, a=target slot,
+                   //   b=int_programs[] index, d=AssignStmt. The scratch
+                   //   program is evaluated side-effect free FIRST; any
+                   //   undefined/non-int operand or div-by-zero bails out to
+                   //   an ExecStmt replay before the statement's Step
+
+  // --- Assignment helpers ---------------------------------------------------
+  kStepAssertSlot, // Step() + assert slot a defined, else "assignment to
+                   //   undefined variable" (d=AssignStmt)
+  kStoreCombine,   // compound assign tail: flags=AssignOp, a=slot,
+                   //   d=AssignStmt: slots[a] = combine(slots[a], pop)
+  // --- Exception handling ---------------------------------------------------
+  kPushHandler,    // a=dispatch target: arm a catch handler at current depth
+  kPopHandlers,    // a=count: disarm the innermost `count` handlers
+  kCatch,          // a=catches[] index: subtype-match the pending exception
+  kRethrow,        // rethrow the pending exception (no clause matched)
+  // --- Delegation to the tree-walker (tier 3) -------------------------------
+  kCallTree,       // d=CallExpr: push Interpreter::EvalCall (pointcuts, IC)
+  kNewTree,        // d=NewExpr: push Interpreter::EvalNew
+  kEvalTree,       // d=Expr: push Interpreter::Eval (field access, this, ...)
+  kExecTree,       // d=Stmt, a=break target, b=continue target,
+                   //   flags=handlers to pop before a break/continue jump:
+                   //   run Interpreter::ExecStmt and map the returned Flow
+};
+
+// High bit of `flags`, shared by the fused-loop opcodes (BinaryOp/AssignOp
+// values stay far below it): on kBrCmpSS/kBrCmpSI the comparison guards a
+// loop head; on kIncSlotImm the update jumps to operand `c` afterwards.
+inline constexpr uint8_t kFlagLoopHead = 0x80;
+inline constexpr uint8_t kFlagJumpAfter = 0x80;
+inline constexpr uint8_t kFlagOpMask = 0x7F;
+
+struct Insn {
+  Op op = Op::kReturnNull;
+  uint8_t flags = 0;
+  int32_t a = 0;
+  int32_t b = 0;
+  int32_t c = 0;
+  int32_t d = 0;
+};
+
+// --- Scratch programs for kAssignIntExpr ------------------------------------
+// A pure integer expression flattened to a tiny stack program over int64
+// scratch (no Value variants, no heap). Leaves read frame slots or push
+// immediates; interior ops are the five arithmetic operators plus negation.
+// Evaluation is side-effect free, so the executor can run it BEFORE the
+// statement's Step() and bail to a tree-walker replay on any slot that is
+// undefined or non-int and on any division/modulo by zero — reproducing the
+// walker's evaluation order, error wording, and step accounting exactly.
+enum class IntOpKind : uint8_t {
+  kPushSlot,   // slot
+  kPushConst,  // imm
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // Bails on rhs == 0.
+  kMod,  // Bails on rhs == 0.
+  kNeg,
+};
+
+struct IntInsn {
+  IntOpKind kind = IntOpKind::kPushConst;
+  int32_t slot = 0;
+  int64_t imm = 0;
+};
+
+struct IntProgram {
+  std::vector<IntInsn> code;
+  uint32_t max_stack = 0;
+};
+
+// Executor scratch bound; the compiler refuses deeper programs (they take the
+// generic expression lowering instead).
+inline constexpr uint32_t kMaxIntScratch = 32;
+
+// One kCatch site: the data the tree-walker's catch-clause path consumes.
+struct CatchSite {
+  const std::string* exception_type = nullptr;  // AST-owned.
+  int32_t var_slot = 0;
+  uint32_t slot_base = 0;
+  uint32_t slot_count = 0;
+  int32_t target = 0;  // Clause body entry point.
+};
+
+// Flat code for one method body.
+struct Chunk {
+  std::vector<Insn> code;
+  std::vector<Value> consts;
+  std::vector<int64_t> ints;                 // Immediates for superinstructions.
+  std::vector<const mj::AstNode*> nodes;     // Error locations + slow paths.
+  std::vector<IntProgram> int_programs;      // kAssignIntExpr scratch programs.
+  std::vector<CatchSite> catches;
+  uint32_t max_stack = 0;
+  bool compiled = false;  // False => the tree-walker runs this method.
+};
+
+// Chunks indexed by MethodDecl::method_index.
+struct CompiledProgram {
+  std::vector<Chunk> methods;
+};
+
+// Compiles every method body of `program`. Deterministic, side-effect free,
+// and safe to share across threads afterwards (the result is immutable).
+std::shared_ptr<const CompiledProgram> Compile(const mj::Program& program,
+                                               const mj::ProgramIndex& index);
+
+// "computed-goto" when the executor was built with labels-as-values threaded
+// dispatch (GCC/Clang), "switch" on the portable fallback. Recorded in bench
+// context and docs/PERFORMANCE.md.
+const char* DispatchKindName();
+
+}  // namespace wasabi::vm
+
+#endif  // WASABI_SRC_VM_BYTECODE_H_

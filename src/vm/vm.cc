@@ -1,0 +1,724 @@
+// The bytecode dispatch loop (docs/PERFORMANCE.md "Bytecode VM").
+//
+// Two dispatch strategies share one set of opcode bodies via the VM_CASE /
+// VM_NEXT / VM_JUMP macros:
+//   * threaded dispatch with GNU labels-as-values (computed goto), where every
+//     opcode body jumps straight to the next handler — the indirect branch per
+//     opcode gets its own predictor slot instead of funnelling through one
+//     shared switch branch;
+//   * a portable switch fallback for compilers without the extension (or with
+//     WASABI_VM_FORCE_SWITCH defined, which the vm tests use to prove both
+//     strategies execute identically).
+//
+// Byte-identity with the tree-walker is the invariant every opcode body keeps:
+// same Step() accounting, same evaluation order, same error wording (slow
+// paths either call the same Interpreter helpers or re-evaluate the original
+// AST node through the tree-walker).
+
+#include "src/vm/vm.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "src/interp/interpreter.h"
+
+#if !defined(WASABI_VM_FORCE_SWITCH) && (defined(__GNUC__) || defined(__clang__))
+#define WASABI_VM_COMPUTED_GOTO 1
+#else
+#define WASABI_VM_COMPUTED_GOTO 0
+#endif
+
+namespace wasabi::vm {
+
+const char* DispatchKindName() {
+#if WASABI_VM_COMPUTED_GOTO
+  return "computed-goto";
+#else
+  return "switch";
+#endif
+}
+
+Value VmExecutor::IntArith(Interpreter& in, mj::BinaryOp op, int64_t lhs, int64_t rhs) {
+  using mj::BinaryOp;
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value{lhs + rhs};
+    case BinaryOp::kSub:
+      return Value{lhs - rhs};
+    case BinaryOp::kMul:
+      return Value{lhs * rhs};
+    case BinaryOp::kDiv:
+      if (rhs == 0) {
+        in.ThrowMj("ArithmeticException", "division by zero");
+      }
+      return Value{lhs / rhs};
+    case BinaryOp::kMod:
+      if (rhs == 0) {
+        in.ThrowMj("ArithmeticException", "modulo by zero");
+      }
+      return Value{lhs % rhs};
+    case BinaryOp::kEq:
+      return Value{lhs == rhs};
+    case BinaryOp::kNe:
+      return Value{lhs != rhs};
+    case BinaryOp::kLt:
+      return Value{lhs < rhs};
+    case BinaryOp::kLe:
+      return Value{lhs <= rhs};
+    case BinaryOp::kGt:
+      return Value{lhs > rhs};
+    case BinaryOp::kGe:
+      return Value{lhs >= rhs};
+    default:
+      in.ThrowMj("IllegalStateException", "unsupported binary operator");
+  }
+}
+
+Value VmExecutor::Run(Interpreter& in, const Chunk& chunk) {
+  // Pooled operand stack, indexed by VM invocation depth (same discipline as
+  // the interpreter's arg buffers): capacity stays warm across calls and runs.
+  if (in.vm_stack_depth_ == in.vm_stacks_.size()) {
+    in.vm_stacks_.emplace_back();
+  }
+  std::vector<Value>& stack = in.vm_stacks_[in.vm_stack_depth_++];
+  struct StackReleaser {
+    Interpreter* interp;
+    std::vector<Value>* stack;
+    ~StackReleaser() {
+      stack->clear();  // Keeps capacity, releases object references.
+      --interp->vm_stack_depth_;
+    }
+  } release{&in, &stack};
+  if (stack.capacity() < chunk.max_stack) {
+    stack.reserve(chunk.max_stack);
+  }
+
+  std::vector<Handler> handlers;
+  ObjectRef pending;
+  int32_t ip = 0;
+  for (;;) {
+    try {
+      return Execute(in, chunk, stack, handlers, pending, ip);
+    } catch (ThrownException& thrown) {
+      // An mj exception with a handler armed in THIS chunk: unwind the operand
+      // stack to the handler's depth and resume at its dispatch sequence. The
+      // handler is disarmed first, so exceptions thrown by a catch clause body
+      // propagate outward — exactly the tree-walker's nested-try behavior.
+      // ExecutionAborted is deliberately not caught anywhere in the VM.
+      if (handlers.empty()) {
+        throw;
+      }
+      const Handler handler = handlers.back();
+      handlers.pop_back();
+      stack.resize(handler.depth);
+      pending = std::move(thrown.exception);
+      ip = handler.ip;
+    }
+  }
+}
+
+Value VmExecutor::Execute(Interpreter& in, const Chunk& chunk, std::vector<Value>& stack,
+                          std::vector<Handler>& handlers, ObjectRef& pending, int32_t& ip) {
+  const Insn* const code = chunk.code.data();
+  // The frame is stable for the whole invocation: nested calls push and pop
+  // DEEPER frames, and the frame deque never moves existing elements.
+  Interpreter::Frame& frame = in.CurrentFrame();
+  // Raw scratch for kAssignIntExpr programs (compiler-bounded depth).
+  int64_t int_scratch[kMaxIntScratch];
+
+#if WASABI_VM_COMPUTED_GOTO
+  // Label table — MUST stay in exact Op enum order.
+  static const void* const kDispatch[] = {
+      &&case_kConst,
+      &&case_kLoadSlot,
+      &&case_kStoreSlot,
+      &&case_kPop,
+      &&case_kStep,
+      &&case_kLoopIter,
+      &&case_kClearSlots,
+      &&case_kJump,
+      &&case_kJumpIfFalse,
+      &&case_kJumpIfTrue,
+      &&case_kReturn,
+      &&case_kReturnNull,
+      &&case_kAsBool,
+      &&case_kNotBool,
+      &&case_kNegInt,
+      &&case_kBinary,
+      &&case_kBinarySS,
+      &&case_kBinarySI,
+      &&case_kBinaryTS,
+      &&case_kBinaryTI,
+      &&case_kBrCmpSS,
+      &&case_kBrCmpSI,
+      &&case_kIncSlotImm,
+      &&case_kAssignBinSlotImm,
+      &&case_kAssignIntExpr,
+      &&case_kStepAssertSlot,
+      &&case_kStoreCombine,
+      &&case_kPushHandler,
+      &&case_kPopHandlers,
+      &&case_kCatch,
+      &&case_kRethrow,
+      &&case_kCallTree,
+      &&case_kNewTree,
+      &&case_kEvalTree,
+      &&case_kExecTree,
+  };
+#define VM_CASE(name) case_##name
+#define VM_DISPATCH() goto* kDispatch[static_cast<uint8_t>(code[ip].op)]
+  VM_DISPATCH();
+#else
+#define VM_CASE(name) case Op::name
+#define VM_DISPATCH() goto dispatch
+dispatch:
+  switch (code[ip].op) {
+#endif
+#define VM_NEXT()  \
+  do {             \
+    ++ip;          \
+    VM_DISPATCH(); \
+  } while (0)
+#define VM_JUMP(target)                   \
+  do {                                    \
+    ip = static_cast<int32_t>((target)); \
+    VM_DISPATCH();                        \
+  } while (0)
+
+    VM_CASE(kConst) : {
+      stack.push_back(chunk.consts[code[ip].a]);
+      VM_NEXT();
+    }
+
+    VM_CASE(kLoadSlot) : {
+      const Insn& insn = code[ip];
+      const auto slot = static_cast<size_t>(insn.a);
+      if (frame.defined[slot]) [[likely]] {
+        stack.push_back(frame.slots[slot]);
+        VM_NEXT();
+      }
+      // Simple names have no fallback chain, so undefined means undefined.
+      const auto& name = static_cast<const mj::NameExpr&>(*chunk.nodes[insn.d]);
+      in.ThrowMj("IllegalStateException", "undefined variable '" + name.name + "' at line " +
+                                              std::to_string(name.location.line));
+    }
+
+    VM_CASE(kStoreSlot) : {
+      const auto slot = static_cast<size_t>(code[ip].a);
+      frame.slots[slot] = std::move(stack.back());
+      stack.pop_back();
+      frame.defined[slot] = 1;  // VarDecl defines; for assignments it already is.
+      VM_NEXT();
+    }
+
+    VM_CASE(kPop) : {
+      stack.pop_back();
+      VM_NEXT();
+    }
+
+    VM_CASE(kStep) : {
+      in.Step();
+      VM_NEXT();
+    }
+
+    VM_CASE(kLoopIter) : {
+      // The tree-walker's back-edge sequence, verbatim.
+      in.Step();
+      ++in.loop_iterations_;
+      if (in.loop_observer_ != nullptr) {
+        in.NotifyLoopIteration();
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kClearSlots) : {
+      const Insn& insn = code[ip];
+      in.ClearSlotRange(frame, static_cast<uint32_t>(insn.a), static_cast<uint32_t>(insn.b));
+      VM_NEXT();
+    }
+
+    VM_CASE(kJump) : { VM_JUMP(code[ip].a); }
+
+    VM_CASE(kJumpIfFalse) : {
+      // Producers guarantee a bool on top (kAsBool / comparison opcodes).
+      const bool* value = std::get_if<bool>(&stack.back());
+      assert(value != nullptr);
+      const bool taken = !*value;
+      stack.pop_back();
+      if (taken) {
+        VM_JUMP(code[ip].a);
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kJumpIfTrue) : {
+      const bool* value = std::get_if<bool>(&stack.back());
+      assert(value != nullptr);
+      const bool taken = *value;
+      stack.pop_back();
+      if (taken) {
+        VM_JUMP(code[ip].a);
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kReturn) : {
+      Value result = std::move(stack.back());
+      stack.pop_back();
+      return result;
+    }
+
+    VM_CASE(kReturnNull) : { return Value{}; }
+
+    VM_CASE(kAsBool) : {
+      if (!std::holds_alternative<bool>(stack.back())) {
+        in.ThrowTypeError("bool", stack.back(), chunk.nodes[code[ip].d]->location);
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kNotBool) : {
+      Value& top = stack.back();
+      if (const bool* value = std::get_if<bool>(&top)) [[likely]] {
+        top = Value{!*value};
+        VM_NEXT();
+      }
+      in.ThrowTypeError("bool", top, chunk.nodes[code[ip].d]->location);
+    }
+
+    VM_CASE(kNegInt) : {
+      Value& top = stack.back();
+      if (const int64_t* value = std::get_if<int64_t>(&top)) [[likely]] {
+        top = Value{-*value};
+        VM_NEXT();
+      }
+      in.ThrowTypeError("int", top, chunk.nodes[code[ip].d]->location);
+    }
+
+    VM_CASE(kBinary) : {
+      const Insn& insn = code[ip];
+      const auto op = static_cast<mj::BinaryOp>(insn.flags);
+      Value rhs = std::move(stack.back());
+      stack.pop_back();
+      Value& lhs = stack.back();
+      const int64_t* li = std::get_if<int64_t>(&lhs);
+      const int64_t* ri = std::get_if<int64_t>(&rhs);
+      if (li != nullptr && ri != nullptr) [[likely]] {
+        lhs = IntArith(in, op, *li, *ri);
+      } else {
+        lhs = in.ApplyBinary(op, lhs, rhs, chunk.nodes[insn.d]->location);
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kBinarySS) : {
+      const Insn& insn = code[ip];
+      if (frame.defined[insn.a] && frame.defined[insn.b]) [[likely]] {
+        const int64_t* lhs = std::get_if<int64_t>(&frame.slots[insn.a]);
+        const int64_t* rhs = std::get_if<int64_t>(&frame.slots[insn.b]);
+        if (lhs != nullptr && rhs != nullptr) [[likely]] {
+          stack.push_back(IntArith(in, static_cast<mj::BinaryOp>(insn.flags), *lhs, *rhs));
+          VM_NEXT();
+        }
+      }
+      // Operands are names — side-effect free — so the original node replays
+      // through the tree-walker for exact boxed/undefined semantics.
+      stack.push_back(in.Eval(static_cast<const mj::Expr&>(*chunk.nodes[insn.d])));
+      VM_NEXT();
+    }
+
+    VM_CASE(kBinarySI) : {
+      const Insn& insn = code[ip];
+      if (frame.defined[insn.a]) [[likely]] {
+        const int64_t* lhs = std::get_if<int64_t>(&frame.slots[insn.a]);
+        if (lhs != nullptr) [[likely]] {
+          stack.push_back(
+              IntArith(in, static_cast<mj::BinaryOp>(insn.flags), *lhs, chunk.ints[insn.b]));
+          VM_NEXT();
+        }
+      }
+      stack.push_back(in.Eval(static_cast<const mj::Expr&>(*chunk.nodes[insn.d])));
+      VM_NEXT();
+    }
+
+    VM_CASE(kBinaryTS) : {
+      const Insn& insn = code[ip];
+      Value& lhs = stack.back();
+      if (frame.defined[insn.a]) [[likely]] {
+        const Value& rhs = frame.slots[insn.a];
+        const int64_t* li = std::get_if<int64_t>(&lhs);
+        const int64_t* ri = std::get_if<int64_t>(&rhs);
+        if (li != nullptr && ri != nullptr) [[likely]] {
+          lhs = IntArith(in, static_cast<mj::BinaryOp>(insn.flags), *li, *ri);
+        } else {
+          lhs = in.ApplyBinary(static_cast<mj::BinaryOp>(insn.flags), lhs, rhs,
+                               chunk.nodes[insn.d]->location);
+        }
+        VM_NEXT();
+      }
+      // The lhs already evaluated (possibly with side effects); only the rhs
+      // name read is replayed — which here can only mean "undefined variable".
+      const auto& name = static_cast<const mj::NameExpr&>(*chunk.nodes[insn.c]);
+      in.ThrowMj("IllegalStateException", "undefined variable '" + name.name + "' at line " +
+                                              std::to_string(name.location.line));
+    }
+
+    VM_CASE(kBinaryTI) : {
+      const Insn& insn = code[ip];
+      Value& lhs = stack.back();
+      if (const int64_t* li = std::get_if<int64_t>(&lhs)) [[likely]] {
+        lhs = IntArith(in, static_cast<mj::BinaryOp>(insn.flags), *li, chunk.ints[insn.b]);
+      } else {
+        lhs = in.ApplyBinary(static_cast<mj::BinaryOp>(insn.flags), lhs,
+                             Value{chunk.ints[insn.b]}, chunk.nodes[insn.d]->location);
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kBrCmpSS) : {
+      const Insn& insn = code[ip];
+      if (frame.defined[insn.a] && frame.defined[insn.b]) [[likely]] {
+        const int64_t* lhs = std::get_if<int64_t>(&frame.slots[insn.a]);
+        const int64_t* rhs = std::get_if<int64_t>(&frame.slots[insn.b]);
+        if (lhs != nullptr && rhs != nullptr) [[likely]] {
+          bool taken;
+          switch (static_cast<mj::BinaryOp>(insn.flags & kFlagOpMask)) {
+            case mj::BinaryOp::kLt:
+              taken = *lhs < *rhs;
+              break;
+            case mj::BinaryOp::kLe:
+              taken = *lhs <= *rhs;
+              break;
+            case mj::BinaryOp::kGt:
+              taken = *lhs > *rhs;
+              break;
+            default:
+              taken = *lhs >= *rhs;
+              break;
+          }
+          if (!taken) {
+            VM_JUMP(insn.c);
+          }
+          // Fused loop head: a passing condition performs the back edge.
+          if (insn.flags & kFlagLoopHead) {
+            in.Step();
+            ++in.loop_iterations_;
+            if (in.loop_observer_ != nullptr) {
+              in.NotifyLoopIteration();
+            }
+          }
+          VM_NEXT();
+        }
+      }
+      // Pure operands: replay the comparison through the tree-walker's
+      // condition path (coercion errors at the comparison's own location).
+      const auto& bin = static_cast<const mj::BinaryExpr&>(*chunk.nodes[insn.d]);
+      if (!in.EvalBool(bin, bin.location)) {
+        VM_JUMP(insn.c);
+      }
+      if (insn.flags & kFlagLoopHead) {
+        in.Step();
+        ++in.loop_iterations_;
+        if (in.loop_observer_ != nullptr) {
+          in.NotifyLoopIteration();
+        }
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kBrCmpSI) : {
+      const Insn& insn = code[ip];
+      if (frame.defined[insn.a]) [[likely]] {
+        const int64_t* lhs = std::get_if<int64_t>(&frame.slots[insn.a]);
+        if (lhs != nullptr) [[likely]] {
+          const int64_t rhs = chunk.ints[insn.b];
+          bool taken;
+          switch (static_cast<mj::BinaryOp>(insn.flags & kFlagOpMask)) {
+            case mj::BinaryOp::kLt:
+              taken = *lhs < rhs;
+              break;
+            case mj::BinaryOp::kLe:
+              taken = *lhs <= rhs;
+              break;
+            case mj::BinaryOp::kGt:
+              taken = *lhs > rhs;
+              break;
+            default:
+              taken = *lhs >= rhs;
+              break;
+          }
+          if (!taken) {
+            VM_JUMP(insn.c);
+          }
+          if (insn.flags & kFlagLoopHead) {
+            in.Step();
+            ++in.loop_iterations_;
+            if (in.loop_observer_ != nullptr) {
+              in.NotifyLoopIteration();
+            }
+          }
+          VM_NEXT();
+        }
+      }
+      const auto& bin = static_cast<const mj::BinaryExpr&>(*chunk.nodes[insn.d]);
+      if (!in.EvalBool(bin, bin.location)) {
+        VM_JUMP(insn.c);
+      }
+      if (insn.flags & kFlagLoopHead) {
+        in.Step();
+        ++in.loop_iterations_;
+        if (in.loop_observer_ != nullptr) {
+          in.NotifyLoopIteration();
+        }
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kIncSlotImm) : {
+      const Insn& insn = code[ip];
+      // Eligibility is checked BEFORE Step() — no side effects — so the slow
+      // path's ExecStmt replay performs the one and only Step at the same
+      // point the tree-walker does.
+      if (frame.defined[insn.a]) [[likely]] {
+        if (int64_t* slot = std::get_if<int64_t>(&frame.slots[insn.a])) [[likely]] {
+          in.Step();
+          const int64_t imm = chunk.ints[insn.b];
+          *slot = static_cast<mj::AssignOp>(insn.flags & kFlagOpMask) == mj::AssignOp::kAddAssign
+                      ? *slot + imm
+                      : *slot - imm;
+          // Fused for-loop tail: the update jumps straight to the condition.
+          if (insn.flags & kFlagJumpAfter) {
+            VM_JUMP(insn.c);
+          }
+          VM_NEXT();
+        }
+      }
+      in.ExecStmt(static_cast<const mj::Stmt&>(*chunk.nodes[insn.d]));
+      if (insn.flags & kFlagJumpAfter) {
+        VM_JUMP(insn.c);
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kAssignBinSlotImm) : {
+      const Insn& insn = code[ip];
+      // `target = source +/- imm`. Same pre-Step eligibility rule as above;
+      // the undefined-target error order (before the rhs) is preserved
+      // because the defined checks have no side effects.
+      if (frame.defined[insn.a] && frame.defined[insn.b]) [[likely]] {
+        if (const int64_t* source = std::get_if<int64_t>(&frame.slots[insn.b])) [[likely]] {
+          in.Step();
+          const int64_t imm = chunk.ints[insn.c];
+          const int64_t result = static_cast<mj::BinaryOp>(insn.flags) == mj::BinaryOp::kAdd
+                                     ? *source + imm
+                                     : *source - imm;
+          if (int64_t* target = std::get_if<int64_t>(&frame.slots[insn.a])) {
+            *target = result;
+          } else {
+            frame.slots[insn.a] = Value{result};
+          }
+          VM_NEXT();
+        }
+      }
+      in.ExecStmt(static_cast<const mj::Stmt&>(*chunk.nodes[insn.d]));
+      VM_NEXT();
+    }
+
+    VM_CASE(kAssignIntExpr) : {
+      const Insn& insn = code[ip];
+      // The whole rhs evaluates on raw int64 scratch. Every part of it is
+      // pure (slot reads, arithmetic), so it runs BEFORE the statement's
+      // Step(); any undefined/non-int operand, division or modulo by zero, or
+      // (for compound assigns) non-int target bails to an ExecStmt replay,
+      // which performs the one and only Step and raises the tree-walker's
+      // exact error in the tree-walker's exact order.
+      const auto op = static_cast<mj::AssignOp>(insn.flags);
+      int64_t* target = std::get_if<int64_t>(&frame.slots[insn.a]);
+      bool ok = frame.defined[insn.a] && (op == mj::AssignOp::kAssign || target != nullptr);
+      if (ok) [[likely]] {
+        const IntProgram& prog = chunk.int_programs[insn.b];
+        int64_t* sp = int_scratch;
+        for (const IntInsn& iop : prog.code) {
+          switch (iop.kind) {
+            case IntOpKind::kPushSlot: {
+              const int64_t* value = frame.defined[iop.slot]
+                                         ? std::get_if<int64_t>(&frame.slots[iop.slot])
+                                         : nullptr;
+              if (value == nullptr) {
+                ok = false;
+              } else {
+                *sp++ = *value;
+              }
+              break;
+            }
+            case IntOpKind::kPushConst:
+              *sp++ = iop.imm;
+              break;
+            case IntOpKind::kAdd:
+              --sp;
+              sp[-1] += *sp;
+              break;
+            case IntOpKind::kSub:
+              --sp;
+              sp[-1] -= *sp;
+              break;
+            case IntOpKind::kMul:
+              --sp;
+              sp[-1] *= *sp;
+              break;
+            case IntOpKind::kDiv:
+              --sp;
+              if (*sp == 0) {
+                ok = false;
+              } else {
+                sp[-1] /= *sp;
+              }
+              break;
+            case IntOpKind::kMod:
+              --sp;
+              if (*sp == 0) {
+                ok = false;
+              } else {
+                sp[-1] %= *sp;
+              }
+              break;
+            case IntOpKind::kNeg:
+              sp[-1] = -sp[-1];
+              break;
+          }
+          if (!ok) {
+            break;
+          }
+        }
+        if (ok) [[likely]] {
+          in.Step();
+          const int64_t rhs = int_scratch[0];
+          if (op == mj::AssignOp::kAssign) {
+            if (target != nullptr) {
+              *target = rhs;
+            } else {
+              frame.slots[insn.a] = Value{rhs};
+            }
+          } else {
+            *target = op == mj::AssignOp::kAddAssign ? *target + rhs : *target - rhs;
+          }
+          VM_NEXT();
+        }
+      }
+      in.ExecStmt(static_cast<const mj::Stmt&>(*chunk.nodes[insn.d]));
+      VM_NEXT();
+    }
+
+    VM_CASE(kStepAssertSlot) : {
+      const Insn& insn = code[ip];
+      in.Step();
+      if (!frame.defined[insn.a]) [[unlikely]] {
+        const auto& assign = static_cast<const mj::AssignStmt&>(*chunk.nodes[insn.d]);
+        const auto& name = static_cast<const mj::NameExpr&>(*assign.target);
+        in.ThrowMj("IllegalStateException",
+                   "assignment to undefined variable '" + name.name + "' at line " +
+                       std::to_string(assign.location.line));
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kStoreCombine) : {
+      const Insn& insn = code[ip];
+      Value rhs = std::move(stack.back());
+      stack.pop_back();
+      Value& slot = frame.slots[insn.a];
+      const auto op = static_cast<mj::AssignOp>(insn.flags);
+      int64_t* slot_i = std::get_if<int64_t>(&slot);
+      const int64_t* rhs_i = std::get_if<int64_t>(&rhs);
+      if (slot_i != nullptr && rhs_i != nullptr) [[likely]] {
+        *slot_i = op == mj::AssignOp::kAddAssign ? *slot_i + *rhs_i : *slot_i - *rhs_i;
+        VM_NEXT();
+      }
+      // The tree-walker's `combine`, errors at the statement's location.
+      const mj::SourceLocation location = chunk.nodes[insn.d]->location;
+      if (op == mj::AssignOp::kAddAssign && (IsString(slot) || IsString(rhs))) {
+        slot = Value{ValueToString(slot) + ValueToString(rhs)};
+      } else {
+        const int64_t old_i = in.AsInt(slot, location);
+        const int64_t new_i = in.AsInt(rhs, location);
+        slot = Value{op == mj::AssignOp::kAddAssign ? old_i + new_i : old_i - new_i};
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kPushHandler) : {
+      handlers.push_back(Handler{code[ip].a, stack.size()});
+      VM_NEXT();
+    }
+
+    VM_CASE(kPopHandlers) : {
+      handlers.resize(handlers.size() - static_cast<size_t>(code[ip].a));
+      VM_NEXT();
+    }
+
+    VM_CASE(kCatch) : {
+      const CatchSite& site = chunk.catches[code[ip].a];
+      if (in.index_.IsSubtype(pending->class_name(), *site.exception_type)) {
+        // The tree-walker's clause entry: clear the clause subtree, bind the
+        // catch variable, run the body (whose own kClearSlots follows).
+        in.ClearSlotRange(frame, site.slot_base, site.slot_count);
+        const auto var_slot = static_cast<size_t>(site.var_slot);
+        frame.slots[var_slot] = Value{std::move(pending)};
+        frame.defined[var_slot] = 1;
+        VM_JUMP(site.target);
+      }
+      VM_NEXT();
+    }
+
+    VM_CASE(kRethrow) : { throw ThrownException{std::move(pending)}; }
+
+    VM_CASE(kCallTree) : {
+      stack.push_back(in.EvalCall(static_cast<const mj::CallExpr&>(*chunk.nodes[code[ip].d])));
+      VM_NEXT();
+    }
+
+    VM_CASE(kNewTree) : {
+      stack.push_back(in.EvalNew(static_cast<const mj::NewExpr&>(*chunk.nodes[code[ip].d])));
+      VM_NEXT();
+    }
+
+    VM_CASE(kEvalTree) : {
+      stack.push_back(in.Eval(static_cast<const mj::Expr&>(*chunk.nodes[code[ip].d])));
+      VM_NEXT();
+    }
+
+    VM_CASE(kExecTree) : {
+      const Insn& insn = code[ip];
+      Interpreter::Flow flow = in.ExecStmt(static_cast<const mj::Stmt&>(*chunk.nodes[insn.d]));
+      switch (flow.kind) {
+        case Interpreter::FlowKind::kNormal:
+          VM_NEXT();
+        case Interpreter::FlowKind::kReturn:
+          return std::move(flow.value);
+        case Interpreter::FlowKind::kBreak:
+          if (insn.flags != 0) {
+            handlers.resize(handlers.size() - insn.flags);
+          }
+          VM_JUMP(insn.a);
+        case Interpreter::FlowKind::kContinue:
+          if (insn.flags != 0) {
+            handlers.resize(handlers.size() - insn.flags);
+          }
+          VM_JUMP(insn.b);
+      }
+      VM_NEXT();  // Unreachable; keeps the case body well-formed.
+    }
+
+#if !WASABI_VM_COMPUTED_GOTO
+  }
+  return Value{};  // Unreachable: every opcode jumps, returns, or throws.
+#endif
+
+#undef VM_CASE
+#undef VM_DISPATCH
+#undef VM_NEXT
+#undef VM_JUMP
+}
+
+}  // namespace wasabi::vm

@@ -1,0 +1,53 @@
+// Bytecode executor for compiled mj method bodies (src/vm/bytecode.h).
+//
+// VmExecutor::Run executes one Chunk inside a live Interpreter activation:
+// CallMethod pushes the frame, binds parameters, and fires interceptors as
+// always, then hands the body to Run instead of ExecBlock. Everything
+// observable — budgets, the virtual clock, the execution log, the dispatch
+// cache and its observer, loop back-edges — lives on the Interpreter and is
+// shared with the tree-walking engine.
+
+#ifndef WASABI_SRC_VM_VM_H_
+#define WASABI_SRC_VM_VM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/interp/value.h"
+#include "src/vm/bytecode.h"
+
+namespace wasabi {
+class Interpreter;
+}  // namespace wasabi
+
+namespace wasabi::vm {
+
+// Stateless: all run state lives on the Interpreter (shared with the tree
+// engine) or on Execute's C++ stack. Befriended by Interpreter.
+class VmExecutor {
+ public:
+  // Executes `chunk` in the interpreter's current frame. Returns the method's
+  // return value (null for fall-off / unanswered break/continue). Throws
+  // ThrownException for uncaught mj exceptions and ExecutionAborted for
+  // budget/depth aborts, exactly like the tree-walker's ExecBlock path.
+  static Value Run(Interpreter& interp, const Chunk& chunk);
+
+ private:
+  // An armed catch handler: where to dispatch and the operand-stack depth to
+  // unwind to. Mirrors the C++ try nesting the tree-walker gets for free.
+  struct Handler {
+    int32_t ip = 0;
+    size_t depth = 0;
+  };
+
+  static Value Execute(Interpreter& interp, const Chunk& chunk, std::vector<Value>& stack,
+                       std::vector<Handler>& handlers, ObjectRef& pending, int32_t& ip);
+
+  // Int-int binary kernel: the tree-walker's EvalBinaryFast all-int arm,
+  // including the division/modulo-by-zero errors.
+  static Value IntArith(Interpreter& interp, mj::BinaryOp op, int64_t lhs, int64_t rhs);
+};
+
+}  // namespace wasabi::vm
+
+#endif  // WASABI_SRC_VM_VM_H_

@@ -122,8 +122,12 @@ void AppendRunRecord(std::ostringstream& out, const TestRunRecord& record) {
 
 using GoldenMap = std::map<std::string, std::string>;
 
-// Computes every golden section for one corpus app.
-GoldenMap ComputeGoldens(const std::string& app_name) {
+// Computes every golden section for one corpus app under the given engine.
+// The committed goldens were captured from the tree-walking interpreter; the
+// bytecode VM (docs/PERFORMANCE.md) must reproduce every section byte for
+// byte, so both engines compute against the same files.
+GoldenMap ComputeGoldens(const std::string& app_name,
+                         EngineKind engine = EngineKind::kVm) {
   GoldenMap goldens;
   CorpusApp app = BuildCorpusApp(app_name);
 
@@ -131,6 +135,7 @@ GoldenMap ComputeGoldens(const std::string& app_name) {
   options.app_name = app.name;
   options.default_configs = app.default_configs;
   options.jobs = 1;
+  options.interp.engine = engine;
   Wasabi tool(app.program, *app.index, options);
 
   DynamicResult serial = tool.RunDynamicWorkflow();
@@ -157,6 +162,7 @@ GoldenMap ComputeGoldens(const std::string& app_name) {
   // Per-run execution logs, with the exact runner configuration the workflow
   // uses (defaults + §3.1.4 config restoration).
   RunnerOptions runner_options;
+  runner_options.interp.engine = engine;
   runner_options.config_overrides = app.default_configs;
   runner_options.frozen_keys = ScanTestsForRetryRestrictions(app.program).keys_to_freeze;
   TestRunner runner(app.program, *app.index, runner_options);
@@ -234,6 +240,28 @@ TEST_P(GoldenEquivalenceTest, MatchesPreOverhaulGoldens) {
     ASSERT_NE(found, computed.end()) << "missing golden section " << key;
     EXPECT_EQ(found->second, value) << app_name << " " << key
                                     << " diverged from the pre-overhaul interpreter";
+  }
+}
+
+// Engine sweep: the reference tree-walker must still match the same committed
+// goldens the (default) bytecode VM matches above — together the two tests
+// prove the engines observationally identical on the full dynamic workflow,
+// at every worker count, under chaos, down to per-run execution logs.
+TEST_P(GoldenEquivalenceTest, TreeEngineMatchesTheSameGoldens) {
+  const std::string app_name = GetParam();
+  if (std::getenv("WASABI_UPDATE_GOLDENS") != nullptr) {
+    GTEST_SKIP() << "goldens are regenerated from the default engine only";
+  }
+  GoldenMap computed = ComputeGoldens(app_name, EngineKind::kTree);
+  GoldenMap expected = LoadGoldens(app_name);
+  ASSERT_FALSE(expected.empty())
+      << "no goldens at " << GoldenPath(app_name)
+      << "; regenerate from a trusted build with WASABI_UPDATE_GOLDENS=1";
+  for (const auto& [key, value] : expected) {
+    auto found = computed.find(key);
+    ASSERT_NE(found, computed.end()) << "missing golden section " << key;
+    EXPECT_EQ(found->second, value)
+        << app_name << " " << key << " diverged between the engines";
   }
 }
 

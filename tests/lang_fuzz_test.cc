@@ -542,6 +542,81 @@ TEST(LangFuzzTest, PrinterFixpointAndInterpreterEquivalence) {
   EXPECT_LT(undefined_programs, kPrograms / 2);
 }
 
+// --- VM-vs-tree differential -------------------------------------------------
+// The bytecode VM (docs/PERFORMANCE.md) must be observationally identical to
+// the tree-walker on every generated program: same returned value or same
+// diagnostic (class and message, including the planted undefined-read name),
+// same step/loop/virtual-clock accounting, and the same execution log dump.
+
+struct EngineOutcome {
+  bool threw = false;
+  std::string exception_class;
+  std::string exception_message;
+  int64_t value = 0;
+  int64_t steps = 0;
+  int64_t loop_iterations = 0;
+  int64_t now_ms = 0;
+  std::string log_dump;
+};
+
+EngineOutcome RunEngine(const mj::Program& program, const mj::ProgramIndex& index,
+                        EngineKind engine) {
+  InterpOptions options;
+  options.engine = engine;
+  Interpreter interp(program, index, options);
+  EngineOutcome outcome;
+  try {
+    Value result = interp.Invoke("F.f");
+    EXPECT_TRUE(IsInt(result));
+    outcome.value = IsInt(result) ? std::get<int64_t>(result) : 0;
+  } catch (ThrownException& thrown) {
+    outcome.threw = true;
+    outcome.exception_class = thrown.exception->class_name();
+    outcome.exception_message = thrown.exception->message();
+  }
+  outcome.steps = interp.steps();
+  outcome.loop_iterations = interp.loop_iterations();
+  outcome.now_ms = interp.now_ms();
+  outcome.log_dump = interp.log().Dump();
+  return outcome;
+}
+
+TEST(LangFuzzTest, VmAndTreeEnginesAreObservationallyIdentical) {
+  constexpr int kPrograms = 500;
+  int undefined_programs = 0;
+  for (uint64_t seed = 1; seed <= kPrograms; ++seed) {
+    Fuzzer fuzzer(seed * 0x9E3779B97F4A7C15ull);
+    const std::string source = fuzzer.Generate();
+    SCOPED_TRACE("seed=" + std::to_string(seed) + "\n" + source);
+
+    mj::Program program;
+    mj::DiagnosticEngine diag;
+    program.AddUnit(mj::ParseSource("fuzz.mj", source, diag));
+    ASSERT_FALSE(diag.has_errors()) << diag.FormatAll(nullptr);
+    mj::ProgramIndex index(program);
+
+    EngineOutcome vm = RunEngine(program, index, EngineKind::kVm);
+    EngineOutcome tree = RunEngine(program, index, EngineKind::kTree);
+
+    ASSERT_EQ(vm.threw, tree.threw);
+    if (vm.threw) {
+      ++undefined_programs;
+      EXPECT_EQ(vm.exception_class, tree.exception_class);
+      EXPECT_EQ(vm.exception_message, tree.exception_message);
+    } else {
+      EXPECT_EQ(vm.value, tree.value);
+    }
+    // Step-for-step accounting parity: budgets, loop observers, and the
+    // virtual clock fire at the same instants under either engine.
+    EXPECT_EQ(vm.steps, tree.steps);
+    EXPECT_EQ(vm.loop_iterations, tree.loop_iterations);
+    EXPECT_EQ(vm.now_ms, tree.now_ms);
+    EXPECT_EQ(vm.log_dump, tree.log_dump);
+  }
+  // The planted-undefined-read arm must exercise both engines' error paths.
+  EXPECT_GT(undefined_programs, 10);
+}
+
 // The interpreter runs each generated program again through a second,
 // independently seeded generation to guard the generator itself against
 // accidental seed coupling: distinct seeds must produce distinct programs

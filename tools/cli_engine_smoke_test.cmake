@@ -1,0 +1,59 @@
+# Engine selection smoke test (docs/PERFORMANCE.md): the bytecode VM (the
+# default) and the reference tree-walker must produce byte-identical reports
+# on a real corpus app, the bare flag and both spellings must be accepted,
+# and an unknown engine must be rejected with exit code 2 plus the usage line.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(COMMAND "${WASABI_CLI}" dump-corpus "${WORK_DIR}" RESULT_VARIABLE rc
+                OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dump-corpus failed: ${rc}")
+endif()
+
+set(app "${WORK_DIR}/mapred")
+
+execute_process(COMMAND "${WASABI_CLI}" test "${app}" --json --jobs 2 --engine=vm
+                OUTPUT_VARIABLE vm_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--engine=vm run failed: ${rc}")
+endif()
+execute_process(COMMAND "${WASABI_CLI}" test "${app}" --json --jobs 2 --engine=tree
+                OUTPUT_VARIABLE tree_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--engine=tree run failed: ${rc}")
+endif()
+if(NOT vm_out STREQUAL tree_out)
+  message(FATAL_ERROR "--engine=vm and --engine=tree reports differ")
+endif()
+
+# Default (no flag) is the VM; its report must match the explicit spellings.
+execute_process(COMMAND "${WASABI_CLI}" test "${app}" --json --jobs 2
+                OUTPUT_VARIABLE default_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "default-engine run failed: ${rc}")
+endif()
+if(NOT default_out STREQUAL vm_out)
+  message(FATAL_ERROR "default engine report differs from --engine=vm")
+endif()
+
+# The space-separated spelling must parse too.
+execute_process(COMMAND "${WASABI_CLI}" test "${app}" --json --jobs 2 --engine tree
+                OUTPUT_VARIABLE spaced_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "'--engine tree' run failed: ${rc}")
+endif()
+if(NOT spaced_out STREQUAL tree_out)
+  message(FATAL_ERROR "'--engine tree' report differs from --engine=tree")
+endif()
+
+# Strict parsing: unknown engines and a valueless --engine exit 2 with usage.
+foreach(bad_args IN ITEMS "--engine=jit" "--engine=" "--engine")
+  execute_process(COMMAND "${WASABI_CLI}" test "${app}" ${bad_args}
+                  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "bad option '${bad_args}' exited ${rc}, expected 2")
+  endif()
+  if(NOT err MATCHES "usage: wasabi")
+    message(FATAL_ERROR "no usage line for bad option '${bad_args}': ${err}")
+  endif()
+endforeach()
