@@ -28,6 +28,11 @@ ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
         # Regenerates the committed cold/warm cache record (docs/CACHING.md)
         # and exits non-zero if the >=5x warm speedup or byte-identity fails.
         "$bench" "$repo_root/BENCH_cache.json" "$build_dir/stress_cache" 10
+      elif [ "$(basename "$bench")" = "micro_repair" ]; then
+        # Regenerates the committed repair-loop cost record (docs/REPAIR.md)
+        # and exits non-zero if a sliced validation report ever differs from
+        # its cold reference or never hits the unpatched cache slice.
+        "$bench" "$repo_root/BENCH_repair.json" "$build_dir/micro_repair_cache"
       else
         "$bench"
       fi
@@ -105,15 +110,17 @@ echo "warm cache: byte-identical to cache-off at 1/2/4/8 workers"
 # suite (label "obsjournal", whose per-thread journal buffers are written by
 # 8 campaign workers and merged at collect time; see docs/OBSERVABILITY.md)
 # and the bytecode-VM suites (label "vm", whose compiled chunks are shared
-# read-only across campaign workers; see docs/PERFORMANCE.md "Bytecode VM"),
-# in a separate build tree so the main artifacts stay uninstrumented.
+# read-only across campaign workers; see docs/PERFORMANCE.md "Bytecode VM")
+# and the repair suites (label "repair", whose validation re-campaigns run the
+# full parallel pipeline once per patch; see docs/REPAIR.md), in a separate
+# build tree so the main artifacts stay uninstrumented.
 # Skipped quietly when the compiler can't link TSan (e.g. musl toolchains).
 if echo 'int main(){return 0;}' |
    c++ -x c++ -fsanitize=thread -o /tmp/wasabi_tsan_probe - 2>/dev/null; then
   rm -f /tmp/wasabi_tsan_probe
   cmake -B "$build_dir-tsan" -G Ninja -S "$repo_root" -DWASABI_TSAN=ON
   cmake --build "$build_dir-tsan"
-  ctest --test-dir "$build_dir-tsan" -L 'exec|perf|flaky|replay|obsjournal|storm|vm' --output-on-failure \
+  ctest --test-dir "$build_dir-tsan" -L 'exec|perf|flaky|replay|obsjournal|storm|vm|repair' --output-on-failure \
     2>&1 | tee "$repo_root/tsan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=thread; skipping TSan pass"
@@ -129,14 +136,16 @@ fi
 # docs/CACHING.md), plus the "flaky"/"replay" suites (record parsing rejects
 # truncated/bit-flipped/version-skewed bytes; see docs/FLAKINESS.md), plus
 # the "vm" suites (the bytecode executor's pooled operand stacks and slow-path
-# tree replays are lifetime-sensitive; see docs/PERFORMANCE.md). Same
-# separate-tree and probe-then-skip structure as the TSan pass above.
+# tree replays are lifetime-sensitive; see docs/PERFORMANCE.md), plus the
+# "repair" suites (AST rewrites re-parse patched sources and rebuild program
+# indexes per validation run; see docs/REPAIR.md). Same separate-tree and
+# probe-then-skip structure as the TSan pass above.
 if echo 'int main(){return 0;}' |
    c++ -x c++ -fsanitize=address -o /tmp/wasabi_asan_probe - 2>/dev/null; then
   rm -f /tmp/wasabi_asan_probe
   cmake -B "$build_dir-asan" -G Ninja -S "$repo_root" -DWASABI_ASAN=ON
   cmake --build "$build_dir-asan"
-  ctest --test-dir "$build_dir-asan" -L 'robust|perf|fuzz|cache|flaky|replay|obsjournal|storm|vm' --output-on-failure \
+  ctest --test-dir "$build_dir-asan" -L 'robust|perf|fuzz|cache|flaky|replay|obsjournal|storm|vm|repair' --output-on-failure \
     2>&1 | tee "$repo_root/asan_output.txt"
 else
   echo "note: compiler does not support -fsanitize=address; skipping ASan pass"
@@ -147,4 +156,5 @@ echo "Done. Test results: test_output.txt; table/figure outputs: bench_output.tx
 echo "campaign trace/metrics: campaign_trace.json, campaign_metrics.json;"
 echo "retry journal + dashboard: campaign_journal.json, campaign_report.html;"
 echo "interpreter throughput record: BENCH_interp.json;"
-echo "cache cold/warm record: BENCH_cache.json"
+echo "cache cold/warm record: BENCH_cache.json;"
+echo "repair-loop cost record: BENCH_repair.json"

@@ -223,4 +223,29 @@ CacheStats CacheStore::stats() const {
   return stats_;
 }
 
+CacheStats DiffStats(const CacheStats& before, const CacheStats& after) {
+  CacheStats delta;
+  delta.hits = after.hits - before.hits;
+  delta.misses = after.misses - before.misses;
+  delta.puts = after.puts - before.puts;
+  delta.loaded_entries = after.loaded_entries - before.loaded_entries;
+  delta.corrupt_entries = after.corrupt_entries - before.corrupt_entries;
+  delta.version_mismatches = after.version_mismatches - before.version_mismatches;
+  for (const auto& [ns, count] : after.hits_by_namespace) {
+    auto it = before.hits_by_namespace.find(ns);
+    int64_t diff = count - (it == before.hits_by_namespace.end() ? 0 : it->second);
+    if (diff != 0) {
+      delta.hits_by_namespace[ns] = diff;
+    }
+  }
+  for (const auto& [ns, count] : after.misses_by_namespace) {
+    auto it = before.misses_by_namespace.find(ns);
+    int64_t diff = count - (it == before.misses_by_namespace.end() ? 0 : it->second);
+    if (diff != 0) {
+      delta.misses_by_namespace[ns] = diff;
+    }
+  }
+  return delta;
+}
+
 }  // namespace wasabi

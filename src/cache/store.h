@@ -45,6 +45,12 @@ struct CacheStats {
   std::map<std::string, int64_t> misses_by_namespace;
 };
 
+// Component-wise difference (`after` - `before`) of two stats snapshots,
+// including the per-namespace maps. How phase-scoped cache accounting works:
+// snapshot stats() around a phase and diff — the repair validator uses it to
+// report how much of each re-campaign the warm per-file entries absorbed.
+CacheStats DiffStats(const CacheStats& before, const CacheStats& after);
+
 class CacheStore {
  public:
   // Opens (creating if needed) a cache directory and loads its entries.

@@ -234,6 +234,27 @@ GeneratorSpec SpecFor(const std::string& name) {
     c.storm_fanout_services = 1;
     c.storm_overload_services = 1;
     c.unrelated_util_files = 2;
+  } else if (name == "repairlab") {
+    // Automated-repair ground truth (docs/REPAIR.md). Like the other labs,
+    // deliberately NOT in kApps — the full-corpus goldens must not change.
+    // One module per repair-template target (uncapped while-retry, `!=` cap
+    // comparison against a negative config, delay-less retry, plus one storm
+    // service per storm bug class) and healthy controls, so the repair
+    // pipeline's fixed/not-fixed/regressed scoring against the manifest is
+    // exact: every template-fixable seeded bug must come back fixed, the
+    // un-templatable fan-out bug must come back no-template, and the healthy
+    // modules must produce no patch at all.
+    spec.seed = 123;
+    spec.display_name = "RepairLab";
+    c.ok_loops = 1;
+    c.nocap_loops = 1;
+    c.negative_config_cap_loops = 1;
+    c.nodelay_loops = 1;
+    c.storm_ok_services = 1;
+    c.storm_nojitter_services = 1;
+    c.storm_fanout_services = 1;
+    c.storm_overload_services = 1;
+    c.unrelated_util_files = 2;
   } else {
     std::fprintf(stderr, "unknown corpus app '%s'\n", name.c_str());
     std::abort();
@@ -255,7 +276,7 @@ const std::vector<std::string>& CorpusAppNames() {
 }
 
 bool IsKnownCorpusApp(const std::string& name) {
-  if (name == "flakylab" || name == "stormlab") {
+  if (name == "flakylab" || name == "stormlab" || name == "repairlab") {
     return true;
   }
   for (const AppDescriptor& app : kApps) {

@@ -38,8 +38,9 @@ struct CorpusApp {
 const std::vector<std::string>& CorpusAppNames();
 
 // True for the eight base ids plus the on-demand ground-truth labs
-// ("flakylab", "stormlab") that are deliberately outside the full-corpus
-// goldens. Lets the CLI validate `dump-corpus --app` without aborting.
+// ("flakylab", "stormlab", "repairlab") that are deliberately outside the
+// full-corpus goldens. Lets the CLI validate `dump-corpus --app` without
+// aborting.
 bool IsKnownCorpusApp(const std::string& name);
 
 // Builds one application by id. Aborts (assert) on unknown id or if the

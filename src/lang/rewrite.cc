@@ -1,0 +1,141 @@
+#include "src/lang/rewrite.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/lang/diagnostics.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+namespace mj {
+
+namespace {
+
+struct ParsedUnit {
+  std::unique_ptr<CompilationUnit> unit;
+  std::string error;
+};
+
+ParsedUnit ParseChecked(const std::string& file_name, const std::string& source,
+                        const char* what) {
+  ParsedUnit parsed;
+  DiagnosticEngine diag;
+  parsed.unit = ParseSource(file_name, source, diag);
+  if (diag.has_errors()) {
+    parsed.error = std::string(what) + " does not parse:\n" + diag.FormatAll(nullptr);
+    parsed.unit.reset();
+  }
+  return parsed;
+}
+
+ClassDecl* FindClass(CompilationUnit& unit, const std::string& name) {
+  for (ClassDecl* cls : unit.classes()) {
+    if (cls->name == name) {
+      return cls;
+    }
+  }
+  return nullptr;
+}
+
+MethodDecl* FindMethod(ClassDecl& cls, const std::string& name) {
+  for (MethodDecl* method : cls.methods) {
+    if (method->name == name) {
+      return method;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+RewriteResult RewriteMethod(const std::string& file_name, const std::string& source,
+                            const std::string& class_name, const std::string& method_name,
+                            const MethodMutator& mutator) {
+  RewriteResult result;
+
+  // Two independent parses: one to mutate, one kept pristine for the
+  // leak check below.
+  ParsedUnit mutable_parse = ParseChecked(file_name, source, "original source");
+  if (mutable_parse.unit == nullptr) {
+    result.error = mutable_parse.error;
+    return result;
+  }
+  ParsedUnit pristine_parse = ParseChecked(file_name, source, "original source");
+  if (pristine_parse.unit == nullptr) {
+    result.error = pristine_parse.error;
+    return result;
+  }
+
+  ClassDecl* cls = FindClass(*mutable_parse.unit, class_name);
+  if (cls == nullptr) {
+    result.error = "class '" + class_name + "' not found in " + file_name;
+    return result;
+  }
+  MethodDecl* method = FindMethod(*cls, method_name);
+  if (method == nullptr || method->body == nullptr) {
+    result.error = "method '" + class_name + "." + method_name + "' not found (or has no body)";
+    return result;
+  }
+
+  std::string mutator_error;
+  if (!mutator(*mutable_parse.unit, *cls, *method, &mutator_error)) {
+    result.error = mutator_error.empty() ? "mutation preconditions not met" : mutator_error;
+    return result;
+  }
+
+  const std::string patched = PrintUnit(*mutable_parse.unit);
+
+  // Property 1: the patch parses.
+  ParsedUnit reparse = ParseChecked(file_name, patched, "patched source");
+  if (reparse.unit == nullptr) {
+    result.error = reparse.error;
+    return result;
+  }
+
+  // Property 2: printer fixpoint — re-printing the re-parse must not move.
+  if (PrintUnit(*reparse.unit) != patched) {
+    result.error = "patched source is not a printer fixpoint";
+    return result;
+  }
+
+  // Property 3: nothing outside the target method changed. Compare the
+  // pristine parse against the re-parse class by class, method by method
+  // (the printer is canonical, so byte equality of PrintMethod output is
+  // structural equality).
+  const auto& pristine_classes = pristine_parse.unit->classes();
+  const auto& patched_classes = reparse.unit->classes();
+  if (pristine_classes.size() != patched_classes.size()) {
+    result.error = "rewrite changed the class list";
+    return result;
+  }
+  for (size_t ci = 0; ci < pristine_classes.size(); ++ci) {
+    const ClassDecl* before = pristine_classes[ci];
+    const ClassDecl* after = patched_classes[ci];
+    if (before->name != after->name || before->methods.size() != after->methods.size() ||
+        before->fields.size() != after->fields.size()) {
+      result.error = "rewrite changed the shape of class '" + before->name + "'";
+      return result;
+    }
+    for (size_t mi = 0; mi < before->methods.size(); ++mi) {
+      const MethodDecl* method_before = before->methods[mi];
+      const MethodDecl* method_after = after->methods[mi];
+      if (method_before->name != method_after->name) {
+        result.error = "rewrite renamed a method in class '" + before->name + "'";
+        return result;
+      }
+      if (before->name == class_name && method_before->name == method_name) {
+        continue;  // The one method a patch may change.
+      }
+      if (PrintMethod(*method_before, 1) != PrintMethod(*method_after, 1)) {
+        result.error = "rewrite leaked into '" + before->name + "." + method_before->name + "'";
+        return result;
+      }
+    }
+  }
+
+  result.ok = true;
+  result.patched_source = patched;
+  return result;
+}
+
+}  // namespace mj

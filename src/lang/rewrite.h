@@ -1,0 +1,53 @@
+// AST-level method rewriting for the automated-repair pipeline
+// (docs/REPAIR.md).
+//
+// A repair patch is a mutation of ONE method's AST, applied to a freshly
+// parsed copy of the unit and materialized through the canonical printer, so
+// the patched file is guaranteed to round-trip parse -> print -> parse. The
+// rewriter verifies three properties before returning a patch:
+//
+//   1. The patched source parses with no diagnostics.
+//   2. Printing the re-parse reproduces the patched source byte for byte
+//      (the printer-fixpoint property the fuzzer pins for unpatched code).
+//   3. Every method OTHER than the declared target prints byte-identically
+//      to its pristine form — a mutation that leaks outside its target is
+//      rejected here, before any validation campaign spends time on it.
+//
+// Comments are not re-emitted by the printer (they live in the unit's side
+// table), so a patched file is the canonical printed form of the whole unit.
+// Per-file cache keys (docs/CACHING.md) digest the text, so the patched file
+// invalidates exactly its own entries and every other file stays warm.
+
+#ifndef WASABI_SRC_LANG_REWRITE_H_
+#define WASABI_SRC_LANG_REWRITE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/lang/ast.h"
+
+namespace mj {
+
+// Mutates `method` (owned by `unit`, declared on `cls`) in place. Returns
+// false with `error` set when the method does not have the shape the
+// mutation needs (e.g. no retry loop); the rewrite is then abandoned with no
+// output. New nodes must be allocated via unit.Create<T>(...).
+using MethodMutator =
+    std::function<bool(CompilationUnit& unit, ClassDecl& cls, MethodDecl& method,
+                       std::string* error)>;
+
+struct RewriteResult {
+  bool ok = false;
+  std::string error;           // Why the rewrite was rejected, when !ok.
+  std::string patched_source;  // Canonical printed form of the patched unit.
+};
+
+// Parses `source` (as file `file_name`), applies `mutator` to
+// `class_name::method_name`, prints, and verifies the three properties above.
+RewriteResult RewriteMethod(const std::string& file_name, const std::string& source,
+                            const std::string& class_name, const std::string& method_name,
+                            const MethodMutator& mutator);
+
+}  // namespace mj
+
+#endif  // WASABI_SRC_LANG_REWRITE_H_

@@ -1,0 +1,56 @@
+#include "src/llm/sim_repair.h"
+
+#include "src/lang/digest.h"
+
+namespace wasabi {
+
+namespace {
+
+// One deterministic 0-99 roll per (bug, mode). The mode tag keeps the three
+// rolls independent: a bug that escapes wrong-location can still draw
+// cap-too-low, exactly like SimLLM's per-question noise flips.
+int Roll(uint64_t seed, std::string_view file, std::string_view coordinator,
+         std::string_view template_name, char mode_tag) {
+  uint64_t hash = mj::Fnv1a64Mix(seed, mj::kFnvOffsetBasis);
+  hash = mj::Fnv1a64(file, hash);
+  hash = mj::Fnv1a64(coordinator, hash);
+  hash = mj::Fnv1a64(template_name, hash);
+  hash = mj::Fnv1a64(std::string_view(&mode_tag, 1), hash);
+  return static_cast<int>(hash % 100);
+}
+
+}  // namespace
+
+const char* RepairErrorModeName(RepairErrorMode mode) {
+  switch (mode) {
+    case RepairErrorMode::kNone:
+      return "none";
+    case RepairErrorMode::kWrongLocation:
+      return "wrong-location";
+    case RepairErrorMode::kCapTooLow:
+      return "cap-too-low";
+    case RepairErrorMode::kDropJitter:
+      return "drop-jitter";
+  }
+  return "none";
+}
+
+RepairErrorMode SimRepair::ModeFor(std::string_view file, std::string_view coordinator,
+                                   std::string_view template_name) const {
+  if (config_.wrong_location_percent > 0 &&
+      Roll(config_.seed, file, coordinator, template_name, 'w') <
+          config_.wrong_location_percent) {
+    return RepairErrorMode::kWrongLocation;
+  }
+  if (template_name == "bound-retry" && config_.cap_too_low_percent > 0 &&
+      Roll(config_.seed, file, coordinator, template_name, 'c') < config_.cap_too_low_percent) {
+    return RepairErrorMode::kCapTooLow;
+  }
+  if (template_name == "add-jitter" && config_.drop_jitter_percent > 0 &&
+      Roll(config_.seed, file, coordinator, template_name, 'j') < config_.drop_jitter_percent) {
+    return RepairErrorMode::kDropJitter;
+  }
+  return RepairErrorMode::kNone;
+}
+
+}  // namespace wasabi

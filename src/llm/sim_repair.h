@@ -1,0 +1,61 @@
+// SimRepair: deterministic model of LLM repair-error modes (docs/REPAIR.md).
+//
+// The repair pipeline's patch synthesis is template-based and correct by
+// construction; a real LLM-driven repairer is not. Mirroring how SimLLM
+// models the paper's §4.2/§4.3 identification errors, SimRepair injects the
+// failure modes characterized for LLM program repair — patching the wrong
+// location, bounding retries with a uselessly low cap, and adding backoff
+// while forgetting the jitter — as deterministic per-bug decisions, so the
+// validator's ability to CATCH bad patches is itself exactly testable:
+// every injected error must surface as not-fixed or regressed, never fixed.
+//
+// Decisions are pure functions of (seed, file, coordinator, template): the
+// same bug draws the same error mode in every run, at every worker count,
+// under every cache state.
+
+#ifndef WASABI_SRC_LLM_SIM_REPAIR_H_
+#define WASABI_SRC_LLM_SIM_REPAIR_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace wasabi {
+
+enum class RepairErrorMode : uint8_t {
+  kNone,           // Faithful template application.
+  kWrongLocation,  // Plausible patch applied to a sibling method.
+  kCapTooLow,      // Bounded retry with cap 1: kills the retry entirely.
+  kDropJitter,     // Jitter scaffolding added but the sleep stays fixed.
+};
+
+const char* RepairErrorModeName(RepairErrorMode mode);
+
+struct SimRepairConfig {
+  uint64_t seed = 0xF1F0;
+  // Each knob is a 0-100 percentage; 0 (the default) disables that mode.
+  // kWrongLocation can hit any template; kCapTooLow only bound-retry
+  // patches; kDropJitter only add-jitter patches.
+  int wrong_location_percent = 0;
+  int cap_too_low_percent = 0;
+  int drop_jitter_percent = 0;
+};
+
+class SimRepair {
+ public:
+  explicit SimRepair(SimRepairConfig config) : config_(config) {}
+
+  // The error mode this bug's patch draws. `template_name` is the repair
+  // template's stable name ("bound-retry", "add-jitter", ...) — passed as a
+  // string so src/llm does not depend on src/repair.
+  RepairErrorMode ModeFor(std::string_view file, std::string_view coordinator,
+                          std::string_view template_name) const;
+
+  const SimRepairConfig& config() const { return config_; }
+
+ private:
+  SimRepairConfig config_;
+};
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_LLM_SIM_REPAIR_H_

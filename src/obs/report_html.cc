@@ -298,11 +298,47 @@ document.addEventListener('mousemove', function (e) {
 });
 )js";
 
+// Minimal field extractor for the fixed-format "wasabi-repair-v1" JSON this
+// toolkit itself emits (flat rows, known keys, no nested objects). Returns ""
+// when the key is absent. Handles string values (with escape folding) and
+// bare scalars.
+std::string RepairJsonField(std::string_view row, const std::string& key) {
+  const std::string pattern = "\"" + key + "\": ";
+  size_t pos = row.find(pattern);
+  if (pos == std::string_view::npos) {
+    return std::string();
+  }
+  pos += pattern.size();
+  if (pos >= row.size()) {
+    return std::string();
+  }
+  if (row[pos] == '"') {
+    std::string out;
+    for (size_t i = pos + 1; i < row.size(); ++i) {
+      char c = row[i];
+      if (c == '\\' && i + 1 < row.size()) {
+        out += row[++i];
+        continue;
+      }
+      if (c == '"') {
+        break;
+      }
+      out += c;
+    }
+    return out;
+  }
+  size_t end = row.find_first_of(",}", pos);
+  if (end == std::string_view::npos) {
+    end = row.size();
+  }
+  return std::string(row.substr(pos, end - pos));
+}
+
 }  // namespace
 
 std::string RenderHtmlReport(std::string_view app, const std::vector<JournalEvent>& events,
                              const RetryStatsReport& stats, std::string_view metrics_json,
-                             std::string_view trace_json) {
+                             std::string_view trace_json, std::string_view repair_json) {
   std::string out;
   out.reserve(1 << 16);
   const std::string app_html = EscapeHtml(app);
@@ -661,8 +697,57 @@ std::string RenderHtmlReport(std::string_view app, const std::vector<JournalEven
     }
   }
 
+  // --- Repair loop (docs/REPAIR.md) -----------------------------------------
+  if (!repair_json.empty()) {
+    out += "<h2>Repair loop</h2><div class=\"card\">";
+    size_t array_pos = repair_json.find("\"repairs\": [");
+    bool any_row = false;
+    if (array_pos != std::string_view::npos) {
+      std::string body;
+      size_t cursor = array_pos;
+      while (true) {
+        size_t open = repair_json.find('{', cursor);
+        if (open == std::string_view::npos) {
+          break;
+        }
+        size_t close = repair_json.find('}', open);
+        if (close == std::string_view::npos) {
+          break;
+        }
+        std::string_view row = repair_json.substr(open, close - open + 1);
+        cursor = close + 1;
+        std::string type = RepairJsonField(row, "type");
+        if (type.empty()) {
+          continue;
+        }
+        any_row = true;
+        std::string outcome = RepairJsonField(row, "outcome");
+        std::string note = RepairJsonField(row, "note");
+        body += "<tr><td>" + EscapeHtml(type) + "</td><td>" +
+                EscapeHtml(RepairJsonField(row, "file")) + "</td><td>" +
+                EscapeHtml(RepairJsonField(row, "coordinator")) + "</td><td>" +
+                EscapeHtml(RepairJsonField(row, "template")) + "</td><td>" +
+                EscapeHtml(RepairJsonField(row, "error_mode")) + "</td><td>" +
+                EscapeHtml(outcome) + (note.empty() ? "" : " \xc2\xb7 " + EscapeHtml(note)) +
+                "</td></tr>";
+      }
+      if (any_row) {
+        out += "<table><thead><tr><th>Verdict</th><th>File</th><th>Coordinator</th>"
+               "<th>Template</th><th>Error mode</th><th>Outcome</th></tr></thead><tbody>" +
+               body + "</tbody></table>";
+      }
+    }
+    if (!any_row) {
+      out += "<div class=\"note\">No confirmed verdicts entered the repair loop.</div>";
+    }
+    out += "<div class=\"note\">fixed = target verdict gone, nothing new, clean suite and "
+           "single-fault replay intact \xc2\xb7 not-fixed = verdict persists or no patch "
+           "applied \xc2\xb7 regressed = the patch made something worse (docs/REPAIR.md)."
+           "</div></div>";
+  }
+
   // --- Embedded sibling artifacts -------------------------------------------
-  if (!metrics_json.empty() || !trace_json.empty()) {
+  if (!metrics_json.empty() || !trace_json.empty() || !repair_json.empty()) {
     out += "<h2>Raw artifacts</h2>";
     if (!metrics_json.empty()) {
       out += "<details><summary>Metrics snapshot (" +
@@ -674,6 +759,11 @@ std::string RenderHtmlReport(std::string_view app, const std::vector<JournalEven
              FmtInt(static_cast<int64_t>(trace_json.size())) + " bytes \xc2\xb7 load in "
              "chrome://tracing or Perfetto)</summary><pre>" +
              EscapeHtml(trace_json) + "</pre></details>";
+    }
+    if (!repair_json.empty()) {
+      out += "<details><summary>Repair report (" +
+             FmtInt(static_cast<int64_t>(repair_json.size())) +
+             " bytes)</summary><pre>" + EscapeHtml(repair_json) + "</pre></details>";
     }
   }
 

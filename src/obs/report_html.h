@@ -22,9 +22,14 @@ namespace wasabi {
 // `stats` its derivation. `metrics_json` / `trace_json` are the sibling
 // artifacts' raw bytes — embedded verbatim in collapsible sections when
 // non-empty, so the report is a one-file record of the whole run.
+// `repair_json` is an optional "wasabi-repair-v1" report (docs/REPAIR.md):
+// when non-empty it is rendered as a per-verdict repair-outcome table plus
+// the embedded raw JSON; when empty (the default) the output is byte-for-byte
+// what the five-argument call produced.
 std::string RenderHtmlReport(std::string_view app, const std::vector<JournalEvent>& events,
                              const RetryStatsReport& stats, std::string_view metrics_json,
-                             std::string_view trace_json);
+                             std::string_view trace_json,
+                             std::string_view repair_json = std::string_view());
 
 }  // namespace wasabi
 

@@ -1,0 +1,515 @@
+#include "src/repair/templates.h"
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace wasabi {
+
+namespace {
+
+using mj::AssignOp;
+using mj::AssignStmt;
+using mj::AstKind;
+using mj::BinaryExpr;
+using mj::BinaryOp;
+using mj::BlockStmt;
+using mj::BoolLiteralExpr;
+using mj::CallExpr;
+using mj::CatchClause;
+using mj::CompilationUnit;
+using mj::Expr;
+using mj::ExprStmt;
+using mj::ForStmt;
+using mj::IfStmt;
+using mj::IntLiteralExpr;
+using mj::NameExpr;
+using mj::NullLiteralExpr;
+using mj::ReturnStmt;
+using mj::SourceLocation;
+using mj::Stmt;
+using mj::StringLiteralExpr;
+using mj::ThrowStmt;
+using mj::TryStmt;
+using mj::VarDeclStmt;
+using mj::WhileStmt;
+
+// The retry loop a template patches: the first while/for (pre-order, source
+// order) whose body subtree contains a try with at least one catch. The loop
+// must sit directly in a BlockStmt so statements can be spliced around it.
+struct LoopSite {
+  Stmt* loop = nullptr;            // AstKind::kWhile or kFor.
+  BlockStmt* parent = nullptr;     // Block the loop is a direct child of.
+  size_t index = 0;                // loop == parent->statements[index].
+  std::vector<TryStmt*> tries;     // try/catch statements inside the loop body.
+};
+
+void CollectTries(Stmt* stmt, std::vector<TryStmt*>* out) {
+  if (stmt == nullptr) {
+    return;
+  }
+  switch (stmt->kind) {
+    case AstKind::kBlock:
+      for (Stmt* child : static_cast<BlockStmt*>(stmt)->statements) {
+        CollectTries(child, out);
+      }
+      break;
+    case AstKind::kIf: {
+      auto* node = static_cast<IfStmt*>(stmt);
+      CollectTries(node->then_branch, out);
+      CollectTries(node->else_branch, out);
+      break;
+    }
+    case AstKind::kWhile:
+      CollectTries(static_cast<WhileStmt*>(stmt)->body, out);
+      break;
+    case AstKind::kFor:
+      CollectTries(static_cast<ForStmt*>(stmt)->body, out);
+      break;
+    case AstKind::kSwitch:
+      for (mj::SwitchCase& switch_case : static_cast<mj::SwitchStmt*>(stmt)->cases) {
+        for (Stmt* child : switch_case.body) {
+          CollectTries(child, out);
+        }
+      }
+      break;
+    case AstKind::kTry: {
+      auto* node = static_cast<TryStmt*>(stmt);
+      if (!node->catches.empty()) {
+        out->push_back(node);
+      }
+      CollectTries(node->body, out);
+      for (CatchClause& clause : node->catches) {
+        CollectTries(clause.body, out);
+      }
+      CollectTries(node->finally, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+bool FindLoopInBlock(BlockStmt* block, LoopSite* site);
+
+// Recurses into sub-blocks of a non-loop statement looking for a retry loop.
+bool FindLoopInStmt(Stmt* stmt, LoopSite* site) {
+  if (stmt == nullptr) {
+    return false;
+  }
+  switch (stmt->kind) {
+    case AstKind::kBlock:
+      return FindLoopInBlock(static_cast<BlockStmt*>(stmt), site);
+    case AstKind::kIf: {
+      auto* node = static_cast<IfStmt*>(stmt);
+      return FindLoopInStmt(node->then_branch, site) || FindLoopInStmt(node->else_branch, site);
+    }
+    case AstKind::kTry: {
+      auto* node = static_cast<TryStmt*>(stmt);
+      if (FindLoopInStmt(node->body, site)) {
+        return true;
+      }
+      for (CatchClause& clause : node->catches) {
+        if (FindLoopInStmt(clause.body, site)) {
+          return true;
+        }
+      }
+      return FindLoopInStmt(node->finally, site);
+    }
+    case AstKind::kWhile:
+      return FindLoopInStmt(static_cast<WhileStmt*>(stmt)->body, site);
+    case AstKind::kFor:
+      return FindLoopInStmt(static_cast<ForStmt*>(stmt)->body, site);
+    default:
+      return false;
+  }
+}
+
+bool FindLoopInBlock(BlockStmt* block, LoopSite* site) {
+  if (block == nullptr) {
+    return false;
+  }
+  for (size_t i = 0; i < block->statements.size(); ++i) {
+    Stmt* child = block->statements[i];
+    if (child == nullptr) {
+      continue;
+    }
+    if (child->kind == AstKind::kWhile || child->kind == AstKind::kFor) {
+      std::vector<TryStmt*> tries;
+      Stmt* body = child->kind == AstKind::kWhile ? static_cast<WhileStmt*>(child)->body
+                                                  : static_cast<ForStmt*>(child)->body;
+      CollectTries(body, &tries);
+      if (!tries.empty()) {
+        site->loop = child;
+        site->parent = block;
+        site->index = i;
+        site->tries = std::move(tries);
+        return true;
+      }
+    }
+    if (FindLoopInStmt(child, site)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FindRetryLoop(mj::MethodDecl& method, LoopSite* site, std::string* error) {
+  if (!FindLoopInBlock(method.body, site)) {
+    *error = "method '" + method.name + "' has no retry loop (loop containing try/catch)";
+    return false;
+  }
+  return true;
+}
+
+// --- Small AST builders ------------------------------------------------------
+
+NameExpr* MakeName(CompilationUnit& unit, SourceLocation loc, const std::string& name) {
+  auto* node = unit.Create<NameExpr>(loc);
+  node->name = name;
+  return node;
+}
+
+IntLiteralExpr* MakeInt(CompilationUnit& unit, SourceLocation loc, int64_t value) {
+  auto* node = unit.Create<IntLiteralExpr>(loc);
+  node->value = value;
+  return node;
+}
+
+StringLiteralExpr* MakeString(CompilationUnit& unit, SourceLocation loc,
+                              const std::string& value) {
+  auto* node = unit.Create<StringLiteralExpr>(loc);
+  node->value = value;
+  return node;
+}
+
+BinaryExpr* MakeBinary(CompilationUnit& unit, SourceLocation loc, BinaryOp op, Expr* lhs,
+                       Expr* rhs) {
+  auto* node = unit.Create<BinaryExpr>(loc);
+  node->op = op;
+  node->lhs = lhs;
+  node->rhs = rhs;
+  return node;
+}
+
+VarDeclStmt* MakeVarDecl(CompilationUnit& unit, SourceLocation loc, const std::string& name,
+                         Expr* init) {
+  auto* node = unit.Create<VarDeclStmt>(loc);
+  node->name = name;
+  node->init = init;
+  return node;
+}
+
+// `base.callee(args...)`; base may be null for implicit-this calls.
+CallExpr* MakeCall(CompilationUnit& unit, SourceLocation loc, Expr* base,
+                   const std::string& callee, std::vector<Expr*> args) {
+  auto* node = unit.Create<CallExpr>(loc);
+  node->base = base;
+  node->callee = callee;
+  node->args = std::move(args);
+  return node;
+}
+
+ExprStmt* MakeExprStmt(CompilationUnit& unit, SourceLocation loc, Expr* expr) {
+  auto* node = unit.Create<ExprStmt>(loc);
+  node->expr = expr;
+  return node;
+}
+
+// `Config.getInt("key", fallback)` — how every corpus service reads tunables.
+CallExpr* MakeConfigGetInt(CompilationUnit& unit, SourceLocation loc, const std::string& key,
+                           int64_t fallback) {
+  return MakeCall(unit, loc, MakeName(unit, loc, "Config"), "getInt",
+                  {MakeString(unit, loc, key), MakeInt(unit, loc, fallback)});
+}
+
+bool IsTrueLiteral(const Expr* expr) {
+  return expr != nullptr && expr->kind == AstKind::kBoolLiteral &&
+         static_cast<const BoolLiteralExpr*>(expr)->value;
+}
+
+// First statement in `block` that is exactly `Thread.sleep(...)`.
+bool FindThreadSleep(BlockStmt* block, size_t* index, CallExpr** call) {
+  if (block == nullptr) {
+    return false;
+  }
+  for (size_t i = 0; i < block->statements.size(); ++i) {
+    Stmt* stmt = block->statements[i];
+    if (stmt == nullptr || stmt->kind != AstKind::kExprStmt) {
+      continue;
+    }
+    Expr* expr = static_cast<ExprStmt*>(stmt)->expr;
+    if (expr == nullptr || expr->kind != AstKind::kCall) {
+      continue;
+    }
+    auto* candidate = static_cast<CallExpr*>(expr);
+    if (candidate->callee != "sleep" || candidate->base == nullptr ||
+        candidate->base->kind != AstKind::kName ||
+        static_cast<NameExpr*>(candidate->base)->name != "Thread" ||
+        candidate->args.size() != 1) {
+      continue;
+    }
+    *index = i;
+    *call = candidate;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* RepairTemplateName(RepairTemplate tmpl) {
+  switch (tmpl) {
+    case RepairTemplate::kNone:
+      return "none";
+    case RepairTemplate::kBoundRetry:
+      return "bound-retry";
+    case RepairTemplate::kAddBackoff:
+      return "add-backoff";
+    case RepairTemplate::kAddJitter:
+      return "add-jitter";
+    case RepairTemplate::kShedOnOverload:
+      return "shed-on-overload";
+  }
+  return "none";
+}
+
+RepairTemplate TemplateForBug(BugType type) {
+  switch (type) {
+    case BugType::kWhenMissingCap:
+      return RepairTemplate::kBoundRetry;
+    case BugType::kWhenMissingDelay:
+      return RepairTemplate::kAddBackoff;
+    case BugType::kStormMissingJitter:
+      return RepairTemplate::kAddJitter;
+    case BugType::kStormRetryOnOverload:
+      return RepairTemplate::kShedOnOverload;
+    default:
+      return RepairTemplate::kNone;
+  }
+}
+
+mj::MethodMutator MakeBoundRetryMutator(int attempt_cap) {
+  return [attempt_cap](CompilationUnit& unit, mj::ClassDecl& cls, mj::MethodDecl& method,
+                       std::string* error) -> bool {
+    (void)cls;
+    LoopSite site;
+    if (!FindRetryLoop(method, &site, error)) {
+      return false;
+    }
+    SourceLocation loc = site.loop->location;
+
+    if (site.loop->kind == AstKind::kFor) {
+      // Keep the author's loop; just make its exit condition a hard `< cap`.
+      // This is the HDFS-15439 shape: `retry != maxAttempts` with a negative
+      // configured cap never terminates, and `<` is the minimal correct bound.
+      auto* loop = static_cast<ForStmt*>(site.loop);
+      std::string induction;
+      if (loop->init != nullptr && loop->init->kind == AstKind::kVarDecl) {
+        induction = static_cast<VarDeclStmt*>(loop->init)->name;
+      } else if (loop->init != nullptr && loop->init->kind == AstKind::kAssign) {
+        Expr* target = static_cast<AssignStmt*>(loop->init)->target;
+        if (target != nullptr && target->kind == AstKind::kName) {
+          induction = static_cast<NameExpr*>(target)->name;
+        }
+      }
+      if (induction.empty()) {
+        *error = "bound-retry: for-loop induction variable not found in '" + method.name + "'";
+        return false;
+      }
+      loop->condition = MakeBinary(unit, loc, BinaryOp::kLt, MakeName(unit, loc, induction),
+                                   MakeInt(unit, loc, attempt_cap));
+      return true;
+    }
+
+    // while (...) -> for (var repairAttempt = 0; ... && repairAttempt < cap;
+    // repairAttempt += 1), with the last caught exception stored so exhausting
+    // the budget rethrows the original failure instead of looping forever.
+    auto* loop = static_cast<WhileStmt*>(site.loop);
+    auto* for_loop = unit.Create<ForStmt>(loc);
+    for_loop->init = MakeVarDecl(unit, loc, "repairAttempt", MakeInt(unit, loc, 0));
+    Expr* cap_check = MakeBinary(unit, loc, BinaryOp::kLt, MakeName(unit, loc, "repairAttempt"),
+                                 MakeInt(unit, loc, attempt_cap));
+    for_loop->condition = IsTrueLiteral(loop->condition)
+                              ? cap_check
+                              : MakeBinary(unit, loc, BinaryOp::kAnd, loop->condition, cap_check);
+    auto* update = unit.Create<AssignStmt>(loc);
+    update->target = MakeName(unit, loc, "repairAttempt");
+    update->op = AssignOp::kAddAssign;
+    update->value = MakeInt(unit, loc, 1);
+    for_loop->update = update;
+    for_loop->body = loop->body;
+
+    for (TryStmt* try_stmt : site.tries) {
+      for (CatchClause& clause : try_stmt->catches) {
+        auto* remember = unit.Create<AssignStmt>(clause.location);
+        remember->target = MakeName(unit, clause.location, "repairLastError");
+        remember->op = AssignOp::kAssign;
+        remember->value = MakeName(unit, clause.location, clause.variable);
+        clause.body->statements.insert(clause.body->statements.begin(), remember);
+      }
+    }
+
+    auto* last_error_decl =
+        MakeVarDecl(unit, loc, "repairLastError", unit.Create<NullLiteralExpr>(loc));
+    auto* give_up = unit.Create<ThrowStmt>(loc);
+    give_up->value = MakeName(unit, loc, "repairLastError");
+
+    std::vector<Stmt*>& stmts = site.parent->statements;
+    stmts[site.index] = for_loop;
+    stmts.insert(stmts.begin() + static_cast<std::ptrdiff_t>(site.index), last_error_decl);
+    stmts.insert(stmts.begin() + static_cast<std::ptrdiff_t>(site.index) + 2, give_up);
+    return true;
+  };
+}
+
+mj::MethodMutator MakeAddBackoffMutator() {
+  return [](CompilationUnit& unit, mj::ClassDecl& cls, mj::MethodDecl& method,
+            std::string* error) -> bool {
+    (void)cls;
+    LoopSite site;
+    if (!FindRetryLoop(method, &site, error)) {
+      return false;
+    }
+    SourceLocation loc = site.loop->location;
+
+    std::vector<Stmt*>& stmts = site.parent->statements;
+    stmts.insert(stmts.begin() + static_cast<std::ptrdiff_t>(site.index),
+                 MakeVarDecl(unit, loc, "repairBackoff",
+                             MakeConfigGetInt(unit, loc, "repair.backoff.ms", 50)));
+
+    for (TryStmt* try_stmt : site.tries) {
+      for (CatchClause& clause : try_stmt->catches) {
+        SourceLocation cloc = clause.location;
+        clause.body->statements.push_back(MakeExprStmt(
+            unit, cloc,
+            MakeCall(unit, cloc, MakeName(unit, cloc, "Thread"), "sleep",
+                     {MakeName(unit, cloc, "repairBackoff")})));
+        auto* grow = unit.Create<AssignStmt>(cloc);
+        grow->target = MakeName(unit, cloc, "repairBackoff");
+        grow->op = AssignOp::kAssign;
+        grow->value = MakeBinary(unit, cloc, BinaryOp::kMul,
+                                 MakeName(unit, cloc, "repairBackoff"), MakeInt(unit, cloc, 2));
+        clause.body->statements.push_back(grow);
+      }
+    }
+    return true;
+  };
+}
+
+mj::MethodMutator MakeAddJitterMutator(bool drop_jitter) {
+  return [drop_jitter](CompilationUnit& unit, mj::ClassDecl& cls, mj::MethodDecl& method,
+                       std::string* error) -> bool {
+    (void)cls;
+    LoopSite site;
+    if (!FindRetryLoop(method, &site, error)) {
+      return false;
+    }
+    SourceLocation loc = site.loop->location;
+
+    // The request identity the storm profiler varies between its probes; a
+    // correct jitter draws from it so concurrent retries decorrelate.
+    method.body->statements.insert(
+        method.body->statements.begin(),
+        MakeVarDecl(unit, loc, "repairRequestId",
+                    MakeConfigGetInt(unit, loc, "storm.request.id", 0)));
+    if (drop_jitter) {
+      // SimRepair kDropJitter: the scaffolding lands, the fixed sleep stays.
+      return true;
+    }
+
+    for (TryStmt* try_stmt : site.tries) {
+      for (CatchClause& clause : try_stmt->catches) {
+        size_t sleep_index = 0;
+        CallExpr* sleep_call = nullptr;
+        if (!FindThreadSleep(clause.body, &sleep_index, &sleep_call)) {
+          continue;
+        }
+        SourceLocation cloc = clause.location;
+        Expr* base_amount = sleep_call->args[0];
+        // var repairBase = <old sleep amount>;
+        // var repairJitter = (Clock.nowMillis() * 31 + repairRequestId * 17)
+        //                    % (repairBase + 1);
+        // Thread.sleep(repairBase / 2 + repairJitter / 2);
+        auto* base_decl = MakeVarDecl(unit, cloc, "repairBase", base_amount);
+        Expr* mix = MakeBinary(
+            unit, cloc, BinaryOp::kAdd,
+            MakeBinary(unit, cloc, BinaryOp::kMul,
+                       MakeCall(unit, cloc, MakeName(unit, cloc, "Clock"), "nowMillis", {}),
+                       MakeInt(unit, cloc, 31)),
+            MakeBinary(unit, cloc, BinaryOp::kMul, MakeName(unit, cloc, "repairRequestId"),
+                       MakeInt(unit, cloc, 17)));
+        Expr* bound = MakeBinary(unit, cloc, BinaryOp::kAdd, MakeName(unit, cloc, "repairBase"),
+                                 MakeInt(unit, cloc, 1));
+        auto* jitter_decl = MakeVarDecl(unit, cloc, "repairJitter",
+                                        MakeBinary(unit, cloc, BinaryOp::kMod, mix, bound));
+        Expr* amount = MakeBinary(
+            unit, cloc, BinaryOp::kAdd,
+            MakeBinary(unit, cloc, BinaryOp::kDiv, MakeName(unit, cloc, "repairBase"),
+                       MakeInt(unit, cloc, 2)),
+            MakeBinary(unit, cloc, BinaryOp::kDiv, MakeName(unit, cloc, "repairJitter"),
+                       MakeInt(unit, cloc, 2)));
+        auto* jittered_sleep = MakeExprStmt(
+            unit, cloc,
+            MakeCall(unit, cloc, MakeName(unit, cloc, "Thread"), "sleep", {amount}));
+
+        std::vector<Stmt*>& body = clause.body->statements;
+        body[sleep_index] = jittered_sleep;
+        body.insert(body.begin() + static_cast<std::ptrdiff_t>(sleep_index), jitter_decl);
+        body.insert(body.begin() + static_cast<std::ptrdiff_t>(sleep_index), base_decl);
+        return true;
+      }
+    }
+    *error = "add-jitter: no fixed Thread.sleep(...) found in a retry catch of '" +
+             method.name + "'";
+    return false;
+  };
+}
+
+mj::MethodMutator MakeShedOnOverloadMutator(const std::string& overload_exception) {
+  return [overload_exception](CompilationUnit& unit, mj::ClassDecl& cls, mj::MethodDecl& method,
+                              std::string* error) -> bool {
+    (void)cls;
+    LoopSite site;
+    if (!FindRetryLoop(method, &site, error)) {
+      return false;
+    }
+    for (TryStmt* try_stmt : site.tries) {
+      for (CatchClause& clause : try_stmt->catches) {
+        if (clause.exception_type != overload_exception) {
+          continue;
+        }
+        SourceLocation cloc = clause.location;
+        auto* give_up = unit.Create<ReturnStmt>(cloc);
+        give_up->value = method.return_type == "void"
+                             ? nullptr
+                             : static_cast<Expr*>(MakeString(unit, cloc, "shed"));
+        clause.body->statements.clear();
+        clause.body->statements.push_back(MakeExprStmt(
+            unit, cloc,
+            MakeCall(unit, cloc, MakeName(unit, cloc, "Log"), "warn",
+                     {MakeString(unit, cloc,
+                                 "repair: backend overloaded; shedding this request")})));
+        clause.body->statements.push_back(give_up);
+        return true;
+      }
+    }
+    *error = "shed-on-overload: no catch of " + overload_exception + " in '" + method.name + "'";
+    return false;
+  };
+}
+
+mj::MethodMutator MakeWrongLocationMutator() {
+  return [](CompilationUnit& unit, mj::ClassDecl& cls, mj::MethodDecl& method,
+            std::string* error) -> bool {
+    (void)cls;
+    (void)error;
+    SourceLocation loc = method.body->location;
+    method.body->statements.insert(method.body->statements.begin(),
+                                   MakeVarDecl(unit, loc, "repairAttempt", MakeInt(unit, loc, 0)));
+    return true;
+  };
+}
+
+}  // namespace wasabi

@@ -1,0 +1,87 @@
+// Repair-template library (docs/REPAIR.md).
+//
+// Each confirmed WHEN/storm verdict class maps to one minimal mj patch — the
+// same prescriptions src/robust implements for the pipeline itself:
+//
+//   WHEN/missing-cap      -> bound-retry       (bounded attempts + rethrow)
+//   WHEN/missing-delay    -> add-backoff       (exponential backoff in catch)
+//   STORM/missing-jitter  -> add-jitter        (per-request jittered sleep)
+//   STORM/retry-on-overload -> shed-on-overload (honor push-back, bail out)
+//
+// STORM/unbounded-fanout has no template (un-hedging a broadcast is a design
+// change, not a local patch) and is reported as such. Templates are exposed
+// as rewrite mutators (src/lang/rewrite.h): they mutate exactly one method's
+// AST and rely on the rewriter to prove round-trip and containment.
+
+#ifndef WASABI_SRC_REPAIR_TEMPLATES_H_
+#define WASABI_SRC_REPAIR_TEMPLATES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/report.h"
+#include "src/lang/rewrite.h"
+
+namespace wasabi {
+
+enum class RepairTemplate : uint8_t {
+  kNone,
+  kBoundRetry,
+  kAddBackoff,
+  kAddJitter,
+  kShedOnOverload,
+};
+
+const char* RepairTemplateName(RepairTemplate tmpl);
+
+// The template prescribed for a bug class; kNone when the class has no
+// local-patch prescription (HOW, IF, unbounded fan-out).
+RepairTemplate TemplateForBug(BugType type);
+
+// --- Mutator factories -------------------------------------------------------
+// All mutators locate the target method's retry loop (the first while/for
+// whose body contains a try with at least one catch) and fail cleanly when
+// the method does not have that shape.
+
+// Bounds the retry loop at `attempt_cap` attempts. A `while` loop becomes a
+// `for` over a fresh `repairAttempt` counter, every catch stores its
+// exception in `repairLastError`, and the loop is followed by
+// `throw repairLastError;` — giving up rethrows the ORIGINAL failure, the
+// paper's correct give-up shape. A `for` loop keeps its own induction
+// variable and gets its condition replaced by `<induction> < cap` (the
+// HDFS-15439 `!=`-with-negative-cap shape). SimRepair's cap-too-low mode is
+// this mutator with attempt_cap == 1.
+mj::MethodMutator MakeBoundRetryMutator(int attempt_cap);
+
+// Declares `var repairBackoff = Config.getInt("repair.backoff.ms", 50);`
+// before the loop and appends `Thread.sleep(repairBackoff); repairBackoff =
+// repairBackoff * 2;` to every catch in it: exponential backoff between
+// attempts.
+mj::MethodMutator MakeAddBackoffMutator();
+
+// Replaces the loop's fixed `Thread.sleep(X)` with a per-request jittered
+// sleep derived from the `storm.request.id` config (the identity the storm
+// profiler varies between probes):
+//   var repairBase = X;
+//   var repairJitter = (Clock.nowMillis() * 31 + repairRequestId * 17)
+//                      % (repairBase + 1);
+//   Thread.sleep(repairBase / 2 + repairJitter / 2);
+// With `drop_jitter` (SimRepair's backoff-without-jitter mode) only the
+// requestId scaffolding is inserted and the sleep stays fixed — the patch
+// looks plausible but changes nothing the jitter oracle can see.
+mj::MethodMutator MakeAddJitterMutator(bool drop_jitter);
+
+// Replaces the body of the loop's `catch (ResourceExhaustedException …)`
+// clause with a warn + bail-out (`return "shed";`, or a bare return for void
+// methods): overload push-back is honored instead of retried.
+mj::MethodMutator MakeShedOnOverloadMutator(const std::string& overload_exception);
+
+// SimRepair's wrong-location mode: a harmless, plausible-looking scaffolding
+// declaration inserted at the top of whatever method it is applied to. The
+// repair engine points it at a SIBLING of the buggy coordinator, so the
+// patch applies cleanly, changes the file digest, and fixes nothing.
+mj::MethodMutator MakeWrongLocationMutator();
+
+}  // namespace wasabi
+
+#endif  // WASABI_SRC_REPAIR_TEMPLATES_H_

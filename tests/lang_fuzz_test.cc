@@ -33,7 +33,9 @@
 #include "src/lang/diagnostics.h"
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
+#include "src/lang/rewrite.h"
 #include "src/lang/sema.h"
+#include "src/repair/templates.h"
 
 namespace wasabi {
 namespace {
@@ -615,6 +617,97 @@ TEST(LangFuzzTest, VmAndTreeEnginesAreObservationallyIdentical) {
   }
   // The planted-undefined-read arm must exercise both engines' error paths.
   EXPECT_GT(undefined_programs, 10);
+}
+
+// --- Patch-idempotence differential (docs/REPAIR.md) -------------------------
+//
+// Every repair template, applied across 200 seeded programs, must (a) reject
+// a method with no retry loop cleanly — no crash, no bogus patch — and (b)
+// when a retry harness IS present, produce a patch that is a printer fixpoint
+// and leaves every unpatched method byte-identical to its pristine print.
+TEST(LangFuzzTest, RepairTemplatesRoundTripAndNeverLeakAcrossMethods) {
+  struct NamedTemplate {
+    const char* name;
+    mj::MethodMutator mutator;
+  };
+  const std::vector<NamedTemplate> kTemplates = {
+      {"bound-retry", MakeBoundRetryMutator(5)},
+      {"add-backoff", MakeAddBackoffMutator()},
+      {"add-jitter", MakeAddJitterMutator(false)},
+      {"shed-on-overload", MakeShedOnOverloadMutator("SocketException")},
+  };
+  // A fuzzed method has integer arithmetic but no retry loop: every template
+  // splices one around this.f() so all four shapes are exercised per seed.
+  const char kRetryHarness[] =
+      "  int retryWithHarness() {\n"
+      "    while (true) {\n"
+      "      try {\n"
+      "        return this.f();\n"
+      "      } catch (SocketException e) {\n"
+      "        Log.warn(\"retrying\");\n"
+      "        Thread.sleep(50);\n"
+      "      }\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+
+  int patched_programs = 0;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Fuzzer fuzzer(seed);
+    const std::string bare = fuzzer.Generate();
+
+    // (a) The bare fuzz program has no retry loop: every template must bail
+    // out with a diagnostic instead of fabricating a patch.
+    for (const NamedTemplate& tmpl : kTemplates) {
+      mj::RewriteResult rejected =
+          mj::RewriteMethod("Fuzz.mj", bare, "F", "f", tmpl.mutator);
+      ASSERT_FALSE(rejected.ok) << tmpl.name;
+      ASSERT_FALSE(rejected.error.empty()) << tmpl.name;
+    }
+
+    // (b) Composite program: the fuzzed method plus a canonical retry loop.
+    ASSERT_EQ(bare.substr(bare.size() - 2), "}\n");
+    const std::string composite = bare.substr(0, bare.size() - 2) + kRetryHarness;
+    mj::DiagnosticEngine pristine_diag;
+    auto pristine = mj::ParseSource("Fuzz.mj", composite, pristine_diag);
+    ASSERT_FALSE(pristine_diag.has_errors()) << composite;
+    ASSERT_EQ(pristine->classes().size(), 1u);
+    const mj::MethodDecl* pristine_f = nullptr;
+    for (mj::MethodDecl* method : pristine->classes()[0]->methods) {
+      if (method->name == "f") {
+        pristine_f = method;
+      }
+    }
+    ASSERT_NE(pristine_f, nullptr);
+    const std::string pristine_f_print = mj::PrintMethod(*pristine_f, 1);
+
+    for (const NamedTemplate& tmpl : kTemplates) {
+      SCOPED_TRACE(tmpl.name);
+      mj::RewriteResult patch =
+          mj::RewriteMethod("Fuzz.mj", composite, "F", "retryWithHarness", tmpl.mutator);
+      ASSERT_TRUE(patch.ok) << patch.error;
+      ++patched_programs;
+
+      // Printer fixpoint: parse(print(parse)) reproduces the patch bytes.
+      mj::DiagnosticEngine diag;
+      auto reparse = mj::ParseSource("Fuzz.mj", patch.patched_source, diag);
+      ASSERT_FALSE(diag.has_errors()) << patch.patched_source;
+      ASSERT_EQ(mj::PrintUnit(*reparse), patch.patched_source);
+
+      // The fuzzed method's print is byte-identical: the patch stayed inside
+      // its declared target.
+      const mj::MethodDecl* patched_f = nullptr;
+      for (mj::MethodDecl* method : reparse->classes()[0]->methods) {
+        if (method->name == "f") {
+          patched_f = method;
+        }
+      }
+      ASSERT_NE(patched_f, nullptr);
+      ASSERT_EQ(mj::PrintMethod(*patched_f, 1), pristine_f_print);
+    }
+  }
+  EXPECT_EQ(patched_programs, 200 * 4);
 }
 
 // The interpreter runs each generated program again through a second,

@@ -1,0 +1,308 @@
+// Unit tests for the repair template library (src/repair/templates.h) and
+// the SimRepair error-mode model: each template applied to a hand-written
+// retry method produces a patch that round-trips through the rewriter, edits
+// only its target method, and contains the structural fix it promises;
+// structurally unfixable methods are rejected with a diagnostic instead of a
+// bogus patch.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/lang/rewrite.h"
+#include "src/llm/sim_repair.h"
+#include "src/repair/repair.h"
+#include "src/repair/templates.h"
+
+namespace wasabi {
+namespace {
+
+// A while(true) retry loop plus an untouched sibling — the canonical shape
+// every template starts from.
+const char kWhileTrueRetry[] = R"(class Syncer {
+  String syncWithRetry(snapshot) {
+    while (true) {
+      try {
+        return this.push(snapshot);
+      } catch (SocketException e) {
+        Log.warn("push failed; will retry");
+        Thread.sleep(100);
+      }
+    }
+  }
+
+  String push(snapshot) throws SocketException {
+    return "synced:" + snapshot;
+  }
+}
+)";
+
+std::string Canonical(const std::string& source) {
+  // The printer drops comments, so compare against the canonical print of the
+  // pristine unit: rewrite with a no-op mutator.
+  mj::RewriteResult result = mj::RewriteMethod(
+      "Canon.mj", source, "Syncer", "syncWithRetry",
+      [](mj::CompilationUnit&, mj::ClassDecl&, mj::MethodDecl&, std::string*) {
+        return true;
+      });
+  EXPECT_TRUE(result.ok) << result.error;
+  return result.patched_source;
+}
+
+TEST(RepairTemplateTest, TemplateForBugCoversTheRepairableUniverse) {
+  EXPECT_EQ(TemplateForBug(BugType::kWhenMissingCap), RepairTemplate::kBoundRetry);
+  EXPECT_EQ(TemplateForBug(BugType::kWhenMissingDelay), RepairTemplate::kAddBackoff);
+  EXPECT_EQ(TemplateForBug(BugType::kStormMissingJitter), RepairTemplate::kAddJitter);
+  EXPECT_EQ(TemplateForBug(BugType::kStormRetryOnOverload), RepairTemplate::kShedOnOverload);
+  // Unbounded fan-out needs a topology change, not a local patch.
+  EXPECT_EQ(TemplateForBug(BugType::kStormUnboundedFanout), RepairTemplate::kNone);
+  EXPECT_EQ(TemplateForBug(BugType::kHow), RepairTemplate::kNone);
+  EXPECT_EQ(TemplateForBug(BugType::kIfOutlier), RepairTemplate::kNone);
+
+  EXPECT_STREQ(RepairTemplateName(RepairTemplate::kBoundRetry), "bound-retry");
+  EXPECT_STREQ(RepairTemplateName(RepairTemplate::kAddBackoff), "add-backoff");
+  EXPECT_STREQ(RepairTemplateName(RepairTemplate::kAddJitter), "add-jitter");
+  EXPECT_STREQ(RepairTemplateName(RepairTemplate::kShedOnOverload), "shed-on-overload");
+}
+
+TEST(RepairTemplateTest, BoundRetryCapsAWhileTrueLoopAndRethrowsTheLastError) {
+  mj::RewriteResult result = mj::RewriteMethod("Syncer.mj", kWhileTrueRetry, "Syncer",
+                                               "syncWithRetry", MakeBoundRetryMutator(5));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.patched_source.find("repairAttempt < 5"), std::string::npos)
+      << result.patched_source;
+  EXPECT_NE(result.patched_source.find("throw repairLastError;"), std::string::npos)
+      << "an exhausted cap must surface the last failure, not swallow it";
+  // The sibling method is untouched (the rewriter enforces it; pin it here
+  // against the actual bytes too).
+  EXPECT_NE(result.patched_source.find("return (\"synced:\" + snapshot);"),
+            std::string::npos);
+}
+
+TEST(RepairTemplateTest, BoundRetryRewritesAForLoopConditionInPlace) {
+  const char kNegativeCapFor[] = R"(class Syncer {
+  String syncWithRetry(block) throws ServiceUnavailableException {
+    for (var retry = 0; retry != this.maxAttempts; retry++) {
+      try {
+        return this.push(block);
+      } catch (ServiceUnavailableException e) {
+        Thread.sleep(40);
+      }
+    }
+    throw new ServiceUnavailableException("exhausted");
+  }
+
+  String push(block) throws ServiceUnavailableException {
+    return "moved:" + block;
+  }
+}
+)";
+  mj::RewriteResult result = mj::RewriteMethod("Syncer.mj", kNegativeCapFor, "Syncer",
+                                               "syncWithRetry", MakeBoundRetryMutator(5));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.patched_source.find("retry < 5"), std::string::npos)
+      << "the != cap check (HDFS-15439 analog) must become a real bound:\n"
+      << result.patched_source;
+  EXPECT_EQ(result.patched_source.find("retry != this.maxAttempts"), std::string::npos);
+}
+
+TEST(RepairTemplateTest, AddBackoffSleepsAndDoublesInEveryCatch) {
+  const char kTightLoop[] = R"(class Syncer {
+  String syncWithRetry(cursor) {
+    var attempts = 0;
+    while (attempts < 10) {
+      try {
+        return this.push(cursor);
+      } catch (TimeoutException e) {
+        attempts = attempts + 1;
+      }
+    }
+    return "gave-up";
+  }
+
+  String push(cursor) throws TimeoutException {
+    return "page:" + cursor;
+  }
+}
+)";
+  mj::RewriteResult result = mj::RewriteMethod("Syncer.mj", kTightLoop, "Syncer",
+                                               "syncWithRetry", MakeAddBackoffMutator());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.patched_source.find("Thread.sleep(repairBackoff);"), std::string::npos);
+  EXPECT_NE(result.patched_source.find("repairBackoff = (repairBackoff * 2);"),
+            std::string::npos)
+      << "backoff must be exponential, not fixed:\n"
+      << result.patched_source;
+}
+
+TEST(RepairTemplateTest, AddJitterSpreadsAFixedSleep) {
+  mj::RewriteResult result = mj::RewriteMethod("Syncer.mj", kWhileTrueRetry, "Syncer",
+                                               "syncWithRetry", MakeAddJitterMutator(false));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.patched_source.find("repairJitter"), std::string::npos);
+  EXPECT_NE(result.patched_source.find("Thread.sleep(((repairBase / 2) + (repairJitter / 2)));"),
+            std::string::npos)
+      << result.patched_source;
+  EXPECT_EQ(result.patched_source.find("Thread.sleep(100);"), std::string::npos)
+      << "the fixed synchronized sleep must be gone";
+}
+
+TEST(RepairTemplateTest, DropJitterModeKeepsTheFixedSleep) {
+  // The modeled backoff-without-jitter error: scaffolding appears but the
+  // sleep stays fixed, so the storm oracle must still fire.
+  mj::RewriteResult result = mj::RewriteMethod("Syncer.mj", kWhileTrueRetry, "Syncer",
+                                               "syncWithRetry", MakeAddJitterMutator(true));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.patched_source.find("Thread.sleep(100);"), std::string::npos)
+      << "drop-jitter must leave the synchronized sleep in place:\n"
+      << result.patched_source;
+}
+
+TEST(RepairTemplateTest, ShedOnOverloadReplacesTheOverloadCatchWithABailOut) {
+  const char kOverloadRetry[] = R"(class Syncer {
+  String syncWithRetry() throws ServiceUnavailableException {
+    while (true) {
+      try {
+        return this.push("req");
+      } catch (ServiceUnavailableException e) {
+        Thread.sleep(20);
+      } catch (ResourceExhaustedException e) {
+        Log.warn("overloaded; retrying anyway");
+        Thread.sleep(10);
+      }
+    }
+  }
+
+  String push(String payload)
+      throws ServiceUnavailableException, ResourceExhaustedException {
+    return "ok:" + payload;
+  }
+}
+)";
+  mj::RewriteResult result =
+      mj::RewriteMethod("Syncer.mj", kOverloadRetry, "Syncer", "syncWithRetry",
+                        MakeShedOnOverloadMutator("ResourceExhaustedException"));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.patched_source.find("shedding this request"), std::string::npos);
+  EXPECT_EQ(result.patched_source.find("overloaded; retrying anyway"), std::string::npos)
+      << "the retry-on-overload arm must be replaced, not kept:\n"
+      << result.patched_source;
+  // The transient-error arm keeps retrying: shedding is overload-specific.
+  EXPECT_NE(result.patched_source.find("Thread.sleep(20);"), std::string::npos);
+}
+
+TEST(RepairTemplateTest, MethodsWithoutARetryLoopAreRejectedNotPatched) {
+  const char kNoLoop[] = R"(class Syncer {
+  String syncWithRetry(x) {
+    return this.push(x);
+  }
+
+  String push(x) {
+    return "ok:" + x;
+  }
+}
+)";
+  for (const mj::MethodMutator& mutator :
+       {MakeBoundRetryMutator(5), MakeAddBackoffMutator(), MakeAddJitterMutator(false),
+        MakeShedOnOverloadMutator("ResourceExhaustedException")}) {
+    mj::RewriteResult result =
+        mj::RewriteMethod("Syncer.mj", kNoLoop, "Syncer", "syncWithRetry", mutator);
+    EXPECT_FALSE(result.ok);
+    EXPECT_FALSE(result.error.empty());
+  }
+}
+
+TEST(RepairTemplateTest, AddJitterRequiresAFixedSleepToSpread) {
+  const char kNoSleep[] = R"(class Syncer {
+  String syncWithRetry(x) {
+    while (true) {
+      try {
+        return this.push(x);
+      } catch (SocketException e) {
+        Log.warn("retrying");
+      }
+    }
+  }
+
+  String push(x) throws SocketException {
+    return "ok:" + x;
+  }
+}
+)";
+  mj::RewriteResult result = mj::RewriteMethod("Syncer.mj", kNoSleep, "Syncer",
+                                               "syncWithRetry", MakeAddJitterMutator(false));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no fixed Thread.sleep"), std::string::npos) << result.error;
+}
+
+TEST(RepairTemplateTest, PatchedSourceIsAPrinterFixpointAndLeavesSiblingsAlone) {
+  const std::string canonical = Canonical(kWhileTrueRetry);
+  for (const mj::MethodMutator& mutator :
+       {MakeBoundRetryMutator(5), MakeAddBackoffMutator(), MakeAddJitterMutator(false)}) {
+    mj::RewriteResult result =
+        mj::RewriteMethod("Syncer.mj", kWhileTrueRetry, "Syncer", "syncWithRetry", mutator);
+    ASSERT_TRUE(result.ok) << result.error;
+    // Applying a no-op rewrite to the patched source must reproduce it byte
+    // for byte: the patch is inside the printer's fixpoint set.
+    mj::RewriteResult again = mj::RewriteMethod(
+        "Syncer.mj", result.patched_source, "Syncer", "syncWithRetry",
+        [](mj::CompilationUnit&, mj::ClassDecl&, mj::MethodDecl&, std::string*) {
+          return true;
+        });
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(again.patched_source, result.patched_source);
+    // The sibling's canonical print survives verbatim.
+    EXPECT_NE(result.patched_source.find("String push(var snapshot) throws SocketException"),
+              std::string::npos);
+    EXPECT_NE(canonical.find("String push(var snapshot) throws SocketException"),
+              std::string::npos);
+  }
+}
+
+TEST(RepairTemplateTest, WrongLocationMutatorPatchesWhateverMethodItIsGiven) {
+  // The modeled wrong-location error targets a sibling; the patch itself is
+  // well-formed, which is exactly why only validation can catch it.
+  mj::RewriteResult result = mj::RewriteMethod("Syncer.mj", kWhileTrueRetry, "Syncer",
+                                               "push", MakeWrongLocationMutator());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.patched_source.find("var repairAttempt = 0;"), std::string::npos);
+  // The real retry loop is untouched.
+  EXPECT_NE(result.patched_source.find("while (true)"), std::string::npos);
+}
+
+// --- SimRepair ---------------------------------------------------------------
+
+TEST(RepairTemplateTest, SimRepairIsDeterministicAndDefaultsToFaithful) {
+  SimRepair off{SimRepairConfig{}};
+  EXPECT_EQ(off.ModeFor("A.mj", "A.m", "bound-retry"), RepairErrorMode::kNone);
+
+  SimRepairConfig config;
+  config.wrong_location_percent = 50;
+  SimRepair sim(config);
+  RepairErrorMode first = sim.ModeFor("A.mj", "A.m", "bound-retry");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sim.ModeFor("A.mj", "A.m", "bound-retry"), first)
+        << "the same bug must draw the same mode in every run";
+  }
+}
+
+TEST(RepairTemplateTest, SimRepairModesGateOnTheTemplateTheyCorrupt) {
+  SimRepairConfig config;
+  config.cap_too_low_percent = 100;
+  config.drop_jitter_percent = 100;
+  SimRepair sim(config);
+  EXPECT_EQ(sim.ModeFor("A.mj", "A.m", "bound-retry"), RepairErrorMode::kCapTooLow);
+  EXPECT_EQ(sim.ModeFor("A.mj", "A.m", "add-jitter"), RepairErrorMode::kDropJitter);
+  // Neither mode makes sense for a backoff patch: it stays faithful.
+  EXPECT_EQ(sim.ModeFor("A.mj", "A.m", "add-backoff"), RepairErrorMode::kNone);
+
+  SimRepairConfig wrong;
+  wrong.wrong_location_percent = 100;
+  SimRepair always_wrong(wrong);
+  for (const char* tmpl : {"bound-retry", "add-backoff", "add-jitter", "shed-on-overload"}) {
+    EXPECT_EQ(always_wrong.ModeFor("A.mj", "A.m", tmpl), RepairErrorMode::kWrongLocation);
+  }
+}
+
+}  // namespace
+}  // namespace wasabi

@@ -13,6 +13,7 @@
 
 #include "src/interp/interpreter.h"
 #include "src/robust/robust.h"
+#include "src/storm/storm.h"
 
 namespace wasabi {
 namespace {
@@ -237,6 +238,35 @@ TEST(CircuitBreakerTest, ZeroCooldownKeepsCampaignNeverCloseSemantics) {
     EXPECT_EQ(breaker.Admit("loc"), BreakerDecision::kShed);
   }
   EXPECT_EQ(breaker.StateOf("loc"), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, CampaignAndStormDefaultsStayPinnedApart) {
+  // The two consumers of CircuitBreaker deliberately disagree about
+  // half-opening and must never drift together (docs/ROBUSTNESS.md): the
+  // campaign's quarantine is final (cooldown 0 — a condemned injection
+  // location would re-crash every probe), while the storm simulator models a
+  // production admission breaker that probes after a cooldown.
+  const RobustnessOptions campaign_defaults;
+  const StormOptions storm_defaults;
+  ASSERT_EQ(campaign_defaults.breaker_cooldown, 0);
+  ASSERT_EQ(storm_defaults.breaker_cooldown, 25);
+
+  CircuitBreaker campaign(/*threshold=*/1, campaign_defaults.breaker_cooldown);
+  campaign.RecordFailure("loc");
+  int campaign_probes = 0;
+  for (int i = 0; i < 200; ++i) {
+    campaign_probes += campaign.Admit("loc") == BreakerDecision::kProbe ? 1 : 0;
+  }
+  EXPECT_EQ(campaign_probes, 0) << "the campaign breaker must never half-open";
+  EXPECT_EQ(campaign.StateOf("loc"), BreakerState::kOpen);
+
+  CircuitBreaker storm(/*threshold=*/1, storm_defaults.breaker_cooldown);
+  storm.RecordFailure("loc");
+  for (int i = 0; i < storm_defaults.breaker_cooldown; ++i) {
+    ASSERT_EQ(storm.Admit("loc"), BreakerDecision::kShed) << "shed #" << i;
+  }
+  EXPECT_EQ(storm.Admit("loc"), BreakerDecision::kProbe)
+      << "the storm breaker must half-open after exactly `cooldown` sheds";
 }
 
 TEST(CircuitBreakerTest, HalfOpenCountsAsOpenForOpenKeysButNotIsOpen) {

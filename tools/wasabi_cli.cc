@@ -13,11 +13,16 @@
 //   wasabi storm <dir>                deterministic retry-storm simulation of
 //                                     the app's extracted retry policies
 //                                     (docs/STORM.md)
+//   wasabi repair <dir>               automated repair loop: synthesize a
+//                                     template patch for every confirmed
+//                                     WHEN/storm verdict and validate it by a
+//                                     cache-sliced re-campaign (docs/REPAIR.md)
 //   wasabi study                      print the §2 issue-study summary
 //   wasabi report --journal=FILE --out=FILE [--metrics=FILE] [--trace=FILE]
-//                                     render a journal (plus optional sibling
-//                                     artifacts) into one self-contained HTML
-//                                     dashboard — no analysis is run
+//                 [--repair=FILE]     render a journal (plus optional sibling
+//                                     artifacts, including a repair report)
+//                                     into one self-contained HTML dashboard —
+//                                     no analysis is run
 //
 // Options:
 //   --json                            machine-readable bug reports
@@ -71,8 +76,9 @@
 //                                     of each application (default 1)
 //   --app NAME                        dump-corpus only: emit a single known
 //                                     app (including the on-demand labs
-//                                     "flakylab" and "stormlab"); unknown
-//                                     names are rejected with exit code 2
+//                                     "flakylab", "stormlab", and "repairlab");
+//                                     unknown names are rejected with exit
+//                                     code 2
 //   --storm                           test/analyze only: also run the storm
 //                                     simulation, output-neutral — results go
 //                                     to the obs sinks (journal/metrics/trace/
@@ -86,6 +92,9 @@
 //   --storm-out=FILE                  write the storm report JSON
 //                                     ("wasabi-storm-v1"; byte-identical at
 //                                     any --jobs N)
+//   --repair-out=FILE                 repair only: write the repair report
+//                                     JSON ("wasabi-repair-v1"; byte-identical
+//                                     at any --jobs N and any cache state)
 //
 // Malformed .mj files no longer abort an analysis: they are skipped with a
 // diagnostic on stderr and the report is marked degraded (JSON gains
@@ -120,6 +129,7 @@
 #include "src/obs/report_html.h"
 #include "src/obs/retry_stats.h"
 #include "src/obs/trace.h"
+#include "src/repair/repair.h"
 #include "src/storm/profile.h"
 #include "src/storm/storm.h"
 #include "src/study/study.h"
@@ -131,8 +141,8 @@ namespace {
 using namespace wasabi;
 
 int Usage() {
-  std::cerr << "usage: wasabi <dump-corpus|identify|static|test|analyze|storm|study> [dir]"
-               " [--json]"
+  std::cerr << "usage: wasabi <dump-corpus|identify|static|test|analyze|storm|repair|study>"
+               " [dir] [--json]"
                " [--jobs N] [--trace-out=FILE] [--metrics-out=FILE]"
                " [--metrics-format=json|openmetrics] [--journal-out=FILE]"
                " [--report-out=FILE] [--progress]"
@@ -140,8 +150,9 @@ int Usage() {
                " [--fail-fast] [--max-quarantined N] [--chaos SEED:RATE[:ENV_RATE]]"
                " [--cache-dir=DIR] [--scale N] [--app NAME] [--repetitions N] [--record DIR]"
                " [--replay ID] [--storm] [--storm-seed N] [--storm-duration MS]"
-               " [--storm-fault START:END] [--storm-out=FILE]\n"
-               "       wasabi report --journal=FILE --out=FILE [--metrics=FILE] [--trace=FILE]\n";
+               " [--storm-fault START:END] [--storm-out=FILE] [--repair-out=FILE]\n"
+               "       wasabi report --journal=FILE --out=FILE [--metrics=FILE] [--trace=FILE]"
+               " [--repair=FILE]\n";
   return 2;
 }
 
@@ -171,6 +182,8 @@ struct CliOptions {
   std::string storm_out;       // --storm-out: write the storm report JSON.
   std::string storm_flag;      // First --storm-* value flag seen (validation).
   bool storm_fault_set = false;
+  std::string repair_out;      // --repair-out: write the repair report JSON.
+  bool repair_flag = false;    // A --repair-* flag was seen (command scoping).
 };
 
 // Strict flag parsing: every `--name=value` / `--name value` form must match
@@ -424,6 +437,16 @@ bool ParseOptions(int argc, char** argv, int first, CliOptions* options) {
       }
       options->storm_out = value;
       options->storm_flag = "--storm-out";
+    } else if (name == "--repair-out") {
+      if (!take_value("--repair-out")) {
+        Usage();
+        return false;
+      }
+      if (value.empty()) {
+        return fail("option --repair-out needs a non-empty path");
+      }
+      options->repair_out = value;
+      options->repair_flag = true;
     } else {
       return fail("unknown option '" + arg + "'");
     }
@@ -653,7 +676,8 @@ struct ObsSinks {
 // metrics (JSON or OpenMetrics), journal, and the in-process HTML report
 // (rendered from this run's journal, embedding whatever sibling artifacts
 // were also requested). Returns false when a file cannot be written.
-bool ExportObservability(const CliOptions& cli, const std::string& app, ObsSinks& obs) {
+bool ExportObservability(const CliOptions& cli, const std::string& app, ObsSinks& obs,
+                         const std::string& repair_json = std::string()) {
   if (!cli.trace_out.empty() &&
       !WriteFileOrComplain(cli.trace_out, obs.tracer.ToChromeJson(), "trace")) {
     return false;
@@ -674,7 +698,7 @@ bool ExportObservability(const CliOptions& cli, const std::string& app, ObsSinks
     RetryStatsReport stats = ComputeRetryStats(events);
     std::string html = RenderHtmlReport(
         app, events, stats, obs.metrics_ptr != nullptr ? obs.metrics.ToJson() : std::string(),
-        obs.tracer_ptr != nullptr ? obs.tracer.ToChromeJson() : std::string());
+        obs.tracer_ptr != nullptr ? obs.tracer.ToChromeJson() : std::string(), repair_json);
     if (!WriteFileOrComplain(cli.report_out, html, "report")) {
       return false;
     }
@@ -911,6 +935,49 @@ int StormCommand(const fs::path& root, const CliOptions& cli) {
   return 0;
 }
 
+// `wasabi repair`: the automated repair loop (docs/REPAIR.md). Runs the full
+// detection pipeline, synthesizes a template patch for every confirmed WHEN/
+// storm verdict, and validates each patch with a cache-sliced re-campaign.
+// The report (JSON with --json, summary text otherwise) is byte-identical at
+// any --jobs N, with the cache off/cold/warm, and under either --engine.
+int RepairCommand(const fs::path& root, const CliOptions& cli) {
+  mj::Program program;
+  std::vector<SkippedFile> skipped;
+  if (!LoadProgram(root, program, &skipped)) {
+    return 1;
+  }
+  mj::ProgramIndex index(program);
+  ObsSinks obs(cli);
+  std::unique_ptr<CacheStore> cache = OpenCliCache(cli);
+  RepairOptions options;
+  options.wasabi = DynamicOptionsFor(root, cli);
+  // Sinks and the cache ride on the baseline options; RunRepair detaches the
+  // sinks (but keeps the cache — that is the sliced re-campaign) for every
+  // nested validation run.
+  options.wasabi.tracer = obs.tracer_ptr;
+  options.wasabi.metrics = obs.metrics_ptr;
+  options.wasabi.progress = obs.progress_ptr;
+  options.wasabi.journal = obs.journal_ptr;
+  options.wasabi.cache = cache.get();
+  options.storm = cli.storm_options;
+  RepairReport report = RunRepair(program, index, options);
+  ExportRepairStats(report, obs.metrics_ptr);
+  FinishCliCache(cache.get(), obs.metrics_ptr);
+  std::string json = RepairReportToJson(report);
+  if (!cli.repair_out.empty() && !WriteFileOrComplain(cli.repair_out, json, "repair report")) {
+    return 1;
+  }
+  if (cli.json) {
+    std::cout << json;
+  } else {
+    std::cout << RepairReportToText(report);
+  }
+  if (!ExportObservability(cli, options.wasabi.app_name, obs, json)) {
+    return 1;
+  }
+  return 0;
+}
+
 // `wasabi report`: offline renderer. Consumes a journal JSON written by
 // --journal-out (plus optional --metrics/--trace artifacts from the same run)
 // and writes the self-contained HTML dashboard. No analysis is executed, so
@@ -923,6 +990,7 @@ int ReportCommand(int argc, char** argv) {
   std::string journal_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string repair_path;
   std::string out_path;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -949,6 +1017,8 @@ int ReportCommand(int argc, char** argv) {
       metrics_path = value;
     } else if (name == "--trace") {
       trace_path = value;
+    } else if (name == "--repair") {
+      repair_path = value;
     } else if (name == "--out") {
       out_path = value;
     } else {
@@ -993,8 +1063,14 @@ int ReportCommand(int argc, char** argv) {
     std::cerr << "error: cannot read trace " << trace_path << "\n";
     return 1;
   }
+  std::string repair_text;
+  if (!repair_path.empty() && !read_file(repair_path, &repair_text)) {
+    std::cerr << "error: cannot read repair report " << repair_path << "\n";
+    return 1;
+  }
   RetryStatsReport stats = ComputeRetryStats(events);
-  std::string html = RenderHtmlReport(app, events, stats, metrics_text, trace_text);
+  std::string html =
+      RenderHtmlReport(app, events, stats, metrics_text, trace_text, repair_text);
   std::ofstream out(out_path, std::ios::binary);
   out << html;
   if (!out) {
@@ -1046,9 +1122,17 @@ int main(int argc, char** argv) {
   if (!ParseOptions(argc, argv, 3, &cli)) {
     return 2;
   }
-  if (!cli.storm_flag.empty() && command != "storm" && !cli.storm) {
+  if (!cli.storm_out.empty() && command != "storm" && !cli.storm) {
+    std::cerr << "error: option --storm-out requires the storm command or --storm\n";
+    return Usage();
+  }
+  if (!cli.storm_flag.empty() && command != "storm" && command != "repair" && !cli.storm) {
     std::cerr << "error: option " << cli.storm_flag
-              << " requires the storm command or --storm\n";
+              << " requires the storm or repair command, or --storm\n";
+    return Usage();
+  }
+  if (cli.repair_flag && command != "repair") {
+    std::cerr << "error: option --repair-out only applies to the repair command\n";
     return Usage();
   }
   if (cli.storm && command != "test" && command != "analyze") {
@@ -1061,6 +1145,9 @@ int main(int argc, char** argv) {
   }
   if (command == "storm") {
     return StormCommand(root, cli);
+  }
+  if (command == "repair") {
+    return RepairCommand(root, cli);
   }
   if (cli.replay_run_id >= 0) {
     if (cli.record_dir.empty()) {
